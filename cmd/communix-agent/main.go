@@ -1,0 +1,97 @@
+// Command communix-agent runs the Communix agent's startup pass (§III-C3,
+// §III-D) as a one-shot tool: it validates the new signatures in a local
+// repository against an application and generalizes the accepted ones
+// into the application's deadlock history.
+//
+// The paper's agent inspects JVM bytecode; this reproduction models
+// applications (see internal/bytecode), so the tool operates on the named
+// built-in application profiles.
+//
+// Usage:
+//
+//	communix-agent -app jboss -scale 10 -repo repo.json -history history.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"communix/internal/agent"
+	"communix/internal/bytecode"
+	"communix/internal/dimmunix"
+	"communix/internal/repo"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	appName := flag.String("app", "jboss", "application profile: jboss|limewire|vuze|eclipse|mysql-jdbc")
+	scale := flag.Int("scale", 10, "application size divisor (1 = full published size)")
+	repoPath := flag.String("repo", "communix-repo.json", "local signature repository")
+	historyPath := flag.String("history", "communix-history.json", "application deadlock history")
+	flag.Parse()
+
+	var profile bytecode.Profile
+	found := false
+	for _, p := range bytecode.TableIIProfiles() {
+		if p.Name == *appName {
+			profile, found = p, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "communix-agent: unknown application %q\n", *appName)
+		return 2
+	}
+
+	app, err := bytecode.Generate(profile.ScaledDown(*scale))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-agent: %v\n", err)
+		return 1
+	}
+	t0 := time.Now()
+	view := bytecode.NewView(app)
+	view.LoadAll()
+	fmt.Printf("communix-agent: loaded %d classes, %d nested sync sites (%v)\n",
+		view.LoadedCount(), len(view.NestedSiteKeys()), time.Since(t0).Round(time.Millisecond))
+
+	rp, err := repo.Open(*repoPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-agent: %v\n", err)
+		return 1
+	}
+	history, err := dimmunix.LoadHistory(*historyPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-agent: %v\n", err)
+		return 1
+	}
+
+	ag, err := agent.New(agent.Config{
+		App: view, AppKey: app.Name, Repo: rp, History: history,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-agent: %v\n", err)
+		return 1
+	}
+	t0 = time.Now()
+	rep, err := ag.RunStartup()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-agent: %v\n", err)
+		return 1
+	}
+	fmt.Printf("communix-agent: inspected %d new signatures in %v\n", rep.Inspected, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  accepted:        %d (added %d, merged %d)\n", rep.Accepted, rep.Added, rep.Merged)
+	fmt.Printf("  rejected (hash): %d\n", rep.RejectedHash)
+	fmt.Printf("  rejected (depth):%d\n", rep.RejectedDepth)
+	fmt.Printf("  pending nesting: %d\n", rep.PendingNesting)
+	fmt.Printf("  history size:    %d\n", history.Len())
+	if err := history.SaveTo(*historyPath); err != nil {
+		fmt.Fprintf(os.Stderr, "communix-agent: %v\n", err)
+		return 1
+	}
+	return 0
+}

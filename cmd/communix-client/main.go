@@ -1,0 +1,79 @@
+// Command communix-client runs the Communix background client (§III-B):
+// it periodically downloads new deadlock signatures from the server into
+// a local repository file, which Communix agents inspect when
+// applications start. It is decoupled from applications precisely so
+// that application startup never waits on the network.
+//
+// Usage:
+//
+//	communix-client -addr 127.0.0.1:9123 -repo /var/lib/communix/repo.json -interval 24h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"communix/internal/client"
+	"communix/internal/repo"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:9123", "Communix server address")
+	repoPath := flag.String("repo", "communix-repo.json", "local signature repository file")
+	interval := flag.Duration("interval", 24*time.Hour, "sync period (the paper syncs once a day)")
+	once := flag.Bool("once", false, "sync once and exit")
+	flag.Parse()
+
+	rp, err := repo.Open(*repoPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-client: %v\n", err)
+		return 1
+	}
+	c, err := client.New(client.Config{
+		Addr:         *addr,
+		Repo:         rp,
+		SyncInterval: *interval,
+		OnSync: func(added int, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "communix-client: sync: %v\n", err)
+				return
+			}
+			fmt.Printf("communix-client: downloaded %d new signatures (%d total)\n", added, rp.Len())
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-client: %v\n", err)
+		return 1
+	}
+
+	added, err := c.SyncOnce()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-client: initial sync: %v\n", err)
+		if *once {
+			return 1
+		}
+	} else {
+		fmt.Printf("communix-client: downloaded %d new signatures (%d total)\n", added, rp.Len())
+	}
+	if *once {
+		return 0
+	}
+
+	c.Start()
+	defer c.Close()
+	fmt.Printf("communix-client: syncing %s every %v into %s\n", *addr, *interval, *repoPath)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	fmt.Println("communix-client: shutting down")
+	return 0
+}

@@ -1,0 +1,89 @@
+// Command communix-inspect pretty-prints Communix data files: deadlock
+// histories (what Dimmunix avoids) and local signature repositories
+// (what the client downloaded and the agent has or hasn't inspected).
+//
+// Usage:
+//
+//	communix-inspect -history history.json
+//	communix-inspect -repo repo.json -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"communix/internal/dimmunix"
+	"communix/internal/repo"
+	"communix/internal/sig"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	historyPath := flag.String("history", "", "deadlock history file to inspect")
+	repoPath := flag.String("repo", "", "local signature repository to inspect")
+	verbose := flag.Bool("v", false, "print full call stacks")
+	flag.Parse()
+
+	if *historyPath == "" && *repoPath == "" {
+		fmt.Fprintln(os.Stderr, "communix-inspect: pass -history and/or -repo")
+		return 2
+	}
+	if *historyPath != "" {
+		if err := inspectHistory(*historyPath, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "communix-inspect: %v\n", err)
+			return 1
+		}
+	}
+	if *repoPath != "" {
+		if err := inspectRepo(*repoPath, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "communix-inspect: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func inspectHistory(path string, verbose bool) error {
+	h, err := dimmunix.LoadHistory(path)
+	if err != nil {
+		return err
+	}
+	sigs := h.All()
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].ID() < sigs[j].ID() })
+	fmt.Printf("history %s: %d signature(s)\n", path, len(sigs))
+	for _, s := range sigs {
+		printSig(s, verbose)
+	}
+	return nil
+}
+
+func inspectRepo(path string, verbose bool) error {
+	r, err := repo.Open(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repository %s: %d signature(s), next server index %d\n", path, r.Len(), r.Next())
+	for _, e := range r.NewSince("") {
+		fmt.Printf(" [%d]", e.Index)
+		printSig(e.Sig, verbose)
+	}
+	return nil
+}
+
+func printSig(s *sig.Signature, verbose bool) {
+	fmt.Printf("  %s  %s  threads=%d  minOuterDepth=%d\n",
+		s.ID()[:12], s.Origin, s.Size(), s.MinOuterDepth())
+	for i, t := range s.Threads {
+		if verbose {
+			fmt.Printf("    t%d outer: %s\n", i, t.Outer)
+			fmt.Printf("    t%d inner: %s\n", i, t.Inner)
+		} else {
+			fmt.Printf("    t%d outer@%s inner@%s\n", i, t.Outer.Top().Key(), t.Inner.Top().Key())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command communix-server runs a Communix signature server (§III-A): it
+// collects deadlock signatures uploaded by Communix plugins, validates
+// them (encrypted sender ids, per-user adjacency, daily rate limit), and
+// serves incremental downloads to Communix clients.
+//
+// Usage:
+//
+//	communix-server -addr :9123 -key 00112233445566778899aabbccddeeff -mint 3
+//
+// -mint prints N freshly issued user tokens at startup (the id-issuing
+// service is out of the paper's scope; real deployments gate issuance).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"communix"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:9123", "listen address")
+	keyHex := flag.String("key", "", "predefined AES-128 key, 32 hex chars (required)")
+	mint := flag.Int("mint", 0, "print N user tokens at startup")
+	maxPerDay := flag.Int("max-per-day", 10, "signatures accepted per user per day")
+	flag.Parse()
+
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil || len(key) != communix.KeySize {
+		fmt.Fprintln(os.Stderr, "communix-server: -key must be 32 hex characters (128-bit AES key)")
+		return 2
+	}
+
+	srv, err := communix.NewServer(communix.ServerConfig{Key: key, MaxPerDay: *maxPerDay})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
+		return 1
+	}
+	if *mint > 0 {
+		auth, err := communix.NewAuthority(key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
+			return 1
+		}
+		for i := 0; i < *mint; i++ {
+			id, token := auth.Issue()
+			fmt.Printf("user %d token %s\n", id, token)
+		}
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
+		return 1
+	}
+	fmt.Printf("communix-server: listening on %s\n", l.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigCh:
+		fmt.Println("communix-server: shutting down")
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

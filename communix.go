@@ -1,0 +1,333 @@
+// Package communix is a collaborative deadlock immunity framework for Go
+// programs, reproducing "Communix: A Framework for Collaborative Deadlock
+// Immunity" (Jula, Tözün, Candea — DSN 2011).
+//
+// Dimmunix (the embedded deadlock-immunity runtime) detects deadlocks at
+// run time, fingerprints the execution flows that led to them
+// ("signatures"), and steers later schedules away from flows matching
+// saved signatures. Communix adds collaboration: a plugin uploads each new
+// signature to a central server; a background client on every machine
+// periodically downloads new signatures into a local repository; and an
+// agent validates the incoming signatures against the running application
+// (per-frame code hashes, outer-stack depth ≥ 5, tops must be provably
+// nested sync sites) and generalizes them (merging manifestations of one
+// bug into the longest common call-stack suffixes). A user's application
+// thus becomes immune to deadlocks other users hit, without ever
+// deadlocking itself.
+//
+// # Quick start
+//
+//	authority, _ := communix.NewAuthority(key)
+//	srv, _ := communix.NewServer(communix.ServerConfig{Key: key})
+//	go srv.Serve(listener)
+//
+//	_, token := authority.Issue()
+//	node, _ := communix.NewNode(communix.NodeConfig{
+//		ServerAddr: listener.Addr().String(),
+//		Token:      token,
+//	})
+//	defer node.Close()
+//
+//	mu := node.NewMutex("accounts")
+//	if err := mu.Lock(); err != nil { ... }
+//	defer mu.Unlock()
+//
+// Go offers no way to interpose on sync.Mutex, so programs opt in by
+// using node.NewMutex (native stack capture) or the lower-level
+// dimmunix Runtime API (explicit thread/lock/stack events).
+package communix
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"communix/internal/agent"
+	"communix/internal/client"
+	"communix/internal/dimmunix"
+	"communix/internal/ids"
+	"communix/internal/plugin"
+	"communix/internal/repo"
+	"communix/internal/server"
+	"communix/internal/sig"
+)
+
+// Re-exported core types. The signature model is shared vocabulary
+// between all components and the public API.
+type (
+	// Signature fingerprints one deadlock (outer + inner call stacks per
+	// thread).
+	Signature = sig.Signature
+	// Frame is one call-stack frame (code unit, method, line, unit hash).
+	Frame = sig.Frame
+	// Stack is a call stack, outermost frame first.
+	Stack = sig.Stack
+	// ThreadSpec is the per-thread component of a signature.
+	ThreadSpec = sig.ThreadSpec
+	// Deadlock describes a detected deadlock.
+	Deadlock = dimmunix.Deadlock
+	// FalsePositiveWarning reports a signature that serializes threads
+	// without preventing deadlocks (§III-C1).
+	FalsePositiveWarning = dimmunix.FalsePositiveWarning
+	// Mutex is a deadlock-immune reentrant mutex.
+	Mutex = dimmunix.Mutex
+	// Runtime is the Dimmunix lock-management runtime.
+	Runtime = dimmunix.Runtime
+	// History is the persistent deadlock history.
+	History = dimmunix.History
+	// Token is an encrypted user id issued by the Communix authority.
+	Token = ids.Token
+	// UserID identifies one Communix user.
+	UserID = ids.UserID
+	// Authority mints encrypted user ids.
+	Authority = ids.Authority
+	// Server is a Communix signature server.
+	Server = server.Server
+	// AgentReport summarizes one agent validation pass.
+	AgentReport = agent.Report
+	// Application is the agent's view of the running program (unit
+	// hashes + nested sync sites).
+	Application = agent.Application
+)
+
+// Deadlock recovery policies (what happens to the acquisition that closes
+// a detected cycle).
+const (
+	// RecoverNone keeps deadlocked threads blocked, like the paper's
+	// Dimmunix (the user restarts the application).
+	RecoverNone = dimmunix.RecoverNone
+	// RecoverBreak denies the closing acquisition with ErrDeadlock.
+	RecoverBreak = dimmunix.RecoverBreak
+)
+
+// Errors surfaced through the public API.
+var (
+	// ErrDeadlock reports a denied cycle-closing acquisition.
+	ErrDeadlock = dimmunix.ErrDeadlock
+	// ErrClosed reports use after Close.
+	ErrClosed = dimmunix.ErrClosed
+)
+
+// KeySize is the AES key size for user-id encryption (128-bit).
+const KeySize = ids.KeySize
+
+// NewAuthority builds the id-issuing authority for the given predefined
+// 16-byte AES key.
+func NewAuthority(key []byte) (*Authority, error) { return ids.NewAuthority(key) }
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Key is the predefined AES-128 key user tokens are minted under.
+	Key []byte
+	// MaxPerDay caps accepted signatures per user per day (default 10,
+	// §III-C1).
+	MaxPerDay int
+}
+
+// NewServer builds a Communix server. Use Process for direct in-process
+// request handling or Serve/ListenAndServe for TCP.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	return server.New(server.Config{Key: cfg.Key, MaxPerDay: cfg.MaxPerDay})
+}
+
+// NodeConfig parameterizes NewNode — one Communix-protected application
+// instance on one machine.
+type NodeConfig struct {
+	// ServerAddr is the Communix server's TCP address. Leave empty (with
+	// Dial unset) for an offline node: Dimmunix immunity still works,
+	// signatures are neither uploaded nor downloaded.
+	ServerAddr string
+	// Dial overrides connection establishment (in-process servers,
+	// tests).
+	Dial func() (net.Conn, error)
+	// Token is this user's encrypted id, required to upload signatures.
+	Token Token
+	// HistoryPath persists the deadlock history; empty = in-memory.
+	HistoryPath string
+	// RepoPath persists the local signature repository; empty =
+	// in-memory.
+	RepoPath string
+	// App is the application view used for client-side validation.
+	// Optional: without it the agent is disabled and remote signatures
+	// are not installed.
+	App Application
+	// AppKey identifies the application in repository cursors; defaults
+	// to "default".
+	AppKey string
+	// SyncInterval is the background download period (default 24h, the
+	// paper's once-a-day).
+	SyncInterval time.Duration
+	// Policy selects deadlock recovery (default RecoverNone).
+	Policy dimmunix.RecoveryPolicy
+	// OnDeadlock observes detected deadlocks (after the plugin).
+	OnDeadlock func(Deadlock)
+	// OnFalsePositive observes §III-C1 false-positive warnings.
+	OnFalsePositive func(FalsePositiveWarning)
+	// DisableAvoidance turns the avoidance module off (detection only).
+	DisableAvoidance bool
+}
+
+// Node is one Communix-protected application instance: a Dimmunix runtime
+// with the Communix plugin, background client, and agent wired in.
+type Node struct {
+	runtime *dimmunix.Runtime
+	history *dimmunix.History
+	repo    *repo.Repo
+	client  *client.Client
+	plugin  *plugin.Plugin
+	agent   *agent.Agent
+}
+
+// NewNode assembles a node. Callers must Close it.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	history, err := loadHistory(cfg.HistoryPath)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := repo.Open(cfg.RepoPath)
+	if err != nil {
+		return nil, fmt.Errorf("communix: %w", err)
+	}
+
+	n := &Node{history: history, repo: rp}
+
+	online := cfg.ServerAddr != "" || cfg.Dial != nil
+	if online {
+		c, err := client.New(client.Config{
+			Addr:         cfg.ServerAddr,
+			Dial:         cfg.Dial,
+			Repo:         rp,
+			Token:        cfg.Token,
+			SyncInterval: cfg.SyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("communix: %w", err)
+		}
+		n.client = c
+
+		var hasher plugin.Hasher
+		if cfg.App != nil {
+			hasher = cfg.App
+		}
+		p, err := plugin.New(plugin.Config{Uploader: c, Hasher: hasher})
+		if err != nil {
+			return nil, fmt.Errorf("communix: %w", err)
+		}
+		n.plugin = p
+	}
+
+	if cfg.App != nil {
+		appKey := cfg.AppKey
+		if appKey == "" {
+			appKey = "default"
+		}
+		a, err := agent.New(agent.Config{
+			App:     cfg.App,
+			AppKey:  appKey,
+			Repo:    rp,
+			History: history,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("communix: %w", err)
+		}
+		n.agent = a
+	}
+
+	onDeadlock := cfg.OnDeadlock
+	pluginHook := func(d Deadlock) {
+		if n.plugin != nil {
+			n.plugin.HandleDeadlock(d)
+		}
+		// Persist the grown history eagerly; detection is rare.
+		_ = history.Save()
+		if onDeadlock != nil {
+			onDeadlock(d)
+		}
+	}
+
+	n.runtime = dimmunix.NewRuntime(dimmunix.Config{
+		History:           history,
+		Policy:            cfg.Policy,
+		AvoidanceDisabled: cfg.DisableAvoidance,
+		OnDeadlock:        pluginHook,
+		OnFalsePositive:   cfg.OnFalsePositive,
+	})
+
+	if n.client != nil {
+		n.client.Start()
+	}
+	return n, nil
+}
+
+func loadHistory(path string) (*dimmunix.History, error) {
+	if path == "" {
+		return dimmunix.NewHistory(), nil
+	}
+	h, err := dimmunix.LoadHistory(path)
+	if err != nil {
+		return nil, fmt.Errorf("communix: %w", err)
+	}
+	return h, nil
+}
+
+// NewMutex creates a deadlock-immune mutex on this node.
+func (n *Node) NewMutex(name string) *Mutex { return n.runtime.NewMutex(name) }
+
+// Runtime exposes the Dimmunix runtime for explicit-event use.
+func (n *Node) Runtime() *Runtime { return n.runtime }
+
+// History exposes the node's deadlock history.
+func (n *Node) History() *History { return n.history }
+
+// SyncNow performs one incremental download from the server immediately
+// (the background client also syncs periodically). It returns how many
+// signatures arrived.
+func (n *Node) SyncNow() (int, error) {
+	if n.client == nil {
+		return 0, errors.New("communix: node is offline")
+	}
+	return n.client.SyncOnce()
+}
+
+// ValidateRepository runs the agent's startup pass: validate new
+// repository signatures against the application and generalize them into
+// the history (§III-C3, §III-D). Call at application startup and after
+// SyncNow.
+func (n *Node) ValidateRepository() (AgentReport, error) {
+	if n.agent == nil {
+		return AgentReport{}, errors.New("communix: node has no application view")
+	}
+	rep, err := n.agent.RunStartup()
+	if err != nil {
+		return rep, err
+	}
+	return rep, n.history.Save()
+}
+
+// RecheckNesting re-validates signatures that previously failed only the
+// nesting check; call after the application loads new code (§III-C3).
+func (n *Node) RecheckNesting() (AgentReport, error) {
+	if n.agent == nil {
+		return AgentReport{}, errors.New("communix: node has no application view")
+	}
+	rep, err := n.agent.OnClassesLoaded()
+	if err != nil {
+		return rep, err
+	}
+	return rep, n.history.Save()
+}
+
+// Close shuts the node down: background sync stops, pending uploads
+// drain, blocked threads are released with ErrClosed, and the history is
+// persisted.
+func (n *Node) Close() {
+	if n.client != nil {
+		n.client.Close()
+	}
+	if n.plugin != nil {
+		n.plugin.Close()
+	}
+	n.runtime.Close()
+	_ = n.history.Save()
+}

@@ -1,0 +1,35 @@
+package communix_test
+
+import (
+	"fmt"
+
+	"communix"
+)
+
+// ExampleNewNode shows the minimal offline (Dimmunix-only) setup: an
+// application protecting its critical sections with deadlock-immune
+// mutexes. With a ServerAddr and Token the same node would also share
+// and receive signatures.
+func ExampleNewNode() {
+	node, err := communix.NewNode(communix.NodeConfig{
+		Policy: communix.RecoverBreak,
+	})
+	if err != nil {
+		fmt.Println("setup:", err)
+		return
+	}
+	defer node.Close()
+
+	accounts := node.NewMutex("accounts")
+	if err := accounts.Lock(); err != nil {
+		fmt.Println("lock:", err)
+		return
+	}
+	// ... critical section ...
+	if err := accounts.Unlock(); err != nil {
+		fmt.Println("unlock:", err)
+		return
+	}
+	fmt.Println("protected section done; history size:", node.History().Len())
+	// Output: protected section done; history size: 0
+}

@@ -1,0 +1,195 @@
+// Collaboration: the paper's headline scenario (§I).
+//
+// Two machines run the same application. Machine A hits a deadlock; its
+// Communix plugin uploads the signature to the server. Machine B's
+// background client downloads it, the agent validates it against B's
+// application (per-frame code hashes, depth, nested-site check) and
+// installs it into B's deadlock history. When B later executes the same
+// dangerous flow, the avoidance module serializes it — B never
+// experiences the deadlock it is now immune to.
+//
+// Run with: go run ./examples/collaboration
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"communix"
+	"communix/internal/bytecode"
+	"communix/internal/dimmunix"
+)
+
+var key = []byte("examples-key-16b")
+
+// theApp is the application both machines run: a generated model with
+// known nested lock sites (standing in for JVM bytecode; see DESIGN.md).
+func theApp() (*bytecode.App, *bytecode.View, []bytecode.LockPath, error) {
+	app, err := bytecode.Generate(bytecode.Profile{
+		Name: "chat-server", LOC: 12000, SyncSites: 60, ExplicitOps: 3,
+		Analyzed: 48, Nested: 18, Seed: 2026,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	view := bytecode.NewView(app)
+	view.LoadAll()
+	var nested []bytecode.LockPath
+	seen := map[string]bool{}
+	for _, lp := range app.LockPaths() {
+		if lp.Nested && !lp.Opaque && !seen[lp.Outer.Top().Key()] {
+			seen[lp.Outer.Top().Key()] = true
+			nested = append(nested, lp)
+		}
+	}
+	return app, view, nested, nil
+}
+
+// stamp attaches the application's class hashes to a modelled stack.
+func stamp(app *bytecode.App, cs communix.Stack) communix.Stack {
+	out := cs.Clone()
+	for i := range out {
+		out[i] = app.Frame(out[i].Class, out[i].Method, out[i].Line)
+	}
+	return out
+}
+
+// dangerousFlow replays the lock-order inversion over two of the app's
+// nested lock paths on the given node.
+func dangerousFlow(node *communix.Node, app *bytecode.App, p1, p2 bytecode.LockPath, holdAndWait bool) (error, error) {
+	rt := node.Runtime()
+	sessions := rt.NewLock("sessions")
+	rooms := rt.NewLock("rooms")
+
+	held := make(chan struct{}, 2)
+	start := make(chan struct{})
+	run := func(tid dimmunix.ThreadID, first, second *dimmunix.Lock, path bytecode.LockPath, done chan<- error) {
+		outer, inner := stamp(app, path.Outer), stamp(app, path.Inner)
+		if err := rt.Acquire(tid, first, outer); err != nil {
+			held <- struct{}{}
+			done <- err
+			return
+		}
+		held <- struct{}{}
+		if holdAndWait {
+			<-start
+		}
+		err := rt.Acquire(tid, second, inner)
+		if err == nil {
+			_ = rt.Release(tid, second)
+		}
+		_ = rt.Release(tid, first)
+		done <- err
+	}
+	d1 := make(chan error, 1)
+	d2 := make(chan error, 1)
+	go run(1, sessions, rooms, p1, d1)
+	go run(2, rooms, sessions, p2, d2)
+	if holdAndWait {
+		<-held
+		<-held
+		close(start)
+	}
+	return <-d1, <-d2
+}
+
+func run() error {
+	app, view, nested, err := theApp()
+	if err != nil {
+		return err
+	}
+	if len(nested) < 2 {
+		return errors.New("app too small")
+	}
+	p1, p2 := nested[0], nested[1]
+
+	// The Communix server.
+	srv, err := communix.NewServer(communix.ServerConfig{Key: key})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	defer func() { srv.Close(); <-served }()
+	fmt.Printf("server listening on %s\n", l.Addr())
+
+	auth, err := communix.NewAuthority(key)
+	if err != nil {
+		return err
+	}
+	_, tokenA := auth.Issue()
+	_, tokenB := auth.Issue()
+
+	// --- Machine A encounters the deadlock. ---
+	fmt.Println("\nmachine A: running the chat server")
+	nodeA, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: l.Addr().String(), Token: tokenA,
+		App: view, AppKey: app.Name,
+		Policy: communix.RecoverBreak,
+		OnDeadlock: func(d communix.Deadlock) {
+			fmt.Println("  machine A deadlocked! signature extracted, uploading to server")
+		},
+	})
+	if err != nil {
+		return err
+	}
+	e1, e2 := dangerousFlow(nodeA, app, p1, p2, true)
+	if !errors.Is(e1, communix.ErrDeadlock) && !errors.Is(e2, communix.ErrDeadlock) {
+		return errors.New("machine A was expected to deadlock")
+	}
+	nodeA.Close() // drains the plugin upload queue
+	fmt.Printf("  server database now holds %d signature(s)\n", srv.Store().Len())
+
+	// --- Machine B, same application, never deadlocked. ---
+	fmt.Println("\nmachine B: fresh machine, same application")
+	nodeB, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: l.Addr().String(), Token: tokenB,
+		App: view, AppKey: app.Name + "@B",
+		Policy:       communix.RecoverBreak,
+		SyncInterval: time.Hour, // the paper syncs daily; we force one below
+		OnDeadlock: func(communix.Deadlock) {
+			fmt.Println("  BUG: machine B deadlocked despite collaborative immunity")
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer nodeB.Close()
+
+	added, err := nodeB.SyncNow()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  downloaded %d new signature(s) from the server\n", added)
+	rep, err := nodeB.ValidateRepository()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  agent validated them: %d accepted (hash+depth+nesting checks passed)\n", rep.Accepted)
+
+	for round := 0; round < 20; round++ {
+		e1, e2 = dangerousFlow(nodeB, app, p1, p2, false)
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("machine B flow failed: %v / %v", e1, e2)
+		}
+	}
+	stats := nodeB.Runtime().Stats()
+	fmt.Printf("  machine B ran the same flow 20 times: %d deadlocks, %d avoidance yields\n",
+		stats.Deadlocks, stats.Yields)
+	fmt.Println("\nmachine B is immune to a deadlock it never experienced")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "collaboration: %v\n", err)
+		os.Exit(1)
+	}
+}

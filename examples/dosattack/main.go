@@ -1,0 +1,185 @@
+// DoS attack containment (§III-C): an attacker with valid credentials
+// floods the Communix server with fake deadlock signatures, trying to
+// (a) bloat every application's deadlock history (matching pressure),
+// (b) sneak in shallow signatures that serialize the victim's threads.
+//
+// The defenses demonstrated, in the order they engage:
+//  1. server: forged tokens are rejected outright;
+//  2. server: two signatures from one user sharing *some but not all*
+//     top frames ("adjacent") are rejected — an attacker cannot tile the
+//     application's sites with signature variants;
+//  3. server: at most 10 signatures per user per day;
+//  4. agent: depth-1 outer stacks are rejected (the serialization lever);
+//  5. agent: outer tops must be provably nested sync sites.
+//
+// Run with: go run ./examples/dosattack
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+
+	"communix"
+	"communix/internal/bytecode"
+	"communix/internal/client"
+	"communix/internal/repo"
+	"communix/internal/sig"
+	"communix/internal/workload"
+)
+
+var key = []byte("examples-key-16b")
+
+func run() error {
+	// The application every victim runs.
+	app, err := bytecode.Generate(bytecode.Profile{
+		Name: "victim-app", LOC: 10000, SyncSites: 50, ExplicitOps: 2,
+		Analyzed: 40, Nested: 14, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+	view := bytecode.NewView(app)
+	view.LoadAll()
+
+	srv, err := communix.NewServer(communix.ServerConfig{Key: key})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	defer func() { srv.Close(); <-served }()
+
+	auth, err := communix.NewAuthority(key)
+	if err != nil {
+		return err
+	}
+
+	upload := func(token communix.Token, s *communix.Signature) error {
+		rp, err := repo.Open("")
+		if err != nil {
+			return err
+		}
+		c, err := client.New(client.Config{Addr: l.Addr().String(), Repo: rp, Token: token})
+		if err != nil {
+			return err
+		}
+		return c.Upload(s)
+	}
+
+	// --- 1. Forged tokens bounce at the server. ---
+	fmt.Println("attack 1: forged sender id")
+	fake := workload.MaliciousSignatures(app, 1, workload.AttackCriticalPath, 1)[0]
+	err = upload("00112233445566778899aabbccddeeff", fake)
+	fmt.Printf("  server: %v\n", err)
+
+	// --- 2. Adjacent signatures from one id bounce at the server. ---
+	// The attacker varies one of a signature's sites at a time, trying to
+	// tile the application with (N·Nd)⁴ combinations; sharing *some but
+	// not all* top frames with an accepted signature is "adjacent" and
+	// rejected (§III-C2).
+	fmt.Println("attack 2: tiling the app with adjacent signature variants (one id)")
+	_, attacker := auth.Issue()
+	base := workload.MaliciousSignatures(app, 4, workload.AttackCriticalPath, 2)
+	accepted, rejected := 0, 0
+	if err := upload(attacker, base[0]); err == nil {
+		accepted++
+	}
+	for _, donor := range base[1:] {
+		variant := base[0].Clone()
+		variant.Threads[1] = donor.Threads[1] // swap one side of the deadlock
+		variant.Normalize()
+		if variant.ID() == base[0].ID() {
+			continue // the donor happened to share that side; not a new variant
+		}
+		if err := upload(attacker, variant); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	fmt.Printf("  %d accepted, %d rejected as adjacent (server db: %d)\n",
+		accepted, rejected, srv.Store().Len())
+
+	// --- 3. Rate limit: 10 per user per day. ---
+	fmt.Println("attack 3: flooding with disjoint signatures (one id)")
+	_, flooder := auth.Issue()
+	accepted, rejected = 0, 0
+	for i := 0; i < 40; i++ {
+		s := disjointSig(i)
+		if err := upload(flooder, s); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	fmt.Printf("  %d accepted (the daily budget), %d rejected (server db: %d)\n",
+		accepted, rejected, srv.Store().Len())
+
+	// --- 4+5. Whatever reached the server meets the victim's agent. ---
+	fmt.Println("victim: downloading and validating the surviving signatures")
+	_, victimTok := auth.Issue()
+	// A shallow depth-1 signature also sits in the db (uploaded by the
+	// attacker under yet another id).
+	_, another := auth.Issue()
+	shallow := workload.MaliciousSignatures(app, 1, workload.AttackDepth1, 3)[0]
+	if err := upload(another, shallow); err != nil {
+		fmt.Printf("  (depth-1 upload rejected server-side: %v)\n", err)
+	}
+
+	victim, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: l.Addr().String(), Token: victimTok,
+		App: view, AppKey: app.Name,
+	})
+	if err != nil {
+		return err
+	}
+	defer victim.Close()
+	n, err := victim.SyncNow()
+	if err != nil {
+		return err
+	}
+	rep, err := victim.ValidateRepository()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  downloaded %d, accepted %d, rejected %d (depth) + %d (hash), %d pending nesting\n",
+		n, rep.Accepted, rep.RejectedDepth, rep.RejectedHash, rep.PendingNesting)
+	fmt.Printf("  victim history: %d signatures, every outer top a proven nested sync site\n",
+		victim.History().Len())
+	fmt.Println("\nthe worst the attacker achieved is a bounded set of depth-5 signatures")
+	fmt.Println("on nested sites — the 8-40% worst case Table II quantifies, not a lockup")
+	return nil
+}
+
+// disjointSig builds the i-th signature with globally unique top frames
+// (to slip past the adjacency check and probe the rate limit). Its tops
+// are not nested sites of the victim app, so victims reject it anyway.
+func disjointSig(i int) *communix.Signature {
+	mk := func(tag string) sig.ThreadSpec {
+		stack := func(kind string) sig.Stack {
+			var s sig.Stack
+			for d := 0; d < 5; d++ {
+				s = append(s, sig.Frame{
+					Class: "atk/Lib", Method: fmt.Sprintf("f%d", d), Line: 10 + d, Hash: "h-atk",
+				})
+			}
+			return append(s, sig.Frame{
+				Class: fmt.Sprintf("atk/S%d", i), Method: tag + kind, Line: 1 + i, Hash: "h-atk",
+			})
+		}
+		return sig.ThreadSpec{Outer: stack("o"), Inner: stack("i")}
+	}
+	return sig.New(mk("t1"), mk("t2"))
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dosattack: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,142 @@
+// Signature generalization (§III-D): one deadlock bug, many
+// manifestations.
+//
+// A deadlock bug is delimited by its outer and inner lock statements, but
+// each *manifestation* reaches those statements through different
+// callers, producing a different signature. A single user might need
+// months to stumble into every manifestation; collectively, users cover
+// them quickly. The agent merges same-bug signatures into one whose call
+// stacks are the longest common suffixes — the history stays compact and
+// the merged signature covers all the merged flows at once.
+//
+// Run with: go run ./examples/generalization
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"communix/internal/agent"
+	"communix/internal/bytecode"
+	"communix/internal/dimmunix"
+	"communix/internal/repo"
+	"communix/internal/sig"
+)
+
+func run() error {
+	// The application, generated with four call-path variants per lock
+	// construct: four ways to reach each deadlock.
+	// SharedTail: the four call paths converge into common helpers five
+	// frames above each lock statement, so the manifestations share a
+	// six-frame outer suffix — deep enough for the ≥5 merge floor.
+	app, err := bytecode.Generate(bytecode.Profile{
+		Name: "editor", LOC: 9000, SyncSites: 40, ExplicitOps: 2,
+		Analyzed: 32, Nested: 12, PathVariants: 4, SharedTail: 5, Seed: 5,
+	})
+	if err != nil {
+		return err
+	}
+	view := bytecode.NewView(app)
+	view.LoadAll()
+
+	// Collect the four variants of one nested construct plus one variant
+	// of another: the two sides of the deadlock.
+	byTop := map[string][]bytecode.LockPath{}
+	for _, lp := range app.LockPaths() {
+		if lp.Nested && !lp.Opaque {
+			key := lp.Outer.Top().Key()
+			byTop[key] = append(byTop[key], lp)
+		}
+	}
+	var left []bytecode.LockPath
+	var right bytecode.LockPath
+	for _, paths := range byTop {
+		if len(paths) >= 4 && left == nil {
+			left = paths
+		} else if right.Outer == nil {
+			right = paths[0]
+		}
+	}
+	if left == nil || right.Outer == nil {
+		return fmt.Errorf("generated app lacks variants")
+	}
+
+	stamp := func(cs sig.Stack) sig.Stack {
+		out := cs.Clone()
+		for i := range out {
+			out[i] = app.Frame(out[i].Class, out[i].Method, out[i].Line)
+		}
+		return out
+	}
+
+	// Four users each hit the SAME bug through a different call path.
+	var manifestations []*sig.Signature
+	for _, lp := range left[:4] {
+		s := sig.New(
+			sig.ThreadSpec{Outer: stamp(lp.Outer), Inner: stamp(lp.Inner)},
+			sig.ThreadSpec{Outer: stamp(right.Outer), Inner: stamp(right.Inner)},
+		)
+		manifestations = append(manifestations, s)
+	}
+	fmt.Printf("four users hit the same deadlock bug via different call paths:\n")
+	for i, s := range manifestations {
+		fmt.Printf("  manifestation %d: outer depth %d, id %s...\n", i+1, s.MinOuterDepth(), s.ID()[:12])
+	}
+	bugKeys := map[string]bool{}
+	for _, s := range manifestations {
+		bugKeys[s.BugKey()] = true
+	}
+	fmt.Printf("  distinct signature ids: 4; distinct bugs: %d\n\n", len(bugKeys))
+
+	// They all land in one machine's repository; the agent generalizes.
+	rp, err := repo.Open("")
+	if err != nil {
+		return err
+	}
+	var raw []json.RawMessage
+	for _, s := range manifestations {
+		data, err := sig.Encode(s)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, data)
+	}
+	if err := rp.Append(raw, len(raw)+1); err != nil {
+		return err
+	}
+
+	history := dimmunix.NewHistory()
+	ag, err := agent.New(agent.Config{App: view, AppKey: app.Name, Repo: rp, History: history})
+	if err != nil {
+		return err
+	}
+	rep, err := ag.RunStartup()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agent pass: %d inspected, %d added, %d merged into existing signatures\n",
+		rep.Inspected, rep.Added, rep.Merged)
+	fmt.Printf("history after generalization: %d signature(s)\n", history.Len())
+	for _, s := range history.All() {
+		fmt.Printf("  merged signature: outer depth %d (the longest common suffix of all four flows)\n",
+			s.MinOuterDepth())
+		// The merged signature matches every variant's stack.
+		covered := 0
+		for _, lp := range left[:4] {
+			if stamp(lp.Outer).HasSuffix(s.Threads[0].Outer) || stamp(lp.Outer).HasSuffix(s.Threads[1].Outer) {
+				covered++
+			}
+		}
+		fmt.Printf("  call-path variants covered: %d/4\n", covered)
+	}
+	fmt.Println("\none compact signature now protects against every known manifestation")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "generalization: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Quickstart: deadlock immunity for a plain Go program.
+//
+// Two goroutines transfer money between two accounts, locking the
+// accounts in opposite orders — the classic lock-order inversion. On the
+// first run the program deadlocks; Dimmunix detects it, fingerprints the
+// execution flow, and saves the signature. After a "restart" (a second
+// node loading the saved history), the same flow is serialized by the
+// avoidance module and completes cleanly.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"communix"
+)
+
+// spawn launches a transfer on its own goroutine. A single launch site
+// matters: a Dimmunix signature fingerprints the exact execution flow
+// (call stacks included), so the immune run must reach the locks through
+// the same code path as the run that deadlocked. Flows that differ only
+// in lower frames are distinct manifestations — merging those is the job
+// of Communix's signature generalization (see examples/generalization).
+func spawn(a, b *communix.Mutex, barrier func(), results chan<- error) {
+	go func() { results <- transfer(a, b, barrier) }()
+}
+
+// transfer moves money from one account to the other: lock a, then b.
+// The barrier forces the hold-and-wait interleaving on the first run.
+func transfer(a, b *communix.Mutex, barrier func()) error {
+	if err := a.Lock(); err != nil {
+		return err
+	}
+	defer func() { _ = a.Unlock() }()
+	barrier()
+	if err := b.Lock(); err != nil {
+		return err
+	}
+	defer func() { _ = b.Unlock() }()
+	// ... move the money ...
+	return nil
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "communix-quickstart")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	historyPath := filepath.Join(dir, "history.json")
+
+	// --- Run 1: the program deadlocks. ---
+	fmt.Println("run 1: two transfers lock the accounts in opposite orders")
+	node, err := communix.NewNode(communix.NodeConfig{
+		HistoryPath: historyPath,
+		Policy:      communix.RecoverBreak, // deny the cycle-closing lock instead of hanging
+		OnDeadlock: func(d communix.Deadlock) {
+			fmt.Printf("  deadlock detected! threads %v\n", d.Threads)
+			fmt.Printf("  signature saved (bug: %d threads, outer depth %d)\n",
+				d.Signature.Size(), d.Signature.MinOuterDepth())
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	checking := node.NewMutex("checking")
+	savings := node.NewMutex("savings")
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	barrier := func() { wg.Done(); wg.Wait() }
+	results := make(chan error, 2)
+	spawn(checking, savings, barrier, results)
+	spawn(savings, checking, barrier, results)
+	for i := 0; i < 2; i++ {
+		if err := <-results; errors.Is(err, communix.ErrDeadlock) {
+			fmt.Println("  one transfer was denied to break the deadlock (the app would restart here)")
+		}
+	}
+	node.Close() // persists the history
+
+	// --- Run 2: restart; the program is now immune. ---
+	fmt.Println("run 2: restarted with the saved history")
+	node2, err := communix.NewNode(communix.NodeConfig{
+		HistoryPath: historyPath,
+		Policy:      communix.RecoverBreak,
+		OnDeadlock: func(communix.Deadlock) {
+			fmt.Println("  BUG: deadlocked again despite immunity")
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer node2.Close()
+	fmt.Printf("  loaded %d signature(s)\n", node2.History().Len())
+
+	checking2 := node2.NewMutex("checking")
+	savings2 := node2.NewMutex("savings")
+	noop := func() {}
+	for round := 0; round < 50; round++ {
+		errs := make(chan error, 2)
+		spawn(checking2, savings2, noop, errs)
+		spawn(savings2, checking2, noop, errs)
+		for i := 0; i < 2; i++ {
+			if err := <-errs; err != nil {
+				return fmt.Errorf("round %d: %w", round, err)
+			}
+		}
+	}
+	stats := node2.Runtime().Stats()
+	fmt.Printf("  100 opposing transfers completed: 0 deadlocks, %d avoidance yields\n", stats.Yields)
+	fmt.Println("the program developed an antibody against its deadlock")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}

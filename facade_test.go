@@ -1,0 +1,156 @@
+package communix_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"communix"
+	"communix/internal/bytecode"
+	"communix/internal/sig"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// buildSig assembles a two-thread signature from four stacks.
+func buildSig(o1, i1, o2, i2 communix.Stack) *communix.Signature {
+	return sig.New(
+		sig.ThreadSpec{Outer: o1, Inner: i1},
+		sig.ThreadSpec{Outer: o2, Inner: i2},
+	)
+}
+
+func TestOfflineNodeRejectsOnlineOperations(t *testing.T) {
+	node, err := communix.NewNode(communix.NodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := node.SyncNow(); err == nil || !strings.Contains(err.Error(), "offline") {
+		t.Errorf("SyncNow offline = %v, want offline error", err)
+	}
+	if _, err := node.ValidateRepository(); err == nil {
+		t.Error("ValidateRepository without an app view should error")
+	}
+	if _, err := node.RecheckNesting(); err == nil {
+		t.Error("RecheckNesting without an app view should error")
+	}
+}
+
+func TestNodeRejectsCorruptPersistence(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "history.json")
+	if err := writeFile(bad, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := communix.NewNode(communix.NodeConfig{HistoryPath: bad}); err == nil {
+		t.Error("corrupt history should fail node construction")
+	}
+
+	badRepo := filepath.Join(dir, "repo.json")
+	if err := writeFile(badRepo, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := communix.NewNode(communix.NodeConfig{RepoPath: badRepo}); err == nil {
+		t.Error("corrupt repo should fail node construction")
+	}
+}
+
+func TestNodeMutexLifecycle(t *testing.T) {
+	node, err := communix.NewNode(communix.NodeConfig{Policy: communix.RecoverBreak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := node.NewMutex("m")
+	if err := mu.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mu.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+	if err := mu.Lock(); !errors.Is(err, communix.ErrClosed) {
+		t.Errorf("Lock after Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	node.Close()
+}
+
+func TestNodeRecheckNestingAfterClassLoad(t *testing.T) {
+	// Build an app where nesting proof requires a second class; the node
+	// API must surface the pending → accepted transition.
+	helperM := &bytecode.Method{Name: "helper", Code: []bytecode.Instr{
+		{Op: bytecode.OpMonitorEnter, Line: 20},
+		{Op: bytecode.OpMonitorExit, Line: 21},
+		{Op: bytecode.OpReturn, Line: 22},
+	}}
+	mainM := &bytecode.Method{Name: "m", Code: []bytecode.Instr{
+		{Op: bytecode.OpMonitorEnter, Line: 10},
+		{Op: bytecode.OpInvoke, Callee: bytecode.MethodRef{Class: "B", Method: "helper"}, Line: 11},
+		{Op: bytecode.OpMonitorExit, Line: 12},
+		{Op: bytecode.OpReturn, Line: 13},
+	}}
+	app, err := bytecode.NewApp("inc", []*bytecode.Class{
+		{Name: "A", Methods: []*bytecode.Method{mainM}},
+		{Name: "B", Methods: []*bytecode.Method{helperM}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := bytecode.NewView(app)
+	if err := view.Load("A"); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, auth := startServer(t)
+	_, tokA := auth.Issue()
+	_, tokB := auth.Issue()
+
+	// Seed the server with a depth-5 signature whose outer tops are the
+	// A.m:10 monitorenter (unprovable as nested until B loads).
+	mk := func(lines ...int) communix.Stack {
+		var s communix.Stack
+		for _, l := range lines {
+			s = append(s, app.Frame("A", "m", l))
+		}
+		return s
+	}
+	sig5 := buildSig(
+		mk(2, 4, 6, 8, 10), mk(2, 4, 6, 8, 11),
+		mk(1, 3, 5, 7, 10), mk(1, 3, 5, 7, 12),
+	)
+	uploadDirect(t, addr, tokA, sig5)
+
+	node, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: addr, Token: tokB, App: view, AppKey: "inc",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := node.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := node.ValidateRepository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PendingNesting != 1 {
+		t.Fatalf("report = %+v, want 1 pending (B unloaded)", rep)
+	}
+
+	if err := view.Load("B"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = node.RecheckNesting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 1 || node.History().Len() != 1 {
+		t.Errorf("after class load: report %+v, history %d", rep, node.History().Len())
+	}
+}

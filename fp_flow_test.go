@@ -1,0 +1,127 @@
+package communix_test
+
+import (
+	"testing"
+	"time"
+
+	"communix"
+	"communix/internal/dimmunix"
+	"communix/internal/sig"
+)
+
+// TestFalsePositiveWarningAndRemoval is the §III-C1 functionality-DoS
+// recovery story at the public API level: a (fake or overeager)
+// signature serializes threads without ever preventing a deadlock; the
+// false-positive detector warns; the user removes the signature and the
+// serialization stops.
+func TestFalsePositiveWarningAndRemoval(t *testing.T) {
+	mkStack := func(chain, site string) communix.Stack {
+		var s communix.Stack
+		for i := 0; i < 5; i++ {
+			s = append(s, communix.Frame{Class: "app/" + chain, Method: "f", Line: 10 + i})
+		}
+		return append(s, communix.Frame{Class: "app/Sites", Method: site, Line: 100})
+	}
+	fake := buildSig(
+		mkStack("A", "siteA"), mkStack("A", "innerA"),
+		mkStack("B", "siteB"), mkStack("B", "innerB"),
+	)
+	fake.Origin = sig.OriginRemote
+
+	warnings := make(chan communix.FalsePositiveWarning, 1)
+	node, err := communix.NewNode(communix.NodeConfig{
+		Policy: communix.RecoverBreak,
+		OnFalsePositive: func(w communix.FalsePositiveWarning) {
+			select {
+			case warnings <- w:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	node.History().Add(fake)
+
+	rt := node.Runtime()
+	lockA := rt.NewLock("A")
+	lockB := rt.NewLock("B")
+	outerA := mkStack("A", "siteA")
+	outerB := mkStack("B", "siteB")
+
+	// Thread 1 parks on lock A at the signature's first slot; thread 2
+	// repeatedly hits the second slot and yields (never a real cycle).
+	if err := rt.Acquire(1, lockA, outerA); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 105; i++ {
+		done := make(chan error, 1)
+		go func() {
+			err := rt.Acquire(2, lockB, outerB)
+			if err == nil {
+				_ = rt.Release(2, lockB)
+			}
+			done <- err
+		}()
+		// Wait for the yield, then release so thread 2 completes a round.
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.Stats().Yields <= uint64(i) && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		if err := rt.Release(1, lockA); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Acquire(1, lockA, outerA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = rt.Release(1, lockA)
+
+	var warned communix.FalsePositiveWarning
+	select {
+	case warned = <-warnings:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no false-positive warning after 105 fruitless instantiations")
+	}
+	if warned.SigID != fake.ID() {
+		t.Errorf("warned about %s, want %s", warned.SigID, fake.ID())
+	}
+	inst, tps, flagged := node.Runtime().SignatureStats(fake.ID())
+	if !flagged || tps != 0 || inst < 100 {
+		t.Errorf("signature stats = (%d, %d, %v)", inst, tps, flagged)
+	}
+
+	// The user decides to drop it (§III-C1: "the user can decide to keep
+	// S, if he/she notices no change" — here they notice the change).
+	if !node.History().Remove(warned.SigID) {
+		t.Fatal("removal failed")
+	}
+
+	// The flow no longer serializes.
+	before := rt.Stats().Yields
+	if err := rt.Acquire(1, lockA, outerA); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rt.Acquire(2, lockB, outerB) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("thread 2 still suspended after signature removal")
+	}
+	_ = rt.Release(2, lockB)
+	_ = rt.Release(1, lockA)
+	if rt.Stats().Yields != before {
+		t.Errorf("yields grew after removal: %d -> %d", before, rt.Stats().Yields)
+	}
+}
+
+// Interface sanity: the facade aliases stay wired to the internal types.
+var _ func(dimmunix.Deadlock) = func(communix.Deadlock) {}

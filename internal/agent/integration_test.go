@@ -1,0 +1,212 @@
+package agent
+
+import (
+	"encoding/json"
+	"testing"
+
+	"communix/internal/bytecode"
+	"communix/internal/dimmunix"
+	"communix/internal/repo"
+	"communix/internal/sig"
+)
+
+// Compile-time interface checks: the modelled application view satisfies
+// the agent's Application contract.
+var _ Application = (*bytecode.View)(nil)
+
+// appSig builds a signature from a generated application's lock paths,
+// stamping real class hashes — exactly what a remote plugin would upload.
+func appSig(t *testing.T, app *bytecode.App, p1, p2 bytecode.LockPath) *sig.Signature {
+	t.Helper()
+	stamp := func(cs sig.Stack) sig.Stack {
+		out := cs.Clone()
+		for i := range out {
+			out[i] = app.Frame(out[i].Class, out[i].Method, out[i].Line)
+		}
+		return out
+	}
+	s := sig.New(
+		sig.ThreadSpec{Outer: stamp(p1.Outer), Inner: stamp(p1.Inner)},
+		sig.ThreadSpec{Outer: stamp(p2.Outer), Inner: stamp(p2.Inner)},
+	)
+	return s
+}
+
+// nestedPaths returns two distinct nested, non-opaque lock paths.
+func nestedPaths(t *testing.T, app *bytecode.App) (bytecode.LockPath, bytecode.LockPath) {
+	t.Helper()
+	var out []bytecode.LockPath
+	seen := map[string]bool{}
+	for _, lp := range app.LockPaths() {
+		if lp.Nested && !lp.Opaque && !seen[lp.Outer.Top().Key()] {
+			seen[lp.Outer.Top().Key()] = true
+			out = append(out, lp)
+			if len(out) == 2 {
+				return out[0], out[1]
+			}
+		}
+	}
+	t.Fatal("generated app lacks two nested paths")
+	return bytecode.LockPath{}, bytecode.LockPath{}
+}
+
+func TestAgentOverGeneratedApplication(t *testing.T) {
+	profile := bytecode.Profile{
+		Name: "integration", LOC: 15000, SyncSites: 80, ExplicitOps: 6,
+		Analyzed: 60, Nested: 20, Seed: 99,
+	}
+	app, err := bytecode.Generate(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := bytecode.NewView(app)
+	view.LoadAll()
+
+	rp, err := repo.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := dimmunix.NewHistory()
+	a, err := New(Config{App: view, AppKey: app.Name, Repo: rp, History: history})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p1, p2 := nestedPaths(t, app)
+	valid := appSig(t, app, p1, p2)
+
+	// A signature from a "different version": corrupt one hash.
+	skewed := valid.Clone()
+	skewed.Threads[0].Outer[len(skewed.Threads[0].Outer)-1].Hash = "elsewhere"
+	skewed.Normalize()
+
+	// A signature at an opaque (unanalyzable) site: passes hashes, fails
+	// nesting, parks as pending.
+	var opaque *bytecode.LockPath
+	for _, lp := range app.LockPaths() {
+		if lp.Opaque {
+			lp := lp
+			opaque = &lp
+			break
+		}
+	}
+	if opaque == nil {
+		t.Fatal("no opaque path generated")
+	}
+	atOpaque := sig.New(
+		sig.ThreadSpec{Outer: stampStack(app, opaque.Outer), Inner: stampStack(app, opaque.Outer)},
+		sig.ThreadSpec{Outer: stampStack(app, p2.Outer), Inner: stampStack(app, p2.Inner)},
+	)
+
+	put := func(sigs ...*sig.Signature) {
+		raw := make([]json.RawMessage, len(sigs))
+		for i, s := range sigs {
+			data, err := sig.Encode(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[i] = data
+		}
+		if err := rp.Append(raw, rp.Next()+len(raw)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(valid, skewed, atOpaque)
+
+	rep, err := a.RunStartup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inspected != 3 {
+		t.Errorf("inspected = %d, want 3", rep.Inspected)
+	}
+	if rep.Accepted != 1 {
+		t.Errorf("accepted = %d, want 1 (the valid signature)", rep.Accepted)
+	}
+	if rep.RejectedHash != 1 {
+		t.Errorf("rejectedHash = %d, want 1 (version skew)", rep.RejectedHash)
+	}
+	if rep.PendingNesting != 1 {
+		t.Errorf("pending = %d, want 1 (opaque site)", rep.PendingNesting)
+	}
+	if history.Len() != 1 {
+		t.Errorf("history = %d, want 1", history.Len())
+	}
+}
+
+func stampStack(app *bytecode.App, cs sig.Stack) sig.Stack {
+	out := cs.Clone()
+	for i := range out {
+		out[i] = app.Frame(out[i].Class, out[i].Method, out[i].Line)
+	}
+	return out
+}
+
+func TestAgentIncrementalClassLoadingUncoversNesting(t *testing.T) {
+	// Build a two-class app where the nesting proof needs the second
+	// class; the signature must go pending, then be accepted after load.
+	helperM := &bytecode.Method{Name: "helper", Code: []bytecode.Instr{
+		{Op: bytecode.OpMonitorEnter, Line: 20},
+		{Op: bytecode.OpMonitorExit, Line: 21},
+		{Op: bytecode.OpReturn, Line: 22},
+	}}
+	mainM := &bytecode.Method{Name: "m", Code: []bytecode.Instr{
+		{Op: bytecode.OpMonitorEnter, Line: 10},
+		{Op: bytecode.OpInvoke, Callee: bytecode.MethodRef{Class: "B", Method: "helper"}, Line: 11},
+		{Op: bytecode.OpMonitorExit, Line: 12},
+		{Op: bytecode.OpReturn, Line: 13},
+	}}
+	app, err := bytecode.NewApp("inc", []*bytecode.Class{
+		{Name: "A", Methods: []*bytecode.Method{mainM}},
+		{Name: "B", Methods: []*bytecode.Method{helperM}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := bytecode.NewView(app)
+	if err := view.Load("A"); err != nil {
+		t.Fatal(err)
+	}
+
+	rp, _ := repo.Open("")
+	history := dimmunix.NewHistory()
+	a, err := New(Config{App: view, AppKey: "inc", Repo: rp, History: history, MinOuterDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkStack := func(line int) sig.Stack {
+		return sig.Stack{app.Frame("A", "m", line)}
+	}
+	s := sig.New(
+		sig.ThreadSpec{Outer: mkStack(10), Inner: mkStack(11)},
+		sig.ThreadSpec{Outer: mkStack(10), Inner: mkStack(12)},
+	)
+	data, err := sig.Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Append([]json.RawMessage{data}, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := a.RunStartup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PendingNesting != 1 {
+		t.Fatalf("report = %+v; with only A loaded the site is unproven", rep)
+	}
+
+	// Loading B uncovers the nesting; the agent's re-check accepts.
+	if err := view.Load("B"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = a.OnClassesLoaded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 1 || history.Len() != 1 {
+		t.Errorf("after class load: report = %+v, history = %d", rep, history.Len())
+	}
+}

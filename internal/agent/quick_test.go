@@ -1,0 +1,178 @@
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"communix/internal/dimmunix"
+	"communix/internal/sig"
+)
+
+// TestQuickValidSignaturesAlwaysInstalled: any signature whose hashes
+// match the app, whose outer stacks are deep enough, and whose outer tops
+// are nested sites must land in the history (added or merged), for
+// arbitrary stack contents.
+func TestQuickValidSignaturesAlwaysInstalled(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		h := newHarness(t)
+		depth := 5 + r.Intn(6)
+		s := validSig(h.app, fmt.Sprintf("t%d", trial), depth)
+		// Random benign mutations below the tops.
+		for ti := range s.Threads {
+			for fi := 0; fi < s.Threads[ti].Outer.Depth()-1; fi++ {
+				if r.Intn(2) == 0 {
+					s.Threads[ti].Outer[fi].Method = fmt.Sprintf("v%d_%d", trial, fi)
+				}
+			}
+		}
+		s.Normalize()
+		h.put(t, s)
+		rep, err := h.agent.RunStartup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Accepted != 1 {
+			t.Fatalf("trial %d: report %+v for a fully valid signature", trial, rep)
+		}
+		if h.history.Len() == 0 {
+			t.Fatalf("trial %d: history empty after acceptance", trial)
+		}
+	}
+}
+
+// TestQuickCorruptedTopsNeverInstalled: flipping any top-frame hash must
+// keep the signature out of the history, regardless of which stack was
+// hit.
+func TestQuickCorruptedTopsNeverInstalled(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 150; trial++ {
+		h := newHarness(t)
+		s := validSig(h.app, fmt.Sprintf("c%d", trial), 7)
+		ti := r.Intn(len(s.Threads))
+		if r.Intn(2) == 0 {
+			st := s.Threads[ti].Outer
+			st[st.Depth()-1].Hash = "corrupt"
+		} else {
+			st := s.Threads[ti].Inner
+			st[st.Depth()-1].Hash = "corrupt"
+		}
+		s.Normalize()
+		h.put(t, s)
+		rep, err := h.agent.RunStartup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Accepted != 0 || h.history.Len() != 0 {
+			t.Fatalf("trial %d: corrupted signature installed (report %+v)", trial, rep)
+		}
+		if rep.RejectedHash != 1 {
+			t.Fatalf("trial %d: report %+v, want hash rejection", trial, rep)
+		}
+	}
+}
+
+// TestQuickInspectionIsExhaustiveAndExactlyOnce: for any batch size, the
+// startup pass inspects every new signature exactly once and the verdict
+// counters partition the batch.
+func TestQuickInspectionPartitionsBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		h := newHarness(t)
+		n := 1 + r.Intn(30)
+		var batch []*sig.Signature
+		for i := 0; i < n; i++ {
+			s := validSig(h.app, fmt.Sprintf("p%d_%d", trial, i), 5+r.Intn(4))
+			switch r.Intn(4) {
+			case 0: // corrupt a top hash
+				s.Threads[0].Outer[s.Threads[0].Outer.Depth()-1].Hash = "x"
+			case 1: // too shallow after trimming
+				for fi := 0; fi < s.Threads[0].Outer.Depth()-2; fi++ {
+					s.Threads[0].Outer[fi].Hash = "old"
+				}
+			case 2: // unknown nesting
+				delete(h.app.nested, s.Threads[0].Outer.Top().Key())
+			}
+			s.Normalize()
+			batch = append(batch, s)
+		}
+		h.put(t, batch...)
+		rep, err := h.agent.RunStartup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Inspected != n {
+			t.Fatalf("trial %d: inspected %d, want %d", trial, rep.Inspected, n)
+		}
+		if sum := rep.Accepted + rep.RejectedHash + rep.RejectedDepth + rep.PendingNesting; sum != n {
+			t.Fatalf("trial %d: verdicts %+v do not partition %d", trial, rep, n)
+		}
+		// Second pass inspects nothing.
+		rep2, err := h.agent.RunStartup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep2.Inspected != 0 {
+			t.Fatalf("trial %d: re-inspection of %d signatures", trial, rep2.Inspected)
+		}
+	}
+}
+
+// TestAgentHistoryInteropWithRuntime: signatures installed by the agent
+// are immediately matched by a runtime sharing the history.
+func TestAgentHistoryInteropWithRuntime(t *testing.T) {
+	h := newHarness(t)
+	s := validSig(h.app, "rt", 6)
+	h.put(t, s)
+	if _, err := h.agent.RunStartup(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt := dimmunix.NewRuntime(dimmunix.Config{History: h.history, Policy: dimmunix.RecoverBreak})
+	defer rt.Close()
+	installed := h.history.All()[0]
+	la := rt.NewLock("a")
+	if err := rt.Acquire(1, la, installed.Threads[0].Outer); err != nil {
+		t.Fatal(err)
+	}
+	lb := rt.NewLock("b")
+	go func() {
+		if err := rt.Acquire(2, lb, installed.Threads[1].Outer); err == nil {
+			_ = rt.Release(2, lb)
+		}
+	}()
+	deadlineYields(t, rt, 1)
+	_ = rt.Release(1, la)
+}
+
+func deadlineYields(t *testing.T, rt *dimmunix.Runtime, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rt.Stats().Yields >= want {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("yields never reached %d", want)
+}
+
+// TestRepoCursorAcrossBatches: the per-app cursor advances batch by
+// batch.
+func TestRepoCursorAcrossBatches(t *testing.T) {
+	h := newHarness(t)
+	h.put(t, validSig(h.app, "b1", 6))
+	if _, err := h.agent.RunStartup(); err != nil {
+		t.Fatal(err)
+	}
+	h.put(t, validSig(h.app, "b2", 6), validSig(h.app, "b3", 6))
+	rep, err := h.agent.RunStartup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inspected != 2 {
+		t.Errorf("second batch inspected %d, want 2", rep.Inspected)
+	}
+}

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"communix/internal/bytecode"
+	"communix/internal/workload"
+)
+
+func TestFig2SmallSweep(t *testing.T) {
+	points, err := Fig2(Fig2Config{ThreadCounts: []int{50, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.ReqPerSec <= 0 || p.Requests != 2*p.Threads {
+			t.Errorf("point %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig2(&buf, points)
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("renderer output missing header")
+	}
+}
+
+func TestFig3SmallSweep(t *testing.T) {
+	points, err := Fig3(Fig3Config{ClientCounts: []int{2, 4}, SeqPerClient: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.PerClientReqPerSec <= 0 || p.BytesReturned <= 0 {
+			t.Errorf("point %+v", p)
+		}
+	}
+	// GET(0) reply volume grows superlinearly with clients — the paper's
+	// bottleneck.
+	if points[1].BytesReturned <= points[0].BytesReturned {
+		t.Error("GET byte volume should grow with client count")
+	}
+	var buf bytes.Buffer
+	WriteFig3(&buf, points)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Error("renderer output missing header")
+	}
+}
+
+func TestFig4SmallSweep(t *testing.T) {
+	points, err := Fig4(Fig4Config{
+		SigCounts: []int{5, 50}, Scale: 100, BaseWorkPerKLOC: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 apps × 2 counts × 4 modes.
+	if len(points) != 24 {
+		t.Fatalf("points = %d, want 24", len(points))
+	}
+	byKey := map[string]Fig4Point{}
+	for _, p := range points {
+		byKey[p.App+"/"+p.Mode.String()+"/"+itoa(p.NewSigs)] = p
+	}
+	for _, app := range []string{"jboss", "limewire", "vuze"} {
+		vanilla := byKey[app+"/Vanilla/50"]
+		agent := byKey[app+"/Communix agent/50"]
+		if agent.Elapsed <= vanilla.Elapsed {
+			t.Errorf("%s: agent (%v) should exceed vanilla (%v)", app, agent.Elapsed, vanilla.Elapsed)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig4(&buf, points)
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Error("renderer output missing header")
+	}
+}
+
+func itoa(n int) string {
+	if n == 5 {
+		return "5"
+	}
+	return "50"
+}
+
+func TestTable1ScaledDown(t *testing.T) {
+	rows, err := Table1(Table1Config{Scale: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.NestingCheck <= 0 || r.SyncSites == 0 || r.Analyzed == 0 {
+			t.Errorf("row %+v", r)
+		}
+		if r.Analyzed > r.SyncSites || r.Nested > r.Analyzed {
+			t.Errorf("row %+v violates invariants", r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("renderer output missing header")
+	}
+}
+
+func TestTable2ScaledDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table II workload in -short mode")
+	}
+	rows, err := Table2(Table2Config{Scale: 40, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	totalYields := uint64(0)
+	for _, r := range rows {
+		if r.Baseline <= 0 {
+			t.Errorf("row %+v: no baseline", r)
+		}
+		totalYields += r.Yields
+	}
+	// At this reduced scale some apps have too few covered sites for
+	// reliable per-row yields; across all five workloads the attack must
+	// still engage avoidance somewhere. (Per-row yields are exercised at
+	// default scale by the communix-bench tool and the root benchmarks.)
+	if totalYields == 0 {
+		t.Error("critical-path attack caused no yields in any workload")
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("renderer output missing header")
+	}
+}
+
+func TestProtectionSweep(t *testing.T) {
+	rows := Protection(ProtectionConfig{UserCounts: []int{1, 10}, Trials: 50})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].CommunixDays >= rows[0].CommunixDays {
+		t.Error("more users must shorten protection time")
+	}
+	var buf bytes.Buffer
+	WriteProtection(&buf, rows)
+	if !strings.Contains(buf.String(), "IV-C") {
+		t.Error("renderer output missing header")
+	}
+}
+
+func TestBenchSignaturesAreDistinctAndValid(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		s := benchSignature(i)
+		if err := s.Valid(); err != nil {
+			t.Fatalf("signature %d invalid: %v", i, err)
+		}
+		id := s.ID()
+		if seen[id] {
+			t.Fatalf("signature %d duplicates an earlier one", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMaliciousHistoriesDiffer(t *testing.T) {
+	// Guard against the Table II cells accidentally sharing histories.
+	// Scale 10 keeps enough hot nested sites that the critical-path pool
+	// does not fall back to cold sites.
+	app, err := bytecode.Generate(table2Benches()[0].profile.ScaledDown(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := workload.MaliciousSignatures(app, 5, workload.AttackCriticalPath, 1)
+	off := workload.MaliciousSignatures(app, 5, workload.AttackOffPath, 2)
+	if len(crit) == 0 || len(off) == 0 {
+		t.Fatal("factories returned nothing")
+	}
+	critTops := map[string]bool{}
+	for _, s := range crit {
+		for k := range s.TopFrames() {
+			critTops[k] = true
+		}
+	}
+	for _, s := range off {
+		for k := range s.TopFrames() {
+			if critTops[k] {
+				t.Fatalf("off-path signature shares site %s with critical-path set", k)
+			}
+		}
+	}
+}

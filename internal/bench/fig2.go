@@ -1,0 +1,148 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§IV). Each experiment is a pure function from a config to
+// result rows plus a text renderer, shared by the communix-bench binary
+// and the testing.B benchmarks in the repository root.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/server"
+	"communix/internal/sig"
+	"communix/internal/wire"
+)
+
+// DefaultKey is the predefined AES-128 key benchmarks mint tokens under.
+var DefaultKey = []byte("communix-bench!!")
+
+// Fig2Config parameterizes the server-throughput experiment (Figure 2):
+// k simultaneous goroutines each invoke the request-processing routines
+// directly with one "ADD(sig),GET(0)" sequence.
+type Fig2Config struct {
+	// ThreadCounts are the x-axis points; default is the paper's
+	// 1,5,10,20,30,40,50,75,100 (thousands).
+	ThreadCounts []int
+	// Scale divides every thread count (quick runs); 0 or 1 = full.
+	Scale int
+}
+
+// DefaultFig2ThreadCounts mirrors the paper's x axis (in threads).
+func DefaultFig2ThreadCounts() []int {
+	return []int{1000, 5000, 10000, 20000, 30000, 40000, 50000, 75000, 100000}
+}
+
+// Fig2Point is one measurement.
+type Fig2Point struct {
+	Threads   int
+	Requests  int
+	Elapsed   time.Duration
+	ReqPerSec float64
+}
+
+// Fig2 runs the sweep. Each point uses a fresh server; requests are
+// pre-built so only request processing is timed (the paper measures "the
+// efficiency of the server's computations").
+func Fig2(cfg Fig2Config) ([]Fig2Point, error) {
+	counts := cfg.ThreadCounts
+	if len(counts) == 0 {
+		counts = DefaultFig2ThreadCounts()
+	}
+	scale := cfg.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	out := make([]Fig2Point, 0, len(counts))
+	for _, raw := range counts {
+		k := raw / scale
+		if k < 1 {
+			k = 1
+		}
+		p, err := fig2Point(k)
+		if err != nil {
+			return nil, err
+		}
+		p.Threads = raw
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func fig2Point(k int) (Fig2Point, error) {
+	srv, err := server.New(server.Config{Key: DefaultKey, MaxPerDay: 1 << 30})
+	if err != nil {
+		return Fig2Point{}, err
+	}
+	auth, err := ids.NewAuthority(DefaultKey)
+	if err != nil {
+		return Fig2Point{}, err
+	}
+	adds := make([]wire.Request, k)
+	for i := 0; i < k; i++ {
+		_, token := auth.Issue()
+		req, err := wire.NewAdd(token, benchSignature(i))
+		if err != nil {
+			return Fig2Point{}, err
+		}
+		adds[i] = req
+	}
+	get := wire.NewGet(0)
+
+	start := make(chan struct{})
+	done := make(chan struct{})
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			<-start
+			srv.Process(adds[i])
+			srv.Process(get)
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	for i := 0; i < k; i++ {
+		<-done
+	}
+	elapsed := time.Since(t0)
+	reqs := 2 * k
+	return Fig2Point{
+		Requests:  reqs,
+		Elapsed:   elapsed,
+		ReqPerSec: float64(reqs) / elapsed.Seconds(),
+	}, nil
+}
+
+// benchSignature builds the i-th distinct, validation-passing random
+// signature: unique top frames per i (no adjacency collisions), depth-6
+// stacks, hashes present.
+func benchSignature(i int) *sig.Signature {
+	mk := func(tag string) sig.ThreadSpec {
+		stack := func(kind string) sig.Stack {
+			s := make(sig.Stack, 0, 6)
+			for d := 0; d < 5; d++ {
+				s = append(s, sig.Frame{
+					Class: "bench/Lib", Method: fmt.Sprintf("f%d", d), Line: 10 + d, Hash: "h-lib",
+				})
+			}
+			return append(s, sig.Frame{
+				Class:  fmt.Sprintf("bench/S%d", i),
+				Method: tag + kind,
+				Line:   1 + i%1000,
+				Hash:   fmt.Sprintf("h-%d", i),
+			})
+		}
+		return sig.ThreadSpec{Outer: stack("o"), Inner: stack("i")}
+	}
+	return sig.New(mk("t1"), mk("t2"))
+}
+
+// WriteFig2 renders the figure as text.
+func WriteFig2(w io.Writer, points []Fig2Point) {
+	fmt.Fprintln(w, "Figure 2: Communix server throughput (direct request processing)")
+	fmt.Fprintln(w, "  threads    requests   elapsed        req/s")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %7d  %10d   %-12v %9.0f\n", p.Threads, p.Requests, p.Elapsed.Round(time.Millisecond), p.ReqPerSec)
+	}
+}

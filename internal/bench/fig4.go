@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"communix/internal/bytecode"
+	"communix/internal/workload"
+)
+
+// Fig4Config parameterizes the agent startup-cost experiment (Figure 4):
+// application startup+shutdown time for the four configurations, as a
+// function of the number of new signatures in the local repository.
+type Fig4Config struct {
+	// Profiles are the applications (default: the Table I trio).
+	Profiles []bytecode.Profile
+	// SigCounts is the x axis (paper: 10, 100, 1000, 10000).
+	SigCounts []int
+	// Scale divides application sizes for quick runs.
+	Scale int
+	// BaseWorkPerKLOC calibrates the simulated application's own startup
+	// cost.
+	BaseWorkPerKLOC int
+}
+
+// DefaultFig4SigCounts mirrors the paper's x axis.
+func DefaultFig4SigCounts() []int { return []int{10, 100, 1000, 10000} }
+
+// Fig4Point is one measurement.
+type Fig4Point struct {
+	App      string
+	Mode     workload.StartupMode
+	NewSigs  int
+	Elapsed  time.Duration
+	Accepted int
+}
+
+// Fig4 runs the sweep: apps × modes × signature counts.
+func Fig4(cfg Fig4Config) ([]Fig4Point, error) {
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = bytecode.TableIProfiles()
+	}
+	counts := cfg.SigCounts
+	if len(counts) == 0 {
+		counts = DefaultFig4SigCounts()
+	}
+	scale := cfg.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	var out []Fig4Point
+	for _, p := range profiles {
+		app, err := bytecode.Generate(p.ScaledDown(scale))
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range counts {
+			for _, mode := range workload.StartupModes() {
+				res, err := workload.RunStartup(workload.StartupConfig{
+					App: app, Mode: mode, NewSigs: n,
+					BaseWorkPerKLOC: cfg.BaseWorkPerKLOC,
+					Seed:            p.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s/%s: %w", p.Name, mode, err)
+				}
+				out = append(out, Fig4Point{
+					App: p.Name, Mode: mode, NewSigs: n,
+					Elapsed:  res.Elapsed,
+					Accepted: res.Report.Accepted + res.Report.Merged,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteFig4 renders the figure as text, one block per application.
+func WriteFig4(w io.Writer, points []Fig4Point) {
+	fmt.Fprintln(w, "Figure 4: client-side validation + generalization cost at startup")
+	var app string
+	for _, p := range points {
+		if p.App != app {
+			app = p.App
+			fmt.Fprintf(w, " %s\n", app)
+			fmt.Fprintln(w, "   new sigs   mode                    startup+shutdown   accepted")
+		}
+		fmt.Fprintf(w, "   %8d   %-22s  %-16v %9d\n",
+			p.NewSigs, p.Mode, p.Elapsed.Round(time.Microsecond), p.Accepted)
+	}
+}

@@ -1,0 +1,519 @@
+package bytecode
+
+import (
+	"fmt"
+	"math/rand"
+
+	"communix/internal/sig"
+)
+
+// Profile parameterizes synthetic application generation. Profiles for the
+// paper's evaluated applications (Table I) are in profiles.go; the
+// generator produces an App whose Analyze results match the profile's
+// published statistics exactly, with known ground truth per site.
+type Profile struct {
+	Name        string
+	LOC         int
+	SyncSites   int // total synchronized blocks + methods
+	ExplicitOps int // explicit lock/unlock call sites
+	Analyzed    int // sites in methods whose CFG is retrievable
+	Nested      int // analyzed sites that are nested
+
+	// TransitiveFraction is the fraction of nested constructs whose
+	// nesting goes through a call chain rather than a lexically inner
+	// monitorenter. Default 0.4.
+	TransitiveFraction float64
+	// ChainDepth is the depth of generated call chains from an entry
+	// point to a lock statement; outer stacks have this depth. The paper
+	// observes real outer stacks usually deeper than 10. Default 10.
+	ChainDepth int
+	// PathVariants is how many distinct call paths reach each lock
+	// construct (distinct deadlock manifestations). Default 2.
+	PathVariants int
+	// SharedTail is how many dispatcher frames (not counting the lock
+	// statement) the path variants share at the bottom of their chains —
+	// different entry points converging into common helpers. 0 means
+	// fully disjoint chains; values are clamped to ChainDepth-2. With a
+	// shared tail of k, same-bug manifestations have a longest common
+	// outer suffix of k+1 frames, which is what lets generalization
+	// merge them under the depth-≥5 floor (§III-D).
+	SharedTail int
+	// Classes is the number of application classes holding lock sites.
+	// Default max(8, SyncSites/12).
+	Classes int
+	// HotFraction is the fraction of lock constructs on the critical path
+	// (exercised continuously by the Table II workloads). Default 0.3.
+	HotFraction float64
+	// Seed drives all randomized placement; generation is deterministic
+	// per (Profile values, Seed).
+	Seed int64
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.TransitiveFraction == 0 {
+		p.TransitiveFraction = 0.4
+	}
+	if p.ChainDepth == 0 {
+		p.ChainDepth = 10
+	}
+	if p.PathVariants == 0 {
+		p.PathVariants = 2
+	}
+	if p.Classes == 0 {
+		p.Classes = p.SyncSites / 12
+		if p.Classes < 8 {
+			p.Classes = 8
+		}
+	}
+	if p.HotFraction == 0 {
+		p.HotFraction = 0.3
+	}
+	return p
+}
+
+// Validate checks that the profile's counts are mutually consistent.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("profile: empty name")
+	case p.SyncSites <= 0:
+		return fmt.Errorf("profile %s: SyncSites must be positive", p.Name)
+	case p.Analyzed > p.SyncSites:
+		return fmt.Errorf("profile %s: Analyzed %d exceeds SyncSites %d", p.Name, p.Analyzed, p.SyncSites)
+	case p.Nested*2 > p.Analyzed:
+		// Every nested construct contributes one nested and one non-nested
+		// analyzed site (the inner block or the sync helper).
+		return fmt.Errorf("profile %s: Nested %d needs at least %d analyzed sites", p.Name, p.Nested, p.Nested*2)
+	case p.ExplicitOps < 0 || p.LOC < 0 || p.Nested < 0:
+		return fmt.Errorf("profile %s: negative counts", p.Name)
+	}
+	return nil
+}
+
+// builder accumulates generation state.
+type builder struct {
+	p       Profile
+	rng     *rand.Rand
+	classes []*Class
+	// per-class next line number
+	nextLine map[string]int
+	// flows holds entry/dispatcher methods, chunked into classes.
+	flowClass   *Class
+	flowCount   int
+	flowClasses []*Class
+	paths       []LockPath
+}
+
+// Generate builds a synthetic application matching the profile.
+func Generate(p Profile) (*App, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{
+		p:        p,
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		nextLine: make(map[string]int),
+	}
+
+	for i := 0; i < p.Classes; i++ {
+		b.classes = append(b.classes, &Class{Name: fmt.Sprintf("app/%s/C%d", p.Name, i)})
+	}
+
+	// Construct inventory (see DESIGN.md "System inventory"):
+	//   nested constructs: Nested total, split direct vs transitive; each
+	//     also yields exactly one non-nested analyzed site.
+	//   plain analyzed sites: Analyzed - 2*Nested, split blocks/methods.
+	//   opaque sites: SyncSites - Analyzed.
+	transitive := int(float64(p.Nested)*p.TransitiveFraction + 0.5)
+	direct := p.Nested - transitive
+	plain := p.Analyzed - 2*p.Nested
+	opaque := p.SyncSites - p.Analyzed
+
+	hot := func() bool { return b.rng.Float64() < p.HotFraction }
+
+	idx := 0
+	for i := 0; i < direct; i++ {
+		b.addDirectNested(idx, hot())
+		idx++
+	}
+	for i := 0; i < transitive; i++ {
+		b.addTransitiveNested(idx, hot())
+		idx++
+	}
+	for i := 0; i < plain; i++ {
+		// Alternate plain blocks, sync methods, and call-bearing blocks.
+		switch i % 3 {
+		case 0:
+			b.addPlainBlock(idx, hot())
+		case 1:
+			b.addSyncMethod(idx, hot())
+		default:
+			b.addCallingBlock(idx, hot())
+		}
+		idx++
+	}
+	for i := 0; i < opaque; i++ {
+		b.addOpaqueSite(idx, hot())
+		idx++
+	}
+
+	b.addExplicitOps()
+	b.addFiller()
+	b.assignLOC()
+
+	classes := append(b.classes, b.flowClasses...)
+	app, err := NewApp(p.Name, classes)
+	if err != nil {
+		return nil, fmt.Errorf("generate %s: %w", p.Name, err)
+	}
+	app.paths = b.paths
+	return app, nil
+}
+
+// pickClass returns a site-holding class round-robin with jitter.
+func (b *builder) pickClass(idx int) *Class {
+	return b.classes[(idx+b.rng.Intn(3))%len(b.classes)]
+}
+
+// line allocates the next line number in class c, advancing by a small
+// random stride so methods occupy plausible ranges.
+func (b *builder) line(c *Class) int {
+	n := b.nextLine[c.Name]
+	n += 1 + b.rng.Intn(4)
+	b.nextLine[c.Name] = n
+	return n
+}
+
+// addMethod appends a method to class c.
+func (b *builder) addMethod(c *Class, m *Method) *Method {
+	m.Class = c.Name
+	c.Methods = append(c.Methods, m)
+	return m
+}
+
+// work emits k work instructions at fresh lines.
+func (b *builder) work(c *Class, code []Instr, k int) []Instr {
+	for i := 0; i < k; i++ {
+		code = append(code, Instr{Op: OpWork, Line: b.line(c)})
+	}
+	return code
+}
+
+// bodyWork is how many filler instructions go inside each sync block,
+// scaled with application size so the analysis walk cost tracks LOC.
+func (b *builder) bodyWork() int {
+	if b.p.SyncSites == 0 {
+		return 2
+	}
+	w := b.p.LOC / (b.p.SyncSites * 40)
+	if w < 2 {
+		w = 2
+	}
+	if w > 24 {
+		w = 24
+	}
+	return w
+}
+
+// addDirectNested emits a method with a lexically nested pair of
+// synchronized blocks: the outer site is nested, the inner is not.
+func (b *builder) addDirectNested(idx int, hot bool) {
+	c := b.pickClass(idx)
+	m := &Method{Name: fmt.Sprintf("nestedDirect%d", idx), StartLine: b.line(c)}
+	var code []Instr
+	code = b.work(c, code, 1)
+	outerLine := b.line(c)
+	code = append(code, Instr{Op: OpMonitorEnter, Line: outerLine})
+	code = b.work(c, code, b.bodyWork())
+	innerLine := b.line(c)
+	code = append(code, Instr{Op: OpMonitorEnter, Line: innerLine})
+	code = b.work(c, code, 1)
+	code = append(code, Instr{Op: OpMonitorExit, Line: b.line(c)})
+	code = append(code, Instr{Op: OpMonitorExit, Line: b.line(c)})
+	code = append(code, Instr{Op: OpReturn, Line: b.line(c)})
+	m.Code = code
+	b.addMethod(c, m)
+	b.emitPaths(c.Name, m.Name, outerLine, sig.Frame{Class: c.Name, Method: m.Name, Line: innerLine}, true, false, hot)
+}
+
+// addTransitiveNested emits a block whose nesting goes through a call to a
+// helper that itself synchronizes; the helper's site is non-nested.
+func (b *builder) addTransitiveNested(idx int, hot bool) {
+	c := b.pickClass(idx)
+	helper := &Method{Name: fmt.Sprintf("syncHelper%d", idx), StartLine: b.line(c)}
+	var hcode []Instr
+	hcode = b.work(c, hcode, 1)
+	helperLine := b.line(c)
+	hcode = append(hcode, Instr{Op: OpMonitorEnter, Line: helperLine})
+	hcode = b.work(c, hcode, 1)
+	hcode = append(hcode, Instr{Op: OpMonitorExit, Line: b.line(c)})
+	hcode = append(hcode, Instr{Op: OpReturn, Line: b.line(c)})
+	helper.Code = hcode
+	b.addMethod(c, helper)
+
+	m := &Method{Name: fmt.Sprintf("nestedVia%d", idx), StartLine: b.line(c)}
+	var code []Instr
+	outerLine := b.line(c)
+	code = append(code, Instr{Op: OpMonitorEnter, Line: outerLine})
+	code = b.work(c, code, b.bodyWork()/2)
+	callLine := b.line(c)
+	code = append(code, Instr{Op: OpInvoke, Callee: helper.Ref(), Line: callLine})
+	code = append(code, Instr{Op: OpMonitorExit, Line: b.line(c)})
+	code = append(code, Instr{Op: OpReturn, Line: b.line(c)})
+	m.Code = code
+	b.addMethod(c, m)
+	// The inner lock statement is inside the helper, one call deeper.
+	inner := sig.Frame{Class: c.Name, Method: helper.Name, Line: helperLine}
+	b.emitPathsVia(c.Name, m.Name, outerLine, callLine, inner, hot)
+}
+
+// addPlainBlock emits a non-nested synchronized block with branchy body.
+func (b *builder) addPlainBlock(idx int, hot bool) {
+	c := b.pickClass(idx)
+	m := &Method{Name: fmt.Sprintf("plain%d", idx), StartLine: b.line(c)}
+	enterLine := b.line(c)
+	w := b.bodyWork()
+	// Layout: enter, branch over first half of work, work..., exit, return.
+	code := []Instr{{Op: OpMonitorEnter, Line: enterLine}}
+	branchPC := len(code)
+	code = append(code, Instr{Op: OpBranch, Line: b.line(c)}) // target patched below
+	code = b.work(c, code, w)
+	code[branchPC].Arg = len(code) // jump past the work
+	code = append(code, Instr{Op: OpMonitorExit, Line: b.line(c)})
+	code = append(code, Instr{Op: OpReturn, Line: b.line(c)})
+	m.Code = code
+	b.addMethod(c, m)
+	b.emitPaths(c.Name, m.Name, enterLine, sig.Frame{}, false, false, hot)
+}
+
+// addCallingBlock emits a non-nested block that calls a lock-free helper,
+// exercising the call-graph branch of the analysis.
+func (b *builder) addCallingBlock(idx int, hot bool) {
+	c := b.pickClass(idx)
+	pure := &Method{Name: fmt.Sprintf("pure%d", idx), StartLine: b.line(c)}
+	pure.Code = append(b.work(c, nil, 2), Instr{Op: OpReturn, Line: b.line(c)})
+	b.addMethod(c, pure)
+
+	m := &Method{Name: fmt.Sprintf("calling%d", idx), StartLine: b.line(c)}
+	enterLine := b.line(c)
+	code := []Instr{{Op: OpMonitorEnter, Line: enterLine}}
+	code = append(code, Instr{Op: OpInvoke, Callee: pure.Ref(), Line: b.line(c)})
+	code = b.work(c, code, 1)
+	code = append(code, Instr{Op: OpMonitorExit, Line: b.line(c)})
+	code = append(code, Instr{Op: OpReturn, Line: b.line(c)})
+	m.Code = code
+	b.addMethod(c, m)
+	b.emitPaths(c.Name, m.Name, enterLine, sig.Frame{}, false, false, hot)
+}
+
+// addSyncMethod emits a synchronized method with a plain body.
+func (b *builder) addSyncMethod(idx int, hot bool) {
+	c := b.pickClass(idx)
+	m := &Method{
+		Name: fmt.Sprintf("syncMethod%d", idx), Synchronized: true,
+		StartLine: b.line(c),
+	}
+	m.Code = append(b.work(c, nil, b.bodyWork()), Instr{Op: OpReturn, Line: b.line(c)})
+	b.addMethod(c, m)
+	b.emitPaths(c.Name, m.Name, m.StartLine, sig.Frame{}, false, false, hot)
+}
+
+// addOpaqueSite emits a synchronized block inside a method whose CFG the
+// static framework cannot retrieve. The site executes at runtime but is
+// not analyzable; signatures ending here fail the nesting check.
+func (b *builder) addOpaqueSite(idx int, hot bool) {
+	c := b.pickClass(idx)
+	m := &Method{Name: fmt.Sprintf("opaque%d", idx), Opaque: true, StartLine: b.line(c)}
+	enterLine := b.line(c)
+	code := []Instr{{Op: OpMonitorEnter, Line: enterLine}}
+	code = b.work(c, code, 1)
+	code = append(code, Instr{Op: OpMonitorExit, Line: b.line(c)})
+	code = append(code, Instr{Op: OpReturn, Line: b.line(c)})
+	m.Code = code
+	b.addMethod(c, m)
+	b.emitPaths(c.Name, m.Name, enterLine, sig.Frame{}, false, true, hot)
+}
+
+// addExplicitOps emits methods containing exactly p.ExplicitOps explicit
+// lock/unlock call sites (counted, never analyzed — §III-C1).
+func (b *builder) addExplicitOps() {
+	remaining := b.p.ExplicitOps
+	for remaining > 0 {
+		c := b.classes[b.rng.Intn(len(b.classes))]
+		m := &Method{Name: fmt.Sprintf("explicit%d", remaining), StartLine: b.line(c)}
+		var code []Instr
+		n := 8
+		if n > remaining {
+			n = remaining
+		}
+		for i := 0; i < n; i++ {
+			op := OpExplicitLock
+			if i%2 == 1 {
+				op = OpExplicitUnlock
+			}
+			code = append(code, Instr{Op: op, Line: b.line(c)})
+			code = b.work(c, code, 1)
+		}
+		code = append(code, Instr{Op: OpReturn, Line: b.line(c)})
+		m.Code = code
+		b.addMethod(c, m)
+		remaining -= n
+	}
+}
+
+// addFiller pads classes with lock-free methods so that instruction volume
+// scales with LOC, giving the analysis a workload proportional to
+// application size (as Table I's per-app timing differences reflect).
+func (b *builder) addFiller() {
+	instrBudget := b.p.LOC / 50
+	i := 0
+	for instrBudget > 0 {
+		c := b.classes[i%len(b.classes)]
+		m := &Method{Name: fmt.Sprintf("filler%d", i), StartLine: b.line(c)}
+		n := 30
+		if n > instrBudget {
+			n = instrBudget
+		}
+		m.Code = append(b.work(c, nil, n), Instr{Op: OpReturn, Line: b.line(c)})
+		b.addMethod(c, m)
+		instrBudget -= n
+		i++
+	}
+}
+
+// assignLOC distributes the profile's LOC across classes.
+func (b *builder) assignLOC() {
+	all := append(append([]*Class{}, b.classes...), b.flowClasses...)
+	if len(all) == 0 {
+		return
+	}
+	per := b.p.LOC / len(all)
+	rem := b.p.LOC - per*len(all)
+	for i, c := range all {
+		c.LOC = per
+		if i == 0 {
+			c.LOC += rem
+		}
+	}
+}
+
+// flowMethodsPerClass bounds how many dispatcher methods share one class.
+const flowMethodsPerClass = 200
+
+// newFlowMethod allocates a dispatcher method in the current flows class.
+func (b *builder) newFlowMethod(name string) (*Class, *Method) {
+	if b.flowClass == nil || len(b.flowClass.Methods) >= flowMethodsPerClass {
+		b.flowClass = &Class{Name: fmt.Sprintf("app/%s/Flows%d", b.p.Name, len(b.flowClasses))}
+		b.flowClasses = append(b.flowClasses, b.flowClass)
+	}
+	c := b.flowClass
+	m := &Method{Name: name, Class: c.Name, StartLine: b.line(c)}
+	c.Methods = append(c.Methods, m)
+	b.flowCount++
+	return c, m
+}
+
+// emitPaths builds PathVariants call chains reaching the site at
+// (class, method, enterLine). For directly nested constructs, innerTop is
+// the inner lock statement within the same method.
+func (b *builder) emitPaths(class, method string, enterLine int, innerTop sig.Frame, nested, opaque, hot bool) {
+	for _, chain := range b.buildChains(method, MethodRef{Class: class, Method: method}) {
+		outer := append(chain, sig.Frame{Class: class, Method: method, Line: enterLine})
+		lp := LockPath{Outer: outer, Nested: nested, Opaque: opaque, Hot: hot}
+		if nested {
+			inner := append(outer[:len(outer)-1].Clone(), innerTop)
+			lp.Inner = inner
+		}
+		b.paths = append(b.paths, lp)
+	}
+}
+
+// emitPathsVia is emitPaths for transitively nested constructs: the inner
+// statement sits one call deeper, in the helper.
+func (b *builder) emitPathsVia(class, method string, enterLine, callLine int, innerTop sig.Frame, hot bool) {
+	for _, chain := range b.buildChains(method, MethodRef{Class: class, Method: method}) {
+		outer := append(chain, sig.Frame{Class: class, Method: method, Line: enterLine})
+		inner := append(outer[:len(outer)-1].Clone(),
+			sig.Frame{Class: class, Method: method, Line: callLine},
+			innerTop)
+		b.paths = append(b.paths, LockPath{Outer: outer, Inner: inner, Nested: true, Hot: hot})
+	}
+}
+
+// chainLink is one dispatcher method with its call-site frame.
+type chainLink struct {
+	c     *Class
+	m     *Method
+	frame sig.Frame
+}
+
+// buildChains materializes PathVariants call chains of ChainDepth-1
+// dispatcher frames each, all ending in an invoke of target. The last
+// SharedTail links are shared between variants (distinct entry paths
+// converging into common helpers); heads are variant-specific.
+func (b *builder) buildChains(tag string, target MethodRef) []sig.Stack {
+	depth := b.p.ChainDepth - 1
+	if depth < 1 {
+		depth = 1
+	}
+	shared := b.p.SharedTail
+	if shared > depth-1 {
+		shared = depth - 1
+	}
+	if shared < 0 {
+		shared = 0
+	}
+
+	// Shared tail: links[depth-shared .. depth-1], wired into target.
+	var tail []chainLink
+	if shared > 0 {
+		tail = b.buildLinkRun(fmt.Sprintf("%s_tail", tag), shared, target)
+	}
+	tailEntry := target
+	if len(tail) > 0 {
+		tailEntry = tail[0].m.Ref()
+	}
+
+	chains := make([]sig.Stack, 0, b.p.PathVariants)
+	for v := 0; v < b.p.PathVariants; v++ {
+		head := b.buildLinkRun(fmt.Sprintf("%s_v%d", tag, v), depth-shared, tailEntry)
+		frames := make(sig.Stack, 0, depth)
+		for _, l := range head {
+			frames = append(frames, l.frame)
+		}
+		for _, l := range tail {
+			frames = append(frames, l.frame)
+		}
+		chains = append(chains, frames)
+	}
+	return chains
+}
+
+// buildLinkRun creates n dispatcher methods calling each other in
+// sequence, the last invoking target.
+func (b *builder) buildLinkRun(tag string, n int, target MethodRef) []chainLink {
+	links := make([]chainLink, n)
+	for i := 0; i < n; i++ {
+		c, m := b.newFlowMethod(fmt.Sprintf("flow_%s_%d", tag, i))
+		links[i] = chainLink{c: c, m: m}
+	}
+	for i := 0; i < n; i++ {
+		callee := target
+		if i+1 < n {
+			callee = links[i+1].m.Ref()
+		}
+		callLine := b.line(links[i].c)
+		links[i].m.Code = []Instr{
+			{Op: OpWork, Line: links[i].m.StartLine},
+			{Op: OpInvoke, Callee: callee, Line: callLine},
+			{Op: OpReturn, Line: callLine + 1},
+		}
+		links[i].frame = sig.Frame{
+			Class:  links[i].c.Name,
+			Method: links[i].m.Name,
+			Line:   callLine,
+		}
+	}
+	return links
+}

@@ -1,0 +1,245 @@
+package bytecode
+
+import (
+	"testing"
+
+	"communix/internal/sig"
+)
+
+// smallProfile is cheap enough for unit tests while exercising every
+// construct kind.
+func smallProfile() Profile {
+	return Profile{
+		Name: "small", LOC: 20000, SyncSites: 120, ExplicitOps: 9,
+		Analyzed: 80, Nested: 25, Seed: 42,
+	}
+}
+
+func TestGenerateMatchesProfileExactly(t *testing.T) {
+	for _, p := range append(
+		[]Profile{smallProfile()},
+		ProfileJBoss.ScaledDown(10), ProfileLimewire.ScaledDown(10), ProfileVuze.ScaledDown(10),
+	) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			app, err := Generate(p)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			st := Analyze(app).Stats()
+			if st.SyncSites != p.SyncSites {
+				t.Errorf("SyncSites = %d, want %d", st.SyncSites, p.SyncSites)
+			}
+			if st.Analyzed != p.Analyzed {
+				t.Errorf("Analyzed = %d, want %d", st.Analyzed, p.Analyzed)
+			}
+			if st.Nested != p.Nested {
+				t.Errorf("Nested = %d, want %d", st.Nested, p.Nested)
+			}
+			if st.ExplicitOps != p.ExplicitOps {
+				t.Errorf("ExplicitOps = %d, want %d", st.ExplicitOps, p.ExplicitOps)
+			}
+			if st.LOC != p.LOC {
+				t.Errorf("LOC = %d, want %d", st.LOC, p.LOC)
+			}
+		})
+	}
+}
+
+func TestGenerateFullTableIProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size app generation in -short mode")
+	}
+	for _, p := range TableIProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			app, err := Generate(p)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			st := Analyze(app).Stats()
+			if st.SyncSites != p.SyncSites || st.Analyzed != p.Analyzed ||
+				st.Nested != p.Nested || st.ExplicitOps != p.ExplicitOps {
+				t.Errorf("stats %+v do not match profile %+v", st, p)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := smallProfile()
+	a1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := a1.UnitHashes(), a2.UnitHashes()
+	if len(h1) != len(h2) {
+		t.Fatalf("class counts differ: %d vs %d", len(h1), len(h2))
+	}
+	for name, h := range h1 {
+		if h2[name] != h {
+			t.Fatalf("class %s hash differs between runs", name)
+		}
+	}
+	p.Seed = 43
+	a3, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a3.UnitHashes()) == 0 {
+		t.Fatal("no classes generated")
+	}
+	same := true
+	h3 := a3.UnitHashes()
+	for name, h := range h1 {
+		if h3[name] != h {
+			same = false
+			break
+		}
+	}
+	if same && len(h1) == len(h3) {
+		t.Error("different seeds should produce different apps")
+	}
+}
+
+func TestGenerateLockPaths(t *testing.T) {
+	p := smallProfile()
+	app, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := app.LockPaths()
+	if len(paths) == 0 {
+		t.Fatal("no lock paths generated")
+	}
+
+	nestedSites := Analyze(app).NestedSiteKeys()
+	var sawNested, sawOpaque, sawHot int
+	for i, lp := range paths {
+		if lp.Outer.Depth() != p.withDefaults().ChainDepth {
+			t.Fatalf("path %d outer depth = %d, want %d", i, lp.Outer.Depth(), p.withDefaults().ChainDepth)
+		}
+		if err := lp.Outer.Valid(); err != nil {
+			t.Fatalf("path %d outer invalid: %v", i, err)
+		}
+		if lp.Nested {
+			sawNested++
+			if lp.Inner == nil {
+				t.Fatalf("path %d nested without inner stack", i)
+			}
+			if err := lp.Inner.Valid(); err != nil {
+				t.Fatalf("path %d inner invalid: %v", i, err)
+			}
+			// The outer lock statement of a nested construct must be in the
+			// analysis's nested set (unless the method is opaque).
+			if !lp.Opaque {
+				if _, ok := nestedSites[lp.Outer.Top().Key()]; !ok {
+					t.Errorf("path %d: nested outer top %s not in nested-site set", i, lp.Outer.Top().Key())
+				}
+			}
+			// Inner stack shares the outer stack's prefix.
+			if !lp.Inner[:len(lp.Outer)-1].EqualSites(lp.Outer[:len(lp.Outer)-1]) {
+				t.Errorf("path %d: inner stack does not extend outer prefix", i)
+			}
+		}
+		if lp.Opaque {
+			sawOpaque++
+			if _, ok := nestedSites[lp.Outer.Top().Key()]; ok {
+				t.Errorf("path %d: opaque site must not be in nested set", i)
+			}
+		}
+		if lp.Hot {
+			sawHot++
+		}
+	}
+	if sawNested == 0 || sawOpaque == 0 || sawHot == 0 {
+		t.Errorf("want a mix of path kinds, got nested=%d opaque=%d hot=%d", sawNested, sawOpaque, sawHot)
+	}
+	// PathVariants distinct stacks per construct: total paths = variants ×
+	// constructs; constructs = nested + plain + opaque.
+	constructs := p.Nested + (p.Analyzed - 2*p.Nested) + (p.SyncSites - p.Analyzed)
+	if want := constructs * 2; len(paths) != want {
+		t.Errorf("paths = %d, want %d", len(paths), want)
+	}
+}
+
+func TestGeneratePathVariantsAreDistinctManifestations(t *testing.T) {
+	app, err := Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := app.LockPaths()
+	// Group by outer top (the lock statement); variants of one construct
+	// share the top frame but differ below it.
+	byTop := make(map[string][]sig.Stack)
+	for _, lp := range paths {
+		key := lp.Outer.Top().Key()
+		byTop[key] = append(byTop[key], lp.Outer)
+	}
+	checked := 0
+	for top, stacks := range byTop {
+		if len(stacks) < 2 {
+			continue
+		}
+		if stacks[0].EqualSites(stacks[1]) {
+			t.Errorf("site %s: variants should differ below the top frame", top)
+		}
+		if lcs := LongestCommonSuffixLen(stacks[0], stacks[1]); lcs < 1 {
+			t.Errorf("site %s: variants should share the top frame", top)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no multi-variant constructs found")
+	}
+}
+
+// LongestCommonSuffixLen is a small test helper.
+func LongestCommonSuffixLen(a, b sig.Stack) int {
+	return sig.LongestCommonSuffix(a, b).Depth()
+}
+
+func TestGenerateRejectsInconsistentProfiles(t *testing.T) {
+	cases := []Profile{
+		{Name: "", SyncSites: 10},
+		{Name: "x", SyncSites: 0},
+		{Name: "x", SyncSites: 10, Analyzed: 20},
+		{Name: "x", SyncSites: 10, Analyzed: 8, Nested: 5}, // 2*5 > 8
+	}
+	for _, p := range cases {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("profile %+v should be rejected", p)
+		}
+	}
+}
+
+func TestScaledDownPreservesInvariants(t *testing.T) {
+	for _, p := range TableIIProfiles() {
+		for _, f := range []int{2, 10, 100, 10000} {
+			q := p.ScaledDown(f)
+			if err := q.Validate(); err != nil {
+				t.Errorf("ScaledDown(%s, %d) invalid: %v", p.Name, f, err)
+			}
+		}
+	}
+}
+
+func TestAppFrameAttachesClassHash(t *testing.T) {
+	app, err := Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := app.Classes[0]
+	f := app.Frame(c.Name, "m", 3)
+	if f.Hash != c.Hash() {
+		t.Error("Frame should attach the class hash")
+	}
+	g := app.Frame("unknown/Class", "m", 3)
+	if g.Hash != "" {
+		t.Error("unknown class should leave the hash empty")
+	}
+}

@@ -1,0 +1,288 @@
+// Package bytecode models Java-like application binaries: classes, methods
+// and a minimal instruction set sufficient for Communix's static nesting
+// analysis (§III-C3), which in the paper runs on real bytecode through the
+// Soot framework.
+//
+// The model stands in for two paper artifacts we cannot reuse: (1) the
+// JVM bytecode of the evaluated applications (JBoss, Limewire, Vuze, …) —
+// replaced by synthetic applications generated to match the published
+// Table I statistics — and (2) the Soot CFG analysis — replaced by a
+// faithful reimplementation of the published algorithm over this IR,
+// including Soot's partial coverage (methods whose CFG is unavailable are
+// modelled as Opaque).
+package bytecode
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"communix/internal/sig"
+)
+
+// Op is a bytecode operation. Only the operations the nesting analysis
+// distinguishes are modelled; everything else is OpWork.
+type Op uint8
+
+// Operations.
+const (
+	// OpWork is any computation irrelevant to locking.
+	OpWork Op = iota + 1
+	// OpMonitorEnter enters a synchronized block. Its Line identifies the
+	// lock statement (the top frame of an outer call stack).
+	OpMonitorEnter
+	// OpMonitorExit leaves a synchronized block.
+	OpMonitorExit
+	// OpInvoke calls Callee.
+	OpInvoke
+	// OpReturn leaves the method. For synchronized methods it subsumes the
+	// implicit monitorexit the Java compiler emits before every return.
+	OpReturn
+	// OpGoto jumps unconditionally to Arg.
+	OpGoto
+	// OpBranch either falls through or jumps to Arg.
+	OpBranch
+	// OpExplicitLock models ReentrantLock.lock(). Communix does not handle
+	// explicit lock operations (§III-C1); they are counted in application
+	// statistics (Table I) and otherwise ignored.
+	OpExplicitLock
+	// OpExplicitUnlock models ReentrantLock.unlock().
+	OpExplicitUnlock
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpWork:
+		return "work"
+	case OpMonitorEnter:
+		return "monitorenter"
+	case OpMonitorExit:
+		return "monitorexit"
+	case OpInvoke:
+		return "invoke"
+	case OpReturn:
+		return "return"
+	case OpGoto:
+		return "goto"
+	case OpBranch:
+		return "branch"
+	case OpExplicitLock:
+		return "lock"
+	case OpExplicitUnlock:
+		return "unlock"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// MethodRef names a method globally.
+type MethodRef struct {
+	Class  string
+	Method string
+}
+
+// String renders "class.method".
+func (r MethodRef) String() string { return r.Class + "." + r.Method }
+
+// Instr is one instruction.
+type Instr struct {
+	Op     Op
+	Arg    int       // jump target for OpGoto/OpBranch
+	Callee MethodRef // target for OpInvoke
+	Line   int       // source line of the statement
+}
+
+// Method is one method body.
+type Method struct {
+	Class        string
+	Name         string
+	Synchronized bool
+	// Opaque marks methods whose CFG the static analysis framework could
+	// not retrieve (the paper's Soot analyzed only 11–54% of sync sites
+	// for this reason). Opaque methods still carry code — they execute in
+	// workloads — but the analysis refuses to look inside them.
+	Opaque    bool
+	StartLine int
+	Code      []Instr
+}
+
+// Ref returns the method's global name.
+func (m *Method) Ref() MethodRef { return MethodRef{Class: m.Class, Method: m.Name} }
+
+// Validate checks structural invariants: jump targets in range and every
+// terminal instruction explicit (the last instruction must not fall off
+// the end).
+func (m *Method) Validate() error {
+	n := len(m.Code)
+	if n == 0 {
+		return nil
+	}
+	for pc, ins := range m.Code {
+		switch ins.Op {
+		case OpGoto, OpBranch:
+			if ins.Arg < 0 || ins.Arg >= n {
+				return fmt.Errorf("%s: pc %d: jump target %d out of range [0,%d)", m.Ref(), pc, ins.Arg, n)
+			}
+		}
+	}
+	last := m.Code[n-1].Op
+	if last != OpReturn && last != OpGoto {
+		return fmt.Errorf("%s: falls off the end (last op %s)", m.Ref(), last)
+	}
+	return nil
+}
+
+// Class is one code unit: the granularity at which Communix hashes code
+// (§III-B: "hash values of class bytecodes ... distinguish different
+// versions of the same class").
+type Class struct {
+	Name    string
+	Methods []*Method
+	// LOC is the number of source lines attributed to this class; Table I
+	// reports per-application totals.
+	LOC int
+
+	hash string // memoized content hash
+}
+
+// Hash returns the hex SHA-256 of the class's canonical serialization.
+// Any change to method bodies, flags, or lines changes the hash — the
+// property client-side validation relies on to detect version skew.
+func (c *Class) Hash() string {
+	if c.hash != "" {
+		return c.hash
+	}
+	h := sha256.New()
+	h.Write([]byte(c.Name))
+	var buf [8]byte
+	for _, m := range c.Methods {
+		h.Write([]byte{0x00})
+		h.Write([]byte(m.Name))
+		flags := byte(0)
+		if m.Synchronized {
+			flags |= 1
+		}
+		h.Write([]byte{flags})
+		binary.BigEndian.PutUint32(buf[:4], uint32(m.StartLine))
+		h.Write(buf[:4])
+		for _, ins := range m.Code {
+			h.Write([]byte{byte(ins.Op)})
+			binary.BigEndian.PutUint32(buf[:4], uint32(ins.Arg))
+			binary.BigEndian.PutUint32(buf[4:], uint32(ins.Line))
+			h.Write(buf[:])
+			h.Write([]byte(ins.Callee.Class))
+			h.Write([]byte{0x01})
+			h.Write([]byte(ins.Callee.Method))
+		}
+	}
+	c.hash = hex.EncodeToString(h.Sum(nil))
+	return c.hash
+}
+
+// invalidateHash drops the memoized hash after a mutation (used by tests
+// and by version-skew modelling).
+func (c *Class) invalidateHash() { c.hash = "" }
+
+// App is one application binary: a set of classes.
+type App struct {
+	Name    string
+	Classes []*Class
+
+	classByName map[string]*Class
+	methods     map[MethodRef]*Method
+	// paths records, per generated lock construct, realistic call stacks
+	// reaching its lock statements; workloads replay these.
+	paths []LockPath
+}
+
+// NewApp assembles an app and builds its lookup indexes.
+func NewApp(name string, classes []*Class) (*App, error) {
+	a := &App{
+		Name:        name,
+		Classes:     classes,
+		classByName: make(map[string]*Class, len(classes)),
+		methods:     make(map[MethodRef]*Method),
+	}
+	for _, c := range classes {
+		if _, dup := a.classByName[c.Name]; dup {
+			return nil, fmt.Errorf("app %s: duplicate class %s", name, c.Name)
+		}
+		a.classByName[c.Name] = c
+		for _, m := range c.Methods {
+			if m.Class == "" {
+				m.Class = c.Name
+			}
+			if m.Class != c.Name {
+				return nil, fmt.Errorf("app %s: method %s claims class %s but lives in %s", name, m.Name, m.Class, c.Name)
+			}
+			ref := m.Ref()
+			if _, dup := a.methods[ref]; dup {
+				return nil, fmt.Errorf("app %s: duplicate method %s", name, ref)
+			}
+			if err := m.Validate(); err != nil {
+				return nil, fmt.Errorf("app %s: %w", name, err)
+			}
+			a.methods[ref] = m
+		}
+	}
+	return a, nil
+}
+
+// Class returns the named class, or nil.
+func (a *App) Class(name string) *Class { return a.classByName[name] }
+
+// Method resolves a method reference, or nil.
+func (a *App) Method(ref MethodRef) *Method { return a.methods[ref] }
+
+// LOC returns the application's total lines of code.
+func (a *App) LOC() int {
+	total := 0
+	for _, c := range a.Classes {
+		total += c.LOC
+	}
+	return total
+}
+
+// UnitHashes returns the hash of every class, keyed by class name — what
+// the Communix agent computes as classes load.
+func (a *App) UnitHashes() map[string]string {
+	out := make(map[string]string, len(a.Classes))
+	for _, c := range a.Classes {
+		out[c.Name] = c.Hash()
+	}
+	return out
+}
+
+// Frame builds a signature frame for a statement in this app, attaching
+// the class hash as the Communix plugin would (§III-C).
+func (a *App) Frame(class, method string, line int) sig.Frame {
+	f := sig.Frame{Class: class, Method: method, Line: line}
+	if c := a.classByName[class]; c != nil {
+		f.Hash = c.Hash()
+	}
+	return f
+}
+
+// LockPath describes realistic executions reaching one generated lock
+// construct: the call stack at the outer monitorenter and, when the
+// construct is nested, the stack at the inner lock statement.
+type LockPath struct {
+	// Outer is the call stack at the outer monitorenter; its top frame is
+	// the outer lock statement.
+	Outer sig.Stack
+	// Inner is the call stack at the inner lock statement for nested
+	// constructs (nil otherwise). Outer is a proper prefix of Inner.
+	Inner sig.Stack
+	// Nested reports whether the construct is a nested sync block.
+	Nested bool
+	// Opaque reports whether the site lives in an Opaque method.
+	Opaque bool
+	// Hot marks sites the generator placed on the application's critical
+	// path (used by the Table II DoS workloads).
+	Hot bool
+}
+
+// LockPaths returns the generated lock-site paths. The slice is shared;
+// callers must not mutate it.
+func (a *App) LockPaths() []LockPath { return a.paths }

@@ -1,0 +1,88 @@
+package bytecode
+
+// Profiles of the applications the paper evaluates. The first three carry
+// the exact statistics published in Table I. Eclipse and MySQL
+// Connector/J appear only in Table II (DoS overhead); the paper publishes
+// no static statistics for them, so their counts are plausible values in
+// the same regime (documented as invented in EXPERIMENTS.md).
+var (
+	// ProfileJBoss matches Table I row 1: 636,895 LOC, 1,898 sync
+	// blocks/methods, 104 explicit lock ops, 249 nested of 844 analyzed.
+	ProfileJBoss = Profile{
+		Name: "jboss", LOC: 636895, SyncSites: 1898, ExplicitOps: 104,
+		Analyzed: 844, Nested: 249, Seed: 1101,
+	}
+	// ProfileLimewire matches Table I row 2: 595,623 LOC, 1,435 sync,
+	// 189 explicit, 277 nested of 781 analyzed.
+	ProfileLimewire = Profile{
+		Name: "limewire", LOC: 595623, SyncSites: 1435, ExplicitOps: 189,
+		Analyzed: 781, Nested: 277, Seed: 1102,
+	}
+	// ProfileVuze matches Table I row 3: 476,702 LOC, 3,653 sync,
+	// 14 explicit, 120 nested of 432 analyzed.
+	ProfileVuze = Profile{
+		Name: "vuze", LOC: 476702, SyncSites: 3653, ExplicitOps: 14,
+		Analyzed: 432, Nested: 120, Seed: 1103,
+	}
+	// ProfileEclipse is invented (Table II only): IDE-scale, moderate
+	// sync density.
+	ProfileEclipse = Profile{
+		Name: "eclipse", LOC: 550000, SyncSites: 2200, ExplicitOps: 85,
+		Analyzed: 700, Nested: 210, Seed: 1104,
+	}
+	// ProfileMySQLJDBC is invented (Table II only): driver-scale,
+	// lock-heavy connection handling.
+	ProfileMySQLJDBC = Profile{
+		Name: "mysql-jdbc", LOC: 120000, SyncSites: 620, ExplicitOps: 22,
+		Analyzed: 340, Nested: 130, Seed: 1105,
+	}
+)
+
+// TableIProfiles are the applications with published Table I statistics.
+func TableIProfiles() []Profile {
+	return []Profile{ProfileJBoss, ProfileLimewire, ProfileVuze}
+}
+
+// TableIIProfiles are the applications evaluated for DoS overhead in
+// Table II, in the paper's row order.
+func TableIIProfiles() []Profile {
+	return []Profile{ProfileJBoss, ProfileMySQLJDBC, ProfileEclipse, ProfileLimewire, ProfileVuze}
+}
+
+// ScaledDown returns a copy of the profile with every size-dependent count
+// divided by factor (minimum 1 where the original was positive), for tests
+// and quick benchmarks that need the same shape at a fraction of the cost.
+func (p Profile) ScaledDown(factor int) Profile {
+	if factor <= 1 {
+		return p
+	}
+	div := func(n int) int {
+		if n <= 0 {
+			return 0
+		}
+		v := n / factor
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	q := p
+	q.LOC = div(p.LOC)
+	q.SyncSites = div(p.SyncSites)
+	q.ExplicitOps = div(p.ExplicitOps)
+	q.Analyzed = div(p.Analyzed)
+	q.Nested = div(p.Nested)
+	// Keep at least two nested constructs: a deadlock (and therefore any
+	// workload or attack built on the app) needs two distinct sites.
+	if q.Nested < 2 && p.Nested >= 2 {
+		q.Nested = 2
+	}
+	// Preserve the invariants 2·Nested ≤ Analyzed ≤ SyncSites.
+	if q.Analyzed < q.Nested*2 {
+		q.Analyzed = q.Nested * 2
+	}
+	if q.SyncSites < q.Analyzed {
+		q.SyncSites = q.Analyzed
+	}
+	return q
+}

@@ -1,0 +1,113 @@
+package bytecode
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"communix/internal/sig"
+)
+
+// qProfile generates random, mutually consistent profiles.
+type qProfile struct{ P Profile }
+
+// Generate implements quick.Generator.
+func (qProfile) Generate(r *rand.Rand, _ int) reflect.Value {
+	sync := 4 + r.Intn(60)
+	analyzed := 2 + r.Intn(sync-1)
+	if analyzed > sync {
+		analyzed = sync
+	}
+	nested := r.Intn(analyzed/2 + 1)
+	p := Profile{
+		Name:         "q",
+		LOC:          1000 + r.Intn(20000),
+		SyncSites:    sync,
+		ExplicitOps:  r.Intn(20),
+		Analyzed:     analyzed,
+		Nested:       nested,
+		ChainDepth:   5 + r.Intn(8),
+		SharedTail:   r.Intn(10),
+		PathVariants: 1 + r.Intn(3),
+		Seed:         r.Int63(),
+	}
+	return reflect.ValueOf(qProfile{P: p})
+}
+
+// TestQuickGeneratedAppsMatchTheirProfiles: for any consistent profile,
+// the generated app's analysis recovers the profile's statistics exactly,
+// and all structural invariants hold.
+func TestQuickGeneratedAppsMatchTheirProfiles(t *testing.T) {
+	prop := func(q qProfile) bool {
+		app, err := Generate(q.P)
+		if err != nil {
+			t.Logf("Generate(%+v): %v", q.P, err)
+			return false
+		}
+		st := Analyze(app).Stats()
+		if st.SyncSites != q.P.SyncSites || st.Analyzed != q.P.Analyzed ||
+			st.Nested != q.P.Nested || st.ExplicitOps != q.P.ExplicitOps || st.LOC != q.P.LOC {
+			t.Logf("stats %+v != profile %+v", st, q.P)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLockPathsWellFormed: every generated lock path has valid
+// stacks of the configured depth, nested paths extend their outer stack,
+// and shared tails produce common suffixes across variants.
+func TestQuickLockPathsWellFormed(t *testing.T) {
+	prop := func(q qProfile) bool {
+		app, err := Generate(q.P)
+		if err != nil {
+			return false
+		}
+		depth := q.P.ChainDepth
+		byTop := map[string][]LockPath{}
+		for _, lp := range app.LockPaths() {
+			if lp.Outer.Depth() != depth {
+				t.Logf("outer depth %d != %d", lp.Outer.Depth(), depth)
+				return false
+			}
+			if err := lp.Outer.Valid(); err != nil {
+				return false
+			}
+			if lp.Nested {
+				if lp.Inner == nil || lp.Inner.Valid() != nil {
+					return false
+				}
+			}
+			key := lp.Outer.Top().Key()
+			byTop[key] = append(byTop[key], lp)
+		}
+		// Variant counts and shared suffixes.
+		shared := q.P.SharedTail
+		if shared > depth-2 {
+			shared = depth - 2
+		}
+		for _, paths := range byTop {
+			if len(paths) != q.P.PathVariants {
+				t.Logf("variants %d != %d", len(paths), q.P.PathVariants)
+				return false
+			}
+			if len(paths) > 1 && shared > 0 {
+				first := paths[0].Outer
+				for _, lp := range paths[1:] {
+					if got := sig.LongestCommonSuffix(first, lp.Outer).Depth(); got < shared+1 {
+						t.Logf("lcs %d < shared %d+1", got, shared)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

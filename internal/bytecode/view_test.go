@@ -1,0 +1,156 @@
+package bytecode
+
+import (
+	"sync"
+	"testing"
+)
+
+// twoClassApp builds an app where class A's block is nested only through a
+// call into class B — loading B uncovers the nesting.
+func twoClassApp(t *testing.T) *App {
+	t.Helper()
+	a := &Class{Name: "A", Methods: []*Method{{
+		Name: "m",
+		Code: []Instr{
+			enter(10),
+			invoke("B", "helper", 11),
+			exit(12),
+			ret(13),
+		},
+	}}}
+	b := &Class{Name: "B", Methods: []*Method{{
+		Name: "helper",
+		Code: []Instr{enter(20), exit(21), ret(22)},
+	}}}
+	return buildApp(t, a, b)
+}
+
+func TestViewIncrementalLoadingUncoversNesting(t *testing.T) {
+	app := twoClassApp(t)
+	v := NewView(app)
+
+	if got := v.NestedSiteKeys(); len(got) != 0 {
+		t.Fatalf("empty view should have no nested sites, got %v", got)
+	}
+
+	if err := v.Load("A"); err != nil {
+		t.Fatal(err)
+	}
+	// B is unloaded: the call cannot prove nesting yet.
+	if got := v.NestedSiteKeys(); len(got) != 0 {
+		t.Errorf("with only A loaded, nested set should be empty, got %v", got)
+	}
+
+	if err := v.Load("B"); err != nil {
+		t.Fatal(err)
+	}
+	keys := v.NestedSiteKeys()
+	if len(keys) != 1 {
+		t.Fatalf("after loading B, nested set = %v, want A.m:10", keys)
+	}
+}
+
+func TestViewMonotonicNestedSet(t *testing.T) {
+	app, err := Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(app)
+	prev := map[string]struct{}{}
+	for _, c := range app.Classes {
+		if err := v.Load(c.Name); err != nil {
+			t.Fatal(err)
+		}
+		cur := v.NestedSiteKeys()
+		for k := range prev {
+			if _, ok := cur[k]; !ok {
+				t.Fatalf("loading %s removed nested site %s; nested set must grow monotonically", c.Name, k)
+			}
+		}
+		prev = cur
+	}
+	full := Analyze(app).NestedSiteKeys()
+	if len(prev) != len(full) {
+		t.Errorf("fully loaded view has %d nested sites, whole-app analysis has %d", len(prev), len(full))
+	}
+}
+
+func TestViewUnitHash(t *testing.T) {
+	app := twoClassApp(t)
+	v := NewView(app)
+	if _, ok := v.UnitHash("A"); ok {
+		t.Error("unloaded class should have no hash")
+	}
+	if err := v.Load("A"); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := v.UnitHash("A")
+	if !ok || h != app.Class("A").Hash() {
+		t.Errorf("UnitHash = %q,%v; want class hash", h, ok)
+	}
+}
+
+func TestViewLoadUnknownClass(t *testing.T) {
+	v := NewView(twoClassApp(t))
+	if err := v.Load("Nope"); err == nil {
+		t.Error("loading an unknown class should fail")
+	}
+	if v.LoadedCount() != 0 {
+		t.Error("failed load must not partially apply")
+	}
+}
+
+func TestViewLoadIdempotentAndCountsAnalyses(t *testing.T) {
+	v := NewView(twoClassApp(t))
+	if err := v.Load("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Load("A"); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.AnalysisRuns(); got != 1 {
+		t.Errorf("re-loading a loaded class reran analysis: runs = %d, want 1", got)
+	}
+	v.LoadAll()
+	if got := v.LoadedCount(); got != 2 {
+		t.Errorf("LoadedCount = %d, want 2", got)
+	}
+	if got := v.AnalysisRuns(); got != 2 {
+		t.Errorf("AnalysisRuns = %d, want 2", got)
+	}
+}
+
+func TestViewConcurrentReaders(t *testing.T) {
+	app, err := Generate(smallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView(app)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				v.NestedSiteKeys()
+				v.UnitHash("app/small/C0")
+				v.LoadedCount()
+			}
+		}()
+	}
+	for _, c := range app.Classes {
+		if err := v.Load(c.Name); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+}
+
+func TestViewLoadedClassNamesSorted(t *testing.T) {
+	v := NewView(twoClassApp(t))
+	v.LoadAll()
+	names := v.LoadedClassNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("LoadedClassNames = %v", names)
+	}
+}

@@ -1,0 +1,166 @@
+// Package client implements the Communix client (§III-B): a background
+// process that periodically performs incremental downloads of new
+// deadlock signatures from the Communix server into the local repository,
+// decoupled from applications so that application startup never waits on
+// the network. It also provides the upload path the Communix plugin uses
+// to publish freshly detected signatures.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/repo"
+	"communix/internal/sig"
+	"communix/internal/wire"
+)
+
+// DefaultSyncInterval is how often the client polls the server. The
+// paper updates once a day — a higher frequency would overload the
+// server (§III-B).
+const DefaultSyncInterval = 24 * time.Hour
+
+// Config parameterizes a Client.
+type Config struct {
+	// Addr is the server's TCP address ("host:port"). Ignored when Dial
+	// is set.
+	Addr string
+	// Dial overrides connection establishment (tests, in-process
+	// servers).
+	Dial func() (net.Conn, error)
+	// Repo is the local repository downloads land in. Required.
+	Repo *repo.Repo
+	// Token is the user's encrypted id, attached to uploads.
+	Token ids.Token
+	// SyncInterval overrides DefaultSyncInterval.
+	SyncInterval time.Duration
+	// OnSync, if set, is called after every periodic sync attempt.
+	OnSync func(added int, err error)
+}
+
+// Client syncs a local repository against a Communix server.
+type Client struct {
+	cfg Config
+
+	mu      sync.Mutex
+	stopped bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.Repo == nil {
+		return nil, errors.New("client: Repo is required")
+	}
+	if cfg.Dial == nil {
+		if cfg.Addr == "" {
+			return nil, errors.New("client: Addr or Dial is required")
+		}
+		addr := cfg.Addr
+		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = DefaultSyncInterval
+	}
+	return &Client{cfg: cfg, done: make(chan struct{})}, nil
+}
+
+// SyncOnce performs one incremental download: GET(next) where next is the
+// repository's server cursor. It returns how many signatures arrived.
+func (c *Client) SyncOnce() (int, error) {
+	conn, err := c.cfg.Dial()
+	if err != nil {
+		return 0, fmt.Errorf("client: dial: %w", err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+
+	if err := wc.Send(wire.NewGet(c.cfg.Repo.Next())); err != nil {
+		return 0, fmt.Errorf("client: sync: %w", err)
+	}
+	var resp wire.Response
+	if err := wc.Recv(&resp); err != nil {
+		return 0, fmt.Errorf("client: sync: %w", err)
+	}
+	if resp.Status != wire.StatusOK {
+		return 0, fmt.Errorf("client: sync: server said %s: %s", resp.Status, resp.Detail)
+	}
+	before := c.cfg.Repo.Len()
+	if err := c.cfg.Repo.Append(resp.Sigs, resp.Next); err != nil {
+		return 0, fmt.Errorf("client: sync: %w", err)
+	}
+	return c.cfg.Repo.Len() - before, nil
+}
+
+// Upload publishes one signature to the server with the client's
+// encrypted user id — the Communix plugin calls this right after
+// Dimmunix produces a signature (§III-B). The server's verdict is
+// returned: nil for accepted (or duplicate), an error describing the
+// rejection otherwise.
+func (c *Client) Upload(s *sig.Signature) error {
+	req, err := wire.NewAdd(c.cfg.Token, s)
+	if err != nil {
+		return fmt.Errorf("client: upload: %w", err)
+	}
+	conn, err := c.cfg.Dial()
+	if err != nil {
+		return fmt.Errorf("client: dial: %w", err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+	if err := wc.Send(req); err != nil {
+		return fmt.Errorf("client: upload: %w", err)
+	}
+	var resp wire.Response
+	if err := wc.Recv(&resp); err != nil {
+		return fmt.Errorf("client: upload: %w", err)
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("client: upload rejected: %s", resp.Detail)
+	}
+	return nil
+}
+
+// Start launches the periodic background sync. Stop with Close.
+func (c *Client) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.wg.Add(1)
+	go c.loop()
+}
+
+func (c *Client) loop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			added, err := c.SyncOnce()
+			if c.cfg.OnSync != nil {
+				c.cfg.OnSync(added, err)
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Close stops the background sync and waits for it to exit.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if !c.stopped {
+		c.stopped = true
+		close(c.done)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}

@@ -1,0 +1,177 @@
+package client
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/repo"
+	"communix/internal/server"
+	"communix/internal/sig"
+	"communix/internal/sig/sigtest"
+)
+
+var testKey = bytes.Repeat([]byte{0x21}, ids.KeySize)
+
+// testServer spins up a TCP server; cleanup stops it.
+func testServer(t *testing.T) (*server.Server, string, *ids.Authority) {
+	t.Helper()
+	srv, err := server.New(server.Config{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, l.Addr().String(), auth
+}
+
+func newClient(t *testing.T, addr string, token ids.Token, r *repo.Repo, opts ...func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{Addr: addr, Repo: r, Token: token}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestUploadThenSyncRoundTrip(t *testing.T) {
+	_, addr, auth := testServer(t)
+	_, token := auth.Issue()
+
+	rp, err := repo.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newClient(t, addr, token, rp)
+
+	r := rand.New(rand.NewSource(1))
+	s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 0, 6, 9)
+	if err := c.Upload(s); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+
+	added, err := c.SyncOnce()
+	if err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	if added != 1 || rp.Len() != 1 {
+		t.Errorf("added=%d repoLen=%d, want 1/1", added, rp.Len())
+	}
+
+	// Incremental: second sync fetches nothing.
+	added, err = c.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Errorf("second sync added %d, want 0 (incremental)", added)
+	}
+	if rp.Next() != 2 {
+		t.Errorf("cursor = %d, want 2", rp.Next())
+	}
+}
+
+func TestUploadRejectedSurfacesDetail(t *testing.T) {
+	_, addr, _ := testServer(t)
+	rp, _ := repo.Open("")
+	c := newClient(t, addr, "forged-token", rp)
+	r := rand.New(rand.NewSource(2))
+	err := c.Upload(sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 0, 6, 9))
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("forged upload error = %v, want rejection", err)
+	}
+}
+
+func TestSyncDialFailure(t *testing.T) {
+	rp, _ := repo.Open("")
+	c := newClient(t, "127.0.0.1:1", "tok", rp) // nothing listens on port 1
+	if _, err := c.SyncOnce(); err == nil {
+		t.Error("sync against dead server should fail")
+	}
+}
+
+func TestBackgroundSyncLoop(t *testing.T) {
+	_, addr, auth := testServer(t)
+	_, token := auth.Issue()
+
+	rp, _ := repo.Open("")
+	var syncs atomic.Int32
+	c := newClient(t, addr, token, rp, func(cfg *Config) {
+		cfg.SyncInterval = 5 * time.Millisecond
+		cfg.OnSync = func(added int, err error) {
+			if err != nil {
+				t.Errorf("background sync: %v", err)
+			}
+			syncs.Add(1)
+		}
+	})
+
+	// Seed the server.
+	r := rand.New(rand.NewSource(3))
+	uploader := newClient(t, addr, token, rp)
+	for i := 0; i < 3; i++ {
+		if err := uploader.Upload(sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && (syncs.Load() < 2 || rp.Len() < 3) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	if syncs.Load() < 2 {
+		t.Errorf("background syncs = %d, want >= 2", syncs.Load())
+	}
+	if rp.Len() != 3 {
+		t.Errorf("repo len = %d, want 3", rp.Len())
+	}
+	// Close is idempotent and Start-after-Close is a no-op.
+	c.Close()
+	c.Start()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing repo should fail")
+	}
+	rp, _ := repo.Open("")
+	if _, err := New(Config{Repo: rp}); err == nil {
+		t.Error("missing addr/dial should fail")
+	}
+	if _, err := New(Config{Repo: rp, Dial: func() (net.Conn, error) { return nil, nil }}); err != nil {
+		t.Errorf("dial-only config should work: %v", err)
+	}
+}
+
+func TestUploadInvalidSignature(t *testing.T) {
+	rp, _ := repo.Open("")
+	c := newClient(t, "127.0.0.1:1", "tok", rp)
+	if err := c.Upload(&sig.Signature{}); err == nil {
+		t.Error("invalid signature should fail before dialing")
+	}
+}

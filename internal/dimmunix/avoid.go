@@ -1,0 +1,276 @@
+package dimmunix
+
+import (
+	"communix/internal/sig"
+)
+
+// avoidLocked implements the avoidance module (§II-A): it returns when
+// granting l to tid with stack cs can no longer instantiate any history
+// signature. Called and returns with rt.mu held; it releases the lock
+// while the thread is suspended.
+//
+// A signature with outer stacks CS1..CSn instantiates when distinct
+// threads t1..tn hold or wait for distinct locks l1..ln with stacks
+// matching CS1..CSn. The caller is about to become one such (t, l, cs)
+// triple; if the remaining slots are currently occupied, the acquisition
+// is suspended.
+//
+// Avoidance itself can deadlock (a yielding thread blocks the threads it
+// waits on); such cycles are detected over the combined wait+yield graph
+// and broken by forcing one yielder to proceed, which is recorded as an
+// avoidance break (Dimmunix treats these as false-positive evidence).
+func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
+	for {
+		sigID, blockers := rt.instantiationThreatLocked(tid, l, cs)
+		if sigID == "" {
+			return nil
+		}
+
+		// The suspension is a true positive if the acquisition would have
+		// closed a real wait-for cycle right now; otherwise it is
+		// evidence toward the §III-C1 false-positive warning.
+		tp := l.owner != 0 && l.owner != tid && rt.reachesThreadLocked(l.owner, tid)
+		warning := rt.fp.recordInstantiation(sigID, tp)
+		rt.stats.Yields++
+
+		y := &yielder{
+			thread:   tid,
+			blockers: blockers,
+			wake:     make(chan struct{}, 1),
+		}
+		rt.yielders[tid] = y
+		rt.resolveAvoidanceCyclesLocked()
+
+		if y.proceed || rt.closed {
+			delete(rt.yielders, tid)
+			if rt.closed {
+				rt.fireWarning(warning)
+				return ErrClosed
+			}
+			rt.stats.AvoidanceBreak++
+			rt.fireWarning(warning)
+			return nil
+		}
+
+		rt.mu.Unlock()
+		rt.fireWarningUnlocked(warning)
+		<-y.wake
+		rt.mu.Lock()
+
+		delete(rt.yielders, tid)
+		if rt.closed {
+			return ErrClosed
+		}
+		if y.proceed {
+			rt.stats.AvoidanceBreak++
+			return nil
+		}
+		// Re-evaluate from scratch: the history may have changed while we
+		// slept.
+		rt.refreshPositionsLocked()
+	}
+}
+
+// fireWarning emits a false-positive warning while holding rt.mu: it
+// must release the lock around the user callback.
+func (rt *Runtime) fireWarning(w *FalsePositiveWarning) {
+	if w == nil || rt.cfg.OnFalsePositive == nil {
+		return
+	}
+	rt.mu.Unlock()
+	rt.cfg.OnFalsePositive(*w)
+	rt.mu.Lock()
+}
+
+// fireWarningUnlocked emits a warning with rt.mu already released.
+func (rt *Runtime) fireWarningUnlocked(w *FalsePositiveWarning) {
+	if w == nil || rt.cfg.OnFalsePositive == nil {
+		return
+	}
+	rt.cfg.OnFalsePositive(*w)
+}
+
+// instantiationThreatLocked reports whether granting (tid, l, cs) would
+// complete an instantiation of some history signature: it returns the
+// signature's ID and the set of threads occupying the other slots. An
+// empty ID means no threat.
+func (rt *Runtime) instantiationThreatLocked(tid ThreadID, l *Lock, cs sig.Stack) (string, map[ThreadID]struct{}) {
+	refs := rt.history.MatchOuter(cs)
+	for _, r := range refs {
+		sigID := r.ID
+		assignment := rt.matchSlotsLocked(sigID, r, tid, l)
+		if assignment == nil {
+			continue
+		}
+		blockers := make(map[ThreadID]struct{}, len(assignment))
+		for t := range assignment {
+			blockers[t] = struct{}{}
+		}
+		return sigID, blockers
+	}
+	return "", nil
+}
+
+// matchSlotsLocked tries to occupy every slot of r.Sig other than r.Slot
+// with distinct current positions: distinct threads (none equal to tid)
+// holding or waiting for distinct locks (none equal to l). It returns the
+// thread→lock assignment, or nil if impossible.
+func (rt *Runtime) matchSlotsLocked(sigID string, r SlotRef, tid ThreadID, l *Lock) map[ThreadID]*Lock {
+	n := len(r.Sig.Threads)
+	slots := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != r.Slot {
+			slots = append(slots, i)
+		}
+	}
+	usedThreads := map[ThreadID]*Lock{tid: nil}
+	usedLocks := map[*Lock]struct{}{l: {}}
+
+	var assign func(k int) bool
+	assign = func(k int) bool {
+		if k == len(slots) {
+			return true
+		}
+		key := slotKey{sigID: sigID, slot: slots[k]}
+		for t, pos := range rt.positions[key] {
+			if _, taken := usedThreads[t]; taken {
+				continue
+			}
+			if _, taken := usedLocks[pos.lock]; taken {
+				continue
+			}
+			usedThreads[t] = pos.lock
+			usedLocks[pos.lock] = struct{}{}
+			if assign(k + 1) {
+				return true
+			}
+			delete(usedThreads, t)
+			delete(usedLocks, pos.lock)
+		}
+		return false
+	}
+	if !assign(0) {
+		return nil
+	}
+	delete(usedThreads, tid)
+	return usedThreads
+}
+
+// wakeYieldersLocked prompts every suspended yielder to re-evaluate its
+// threat; called whenever positions shrink (release, denied waiter).
+func (rt *Runtime) wakeYieldersLocked() {
+	for _, y := range rt.yielders {
+		select {
+		case y.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// resolveAvoidanceCyclesLocked breaks cycles in the combined wait+yield
+// graph that pass through a yielder, forcing the smallest-id yielder in
+// each cycle to proceed. Pure wait cycles are real deadlocks and are
+// handled by detection.
+func (rt *Runtime) resolveAvoidanceCyclesLocked() {
+	for {
+		y := rt.findYielderInCycleLocked()
+		if y == nil {
+			return
+		}
+		y.proceed = true
+		select {
+		case y.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// findYielderInCycleLocked returns an active yielder that can reach
+// itself over wait+yield edges, preferring the smallest thread id for
+// determinism, or nil.
+func (rt *Runtime) findYielderInCycleLocked() *yielder {
+	var best *yielder
+	for _, y := range rt.yielders {
+		if y.proceed {
+			continue
+		}
+		if rt.reachesThreadLocked2(y.thread, y.thread) {
+			if best == nil || y.thread < best.thread {
+				best = y
+			}
+		}
+	}
+	return best
+}
+
+// reachesThreadLocked reports whether target is reachable from start over
+// real wait edges only (start's wait chain).
+func (rt *Runtime) reachesThreadLocked(start, target ThreadID) bool {
+	cur := start
+	seen := make(map[ThreadID]struct{}, 8)
+	for {
+		if cur == target {
+			return true
+		}
+		if _, dup := seen[cur]; dup {
+			return false
+		}
+		seen[cur] = struct{}{}
+		ts, ok := rt.threads[cur]
+		if !ok || ts.wait == nil {
+			return false
+		}
+		next := ts.wait.lock.owner
+		if next == 0 {
+			return false
+		}
+		cur = next
+	}
+}
+
+// reachesThreadLocked2 reports whether target is reachable from start
+// over the combined graph: wait edges (waiter→owner) and yield edges
+// (yielder→blockers). Used for avoidance-cycle detection.
+func (rt *Runtime) reachesThreadLocked2(start, target ThreadID) bool {
+	seen := make(map[ThreadID]struct{}, 8)
+	stack := []ThreadID{}
+	push := func(t ThreadID) {
+		if _, dup := seen[t]; !dup {
+			seen[t] = struct{}{}
+			stack = append(stack, t)
+		}
+	}
+	// Seed with start's successors (so that start reaching itself
+	// requires an actual cycle).
+	for _, next := range rt.successorsLocked(start) {
+		push(next)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == target {
+			return true
+		}
+		for _, next := range rt.successorsLocked(cur) {
+			push(next)
+		}
+	}
+	return false
+}
+
+// successorsLocked lists the threads that t currently waits on: the owner
+// of the lock it queues for, plus the blockers it yields for.
+func (rt *Runtime) successorsLocked(t ThreadID) []ThreadID {
+	var out []ThreadID
+	if ts, ok := rt.threads[t]; ok && ts.wait != nil {
+		if owner := ts.wait.lock.owner; owner != 0 {
+			out = append(out, owner)
+		}
+	}
+	if y, ok := rt.yielders[t]; ok && !y.proceed {
+		for b := range y.blockers {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package dimmunix
+
+import (
+	"fmt"
+	"testing"
+
+	"communix/internal/sig"
+)
+
+// BenchmarkAcquireReleaseUncontended measures the lock manager's base
+// cost with an empty history — the overhead every protected program pays
+// on every critical section.
+func BenchmarkAcquireReleaseUncontended(b *testing.B) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	cs := mkStack("T", "s", 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Acquire(1, l, cs); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Release(1, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAcquireReleaseWithHistory measures the same operation when
+// every acquisition matches a history signature slot (registration +
+// threat evaluation) but never needs to yield.
+func BenchmarkAcquireReleaseWithHistory(b *testing.B) {
+	for _, sigs := range []int{1, 20, 200} {
+		b.Run(fmt.Sprintf("sigs=%d", sigs), func(b *testing.B) {
+			ps := newPairStacks()
+			history := NewHistory()
+			history.Add(ps.signature())
+			// Pad the history with unrelated signatures: matching is
+			// top-frame indexed, so size should barely matter.
+			for i := 0; i < sigs-1; i++ {
+				pad := ps.signature().Clone()
+				pad.Threads[0].Outer[len(pad.Threads[0].Outer)-1] = sig.Frame{
+					Class: fmt.Sprintf("pad%d", i), Method: "m", Line: 1,
+				}
+				pad.Normalize()
+				history.Add(pad)
+			}
+			rt := NewRuntime(Config{History: history})
+			defer rt.Close()
+			l := rt.NewLock("l")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Acquire(1, l, ps.outerA); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Release(1, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAvoidanceAblation quantifies what disabling the avoidance
+// module saves on matched acquisitions — the DESIGN.md ablation for
+// Dimmunix's core design choice.
+func BenchmarkAvoidanceAblation(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "avoidance-on"
+		if disabled {
+			name = "avoidance-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			ps := newPairStacks()
+			history := NewHistory()
+			history.Add(ps.signature())
+			rt := NewRuntime(Config{History: history, AvoidanceDisabled: disabled})
+			defer rt.Close()
+			l := rt.NewLock("l")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Acquire(1, l, ps.outerA); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Release(1, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHistoryMatchOuter isolates the per-acquisition signature
+// lookup.
+func BenchmarkHistoryMatchOuter(b *testing.B) {
+	ps := newPairStacks()
+	history := NewHistory()
+	history.Add(ps.signature())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if refs := history.MatchOuter(ps.outerA); len(refs) != 1 {
+			b.Fatal("expected one match")
+		}
+	}
+}
+
+// BenchmarkContendedHandoff measures queue handoff between two threads.
+func BenchmarkContendedHandoff(b *testing.B) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	cs := mkStack("T", "s", 8)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rt.Acquire(2, l, cs); err != nil {
+				return
+			}
+			_ = rt.Release(2, l)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rt.Acquire(1, l, cs); err != nil {
+			b.Fatal(err)
+		}
+		_ = rt.Release(1, l)
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

@@ -1,0 +1,139 @@
+package dimmunix
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"communix/internal/sig"
+)
+
+// mkStack builds a depth-frame stack whose top frame is at the named
+// site; lower frames are a deterministic caller chain derived from the
+// chain tag.
+func mkStack(chain, site string, depth int) sig.Stack {
+	s := make(sig.Stack, 0, depth)
+	for i := 0; i < depth-1; i++ {
+		s = append(s, sig.Frame{Class: "app/" + chain, Method: fmt.Sprintf("f%d", i), Line: 10 + i})
+	}
+	s = append(s, sig.Frame{Class: "app/Sites", Method: site, Line: 100})
+	return s
+}
+
+// waitErr receives from ch with a timeout, failing the test otherwise.
+func waitErr(t *testing.T, ch <-chan error, what string) error {
+	t.Helper()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+}
+
+// waitTimeout returns the default test deadline channel.
+func waitTimeout() <-chan time.Time { return time.After(5 * time.Second) }
+
+// eventually polls cond until true or the deadline passes.
+func eventually(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition never became true: %s", what)
+}
+
+// pairStacks are the four call stacks of the canonical two-thread
+// deadlock: t1 locks A at siteA then B at siteAB; t2 locks B at siteB
+// then A at siteBA.
+type pairStacks struct {
+	outerA, innerAB sig.Stack // thread 1
+	outerB, innerBA sig.Stack // thread 2
+}
+
+func newPairStacks() pairStacks {
+	return pairStacks{
+		outerA:  mkStack("T1", "siteA", 6),
+		innerAB: mkStack("T1", "siteAB", 6),
+		outerB:  mkStack("T2", "siteB", 6),
+		innerBA: mkStack("T2", "siteBA", 6),
+	}
+}
+
+// signature returns the deadlock signature this pair produces.
+func (ps pairStacks) signature() *sig.Signature {
+	s := sig.New(
+		sig.ThreadSpec{Outer: ps.outerA, Inner: ps.innerAB},
+		sig.ThreadSpec{Outer: ps.outerB, Inner: ps.innerBA},
+	)
+	s.Origin = sig.OriginLocal
+	return s
+}
+
+// deadlockPair forces the canonical hold-and-wait deadlock: both outer
+// locks are held before either inner acquisition starts. Returns the two
+// threads' overall results (the inner acquisition error, with releases
+// applied on success paths).
+func deadlockPair(t *testing.T, rt *Runtime, a, b *Lock, ps pairStacks) (err1, err2 error) {
+	t.Helper()
+	const (
+		t1 = ThreadID(1)
+		t2 = ThreadID(2)
+	)
+	held := make(chan error, 2)
+	start := make(chan struct{})
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+
+	go func() {
+		if err := rt.Acquire(t1, a, ps.outerA); err != nil {
+			held <- err
+			done1 <- err
+			return
+		}
+		held <- nil
+		<-start
+		err := rt.Acquire(t1, b, ps.innerAB)
+		if err == nil {
+			_ = rt.Release(t1, b)
+		}
+		_ = rt.Release(t1, a)
+		done1 <- err
+	}()
+	go func() {
+		if err := rt.Acquire(t2, b, ps.outerB); err != nil {
+			held <- err
+			done2 <- err
+			return
+		}
+		held <- nil
+		<-start
+		err := rt.Acquire(t2, a, ps.innerBA)
+		if err == nil {
+			_ = rt.Release(t2, a)
+		}
+		_ = rt.Release(t2, b)
+		done2 <- err
+	}()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-held:
+			if err != nil {
+				t.Fatalf("outer acquisition failed: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("outer acquisitions did not complete; is avoidance active in a detection test?")
+		}
+	}
+	close(start)
+
+	err1 = waitErr(t, done1, "thread 1")
+	err2 = waitErr(t, done2, "thread 2")
+	return err1, err2
+}

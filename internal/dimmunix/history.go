@@ -1,0 +1,362 @@
+// Package dimmunix implements deadlock immunity for Go programs, after
+// Dimmunix (Jula et al., OSDI'08) as summarized in the Communix paper
+// (§II-A): a detection module finds deadlocks at runtime and fingerprints
+// the execution flows that led to them (signatures), and an avoidance
+// module steers thread schedules away from flows matching saved
+// signatures by suspending threads whose lock acquisitions would
+// instantiate a signature.
+//
+// The JVM version interposes on monitor bytecodes; Go offers no way to
+// interpose on sync.Mutex, so programs participate explicitly: either by
+// replacing sync.Mutex with Mutex (native Go stacks are captured
+// automatically), or by driving the abstract Runtime API with explicit
+// (thread, lock, call stack) events, which is how the benchmark workloads
+// replay synthetic-application executions.
+package dimmunix
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"communix/internal/sig"
+)
+
+// SlotRef identifies one thread slot of one history signature.
+type SlotRef struct {
+	// Sig is the signature.
+	Sig *sig.Signature
+	// Slot indexes Sig.Threads.
+	Slot int
+	// ID is Sig.ID(), precomputed at insertion: the avoidance hot path
+	// keys its position index by it on every matched acquisition, and
+	// recomputing the content hash there dominates runtime.
+	ID string
+}
+
+// History is the persistent deadlock history: the set of signatures the
+// avoidance module matches against (§II-A). It is safe for concurrent
+// use; the Runtime reads it on every lock acquisition while the Communix
+// agent adds, merges, and removes signatures.
+type History struct {
+	mu      sync.RWMutex
+	sigs    map[string]*sig.Signature // by ID
+	byTop   map[string][]SlotRef      // outer top-frame key -> slots
+	byBug   map[string][]string       // bug key -> IDs (generalization lookups)
+	version uint64
+	path    string // "" = in-memory only
+}
+
+// NewHistory returns an empty, in-memory history.
+func NewHistory() *History {
+	return &History{
+		sigs:  make(map[string]*sig.Signature),
+		byTop: make(map[string][]SlotRef),
+		byBug: make(map[string][]string),
+	}
+}
+
+// LoadHistory opens (or initializes) a history persisted at path. A
+// missing file yields an empty history bound to the path; a corrupt file
+// is an error.
+func LoadHistory(path string) (*History, error) {
+	h := NewHistory()
+	h.path = path
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return h, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dimmunix: load history: %w", err)
+	}
+	var file historyFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("dimmunix: load history %s: %w", path, err)
+	}
+	for i, raw := range file.Signatures {
+		s, err := sig.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dimmunix: load history %s: signature %d: %w", path, i, err)
+		}
+		s.Origin = sig.OriginLocal
+		if i < len(file.Origins) && file.Origins[i] == "remote" {
+			s.Origin = sig.OriginRemote
+		}
+		h.addLocked(s)
+	}
+	return h, nil
+}
+
+// historyFile is the on-disk representation.
+type historyFile struct {
+	Signatures []json.RawMessage `json:"signatures"`
+	Origins    []string          `json:"origins"`
+}
+
+// Add inserts a signature unless an identical one is present. It returns
+// true when the history changed.
+func (h *History) Add(s *sig.Signature) bool {
+	if err := s.Valid(); err != nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.addLocked(s)
+}
+
+func (h *History) addLocked(s *sig.Signature) bool {
+	id := s.ID()
+	if _, ok := h.sigs[id]; ok {
+		return false
+	}
+	s = s.Clone()
+	s.Normalize()
+	h.sigs[id] = s
+	for slot, t := range s.Threads {
+		key := t.Outer.Top().Key()
+		h.byTop[key] = append(h.byTop[key], SlotRef{Sig: s, Slot: slot, ID: id})
+	}
+	bug := s.BugKey()
+	h.byBug[bug] = append(h.byBug[bug], id)
+	h.version++
+	return true
+}
+
+// dropBugLocked removes id from the bug index.
+func (h *History) dropBugLocked(s *sig.Signature, id string) {
+	bug := s.BugKey()
+	ids := h.byBug[bug]
+	out := ids[:0]
+	for _, other := range ids {
+		if other != id {
+			out = append(out, other)
+		}
+	}
+	if len(out) == 0 {
+		delete(h.byBug, bug)
+	} else {
+		h.byBug[bug] = out
+	}
+}
+
+// Remove deletes the signature with the given ID, returning whether it
+// was present. The false-positive mechanism (§III-C1) uses it when the
+// user decides to drop a warned signature.
+func (h *History) Remove(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.sigs[id]
+	if !ok {
+		return false
+	}
+	delete(h.sigs, id)
+	for slot, t := range s.Threads {
+		key := t.Outer.Top().Key()
+		refs := h.byTop[key]
+		out := refs[:0]
+		for _, r := range refs {
+			if r.Sig != s || r.Slot != slot {
+				out = append(out, r)
+			}
+		}
+		if len(out) == 0 {
+			delete(h.byTop, key)
+		} else {
+			h.byTop[key] = out
+		}
+	}
+	h.dropBugLocked(s, id)
+	h.version++
+	return true
+}
+
+// Replace swaps an existing signature (by ID) for another in one step —
+// how generalization installs a merged signature in place of the old one.
+// If oldID is absent the new signature is still added. It reports whether
+// the history changed.
+func (h *History) Replace(oldID string, s *sig.Signature) bool {
+	if err := s.Valid(); err != nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s.ID() == oldID {
+		return false
+	}
+	removed := false
+	if old, ok := h.sigs[oldID]; ok {
+		removed = true
+		delete(h.sigs, oldID)
+		for slot, t := range old.Threads {
+			key := t.Outer.Top().Key()
+			refs := h.byTop[key]
+			out := refs[:0]
+			for _, r := range refs {
+				if r.Sig != old || r.Slot != slot {
+					out = append(out, r)
+				}
+			}
+			if len(out) == 0 {
+				delete(h.byTop, key)
+			} else {
+				h.byTop[key] = out
+			}
+		}
+		h.dropBugLocked(old, oldID)
+	}
+	added := h.addLocked(s)
+	return removed || added
+}
+
+// Get returns the signature with the given ID, or nil.
+func (h *History) Get(id string) *sig.Signature {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.sigs[id]
+}
+
+// All returns a snapshot of the signatures (clones, in unspecified order).
+func (h *History) All() []*sig.Signature {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]*sig.Signature, 0, len(h.sigs))
+	for _, s := range h.sigs {
+		out = append(out, s.Clone())
+	}
+	return out
+}
+
+// Len returns the number of signatures.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.sigs)
+}
+
+// Version increments on every mutation; the Runtime uses it to notice
+// agent updates and re-register held-lock positions.
+func (h *History) Version() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.version
+}
+
+// MatchOuter returns every signature slot whose outer call stack is a
+// suffix of cs. Slots are pre-indexed by outer top frame, so only
+// signatures locking at cs's top site are inspected.
+func (h *History) MatchOuter(cs sig.Stack) []SlotRef {
+	if cs.Depth() == 0 {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	refs := h.byTop[cs.Top().Key()]
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]SlotRef, 0, len(refs))
+	for _, r := range refs {
+		if cs.HasSuffix(r.Sig.Threads[r.Slot].Outer) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HasBug reports whether some history signature fingerprints the same
+// deadlock bug as s.
+func (h *History) HasBug(s *sig.Signature) bool {
+	key := s.BugKey()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.byBug[key]) > 0
+}
+
+// SameBug returns the history signatures fingerprinting the same deadlock
+// bug as s — the generalization candidates (§III-D) — together with their
+// IDs. The returned signatures are the history's own instances: callers
+// must treat them as read-only. The bug index makes this O(candidates),
+// keeping the agent's startup pass linear in inspected signatures.
+func (h *History) SameBug(s *sig.Signature) []SlotRef {
+	key := s.BugKey()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	ids := h.byBug[key]
+	out := make([]SlotRef, 0, len(ids))
+	for _, id := range ids {
+		if existing, ok := h.sigs[id]; ok {
+			out = append(out, SlotRef{Sig: existing, ID: id})
+		}
+	}
+	return out
+}
+
+// Save persists the history to its bound path (no-op for in-memory
+// histories). The write is atomic: temp file then rename.
+func (h *History) Save() error {
+	h.mu.RLock()
+	path := h.path
+	h.mu.RUnlock()
+	if path == "" {
+		return nil
+	}
+	return h.SaveTo(path)
+}
+
+// SaveTo persists the history to an explicit path.
+func (h *History) SaveTo(path string) error {
+	h.mu.RLock()
+	file := historyFile{
+		Signatures: make([]json.RawMessage, 0, len(h.sigs)),
+		Origins:    make([]string, 0, len(h.sigs)),
+	}
+	ids := make([]string, 0, len(h.sigs))
+	for id := range h.sigs {
+		ids = append(ids, id)
+	}
+	// Deterministic output order.
+	sort.Strings(ids)
+	var encodeErr error
+	for _, id := range ids {
+		s := h.sigs[id]
+		data, err := sig.Encode(s)
+		if err != nil {
+			encodeErr = err
+			break
+		}
+		file.Signatures = append(file.Signatures, data)
+		file.Origins = append(file.Origins, s.Origin.String())
+	}
+	h.mu.RUnlock()
+	if encodeErr != nil {
+		return fmt.Errorf("dimmunix: save history: %w", encodeErr)
+	}
+
+	data, err := json.MarshalIndent(file, "", " ")
+	if err != nil {
+		return fmt.Errorf("dimmunix: save history: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".history-*")
+	if err != nil {
+		return fmt.Errorf("dimmunix: save history: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("dimmunix: save history: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("dimmunix: save history: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("dimmunix: save history: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package dimmunix
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"communix/internal/sig"
+)
+
+func TestHistoryAddDeduplicates(t *testing.T) {
+	h := NewHistory()
+	s := newPairStacks().signature()
+	if !h.Add(s) {
+		t.Fatal("first add should succeed")
+	}
+	if h.Add(s.Clone()) {
+		t.Error("identical signature should be deduplicated")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+	if h.Get(s.ID()) == nil {
+		t.Error("Get should find the signature")
+	}
+}
+
+func TestHistoryAddRejectsInvalid(t *testing.T) {
+	h := NewHistory()
+	if h.Add(&sig.Signature{}) {
+		t.Error("invalid signature must be rejected")
+	}
+}
+
+func TestHistoryRemove(t *testing.T) {
+	h := NewHistory()
+	s := newPairStacks().signature()
+	h.Add(s)
+	if !h.Remove(s.ID()) {
+		t.Fatal("remove should succeed")
+	}
+	if h.Remove(s.ID()) {
+		t.Error("double remove should report absence")
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len = %d, want 0", h.Len())
+	}
+	// Index cleaned: no outer matches remain.
+	if refs := h.MatchOuter(s.Threads[0].Outer); len(refs) != 0 {
+		t.Errorf("MatchOuter after remove = %v, want none", refs)
+	}
+}
+
+func TestHistoryReplace(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	s := ps.signature()
+	h.Add(s)
+
+	merged := sig.New(
+		sig.ThreadSpec{Outer: ps.outerA.Suffix(3), Inner: ps.innerAB.Suffix(3)},
+		sig.ThreadSpec{Outer: ps.outerB.Suffix(3), Inner: ps.innerBA.Suffix(3)},
+	)
+	if !h.Replace(s.ID(), merged) {
+		t.Fatal("replace should succeed")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+	if h.Get(s.ID()) != nil {
+		t.Error("old signature should be gone")
+	}
+	if h.Get(merged.ID()) == nil {
+		t.Error("merged signature should be present")
+	}
+	// Replace with same content is a no-op.
+	if h.Replace(merged.ID(), merged.Clone()) {
+		t.Error("self-replace should report no change")
+	}
+}
+
+func TestHistoryMatchOuter(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	h.Add(ps.signature())
+
+	// Full stack matches its own slot.
+	refs := h.MatchOuter(ps.outerA)
+	if len(refs) != 1 {
+		t.Fatalf("MatchOuter = %d refs, want 1", len(refs))
+	}
+	// A deeper stack ending in the signature's outer stack matches too.
+	deeper := append(mkStack("CALLER", "x", 3), ps.outerA...)
+	if got := h.MatchOuter(deeper); len(got) != 1 {
+		t.Errorf("deeper stack should match, got %d", len(got))
+	}
+	// Same top frame, different chain: no match.
+	other := mkStack("ELSE", "siteA", 6)
+	if got := h.MatchOuter(other); len(got) != 0 {
+		t.Errorf("non-suffix stack should not match, got %d", len(got))
+	}
+	// Empty stack matches nothing.
+	if got := h.MatchOuter(nil); got != nil {
+		t.Errorf("nil stack should match nothing")
+	}
+}
+
+func TestHistoryVersionBumpsOnMutation(t *testing.T) {
+	h := NewHistory()
+	v0 := h.Version()
+	s := newPairStacks().signature()
+	h.Add(s)
+	v1 := h.Version()
+	if v1 == v0 {
+		t.Error("Add must bump version")
+	}
+	h.Add(s.Clone()) // dedup: no change
+	if h.Version() != v1 {
+		t.Error("no-op add must not bump version")
+	}
+	h.Remove(s.ID())
+	if h.Version() == v1 {
+		t.Error("Remove must bump version")
+	}
+}
+
+func TestHistorySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.json")
+
+	h, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("LoadHistory(missing): %v", err)
+	}
+	ps := newPairStacks()
+	local := ps.signature()
+	h.Add(local)
+	remote := sig.New(
+		sig.ThreadSpec{Outer: mkStack("R", "r1", 6), Inner: mkStack("R", "r2", 6)},
+		sig.ThreadSpec{Outer: mkStack("R", "r3", 6), Inner: mkStack("R", "r4", 6)},
+	)
+	remote.Origin = sig.OriginRemote
+	h.Add(remote)
+	if err := h.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	got, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d signatures, want 2", got.Len())
+	}
+	if got.Get(local.ID()) == nil || got.Get(remote.ID()) == nil {
+		t.Error("loaded history missing signatures")
+	}
+	if got.Get(remote.ID()).Origin != sig.OriginRemote {
+		t.Error("remote origin not preserved across save/load")
+	}
+	if got.Get(local.ID()).Origin != sig.OriginLocal {
+		t.Error("local origin not preserved across save/load")
+	}
+}
+
+func TestLoadHistoryCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(path); err == nil {
+		t.Error("corrupt history file should be an error")
+	}
+	// Structurally valid JSON with an invalid signature inside.
+	if err := os.WriteFile(path, []byte(`{"signatures":[{"threads":[]}],"origins":["local"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(path); err == nil {
+		t.Error("invalid embedded signature should be an error")
+	}
+}
+
+func TestHistorySaveInMemoryIsNoop(t *testing.T) {
+	h := NewHistory()
+	h.Add(newPairStacks().signature())
+	if err := h.Save(); err != nil {
+		t.Errorf("in-memory Save should be a no-op, got %v", err)
+	}
+}
+
+func TestHistoryHasBug(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	h.Add(ps.signature())
+
+	// Another manifestation: same tops, different chains.
+	variant := sig.New(
+		sig.ThreadSpec{Outer: append(mkStack("V", "v", 4), ps.outerA[len(ps.outerA)-2:]...), Inner: ps.innerAB},
+		sig.ThreadSpec{Outer: ps.outerB, Inner: ps.innerBA},
+	)
+	if !h.HasBug(variant) {
+		t.Error("manifestation of a recorded bug should be recognized")
+	}
+	other := sig.New(
+		sig.ThreadSpec{Outer: mkStack("X", "nope1", 5), Inner: mkStack("X", "nope2", 5)},
+		sig.ThreadSpec{Outer: mkStack("X", "nope3", 5), Inner: mkStack("X", "nope4", 5)},
+	)
+	if h.HasBug(other) {
+		t.Error("unrelated bug should not be recognized")
+	}
+}
+
+func TestHistoryAllReturnsClones(t *testing.T) {
+	h := NewHistory()
+	s := newPairStacks().signature()
+	h.Add(s)
+	all := h.All()
+	if len(all) != 1 {
+		t.Fatalf("All = %d, want 1", len(all))
+	}
+	all[0].Threads[0].Outer[0].Class = "MUTATED"
+	if h.Get(s.ID()) == nil {
+		t.Error("mutating All()'s result must not corrupt the history")
+	}
+}

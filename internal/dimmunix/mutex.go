@@ -1,0 +1,69 @@
+package dimmunix
+
+import (
+	"communix/internal/sig"
+	"communix/internal/stacktrace"
+)
+
+// Mutex is the native Go entry point to Dimmunix: a reentrant mutex whose
+// acquisitions are fingerprinted, matched against the deadlock history,
+// and scheduled by the avoidance module. It replaces sync.Mutex in
+// programs that want deadlock immunity — Go offers no interposition on
+// sync.Mutex, so participation is explicit (the manual-wrapping model the
+// reproduction notes call out).
+//
+// Create with Runtime.NewMutex. The zero value is not usable.
+type Mutex struct {
+	rt   *Runtime
+	lock *Lock
+}
+
+// NewMutex creates a managed mutex. The name appears in diagnostics.
+func (rt *Runtime) NewMutex(name string) *Mutex {
+	return &Mutex{rt: rt, lock: rt.NewLock(name)}
+}
+
+// Lock acquires the mutex, capturing the caller's goroutine id and call
+// stack. It returns ErrDeadlock when this acquisition closed a detected
+// deadlock cycle under RecoverBreak, or ErrClosed after runtime shutdown.
+func (m *Mutex) Lock() error {
+	tid := ThreadID(stacktrace.GoroutineID())
+	cs := stacktrace.Capture(m.rt.registry(), 1, m.rt.stackDepth())
+	return m.rt.Acquire(tid, m.lock, cs)
+}
+
+// LockAt acquires the mutex with an explicit call stack, for callers that
+// construct stacks themselves (simulated workloads).
+func (m *Mutex) LockAt(tid ThreadID, cs sig.Stack) error {
+	return m.rt.Acquire(tid, m.lock, cs)
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() error {
+	tid := ThreadID(stacktrace.GoroutineID())
+	return m.rt.Release(tid, m.lock)
+}
+
+// UnlockAt releases the mutex on behalf of an explicit thread id.
+func (m *Mutex) UnlockAt(tid ThreadID) error {
+	return m.rt.Release(tid, m.lock)
+}
+
+// registry returns the runtime's frame-hash registry, creating a default
+// one on first use.
+func (rt *Runtime) registry() *stacktrace.Registry {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.cfg.Registry == nil {
+		rt.cfg.Registry = stacktrace.NewRegistry()
+	}
+	return rt.cfg.Registry
+}
+
+// stackDepth returns the configured native capture depth.
+func (rt *Runtime) stackDepth() int {
+	if rt.cfg.StackDepth > 0 {
+		return rt.cfg.StackDepth
+	}
+	return stacktrace.DefaultDepth
+}

@@ -1,0 +1,172 @@
+package dimmunix
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// transfer locks first then second around a barrier, the classic
+// lock-order-inversion shape. Both the deadlock-producing run and the
+// immunized replay go through this exact function so that captured call
+// stacks match the recorded signature.
+func transfer(first, second *Mutex, barrier func()) error {
+	if err := first.Lock(); err != nil {
+		return err
+	}
+	barrier()
+	err := second.Lock()
+	if err == nil {
+		_ = second.Unlock()
+	}
+	_ = first.Unlock()
+	return err
+}
+
+// launchTransfer starts transfer on its own goroutine; a single launch
+// site keeps goroutine root frames identical across phases.
+func launchTransfer(first, second *Mutex, barrier func()) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- transfer(first, second, barrier) }()
+	return ch
+}
+
+// TestMutexNativeDeadlockLifecycle is the end-to-end native story: real
+// goroutines, real captured stacks, a real deadlock; Dimmunix
+// fingerprints it; a "restarted" runtime seeded with the saved history is
+// immune when the same flow replays.
+func TestMutexNativeDeadlockLifecycle(t *testing.T) {
+	events := make(chan Deadlock, 1)
+	history := NewHistory()
+	rt := NewRuntime(Config{
+		History:    history,
+		Policy:     RecoverBreak,
+		OnDeadlock: func(d Deadlock) { events <- d },
+	})
+	a := rt.NewMutex("account")
+	b := rt.NewMutex("ledger")
+
+	// Phase 1: force the hold-and-wait interleaving; the deadlock must
+	// occur and be fingerprinted.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	barrier := func() { wg.Done(); wg.Wait() }
+	ch1 := launchTransfer(a, b, barrier)
+	ch2 := launchTransfer(b, a, barrier)
+
+	var denied, ok int
+	for _, ch := range []<-chan error{ch1, ch2} {
+		switch err := waitErr(t, ch, "transfer"); {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrDeadlock):
+			denied++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if denied != 1 || ok != 1 {
+		t.Fatalf("denied=%d ok=%d, want 1/1", denied, ok)
+	}
+
+	d := <-events
+	if err := d.Signature.Valid(); err != nil {
+		t.Fatalf("signature invalid: %v", err)
+	}
+	top := d.Signature.Threads[0].Outer.Top()
+	if !strings.Contains(top.Class, "mutex_test.go") {
+		t.Errorf("outer top frame = %v, want a frame in mutex_test.go", top)
+	}
+	if history.Len() != 1 {
+		t.Fatalf("history len = %d, want 1", history.Len())
+	}
+	rt.Close()
+
+	// Phase 2: "restart" with the saved history. The same flow — same
+	// functions, same call sites — must be serialized, never deadlocked.
+	rt2 := NewRuntime(Config{History: history, Policy: RecoverBreak})
+	defer rt2.Close()
+	a2 := rt2.NewMutex("account")
+	b2 := rt2.NewMutex("ledger")
+
+	noop := func() {}
+	var chans []<-chan error
+	for i := 0; i < 20; i++ {
+		chans = append(chans,
+			launchTransfer(a2, b2, noop),
+			launchTransfer(b2, a2, noop),
+		)
+	}
+	for i, ch := range chans {
+		if err := waitErr(t, ch, "immunized transfer"); err != nil {
+			t.Fatalf("immunized run %d saw error: %v", i, err)
+		}
+	}
+	if got := rt2.Stats().Deadlocks; got != 0 {
+		t.Errorf("immunized run deadlocks = %d, want 0", got)
+	}
+}
+
+func TestMutexLockAtExplicitThreads(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	m := rt.NewMutex("m")
+	cs := mkStack("T", "s", 4)
+	if err := m.LockAt(7, cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UnlockAt(8); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("unlock by wrong thread = %v, want ErrNotOwner", err)
+	}
+	if err := m.UnlockAt(7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexReentrancyNative(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	m := rt.NewMutex("m")
+	if err := m.Lock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(); err != nil {
+		t.Fatalf("reentrant native lock: %v", err)
+	}
+	if err := m.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexMutualExclusionNative(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	m := rt.NewMutex("counter")
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := m.Lock(); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				if err := m.Unlock(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 800 {
+		t.Errorf("counter = %d, want 800", counter)
+	}
+}

@@ -1,0 +1,510 @@
+package dimmunix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"communix/internal/sig"
+	"communix/internal/stacktrace"
+)
+
+// ThreadID identifies a thread (a goroutine, for native use).
+type ThreadID uint64
+
+// LockID identifies a lock within one Runtime.
+type LockID uint64
+
+// Errors returned by Acquire.
+var (
+	// ErrDeadlock reports that this acquisition closed a wait-for cycle
+	// and the RecoverBreak policy denied it. The paper's Dimmunix leaves
+	// the program deadlocked (the user restarts it); RecoverBreak is the
+	// cheap equivalent for workloads and tests, modelling the restart as
+	// a failed acquisition the caller backs out of.
+	ErrDeadlock = errors.New("dimmunix: acquisition would deadlock (signature recorded)")
+	// ErrClosed reports that the runtime was shut down while the caller
+	// was blocked.
+	ErrClosed = errors.New("dimmunix: runtime closed")
+	// ErrNotOwner reports a release of a lock the thread does not hold.
+	ErrNotOwner = errors.New("dimmunix: release by non-owner")
+)
+
+// RecoveryPolicy selects what happens to the acquisition that closes a
+// detected deadlock cycle.
+type RecoveryPolicy int
+
+// Policies.
+const (
+	// RecoverNone mirrors the paper: the deadlock is fingerprinted and the
+	// threads stay blocked (a real deadlocked program hangs until
+	// restarted). Close unblocks them with ErrClosed.
+	RecoverNone RecoveryPolicy = iota + 1
+	// RecoverBreak denies the cycle-closing acquisition with ErrDeadlock
+	// after fingerprinting, letting workloads and tests continue.
+	RecoverBreak
+)
+
+// Deadlock describes one detected deadlock.
+type Deadlock struct {
+	// Signature is the extracted fingerprint (outer + inner stacks).
+	Signature *sig.Signature
+	// Threads are the deadlocked threads, in cycle order.
+	Threads []ThreadID
+	// Known reports whether an identical signature was already in the
+	// history (a reoccurrence avoidance failed to prevent, or avoidance
+	// disabled).
+	Known bool
+}
+
+// FalsePositiveWarning is emitted when a signature trips the §III-C1
+// false-positive heuristic: at least 100 instantiations, no true
+// positive, and some one-second interval with more than 10
+// instantiations. The user (or embedding application) may then remove
+// the signature from the history.
+type FalsePositiveWarning struct {
+	SigID          string
+	Instantiations uint64
+}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// History is the deadlock history to avoid and extend. nil means a
+	// fresh in-memory history.
+	History *History
+	// Policy selects deadlock recovery; default RecoverNone.
+	Policy RecoveryPolicy
+	// AvoidanceDisabled turns the avoidance module off (detection only) —
+	// the "Dimmunix detection without immunity" baseline.
+	AvoidanceDisabled bool
+	// DetectionDisabled turns the detection module off (avoidance only).
+	DetectionDisabled bool
+	// OnDeadlock, if set, is called synchronously after a deadlock is
+	// fingerprinted, before recovery applies. It runs with internal locks
+	// dropped; implementations may call back into the History but must
+	// not call Acquire/Release from the same goroutine.
+	OnDeadlock func(Deadlock)
+	// OnFalsePositive, if set, is called when a signature trips the
+	// false-positive heuristic (once per signature per flagging).
+	OnFalsePositive func(FalsePositiveWarning)
+	// Clock injects time for the false-positive burst window; defaults to
+	// time.Now. Tests use a fake clock.
+	Clock func() time.Time
+	// StackDepth bounds native stack capture for Mutex; default
+	// stacktrace.DefaultDepth.
+	StackDepth int
+	// Registry supplies code-unit hashes for native frames; nil allocates
+	// a fresh registry on first use.
+	Registry *stacktrace.Registry
+}
+
+// Runtime is one Dimmunix instance: a lock manager whose scheduling
+// decisions implement deadlock avoidance, plus a wait-for-graph deadlock
+// detector.
+type Runtime struct {
+	cfg     Config
+	history *History
+
+	mu         sync.Mutex
+	threads    map[ThreadID]*threadState
+	yielders   map[ThreadID]*yielder
+	positions  map[slotKey]map[ThreadID]*position
+	histVer    uint64
+	closed     bool
+	nextLockID atomic.Uint64
+
+	fp *fpDetector
+
+	stats Stats
+}
+
+// Stats counts runtime events; retrieved via Runtime.Stats.
+type Stats struct {
+	Acquisitions   uint64 // successful lock grants
+	Contended      uint64 // grants that had to queue first
+	Yields         uint64 // avoidance suspensions
+	Deadlocks      uint64 // detected deadlocks
+	AvoidanceBreak uint64 // forced proceeds to break avoidance cycles
+}
+
+// slotKey keys the position index by signature identity and thread slot.
+type slotKey struct {
+	sigID string
+	slot  int
+}
+
+// position records that a thread currently holds, or waits for, a lock
+// with a call stack matching one signature slot's outer stack.
+type position struct {
+	lock *Lock
+}
+
+// threadState tracks one thread's held locks and blocking state.
+type threadState struct {
+	id   ThreadID
+	held []*heldLock
+	// wait is non-nil while the thread is queued on a lock.
+	wait *waiter
+}
+
+// heldLock is one acquired lock with its acquisition (outer) stack.
+type heldLock struct {
+	lock  *Lock
+	outer sig.Stack
+	slots []slotKey // signature slots this hold occupies
+}
+
+// waiter is a thread queued on a lock.
+type waiter struct {
+	thread ThreadID
+	lock   *Lock
+	stack  sig.Stack
+	slots  []slotKey
+	grant  chan error // buffered(1): grant or denial
+	// notified guards against double notification (grant racing a
+	// deadlock denial or Close); set under rt.mu before the single send.
+	notified bool
+}
+
+// notifyLocked delivers the waiter's verdict exactly once.
+func notifyLocked(w *waiter, err error) bool {
+	if w.notified {
+		return false
+	}
+	w.notified = true
+	w.grant <- err
+	return true
+}
+
+// yielder is a thread suspended by the avoidance module.
+type yielder struct {
+	thread ThreadID
+	// blockers are the threads occupying the other slots of the
+	// signature(s) whose instantiation this thread would complete.
+	blockers map[ThreadID]struct{}
+	wake     chan struct{} // buffered(1)
+	// proceed forces the thread past avoidance (avoidance-cycle breaker).
+	proceed bool
+}
+
+// Lock is a mutex managed by a Runtime. Create with NewLock; acquire and
+// release through the Runtime (or wrap in a Mutex for native use). Locks
+// are reentrant, like Java monitors.
+type Lock struct {
+	id        LockID
+	name      string
+	owner     ThreadID
+	ownerHold *heldLock
+	recursion int
+	queue     []*waiter
+}
+
+// NewRuntime builds a runtime from the config.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.History == nil {
+		cfg.History = NewHistory()
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = RecoverNone
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		history:   cfg.History,
+		threads:   make(map[ThreadID]*threadState),
+		yielders:  make(map[ThreadID]*yielder),
+		positions: make(map[slotKey]map[ThreadID]*position),
+	}
+	rt.fp = newFPDetector(cfg.Clock, cfg.OnFalsePositive)
+	return rt
+}
+
+// History returns the runtime's deadlock history.
+func (rt *Runtime) History() *History { return rt.history }
+
+// Stats returns a snapshot of runtime event counters.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// NewLock creates a lock. The name is used in diagnostics only.
+func (rt *Runtime) NewLock(name string) *Lock {
+	return &Lock{id: LockID(rt.nextLockID.Add(1)), name: name}
+}
+
+// Close shuts the runtime down: every blocked or yielding thread is
+// released with ErrClosed, and future acquisitions fail with ErrClosed.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	for _, ts := range rt.threads {
+		if ts.wait != nil {
+			notifyLocked(ts.wait, ErrClosed)
+		}
+	}
+	for _, y := range rt.yielders {
+		select {
+		case y.wake <- struct{}{}:
+		default:
+		}
+	}
+	rt.mu.Unlock()
+}
+
+// thread returns (creating if needed) the state for tid. Caller holds rt.mu.
+func (rt *Runtime) thread(tid ThreadID) *threadState {
+	ts, ok := rt.threads[tid]
+	if !ok {
+		ts = &threadState{id: tid}
+		rt.threads[tid] = ts
+	}
+	return ts
+}
+
+// Acquire requests lock l for thread tid, with cs as the thread's current
+// call stack (which becomes the outer stack of the hold). It blocks while
+// the avoidance module predicts a signature instantiation (§II-A), then
+// while the lock is owned. It returns nil on acquisition, ErrDeadlock if
+// this acquisition closed a detected cycle under RecoverBreak, or
+// ErrClosed after Close.
+func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
+	if l == nil {
+		return fmt.Errorf("dimmunix: acquire nil lock")
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return ErrClosed
+	}
+	rt.refreshPositionsLocked()
+
+	// Reentrant fast path.
+	if l.owner == tid {
+		l.recursion++
+		rt.mu.Unlock()
+		return nil
+	}
+
+	// Avoidance: suspend while granting would let a history signature
+	// instantiate.
+	if !rt.cfg.AvoidanceDisabled {
+		if err := rt.avoidLocked(tid, l, cs); err != nil {
+			rt.mu.Unlock()
+			return err
+		}
+		if rt.closed {
+			rt.mu.Unlock()
+			return ErrClosed
+		}
+	}
+
+	ts := rt.thread(tid)
+
+	// Fast path: free lock.
+	if l.owner == 0 && len(l.queue) == 0 {
+		rt.grantLocked(ts, l, cs)
+		rt.stats.Acquisitions++
+		rt.mu.Unlock()
+		return nil
+	}
+
+	// Queue as a waiter; matching slots register immediately ("hold or
+	// are block waiting", §II-A).
+	w := &waiter{thread: tid, lock: l, stack: cs, grant: make(chan error, 1)}
+	w.slots = rt.registerPositionsLocked(tid, l, cs)
+	l.queue = append(l.queue, w)
+	ts.wait = w
+	rt.stats.Contended++
+
+	// Detection: does this wait close a cycle?
+	var dl *Deadlock
+	if !rt.cfg.DetectionDisabled {
+		if cycle := rt.findCycleLocked(tid); cycle != nil {
+			dl = rt.buildDeadlockLocked(cycle)
+			if dl != nil {
+				rt.stats.Deadlocks++
+				if !dl.Known {
+					rt.history.Add(dl.Signature)
+				}
+				if rt.cfg.Policy == RecoverBreak {
+					notifyLocked(w, ErrDeadlock)
+				}
+			}
+		}
+	}
+	// This wait may also have closed a mixed wait+yield cycle; break it by
+	// forcing a yielder through.
+	rt.resolveAvoidanceCyclesLocked()
+	rt.mu.Unlock()
+	if dl != nil && rt.cfg.OnDeadlock != nil {
+		rt.cfg.OnDeadlock(*dl)
+	}
+
+	err := <-w.grant
+
+	rt.mu.Lock()
+	ts.wait = nil
+	if err != nil {
+		// Denied (deadlock break or close): withdraw from the queue and
+		// drop the waiter's slot registrations.
+		rt.removeWaiterLocked(l, w)
+		rt.unregisterPositionsLocked(tid, w.slots)
+		rt.wakeYieldersLocked()
+	}
+	rt.reapThreadLocked(ts)
+	rt.mu.Unlock()
+	return err
+}
+
+// reapThreadLocked drops bookkeeping for threads holding nothing and
+// waiting on nothing, keeping the thread table bounded under churny
+// goroutine workloads.
+func (rt *Runtime) reapThreadLocked(ts *threadState) {
+	if len(ts.held) == 0 && ts.wait == nil {
+		delete(rt.threads, ts.id)
+	}
+}
+
+// Release releases lock l held by tid. Reentrant holds unwind before the
+// lock is handed to the next waiter.
+func (rt *Runtime) Release(tid ThreadID, l *Lock) error {
+	if l == nil {
+		return fmt.Errorf("dimmunix: release nil lock")
+	}
+	rt.mu.Lock()
+	if l.owner != tid {
+		rt.mu.Unlock()
+		return fmt.Errorf("%w: lock %q owned by %d, released by %d", ErrNotOwner, l.name, l.owner, tid)
+	}
+	if l.recursion > 0 {
+		l.recursion--
+		rt.mu.Unlock()
+		return nil
+	}
+
+	ts := rt.thread(tid)
+	// Drop the hold record and its slot registrations.
+	for i, h := range ts.held {
+		if h.lock == l {
+			rt.unregisterPositionsLocked(tid, h.slots)
+			ts.held = append(ts.held[:i], ts.held[i+1:]...)
+			break
+		}
+	}
+	l.owner = 0
+	l.ownerHold = nil
+
+	// Hand over to the next waiter, if any.
+	rt.promoteLocked(l)
+	// State changed: yielding threads re-evaluate.
+	rt.wakeYieldersLocked()
+	rt.reapThreadLocked(ts)
+	rt.mu.Unlock()
+	return nil
+}
+
+// grantLocked makes tid the owner of l with outer stack cs, registering
+// signature positions.
+func (rt *Runtime) grantLocked(ts *threadState, l *Lock, cs sig.Stack) {
+	h := &heldLock{lock: l, outer: cs}
+	h.slots = rt.registerPositionsLocked(ts.id, l, cs)
+	ts.held = append(ts.held, h)
+	l.owner = ts.id
+	l.ownerHold = h
+	l.recursion = 0
+}
+
+// promoteLocked grants l to the first live waiter in its queue, skipping
+// waiters already denied (deadlock break, shutdown).
+func (rt *Runtime) promoteLocked(l *Lock) {
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		if w.notified {
+			continue
+		}
+		ts := rt.thread(w.thread)
+		// The waiter's slot registrations carry over to the hold.
+		h := &heldLock{lock: l, outer: w.stack, slots: w.slots}
+		ts.held = append(ts.held, h)
+		l.owner = w.thread
+		l.ownerHold = h
+		l.recursion = 0
+		rt.stats.Acquisitions++
+		notifyLocked(w, nil)
+		return
+	}
+}
+
+// removeWaiterLocked deletes w from l's queue if still present.
+func (rt *Runtime) removeWaiterLocked(l *Lock, w *waiter) {
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// registerPositionsLocked records which signature slots (tid, l, cs)
+// matches and returns the slot keys for later unregistration.
+func (rt *Runtime) registerPositionsLocked(tid ThreadID, l *Lock, cs sig.Stack) []slotKey {
+	refs := rt.history.MatchOuter(cs)
+	if len(refs) == 0 {
+		return nil
+	}
+	keys := make([]slotKey, 0, len(refs))
+	for _, r := range refs {
+		key := slotKey{sigID: r.ID, slot: r.Slot}
+		m, ok := rt.positions[key]
+		if !ok {
+			m = make(map[ThreadID]*position)
+			rt.positions[key] = m
+		}
+		m[tid] = &position{lock: l}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// unregisterPositionsLocked removes tid from the given slots.
+func (rt *Runtime) unregisterPositionsLocked(tid ThreadID, keys []slotKey) {
+	for _, key := range keys {
+		if m, ok := rt.positions[key]; ok {
+			delete(m, tid)
+			if len(m) == 0 {
+				delete(rt.positions, key)
+			}
+		}
+	}
+}
+
+// refreshPositionsLocked re-registers all held and waiting stacks after
+// the history changed (the Communix agent adds or merges signatures while
+// the application runs).
+func (rt *Runtime) refreshPositionsLocked() {
+	v := rt.history.Version()
+	if v == rt.histVer {
+		return
+	}
+	rt.histVer = v
+	rt.positions = make(map[slotKey]map[ThreadID]*position)
+	for tid, ts := range rt.threads {
+		for _, h := range ts.held {
+			h.slots = rt.registerPositionsLocked(tid, h.lock, h.outer)
+		}
+		if ts.wait != nil {
+			ts.wait.slots = rt.registerPositionsLocked(tid, ts.wait.lock, ts.wait.stack)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package dimmunix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"communix/internal/sig"
+)
+
+func TestAcquireReleaseBasic(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	cs := mkStack("T", "s", 4)
+	if err := rt.Acquire(1, l, cs); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := rt.Release(1, l); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	st := rt.Stats()
+	if st.Acquisitions != 1 || st.Contended != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReentrantAcquire(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	cs := mkStack("T", "s", 4)
+	for i := 0; i < 3; i++ {
+		if err := rt.Acquire(1, l, cs); err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+	}
+	// Another thread cannot take it until all three releases.
+	done := make(chan error, 1)
+	go func() { done <- rt.Acquire(2, l, cs) }()
+	for i := 0; i < 2; i++ {
+		if err := rt.Release(1, l); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			t.Fatal("lock handed over before outermost release")
+		default:
+		}
+	}
+	if err := rt.Release(1, l); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitErr(t, done, "thread 2"); err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.Release(2, l)
+}
+
+func TestReleaseByNonOwner(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	if err := rt.Release(2, l); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("release of free lock = %v, want ErrNotOwner", err)
+	}
+	if err := rt.Acquire(1, l, mkStack("T", "s", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Release(2, l); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("release by other thread = %v, want ErrNotOwner", err)
+	}
+	_ = rt.Release(1, l)
+}
+
+func TestMutualExclusionUnderContention(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("counter")
+	const workers, iters = 16, 200
+
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := ThreadID(100 + w)
+			cs := mkStack(fmt.Sprintf("W%d", w), "inc", 4)
+			for i := 0; i < iters; i++ {
+				if err := rt.Acquire(tid, l, cs); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				counter++
+				if err := rt.Release(tid, l); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Errorf("counter = %d, want %d (mutual exclusion violated)", counter, workers*iters)
+	}
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	if err := rt.Acquire(1, l, mkStack("T1", "s", 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	const queued = 5
+	order := make(chan ThreadID, queued)
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		tid := ThreadID(10 + i)
+		wg.Add(1)
+		go func(tid ThreadID) {
+			defer wg.Done()
+			if err := rt.Acquire(tid, l, mkStack("Q", "s", 3)); err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			order <- tid
+			_ = rt.Release(tid, l)
+		}(tid)
+		// Ensure deterministic queue order by waiting until this waiter
+		// is registered.
+		eventually(t, func() bool {
+			return int(rt.Stats().Contended) >= i+1
+		}, "waiter queued")
+	}
+	_ = rt.Release(1, l)
+	wg.Wait()
+	close(order)
+	want := ThreadID(10)
+	for tid := range order {
+		if tid != want {
+			t.Fatalf("grant order: got %d, want %d", tid, want)
+		}
+		want++
+	}
+}
+
+func TestCloseUnblocksEverything(t *testing.T) {
+	ps := newPairStacks()
+	history := NewHistory()
+	history.Add(ps.signature())
+	rt := NewRuntime(Config{History: history})
+	a := rt.NewLock("A")
+	b := rt.NewLock("B")
+
+	if err := rt.Acquire(1, a, ps.outerA); err != nil {
+		t.Fatal(err)
+	}
+	// One thread blocked in the wait queue and one suspended in avoidance.
+	waitDone := make(chan error, 1)
+	yieldDone := make(chan error, 1)
+	go func() { waitDone <- rt.Acquire(2, a, mkStack("T2", "w", 3)) }()
+	go func() { yieldDone <- rt.Acquire(3, b, ps.outerB) }()
+	eventually(t, func() bool {
+		s := rt.Stats()
+		return s.Contended >= 1 && s.Yields >= 1
+	}, "one waiter and one yielder")
+
+	rt.Close()
+	if err := waitErr(t, waitDone, "waiter"); !errors.Is(err, ErrClosed) {
+		t.Errorf("waiter err = %v, want ErrClosed", err)
+	}
+	if err := waitErr(t, yieldDone, "yielder"); !errors.Is(err, ErrClosed) {
+		t.Errorf("yielder err = %v, want ErrClosed", err)
+	}
+	if err := rt.Acquire(4, a, mkStack("T4", "s", 3)); !errors.Is(err, ErrClosed) {
+		t.Errorf("acquire after close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	rt.Close()
+}
+
+func TestAcquireNilLock(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	if err := rt.Acquire(1, nil, mkStack("T", "s", 3)); err == nil {
+		t.Error("nil lock should error")
+	}
+	if err := rt.Release(1, nil); err == nil {
+		t.Error("nil lock release should error")
+	}
+}
+
+func TestThreadTableIsReaped(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	for i := 0; i < 100; i++ {
+		tid := ThreadID(1000 + i)
+		if err := rt.Acquire(tid, l, mkStack("T", "s", 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Release(tid, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.mu.Lock()
+	n := len(rt.threads)
+	rt.mu.Unlock()
+	if n != 0 {
+		t.Errorf("thread table holds %d entries after all released, want 0", n)
+	}
+}
+
+func TestOutOfOrderRelease(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	a, b := rt.NewLock("A"), rt.NewLock("B")
+	if err := rt.Acquire(1, a, mkStack("T", "a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Acquire(1, b, mkStack("T", "b", 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Release in acquisition order (not LIFO) must work.
+	if err := rt.Release(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Release(1, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	cs := mkStack("T", "s", 3)
+	_ = rt.Acquire(1, l, cs)
+	done := make(chan error, 1)
+	go func() { done <- rt.Acquire(2, l, cs) }()
+	eventually(t, func() bool { return rt.Stats().Contended == 1 }, "contended count")
+	_ = rt.Release(1, l)
+	if err := waitErr(t, done, "t2"); err != nil {
+		t.Fatal(err)
+	}
+	_ = rt.Release(2, l)
+	st := rt.Stats()
+	if st.Acquisitions != 2 {
+		t.Errorf("Acquisitions = %d, want 2", st.Acquisitions)
+	}
+}
+
+func TestConcurrentChaosNoLostGrants(t *testing.T) {
+	// Many threads over a small lock set with signatures installed:
+	// whatever interleavings occur, every Acquire must terminate (grant,
+	// deadlock-denial, or close) — no lost wakeups.
+	ps := newPairStacks()
+	history := NewHistory()
+	history.Add(ps.signature())
+	rt := NewRuntime(Config{History: history, Policy: RecoverBreak})
+	defer rt.Close()
+
+	locks := []*Lock{rt.NewLock("0"), rt.NewLock("1"), rt.NewLock("2")}
+	stacks := []sig.Stack{ps.outerA, ps.outerB, mkStack("Z", "z", 4)}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := ThreadID(500 + w)
+			for i := 0; i < 60; i++ {
+				l1 := locks[(w+i)%3]
+				l2 := locks[(w+i+1)%3]
+				cs1 := stacks[(w+i)%3]
+				cs2 := stacks[(w+i+1)%3]
+				if err := rt.Acquire(tid, l1, cs1); err != nil {
+					continue
+				}
+				if err := rt.Acquire(tid, l2, cs2); err == nil {
+					_ = rt.Release(tid, l2)
+				}
+				_ = rt.Release(tid, l1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-waitTimeout():
+		t.Fatal("chaos workload did not terminate: lost wakeup or livelock")
+	}
+}

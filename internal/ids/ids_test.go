@@ -1,0 +1,165 @@
+package ids
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var testKey = bytes.Repeat([]byte{0x42}, KeySize)
+
+func mustCodec(t *testing.T) *Codec {
+	t.Helper()
+	c, err := NewCodec(testKey)
+	if err != nil {
+		t.Fatalf("NewCodec: %v", err)
+	}
+	return c
+}
+
+func TestNewCodecRejectsBadKeySizes(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 32} {
+		if _, err := NewCodec(make([]byte, n)); err == nil {
+			t.Errorf("NewCodec with %d-byte key should fail", n)
+		}
+	}
+}
+
+func TestMintVerifyRoundTrip(t *testing.T) {
+	c := mustCodec(t)
+	for _, id := range []UserID{1, 2, 7, 1 << 40, ^UserID(0)} {
+		tok := c.Mint(id)
+		got, err := c.Verify(tok)
+		if err != nil {
+			t.Fatalf("Verify(Mint(%d)): %v", id, err)
+		}
+		if got != id {
+			t.Errorf("Verify(Mint(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestMintDeterministic(t *testing.T) {
+	c := mustCodec(t)
+	if c.Mint(99) != c.Mint(99) {
+		t.Error("Mint must be deterministic per id")
+	}
+	if c.Mint(1) == c.Mint(2) {
+		t.Error("distinct ids must produce distinct tokens")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	c := mustCodec(t)
+	tok := c.Mint(1234)
+	raw, _ := hex.DecodeString(string(tok))
+
+	for i := 0; i < TokenSize; i++ {
+		mutated := append([]byte(nil), raw...)
+		mutated[i] ^= 0x01
+		if _, err := c.Verify(Token(hex.EncodeToString(mutated))); !errors.Is(err, ErrBadToken) {
+			t.Errorf("flipping byte %d should invalidate the token, got %v", i, err)
+		}
+	}
+}
+
+func TestVerifyRejectsMalformed(t *testing.T) {
+	c := mustCodec(t)
+	for _, tok := range []Token{"", "zz", "deadbeef", Token(hex.EncodeToString(make([]byte, 8)))} {
+		if _, err := c.Verify(tok); !errors.Is(err, ErrBadToken) {
+			t.Errorf("Verify(%q) = %v, want ErrBadToken", tok, err)
+		}
+	}
+}
+
+func TestVerifyRejectsForeignKey(t *testing.T) {
+	c := mustCodec(t)
+	other, err := NewCodec(bytes.Repeat([]byte{0x13}, KeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := other.Mint(7)
+	if _, err := c.Verify(tok); !errors.Is(err, ErrBadToken) {
+		t.Errorf("token under a different key should not verify, got %v", err)
+	}
+}
+
+func TestAuthorityIssuesSequentialUniqueIDs(t *testing.T) {
+	a, err := NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[UserID]bool)
+	seenTok := make(map[Token]bool)
+	for i := 0; i < 100; i++ {
+		id, tok := a.Issue()
+		if seen[id] || seenTok[tok] {
+			t.Fatalf("duplicate id/token at iteration %d", i)
+		}
+		seen[id], seenTok[tok] = true, true
+		if got, err := a.Codec().Verify(tok); err != nil || got != id {
+			t.Fatalf("issued token does not verify: %v", err)
+		}
+	}
+}
+
+func TestAuthorityConcurrentIssue(t *testing.T) {
+	a, err := NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 50
+	var mu sync.Mutex
+	seen := make(map[UserID]bool, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id, _ := a.Issue()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %d issued concurrently", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*perWorker {
+		t.Errorf("issued %d unique ids, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := mustCodec(t)
+	prop := func(id uint64) bool {
+		got, err := c.Verify(c.Mint(UserID(id)))
+		return err == nil && got == UserID(id)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomTokensDoNotVerify(t *testing.T) {
+	c := mustCodec(t)
+	r := rand.New(rand.NewSource(1))
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		raw := make([]byte, TokenSize)
+		r.Read(raw)
+		if _, err := c.Verify(Token(hex.EncodeToString(raw))); err == nil {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Errorf("%d random tokens verified; forgery must be negligible", hits)
+	}
+}

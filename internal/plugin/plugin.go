@@ -1,0 +1,148 @@
+// Package plugin implements the Communix plugin (§III-A/B): the component
+// layered on Dimmunix that, right after a deadlock signature is produced,
+// attaches the per-frame code-unit hashes and uploads the signature to
+// the Communix server.
+//
+// Uploads happen on a dedicated worker goroutine so that the deadlocking
+// application thread (whose Acquire triggered detection) never blocks on
+// the network.
+package plugin
+
+import (
+	"errors"
+	"sync"
+
+	"communix/internal/dimmunix"
+	"communix/internal/sig"
+)
+
+// Uploader publishes signatures to the Communix server; *client.Client
+// implements it.
+type Uploader interface {
+	Upload(*sig.Signature) error
+}
+
+// Hasher resolves code-unit hashes; bytecode.View and the applications'
+// own registries implement it.
+type Hasher interface {
+	UnitHash(unit string) (hash string, ok bool)
+}
+
+// Config parameterizes a Plugin.
+type Config struct {
+	// Uploader publishes signatures. Required.
+	Uploader Uploader
+	// Hasher fills in hashes for frames that lack one. Optional: frames
+	// captured from modelled applications already carry hashes.
+	Hasher Hasher
+	// OnResult, if set, observes every upload outcome.
+	OnResult func(s *sig.Signature, err error)
+	// QueueSize bounds the upload backlog; further signatures are dropped
+	// (and reported through OnResult). Default 64.
+	QueueSize int
+}
+
+// Plugin uploads freshly detected deadlock signatures.
+type Plugin struct {
+	cfg   Config
+	queue chan *sig.Signature
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ErrQueueFull reports a dropped upload (backlog exceeded).
+var ErrQueueFull = errors.New("plugin: upload queue full")
+
+// ErrClosed reports an upload after Close.
+var ErrClosed = errors.New("plugin: closed")
+
+// New builds and starts a plugin.
+func New(cfg Config) (*Plugin, error) {
+	if cfg.Uploader == nil {
+		return nil, errors.New("plugin: Uploader is required")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	p := &Plugin{cfg: cfg, queue: make(chan *sig.Signature, cfg.QueueSize)}
+	p.wg.Add(1)
+	go p.worker()
+	return p, nil
+}
+
+// HandleDeadlock is wired as (or called from) dimmunix.Config.OnDeadlock:
+// it stamps hashes onto the new signature and enqueues it for upload.
+// Reoccurrences of known signatures are not re-uploaded.
+func (p *Plugin) HandleDeadlock(d dimmunix.Deadlock) {
+	if d.Known || d.Signature == nil {
+		return
+	}
+	s := d.Signature.Clone()
+	p.stamp(s)
+
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		p.report(s, ErrClosed)
+		return
+	}
+	select {
+	case p.queue <- s:
+	default:
+		p.report(s, ErrQueueFull)
+	}
+}
+
+// stamp attaches code-unit hashes to frames that lack them (§III-C: "the
+// plugin attaches to each call stack frame the hash of the class bytecode
+// containing that frame").
+func (p *Plugin) stamp(s *sig.Signature) {
+	if p.cfg.Hasher == nil {
+		return
+	}
+	fill := func(cs sig.Stack) {
+		for i := range cs {
+			if cs[i].Hash != "" {
+				continue
+			}
+			if h, ok := p.cfg.Hasher.UnitHash(cs[i].Class); ok {
+				cs[i].Hash = h
+			}
+		}
+	}
+	for i := range s.Threads {
+		fill(s.Threads[i].Outer)
+		fill(s.Threads[i].Inner)
+	}
+	s.Normalize()
+}
+
+func (p *Plugin) worker() {
+	defer p.wg.Done()
+	for s := range p.queue {
+		p.report(s, p.cfg.Uploader.Upload(s))
+	}
+}
+
+func (p *Plugin) report(s *sig.Signature, err error) {
+	if p.cfg.OnResult != nil {
+		p.cfg.OnResult(s, err)
+	}
+}
+
+// Close drains the queue and stops the worker.
+func (p *Plugin) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

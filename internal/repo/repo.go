@@ -1,0 +1,245 @@
+// Package repo implements the Communix client's local signature
+// repository (§III-B): the file the background client downloads new
+// signatures into, and that the agent inspects incrementally at
+// application startup (every signature is analyzed only once per
+// application; signatures that passed the hash check but failed the
+// nesting check are kept for re-checking when new classes load).
+package repo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"communix/internal/sig"
+)
+
+// Entry is one repository signature with its stable position.
+type Entry struct {
+	// Index is the signature's 0-based position in download order.
+	Index int
+	// Sig is a decoded copy; callers may mutate it.
+	Sig *sig.Signature
+}
+
+// Repo is the local signature repository. It is safe for concurrent use
+// (the background client appends while applications inspect). A Repo with
+// an empty path lives in memory only.
+type Repo struct {
+	mu    sync.Mutex
+	path  string
+	state state
+	// decoded caches decoded signatures by position.
+	decoded []*sig.Signature
+}
+
+// state is the persisted form.
+type state struct {
+	// Next is the 1-based index to request from the server next.
+	Next int `json:"next"`
+	// Sigs are the downloaded signatures in server order.
+	Sigs []json.RawMessage `json:"sigs"`
+	// Inspected maps application key -> number of leading signatures
+	// already inspected for that application.
+	Inspected map[string]int `json:"inspected,omitempty"`
+	// PendingNesting maps application key -> positions that passed the
+	// hash check but failed the nesting check (§III-C3 re-check).
+	PendingNesting map[string][]int `json:"pending_nesting,omitempty"`
+}
+
+// Open loads (or initializes) a repository at path; empty path means
+// in-memory.
+func Open(path string) (*Repo, error) {
+	r := &Repo{path: path}
+	r.state.Next = 1
+	r.state.Inspected = make(map[string]int)
+	r.state.PendingNesting = make(map[string][]int)
+	if path == "" {
+		return r, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return r, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repo: open: %w", err)
+	}
+	if err := json.Unmarshal(data, &r.state); err != nil {
+		return nil, fmt.Errorf("repo: open %s: %w", path, err)
+	}
+	if r.state.Next < 1 {
+		r.state.Next = 1
+	}
+	if r.state.Inspected == nil {
+		r.state.Inspected = make(map[string]int)
+	}
+	if r.state.PendingNesting == nil {
+		r.state.PendingNesting = make(map[string][]int)
+	}
+	// Validate eagerly so corruption surfaces at open, not at first use.
+	r.decoded = make([]*sig.Signature, len(r.state.Sigs))
+	for i, raw := range r.state.Sigs {
+		s, err := sig.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("repo: open %s: signature %d: %w", path, i, err)
+		}
+		s.Origin = sig.OriginRemote
+		r.decoded[i] = s
+	}
+	return r, nil
+}
+
+// Append stores newly downloaded signatures and advances the server
+// cursor. Undecodable signatures are skipped (the server is not trusted
+// blindly); duplicates by content are kept — positions must stay aligned
+// with server indexes.
+func (r *Repo) Append(raw []json.RawMessage, next int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, data := range raw {
+		s, err := sig.Decode(data)
+		if err != nil {
+			continue
+		}
+		s.Origin = sig.OriginRemote
+		r.state.Sigs = append(r.state.Sigs, data)
+		r.decoded = append(r.decoded, s)
+	}
+	if next > r.state.Next {
+		r.state.Next = next
+	}
+	return r.saveLocked()
+}
+
+// Next returns the 1-based index to request from the server.
+func (r *Repo) Next() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Next
+}
+
+// Len returns the number of stored signatures.
+func (r *Repo) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.state.Sigs)
+}
+
+// NewSince returns the signatures not yet inspected for the application,
+// in download order.
+func (r *Repo) NewSince(appKey string) []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	from := r.state.Inspected[appKey]
+	out := make([]Entry, 0, len(r.decoded)-from)
+	for i := from; i < len(r.decoded); i++ {
+		out = append(out, Entry{Index: i, Sig: r.decoded[i].Clone()})
+	}
+	return out
+}
+
+// MarkInspected records that the application has inspected every
+// signature below position through (exclusive). pendingNesting lists the
+// positions among them that passed the hash check but failed nesting and
+// must be re-checked when new classes load.
+func (r *Repo) MarkInspected(appKey string, through int, pendingNesting []int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if through > r.state.Inspected[appKey] {
+		r.state.Inspected[appKey] = through
+	}
+	if len(pendingNesting) > 0 {
+		merged := append(r.state.PendingNesting[appKey], pendingNesting...)
+		sort.Ints(merged)
+		merged = dedupInts(merged)
+		r.state.PendingNesting[appKey] = merged
+	}
+	return r.saveLocked()
+}
+
+// PendingNesting returns the signatures awaiting a nesting re-check for
+// the application.
+func (r *Repo) PendingNesting(appKey string) []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	positions := r.state.PendingNesting[appKey]
+	out := make([]Entry, 0, len(positions))
+	for _, i := range positions {
+		if i >= 0 && i < len(r.decoded) {
+			out = append(out, Entry{Index: i, Sig: r.decoded[i].Clone()})
+		}
+	}
+	return out
+}
+
+// ResolvePending removes positions from the application's pending-nesting
+// set (they finally passed, or were rejected for good).
+func (r *Repo) ResolvePending(appKey string, positions []int) error {
+	if len(positions) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	drop := make(map[int]struct{}, len(positions))
+	for _, p := range positions {
+		drop[p] = struct{}{}
+	}
+	cur := r.state.PendingNesting[appKey]
+	out := cur[:0]
+	for _, p := range cur {
+		if _, gone := drop[p]; !gone {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		delete(r.state.PendingNesting, appKey)
+	} else {
+		r.state.PendingNesting[appKey] = out
+	}
+	return r.saveLocked()
+}
+
+// saveLocked persists atomically (temp file + rename); in-memory repos
+// skip persistence.
+func (r *Repo) saveLocked() error {
+	if r.path == "" {
+		return nil
+	}
+	data, err := json.Marshal(r.state)
+	if err != nil {
+		return fmt.Errorf("repo: save: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(r.path), ".repo-*")
+	if err != nil {
+		return fmt.Errorf("repo: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("repo: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("repo: save: %w", err)
+	}
+	if err := os.Rename(tmpName, r.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("repo: save: %w", err)
+	}
+	return nil
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

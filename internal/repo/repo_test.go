@@ -1,0 +1,244 @@
+package repo
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"communix/internal/sig"
+	"communix/internal/sig/sigtest"
+)
+
+func encodeSig(t *testing.T, s *sig.Signature) json.RawMessage {
+	t.Helper()
+	data, err := sig.Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func someSigs(t *testing.T, n int, seed int64) []json.RawMessage {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	out := make([]json.RawMessage, n)
+	for i := range out {
+		out[i] = encodeSig(t, sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9))
+	}
+	return out
+}
+
+func TestOpenMissingFileIsEmpty(t *testing.T) {
+	r, err := Open(filepath.Join(t.TempDir(), "repo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || r.Next() != 1 {
+		t.Errorf("fresh repo: len=%d next=%d", r.Len(), r.Next())
+	}
+}
+
+func TestAppendAndCursor(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := someSigs(t, 3, 1)
+	if err := r.Append(sigs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || r.Next() != 4 {
+		t.Errorf("len=%d next=%d, want 3/4", r.Len(), r.Next())
+	}
+	// Stale next must not move the cursor backwards.
+	if err := r.Append(nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r.Next() != 4 {
+		t.Errorf("cursor moved backwards to %d", r.Next())
+	}
+}
+
+func TestAppendSkipsUndecodable(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := someSigs(t, 2, 2)
+	mixed := []json.RawMessage{sigs[0], json.RawMessage(`{"bogus":1}`), sigs[1]}
+	if err := r.Append(mixed, 4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d, want 2 (bogus skipped)", r.Len())
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.json")
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(someSigs(t, 4, 3), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkInspected("appA", 2, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 || got.Next() != 5 {
+		t.Errorf("reloaded: len=%d next=%d", got.Len(), got.Next())
+	}
+	if n := len(got.NewSince("appA")); n != 2 {
+		t.Errorf("NewSince(appA) = %d, want 2", n)
+	}
+	if n := len(got.NewSince("appB")); n != 4 {
+		t.Errorf("NewSince(appB) = %d, want 4 (cursors are per app)", n)
+	}
+	pend := got.PendingNesting("appA")
+	if len(pend) != 1 || pend[0].Index != 1 {
+		t.Errorf("PendingNesting = %+v", pend)
+	}
+	// Loaded signatures are remote-origin.
+	if pend[0].Sig.Origin != sig.OriginRemote {
+		t.Error("repository signatures must be remote-origin")
+	}
+}
+
+func TestOpenCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.json")
+	if err := os.WriteFile(path, []byte("{oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("corrupt repo should fail to open")
+	}
+	// Invalid embedded signature is also a corruption error.
+	if err := os.WriteFile(path, []byte(`{"next":2,"sigs":[{"threads":[]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("invalid embedded signature should fail to open")
+	}
+}
+
+func TestNewSinceReturnsClones(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(someSigs(t, 1, 4), 2); err != nil {
+		t.Fatal(err)
+	}
+	a := r.NewSince("app")
+	a[0].Sig.Threads[0].Outer[0].Class = "MUTATED"
+	b := r.NewSince("app")
+	if b[0].Sig.Threads[0].Outer[0].Class == "MUTATED" {
+		t.Error("NewSince must return independent clones")
+	}
+}
+
+func TestMarkInspectedMonotonic(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(someSigs(t, 5, 5), 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkInspected("app", 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A smaller "through" must not rewind.
+	if err := r.MarkInspected("app", 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.NewSince("app")); n != 1 {
+		t.Errorf("NewSince = %d, want 1", n)
+	}
+}
+
+func TestResolvePending(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(someSigs(t, 4, 6), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkInspected("app", 4, []int{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ResolvePending("app", []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	pend := r.PendingNesting("app")
+	if len(pend) != 2 || pend[0].Index != 0 || pend[1].Index != 3 {
+		t.Errorf("pending after resolve = %+v", pend)
+	}
+	if err := r.ResolvePending("app", []int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PendingNesting("app")) != 0 {
+		t.Error("pending should be empty")
+	}
+	// Resolving nothing is a no-op.
+	if err := r.ResolvePending("app", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingDeduplicated(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(someSigs(t, 3, 7), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkInspected("app", 3, []int{1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkInspected("app", 3, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.PendingNesting("app")); n != 2 {
+		t.Errorf("pending = %d entries, want 2 (deduplicated)", n)
+	}
+}
+
+func TestConcurrentAppendAndInspect(t *testing.T) {
+	r, err := Open(filepath.Join(t.TempDir(), "repo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = r.Append(someSigs(t, 1, int64(100+i)), r.Next()+1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			entries := r.NewSince("app")
+			if len(entries) > 0 {
+				_ = r.MarkInspected("app", entries[len(entries)-1].Index+1, nil)
+			}
+		}
+	}()
+	wg.Wait()
+	if r.Len() != 20 {
+		t.Errorf("len = %d, want 20", r.Len())
+	}
+}

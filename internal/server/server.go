@@ -1,0 +1,197 @@
+// Package server implements the Communix server (§III-A/B): it collects
+// deadlock signatures uploaded by Communix plugins (ADD), validates them
+// server-side (§III-C2: encrypted sender ids, per-user adjacency, daily
+// rate limit), and serves incremental downloads to Communix clients
+// (GET).
+//
+// Two entry points exist deliberately: Process invokes the request
+// processing routines directly (how the paper's Figure 2 measures the
+// server's computations from tens of thousands of simultaneous threads),
+// and Serve exposes the same processing over TCP (how Figure 3 measures
+// the end-to-end distribution path).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/sig"
+	"communix/internal/store"
+	"communix/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Key is the predefined AES-128 key under which user-id tokens were
+	// minted. Required.
+	Key []byte
+	// MaxPerDay overrides the per-user daily signature budget (default
+	// store.DefaultMaxPerDay).
+	MaxPerDay int
+	// Clock injects time for the rate limiter.
+	Clock func() time.Time
+}
+
+// Server is a Communix signature server.
+type Server struct {
+	codec *ids.Codec
+	db    *store.Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// New builds a server.
+func New(cfg Config) (*Server, error) {
+	codec, err := ids.NewCodec(cfg.Key)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{
+		codec: codec,
+		db:    store.New(store.Config{MaxPerDay: cfg.MaxPerDay, Clock: cfg.Clock}),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Store exposes the underlying database (read-mostly, for tests and
+// benchmarks).
+func (s *Server) Store() *store.Store { return s.db }
+
+// Process handles one request synchronously — the direct-invocation path.
+func (s *Server) Process(req wire.Request) wire.Response {
+	switch req.Type {
+	case wire.MsgAdd:
+		return s.processAdd(req)
+	case wire.MsgGet:
+		sigs, next := s.db.Get(req.From)
+		return wire.Response{Status: wire.StatusOK, Sigs: sigs, Next: next}
+	default:
+		return wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("unknown message type %d", req.Type)}
+	}
+}
+
+func (s *Server) processAdd(req wire.Request) wire.Response {
+	// First gate: the encrypted sender id must verify under the
+	// predefined key (§III-C2).
+	user, err := s.codec.Verify(req.Token)
+	if err != nil {
+		return wire.Response{Status: wire.StatusRejected, Detail: "invalid user token"}
+	}
+	uploaded, err := sig.Decode(req.Sig)
+	if err != nil {
+		return wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("malformed signature: %v", err)}
+	}
+	added, err := s.db.Add(user, uploaded)
+	switch {
+	case errors.Is(err, store.ErrRateLimited):
+		return wire.Response{Status: wire.StatusRejected, Detail: "daily signature limit reached"}
+	case errors.Is(err, store.ErrAdjacent):
+		return wire.Response{Status: wire.StatusRejected, Detail: "adjacent to a signature you already sent"}
+	case err != nil:
+		return wire.Response{Status: wire.StatusError, Detail: err.Error()}
+	case !added:
+		return wire.Response{Status: wire.StatusOK, Detail: "duplicate"}
+	default:
+		return wire.Response{Status: wire.StatusOK}
+	}
+}
+
+// Serve accepts connections on l until Close. Each connection carries a
+// sequence of length-prefixed requests, answered in order.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		// Close ran first (or concurrently): take responsibility for the
+		// listener it never saw and return cleanly.
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+// It reports the bound address through the returned channel before
+// blocking in the accept loop.
+func (s *Server) ListenAndServe(addr string, bound chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	if bound != nil {
+		bound <- l.Addr()
+	}
+	return s.Serve(l)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	c := wire.NewConn(conn)
+	for {
+		var req wire.Request
+		if err := c.Recv(&req); err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		if err := c.Send(s.Process(req)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the accept loop, closes all connections, and waits for
+// handler goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

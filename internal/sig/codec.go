@@ -1,0 +1,53 @@
+package sig
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// MaxEncodedSize is the largest encoded signature the decoders accept.
+// The paper reports 1.7 KB per signature (§IV-A); a megabyte bound leaves
+// ample room for deep stacks while preventing memory-exhaustion through
+// crafted inputs.
+const MaxEncodedSize = 1 << 20
+
+// Encode serializes the signature to its canonical JSON wire form.
+func Encode(s *Signature) ([]byte, error) {
+	if err := s.Valid(); err != nil {
+		return nil, fmt.Errorf("encode signature: %w", err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("encode signature: %w", err)
+	}
+	return data, nil
+}
+
+// Decode parses a signature from its JSON wire form, validates it, and
+// normalizes it to canonical order.
+func Decode(data []byte) (*Signature, error) {
+	if len(data) > MaxEncodedSize {
+		return nil, fmt.Errorf("decode signature: %d bytes exceeds limit %d", len(data), MaxEncodedSize)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Signature
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("decode signature: %w", err)
+	}
+	if err := s.Valid(); err != nil {
+		return nil, fmt.Errorf("decode signature: %w", err)
+	}
+	s.Normalize()
+	return &s, nil
+}
+
+// EncodedSize returns the size in bytes of the signature's wire form.
+func EncodedSize(s *Signature) int {
+	data, err := Encode(s)
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}

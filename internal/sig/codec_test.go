@@ -1,0 +1,100 @@
+package sig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	s := twoThreadSig(5)
+	s.Threads[0].Outer[0].Hash = "deadbeef"
+	s.Normalize()
+
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.Equal(s) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, s)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(&Signature{}); err == nil {
+		t.Error("encoding an empty signature should fail")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"empty object", "{}"},
+		{"one thread", `{"threads":[{"outer":[{"class":"C","method":"m","line":1}],"inner":[{"class":"C","method":"m","line":2}]}]}`},
+		{"unknown field", `{"threads":[],"evil":true}`},
+		{"empty stack", `{"threads":[{"outer":[],"inner":[{"class":"C","method":"m","line":1}]},{"outer":[{"class":"C","method":"m","line":1}],"inner":[{"class":"C","method":"m","line":1}]}]}`},
+		{"bad line", `{"threads":[{"outer":[{"class":"C","method":"m","line":0}],"inner":[{"class":"C","method":"m","line":1}]},{"outer":[{"class":"C","method":"m","line":1}],"inner":[{"class":"C","method":"m","line":1}]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode([]byte(tc.data)); err == nil {
+				t.Errorf("Decode(%q) should fail", tc.data)
+			}
+		})
+	}
+}
+
+func TestDecodeEnforcesSizeLimit(t *testing.T) {
+	huge := append([]byte(`{"threads":[`), bytes.Repeat([]byte(" "), MaxEncodedSize)...)
+	if _, err := Decode(huge); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized input should be rejected with a limit error, got %v", err)
+	}
+}
+
+func TestDecodeNormalizes(t *testing.T) {
+	// Threads deliberately out of canonical order in the wire form.
+	data := []byte(`{"threads":[
+		{"outer":[{"class":"Z","method":"m","line":1}],"inner":[{"class":"Z","method":"m","line":2}]},
+		{"outer":[{"class":"A","method":"m","line":1}],"inner":[{"class":"A","method":"m","line":2}]}
+	]}`)
+	s, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if s.Threads[0].Outer.Top().Class != "A" {
+		t.Error("Decode should normalize thread order")
+	}
+}
+
+func TestEncodedSizeMatchesPaperScale(t *testing.T) {
+	// The paper reports signatures of roughly 1.7 KB (§IV-A). A two-thread
+	// signature with depth-15 stacks and 64-char hashes should land within
+	// the same order of magnitude.
+	mk := func(tag string) ThreadSpec {
+		var outer, inner Stack
+		for i := 0; i < 15; i++ {
+			h := strings.Repeat("a", 64)
+			outer = append(outer, Frame{Class: "com/app/pkg/" + tag, Method: "handleRequest", Line: 100 + i, Hash: h})
+			inner = append(inner, Frame{Class: "com/app/pkg/" + tag, Method: "flushBuffers", Line: 200 + i, Hash: h})
+		}
+		return ThreadSpec{Outer: outer, Inner: inner}
+	}
+	s := New(mk("Alpha"), mk("Beta"))
+	n := EncodedSize(s)
+	if n < 1024 || n > 16*1024 {
+		t.Errorf("EncodedSize = %d bytes; expected the paper's order of magnitude (1-16 KB)", n)
+	}
+}
+
+func TestEncodedSizeZeroForInvalid(t *testing.T) {
+	if n := EncodedSize(&Signature{}); n != 0 {
+		t.Errorf("EncodedSize(invalid) = %d, want 0", n)
+	}
+}

@@ -1,0 +1,93 @@
+// Package sig defines deadlock signatures: abstractions of the execution
+// flows that led a program into deadlock, as produced by Dimmunix and
+// exchanged by Communix (DSN'11, §II-A, §III).
+//
+// A signature records, for every thread involved in a deadlock, two call
+// stacks: the outer stack (the call stack the thread had when it acquired
+// the lock it still holds) and the inner stack (the call stack at the moment
+// of the deadlock, i.e. where the thread blocks). The top frames of these
+// stacks — the outer and inner lock statements — uniquely delimit the
+// deadlock bug.
+package sig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Frame is one call-stack frame. Class names the code unit that contains
+// the frame (a Java class in the paper; a code unit of the bytecode model
+// or a Go file in this implementation), Method the function within it, and
+// Line the line of the statement. Hash is the hash of the code unit's
+// bytes; Communix attaches it so that receivers can check that a signature
+// matches their version of the application (§III-C).
+type Frame struct {
+	Class  string `json:"class"`
+	Method string `json:"method"`
+	Line   int    `json:"line"`
+	Hash   string `json:"hash,omitempty"`
+}
+
+// Key returns the frame's site identity "class.method:line". Two frames
+// with equal keys denote the same program location, regardless of the code
+// version that produced them (the Hash field carries the version).
+func (f Frame) Key() string {
+	var b strings.Builder
+	b.Grow(len(f.Class) + len(f.Method) + 8)
+	b.WriteString(f.Class)
+	b.WriteByte('.')
+	b.WriteString(f.Method)
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(f.Line))
+	return b.String()
+}
+
+// SameSite reports whether f and g denote the same program location,
+// ignoring code-unit hashes.
+func (f Frame) SameSite(g Frame) bool {
+	return f.Line == g.Line && f.Class == g.Class && f.Method == g.Method
+}
+
+// String renders the frame as "class.method:line[#hash-prefix]".
+func (f Frame) String() string {
+	if f.Hash == "" {
+		return f.Key()
+	}
+	h := f.Hash
+	if len(h) > 8 {
+		h = h[:8]
+	}
+	return f.Key() + "#" + h
+}
+
+// Valid reports whether the frame is well formed: non-empty class and
+// method, and a positive line number.
+func (f Frame) Valid() error {
+	switch {
+	case f.Class == "":
+		return fmt.Errorf("frame %q: empty class", f.Key())
+	case f.Method == "":
+		return fmt.Errorf("frame %q: empty method", f.Key())
+	case f.Line <= 0:
+		return fmt.Errorf("frame %q: non-positive line %d", f.Key(), f.Line)
+	}
+	return nil
+}
+
+// compare orders frames lexicographically by (Class, Method, Line, Hash).
+func (f Frame) compare(g Frame) int {
+	if c := strings.Compare(f.Class, g.Class); c != 0 {
+		return c
+	}
+	if c := strings.Compare(f.Method, g.Method); c != 0 {
+		return c
+	}
+	switch {
+	case f.Line < g.Line:
+		return -1
+	case f.Line > g.Line:
+		return 1
+	}
+	return strings.Compare(f.Hash, g.Hash)
+}

@@ -1,0 +1,46 @@
+package sig
+
+import "testing"
+
+// FuzzDecode: the signature decoder consumes bytes from the network (via
+// GET replies); arbitrary input must never panic, and anything that
+// decodes must be valid, canonical, and re-encodable to an equal value.
+func FuzzDecode(f *testing.F) {
+	good, err := Encode(twoThreadSig(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"threads":[]}`))
+	f.Add([]byte(`{"threads":[{"outer":[{"class":"C","method":"m","line":1}],"inner":[{"class":"C","method":"m","line":1}]}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if vErr := s.Valid(); vErr != nil {
+			t.Fatalf("Decode returned invalid signature: %v", vErr)
+		}
+		// Canonical: re-normalizing must not change identity.
+		id := s.ID()
+		s.Normalize()
+		if s.ID() != id {
+			t.Fatal("decoded signature was not canonical")
+		}
+		// Round trip.
+		out, err := Encode(s)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !back.Equal(s) {
+			t.Fatal("round trip changed the signature")
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package sig
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoThreadSig builds the canonical test signature: threads locking at
+// distinct sites with outer stacks of the given depth.
+func twoThreadSig(depth int) *Signature {
+	mk := func(tag string) ThreadSpec {
+		outer := make(Stack, depth)
+		inner := make(Stack, depth)
+		for i := 0; i < depth; i++ {
+			outer[i] = frame("app/"+tag, "outer", i+1)
+			inner[i] = frame("app/"+tag, "inner", i+1)
+		}
+		return ThreadSpec{Outer: outer, Inner: inner}
+	}
+	s := New(mk("T1"), mk("T2"))
+	s.Origin = OriginLocal
+	return s
+}
+
+func TestNewNormalizesThreadOrder(t *testing.T) {
+	t1 := ThreadSpec{
+		Outer: stack(frame("B", "m", 1)),
+		Inner: stack(frame("B", "m", 2)),
+	}
+	t2 := ThreadSpec{
+		Outer: stack(frame("A", "m", 1)),
+		Inner: stack(frame("A", "m", 2)),
+	}
+	a := New(t1, t2)
+	b := New(t2, t1)
+	if !a.Equal(b) {
+		t.Error("signatures built from permuted threads should be equal after normalization")
+	}
+	if a.ID() != b.ID() {
+		t.Error("IDs should agree for permuted-thread signatures")
+	}
+}
+
+func TestSignatureValid(t *testing.T) {
+	if err := twoThreadSig(3).Valid(); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+	one := &Signature{Threads: []ThreadSpec{{
+		Outer: stack(frame("A", "m", 1)),
+		Inner: stack(frame("A", "m", 2)),
+	}}}
+	if err := one.Valid(); err == nil {
+		t.Error("single-thread signature should be invalid")
+	}
+	bad := twoThreadSig(3)
+	bad.Threads[0].Outer = nil
+	if err := bad.Valid(); err == nil {
+		t.Error("signature with empty outer stack should be invalid")
+	}
+}
+
+func TestBugKeyStableAcrossManifestations(t *testing.T) {
+	s := twoThreadSig(6)
+	// Another manifestation: same top frames, different callers below.
+	m := s.Clone()
+	for i := range m.Threads {
+		m.Threads[i].Outer[0] = frame("other/Caller", "x", 99)
+		m.Threads[i].Inner[0] = frame("other/Caller", "y", 98)
+	}
+	m.Normalize()
+	if s.BugKey() != m.BugKey() {
+		t.Errorf("manifestations of one bug should share BugKey:\n%s\n%s", s.BugKey(), m.BugKey())
+	}
+	// A different top frame is a different bug.
+	d := s.Clone()
+	d.Threads[0].Outer[len(d.Threads[0].Outer)-1] = frame("app/T1", "outer", 777)
+	d.Normalize()
+	if s.BugKey() == d.BugKey() {
+		t.Error("different outer lock statements should produce different BugKeys")
+	}
+}
+
+func TestTopFrames(t *testing.T) {
+	s := twoThreadSig(2)
+	tops := s.TopFrames()
+	if len(tops) != 4 {
+		t.Fatalf("TopFrames() has %d entries, want 4", len(tops))
+	}
+	for _, want := range []string{
+		"app/T1.outer:2", "app/T1.inner:2", "app/T2.outer:2", "app/T2.inner:2",
+	} {
+		if _, ok := tops[want]; !ok {
+			t.Errorf("TopFrames() missing %q", want)
+		}
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	base := twoThreadSig(3)
+
+	t.Run("identical tops are not adjacent", func(t *testing.T) {
+		other := base.Clone()
+		other.Threads[0].Outer[0] = frame("different", "caller", 5)
+		other.Normalize()
+		if Adjacent(base, other) {
+			t.Error("same-bug manifestations must not be adjacent")
+		}
+	})
+
+	t.Run("partial overlap is adjacent", func(t *testing.T) {
+		other := base.Clone()
+		// Change one of the four top frames.
+		other.Threads[0].Outer[len(other.Threads[0].Outer)-1] = frame("app/T9", "outer", 1)
+		other.Normalize()
+		if !Adjacent(base, other) {
+			t.Error("signatures sharing some but not all tops must be adjacent")
+		}
+		if !Adjacent(other, base) {
+			t.Error("Adjacent must be symmetric")
+		}
+	})
+
+	t.Run("disjoint tops are not adjacent", func(t *testing.T) {
+		mk := func(tag string) ThreadSpec {
+			return ThreadSpec{
+				Outer: stack(frame(tag, "o", 1)),
+				Inner: stack(frame(tag, "i", 1)),
+			}
+		}
+		other := New(mk("x/P"), mk("x/Q"))
+		if Adjacent(base, other) {
+			t.Error("signatures with disjoint tops must not be adjacent")
+		}
+	})
+
+	t.Run("not adjacent to itself", func(t *testing.T) {
+		if Adjacent(base, base) {
+			t.Error("a signature must not be adjacent to itself")
+		}
+	})
+}
+
+func TestMinOuterDepth(t *testing.T) {
+	s := twoThreadSig(5)
+	if got := s.MinOuterDepth(); got != 5 {
+		t.Errorf("MinOuterDepth() = %d, want 5", got)
+	}
+	s.Threads[1].Outer = s.Threads[1].Outer.Suffix(2)
+	if got := s.MinOuterDepth(); got != 2 {
+		t.Errorf("MinOuterDepth() = %d, want 2", got)
+	}
+}
+
+func TestIDChangesWithContent(t *testing.T) {
+	a := twoThreadSig(4)
+	b := a.Clone()
+	if a.ID() != b.ID() {
+		t.Error("clones should share IDs")
+	}
+	b.Threads[0].Outer[0].Line++
+	b.Normalize()
+	if a.ID() == b.ID() {
+		t.Error("different content should produce different IDs")
+	}
+	c := a.Clone()
+	c.Threads[0].Outer[0].Hash = "tampered"
+	c.Normalize()
+	if a.ID() == c.ID() {
+		t.Error("hash changes should change the ID")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := twoThreadSig(3)
+	b := a.Clone()
+	b.Threads[0].Outer[0].Class = "MUTATED"
+	if a.Threads[0].Outer[0].Class == "MUTATED" {
+		t.Error("Clone must deep-copy stacks")
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginLocal.String() != "local" || OriginRemote.String() != "remote" {
+		t.Error("unexpected Origin strings")
+	}
+	if got := Origin(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown origin should render its value, got %q", got)
+	}
+}
+
+func TestSignatureStringMentionsStacks(t *testing.T) {
+	s := twoThreadSig(2)
+	str := s.String()
+	if !strings.Contains(str, "app/T1.outer:2") {
+		t.Errorf("String() = %q should mention top frames", str)
+	}
+}

@@ -1,0 +1,149 @@
+package sig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stack is a call stack. Frames are ordered from the outermost caller at
+// index 0 to the top frame (the lock statement) at index len-1, matching
+// the paper's encoding [c1.m1:l1:h1, ..., cn.mn:ln:hn] where frame n is the
+// top frame (§III-C3).
+type Stack []Frame
+
+// Depth returns the number of frames in the stack.
+func (s Stack) Depth() int { return len(s) }
+
+// Top returns the top frame (the lock statement). It panics on an empty
+// stack; callers must check Depth first — signatures with empty stacks are
+// rejected by Valid before they reach matching code.
+func (s Stack) Top() Frame { return s[len(s)-1] }
+
+// Suffix returns the top-most n frames of the stack (the call-stack suffix,
+// in the paper's terminology). If n exceeds the depth, the whole stack is
+// returned.
+func (s Stack) Suffix(n int) Stack {
+	if n >= len(s) {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// HasSuffix reports whether suf is a suffix of s: the top len(suf) frames
+// of s denote the same program locations as suf, top-aligned. Hashes are
+// ignored; suffix matching is a runtime concern within one application
+// version, while hashes are a validation concern (§III-C3).
+func (s Stack) HasSuffix(suf Stack) bool {
+	// Signature stacks are never empty (Valid enforces this), so an empty
+	// suffix matches nothing rather than everything.
+	if len(suf) == 0 || len(suf) > len(s) {
+		return false
+	}
+	off := len(s) - len(suf)
+	for i := len(suf) - 1; i >= 0; i-- {
+		if !s[off+i].SameSite(suf[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestCommonSuffix returns the longest stack that is a suffix of both a
+// and b, comparing frames by site. The returned stack aliases a.
+func LongestCommonSuffix(a, b Stack) Stack {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[len(a)-1-i].SameSite(b[len(b)-1-i]) {
+		i++
+	}
+	return a[len(a)-i:]
+}
+
+// Clone returns a deep copy of the stack.
+func (s Stack) Clone() Stack {
+	if s == nil {
+		return nil
+	}
+	out := make(Stack, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports whether the two stacks have the same depth and identical
+// frames (sites and hashes).
+func (s Stack) Equal(t Stack) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualSites reports whether the two stacks have the same depth and frames
+// denoting the same sites, ignoring hashes.
+func (s Stack) EqualSites(t Stack) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if !s[i].SameSite(t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether the stack is well formed: non-empty with every
+// frame valid.
+func (s Stack) Valid() error {
+	if len(s) == 0 {
+		return fmt.Errorf("empty call stack")
+	}
+	for i, f := range s {
+		if err := f.Valid(); err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the stack top-first, one frame per " <- " separator, the
+// conventional direction for reading stack traces.
+func (s Stack) String() string {
+	var b strings.Builder
+	for i := len(s) - 1; i >= 0; i-- {
+		if i != len(s)-1 {
+			b.WriteString(" <- ")
+		}
+		b.WriteString(s[i].String())
+	}
+	return b.String()
+}
+
+// compare orders stacks lexicographically from the top frame downwards,
+// shorter stacks first on ties.
+func (s Stack) compare(t Stack) int {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 1; i <= n; i++ {
+		if c := s[len(s)-i].compare(t[len(t)-i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(s) < len(t):
+		return -1
+	case len(s) > len(t):
+		return 1
+	}
+	return 0
+}

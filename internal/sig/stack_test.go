@@ -1,0 +1,165 @@
+package sig
+
+import "testing"
+
+func frame(class, method string, line int) Frame {
+	return Frame{Class: class, Method: method, Line: line}
+}
+
+func stack(frames ...Frame) Stack { return Stack(frames) }
+
+func TestFrameKey(t *testing.T) {
+	f := frame("com/app/C", "run", 42)
+	if got, want := f.Key(), "com/app/C.run:42"; got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+}
+
+func TestFrameSameSiteIgnoresHash(t *testing.T) {
+	a := Frame{Class: "C", Method: "m", Line: 1, Hash: "h1"}
+	b := Frame{Class: "C", Method: "m", Line: 1, Hash: "h2"}
+	if !a.SameSite(b) {
+		t.Error("SameSite should ignore hashes")
+	}
+	c := Frame{Class: "C", Method: "m", Line: 2, Hash: "h1"}
+	if a.SameSite(c) {
+		t.Error("SameSite should compare lines")
+	}
+}
+
+func TestFrameValid(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Frame
+		ok   bool
+	}{
+		{"ok", frame("C", "m", 1), true},
+		{"empty class", frame("", "m", 1), false},
+		{"empty method", frame("C", "", 1), false},
+		{"zero line", frame("C", "m", 0), false},
+		{"negative line", frame("C", "m", -3), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Valid()
+			if (err == nil) != tc.ok {
+				t.Errorf("Valid() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestStackTopAndDepth(t *testing.T) {
+	s := stack(frame("A", "a", 1), frame("B", "b", 2), frame("C", "c", 3))
+	if s.Depth() != 3 {
+		t.Errorf("Depth() = %d, want 3", s.Depth())
+	}
+	if got := s.Top(); got.Class != "C" {
+		t.Errorf("Top() = %v, want class C", got)
+	}
+}
+
+func TestStackSuffix(t *testing.T) {
+	s := stack(frame("A", "a", 1), frame("B", "b", 2), frame("C", "c", 3))
+	suf := s.Suffix(2)
+	if suf.Depth() != 2 || suf[0].Class != "B" || suf[1].Class != "C" {
+		t.Errorf("Suffix(2) = %v", suf)
+	}
+	if got := s.Suffix(10); got.Depth() != 3 {
+		t.Errorf("Suffix(10) should clamp to full stack, got depth %d", got.Depth())
+	}
+}
+
+func TestStackHasSuffix(t *testing.T) {
+	s := stack(frame("A", "a", 1), frame("B", "b", 2), frame("C", "c", 3))
+	cases := []struct {
+		name string
+		suf  Stack
+		want bool
+	}{
+		{"top frame", stack(frame("C", "c", 3)), true},
+		{"top two", stack(frame("B", "b", 2), frame("C", "c", 3)), true},
+		{"whole stack", s, true},
+		{"empty", nil, false},
+		{"longer than stack", stack(frame("Z", "z", 9), frame("A", "a", 1), frame("B", "b", 2), frame("C", "c", 3)), false},
+		{"mismatched top", stack(frame("X", "x", 7)), false},
+		{"middle only (not suffix)", stack(frame("B", "b", 2)), false},
+		{"hash differences ignored", stack(Frame{Class: "C", Method: "c", Line: 3, Hash: "other"}), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.HasSuffix(tc.suf); got != tc.want {
+				t.Errorf("HasSuffix(%v) = %v, want %v", tc.suf, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLongestCommonSuffix(t *testing.T) {
+	a := stack(frame("A", "a", 1), frame("B", "b", 2), frame("C", "c", 3))
+	b := stack(frame("X", "x", 9), frame("B", "b", 2), frame("C", "c", 3))
+	lcs := LongestCommonSuffix(a, b)
+	if lcs.Depth() != 2 || lcs[0].Class != "B" {
+		t.Errorf("LCS = %v, want [B C]", lcs)
+	}
+
+	c := stack(frame("Z", "z", 5))
+	if got := LongestCommonSuffix(a, c); got.Depth() != 0 {
+		t.Errorf("LCS with disjoint stack = %v, want empty", got)
+	}
+
+	if got := LongestCommonSuffix(a, a); !got.Equal(a) {
+		t.Errorf("LCS(a,a) = %v, want a", got)
+	}
+}
+
+func TestStackCloneIndependence(t *testing.T) {
+	a := stack(frame("A", "a", 1), frame("B", "b", 2))
+	c := a.Clone()
+	c[0].Class = "MUTATED"
+	if a[0].Class != "A" {
+		t.Error("Clone should not share backing array")
+	}
+	if (Stack)(nil).Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestStackEqualSites(t *testing.T) {
+	a := stack(Frame{Class: "A", Method: "a", Line: 1, Hash: "h1"})
+	b := stack(Frame{Class: "A", Method: "a", Line: 1, Hash: "h2"})
+	if !a.EqualSites(b) {
+		t.Error("EqualSites should ignore hashes")
+	}
+	if a.Equal(b) {
+		t.Error("Equal should compare hashes")
+	}
+}
+
+func TestStackValid(t *testing.T) {
+	if err := (Stack{}).Valid(); err == nil {
+		t.Error("empty stack should be invalid")
+	}
+	if err := stack(frame("A", "a", 1), frame("", "b", 2)).Valid(); err == nil {
+		t.Error("stack with invalid frame should be invalid")
+	}
+	if err := stack(frame("A", "a", 1)).Valid(); err != nil {
+		t.Errorf("valid stack rejected: %v", err)
+	}
+}
+
+func TestStackCompareOrdersFromTop(t *testing.T) {
+	a := stack(frame("A", "a", 1), frame("Z", "z", 1))
+	b := stack(frame("B", "b", 1), frame("Z", "z", 1))
+	// Tops are equal; comparison moves downward where A < B.
+	if a.compare(b) >= 0 {
+		t.Error("expected a < b by second-from-top frame")
+	}
+	short := stack(frame("Z", "z", 1))
+	if short.compare(a) >= 0 {
+		t.Error("shorter stack should sort first on equal shared suffix")
+	}
+	if a.compare(a) != 0 {
+		t.Error("compare(a,a) should be 0")
+	}
+}

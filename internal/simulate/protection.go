@@ -1,0 +1,142 @@
+// Package simulate estimates the time to achieve full deadlock
+// protection (paper §IV-C): with Dimmunix alone, one user must experience
+// every manifestation of every deadlock bug before being fully protected
+// (~t·Nd days); with Communix, the first encounter by *any* of Nu users
+// protects everyone (~t·Nd/Nu days plus the distribution latency). The
+// paper's estimate is purely analytic; this package adds a Monte-Carlo
+// fleet simulation around the same model so the scaling can be measured.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ProtectionConfig parameterizes the simulation.
+type ProtectionConfig struct {
+	// Users is Nu: how many users run the application in different ways.
+	Users int
+	// Manifestations is Nd: how many distinct deadlock manifestations
+	// the application has.
+	Manifestations int
+	// MeanDays is t: the mean number of days for one user to encounter
+	// one particular manifestation (exponentially distributed).
+	MeanDays float64
+	// DistributionLatencyDays is the client sync period added to every
+	// Communix protection time (the paper's "up to 1 day").
+	DistributionLatencyDays float64
+	// Trials is the number of Monte-Carlo trials.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c ProtectionConfig) withDefaults() ProtectionConfig {
+	if c.Users <= 0 {
+		c.Users = 1
+	}
+	if c.Manifestations <= 0 {
+		c.Manifestations = 1
+	}
+	if c.MeanDays <= 0 {
+		c.MeanDays = 10
+	}
+	if c.Trials <= 0 {
+		c.Trials = 200
+	}
+	return c
+}
+
+// ProtectionResult reports mean full-protection times in days.
+type ProtectionResult struct {
+	Config ProtectionConfig
+	// DimmunixAloneDays: mean time until a single user has experienced
+	// all manifestations (averaged over users and trials).
+	DimmunixAloneDays float64
+	// CommunixDays: mean time until every manifestation was experienced
+	// by someone, plus distribution latency.
+	CommunixDays float64
+	// TheoryAloneDays and TheoryCommunixDays are the paper's analytic
+	// estimates t·Nd and t·Nd/Nu.
+	TheoryAloneDays    float64
+	TheoryCommunixDays float64
+	// Speedup is DimmunixAloneDays / CommunixDays.
+	Speedup float64
+}
+
+// String formats one result row.
+func (r ProtectionResult) String() string {
+	return fmt.Sprintf("Nu=%-5d Nd=%-3d alone=%8.1fd communix=%7.1fd speedup=%6.1fx (theory %0.0fd vs %0.1fd)",
+		r.Config.Users, r.Config.Manifestations,
+		r.DimmunixAloneDays, r.CommunixDays, r.Speedup,
+		r.TheoryAloneDays, r.TheoryCommunixDays)
+}
+
+// SimulateProtection runs the Monte-Carlo model.
+func SimulateProtection(cfg ProtectionConfig) ProtectionResult {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	var aloneSum, commSum float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// T[u][m]: day user u first encounters manifestation m.
+		perUserMax := 0.0
+		perUserMaxSum := 0.0
+		minPerM := make([]float64, cfg.Manifestations)
+		for m := range minPerM {
+			minPerM[m] = math.Inf(1)
+		}
+		for u := 0; u < cfg.Users; u++ {
+			userMax := 0.0
+			for m := 0; m < cfg.Manifestations; m++ {
+				t := r.ExpFloat64() * cfg.MeanDays
+				if t > userMax {
+					userMax = t
+				}
+				if t < minPerM[m] {
+					minPerM[m] = t
+				}
+			}
+			perUserMaxSum += userMax
+			if userMax > perUserMax {
+				perUserMax = userMax
+			}
+		}
+		// Dimmunix alone: the average user's time to see everything.
+		aloneSum += perUserMaxSum / float64(cfg.Users)
+		// Communix: all manifestations seen by someone, plus latency.
+		commMax := 0.0
+		for _, t := range minPerM {
+			if t > commMax {
+				commMax = t
+			}
+		}
+		commSum += commMax + cfg.DistributionLatencyDays
+	}
+
+	res := ProtectionResult{
+		Config:             cfg,
+		DimmunixAloneDays:  aloneSum / float64(cfg.Trials),
+		CommunixDays:       commSum / float64(cfg.Trials),
+		TheoryAloneDays:    cfg.MeanDays * float64(cfg.Manifestations),
+		TheoryCommunixDays: cfg.MeanDays * float64(cfg.Manifestations) / float64(cfg.Users),
+	}
+	if res.CommunixDays > 0 {
+		res.Speedup = res.DimmunixAloneDays / res.CommunixDays
+	}
+	return res
+}
+
+// Sweep runs the simulation across user counts, holding the rest of the
+// configuration fixed.
+func Sweep(base ProtectionConfig, userCounts []int) []ProtectionResult {
+	out := make([]ProtectionResult, 0, len(userCounts))
+	for i, nu := range userCounts {
+		cfg := base
+		cfg.Users = nu
+		cfg.Seed = base.Seed + int64(i)
+		out = append(out, SimulateProtection(cfg))
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package simulate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProtectionScalesInverselyWithUsers(t *testing.T) {
+	base := ProtectionConfig{
+		Manifestations: 10, MeanDays: 10, DistributionLatencyDays: 1,
+		Trials: 400, Seed: 1,
+	}
+	results := Sweep(base, []int{1, 10, 100})
+	if len(results) != 3 {
+		t.Fatal("sweep size")
+	}
+	// Communix time must drop monotonically with more users.
+	for i := 1; i < len(results); i++ {
+		if results[i].CommunixDays >= results[i-1].CommunixDays {
+			t.Errorf("Nu=%d communix days %.1f not below Nu=%d's %.1f",
+				results[i].Config.Users, results[i].CommunixDays,
+				results[i-1].Config.Users, results[i-1].CommunixDays)
+		}
+	}
+	// Dimmunix-alone time is user-count independent (same per-user law).
+	for i := 1; i < len(results); i++ {
+		ratio := results[i].DimmunixAloneDays / results[0].DimmunixAloneDays
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("alone time should not scale with users: ratio %.2f", ratio)
+		}
+	}
+	// With many users, the speedup is large.
+	if results[2].Speedup < 5 {
+		t.Errorf("Nu=100 speedup = %.1f, want substantial", results[2].Speedup)
+	}
+}
+
+func TestProtectionSingleUserNoBenefit(t *testing.T) {
+	res := SimulateProtection(ProtectionConfig{
+		Users: 1, Manifestations: 5, MeanDays: 10, Trials: 400, Seed: 2,
+	})
+	// With one user and zero latency, both models coincide.
+	diff := math.Abs(res.DimmunixAloneDays - res.CommunixDays)
+	if diff/res.DimmunixAloneDays > 0.05 {
+		t.Errorf("single-user times should match: alone %.1f vs communix %.1f",
+			res.DimmunixAloneDays, res.CommunixDays)
+	}
+}
+
+func TestProtectionMatchesExtremeValueTheory(t *testing.T) {
+	// Max of Nd iid Exp(t) has mean t·H_Nd; check the simulation against
+	// it (the paper's t·Nd is a looser sequential-encounter estimate).
+	const nd, mean = 20, 10.0
+	res := SimulateProtection(ProtectionConfig{
+		Users: 1, Manifestations: nd, MeanDays: mean, Trials: 3000, Seed: 3,
+	})
+	h := 0.0
+	for k := 1; k <= nd; k++ {
+		h += 1.0 / float64(k)
+	}
+	want := mean * h
+	if math.Abs(res.DimmunixAloneDays-want)/want > 0.1 {
+		t.Errorf("alone days = %.1f, theory (t·H_Nd) = %.1f", res.DimmunixAloneDays, want)
+	}
+}
+
+func TestProtectionLatencyFloor(t *testing.T) {
+	// With enormous user counts, the distribution latency dominates.
+	res := SimulateProtection(ProtectionConfig{
+		Users: 100000, Manifestations: 5, MeanDays: 10,
+		DistributionLatencyDays: 1, Trials: 50, Seed: 4,
+	})
+	if res.CommunixDays < 1 {
+		t.Errorf("communix days %.2f below the latency floor of 1", res.CommunixDays)
+	}
+	if res.CommunixDays > 1.5 {
+		t.Errorf("communix days %.2f should approach the 1-day latency floor", res.CommunixDays)
+	}
+}
+
+func TestProtectionDeterministicPerSeed(t *testing.T) {
+	cfg := ProtectionConfig{Users: 10, Manifestations: 10, MeanDays: 5, Trials: 100, Seed: 7}
+	a := SimulateProtection(cfg)
+	b := SimulateProtection(cfg)
+	if a.CommunixDays != b.CommunixDays || a.DimmunixAloneDays != b.DimmunixAloneDays {
+		t.Error("same seed should reproduce identical results")
+	}
+}
+
+func TestProtectionDefaults(t *testing.T) {
+	res := SimulateProtection(ProtectionConfig{})
+	if res.Config.Users != 1 || res.Config.Manifestations != 1 || res.Config.Trials != 200 {
+		t.Errorf("defaults not applied: %+v", res.Config)
+	}
+	if !strings.Contains(res.String(), "speedup") {
+		t.Error("String should mention speedup")
+	}
+}

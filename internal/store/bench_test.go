@@ -1,0 +1,86 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"communix/internal/ids"
+	"communix/internal/sig/sigtest"
+)
+
+// BenchmarkAdd measures server-side validation + insertion (fresh user
+// per add, so the rate limit never trips and adjacency state stays
+// realistic).
+func BenchmarkAdd(b *testing.B) {
+	st := New(Config{MaxPerDay: 1 << 30})
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)
+		if ok, err := st.Add(ids.UserID(i+1), s); !ok || err != nil {
+			b.Fatalf("add %d: %v %v", i, ok, err)
+		}
+	}
+}
+
+// BenchmarkAddSameUser measures the per-user adjacency scan as one user's
+// accepted set grows (bounded by the rate limit in production).
+func BenchmarkAddSameUser(b *testing.B) {
+	for _, prior := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("prior=%d", prior), func(b *testing.B) {
+			st := New(Config{MaxPerDay: 1 << 30})
+			r := rand.New(rand.NewSource(2))
+			for i := 0; i < prior; i++ {
+				if ok, err := st.Add(1, sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)); !ok || err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Non-adjacent probe: every iteration walks the user's full
+			// adjacency state and is then deduplicated.
+			probe := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 1<<20, 6, 9)
+			if ok, err := st.Add(1, probe); !ok || err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Add(1, probe); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGet measures the incremental and full fetch paths against a
+// populated database — the Figure 2 hot path.
+func BenchmarkGet(b *testing.B) {
+	for _, dbSize := range []int{100, 1000, 10000} {
+		st := New(Config{MaxPerDay: 1 << 30})
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < dbSize; i++ {
+			if ok, err := st.Add(ids.UserID(i+1), sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)); !ok || err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("full/db=%d", dbSize), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sigs, _ := st.Get(0)
+				if len(sigs) != dbSize {
+					b.Fatal("bad size")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/db=%d", dbSize), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sigs, next := st.Get(dbSize + 1)
+				if len(sigs) != 0 || next != dbSize+1 {
+					b.Fatal("bad incremental")
+				}
+			}
+		})
+	}
+}

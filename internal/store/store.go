@@ -1,0 +1,177 @@
+// Package store implements the Communix server's signature database with
+// the server-side validation state of §III-C2: per-user adjacency
+// rejection and the per-user daily rate limit.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/sig"
+)
+
+// DefaultMaxPerDay is the paper's server-side rate limit: "The server
+// processes only up to 10 signatures per day from one user" (§III-C1).
+const DefaultMaxPerDay = 10
+
+// Rejection reasons.
+var (
+	// ErrRateLimited: the user exceeded the daily signature budget.
+	ErrRateLimited = errors.New("store: user exceeded daily signature limit")
+	// ErrAdjacent: the user already submitted a signature sharing some
+	// (but not all) top frames with this one.
+	ErrAdjacent = errors.New("store: adjacent signature from same user")
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// MaxPerDay caps accepted signatures per user per UTC day; default
+	// DefaultMaxPerDay.
+	MaxPerDay int
+	// Clock injects time for the rate limiter; default time.Now.
+	Clock func() time.Time
+}
+
+// Store is the signature database. Accepted signatures get consecutive
+// 1-based indexes; GET(k) returns everything from index k, making client
+// downloads incremental (§III-B). It is safe for concurrent use.
+type Store struct {
+	maxPerDay int
+	clock     func() time.Time
+
+	mu      sync.RWMutex
+	encoded []json.RawMessage // index i holds signature i+1, pre-encoded
+	present map[string]struct{}
+	users   map[ids.UserID]*userState
+}
+
+// userState is the per-user validation state.
+type userState struct {
+	// tops holds the top-frame set of every accepted signature.
+	tops []map[string]struct{}
+	// day is the UTC day of the current budget window.
+	day int64
+	// used counts accepted signatures within the window. Rejected
+	// signatures do not consume budget: the limit is on signatures the
+	// server "processes and adds to its database" (§IV-B).
+	used int
+}
+
+// New builds a store.
+func New(cfg Config) *Store {
+	if cfg.MaxPerDay <= 0 {
+		cfg.MaxPerDay = DefaultMaxPerDay
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Store{
+		maxPerDay: cfg.MaxPerDay,
+		clock:     cfg.Clock,
+		present:   make(map[string]struct{}),
+		users:     make(map[ids.UserID]*userState),
+	}
+}
+
+// Add validates and stores a signature from the given user. It returns
+// (true, nil) when stored, (false, nil) when an identical signature is
+// already present (idempotent upload), and (false, err) when rejected.
+func (st *Store) Add(user ids.UserID, s *sig.Signature) (bool, error) {
+	if err := s.Valid(); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	id := s.ID()
+	tops := s.TopFrames()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	if _, dup := st.present[id]; dup {
+		return false, nil
+	}
+
+	u, ok := st.users[user]
+	if !ok {
+		u = &userState{}
+		st.users[user] = u
+	}
+
+	// Rate limit: reset the budget when the UTC day rolls over.
+	today := st.clock().UTC().Unix() / 86400
+	if u.day != today {
+		u.day = today
+		u.used = 0
+	}
+	if u.used >= st.maxPerDay {
+		return false, ErrRateLimited
+	}
+
+	// Adjacency: reject if this user already sent a signature sharing
+	// some but not all top frames (§III-C2).
+	for _, prev := range u.tops {
+		if partialOverlap(tops, prev) {
+			return false, ErrAdjacent
+		}
+	}
+
+	data, err := sig.Encode(s)
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	st.encoded = append(st.encoded, data)
+	st.present[id] = struct{}{}
+	u.tops = append(u.tops, tops)
+	u.used++
+	return true, nil
+}
+
+// partialOverlap reports whether the two top-frame sets intersect without
+// being equal — the paper's "adjacent" relation.
+func partialOverlap(a, b map[string]struct{}) bool {
+	common := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			common++
+		}
+	}
+	if common == 0 {
+		return false
+	}
+	return common != len(a) || common != len(b)
+}
+
+// Get returns the pre-encoded signatures from 1-based index from, plus
+// the next index a client should request (database size + 1). from < 1 is
+// treated as 1 (the paper's worst-case GET(0): send everything).
+func (st *Store) Get(from int) ([]json.RawMessage, int) {
+	if from < 1 {
+		from = 1
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	next := len(st.encoded) + 1
+	if from > len(st.encoded) {
+		return nil, next
+	}
+	out := make([]json.RawMessage, len(st.encoded)-(from-1))
+	copy(out, st.encoded[from-1:])
+	return out, next
+}
+
+// Len returns the number of stored signatures.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.encoded)
+}
+
+// Users returns how many distinct users have contributed.
+func (st *Store) Users() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.users)
+}

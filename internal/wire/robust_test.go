@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomBytesNeverPanic: the decoder must reject arbitrary garbage
+// gracefully — it reads from the network.
+func TestRandomBytesNeverPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(64)
+		buf := make([]byte, n)
+		r.Read(buf)
+		var req Request
+		_ = ReadMessage(bytes.NewReader(buf), &req) // must not panic
+		var resp Response
+		_ = ReadMessage(bytes.NewReader(buf), &resp)
+	}
+}
+
+// TestValidHeaderRandomPayloadNeverPanics: frames with plausible lengths
+// but hostile payloads.
+func TestValidHeaderRandomPayloadNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		payload := make([]byte, r.Intn(200))
+		r.Read(payload)
+		var buf bytes.Buffer
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		buf.Write(hdr[:])
+		buf.Write(payload)
+		var req Request
+		_ = ReadMessage(&buf, &req)
+	}
+}
+
+// TestMutatedValidFramesNeverPanic: take a correct frame and flip bytes.
+func TestMutatedValidFramesNeverPanic(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteMessage(&good, NewGet(3)); err != nil {
+		t.Fatal(err)
+	}
+	base := good.Bytes()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		mutated := append([]byte(nil), base...)
+		for j := 0; j < 1+r.Intn(3); j++ {
+			mutated[r.Intn(len(mutated))] ^= byte(1 << r.Intn(8))
+		}
+		var req Request
+		_ = ReadMessage(bytes.NewReader(mutated), &req)
+	}
+}

@@ -1,0 +1,184 @@
+// Package wire defines the Communix client↔server protocol (§III-B).
+//
+// The protocol has two requests: ADD(sig) uploads a newly discovered
+// deadlock signature together with the sender's encrypted user id, and
+// GET(k) asks for all database signatures starting from index k (1-based;
+// a client holding n signatures sends GET(n+1), making downloads
+// incremental). Messages are length-prefixed JSON over any byte stream.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"communix/internal/ids"
+	"communix/internal/sig"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType int
+
+// Message types.
+const (
+	// MsgAdd is ADD(sig): store a signature.
+	MsgAdd MsgType = iota + 1
+	// MsgGet is GET(k): fetch signatures from index k (1-based).
+	MsgGet
+)
+
+// String names the message type.
+func (m MsgType) String() string {
+	switch m {
+	case MsgAdd:
+		return "ADD"
+	case MsgGet:
+		return "GET"
+	}
+	return fmt.Sprintf("msg(%d)", int(m))
+}
+
+// Status enumerates reply outcomes.
+type Status int
+
+// Statuses.
+const (
+	// StatusOK: request accepted/served.
+	StatusOK Status = iota + 1
+	// StatusRejected: the request was understood but refused (failed
+	// validation, rate limit, bad token). Detail says why.
+	StatusRejected
+	// StatusError: the request was malformed.
+	StatusError
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusRejected:
+		return "rejected"
+	case StatusError:
+		return "error"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Request is one client request.
+type Request struct {
+	Type MsgType `json:"type"`
+	// Token is the sender's encrypted user id; required for ADD.
+	Token ids.Token `json:"token,omitempty"`
+	// Sig is the uploaded signature (ADD).
+	Sig json.RawMessage `json:"sig,omitempty"`
+	// From is the 1-based start index (GET).
+	From int `json:"from,omitempty"`
+}
+
+// Response is one server reply.
+type Response struct {
+	Status Status `json:"status"`
+	// Detail explains rejections and errors.
+	Detail string `json:"detail,omitempty"`
+	// Sigs carries the requested signatures (GET).
+	Sigs []json.RawMessage `json:"sigs,omitempty"`
+	// Next is the index to request next time (GET): database size + 1.
+	Next int `json:"next,omitempty"`
+}
+
+// NewAdd builds an ADD request for a signature.
+func NewAdd(token ids.Token, s *sig.Signature) (Request, error) {
+	data, err := sig.Encode(s)
+	if err != nil {
+		return Request{}, fmt.Errorf("wire: add: %w", err)
+	}
+	return Request{Type: MsgAdd, Token: token, Sig: data}, nil
+}
+
+// NewGet builds a GET request starting at index from (1-based).
+func NewGet(from int) Request {
+	if from < 1 {
+		from = 1
+	}
+	return Request{Type: MsgGet, From: from}
+}
+
+// MaxFrameSize bounds one length-prefixed frame. GET replies carry many
+// signatures; 64 MiB accommodates the paper's worst-case experiment (a
+// full-database GET(0) under hundreds of clients) while still bounding
+// allocation from hostile peers.
+const MaxFrameSize = 64 << 20
+
+// WriteMessage writes v as one length-prefixed JSON frame.
+func WriteMessage(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one length-prefixed JSON frame into v.
+func ReadMessage(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("wire: read payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Conn is a convenience wrapper pairing buffered reads with flushing
+// writes over one stream.
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewConn wraps a stream.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+// Send writes one frame and flushes.
+func (c *Conn) Send(v any) error {
+	if err := WriteMessage(c.w, v); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv(v any) error {
+	return ReadMessage(c.r, v)
+}

@@ -1,0 +1,199 @@
+// Package workload builds the runtime workloads behind the paper's
+// evaluation: lock-intensive application simulations for the Table II
+// DoS-overhead measurements, application startup/shutdown simulation for
+// Figure 4, and the malicious-signature factories the attacks use.
+//
+// Workloads replay the lock paths of generated applications
+// (bytecode.LockPath) against a dimmunix.Runtime with explicit
+// (thread, lock, stack) events — the exact call stacks a JVM Dimmunix
+// would observe, which is what lets history signatures match.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"communix/internal/bytecode"
+	"communix/internal/dimmunix"
+	"communix/internal/sig"
+)
+
+// SimConfig parameterizes a lock workload run.
+type SimConfig struct {
+	// Workers is the number of concurrent threads.
+	Workers int
+	// Iterations is how many critical sections each worker executes.
+	Iterations int
+	// CSWork is busy-work units inside each critical section.
+	CSWork int
+	// OutWork is busy-work units between critical sections.
+	OutWork int
+	// HotOnly restricts execution to hot (critical-path) lock sites.
+	HotOnly bool
+	// NestedOnly restricts execution to nested sync sites, matching the
+	// paper's worst case where >99% of the executed nested sync blocks
+	// carry the attack's call stacks (§IV-B).
+	NestedOnly bool
+	// Seed drives site selection.
+	Seed int64
+}
+
+// LockSim replays an application's lock paths.
+type LockSim struct {
+	app   *bytecode.App
+	cfg   SimConfig
+	paths []bytecode.LockPath
+	// stamped stacks (hashes attached) per path.
+	outer []sig.Stack
+	inner []sig.Stack
+}
+
+// NewLockSim prepares a workload over the app's lock paths.
+func NewLockSim(app *bytecode.App, cfg SimConfig) (*LockSim, error) {
+	if cfg.Workers <= 0 || cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("workload: Workers and Iterations must be positive")
+	}
+	s := &LockSim{app: app, cfg: cfg}
+	for _, lp := range app.LockPaths() {
+		if cfg.HotOnly && !lp.Hot {
+			continue
+		}
+		if cfg.NestedOnly && (!lp.Nested || lp.Opaque) {
+			continue
+		}
+		s.paths = append(s.paths, lp)
+		s.outer = append(s.outer, stampStack(app, lp.Outer))
+		if lp.Inner != nil {
+			s.inner = append(s.inner, stampStack(app, lp.Inner))
+		} else {
+			s.inner = append(s.inner, nil)
+		}
+	}
+	if len(s.paths) == 0 {
+		return nil, fmt.Errorf("workload: app %s has no matching lock paths", app.Name)
+	}
+	return s, nil
+}
+
+// stampStack attaches class hashes, as the runtime's capture would.
+func stampStack(app *bytecode.App, cs sig.Stack) sig.Stack {
+	out := cs.Clone()
+	for i := range out {
+		out[i] = app.Frame(out[i].Class, out[i].Method, out[i].Line)
+	}
+	return out
+}
+
+// Paths returns how many lock paths the simulation exercises.
+func (s *LockSim) Paths() int { return len(s.paths) }
+
+// Result is one workload run's outcome.
+type Result struct {
+	Elapsed time.Duration
+	Stats   dimmunix.Stats
+}
+
+// Run executes the workload against a fresh runtime using the given
+// history (nil for an empty one) and reports elapsed wall time plus
+// runtime statistics. The runtime uses RecoverBreak so that an
+// (unexpected) real deadlock cannot hang the benchmark; the generated
+// workloads are deadlock-free by construction (every path acquires its
+// private outer lock before its private inner lock).
+func (s *LockSim) Run(history *dimmunix.History) (Result, error) {
+	if history == nil {
+		history = dimmunix.NewHistory()
+	}
+	rt := dimmunix.NewRuntime(dimmunix.Config{
+		History: history,
+		Policy:  dimmunix.RecoverBreak,
+	})
+	defer rt.Close()
+
+	// One outer lock and one inner lock per path: threads executing the
+	// same path contend realistically; distinct paths use distinct locks.
+	outerLocks := make([]*dimmunix.Lock, len(s.paths))
+	innerLocks := make([]*dimmunix.Lock, len(s.paths))
+	for i := range s.paths {
+		outerLocks[i] = rt.NewLock(fmt.Sprintf("outer%d", i))
+		innerLocks[i] = rt.NewLock(fmt.Sprintf("inner%d", i))
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	report := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := dimmunix.ThreadID(1 + w)
+			// Cheap deterministic per-worker sequence.
+			state := uint64(s.cfg.Seed) + uint64(w)*2654435761
+			sink := uint64(0)
+			for i := 0; i < s.cfg.Iterations; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				p := int(state % uint64(len(s.paths)))
+				sink += spin(s.cfg.OutWork)
+				if err := rt.Acquire(tid, outerLocks[p], s.outer[p]); err != nil {
+					report(fmt.Errorf("worker %d outer: %w", w, err))
+					return
+				}
+				sink += spin(s.cfg.CSWork)
+				if s.inner[p] != nil {
+					if err := rt.Acquire(tid, innerLocks[p], s.inner[p]); err != nil {
+						report(fmt.Errorf("worker %d inner: %w", w, err))
+						_ = rt.Release(tid, outerLocks[p])
+						return
+					}
+					sink += spin(s.cfg.CSWork / 2)
+					if err := rt.Release(tid, innerLocks[p]); err != nil {
+						report(err)
+						return
+					}
+				}
+				if err := rt.Release(tid, outerLocks[p]); err != nil {
+					report(err)
+					return
+				}
+			}
+			_ = sink
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return Result{Elapsed: elapsed, Stats: rt.Stats()}, nil
+}
+
+// spin burns deterministic CPU work.
+func spin(n int) uint64 {
+	x := uint64(88172645463325252)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// Overhead returns the percentage slowdown of with relative to base.
+func Overhead(base, with time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (with.Seconds() - base.Seconds()) / base.Seconds() * 100
+}

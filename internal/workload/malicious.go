@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"communix/internal/bytecode"
+	"communix/internal/sig"
+)
+
+// AttackMode selects what kind of malicious signatures to manufacture
+// (§III-C1, §IV-B).
+type AttackMode int
+
+// Attack modes.
+const (
+	// AttackCriticalPath: depth-5 outer stacks covering hot nested sync
+	// sites — the worst case the validation still admits; Table II
+	// measures its overhead at 8–40%.
+	AttackCriticalPath AttackMode = iota + 1
+	// AttackOffPath: valid signatures over cold sites; the paper reports
+	// negligible (<2%) overhead.
+	AttackOffPath
+	// AttackDepth1: outer stacks of depth 1 — over-general signatures
+	// causing >100% overhead; client-side validation rejects these.
+	AttackDepth1
+)
+
+// String names the mode.
+func (m AttackMode) String() string {
+	switch m {
+	case AttackCriticalPath:
+		return "critical-path-depth5"
+	case AttackOffPath:
+		return "off-path"
+	case AttackDepth1:
+		return "depth1"
+	}
+	return fmt.Sprintf("attack(%d)", int(m))
+}
+
+// MaliciousSignatures manufactures n two-thread signatures per the mode,
+// using the application's real lock paths (so hashes and nesting checks
+// pass where the mode intends them to). Deterministic per seed.
+func MaliciousSignatures(app *bytecode.App, n int, mode AttackMode, seed int64) []*sig.Signature {
+	r := rand.New(rand.NewSource(seed))
+	collect := func(wantHot, hotOnly bool) []bytecode.LockPath {
+		var pool []bytecode.LockPath
+		for _, lp := range app.LockPaths() {
+			if lp.Opaque || !lp.Nested {
+				continue // only nested, analyzable sites pass validation
+			}
+			if hotOnly && lp.Hot != wantHot {
+				continue
+			}
+			pool = append(pool, lp)
+		}
+		return pool
+	}
+	// Deduplicate by outer top so pairing maximizes site coverage — the
+	// Table II attack covers (nearly) all executed nested sites with few
+	// signatures.
+	dedupe := func(pool []bytecode.LockPath) []bytecode.LockPath {
+		seen := make(map[string]struct{}, len(pool))
+		uniq := make([]bytecode.LockPath, 0, len(pool))
+		for _, lp := range pool {
+			key := lp.Outer.Top().Key()
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			uniq = append(uniq, lp)
+		}
+		return uniq
+	}
+	uniq := dedupe(collect(mode != AttackOffPath, true))
+	if len(uniq) < 2 && mode != AttackOffPath {
+		// Small (scaled-down) apps may lack two hot nested sites; widen
+		// to every nested site so the attack still materializes.
+		uniq = dedupe(collect(true, false))
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	r.Shuffle(len(uniq), func(i, j int) { uniq[i], uniq[j] = uniq[j], uniq[i] })
+
+	depth := sig.MinRemoteOuterDepth
+	if mode == AttackDepth1 {
+		depth = 1
+	}
+	out := make([]*sig.Signature, 0, n)
+	for k := 0; len(out) < n; k++ {
+		i := (2 * k) % len(uniq)
+		j := (2*k + 1) % len(uniq)
+		if i == j {
+			j = (j + 1) % len(uniq)
+		}
+		s := sig.New(
+			threadSpecFromPath(app, uniq[i], depth),
+			threadSpecFromPath(app, uniq[j], depth),
+		)
+		s.Origin = sig.OriginRemote
+		out = append(out, s)
+	}
+	return out
+}
+
+// threadSpecFromPath builds one signature thread from a lock path,
+// trimming stacks to the requested depth and stamping real hashes.
+func threadSpecFromPath(app *bytecode.App, lp bytecode.LockPath, depth int) sig.ThreadSpec {
+	outer := stampStack(app, lp.Outer).Suffix(depth).Clone()
+	inner := lp.Inner
+	if inner == nil {
+		inner = lp.Outer
+	}
+	return sig.ThreadSpec{
+		Outer: outer,
+		Inner: stampStack(app, inner).Suffix(depth).Clone(),
+	}
+}
+
+// CriticalPathHistoryFraction reports the fraction of the workload's hot
+// lock sites covered by the given signatures' outer tops — Table II's
+// attack covers >99% of executed nested sites.
+func CriticalPathHistoryFraction(app *bytecode.App, sigs []*sig.Signature) float64 {
+	covered := make(map[string]struct{})
+	for _, s := range sigs {
+		for k := range s.TopFrames() {
+			covered[k] = struct{}{}
+		}
+	}
+	hot, hit := 0, 0
+	for _, lp := range app.LockPaths() {
+		if !lp.Hot || !lp.Nested || lp.Opaque {
+			continue
+		}
+		hot++
+		if _, ok := covered[lp.Outer.Top().Key()]; ok {
+			hit++
+		}
+	}
+	if hot == 0 {
+		return 0
+	}
+	return float64(hit) / float64(hot)
+}

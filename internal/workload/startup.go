@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"communix/internal/agent"
+	"communix/internal/bytecode"
+	"communix/internal/dimmunix"
+	"communix/internal/repo"
+	"communix/internal/sig"
+)
+
+// StartupMode selects which configuration Figure 4 measures.
+type StartupMode int
+
+// Startup modes, matching Figure 4's four series.
+const (
+	// StartupVanilla: the application alone.
+	StartupVanilla StartupMode = iota + 1
+	// StartupDimmunix: application + Dimmunix (history load/save), no
+	// Communix agent.
+	StartupDimmunix
+	// StartupAgent: application + Dimmunix + Communix agent inspecting
+	// the repository's new signatures.
+	StartupAgent
+	// StartupAgentNoNew: agent present but the repository holds nothing
+	// new (the steady state after the first post-download run).
+	StartupAgentNoNew
+)
+
+// String names the mode like the figure's legend.
+func (m StartupMode) String() string {
+	switch m {
+	case StartupVanilla:
+		return "Vanilla"
+	case StartupDimmunix:
+		return "Dimmunix"
+	case StartupAgent:
+		return "Communix agent"
+	case StartupAgentNoNew:
+		return "Agent (no new sigs)"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// StartupModes lists Figure 4's series in legend order.
+func StartupModes() []StartupMode {
+	return []StartupMode{StartupVanilla, StartupDimmunix, StartupAgent, StartupAgentNoNew}
+}
+
+// StartupConfig parameterizes one startup+shutdown measurement.
+type StartupConfig struct {
+	App  *bytecode.App
+	Mode StartupMode
+	// NewSigs is how many new signatures sit in the local repository
+	// (Figure 4's x axis).
+	NewSigs int
+	// BaseWorkPerKLOC is busy-work units per 1000 LOC simulating the
+	// application's own startup (parsing configs, building caches, ...).
+	// Zero selects a default that keeps vanilla startup in the tens of
+	// milliseconds.
+	BaseWorkPerKLOC int
+	// Seed drives signature generation.
+	Seed int64
+}
+
+// StartupResult is one measurement.
+type StartupResult struct {
+	Elapsed time.Duration
+	Report  agent.Report
+}
+
+// RunStartup simulates one application startup+shutdown under the given
+// mode (Figure 4). The simulated application "loads" all classes at
+// startup and performs size-proportional initialization work; Dimmunix
+// adds history handling; the agent adds hashing of loaded classes plus
+// validation and generalization of the repository's new signatures.
+func RunStartup(cfg StartupConfig) (StartupResult, error) {
+	if cfg.App == nil {
+		return StartupResult{}, fmt.Errorf("workload: startup needs an app")
+	}
+	base := cfg.BaseWorkPerKLOC
+	if base <= 0 {
+		base = 20_000
+	}
+
+	start := time.Now()
+	var res StartupResult
+
+	// --- Application startup: class loading + initialization work. ---
+	loaded := 0
+	for _, c := range cfg.App.Classes {
+		for _, m := range c.Methods {
+			loaded += len(m.Code)
+		}
+	}
+	_ = loaded
+	spin(base * cfg.App.LOC() / 1000)
+
+	if cfg.Mode == StartupVanilla {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// --- Dimmunix: load the (small) local deadlock history. ---
+	history := dimmunix.NewHistory()
+	seedHistorySigs(cfg.App, history, cfg.Seed)
+
+	if cfg.Mode == StartupDimmunix {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// --- Communix agent: hash loaded classes, then validate and
+	// generalize the repository's new signatures. ---
+	view := bytecode.NewView(cfg.App)
+	view.LoadAll()
+
+	rp, err := repo.Open("")
+	if err != nil {
+		return StartupResult{}, err
+	}
+	newSigs := cfg.NewSigs
+	if cfg.Mode == StartupAgentNoNew {
+		newSigs = 0
+	}
+	if newSigs > 0 {
+		raw, err := repositorySignatures(cfg.App, newSigs, cfg.Seed)
+		if err != nil {
+			return StartupResult{}, err
+		}
+		if err := rp.Append(raw, len(raw)+1); err != nil {
+			return StartupResult{}, err
+		}
+	}
+	ag, err := agent.New(agent.Config{
+		App: view, AppKey: cfg.App.Name, Repo: rp, History: history,
+	})
+	if err != nil {
+		return StartupResult{}, err
+	}
+	rep, err := ag.RunStartup()
+	if err != nil {
+		return StartupResult{}, err
+	}
+	res.Report = rep
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// seedHistorySigs installs a handful of local signatures, the typical
+// steady-state history size.
+func seedHistorySigs(app *bytecode.App, history *dimmunix.History, seed int64) {
+	sigs := MaliciousSignatures(app, 5, AttackCriticalPath, seed+1)
+	for _, s := range sigs {
+		s.Origin = sig.OriginLocal
+		history.Add(s)
+	}
+}
+
+// repositorySignatures manufactures n "new" repository signatures in wire
+// form: a realistic mix of signatures that pass validation (¾, derived
+// from the app's real nested lock paths) and signatures from other
+// applications or versions that fail the hash check (¼).
+func repositorySignatures(app *bytecode.App, n int, seed int64) ([]json.RawMessage, error) {
+	r := rand.New(rand.NewSource(seed + 2))
+	valid := MaliciousSignatures(app, n, AttackCriticalPath, seed+3)
+	if len(valid) == 0 {
+		return nil, fmt.Errorf("workload: app %s has too few nested lock paths for repository signatures", app.Name)
+	}
+	out := make([]json.RawMessage, 0, n)
+	for i := 0; i < n; i++ {
+		s := valid[i%len(valid)].Clone()
+		// Vary the lower frames so signatures are distinct.
+		for ti := range s.Threads {
+			s.Threads[ti].Outer[0].Method = fmt.Sprintf("origin%d_%d", i, ti)
+		}
+		if i%4 == 3 {
+			// Foreign signature: hash from another build.
+			top := &s.Threads[0].Outer[len(s.Threads[0].Outer)-1]
+			top.Hash = fmt.Sprintf("foreign-%d", r.Intn(1000))
+		}
+		s.Normalize()
+		data, err := sig.Encode(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"communix/internal/agent"
+	"communix/internal/bytecode"
+	"communix/internal/dimmunix"
+	"communix/internal/repo"
+	"communix/internal/sig"
+)
+
+// testApp generates a small application with hot nested sites.
+func testApp(t *testing.T) *bytecode.App {
+	t.Helper()
+	app, err := bytecode.Generate(bytecode.Profile{
+		Name: "wl", LOC: 8000, SyncSites: 60, ExplicitOps: 4,
+		Analyzed: 48, Nested: 16, HotFraction: 0.5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestLockSimRunsClean(t *testing.T) {
+	app := testApp(t)
+	sim, err := NewLockSim(app, SimConfig{
+		Workers: 4, Iterations: 50, CSWork: 20, OutWork: 20, HotOnly: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stats.Deadlocks != 0 {
+		t.Errorf("workload deadlocked %d times; must be deadlock-free by construction", res.Stats.Deadlocks)
+	}
+	if res.Stats.Acquisitions == 0 {
+		t.Error("no acquisitions recorded")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestLockSimMaliciousHistoryCausesYields(t *testing.T) {
+	// A small app (few nested constructs) and a long enough run that the
+	// scheduler genuinely interleaves workers: several workers sit inside
+	// attack-covered sites at all times, so avoidance must engage.
+	app, err := bytecode.Generate(bytecode.Profile{
+		Name: "yieldy", LOC: 4000, SyncSites: 16, ExplicitOps: 2,
+		Analyzed: 10, Nested: 4, HotFraction: 1.0, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewLockSim(app, SimConfig{
+		Workers: 8, Iterations: 2500, CSWork: 4000, OutWork: 0,
+		HotOnly: true, NestedOnly: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: no signatures.
+	base, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Yields != 0 {
+		t.Errorf("baseline yields = %d, want 0", base.Stats.Yields)
+	}
+
+	// Under attack: critical-path signatures in the history.
+	history := dimmunix.NewHistory()
+	for _, s := range MaliciousSignatures(app, 20, AttackCriticalPath, 3) {
+		history.Add(s)
+	}
+	attacked, err := sim.Run(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attacked.Stats.Yields == 0 {
+		t.Error("critical-path signatures should cause avoidance yields")
+	}
+	if attacked.Stats.Deadlocks != 0 {
+		t.Error("attack must not cause deadlocks")
+	}
+}
+
+func TestLockSimOffPathHistoryNoYields(t *testing.T) {
+	app := testApp(t)
+	sim, err := NewLockSim(app, SimConfig{
+		Workers: 4, Iterations: 40, CSWork: 10, OutWork: 5, HotOnly: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := dimmunix.NewHistory()
+	for _, s := range MaliciousSignatures(app, 20, AttackOffPath, 5) {
+		history.Add(s)
+	}
+	res, err := sim.Run(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Yields != 0 {
+		t.Errorf("off-path signatures caused %d yields; hot workload never matches them", res.Stats.Yields)
+	}
+}
+
+func TestMaliciousSignaturesPassOrFailValidationByMode(t *testing.T) {
+	app := testApp(t)
+	view := bytecode.NewView(app)
+	view.LoadAll()
+
+	validate := func(sigs []*sig.Signature) agent.Report {
+		t.Helper()
+		rp, err := repo.Open("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := make([]json.RawMessage, 0, len(sigs))
+		for _, s := range sigs {
+			data, err := sig.Encode(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msgs = append(msgs, data)
+		}
+		if err := rp.Append(msgs, len(msgs)+1); err != nil {
+			t.Fatal(err)
+		}
+		ag, err := agent.New(agent.Config{
+			App: view, AppKey: app.Name, Repo: rp, History: dimmunix.NewHistory(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ag.RunStartup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	t.Run("critical-path depth-5 passes", func(t *testing.T) {
+		rep := validate(MaliciousSignatures(app, 10, AttackCriticalPath, 6))
+		if rep.Accepted == 0 {
+			t.Errorf("report = %+v; depth-5 nested-site signatures are the worst case that passes", rep)
+		}
+		if rep.RejectedDepth != 0 || rep.RejectedHash != 0 {
+			t.Errorf("report = %+v; nothing should be rejected", rep)
+		}
+	})
+
+	t.Run("depth-1 rejected", func(t *testing.T) {
+		rep := validate(MaliciousSignatures(app, 10, AttackDepth1, 7))
+		if rep.Accepted != 0 {
+			t.Errorf("report = %+v; depth-1 signatures must be rejected", rep)
+		}
+		if rep.RejectedDepth == 0 {
+			t.Errorf("report = %+v; want depth rejections", rep)
+		}
+	})
+}
+
+func TestMaliciousSignaturesCoverHotSites(t *testing.T) {
+	app := testApp(t)
+	sigs := MaliciousSignatures(app, 20, AttackCriticalPath, 8)
+	if len(sigs) != 20 {
+		t.Fatalf("got %d signatures, want 20", len(sigs))
+	}
+	frac := CriticalPathHistoryFraction(app, sigs)
+	if frac < 0.99 {
+		t.Errorf("attack covers %.0f%% of hot nested sites, want >99%% (Table II worst case)", frac*100)
+	}
+	for i, s := range sigs {
+		if err := s.Valid(); err != nil {
+			t.Fatalf("signature %d invalid: %v", i, err)
+		}
+		if s.MinOuterDepth() != sig.MinRemoteOuterDepth {
+			t.Errorf("signature %d depth = %d, want %d", i, s.MinOuterDepth(), sig.MinRemoteOuterDepth)
+		}
+	}
+}
+
+func TestRunStartupModesOrdering(t *testing.T) {
+	app, err := bytecode.Generate(bytecode.Profile{
+		Name: "fig4", LOC: 4000, SyncSites: 40, ExplicitOps: 2,
+		Analyzed: 30, Nested: 10, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durations := make(map[StartupMode]time.Duration)
+	for _, mode := range StartupModes() {
+		res, err := RunStartup(StartupConfig{
+			App: app, Mode: mode, NewSigs: 200, BaseWorkPerKLOC: 2000, Seed: 13,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		durations[mode] = res.Elapsed
+		if mode == StartupAgent && res.Report.Inspected != 200 {
+			t.Errorf("agent inspected %d, want 200", res.Report.Inspected)
+		}
+		if mode == StartupAgentNoNew && res.Report.Inspected != 0 {
+			t.Errorf("agent-no-new inspected %d, want 0", res.Report.Inspected)
+		}
+	}
+	// The agent with new signatures must cost more than vanilla; the
+	// no-new-sigs agent must cost less than the loaded agent.
+	if durations[StartupAgent] <= durations[StartupVanilla] {
+		t.Errorf("agent (%v) should exceed vanilla (%v)", durations[StartupAgent], durations[StartupVanilla])
+	}
+	if durations[StartupAgentNoNew] >= durations[StartupAgent] {
+		t.Errorf("agent-no-new (%v) should undercut agent with 200 sigs (%v)",
+			durations[StartupAgentNoNew], durations[StartupAgent])
+	}
+}
+
+func TestRunStartupAcceptsAndRejectsMix(t *testing.T) {
+	app, err := bytecode.Generate(bytecode.Profile{
+		Name: "fig4b", LOC: 4000, SyncSites: 40, ExplicitOps: 2,
+		Analyzed: 30, Nested: 10, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStartup(StartupConfig{
+		App: app, Mode: StartupAgent, NewSigs: 100, BaseWorkPerKLOC: 1, Seed: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Accepted+rep.Merged == 0 {
+		t.Errorf("report = %+v; the valid ¾ should be installed", rep)
+	}
+	if rep.RejectedHash == 0 {
+		t.Errorf("report = %+v; the foreign ¼ should be hash-rejected", rep)
+	}
+}
+
+func TestOverheadMath(t *testing.T) {
+	if got := Overhead(100*time.Millisecond, 140*time.Millisecond); got < 39 || got > 41 {
+		t.Errorf("Overhead = %.1f, want ~40", got)
+	}
+	if got := Overhead(0, time.Second); got != 0 {
+		t.Errorf("Overhead with zero base = %.1f, want 0", got)
+	}
+}
