@@ -136,6 +136,32 @@ func BenchmarkTable2DoSOverhead(b *testing.B) {
 	b.Run("depth1", func(b *testing.B) { bench2(b, workload.AttackDepth1, true) })
 }
 
+// BenchmarkStoreContended measures contended ADD/GET throughput of the
+// signature database: the single-lock reference (store.Locked) versus the
+// sharded store, at increasing worker counts. The sharded store commits
+// commuting ADDs on distinct shard locks and serves GET from a lock-free
+// log snapshot; the gap widens with contention. The communix-bench binary
+// (-experiment store) runs the same sweep and can write BENCH_store.json.
+func BenchmarkStoreContended(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		for _, impl := range []string{"locked", "sharded"} {
+			b.Run(fmt.Sprintf("%s/workers=%d", impl, workers), func(b *testing.B) {
+				// One sweep with b.N folded into the op count (rather than
+				// b.N whole sweeps) so the ops/s metric reflects a single
+				// converged run; the headline number is ops/s, not ns/op.
+				points, err := bench.StoreBench(bench.StoreBenchConfig{
+					Workers: []int{workers}, OpsPerWorker: 500 * b.N,
+					Impls: []string{impl},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(points[0].OpsPerSec, "ops/s")
+			})
+		}
+	}
+}
+
 // BenchmarkProtectionTime runs the §IV-C fleet simulation (time to full
 // protection scales as 1/Nu with Communix).
 func BenchmarkProtectionTime(b *testing.B) {

@@ -7,10 +7,14 @@
 //	communix-bench -experiment fig2 -full     # Figure 2 at paper scale
 //	communix-bench -experiment table2         # Table II
 //
-// Experiments: fig2, fig3, fig4, table1, table2, protection, all.
+// Experiments: fig2, fig3, fig4, table1, table2, protection, store, all.
 // -full runs paper-scale parameters (Figure 2 spawns up to 100,000
 // goroutines and Table I generates 600-kLOC-scale applications; expect
 // minutes). The default quick scale preserves every qualitative shape.
+//
+// The store experiment sweeps contended ADD/GET throughput over the
+// single-lock baseline and the sharded store; -store-json additionally
+// writes the sweep as JSON (the committed BENCH_store.json).
 package main
 
 import (
@@ -26,8 +30,10 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|all")
+	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|all")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
+	shards := flag.Int("shards", 0, "store experiment: sharded-store partitions (0 = default 16)")
+	storeJSON := flag.String("store-json", "", "store experiment: also write results to this JSON file")
 	flag.Parse()
 
 	// Quick-scale divisors chosen so each experiment finishes in seconds
@@ -93,6 +99,32 @@ func run() int {
 		ran = true
 		bench.WriteProtection(out, bench.Protection(bench.ProtectionConfig{}))
 		fmt.Fprintln(out)
+	}
+	if *experiment == "store" || *experiment == "all" {
+		ran = true
+		cfg := bench.StoreBenchConfig{Shards: *shards}
+		if *full {
+			cfg.OpsPerWorker = 20000
+		}
+		points, err := bench.StoreBench(cfg)
+		if err != nil {
+			return fail("store", err)
+		}
+		bench.WriteStoreBench(out, points)
+		fmt.Fprintln(out)
+		if *storeJSON != "" {
+			f, err := os.Create(*storeJSON)
+			if err != nil {
+				return fail("store", err)
+			}
+			err = bench.WriteStoreBenchJSON(f, points)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fail("store", err)
+			}
+		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "communix-bench: unknown experiment %q\n", *experiment)

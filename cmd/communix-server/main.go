@@ -32,6 +32,9 @@ func run() int {
 	keyHex := flag.String("key", "", "predefined AES-128 key, 32 hex chars (required)")
 	mint := flag.Int("mint", 0, "print N user tokens at startup")
 	maxPerDay := flag.Int("max-per-day", 10, "signatures accepted per user per day")
+	shards := flag.Int("shards", 0, "signature store partitions (0 = default 16)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "batched-ingestion workers (0 = synchronous ADDs)")
+	ingestQueue := flag.Int("ingest-queue", 0, "pending-ADD queue bound (0 = default 4096)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -40,7 +43,13 @@ func run() int {
 		return 2
 	}
 
-	srv, err := communix.NewServer(communix.ServerConfig{Key: key, MaxPerDay: *maxPerDay})
+	srv, err := communix.NewServer(communix.ServerConfig{
+		Key:           key,
+		MaxPerDay:     *maxPerDay,
+		Shards:        *shards,
+		IngestWorkers: *ingestWorkers,
+		IngestQueue:   *ingestQueue,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
 		return 1

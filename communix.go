@@ -123,12 +123,27 @@ type ServerConfig struct {
 	// MaxPerDay caps accepted signatures per user per day (default 10,
 	// §III-C1).
 	MaxPerDay int
+	// Shards partitions the signature store so commuting ADDs commit in
+	// parallel (default 16).
+	Shards int
+	// IngestWorkers enables batched asynchronous ADD ingestion with this
+	// many workers; 0 processes ADDs synchronously per request.
+	IngestWorkers int
+	// IngestQueue bounds the pending-ADD queue when ingestion is enabled;
+	// a full queue is answered with a busy status (backpressure).
+	IngestQueue int
 }
 
 // NewServer builds a Communix server. Use Process for direct in-process
 // request handling or Serve/ListenAndServe for TCP.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	return server.New(server.Config{Key: cfg.Key, MaxPerDay: cfg.MaxPerDay})
+	return server.New(server.Config{
+		Key:           cfg.Key,
+		MaxPerDay:     cfg.MaxPerDay,
+		Shards:        cfg.Shards,
+		IngestWorkers: cfg.IngestWorkers,
+		IngestQueue:   cfg.IngestQueue,
+	})
 }
 
 // NodeConfig parameterizes NewNode — one Communix-protected application

@@ -1,0 +1,3 @@
+module communix
+
+go 1.21

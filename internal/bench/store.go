@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/sig"
+	"communix/internal/store"
+)
+
+// sigDB is the store surface the contention benchmark exercises; both the
+// sharded store.Store and the single-lock store.Locked satisfy it.
+type sigDB interface {
+	Add(ids.UserID, *sig.Signature) (bool, error)
+	Get(int) ([]json.RawMessage, int)
+}
+
+// StoreBenchConfig parameterizes the contended ADD/GET throughput
+// experiment: W workers hammer one store with distinct-signature ADDs,
+// interleaving incremental GETs, against both implementations.
+type StoreBenchConfig struct {
+	// Workers are the contention levels to sweep; default 1,2,4,8,16.
+	Workers []int
+	// OpsPerWorker is each worker's ADD count (default 2000).
+	OpsPerWorker int
+	// Shards configures the sharded store (default store.DefaultShards).
+	Shards int
+	// GetEvery interleaves one incremental GET per this many ADDs
+	// (default 8).
+	GetEvery int
+	// Impls restricts which implementations run ("locked", "sharded");
+	// default both. Benchmarks timing one implementation must filter
+	// here, or the other's work pollutes their measurement.
+	Impls []string
+}
+
+// StoreBenchPoint is one measurement.
+type StoreBenchPoint struct {
+	// Impl is "locked" (single-mutex baseline) or "sharded".
+	Impl string `json:"impl"`
+	// Workers is the number of concurrent goroutines.
+	Workers int `json:"workers"`
+	// Shards is the partition count (1 for the locked baseline).
+	Shards int `json:"shards"`
+	// Procs is the GOMAXPROCS the point ran under.
+	Procs int `json:"procs"`
+	// Ops is the total operation count (ADDs + GETs).
+	Ops int `json:"ops"`
+	// ElapsedNS is the wall time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// OpsPerSec is the headline throughput.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// StoreBench sweeps worker counts over the selected store
+// implementations. For each level it sets GOMAXPROCS to the worker
+// count, deliberately uncapped: past NumCPU the extra threads
+// oversubscribe the cores, which is exactly the regime that exposes
+// convoying on the single lock under preemption.
+func StoreBench(cfg StoreBenchConfig) ([]StoreBenchPoint, error) {
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8, 16}
+	}
+	impls := cfg.Impls
+	if len(impls) == 0 {
+		impls = []string{"locked", "sharded"}
+	}
+	ops := cfg.OpsPerWorker
+	if ops <= 0 {
+		ops = 2000
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = store.DefaultShards
+	}
+	getEvery := cfg.GetEvery
+	if getEvery <= 0 {
+		getEvery = 8
+	}
+
+	maxWorkers := 0
+	for _, w := range workers {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+	// Pre-build distinct signatures so only store operations are timed.
+	// Worker w uploads sigs[w*ops : (w+1)*ops] as user w+1; benchSignature
+	// tops are globally unique, so no adjacency rejections interfere.
+	sigs := make([]*sig.Signature, maxWorkers*ops)
+	for i := range sigs {
+		sigs[i] = benchSignature(i)
+	}
+
+	var out []StoreBenchPoint
+	for _, w := range workers {
+		procs := w
+		prev := runtime.GOMAXPROCS(procs)
+		for _, impl := range impls {
+			var db sigDB
+			pointShards := 1
+			storeCfg := store.Config{MaxPerDay: 1 << 30}
+			switch impl {
+			case "locked":
+				db = store.NewLocked(storeCfg)
+			case "sharded":
+				storeCfg.Shards = shards
+				db = store.New(storeCfg)
+				pointShards = shards
+			default:
+				runtime.GOMAXPROCS(prev)
+				return nil, fmt.Errorf("bench: unknown store impl %q", impl)
+			}
+			elapsed, total := storeBenchRun(db, sigs, w, ops, getEvery)
+			out = append(out, StoreBenchPoint{
+				Impl:      impl,
+				Workers:   w,
+				Shards:    pointShards,
+				Procs:     procs,
+				Ops:       total,
+				ElapsedNS: elapsed.Nanoseconds(),
+				OpsPerSec: float64(total) / elapsed.Seconds(),
+			})
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+	return out, nil
+}
+
+// storeBenchRun times w workers × ops ADDs (plus interleaved incremental
+// GETs) against db and returns wall time and total operations.
+func storeBenchRun(db sigDB, sigs []*sig.Signature, w, ops, getEvery int) (time.Duration, int) {
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			next := 1
+			for k := 0; k < ops; k++ {
+				_, _ = db.Add(ids.UserID(i+1), sigs[i*ops+k])
+				if k%getEvery == getEvery-1 {
+					_, next = db.Get(next)
+				}
+			}
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	total := w*ops + w*(ops/getEvery)
+	return elapsed, total
+}
+
+// WriteStoreBench renders the sweep as text.
+func WriteStoreBench(w io.Writer, points []StoreBenchPoint) {
+	fmt.Fprintln(w, "Store throughput: contended ADD/GET, single-lock vs sharded")
+	fmt.Fprintln(w, "  impl     workers  shards  procs       ops   elapsed        ops/s")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-8s %7d %7d %6d %9d   %-10v %9.0f\n",
+			p.Impl, p.Workers, p.Shards, p.Procs, p.Ops,
+			time.Duration(p.ElapsedNS).Round(time.Millisecond), p.OpsPerSec)
+	}
+}
+
+// WriteStoreBenchJSON writes the sweep as indented JSON (the committed
+// BENCH_store.json format).
+func WriteStoreBenchJSON(w io.Writer, points []StoreBenchPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string            `json:"experiment"`
+		NumCPU     int               `json:"num_cpu"`
+		Points     []StoreBenchPoint `json:"points"`
+	}{Experiment: "store-contended-add-get", NumCPU: runtime.NumCPU(), Points: points})
+}

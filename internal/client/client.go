@@ -97,33 +97,62 @@ func (c *Client) SyncOnce() (int, error) {
 	return c.cfg.Repo.Len() - before, nil
 }
 
+// uploadBusyRetries is how many times Upload retries a StatusBusy
+// verdict (the server's ingestion-queue backpressure) before giving up.
+const uploadBusyRetries = 3
+
 // Upload publishes one signature to the server with the client's
 // encrypted user id — the Communix plugin calls this right after
 // Dimmunix produces a signature (§III-B). The server's verdict is
 // returned: nil for accepted (or duplicate), an error describing the
-// rejection otherwise.
+// rejection otherwise. A busy server (full ingestion queue) is retried a
+// few times with short backoff; signatures are rare and small, so losing
+// one to sustained overload only delays, and never prevents, collective
+// immunity — some other user's upload will carry the same deadlock.
 func (c *Client) Upload(s *sig.Signature) error {
 	req, err := wire.NewAdd(c.cfg.Token, s)
 	if err != nil {
 		return fmt.Errorf("client: upload: %w", err)
 	}
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := c.uploadOnce(req)
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.Status == wire.StatusOK:
+			return nil
+		case resp.Status == wire.StatusBusy && attempt < uploadBusyRetries:
+			time.Sleep(backoff)
+			backoff *= 2
+		case resp.Status == wire.StatusBusy:
+			// Keep overload distinguishable from a validation rejection:
+			// callers may reasonably retry the former later, never the
+			// latter.
+			return fmt.Errorf("client: upload: server busy after %d retries: %s", uploadBusyRetries, resp.Detail)
+		default:
+			return fmt.Errorf("client: upload rejected: %s", resp.Detail)
+		}
+	}
+}
+
+// uploadOnce performs one ADD round trip.
+func (c *Client) uploadOnce(req wire.Request) (wire.Response, error) {
 	conn, err := c.cfg.Dial()
 	if err != nil {
-		return fmt.Errorf("client: dial: %w", err)
+		return wire.Response{}, fmt.Errorf("client: dial: %w", err)
 	}
 	defer conn.Close()
 	wc := wire.NewConn(conn)
 	if err := wc.Send(req); err != nil {
-		return fmt.Errorf("client: upload: %w", err)
+		return wire.Response{}, fmt.Errorf("client: upload: %w", err)
 	}
 	var resp wire.Response
 	if err := wc.Recv(&resp); err != nil {
-		return fmt.Errorf("client: upload: %w", err)
+		return wire.Response{}, fmt.Errorf("client: upload: %w", err)
 	}
-	if resp.Status != wire.StatusOK {
-		return fmt.Errorf("client: upload rejected: %s", resp.Detail)
-	}
-	return nil
+	return resp, nil
 }
 
 // Start launches the periodic background sync. Stop with Close.

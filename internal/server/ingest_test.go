@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/sig/sigtest"
+	"communix/internal/wire"
+)
+
+// newIngestServer builds a server with the batched ingestion pipeline on.
+func newIngestServer(t *testing.T, cfg Config) (*Server, *ids.Authority) {
+	t.Helper()
+	cfg.Key = testKey
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, auth
+}
+
+// TestIngestPipelineCommitsConcurrentAdds: many concurrent ADDs ride the
+// queue, every one is answered OK, and the store ends up with all of them
+// visible to GET.
+func TestIngestPipelineCommitsConcurrentAdds(t *testing.T) {
+	srv, auth := newIngestServer(t, Config{IngestWorkers: 2, IngestBatch: 8})
+	defer srv.Close()
+
+	const n = 60
+	r := rand.New(rand.NewSource(1))
+	reqs := make([]wire.Request, n)
+	for i := 0; i < n; i++ {
+		_, token := auth.Issue()
+		req, err := wire.NewAdd(token, sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = req
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := srv.Process(reqs[i])
+			if resp.Status != wire.StatusOK {
+				errs <- fmt.Sprintf("add %d: %s (%s)", i, resp.Status, resp.Detail)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := srv.Store().Len(); got != n {
+		t.Errorf("store len = %d, want %d", got, n)
+	}
+	resp := srv.Process(wire.NewGet(1))
+	if resp.Status != wire.StatusOK || len(resp.Sigs) != n || resp.Next != n+1 {
+		t.Errorf("GET after ingest: status=%s sigs=%d next=%d", resp.Status, len(resp.Sigs), resp.Next)
+	}
+}
+
+// TestIngestQueueFullAnswersBusy pins the single worker inside a store
+// commit (via a blocking clock), fills the one-slot queue, and checks
+// that the next ADD is answered StatusBusy instead of blocking — the
+// pipeline's backpressure contract.
+func TestIngestQueueFullAnswersBusy(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	clock := func() time.Time {
+		entered <- struct{}{}
+		<-gate
+		return time.Unix(1_700_000_000, 0)
+	}
+	srv, auth := newIngestServer(t, Config{
+		IngestWorkers: 1, IngestQueue: 1, IngestBatch: 1, Clock: clock,
+	})
+	defer srv.Close()
+
+	r := rand.New(rand.NewSource(2))
+	mkAdd := func(i int) wire.Request {
+		_, token := auth.Issue()
+		req, err := wire.NewAdd(token, sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+
+	add0, add1, add2 := mkAdd(0), mkAdd(1), mkAdd(2)
+
+	// First ADD: taken by the worker, which blocks in the clock.
+	resp1 := make(chan wire.Response, 1)
+	go func() { resp1 <- srv.Process(add0) }()
+	<-entered
+
+	// Second ADD: sits in the (size-1) queue.
+	resp2 := make(chan wire.Response, 1)
+	go func() { resp2 <- srv.Process(add1) }()
+	for len(srv.ingestCh) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third ADD: queue full -> immediate busy.
+	if resp := srv.Process(add2); resp.Status != wire.StatusBusy {
+		t.Fatalf("third add = %s (%s), want busy", resp.Status, resp.Detail)
+	}
+
+	// Unblock the worker; both queued ADDs commit.
+	close(gate)
+	if r1 := <-resp1; r1.Status != wire.StatusOK {
+		t.Errorf("first add = %s (%s)", r1.Status, r1.Detail)
+	}
+	if r2 := <-resp2; r2.Status != wire.StatusOK {
+		t.Errorf("second add = %s (%s)", r2.Status, r2.Detail)
+	}
+	if got := srv.Store().Len(); got != 2 {
+		t.Errorf("store len = %d, want 2", got)
+	}
+}
+
+// TestIngestCloseDrainsQueue: ADDs already queued at Close time are still
+// committed and answered; ADDs arriving after Close get a terminal error
+// instead of hanging.
+func TestIngestCloseDrainsQueue(t *testing.T) {
+	srv, auth := newIngestServer(t, Config{IngestWorkers: 1, IngestBatch: 4})
+
+	r := rand.New(rand.NewSource(3))
+	const n = 20
+	var wg sync.WaitGroup
+	results := make(chan wire.Response, n)
+	for i := 0; i < n; i++ {
+		_, token := auth.Issue()
+		req, err := wire.NewAdd(token, sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- srv.Process(req)
+		}()
+	}
+	srv.Close()
+	wg.Wait()
+	close(results)
+
+	committed := 0
+	for resp := range results {
+		switch resp.Status {
+		case wire.StatusOK:
+			committed++
+		case wire.StatusError, wire.StatusBusy:
+			// Terminal: raced Close (or a full queue); never hangs.
+		default:
+			t.Errorf("unexpected status %s (%s)", resp.Status, resp.Detail)
+		}
+	}
+	if got := srv.Store().Len(); got != committed {
+		t.Errorf("store len = %d but %d adds were acknowledged OK", got, committed)
+	}
+
+	// After Close the pipeline answers immediately.
+	_, token := auth.Issue()
+	req, err := wire.NewAdd(token, sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 999, 6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := srv.Process(req); resp.Status != wire.StatusError {
+		t.Errorf("post-Close add = %s, want error", resp.Status)
+	}
+}
+
+// TestIngestOverTCP runs the pipeline under the real wire layer.
+func TestIngestOverTCP(t *testing.T) {
+	srv, auth := newIngestServer(t, Config{IngestWorkers: 2, Shards: 4})
+	bound := make(chan net.Addr, 1)
+	go func() { _ = srv.ListenAndServe("127.0.0.1:0", bound) }()
+	addr := (<-bound).String()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wc := wire.NewConn(conn)
+
+	r := rand.New(rand.NewSource(4))
+	_, token := auth.Issue()
+	req, err := wire.NewAdd(token, sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 0, 6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wc.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("ADD over TCP = %s (%s)", resp.Status, resp.Detail)
+	}
+	if err := wc.Send(wire.NewGet(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || len(resp.Sigs) != 1 {
+		t.Fatalf("GET over TCP = %s, %d sigs", resp.Status, len(resp.Sigs))
+	}
+}

@@ -24,6 +24,16 @@ import (
 	"communix/internal/wire"
 )
 
+// Ingestion pipeline defaults.
+const (
+	// DefaultIngestQueue bounds the pending-ADD channel when ingestion
+	// workers are enabled.
+	DefaultIngestQueue = 4096
+	// DefaultIngestBatch caps how many queued ADDs one worker commits per
+	// store batch.
+	DefaultIngestBatch = 64
+)
+
 // Config parameterizes a Server.
 type Config struct {
 	// Key is the predefined AES-128 key under which user-id tokens were
@@ -34,6 +44,22 @@ type Config struct {
 	MaxPerDay int
 	// Clock injects time for the rate limiter.
 	Clock func() time.Time
+	// Shards partitions the signature store (default store.DefaultShards).
+	Shards int
+	// IngestWorkers enables the asynchronous ingestion pipeline: decoded
+	// ADD requests are queued on a bounded channel and drained by this
+	// many worker goroutines that batch-commit to the store. 0 (the
+	// default) processes every ADD synchronously on the request
+	// goroutine — the paper's direct-invocation model.
+	IngestWorkers int
+	// IngestQueue bounds the pending-ADD channel (default
+	// DefaultIngestQueue). When the queue is full the server answers
+	// StatusBusy — backpressure is surfaced to the wire layer instead of
+	// queueing without bound.
+	IngestQueue int
+	// IngestBatch caps the per-worker commit batch (default
+	// DefaultIngestBatch).
+	IngestBatch int
 }
 
 // Server is a Communix signature server.
@@ -46,6 +72,23 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+
+	// Ingestion pipeline (nil channel = synchronous ADDs). ingestMu
+	// serializes enqueues against pipeline shutdown: producers hold it
+	// shared around the closed-check + try-send pair, Close holds it
+	// exclusively while marking the pipeline closed, so after Close
+	// acquires it no new job can enter and draining the channel is final.
+	ingestCh     chan *addJob
+	ingestMu     sync.RWMutex
+	ingestClosed bool
+	ingestBatch  int
+	ingestWG     sync.WaitGroup
+}
+
+// addJob is one queued ADD awaiting a worker's verdict.
+type addJob struct {
+	req  wire.Request
+	resp chan wire.Response // buffered(1): the worker never blocks
 }
 
 // New builds a server.
@@ -54,21 +97,48 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		codec: codec,
-		db:    store.New(store.Config{MaxPerDay: cfg.MaxPerDay, Clock: cfg.Clock}),
+		db: store.New(store.Config{
+			MaxPerDay: cfg.MaxPerDay,
+			Clock:     cfg.Clock,
+			Shards:    cfg.Shards,
+		}),
 		conns: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.IngestWorkers > 0 {
+		queue := cfg.IngestQueue
+		if queue <= 0 {
+			queue = DefaultIngestQueue
+		}
+		s.ingestBatch = cfg.IngestBatch
+		if s.ingestBatch <= 0 {
+			s.ingestBatch = DefaultIngestBatch
+		}
+		s.ingestCh = make(chan *addJob, queue)
+		s.ingestWG.Add(cfg.IngestWorkers)
+		for i := 0; i < cfg.IngestWorkers; i++ {
+			go s.ingestLoop()
+		}
+	}
+	return s, nil
 }
 
 // Store exposes the underlying database (read-mostly, for tests and
 // benchmarks).
 func (s *Server) Store() *store.Store { return s.db }
 
-// Process handles one request synchronously — the direct-invocation path.
+// Process handles one request — the direct-invocation path. GETs are
+// answered inline from the store's lock-free snapshot; ADDs either commit
+// synchronously (no ingestion workers) or ride the batched ingestion
+// queue, in which case Process blocks until a worker delivers the
+// verdict, or answers StatusBusy immediately when the queue is full.
 func (s *Server) Process(req wire.Request) wire.Response {
 	switch req.Type {
 	case wire.MsgAdd:
+		if s.ingestCh != nil {
+			return s.enqueueAdd(req)
+		}
 		return s.processAdd(req)
 	case wire.MsgGet:
 		sigs, next := s.db.Get(req.From)
@@ -78,18 +148,97 @@ func (s *Server) Process(req wire.Request) wire.Response {
 	}
 }
 
+// enqueueAdd hands an ADD to the ingestion pipeline and waits for its
+// response. A full queue is answered with StatusBusy at once — that is
+// the backpressure contract with the wire layer.
+func (s *Server) enqueueAdd(req wire.Request) wire.Response {
+	job := &addJob{req: req, resp: make(chan wire.Response, 1)}
+	s.ingestMu.RLock()
+	if s.ingestClosed {
+		s.ingestMu.RUnlock()
+		return wire.Response{Status: wire.StatusError, Detail: "server closed"}
+	}
+	select {
+	case s.ingestCh <- job:
+		s.ingestMu.RUnlock()
+	default:
+		s.ingestMu.RUnlock()
+		return wire.Response{Status: wire.StatusBusy, Detail: "ingestion queue full, retry"}
+	}
+	return <-job.resp
+}
+
+// ingestLoop is one ingestion worker: it blocks for a first job, then
+// opportunistically drains more pending jobs up to the batch cap, decodes
+// and verifies each, and commits the valid ones with one batched store
+// publish.
+func (s *Server) ingestLoop() {
+	defer s.ingestWG.Done()
+	for job := range s.ingestCh {
+		batch := []*addJob{job}
+		for len(batch) < s.ingestBatch {
+			select {
+			case more, ok := <-s.ingestCh:
+				if !ok {
+					s.processAddBatch(batch)
+					return
+				}
+				batch = append(batch, more)
+			default:
+				goto commit
+			}
+		}
+	commit:
+		s.processAddBatch(batch)
+	}
+}
+
+// processAddBatch validates each job's token and signature, batch-commits
+// the well-formed ones, and answers every job.
+func (s *Server) processAddBatch(jobs []*addJob) {
+	uploads := make([]store.Upload, 0, len(jobs))
+	pending := make([]*addJob, 0, len(jobs))
+	for _, job := range jobs {
+		user, uploaded, reject := s.decodeAdd(job.req)
+		if reject != nil {
+			job.resp <- *reject
+			continue
+		}
+		uploads = append(uploads, store.Upload{User: user, Sig: uploaded})
+		pending = append(pending, job)
+	}
+	for i, res := range s.db.AddBatch(uploads) {
+		pending[i].resp <- addVerdict(res.Added, res.Err)
+	}
+}
+
 func (s *Server) processAdd(req wire.Request) wire.Response {
-	// First gate: the encrypted sender id must verify under the
-	// predefined key (§III-C2).
+	user, uploaded, reject := s.decodeAdd(req)
+	if reject != nil {
+		return *reject
+	}
+	added, err := s.db.Add(user, uploaded)
+	return addVerdict(added, err)
+}
+
+// decodeAdd runs the pre-store gates shared by the synchronous and
+// batched ADD paths: the encrypted sender id must verify under the
+// predefined key (§III-C2), and the signature must decode. A non-nil
+// response is the rejection to send.
+func (s *Server) decodeAdd(req wire.Request) (ids.UserID, *sig.Signature, *wire.Response) {
 	user, err := s.codec.Verify(req.Token)
 	if err != nil {
-		return wire.Response{Status: wire.StatusRejected, Detail: "invalid user token"}
+		return 0, nil, &wire.Response{Status: wire.StatusRejected, Detail: "invalid user token"}
 	}
 	uploaded, err := sig.Decode(req.Sig)
 	if err != nil {
-		return wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("malformed signature: %v", err)}
+		return 0, nil, &wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("malformed signature: %v", err)}
 	}
-	added, err := s.db.Add(user, uploaded)
+	return user, uploaded, nil
+}
+
+// addVerdict maps a store ADD outcome to the wire response.
+func addVerdict(added bool, err error) wire.Response {
 	switch {
 	case errors.Is(err, store.ErrRateLimited):
 		return wire.Response{Status: wire.StatusRejected, Detail: "daily signature limit reached"}
@@ -176,22 +325,38 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// Close stops the accept loop, closes all connections, and waits for
-// handler goroutines to drain.
+// Close stops the accept loop, closes all connections, waits for handler
+// goroutines to drain, then shuts the ingestion pipeline down — queued
+// ADDs are still committed and answered before the workers exit.
 func (s *Server) Close() {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return
-	}
-	s.closed = true
-	if s.listener != nil {
-		s.listener.Close()
-	}
-	for conn := range s.conns {
-		conn.Close()
+	if !s.closed {
+		s.closed = true
+		if s.listener != nil {
+			s.listener.Close()
+		}
+		for conn := range s.conns {
+			conn.Close()
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.closeIngest()
+}
+
+// closeIngest marks the pipeline closed (no producer can enqueue once the
+// exclusive lock is held: enqueues happen entirely under the shared lock),
+// closes the channel, and waits for the workers to drain what was queued.
+func (s *Server) closeIngest() {
+	if s.ingestCh == nil {
+		return
+	}
+	s.ingestMu.Lock()
+	already := s.ingestClosed
+	if !already {
+		s.ingestClosed = true
+		close(s.ingestCh)
+	}
+	s.ingestMu.Unlock()
+	s.ingestWG.Wait()
 }

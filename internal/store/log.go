@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// logChunkSize is the number of entries per log chunk. Chunks let the log
+// grow without ever copying published entries, so readers can walk a
+// snapshot while appends continue.
+const logChunkSize = 1024
+
+// logHeader is one immutable view of the log: chunk directory plus the
+// published length. Entries at index < n are frozen; slots at index >= n
+// may be concurrently written by an appender and must not be read.
+type logHeader struct {
+	chunks [][]json.RawMessage
+	n      int
+}
+
+// appendLog is an append-only signature log with lock-free snapshot
+// reads: GET never takes a lock, it atomically loads the current header
+// and reads the frozen prefix. Appenders serialize on mu, write new
+// entries into unpublished slots, and publish them with one atomic
+// header store (the store's release barrier makes the entry writes
+// visible to any reader that observes the new length).
+type appendLog struct {
+	mu  sync.Mutex
+	hdr atomic.Pointer[logHeader]
+}
+
+// newAppendLog returns an empty log.
+func newAppendLog() *appendLog {
+	l := &appendLog{}
+	l.hdr.Store(&logHeader{})
+	return l
+}
+
+// Append appends the batch and returns the 1-based index of its first
+// entry. The whole batch becomes visible to readers atomically.
+func (l *appendLog) Append(batch []json.RawMessage) int {
+	if len(batch) == 0 {
+		hdr := l.hdr.Load()
+		return hdr.n + 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	hdr := l.hdr.Load()
+	chunks := hdr.chunks
+	n := hdr.n
+	first := n + 1
+	for _, e := range batch {
+		ci, off := n/logChunkSize, n%logChunkSize
+		if ci == len(chunks) {
+			// Copy the chunk directory (readers hold the old one) and add
+			// a fresh chunk. Existing chunks are shared: their frozen
+			// prefixes never change.
+			grown := make([][]json.RawMessage, len(chunks)+1)
+			copy(grown, chunks)
+			grown[ci] = make([]json.RawMessage, logChunkSize)
+			chunks = grown
+		}
+		chunks[ci][off] = e
+		n++
+	}
+	l.hdr.Store(&logHeader{chunks: chunks, n: n})
+	return first
+}
+
+// Len returns the published length without locking.
+func (l *appendLog) Len() int {
+	return l.hdr.Load().n
+}
+
+// ReadFrom returns a copy of the entries from 1-based index from, plus
+// the next index to request (published length + 1). It never blocks
+// appenders.
+func (l *appendLog) ReadFrom(from int) ([]json.RawMessage, int) {
+	if from < 1 {
+		from = 1
+	}
+	hdr := l.hdr.Load()
+	next := hdr.n + 1
+	if from > hdr.n {
+		return nil, next
+	}
+	out := make([]json.RawMessage, 0, hdr.n-(from-1))
+	for j := from - 1; j < hdr.n; j++ {
+		out = append(out, hdr.chunks[j/logChunkSize][j%logChunkSize])
+	}
+	return out, next
+}

@@ -1,6 +1,17 @@
 // Package store implements the Communix server's signature database with
 // the server-side validation state of §III-C2: per-user adjacency
 // rejection and the per-user daily rate limit.
+//
+// The database must absorb uploads "from tens of thousands of
+// simultaneous threads" (§III-A), so the hot path is partitioned: the
+// duplicate-detection set is sharded by signature ID, the per-user
+// validation state is sharded by user ID, and commuting ADDs (different
+// signatures from different users) proceed on distinct shard locks in
+// parallel. Accepted signatures funnel into one append-only log that
+// assigns the global 1-based indexes; GET reads a lock-free snapshot of
+// that log and never blocks writers. The Locked type in this package is
+// the original single-mutex implementation, kept as the semantic
+// reference and benchmark baseline.
 package store
 
 import (
@@ -18,6 +29,11 @@ import (
 // processes only up to 10 signatures per day from one user" (§III-C1).
 const DefaultMaxPerDay = 10
 
+// DefaultShards is the default partition count for the sharded store.
+// Sixteen shards keep commuting ADDs from tens of workers conflict-free
+// while the per-shard maps stay dense.
+const DefaultShards = 16
+
 // Rejection reasons.
 var (
 	// ErrRateLimited: the user exceeded the daily signature budget.
@@ -34,19 +50,25 @@ type Config struct {
 	MaxPerDay int
 	// Clock injects time for the rate limiter; default time.Now.
 	Clock func() time.Time
+	// Shards is the number of hash partitions for the duplicate set and
+	// the per-user validation state; <= 0 selects DefaultShards. One
+	// shard degenerates to (and must behave exactly like) the Locked
+	// reference store.
+	Shards int
 }
 
-// Store is the signature database. Accepted signatures get consecutive
-// 1-based indexes; GET(k) returns everything from index k, making client
-// downloads incremental (§III-B). It is safe for concurrent use.
-type Store struct {
-	maxPerDay int
-	clock     func() time.Time
-
-	mu      sync.RWMutex
-	encoded []json.RawMessage // index i holds signature i+1, pre-encoded
-	present map[string]struct{}
-	users   map[ids.UserID]*userState
+// withDefaults fills zero fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxPerDay <= 0 {
+		cfg.MaxPerDay = DefaultMaxPerDay
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	return cfg
 }
 
 // userState is the per-user validation state.
@@ -61,72 +83,32 @@ type userState struct {
 	used int
 }
 
-// New builds a store.
-func New(cfg Config) *Store {
-	if cfg.MaxPerDay <= 0 {
-		cfg.MaxPerDay = DefaultMaxPerDay
-	}
-	if cfg.Clock == nil {
-		cfg.Clock = time.Now
-	}
-	return &Store{
-		maxPerDay: cfg.MaxPerDay,
-		clock:     cfg.Clock,
-		present:   make(map[string]struct{}),
-		users:     make(map[ids.UserID]*userState),
-	}
-}
-
-// Add validates and stores a signature from the given user. It returns
-// (true, nil) when stored, (false, nil) when an identical signature is
-// already present (idempotent upload), and (false, err) when rejected.
-func (st *Store) Add(user ids.UserID, s *sig.Signature) (bool, error) {
-	if err := s.Valid(); err != nil {
-		return false, fmt.Errorf("store: %w", err)
-	}
-	id := s.ID()
-	tops := s.TopFrames()
-
-	st.mu.Lock()
-	defer st.mu.Unlock()
-
-	if _, dup := st.present[id]; dup {
-		return false, nil
-	}
-
-	u, ok := st.users[user]
-	if !ok {
-		u = &userState{}
-		st.users[user] = u
-	}
-
-	// Rate limit: reset the budget when the UTC day rolls over.
-	today := st.clock().UTC().Unix() / 86400
+// check rolls the budget window to today and reports whether a signature
+// with the given top frames would be rejected. The caller holds the lock
+// guarding u.
+func (u *userState) check(tops map[string]struct{}, today int64, maxPerDay int) error {
 	if u.day != today {
 		u.day = today
 		u.used = 0
 	}
-	if u.used >= st.maxPerDay {
-		return false, ErrRateLimited
+	if u.used >= maxPerDay {
+		return ErrRateLimited
 	}
-
 	// Adjacency: reject if this user already sent a signature sharing
 	// some but not all top frames (§III-C2).
 	for _, prev := range u.tops {
 		if partialOverlap(tops, prev) {
-			return false, ErrAdjacent
+			return ErrAdjacent
 		}
 	}
+	return nil
+}
 
-	data, err := sig.Encode(s)
-	if err != nil {
-		return false, fmt.Errorf("store: %w", err)
-	}
-	st.encoded = append(st.encoded, data)
-	st.present[id] = struct{}{}
+// commit records an accepted signature against the budget. The caller
+// holds the lock guarding u and has called check.
+func (u *userState) commit(tops map[string]struct{}) {
 	u.tops = append(u.tops, tops)
 	u.used++
-	return true, nil
 }
 
 // partialOverlap reports whether the two top-frame sets intersect without
@@ -144,34 +126,203 @@ func partialOverlap(a, b map[string]struct{}) bool {
 	return common != len(a) || common != len(b)
 }
 
+// sigShard is one partition of the duplicate-detection set. The pad
+// brings the struct to 64 bytes (8 mutex + 8 map + 48) so adjacent
+// shards' locks sit on distinct cache lines and never false-share.
+type sigShard struct {
+	mu      sync.Mutex
+	present map[string]struct{}
+	_       [48]byte
+}
+
+// userShard is one partition of the per-user validation state.
+type userShard struct {
+	mu    sync.Mutex
+	users map[ids.UserID]*userState
+	_     [48]byte
+}
+
+// Store is the sharded signature database. Accepted signatures get
+// consecutive 1-based indexes from a shared append-only log; GET(k)
+// returns everything from index k over a lock-free snapshot, making
+// client downloads incremental (§III-B) and reads wait-free with respect
+// to writers. It is safe for concurrent use.
+//
+// Locking order is sigShard -> userShard -> log; an ADD takes exactly one
+// shard of each kind, so ADDs over different signatures and users never
+// contend.
+type Store struct {
+	maxPerDay  int
+	clock      func() time.Time
+	sigShards  []sigShard
+	userShards []userShard
+	log        *appendLog
+}
+
+// New builds a store.
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	st := &Store{
+		maxPerDay:  cfg.MaxPerDay,
+		clock:      cfg.Clock,
+		sigShards:  make([]sigShard, cfg.Shards),
+		userShards: make([]userShard, cfg.Shards),
+		log:        newAppendLog(),
+	}
+	for i := range st.sigShards {
+		st.sigShards[i].present = make(map[string]struct{})
+	}
+	for i := range st.userShards {
+		st.userShards[i].users = make(map[ids.UserID]*userState)
+	}
+	return st
+}
+
+// Shards returns the partition count.
+func (st *Store) Shards() int { return len(st.sigShards) }
+
+// sigShardOf picks the duplicate-set partition for a signature ID.
+// Inline FNV-1a: a hash.Hash32 would heap-allocate on every ADD.
+func (st *Store) sigShardOf(id string) *sigShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &st.sigShards[h%uint32(len(st.sigShards))]
+}
+
+// userShardOf picks the validation-state partition for a user. The user
+// id is mixed (splitmix64 finalizer) so sequentially issued ids spread
+// across shards.
+func (st *Store) userShardOf(user ids.UserID) *userShard {
+	x := uint64(user)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return &st.userShards[x%uint64(len(st.userShards))]
+}
+
+// Add validates and stores a signature from the given user. It returns
+// (true, nil) when stored, (false, nil) when an identical signature is
+// already present (idempotent upload), and (false, err) when rejected.
+func (st *Store) Add(user ids.UserID, s *sig.Signature) (bool, error) {
+	added, data, err := st.admit(user, s)
+	if added {
+		st.log.Append([]json.RawMessage{data})
+	}
+	return added, err
+}
+
+// Upload is one (user, signature) pair for AddBatch.
+type Upload struct {
+	User ids.UserID
+	Sig  *sig.Signature
+}
+
+// AddResult mirrors Add's return values for one AddBatch element.
+type AddResult struct {
+	Added bool
+	Err   error
+}
+
+// AddBatch validates and stores a batch of uploads, committing every
+// accepted signature to the log with a single publish — the batched
+// ingestion path. Results are positional. Validation runs per upload
+// under the relevant shard locks only; the log's append lock is taken
+// once for the whole batch.
+func (st *Store) AddBatch(batch []Upload) []AddResult {
+	results := make([]AddResult, len(batch))
+	encoded := make([]json.RawMessage, 0, len(batch))
+	for i, up := range batch {
+		added, data, err := st.admit(up.User, up.Sig)
+		results[i] = AddResult{Added: added, Err: err}
+		if added {
+			encoded = append(encoded, data)
+		}
+	}
+	st.log.Append(encoded)
+	return results
+}
+
+// admit runs every ADD step except the log append: signature validation,
+// duplicate detection (sig shard), and rate-limit + adjacency checks
+// (user shard). On acceptance it marks the signature present and returns
+// its encoding for the caller to append.
+//
+// Between admit marking a signature present and the caller publishing it
+// to the log there is a small window where a concurrent identical upload
+// is acknowledged as a duplicate before GET exposes the signature; the
+// log publish always lands (admit's caller appends unconditionally), so
+// the window only delays visibility, it never loses the signature.
+func (st *Store) admit(user ids.UserID, s *sig.Signature) (bool, json.RawMessage, error) {
+	if err := s.Valid(); err != nil {
+		return false, nil, fmt.Errorf("store: %w", err)
+	}
+	id := s.ID()
+	tops := s.TopFrames()
+	today := st.clock().UTC().Unix() / 86400
+
+	sh := st.sigShardOf(id)
+	sh.mu.Lock()
+	if _, dup := sh.present[id]; dup {
+		sh.mu.Unlock()
+		return false, nil, nil
+	}
+
+	us := st.userShardOf(user)
+	us.mu.Lock()
+	u, ok := us.users[user]
+	if !ok {
+		u = &userState{}
+		us.users[user] = u
+	}
+	if err := u.check(tops, today, st.maxPerDay); err != nil {
+		us.mu.Unlock()
+		sh.mu.Unlock()
+		return false, nil, err
+	}
+	// Encode only after every check has passed, matching the Locked
+	// reference's ordering and cost profile: duplicates and rejected
+	// uploads (the DoS case the daily limit exists for) never pay a
+	// marshal. The encode runs under the two shard locks, which only
+	// serializes it against same-shard traffic.
+	data, err := sig.Encode(s)
+	if err != nil {
+		us.mu.Unlock()
+		sh.mu.Unlock()
+		return false, nil, fmt.Errorf("store: %w", err)
+	}
+	u.commit(tops)
+	us.mu.Unlock()
+
+	sh.present[id] = struct{}{}
+	sh.mu.Unlock()
+	return true, data, nil
+}
+
 // Get returns the pre-encoded signatures from 1-based index from, plus
 // the next index a client should request (database size + 1). from < 1 is
-// treated as 1 (the paper's worst-case GET(0): send everything).
+// treated as 1 (the paper's worst-case GET(0): send everything). Get is
+// lock-free: it reads an atomic snapshot of the log and never blocks or
+// is blocked by concurrent ADDs.
 func (st *Store) Get(from int) ([]json.RawMessage, int) {
-	if from < 1 {
-		from = 1
-	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	next := len(st.encoded) + 1
-	if from > len(st.encoded) {
-		return nil, next
-	}
-	out := make([]json.RawMessage, len(st.encoded)-(from-1))
-	copy(out, st.encoded[from-1:])
-	return out, next
+	return st.log.ReadFrom(from)
 }
 
 // Len returns the number of stored signatures.
-func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.encoded)
-}
+func (st *Store) Len() int { return st.log.Len() }
 
 // Users returns how many distinct users have contributed.
 func (st *Store) Users() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.users)
+	total := 0
+	for i := range st.userShards {
+		us := &st.userShards[i]
+		us.mu.Lock()
+		total += len(us.users)
+		us.mu.Unlock()
+	}
+	return total
 }

@@ -52,6 +52,11 @@ const (
 	StatusRejected
 	// StatusError: the request was malformed.
 	StatusError
+	// StatusBusy: the server's ingestion queue is full; the client should
+	// back off and retry the upload. This is the batched-ingestion
+	// pipeline's backpressure signal — overload is surfaced to the wire
+	// instead of growing an unbounded in-server queue.
+	StatusBusy
 )
 
 // String names the status.
@@ -63,6 +68,8 @@ func (s Status) String() string {
 		return "rejected"
 	case StatusError:
 		return "error"
+	case StatusBusy:
+		return "busy"
 	}
 	return fmt.Sprintf("status(%d)", int(s))
 }

@@ -144,7 +144,11 @@ func (s *LockSim) Run(history *dimmunix.History) (Result, error) {
 			sink := uint64(0)
 			for i := 0; i < s.cfg.Iterations; i++ {
 				state = state*6364136223846793005 + 1442695040888963407
-				p := int(state % uint64(len(s.paths)))
+				// Pick from the high bits: the low bits of a power-of-two
+				// LCG are short-period (period 2^k for the low k bits), so
+				// `state % len` marches every worker through the same tiny
+				// path cycle in lockstep and the workers never contend.
+				p := int((state >> 33) % uint64(len(s.paths)))
 				sink += spin(s.cfg.OutWork)
 				if err := rt.Acquire(tid, outerLocks[p], s.outer[p]); err != nil {
 					report(fmt.Errorf("worker %d outer: %w", w, err))

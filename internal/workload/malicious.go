@@ -57,14 +57,19 @@ func MaliciousSignatures(app *bytecode.App, n int, mode AttackMode, seed int64) 
 		}
 		return pool
 	}
-	// Deduplicate by outer top so pairing maximizes site coverage — the
-	// Table II attack covers (nearly) all executed nested sites with few
-	// signatures.
+	// Deduplicate by the outer-stack suffix the signature will actually
+	// carry: distinct call paths into the same lock site must each keep a
+	// representative, or the attack misses executions arriving through the
+	// other paths (suffix matching is exact below the top frame).
+	depth := sig.MinRemoteOuterDepth
+	if mode == AttackDepth1 {
+		depth = 1
+	}
 	dedupe := func(pool []bytecode.LockPath) []bytecode.LockPath {
 		seen := make(map[string]struct{}, len(pool))
 		uniq := make([]bytecode.LockPath, 0, len(pool))
 		for _, lp := range pool {
-			key := lp.Outer.Top().Key()
+			key := lp.Outer.Suffix(depth).String()
 			if _, dup := seen[key]; dup {
 				continue
 			}
@@ -84,20 +89,27 @@ func MaliciousSignatures(app *bytecode.App, n int, mode AttackMode, seed int64) 
 	}
 	r.Shuffle(len(uniq), func(i, j int) { uniq[i], uniq[j] = uniq[j], uniq[i] })
 
-	depth := sig.MinRemoteOuterDepth
-	if mode == AttackDepth1 {
-		depth = 1
+	// Enumerate distinct unordered pairs by increasing stride: the first
+	// len(uniq) pairs already touch every site (maximal coverage with few
+	// signatures), and later strides keep the signatures distinct — thread
+	// specs are normalized, so (i,j) and (j,i) would be the same signature
+	// and the history would silently drop the duplicates.
+	var pairs [][2]int
+	for gap := 1; gap <= len(uniq)/2; gap++ {
+		for i := 0; i < len(uniq); i++ {
+			j := (i + gap) % len(uniq)
+			if len(uniq)%2 == 0 && gap == len(uniq)/2 && i >= j {
+				continue // stride len/2 visits each pair twice on even sizes
+			}
+			pairs = append(pairs, [2]int{i, j})
+		}
 	}
 	out := make([]*sig.Signature, 0, n)
 	for k := 0; len(out) < n; k++ {
-		i := (2 * k) % len(uniq)
-		j := (2*k + 1) % len(uniq)
-		if i == j {
-			j = (j + 1) % len(uniq)
-		}
+		p := pairs[k%len(pairs)]
 		s := sig.New(
-			threadSpecFromPath(app, uniq[i], depth),
-			threadSpecFromPath(app, uniq[j], depth),
+			threadSpecFromPath(app, uniq[p[0]], depth),
+			threadSpecFromPath(app, uniq[p[1]], depth),
 		)
 		s.Origin = sig.OriginRemote
 		out = append(out, s)
