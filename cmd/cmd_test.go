@@ -6,6 +6,8 @@ package cmd_test
 
 import (
 	"bytes"
+	"encoding/hex"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
@@ -14,6 +16,10 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"communix"
+	"communix/internal/sig/sigtest"
+	"communix/internal/wire"
 )
 
 // lockedBuffer is an io.Writer safe to read while an exec pipe goroutine
@@ -203,6 +209,119 @@ func TestInspectEmptyAndMissingFiles(t *testing.T) {
 	}
 	if msg, err := exec.Command(filepath.Join(bin, "communix-inspect"), "-history", bad).CombinedOutput(); err == nil {
 		t.Errorf("corrupt history accepted:\n%s", msg)
+	}
+}
+
+// seedDataDir fills a server data directory with n signatures through
+// the facade (the same code path the binary uses) and returns them.
+func seedDataDir(t *testing.T, dir string, n int) {
+	t.Helper()
+	key, err := hex.DecodeString(keyHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := communix.NewServer(communix.ServerConfig{
+		Key: key, DataDir: dir, Fsync: "always",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	auth, err := communix.NewAuthority(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token := auth.Issue()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 8)
+		req, err := wire.NewAdd(token, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := srv.Process(req); resp.Status != wire.StatusOK {
+			t.Fatalf("seed upload %d: %+v", i, resp)
+		}
+	}
+}
+
+func TestDurableServerRestartAndInspect(t *testing.T) {
+	bin := buildAll(t)
+	dir := filepath.Join(t.TempDir(), "data")
+	seedDataDir(t, dir, 3)
+
+	// Offline inspection: database size from the recovered store plus
+	// the on-disk stats — no server, no download.
+	msg, err := exec.Command(filepath.Join(bin, "communix-inspect"), "-data-dir", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("inspect -data-dir: %v\n%s", err, msg)
+	}
+	out := string(msg)
+	if !strings.Contains(out, "3 signature(s) from 1 user(s)") {
+		t.Errorf("inspect -data-dir output:\n%s", out)
+	}
+	if !strings.Contains(out, "snapshot version") || !strings.Contains(out, "segment file(s)") {
+		t.Errorf("inspect -data-dir should surface on-disk stats:\n%s", out)
+	}
+
+	// The server binary recovers the directory on startup...
+	addr := freePort(t)
+	server := exec.Command(filepath.Join(bin, "communix-server"),
+		"-addr", addr, "-key", keyHex, "-data-dir", dir, "-fsync", "always")
+	var serverOut lockedBuffer
+	server.Stdout = &serverOut
+	server.Stderr = &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = server.Process.Signal(os.Interrupt)
+		_ = server.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(serverOut.String(), "recovered 3 signature(s)") {
+		t.Errorf("server startup output:\n%s", serverOut.String())
+	}
+
+	// ...and the live probe reports its size without a full download.
+	msg, err = exec.Command(filepath.Join(bin, "communix-inspect"), "-addr", addr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("inspect -addr: %v\n%s", err, msg)
+	}
+	if !strings.Contains(string(msg), "3 signature(s)") {
+		t.Errorf("inspect -addr output:\n%s", msg)
+	}
+}
+
+func TestBenchPersistExperiment(t *testing.T) {
+	bin := buildAll(t)
+	jsonPath := filepath.Join(t.TempDir(), "persist.json")
+	cmd := exec.Command(filepath.Join(bin, "communix-bench"),
+		"-experiment", "persist", "-persist-json", jsonPath)
+	msg, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench persist: %v\n%s", err, msg)
+	}
+	out := string(msg)
+	for _, want := range []string{"fsync", "memory", "always"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench persist output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("persist JSON not written: %v", err)
+	}
+	if !strings.Contains(string(data), "persist-fsync-policy-sweep") {
+		t.Errorf("persist JSON:\n%s", data)
 	}
 }
 

@@ -7,14 +7,18 @@
 //	communix-bench -experiment fig2 -full     # Figure 2 at paper scale
 //	communix-bench -experiment table2         # Table II
 //
-// Experiments: fig2, fig3, fig4, table1, table2, protection, store, all.
-// -full runs paper-scale parameters (Figure 2 spawns up to 100,000
-// goroutines and Table I generates 600-kLOC-scale applications; expect
-// minutes). The default quick scale preserves every qualitative shape.
+// Experiments: fig2, fig3, fig4, table1, table2, protection, store,
+// persist, all. -full runs paper-scale parameters (Figure 2 spawns up to
+// 100,000 goroutines and Table I generates 600-kLOC-scale applications;
+// expect minutes). The default quick scale preserves every qualitative
+// shape.
 //
 // The store experiment sweeps contended ADD/GET throughput over the
 // single-lock baseline and the sharded store; -store-json additionally
-// writes the sweep as JSON (the committed BENCH_store.json).
+// writes the sweep as JSON (the committed BENCH_store.json). The persist
+// experiment sweeps batched ingestion throughput into a durable store
+// across the WAL fsync policies (plus the in-memory baseline);
+// -persist-json writes the committed BENCH_persist.json.
 package main
 
 import (
@@ -30,10 +34,11 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|all")
+	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|all")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	shards := flag.Int("shards", 0, "store experiment: sharded-store partitions (0 = default 16)")
 	storeJSON := flag.String("store-json", "", "store experiment: also write results to this JSON file")
+	persistJSON := flag.String("persist-json", "", "persist experiment: also write results to this JSON file")
 	flag.Parse()
 
 	// Quick-scale divisors chosen so each experiment finishes in seconds
@@ -123,6 +128,32 @@ func run() int {
 			}
 			if err != nil {
 				return fail("store", err)
+			}
+		}
+	}
+	if *experiment == "persist" || *experiment == "all" {
+		ran = true
+		cfg := bench.PersistBenchConfig{}
+		if *full {
+			cfg.AddsPerWorker = 10000
+		}
+		points, err := bench.PersistBench(cfg)
+		if err != nil {
+			return fail("persist", err)
+		}
+		bench.WritePersistBench(out, points)
+		fmt.Fprintln(out)
+		if *persistJSON != "" {
+			f, err := os.Create(*persistJSON)
+			if err != nil {
+				return fail("persist", err)
+			}
+			err = bench.WritePersistBenchJSON(f, points)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fail("persist", err)
 			}
 		}
 	}

@@ -1,22 +1,37 @@
-// Command communix-inspect pretty-prints Communix data files: deadlock
-// histories (what Dimmunix avoids) and local signature repositories
-// (what the client downloaded and the agent has or hasn't inspected).
+// Command communix-inspect pretty-prints Communix data: deadlock
+// histories (what Dimmunix avoids), local signature repositories (what
+// the client downloaded and the agent has or hasn't inspected), server
+// data directories (offline, without a running server), and the size of
+// a live server's database.
 //
 // Usage:
 //
 //	communix-inspect -history history.json
 //	communix-inspect -repo repo.json -v
+//	communix-inspect -data-dir /var/lib/communix        # offline dump
+//	communix-inspect -addr 127.0.0.1:9123               # live size probe
+//
+// The -data-dir mode opens the directory read-only: it replays the
+// snapshot and WAL segments exactly as server startup would (nothing is
+// created, truncated, or deleted) and reports the recovered database
+// size plus the on-disk layout (segment count, snapshot version). The
+// -addr mode asks a running server for its database size with a
+// zero-signature incremental GET probe instead of downloading the whole
+// database.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 
 	"communix/internal/dimmunix"
 	"communix/internal/repo"
 	"communix/internal/sig"
+	"communix/internal/store"
+	"communix/internal/wire"
 )
 
 func main() {
@@ -26,11 +41,13 @@ func main() {
 func run() int {
 	historyPath := flag.String("history", "", "deadlock history file to inspect")
 	repoPath := flag.String("repo", "", "local signature repository to inspect")
+	dataDir := flag.String("data-dir", "", "server data directory to inspect offline (read-only)")
+	addr := flag.String("addr", "", "running server to probe for its database size")
 	verbose := flag.Bool("v", false, "print full call stacks")
 	flag.Parse()
 
-	if *historyPath == "" && *repoPath == "" {
-		fmt.Fprintln(os.Stderr, "communix-inspect: pass -history and/or -repo")
+	if *historyPath == "" && *repoPath == "" && *dataDir == "" && *addr == "" {
+		fmt.Fprintln(os.Stderr, "communix-inspect: pass -history, -repo, -data-dir, and/or -addr")
 		return 2
 	}
 	if *historyPath != "" {
@@ -45,7 +62,77 @@ func run() int {
 			return 1
 		}
 	}
+	if *dataDir != "" {
+		if err := inspectDataDir(*dataDir, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "communix-inspect: %v\n", err)
+			return 1
+		}
+	}
+	if *addr != "" {
+		if err := probeServer(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "communix-inspect: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// inspectDataDir recovers a server data directory read-only and reports
+// the database size from the recovered store snapshot plus the on-disk
+// stats. Without -v that summary is all it prints — a production
+// directory can hold hundreds of thousands of signatures; with -v it
+// also dumps every signature with full call stacks.
+func inspectDataDir(dir string, verbose bool) error {
+	st, err := store.Open(store.Config{DataDir: dir, ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	ps := st.PersistStats()
+	fmt.Printf("data dir %s: %d signature(s) from %d user(s)\n", dir, st.Len(), st.Users())
+	fmt.Printf("  snapshot version %d (%d signature(s) folded)\n", ps.SnapshotVersion, ps.SnapshotEntries)
+	fmt.Printf("  %d segment file(s), %d sealed awaiting compaction\n", ps.Segments, ps.SealedSegments)
+	if !verbose {
+		return nil
+	}
+	sigs, _ := st.Get(1)
+	for i, raw := range sigs {
+		s, err := sig.Decode(raw)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", i+1, err)
+		}
+		fmt.Printf(" [%d]", i+1)
+		printSig(s, verbose)
+	}
+	return nil
+}
+
+// sizeProbeFrom is a GET start index far past any real database size, so
+// the reply carries zero signatures but still reveals Next = size + 1
+// (see docs/PROTOCOL.md, "Probing the database size"). 1<<30 (a billion
+// signatures) stays within int on 32-bit builds.
+const sizeProbeFrom = 1 << 30
+
+// probeServer reports a live server's database size without downloading
+// the database: GET(sizeProbeFrom) returns no signatures, only Next.
+func probeServer(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	c := wire.NewConn(conn)
+	if err := c.Send(wire.NewGet(sizeProbeFrom)); err != nil {
+		return err
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("server %s: %s: %s", addr, resp.Status, resp.Detail)
+	}
+	fmt.Printf("server %s: %d signature(s)\n", addr, resp.Next-1)
+	return nil
 }
 
 func inspectHistory(path string, verbose bool) error {

@@ -6,9 +6,14 @@
 // Usage:
 //
 //	communix-server -addr :9123 -key 00112233445566778899aabbccddeeff -mint 3
+//	communix-server -addr :9123 -key ... -data-dir /var/lib/communix -fsync always
 //
 // -mint prints N freshly issued user tokens at startup (the id-issuing
 // service is out of the paper's scope; real deployments gate issuance).
+// With -data-dir the signature database is durable: accepted signatures
+// are written ahead to a segment log and recovered on restart; -fsync
+// picks the durability/throughput trade-off (always, batch, off). See
+// the Operations section of the README and docs/ARCHITECTURE.md.
 package main
 
 import (
@@ -35,6 +40,8 @@ func run() int {
 	shards := flag.Int("shards", 0, "signature store partitions (0 = default 16)")
 	ingestWorkers := flag.Int("ingest-workers", 0, "batched-ingestion workers (0 = synchronous ADDs)")
 	ingestQueue := flag.Int("ingest-queue", 0, "pending-ADD queue bound (0 = default 4096)")
+	dataDir := flag.String("data-dir", "", "durable database directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "batch", "WAL fsync policy: always|batch|off (with -data-dir)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -49,10 +56,16 @@ func run() int {
 		Shards:        *shards,
 		IngestWorkers: *ingestWorkers,
 		IngestQueue:   *ingestQueue,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
 		return 1
+	}
+	if *dataDir != "" {
+		fmt.Printf("communix-server: data dir %s (fsync=%s): recovered %d signature(s)\n",
+			*dataDir, *fsync, srv.Store().Len())
 	}
 	if *mint > 0 {
 		auth, err := communix.NewAuthority(key)

@@ -51,6 +51,7 @@ import (
 	"communix/internal/repo"
 	"communix/internal/server"
 	"communix/internal/sig"
+	"communix/internal/store"
 )
 
 // Re-exported core types. The signature model is shared vocabulary
@@ -132,17 +133,37 @@ type ServerConfig struct {
 	// IngestQueue bounds the pending-ADD queue when ingestion is enabled;
 	// a full queue is answered with a busy status (backpressure).
 	IngestQueue int
+	// DataDir makes the signature database durable: accepted signatures
+	// are written ahead to a segment log in this directory and recovered
+	// on the next NewServer. Empty (the default) keeps the database in
+	// memory — a restart discards every signature ever contributed.
+	DataDir string
+	// Fsync selects the write-ahead log's fsync policy: "always" (an
+	// acknowledged upload is on stable storage), "batch" (the default:
+	// fsync amortized over batches; a crash can lose the last moments),
+	// or "off" (never fsync; commits still reach the OS, so they survive
+	// a process crash but not a power failure). Meaningful only with
+	// DataDir.
+	Fsync string
 }
 
 // NewServer builds a Communix server. Use Process for direct in-process
-// request handling or Serve/ListenAndServe for TCP.
+// request handling or Serve/ListenAndServe for TCP. With DataDir set the
+// server recovers its database from disk before serving and persists
+// every accepted signature; call Close to flush the log on shutdown.
 func NewServer(cfg ServerConfig) (*Server, error) {
+	fsync, err := store.ParseFsyncPolicy(cfg.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("communix: %w", err)
+	}
 	return server.New(server.Config{
 		Key:           cfg.Key,
 		MaxPerDay:     cfg.MaxPerDay,
 		Shards:        cfg.Shards,
 		IngestWorkers: cfg.IngestWorkers,
 		IngestQueue:   cfg.IngestQueue,
+		DataDir:       cfg.DataDir,
+		Fsync:         fsync,
 	})
 }
 

@@ -1,9 +1,13 @@
 package communix_test
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 
 	"communix"
+	"communix/internal/sig"
+	"communix/internal/wire"
 )
 
 // ExampleNewNode shows the minimal offline (Dimmunix-only) setup: an
@@ -32,4 +36,71 @@ func ExampleNewNode() {
 	}
 	fmt.Println("protected section done; history size:", node.History().Len())
 	// Output: protected section done; history size: 0
+}
+
+// ExampleNewServer_durable shows the persistent-server path: a server
+// built with DataDir writes every accepted signature ahead to a segment
+// log, and the next NewServer over the same directory recovers the full
+// database before serving — a crash or restart no longer discards the
+// community's accumulated signatures.
+func ExampleNewServer_durable() {
+	dir, err := os.MkdirTemp("", "communix-data-*")
+	if err != nil {
+		fmt.Println("tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	key := bytes.Repeat([]byte{0x11}, communix.KeySize)
+
+	// First server lifetime: accept one upload, then shut down.
+	srv, err := communix.NewServer(communix.ServerConfig{
+		Key:     key,
+		DataDir: dir,
+		Fsync:   "always", // an acknowledged upload is on stable storage
+	})
+	if err != nil {
+		fmt.Println("server:", err)
+		return
+	}
+	auth, _ := communix.NewAuthority(key)
+	_, token := auth.Issue()
+	req, err := wire.NewAdd(token, exampleSignature())
+	if err != nil {
+		fmt.Println("add:", err)
+		return
+	}
+	resp := srv.Process(req)
+	fmt.Println("upload:", resp.Status)
+	srv.Close() // flushes and closes the write-ahead log
+
+	// Second lifetime, same directory: the database is recovered.
+	srv, err = communix.NewServer(communix.ServerConfig{Key: key, DataDir: dir})
+	if err != nil {
+		fmt.Println("restart:", err)
+		return
+	}
+	defer srv.Close()
+	got := srv.Process(wire.NewGet(1))
+	fmt.Println("recovered signatures:", len(got.Sigs))
+	// Output:
+	// upload: ok
+	// recovered signatures: 1
+}
+
+// exampleSignature builds a minimal valid two-thread signature (outer
+// stacks ≥ 5 frames, as the agent's depth rule requires).
+func exampleSignature() *communix.Signature {
+	stack := func(method string) communix.Stack {
+		var s communix.Stack
+		for line := 1; line <= 5; line++ {
+			s = append(s, communix.Frame{
+				Class: "com/app/Transfer", Method: method, Line: line * 10, Hash: "h-transfer",
+			})
+		}
+		return s
+	}
+	return sig.New(
+		communix.ThreadSpec{Outer: stack("debit"), Inner: stack("credit")},
+		communix.ThreadSpec{Outer: stack("credit"), Inner: stack("debit")},
+	)
 }

@@ -2,6 +2,7 @@ package communix_test
 
 import (
 	"errors"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,8 @@ import (
 	"communix"
 	"communix/internal/bytecode"
 	"communix/internal/sig"
+	"communix/internal/sig/sigtest"
+	"communix/internal/wire"
 )
 
 func writeFile(path, content string) error {
@@ -78,6 +81,93 @@ func TestNodeMutexLifecycle(t *testing.T) {
 	}
 	// Close is idempotent.
 	node.Close()
+}
+
+// TestServerDurableRestart is the acceptance path of the durable server:
+// a server with a data directory is shut down and rebuilt over the same
+// directory, and the successor serves the byte-identical signature
+// sequence to GET(1), still deduplicates pre-restart uploads, and keeps
+// assigning consecutive indexes.
+func TestServerDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := communix.ServerConfig{
+		Key: testKey, DataDir: dir, Fsync: "always", IngestWorkers: 2,
+	}
+	srv, err := communix.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := communix.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token := auth.Issue()
+
+	r := rand.New(rand.NewSource(42))
+	var sigs []*communix.Signature
+	for i := 0; i < 5; i++ {
+		s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)
+		req, err := wire.NewAdd(token, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp := srv.Process(req); resp.Status != wire.StatusOK || resp.Detail != "" {
+			t.Fatalf("upload %d: %+v", i, resp)
+		}
+		sigs = append(sigs, s)
+	}
+	before := srv.Process(wire.NewGet(1))
+	if len(before.Sigs) != 5 || before.Next != 6 {
+		t.Fatalf("pre-restart GET(1): %d sigs, next %d", len(before.Sigs), before.Next)
+	}
+	srv.Close()
+
+	restarted, err := communix.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	after := restarted.Process(wire.NewGet(1))
+	if len(after.Sigs) != len(before.Sigs) || after.Next != before.Next {
+		t.Fatalf("post-restart GET(1): %d sigs next %d, want %d next %d",
+			len(after.Sigs), after.Next, len(before.Sigs), before.Next)
+	}
+	for i := range after.Sigs {
+		if string(after.Sigs[i]) != string(before.Sigs[i]) {
+			t.Fatalf("signature %d differs across restart", i+1)
+		}
+	}
+	// Pre-restart uploads are still known: re-uploading is a duplicate.
+	req, err := wire.NewAdd(token, sigs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := restarted.Process(req); resp.Status != wire.StatusOK || resp.Detail != "duplicate" {
+		t.Fatalf("re-upload after restart: %+v", resp)
+	}
+	// New uploads extend the recovered sequence.
+	s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 99, 6, 9)
+	req, err = wire.NewAdd(token, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := restarted.Process(req); resp.Status != wire.StatusOK {
+		t.Fatalf("post-restart upload: %+v", resp)
+	}
+	if resp := restarted.Process(wire.NewGet(6)); len(resp.Sigs) != 1 || resp.Next != 7 {
+		t.Fatalf("incremental GET(6) after restart: %d sigs, next %d", len(resp.Sigs), resp.Next)
+	}
+}
+
+// TestServerRejectsBadFsyncPolicy pins the facade-level validation of
+// the Fsync knob.
+func TestServerRejectsBadFsyncPolicy(t *testing.T) {
+	_, err := communix.NewServer(communix.ServerConfig{
+		Key: testKey, DataDir: t.TempDir(), Fsync: "sometimes",
+	})
+	if err == nil || !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("bad fsync policy accepted: %v", err)
+	}
 }
 
 func TestNodeRecheckNestingAfterClassLoad(t *testing.T) {

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/sig"
+	"communix/internal/store"
+)
+
+// PersistBenchConfig parameterizes the durable-ingestion throughput
+// experiment: W workers push distinct-signature batches through
+// store.AddBatch (the batched ingestion pipeline's commit path) against
+// an in-memory baseline and a durable store under each fsync policy.
+type PersistBenchConfig struct {
+	// Workers is the number of concurrent committers (default 4).
+	Workers int
+	// AddsPerWorker is each worker's total ADD count (default 2000).
+	AddsPerWorker int
+	// Batch is the per-commit batch size, mirroring the server's
+	// IngestBatch (default 64).
+	Batch int
+	// SegmentMaxBytes caps WAL segments so the sweep exercises sealing
+	// and compaction (default 1 MiB).
+	SegmentMaxBytes int64
+	// Dir is where the per-policy data directories are created (default
+	// os.MkdirTemp). Each point gets a fresh subdirectory.
+	Dir string
+}
+
+// PersistBenchPoint is one measurement.
+type PersistBenchPoint struct {
+	// Fsync is "memory" for the ephemeral baseline, else the policy
+	// ("off", "batch", "always").
+	Fsync string `json:"fsync"`
+	// Workers is the number of concurrent committers.
+	Workers int `json:"workers"`
+	// Batch is the per-commit batch size.
+	Batch int `json:"batch"`
+	// Adds is the total accepted signature count.
+	Adds int `json:"adds"`
+	// ElapsedNS is the wall time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// AddsPerSec is the headline ingestion throughput.
+	AddsPerSec float64 `json:"adds_per_sec"`
+	// Segments is how many WAL segment files existed at the end.
+	Segments int `json:"segments"`
+	// SnapshotVersion is the final snapshot version (0 = never
+	// compacted).
+	SnapshotVersion uint64 `json:"snapshot_version"`
+}
+
+// PersistBench sweeps the fsync policies (plus the in-memory baseline)
+// over the batched ingestion path. Signatures are pre-built so only
+// store commits are timed; each durable point writes to a fresh
+// directory that is removed afterwards.
+func PersistBench(cfg PersistBenchConfig) ([]PersistBenchPoint, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	adds := cfg.AddsPerWorker
+	if adds <= 0 {
+		adds = 2000
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 64
+	}
+	segMax := cfg.SegmentMaxBytes
+	if segMax <= 0 {
+		segMax = 1 << 20
+	}
+
+	sigs := make([]*sig.Signature, workers*adds)
+	for i := range sigs {
+		sigs[i] = benchSignature(i)
+	}
+
+	root := cfg.Dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "communix-bench-persist-*")
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	policies := []string{"memory", "off", "batch", "always"}
+	var out []PersistBenchPoint
+	for _, policy := range policies {
+		storeCfg := store.Config{MaxPerDay: 1 << 30, SegmentMaxBytes: segMax}
+		if policy != "memory" {
+			fsync, err := store.ParseFsyncPolicy(policy)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %w", err)
+			}
+			storeCfg.Fsync = fsync
+			storeCfg.DataDir = fmt.Sprintf("%s/%s", root, policy)
+		}
+		db, err := store.Open(storeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		elapsed, err := persistBenchRun(db, sigs, workers, adds, batch)
+		if err != nil {
+			return nil, err
+		}
+		ps := db.PersistStats()
+		if err := db.Close(); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		out = append(out, PersistBenchPoint{
+			Fsync:           policy,
+			Workers:         workers,
+			Batch:           batch,
+			Adds:            workers * adds,
+			ElapsedNS:       elapsed.Nanoseconds(),
+			AddsPerSec:      float64(workers*adds) / elapsed.Seconds(),
+			Segments:        ps.Segments,
+			SnapshotVersion: ps.SnapshotVersion,
+		})
+	}
+	return out, nil
+}
+
+// persistBenchRun times workers committing their signature ranges in
+// AddBatch batches and fails on any rejected upload (the workload is
+// built to be all-accept).
+func persistBenchRun(db *store.Store, sigs []*sig.Signature, workers, adds, batch int) (time.Duration, error) {
+	start := make(chan struct{})
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			user := ids.UserID(w + 1)
+			for k := 0; k < adds; k += batch {
+				n := batch
+				if k+n > adds {
+					n = adds - k
+				}
+				ups := make([]store.Upload, n)
+				for j := 0; j < n; j++ {
+					ups[j] = store.Upload{User: user, Sig: sigs[w*adds+k+j]}
+				}
+				for _, res := range db.AddBatch(ups) {
+					if res.Err != nil || !res.Added {
+						errs <- fmt.Errorf("bench: upload rejected: added=%v err=%v", res.Added, res.Err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// WritePersistBench renders the sweep as text.
+func WritePersistBench(w io.Writer, points []PersistBenchPoint) {
+	fmt.Fprintln(w, "Durable ingestion throughput: batched ADDs by fsync policy")
+	fmt.Fprintln(w, "  fsync    workers  batch      adds   elapsed       adds/s  segments  snapver")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-8s %7d %6d %9d   %-9v %10.0f %9d %8d\n",
+			p.Fsync, p.Workers, p.Batch, p.Adds,
+			time.Duration(p.ElapsedNS).Round(time.Millisecond), p.AddsPerSec,
+			p.Segments, p.SnapshotVersion)
+	}
+}
+
+// WritePersistBenchJSON writes the sweep as indented JSON (the committed
+// BENCH_persist.json format).
+func WritePersistBenchJSON(w io.Writer, points []PersistBenchPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string              `json:"experiment"`
+		Points     []PersistBenchPoint `json:"points"`
+	}{Experiment: "persist-fsync-policy-sweep", Points: points})
+}

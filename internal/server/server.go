@@ -60,6 +60,14 @@ type Config struct {
 	// IngestBatch caps the per-worker commit batch (default
 	// DefaultIngestBatch).
 	IngestBatch int
+	// DataDir makes the signature database durable: accepted signatures
+	// are written ahead to a segment log in this directory, and New
+	// recovers the directory on startup. Empty keeps the database in
+	// memory only — a restart loses every signature ever contributed.
+	DataDir string
+	// Fsync selects the write-ahead log's fsync policy (store.FsyncBatch
+	// by default); meaningful only with DataDir.
+	Fsync store.FsyncPolicy
 }
 
 // Server is a Communix signature server.
@@ -91,19 +99,28 @@ type addJob struct {
 	resp chan wire.Response // buffered(1): the worker never blocks
 }
 
-// New builds a server.
+// New builds a server. With cfg.DataDir set it recovers the signature
+// database from the directory before serving, so the server resumes the
+// exact signature sequence (and per-user validation state) it had before
+// the last shutdown or crash.
 func New(cfg Config) (*Server, error) {
 	codec, err := ids.NewCodec(cfg.Key)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	db, err := store.Open(store.Config{
+		MaxPerDay: cfg.MaxPerDay,
+		Clock:     cfg.Clock,
+		Shards:    cfg.Shards,
+		DataDir:   cfg.DataDir,
+		Fsync:     cfg.Fsync,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		codec: codec,
-		db: store.New(store.Config{
-			MaxPerDay: cfg.MaxPerDay,
-			Clock:     cfg.Clock,
-			Shards:    cfg.Shards,
-		}),
+		db:    db,
 		conns: make(map[net.Conn]struct{}),
 	}
 	if cfg.IngestWorkers > 0 {
@@ -237,9 +254,16 @@ func (s *Server) decodeAdd(req wire.Request) (ids.UserID, *sig.Signature, *wire.
 	return user, uploaded, nil
 }
 
-// addVerdict maps a store ADD outcome to the wire response.
+// addVerdict maps a store ADD outcome to the wire response. An accepted
+// upload whose WAL write failed (added && err != nil, the durable
+// store's degraded mode) is still answered ok — the signature IS in the
+// database and served by GET; StatusError is reserved for malformed
+// requests per docs/PROTOCOL.md — with a detail flagging the lost
+// durability for operators watching client logs.
 func addVerdict(added bool, err error) wire.Response {
 	switch {
+	case added && err != nil:
+		return wire.Response{Status: wire.StatusOK, Detail: "accepted; server durability degraded"}
 	case errors.Is(err, store.ErrRateLimited):
 		return wire.Response{Status: wire.StatusRejected, Detail: "daily signature limit reached"}
 	case errors.Is(err, store.ErrAdjacent):
@@ -326,8 +350,9 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // Close stops the accept loop, closes all connections, waits for handler
-// goroutines to drain, then shuts the ingestion pipeline down — queued
-// ADDs are still committed and answered before the workers exit.
+// goroutines to drain, shuts the ingestion pipeline down — queued ADDs
+// are still committed and answered before the workers exit — and finally
+// flushes and closes the database's write-ahead log.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -342,6 +367,7 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.closeIngest()
+	_ = s.db.Close()
 }
 
 // closeIngest marks the pipeline closed (no producer can enqueue once the

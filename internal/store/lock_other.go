@@ -1,0 +1,20 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// lockDir on non-unix platforms only creates the LOCK marker file — no
+// advisory lock is taken, so running two writers against one data
+// directory is not detected. The durable store is developed and
+// operated on unix (see CI); this stub keeps the tree cross-compiling.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/LOCK", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: data dir: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes the data directory's single-writer lock: it opens
+// (creating if needed) the LOCK file inside dir and flocks it
+// exclusively, non-blocking. The lock lives exactly as long as the
+// returned file stays open — the kernel releases a flock when its owner
+// dies, so a crashed writer never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir+"/LOCK", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: data dir: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data dir %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

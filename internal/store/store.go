@@ -12,6 +12,14 @@
 // that log and never blocks writers. The Locked type in this package is
 // the original single-mutex implementation, kept as the semantic
 // reference and benchmark baseline.
+//
+// With Config.DataDir set (use Open, not New), the database is durable:
+// every committed batch is written ahead to a CRC-checked segment log
+// before it is acknowledged, sealed segments are periodically folded
+// into a snapshot, and Open recovers the directory — tolerating a torn
+// final record from a crash mid-write — so the accumulated community
+// database outlives the process. See docs/ARCHITECTURE.md
+// ("Persistence") for the format and invariants.
 package store
 
 import (
@@ -55,6 +63,24 @@ type Config struct {
 	// shard degenerates to (and must behave exactly like) the Locked
 	// reference store.
 	Shards int
+	// DataDir enables durability: accepted signatures are appended to a
+	// write-ahead segment log in this directory before they are
+	// published, and Open replays the directory on startup. Empty (the
+	// default) keeps the store purely in memory.
+	DataDir string
+	// Fsync selects when the write-ahead log fsyncs (FsyncBatch,
+	// FsyncAlways, FsyncOff); meaningful only with DataDir.
+	Fsync FsyncPolicy
+	// SegmentMaxBytes caps one WAL segment before it is sealed; <= 0
+	// selects DefaultSegmentMaxBytes.
+	SegmentMaxBytes int64
+	// CompactSegments is how many sealed segments trigger snapshot
+	// compaction; <= 0 selects DefaultCompactSegments.
+	CompactSegments int
+	// ReadOnly opens DataDir for inspection only: recovery runs, reads
+	// work, every mutation returns ErrReadOnly, and no file is created
+	// or modified. Requires DataDir.
+	ReadOnly bool
 }
 
 // withDefaults fills zero fields.
@@ -67,6 +93,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards
+	}
+	if cfg.SegmentMaxBytes <= 0 {
+		cfg.SegmentMaxBytes = DefaultSegmentMaxBytes
+	}
+	if cfg.CompactSegments <= 0 {
+		cfg.CompactSegments = DefaultCompactSegments
 	}
 	return cfg
 }
@@ -146,25 +178,55 @@ type userShard struct {
 // consecutive 1-based indexes from a shared append-only log; GET(k)
 // returns everything from index k over a lock-free snapshot, making
 // client downloads incremental (§III-B) and reads wait-free with respect
-// to writers. It is safe for concurrent use.
+// to writers. With Config.DataDir set, every committed batch is appended
+// to a write-ahead segment log before it is published, and Open replays
+// the directory on startup — the database outlives the process. It is
+// safe for concurrent use.
 //
-// Locking order is sigShard -> userShard -> log; an ADD takes exactly one
-// shard of each kind, so ADDs over different signatures and users never
-// contend.
+// Locking order is sigShard -> userShard -> walMu -> log; an ADD takes
+// exactly one shard of each kind, so ADDs over different signatures and
+// users never contend outside the shared commit step.
 type Store struct {
 	maxPerDay  int
 	clock      func() time.Time
+	readOnly   bool
 	sigShards  []sigShard
 	userShards []userShard
 	log        *appendLog
+
+	// walMu serializes committed batches through the persister and keeps
+	// the on-disk record order identical to the in-memory index order.
+	// nil wal = ephemeral store, commits go straight to the log.
+	walMu sync.Mutex
+	wal   *persister
 }
 
-// New builds a store.
+// New builds an ephemeral in-memory store. Persistence fields of cfg
+// (DataDir and friends) are ignored; use Open for a durable store.
 func New(cfg Config) *Store {
+	cfg.DataDir = ""
+	cfg.ReadOnly = false
+	st, err := Open(cfg)
+	if err != nil {
+		// Unreachable: only the persistence path can fail.
+		panic(err)
+	}
+	return st
+}
+
+// Open builds a store. With cfg.DataDir set it recovers the directory's
+// durable record sequence — newest valid snapshot first, then the WAL
+// segments, tolerating a torn record at the tail of the last segment —
+// and replays it into the shards, the per-user validation state, and the
+// GET log, so a restarted server serves the identical signature sequence
+// and still enforces duplicate, adjacency, and budget decisions made
+// before the restart.
+func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	st := &Store{
 		maxPerDay:  cfg.MaxPerDay,
 		clock:      cfg.Clock,
+		readOnly:   cfg.ReadOnly,
 		sigShards:  make([]sigShard, cfg.Shards),
 		userShards: make([]userShard, cfg.Shards),
 		log:        newAppendLog(),
@@ -175,7 +237,56 @@ func New(cfg Config) *Store {
 	for i := range st.userShards {
 		st.userShards[i].users = make(map[ids.UserID]*userState)
 	}
-	return st
+	if cfg.DataDir == "" {
+		if cfg.ReadOnly {
+			return nil, errors.New("store: ReadOnly requires DataDir")
+		}
+		return st, nil
+	}
+
+	today := st.clock().UTC().Unix() / 86400
+	var recovered []json.RawMessage
+	wal, err := openPersister(persistConfig{
+		dir:      cfg.DataDir,
+		policy:   cfg.Fsync,
+		segMax:   cfg.SegmentMaxBytes,
+		compactN: cfg.CompactSegments,
+		readOnly: cfg.ReadOnly,
+	}, func(e walEntry) error {
+		s, err := sig.Decode(e.data)
+		if err != nil {
+			return err
+		}
+		id := s.ID()
+		sh := st.sigShardOf(id)
+		if _, dup := sh.present[id]; dup {
+			return fmt.Errorf("duplicate record %s", id)
+		}
+		sh.present[id] = struct{}{}
+		us := st.userShardOf(e.user)
+		u, ok := us.users[e.user]
+		if !ok {
+			u = &userState{}
+			us.users[e.user] = u
+		}
+		u.tops = append(u.tops, s.TopFrames())
+		// Rebuild the daily budget: only records accepted during the
+		// current UTC day still count against it.
+		if day := e.unix / 86400; day == today {
+			if u.day != today {
+				u.day, u.used = today, 0
+			}
+			u.used++
+		}
+		recovered = append(recovered, e.data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.wal = wal
+	st.log.Append(recovered)
+	return st, nil
 }
 
 // Shards returns the partition count.
@@ -208,68 +319,121 @@ func (st *Store) userShardOf(user ids.UserID) *userShard {
 // Add validates and stores a signature from the given user. It returns
 // (true, nil) when stored, (false, nil) when an identical signature is
 // already present (idempotent upload), and (false, err) when rejected.
+// On a durable store, (true, err) reports a signature that was accepted
+// and published in memory but whose WAL write failed — the caller keeps
+// serving it, durability is degraded.
 func (st *Store) Add(user ids.UserID, s *sig.Signature) (bool, error) {
-	added, data, err := st.admit(user, s)
-	if added {
-		st.log.Append([]json.RawMessage{data})
+	if st.readOnly {
+		return false, ErrReadOnly
 	}
-	return added, err
+	added, entry, err := st.admit(user, s)
+	if !added {
+		return added, err
+	}
+	return true, st.commit([]walEntry{entry})
 }
 
 // Upload is one (user, signature) pair for AddBatch.
 type Upload struct {
+	// User is the authenticated uploader.
 	User ids.UserID
-	Sig  *sig.Signature
+	// Sig is the uploaded signature.
+	Sig *sig.Signature
 }
 
 // AddResult mirrors Add's return values for one AddBatch element.
 type AddResult struct {
+	// Added reports whether the signature entered the database.
 	Added bool
-	Err   error
+	// Err is the rejection (or, on a durable store, the WAL failure) for
+	// this upload; nil for accepts and idempotent duplicates.
+	Err error
 }
 
 // AddBatch validates and stores a batch of uploads, committing every
-// accepted signature to the log with a single publish — the batched
-// ingestion path. Results are positional. Validation runs per upload
-// under the relevant shard locks only; the log's append lock is taken
-// once for the whole batch.
+// accepted signature to the WAL and the log with a single append each —
+// the batched ingestion path (one fsync covers the whole batch under
+// FsyncAlways). Results are positional. Validation runs per upload under
+// the relevant shard locks only; the commit locks are taken once for the
+// whole batch. A WAL write failure is reported on every accepted upload
+// of the batch, with Added still true (see Add).
 func (st *Store) AddBatch(batch []Upload) []AddResult {
 	results := make([]AddResult, len(batch))
-	encoded := make([]json.RawMessage, 0, len(batch))
+	if st.readOnly {
+		for i := range results {
+			results[i] = AddResult{Err: ErrReadOnly}
+		}
+		return results
+	}
+	entries := make([]walEntry, 0, len(batch))
 	for i, up := range batch {
-		added, data, err := st.admit(up.User, up.Sig)
+		added, entry, err := st.admit(up.User, up.Sig)
 		results[i] = AddResult{Added: added, Err: err}
 		if added {
-			encoded = append(encoded, data)
+			entries = append(entries, entry)
 		}
 	}
-	st.log.Append(encoded)
+	if err := st.commit(entries); err != nil {
+		for i := range results {
+			if results[i].Added {
+				results[i].Err = err
+			}
+		}
+	}
 	return results
 }
 
-// admit runs every ADD step except the log append: signature validation,
+// commit makes a batch of accepted entries visible: WAL append first
+// (write-ahead: nothing is acknowledged before it is on the log), then
+// one atomic publish to the in-memory GET log. Both happen under walMu
+// so the on-disk record order always matches the in-memory index order.
+// The in-memory publish is unconditional — even when the WAL write
+// fails, readers of this process see the batch and the error only
+// reports lost durability.
+func (st *Store) commit(entries []walEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	raw := make([]json.RawMessage, len(entries))
+	for i, e := range entries {
+		raw[i] = e.data
+	}
+	if st.wal == nil {
+		st.log.Append(raw)
+		return nil
+	}
+	st.walMu.Lock()
+	defer st.walMu.Unlock()
+	err := st.wal.append(entries)
+	st.log.Append(raw)
+	return err
+}
+
+// admit runs every ADD step except the commit: signature validation,
 // duplicate detection (sig shard), and rate-limit + adjacency checks
 // (user shard). On acceptance it marks the signature present and returns
-// its encoding for the caller to append.
+// the WAL entry (uploader, accept time, encoding) for the caller to
+// commit.
 //
 // Between admit marking a signature present and the caller publishing it
-// to the log there is a small window where a concurrent identical upload
-// is acknowledged as a duplicate before GET exposes the signature; the
-// log publish always lands (admit's caller appends unconditionally), so
-// the window only delays visibility, it never loses the signature.
-func (st *Store) admit(user ids.UserID, s *sig.Signature) (bool, json.RawMessage, error) {
+// there is a small window where a concurrent identical upload is
+// acknowledged as a duplicate before GET exposes the signature; the
+// publish always lands (admit's caller commits unconditionally), so the
+// window only delays visibility, it never loses the signature.
+func (st *Store) admit(user ids.UserID, s *sig.Signature) (bool, walEntry, error) {
 	if err := s.Valid(); err != nil {
-		return false, nil, fmt.Errorf("store: %w", err)
+		return false, walEntry{}, fmt.Errorf("store: %w", err)
 	}
 	id := s.ID()
 	tops := s.TopFrames()
-	today := st.clock().UTC().Unix() / 86400
+	now := st.clock().UTC().Unix()
+	today := now / 86400
 
 	sh := st.sigShardOf(id)
 	sh.mu.Lock()
 	if _, dup := sh.present[id]; dup {
 		sh.mu.Unlock()
-		return false, nil, nil
+		return false, walEntry{}, nil
 	}
 
 	us := st.userShardOf(user)
@@ -282,7 +446,7 @@ func (st *Store) admit(user ids.UserID, s *sig.Signature) (bool, json.RawMessage
 	if err := u.check(tops, today, st.maxPerDay); err != nil {
 		us.mu.Unlock()
 		sh.mu.Unlock()
-		return false, nil, err
+		return false, walEntry{}, err
 	}
 	// Encode only after every check has passed, matching the Locked
 	// reference's ordering and cost profile: duplicates and rejected
@@ -293,14 +457,14 @@ func (st *Store) admit(user ids.UserID, s *sig.Signature) (bool, json.RawMessage
 	if err != nil {
 		us.mu.Unlock()
 		sh.mu.Unlock()
-		return false, nil, fmt.Errorf("store: %w", err)
+		return false, walEntry{}, fmt.Errorf("store: %w", err)
 	}
 	u.commit(tops)
 	us.mu.Unlock()
 
 	sh.present[id] = struct{}{}
 	sh.mu.Unlock()
-	return true, data, nil
+	return true, walEntry{user: user, unix: now, data: data}, nil
 }
 
 // Get returns the pre-encoded signatures from 1-based index from, plus
@@ -325,4 +489,26 @@ func (st *Store) Users() int {
 		us.mu.Unlock()
 	}
 	return total
+}
+
+// PersistStats reports the store's on-disk state. For an ephemeral store
+// only Enabled=false is set.
+func (st *Store) PersistStats() PersistStats {
+	if st.wal == nil {
+		return PersistStats{}
+	}
+	st.walMu.Lock()
+	defer st.walMu.Unlock()
+	return st.wal.stats()
+}
+
+// Close flushes and closes the write-ahead log (a no-op for an ephemeral
+// store). The store must not be mutated afterwards; reads keep working.
+func (st *Store) Close() error {
+	if st.wal == nil {
+		return nil
+	}
+	st.walMu.Lock()
+	defer st.walMu.Unlock()
+	return st.wal.close()
 }
