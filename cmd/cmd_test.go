@@ -325,6 +325,30 @@ func TestBenchPersistExperiment(t *testing.T) {
 	}
 }
 
+func TestBenchRuntimeExperiment(t *testing.T) {
+	bin := buildAll(t)
+	jsonPath := filepath.Join(t.TempDir(), "runtime.json")
+	cmd := exec.Command(filepath.Join(bin, "communix-bench"),
+		"-experiment", "runtime", "-runtime-json", jsonPath)
+	msg, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench runtime: %v\n%s", err, msg)
+	}
+	out := string(msg)
+	for _, want := range []string{"fast path", "goroutines", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench runtime output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("runtime JSON not written: %v", err)
+	}
+	if !strings.Contains(string(data), "runtime-fastpath-sweep") {
+		t.Errorf("runtime JSON:\n%s", data)
+	}
+}
+
 func TestClientFailsAgainstDeadServer(t *testing.T) {
 	bin := buildAll(t)
 	cmd := exec.Command(filepath.Join(bin, "communix-client"),

@@ -8,22 +8,26 @@
 //	communix-bench -experiment table2         # Table II
 //
 // Experiments: fig2, fig3, fig4, table1, table2, protection, store,
-// persist, all. -full runs paper-scale parameters (Figure 2 spawns up to
-// 100,000 goroutines and Table I generates 600-kLOC-scale applications;
-// expect minutes). The default quick scale preserves every qualitative
-// shape.
+// persist, runtime, all. -full runs paper-scale parameters (Figure 2
+// spawns up to 100,000 goroutines and Table I generates 600-kLOC-scale
+// applications; expect minutes). The default quick scale preserves every
+// qualitative shape.
 //
 // The store experiment sweeps contended ADD/GET throughput over the
 // single-lock baseline and the sharded store; -store-json additionally
 // writes the sweep as JSON (the committed BENCH_store.json). The persist
 // experiment sweeps batched ingestion throughput into a durable store
 // across the WAL fsync policies (plus the in-memory baseline);
-// -persist-json writes the committed BENCH_persist.json.
+// -persist-json writes the committed BENCH_persist.json. The runtime
+// experiment sweeps the client-side acquisition hot path (goroutines ×
+// history size × match rate, lock-free fast path vs the global-mutex
+// reference); -runtime-json writes the committed BENCH_runtime.json.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"communix/internal/bench"
@@ -34,11 +38,12 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|all")
+	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|runtime|all")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	shards := flag.Int("shards", 0, "store experiment: sharded-store partitions (0 = default 16)")
 	storeJSON := flag.String("store-json", "", "store experiment: also write results to this JSON file")
 	persistJSON := flag.String("persist-json", "", "persist experiment: also write results to this JSON file")
+	runtimeJSON := flag.String("runtime-json", "", "runtime experiment: also write results to this JSON file")
 	flag.Parse()
 
 	// Quick-scale divisors chosen so each experiment finishes in seconds
@@ -53,6 +58,21 @@ func run() int {
 	fail := func(name string, err error) int {
 		fmt.Fprintf(os.Stderr, "communix-bench: %s: %v\n", name, err)
 		return 1
+	}
+	// writeJSON persists one experiment's results ("" path = skip).
+	writeJSON := func(path string, write func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
 
 	if *experiment == "fig2" || *experiment == "all" {
@@ -117,18 +137,10 @@ func run() int {
 		}
 		bench.WriteStoreBench(out, points)
 		fmt.Fprintln(out)
-		if *storeJSON != "" {
-			f, err := os.Create(*storeJSON)
-			if err != nil {
-				return fail("store", err)
-			}
-			err = bench.WriteStoreBenchJSON(f, points)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				return fail("store", err)
-			}
+		if err := writeJSON(*storeJSON, func(w io.Writer) error {
+			return bench.WriteStoreBenchJSON(w, points)
+		}); err != nil {
+			return fail("store", err)
 		}
 	}
 	if *experiment == "persist" || *experiment == "all" {
@@ -143,18 +155,28 @@ func run() int {
 		}
 		bench.WritePersistBench(out, points)
 		fmt.Fprintln(out)
-		if *persistJSON != "" {
-			f, err := os.Create(*persistJSON)
-			if err != nil {
-				return fail("persist", err)
-			}
-			err = bench.WritePersistBenchJSON(f, points)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				return fail("persist", err)
-			}
+		if err := writeJSON(*persistJSON, func(w io.Writer) error {
+			return bench.WritePersistBenchJSON(w, points)
+		}); err != nil {
+			return fail("persist", err)
+		}
+	}
+	if *experiment == "runtime" || *experiment == "all" {
+		ran = true
+		cfg := bench.RuntimeBenchConfig{}
+		if *full {
+			cfg.OpsPerGoroutine = 50000
+		}
+		points, err := bench.RuntimeBench(cfg)
+		if err != nil {
+			return fail("runtime", err)
+		}
+		bench.WriteRuntimeBench(out, points)
+		fmt.Fprintln(out)
+		if err := writeJSON(*runtimeJSON, func(w io.Writer) error {
+			return bench.WriteRuntimeBenchJSON(w, points)
+		}); err != nil {
+			return fail("runtime", err)
 		}
 	}
 	if !ran {

@@ -202,3 +202,74 @@ func TestMaliciousHistoriesDiffer(t *testing.T) {
 		}
 	}
 }
+
+func TestRuntimeBenchSmallSweep(t *testing.T) {
+	points, err := RuntimeBench(RuntimeBenchConfig{
+		Goroutines:      []int{1, 2},
+		HistorySizes:    []int{0, 8},
+		MatchPercents:   []int{0, 50},
+		OpsPerGoroutine: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (g × hist × match) minus the skipped hist=0/match>0 combos, ×2 modes.
+	if want := 2 * 3 * 2; len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	for _, p := range points {
+		if p.OpsPerSec <= 0 || p.Ops != p.Goroutines*200 {
+			t.Errorf("bad point %+v", p)
+		}
+		if p.Yields != 0 {
+			t.Errorf("point %+v yielded; the sweep workload must never yield", p)
+		}
+		if p.Contended != 0 {
+			t.Errorf("point %+v contended; locks are private per goroutine", p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteRuntimeBench(&buf, points)
+	if !strings.Contains(buf.String(), "fast path") {
+		t.Error("renderer output missing header")
+	}
+	buf.Reset()
+	if err := WriteRuntimeBenchJSON(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"runtime-fastpath-sweep"`) {
+		t.Error("JSON output missing experiment tag")
+	}
+}
+
+func TestRuntimeBenchFastBeatsReferenceUncontended(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timing comparison")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	// Not a strict benchmark — just the qualitative shape on a
+	// long-enough run: the lock-free path should never lose to the
+	// global mutex on unmatched acquisitions.
+	points, err := RuntimeBench(RuntimeBenchConfig{
+		Goroutines:      []int{4},
+		HistorySizes:    []int{16},
+		MatchPercents:   []int{0},
+		OpsPerGoroutine: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	ref, fast := points[0], points[1]
+	if ref.FastPath || !fast.FastPath {
+		t.Fatalf("unexpected point order: %+v, %+v", ref, fast)
+	}
+	if fast.OpsPerSec <= ref.OpsPerSec {
+		t.Errorf("fast path (%.0f ops/s) did not beat the reference (%.0f ops/s)",
+			fast.OpsPerSec, ref.OpsPerSec)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation distorts timing comparisons.
+const raceEnabled = false

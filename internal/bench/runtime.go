@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"communix/internal/dimmunix"
+	"communix/internal/sig"
+)
+
+// RuntimeBenchConfig parameterizes the acquisition hot-path experiment:
+// G goroutines each hammer a private lock (uncontended — the §II-A
+// common case) under a history of S signatures, with a configurable
+// fraction of acquisitions using a call stack that matches a history
+// signature (and therefore must take the bookkeeping slow path). Every
+// point runs twice: once on the lock-free fast path and once against
+// the global-mutex reference (dimmunix.Config.FastPathDisabled).
+type RuntimeBenchConfig struct {
+	// Goroutines sweeps the concurrency axis (default 1, 2, 4, 8, 16).
+	Goroutines []int
+	// HistorySizes sweeps the installed-signature count (default 0, 64,
+	// 512). Matching is top-frame indexed, so size should barely matter —
+	// the sweep verifies that.
+	HistorySizes []int
+	// MatchPercents sweeps the fraction of acquisitions whose stack
+	// matches a history signature, in percent (default 0, 10).
+	MatchPercents []int
+	// OpsPerGoroutine is each goroutine's acquire/release count
+	// (default 10000).
+	OpsPerGoroutine int
+}
+
+// RuntimeBenchPoint is one measurement.
+type RuntimeBenchPoint struct {
+	// FastPath reports whether the lock-free fast path was enabled.
+	FastPath bool `json:"fast_path"`
+	// Goroutines is the worker count.
+	Goroutines int `json:"goroutines"`
+	// HistorySize is the number of installed signatures.
+	HistorySize int `json:"history_size"`
+	// MatchPercent is the fraction of acquisitions matching the history.
+	MatchPercent int `json:"match_percent"`
+	// Ops is the total acquire/release pair count.
+	Ops int `json:"ops"`
+	// ElapsedNS is the wall time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// OpsPerSec is the headline throughput (acquire/release pairs).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Contended counts grants that queued (should stay 0: locks are
+	// private per goroutine).
+	Contended uint64 `json:"contended"`
+	// Yields counts avoidance suspensions (should stay 0: the matched
+	// signatures' other slots are never occupied).
+	Yields uint64 `json:"yields"`
+}
+
+// runtimeBenchStack builds a depth-6 stack with a distinctive top frame.
+func runtimeBenchStack(tag string, n int) sig.Stack {
+	s := make(sig.Stack, 0, 6)
+	for i := 0; i < 5; i++ {
+		s = append(s, sig.Frame{Class: "bench/rt", Method: fmt.Sprintf("f%d", i), Line: 10 + i})
+	}
+	s = append(s, sig.Frame{Class: "bench/rt/" + tag, Method: "lock", Line: 100 + n})
+	return s
+}
+
+// runtimeBenchHistory installs size signatures. The first is the "hot"
+// signature: its slot-0 outer stack is what matched acquisitions use.
+// Its slot-1 stack is never executed, so matches register positions but
+// never yield. The rest are padding with distinct top frames.
+func runtimeBenchHistory(size int) (*dimmunix.History, sig.Stack) {
+	h := dimmunix.NewHistory()
+	matched := runtimeBenchStack("hot", 0)
+	if size == 0 {
+		return h, matched
+	}
+	mk := func(tag string, n int) *sig.Signature {
+		outer := runtimeBenchStack(tag, n)
+		inner := runtimeBenchStack(tag+"/inner", n)
+		other := runtimeBenchStack(tag+"/other", n)
+		otherInner := runtimeBenchStack(tag+"/otherInner", n)
+		s := sig.New(
+			sig.ThreadSpec{Outer: outer, Inner: inner},
+			sig.ThreadSpec{Outer: other, Inner: otherInner},
+		)
+		s.Origin = sig.OriginRemote
+		return s
+	}
+	h.Add(mk("hot", 0))
+	for i := 1; i < size; i++ {
+		h.Add(mk("pad", i))
+	}
+	return h, matched
+}
+
+// RuntimeBench sweeps the acquisition hot path. Points come out ordered
+// by (goroutines, history, match, fastpath-off-first) so the fast/slow
+// pairs sit adjacent.
+func RuntimeBench(cfg RuntimeBenchConfig) ([]RuntimeBenchPoint, error) {
+	goroutines := cfg.Goroutines
+	if len(goroutines) == 0 {
+		goroutines = []int{1, 2, 4, 8, 16}
+	}
+	histories := cfg.HistorySizes
+	if len(histories) == 0 {
+		histories = []int{0, 64, 512}
+	}
+	matches := cfg.MatchPercents
+	if len(matches) == 0 {
+		matches = []int{0, 10}
+	}
+	ops := cfg.OpsPerGoroutine
+	if ops <= 0 {
+		ops = 10000
+	}
+
+	var out []RuntimeBenchPoint
+	for _, g := range goroutines {
+		for _, hist := range histories {
+			for _, match := range matches {
+				if match > 0 && hist == 0 {
+					continue // nothing to match
+				}
+				for _, fastPath := range []bool{false, true} {
+					p, err := runtimeBenchPoint(g, hist, match, ops, fastPath)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// runtimeBenchPoint runs one configuration.
+func runtimeBenchPoint(goroutines, histSize, matchPercent, ops int, fastPath bool) (RuntimeBenchPoint, error) {
+	history, matched := runtimeBenchHistory(histSize)
+	rt := dimmunix.NewRuntime(dimmunix.Config{
+		History:          history,
+		Policy:           dimmunix.RecoverBreak,
+		FastPathDisabled: !fastPath,
+	})
+	defer rt.Close()
+
+	locks := make([]*dimmunix.Lock, goroutines)
+	plain := make([]sig.Stack, goroutines)
+	for i := range locks {
+		locks[i] = rt.NewLock(fmt.Sprintf("g%d", i))
+		plain[i] = runtimeBenchStack("plain", i+1000)
+	}
+
+	errs := make(chan error, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			tid := dimmunix.ThreadID(1 + w)
+			l := locks[w]
+			state := uint64(w)*2654435761 + 12345
+			for i := 0; i < ops; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				cs := plain[w]
+				if matchPercent > 0 && int((state>>33)%100) < matchPercent {
+					cs = matched
+				}
+				if err := rt.Acquire(tid, l, cs); err != nil {
+					errs <- fmt.Errorf("bench: acquire: %w", err)
+					return
+				}
+				if err := rt.Release(tid, l); err != nil {
+					errs <- fmt.Errorf("bench: release: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(errs)
+	if err := <-errs; err != nil {
+		return RuntimeBenchPoint{}, err
+	}
+
+	stats := rt.Stats()
+	total := goroutines * ops
+	return RuntimeBenchPoint{
+		FastPath:     fastPath,
+		Goroutines:   goroutines,
+		HistorySize:  histSize,
+		MatchPercent: matchPercent,
+		Ops:          total,
+		ElapsedNS:    elapsed.Nanoseconds(),
+		OpsPerSec:    float64(total) / elapsed.Seconds(),
+		Contended:    stats.Contended,
+		Yields:       stats.Yields,
+	}, nil
+}
+
+// WriteRuntimeBench renders the sweep as text, pairing each reference
+// point with its fast-path counterpart and the speedup.
+func WriteRuntimeBench(w io.Writer, points []RuntimeBenchPoint) {
+	fmt.Fprintln(w, "Acquisition hot path: lock-free fast path vs global-mutex reference")
+	fmt.Fprintln(w, "  goroutines  history  match%   reference ops/s   fast-path ops/s   speedup")
+	// Pair up: points arrive reference-first, fast second.
+	for i := 0; i+1 < len(points); i += 2 {
+		ref, fast := points[i], points[i+1]
+		if ref.FastPath || !fast.FastPath {
+			continue
+		}
+		fmt.Fprintf(w, "  %10d %8d %6d%% %17.0f %17.0f %8.1fx\n",
+			ref.Goroutines, ref.HistorySize, ref.MatchPercent,
+			ref.OpsPerSec, fast.OpsPerSec, fast.OpsPerSec/ref.OpsPerSec)
+	}
+}
+
+// WriteRuntimeBenchJSON writes the sweep as indented JSON (the committed
+// BENCH_runtime.json format).
+func WriteRuntimeBenchJSON(w io.Writer, points []RuntimeBenchPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string              `json:"experiment"`
+		Points     []RuntimeBenchPoint `json:"points"`
+	}{Experiment: "runtime-fastpath-sweep", Points: points})
+}

@@ -9,6 +9,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -24,6 +25,23 @@ import (
 // server (§III-B).
 const DefaultSyncInterval = 24 * time.Hour
 
+// DefaultRetryMin is the first retry delay after a failed sync. Retries
+// back off exponentially from here up to the sync interval, so a broken
+// server is reprobed quickly at first without ever exceeding the
+// steady-state polling rate.
+const DefaultRetryMin = 30 * time.Second
+
+// Timeouts bounding one round trip, so that neither Close — which waits
+// for an in-flight sync — nor the plugin's synchronous Upload can hang
+// on an unreachable or wedged server. dialTimeout applies to the
+// default dialer only (a custom Config.Dial manages its own);
+// syncIOTimeout is the whole-connection deadline SyncOnce and Upload
+// set on the conns they get.
+const (
+	dialTimeout   = 30 * time.Second
+	syncIOTimeout = 2 * time.Minute
+)
+
 // Config parameterizes a Client.
 type Config struct {
 	// Addr is the server's TCP address ("host:port"). Ignored when Dial
@@ -38,6 +56,10 @@ type Config struct {
 	Token ids.Token
 	// SyncInterval overrides DefaultSyncInterval.
 	SyncInterval time.Duration
+	// RetryMin overrides DefaultRetryMin, the starting delay of the
+	// exponential backoff applied after consecutive sync failures. It is
+	// capped at SyncInterval.
+	RetryMin time.Duration
 	// OnSync, if set, is called after every periodic sync attempt.
 	OnSync func(added int, err error)
 }
@@ -62,10 +84,16 @@ func New(cfg Config) (*Client, error) {
 			return nil, errors.New("client: Addr or Dial is required")
 		}
 		addr := cfg.Addr
-		cfg.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		cfg.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, dialTimeout) }
 	}
 	if cfg.SyncInterval <= 0 {
 		cfg.SyncInterval = DefaultSyncInterval
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = DefaultRetryMin
+	}
+	if cfg.RetryMin > cfg.SyncInterval {
+		cfg.RetryMin = cfg.SyncInterval
 	}
 	return &Client{cfg: cfg, done: make(chan struct{})}, nil
 }
@@ -78,6 +106,9 @@ func (c *Client) SyncOnce() (int, error) {
 		return 0, fmt.Errorf("client: dial: %w", err)
 	}
 	defer conn.Close()
+	// Bound the whole round trip: a server that accepts and then stalls
+	// must not pin the sync loop (and Close behind it) forever.
+	_ = conn.SetDeadline(time.Now().Add(syncIOTimeout))
 	wc := wire.NewConn(conn)
 
 	if err := wc.Send(wire.NewGet(c.cfg.Repo.Next())); err != nil {
@@ -144,6 +175,9 @@ func (c *Client) uploadOnce(req wire.Request) (wire.Response, error) {
 		return wire.Response{}, fmt.Errorf("client: dial: %w", err)
 	}
 	defer conn.Close()
+	// Upload is called synchronously from the plugin right after a
+	// deadlock is detected; a wedged server must not pin the application.
+	_ = conn.SetDeadline(time.Now().Add(syncIOTimeout))
 	wc := wire.NewConn(conn)
 	if err := wc.Send(req); err != nil {
 		return wire.Response{}, fmt.Errorf("client: upload: %w", err)
@@ -155,7 +189,10 @@ func (c *Client) uploadOnce(req wire.Request) (wire.Response, error) {
 	return resp, nil
 }
 
-// Start launches the periodic background sync. Stop with Close.
+// Start launches the periodic background sync. The first sync happens
+// immediately — a fresh node should not wait a full (default 24h!)
+// interval before it ever hears about the community's signatures. Stop
+// with Close.
 func (c *Client) Start() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -168,22 +205,63 @@ func (c *Client) Start() {
 
 func (c *Client) loop() {
 	defer c.wg.Done()
-	ticker := time.NewTicker(c.cfg.SyncInterval)
-	defer ticker.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	failures := 0
 	for {
+		// A Close racing Start should not have to wait out a sync against
+		// a slow server.
 		select {
-		case <-ticker.C:
-			added, err := c.SyncOnce()
-			if c.cfg.OnSync != nil {
-				c.cfg.OnSync(added, err)
-			}
 		case <-c.done:
+			return
+		default:
+		}
+		added, err := c.SyncOnce()
+		if c.cfg.OnSync != nil {
+			c.cfg.OnSync(added, err)
+		}
+		if err != nil {
+			failures++
+		} else {
+			failures = 0
+		}
+		timer := time.NewTimer(c.nextDelay(failures, rng.Float64()))
+		select {
+		case <-timer.C:
+		case <-c.done:
+			timer.Stop()
 			return
 		}
 	}
 }
 
-// Close stops the background sync and waits for it to exit.
+// nextDelay computes the wait before the next sync attempt: the sync
+// interval in steady state, or an exponential backoff from RetryMin
+// (doubling per consecutive failure, capped at the interval) after
+// errors. Either way a ±10% jitter — driven by jit in [0,1) — keeps a
+// fleet of clients that started in sync (say, after a server restart)
+// from polling in lockstep.
+func (c *Client) nextDelay(failures int, jit float64) time.Duration {
+	d := c.cfg.SyncInterval
+	if failures > 0 {
+		d = c.cfg.RetryMin
+		for i := 1; i < failures && d < c.cfg.SyncInterval; i++ {
+			d *= 2
+		}
+		if d > c.cfg.SyncInterval {
+			d = c.cfg.SyncInterval
+		}
+	}
+	// Scale into [0.9, 1.1).
+	d = time.Duration(float64(d) * (0.9 + 0.2*jit))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Close stops the background sync and waits for it to exit. An
+// in-flight sync is waited out, but never for long: the default dialer
+// and the per-connection deadline bound each attempt.
 func (c *Client) Close() {
 	c.mu.Lock()
 	if !c.stopped {

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"net"
 	"strings"
@@ -173,5 +174,143 @@ func TestUploadInvalidSignature(t *testing.T) {
 	c := newClient(t, "127.0.0.1:1", "tok", rp)
 	if err := c.Upload(&sig.Signature{}); err == nil {
 		t.Error("invalid signature should fail before dialing")
+	}
+}
+
+func TestSyncsImmediatelyOnStart(t *testing.T) {
+	_, addr, auth := testServer(t)
+	_, token := auth.Issue()
+	rp, _ := repo.Open("")
+
+	synced := make(chan struct{}, 16)
+	c := newClient(t, addr, token, rp, func(cfg *Config) {
+		// A deliberately huge interval: only an immediate first sync can
+		// make this test pass.
+		cfg.SyncInterval = 24 * time.Hour
+		cfg.OnSync = func(added int, err error) {
+			if err != nil {
+				t.Errorf("sync: %v", err)
+			}
+			select {
+			case synced <- struct{}{}:
+			default:
+			}
+		}
+	})
+	c.Start()
+	defer c.Close()
+	select {
+	case <-synced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no sync within 5s of Start; first sync must not wait for SyncInterval")
+	}
+}
+
+func TestSyncBackoffRecovers(t *testing.T) {
+	_, addr, auth := testServer(t)
+	_, token := auth.Issue()
+	rp, _ := repo.Open("")
+
+	// Fail the first few dials, then let traffic through: the loop must
+	// keep retrying (backing off) and eventually sync successfully.
+	var dials atomic.Int32
+	var okSyncs atomic.Int32
+	errSyncs := int32(0)
+	c, err := New(Config{
+		Dial: func() (net.Conn, error) {
+			if dials.Add(1) <= 3 {
+				return nil, errMock
+			}
+			return net.Dial("tcp", addr)
+		},
+		Repo:         rp,
+		Token:        token,
+		SyncInterval: time.Hour,
+		RetryMin:     time.Millisecond,
+		OnSync: func(added int, err error) {
+			if err != nil {
+				atomic.AddInt32(&errSyncs, 1)
+			} else {
+				okSyncs.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && okSyncs.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if okSyncs.Load() == 0 {
+		t.Fatal("sync never recovered after transient dial failures")
+	}
+	if got := atomic.LoadInt32(&errSyncs); got != 3 {
+		t.Errorf("failed syncs = %d, want 3 (one per failed dial)", got)
+	}
+}
+
+var errMock = errors.New("mock dial failure")
+
+func TestNextDelayBackoffAndJitter(t *testing.T) {
+	rp, _ := repo.Open("")
+	c, err := New(Config{
+		Addr:         "unused:1",
+		Repo:         rp,
+		SyncInterval: 16 * time.Second,
+		RetryMin:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Steady state: the interval, jittered ±10%.
+	for _, jit := range []float64{0, 0.5, 0.999} {
+		d := c.nextDelay(0, jit)
+		if d < 14*time.Second || d > 18*time.Second {
+			t.Errorf("steady delay(jit=%v) = %v, outside ±10%% of 16s", jit, d)
+		}
+	}
+	// Backoff doubles per consecutive failure from RetryMin…
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second}
+	for failures, base := range want {
+		d := c.nextDelay(failures+1, 0.5)
+		lo := time.Duration(float64(base) * 0.9)
+		hi := time.Duration(float64(base) * 1.1)
+		if d < lo || d > hi {
+			t.Errorf("delay after %d failures = %v, want ~%v", failures+1, d, base)
+		}
+	}
+	// …and caps at the sync interval, however many failures pile up.
+	for _, failures := range []int{6, 20, 63, 1000} {
+		d := c.nextDelay(failures, 1)
+		if d > time.Duration(float64(16*time.Second)*1.1) {
+			t.Errorf("delay after %d failures = %v, exceeds the interval cap", failures, d)
+		}
+		if d <= 0 {
+			t.Errorf("delay after %d failures = %v, must be positive", failures, d)
+		}
+	}
+	// Jitter spread genuinely varies with the jitter input.
+	if c.nextDelay(0, 0) == c.nextDelay(0, 0.99) {
+		t.Error("jitter has no effect")
+	}
+}
+
+func TestRetryMinCappedAtInterval(t *testing.T) {
+	rp, _ := repo.Open("")
+	c, err := New(Config{
+		Addr:         "unused:1",
+		Repo:         rp,
+		SyncInterval: time.Second,
+		RetryMin:     time.Minute, // larger than the interval
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.nextDelay(1, 0.5); d > time.Duration(float64(time.Second)*1.1) {
+		t.Errorf("first retry delay = %v, want <= jittered interval", d)
 	}
 }

@@ -21,6 +21,10 @@ import (
 // avoidance break (Dimmunix treats these as false-positive evidence).
 func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 	for {
+		// The lock may have been restored to fast mode (and fast-acquired)
+		// while this thread yielded with rt.mu dropped; re-import so the
+		// owner read below is accurate.
+		rt.revokeLocked(l)
 		sigID, blockers := rt.instantiationThreatLocked(tid, l, cs)
 		if sigID == "" {
 			return nil
@@ -31,7 +35,7 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 		// evidence toward the §III-C1 false-positive warning.
 		tp := l.owner != 0 && l.owner != tid && rt.reachesThreadLocked(l.owner, tid)
 		warning := rt.fp.recordInstantiation(sigID, tp)
-		rt.stats.Yields++
+		rt.stats.yields.Add(1)
 
 		y := &yielder{
 			thread:   tid,
@@ -41,13 +45,13 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 		rt.yielders[tid] = y
 		rt.resolveAvoidanceCyclesLocked()
 
-		if y.proceed || rt.closed {
+		if y.proceed || rt.closed.Load() {
 			delete(rt.yielders, tid)
-			if rt.closed {
+			if rt.closed.Load() {
 				rt.fireWarning(warning)
 				return ErrClosed
 			}
-			rt.stats.AvoidanceBreak++
+			rt.stats.avoidanceBreak.Add(1)
 			rt.fireWarning(warning)
 			return nil
 		}
@@ -58,11 +62,11 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 		rt.mu.Lock()
 
 		delete(rt.yielders, tid)
-		if rt.closed {
+		if rt.closed.Load() {
 			return ErrClosed
 		}
 		if y.proceed {
-			rt.stats.AvoidanceBreak++
+			rt.stats.avoidanceBreak.Add(1)
 			return nil
 		}
 		// Re-evaluate from scratch: the history may have changed while we
@@ -160,10 +164,7 @@ func (rt *Runtime) matchSlotsLocked(sigID string, r SlotRef, tid ThreadID, l *Lo
 // threat; called whenever positions shrink (release, denied waiter).
 func (rt *Runtime) wakeYieldersLocked() {
 	for _, y := range rt.yielders {
-		select {
-		case y.wake <- struct{}{}:
-		default:
-		}
+		wakeLocked(y)
 	}
 }
 
@@ -178,10 +179,7 @@ func (rt *Runtime) resolveAvoidanceCyclesLocked() {
 			return
 		}
 		y.proceed = true
-		select {
-		case y.wake <- struct{}{}:
-		default:
-		}
+		wakeLocked(y)
 	}
 }
 

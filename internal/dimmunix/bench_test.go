@@ -2,27 +2,88 @@ package dimmunix
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"communix/internal/sig"
 )
 
+// benchModes pairs the lock-free fast path with the global-mutex
+// reference for side-by-side sub-benchmarks.
+var benchModes = []struct {
+	name     string
+	disabled bool
+}{
+	{"fastpath", false},
+	{"reference", true},
+}
+
 // BenchmarkAcquireReleaseUncontended measures the lock manager's base
-// cost with an empty history — the overhead every protected program pays
-// on every critical section.
+// cost — the overhead every protected program pays on every critical
+// section — on the lock-free fast path and the global-mutex reference,
+// with an empty and a populated (never-matching) history.
 func BenchmarkAcquireReleaseUncontended(b *testing.B) {
-	rt := NewRuntime(Config{})
-	defer rt.Close()
-	l := rt.NewLock("l")
-	cs := mkStack("T", "s", 10)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if err := rt.Acquire(1, l, cs); err != nil {
-			b.Fatal(err)
+	for _, mode := range benchModes {
+		for _, sigs := range []int{0, 64} {
+			b.Run(fmt.Sprintf("%s/history=%d", mode.name, sigs), func(b *testing.B) {
+				ps := newPairStacks()
+				history := NewHistory()
+				for i := 0; i < sigs; i++ {
+					pad := ps.signature().Clone()
+					pad.Threads[0].Outer[len(pad.Threads[0].Outer)-1] = sig.Frame{
+						Class: fmt.Sprintf("pad%d", i), Method: "m", Line: 1,
+					}
+					pad.Normalize()
+					history.Add(pad)
+				}
+				rt := NewRuntime(Config{History: history, FastPathDisabled: mode.disabled})
+				defer rt.Close()
+				l := rt.NewLock("l")
+				cs := mkStack("T", "s", 10)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := rt.Acquire(1, l, cs); err != nil {
+						b.Fatal(err)
+					}
+					if err := rt.Release(1, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
-		if err := rt.Release(1, l); err != nil {
-			b.Fatal(err)
-		}
+	}
+}
+
+// BenchmarkAcquireReleaseParallel runs the uncontended acquisition from
+// GOMAXPROCS goroutines, each on a private lock with a non-empty
+// history — the `-experiment runtime` sweep's headline configuration in
+// go-bench form.
+func BenchmarkAcquireReleaseParallel(b *testing.B) {
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			ps := newPairStacks()
+			history := NewHistory()
+			history.Add(ps.signature())
+			rt := NewRuntime(Config{History: history, FastPathDisabled: mode.disabled})
+			defer rt.Close()
+			var nextTID atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tid := ThreadID(nextTID.Add(1))
+				l := rt.NewLock("l")
+				cs := mkStack(fmt.Sprintf("W%d", tid), "s", 10)
+				for pb.Next() {
+					if err := rt.Acquire(tid, l, cs); err != nil {
+						b.Fatal(err)
+					}
+					if err := rt.Release(tid, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 

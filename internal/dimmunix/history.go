@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"communix/internal/sig"
 )
@@ -45,19 +46,28 @@ type SlotRef struct {
 type History struct {
 	mu      sync.RWMutex
 	sigs    map[string]*sig.Signature // by ID
-	byTop   map[string][]SlotRef      // outer top-frame key -> slots
 	byBug   map[string][]string       // bug key -> IDs (generalization lookups)
 	version uint64
 	path    string // "" = in-memory only
+
+	// idx is the immutable avoidance index, swapped with one atomic
+	// store. Readers (the acquisition hot path) load it without taking
+	// mu. Rebuilds are lazy: mutations only mark idxDirty, and the next
+	// Index() call rebuilds once — so bulk ingestion (the agent
+	// validating a large community repository at startup, one Add per
+	// signature) stays O(S) instead of O(S²).
+	idx      atomic.Pointer[AvoidIndex]
+	idxDirty atomic.Bool
 }
 
 // NewHistory returns an empty, in-memory history.
 func NewHistory() *History {
-	return &History{
+	h := &History{
 		sigs:  make(map[string]*sig.Signature),
-		byTop: make(map[string][]SlotRef),
 		byBug: make(map[string][]string),
 	}
+	h.idx.Store(emptyIndex)
+	return h
 }
 
 // LoadHistory opens (or initializes) a history persisted at path. A
@@ -116,14 +126,45 @@ func (h *History) addLocked(s *sig.Signature) bool {
 	s = s.Clone()
 	s.Normalize()
 	h.sigs[id] = s
-	for slot, t := range s.Threads {
-		key := t.Outer.Top().Key()
-		h.byTop[key] = append(h.byTop[key], SlotRef{Sig: s, Slot: slot, ID: id})
-	}
 	bug := s.BugKey()
 	h.byBug[bug] = append(h.byBug[bug], id)
 	h.version++
+	h.idxDirty.Store(true)
 	return true
+}
+
+// rebuildIndexLocked publishes a fresh immutable avoidance index
+// reflecting the current signature set. Caller holds h.mu for writing.
+// Slot references under each top site are sorted for deterministic
+// matching order (map iteration would otherwise make avoidance's
+// first-threat selection run-dependent).
+func (h *History) rebuildIndexLocked() {
+	ix := buildIndex(h.version, h.sigs)
+	for _, refs := range ix.byTop {
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].ID != refs[j].ID {
+				return refs[i].ID < refs[j].ID
+			}
+			return refs[i].Slot < refs[j].Slot
+		})
+	}
+	h.idx.Store(ix)
+	h.idxDirty.Store(false)
+}
+
+// Index returns the current immutable avoidance index, rebuilding it
+// first if mutations happened since the last build. It never returns
+// nil, and on the hot path (no pending mutations) costs two atomic
+// loads and no lock.
+func (h *History) Index() *AvoidIndex {
+	if h.idxDirty.Load() {
+		h.mu.Lock()
+		if h.idxDirty.Load() {
+			h.rebuildIndexLocked()
+		}
+		h.mu.Unlock()
+	}
+	return h.idx.Load()
 }
 
 // dropBugLocked removes id from the bug index.
@@ -154,23 +195,9 @@ func (h *History) Remove(id string) bool {
 		return false
 	}
 	delete(h.sigs, id)
-	for slot, t := range s.Threads {
-		key := t.Outer.Top().Key()
-		refs := h.byTop[key]
-		out := refs[:0]
-		for _, r := range refs {
-			if r.Sig != s || r.Slot != slot {
-				out = append(out, r)
-			}
-		}
-		if len(out) == 0 {
-			delete(h.byTop, key)
-		} else {
-			h.byTop[key] = out
-		}
-	}
 	h.dropBugLocked(s, id)
 	h.version++
+	h.idxDirty.Store(true)
 	return true
 }
 
@@ -191,22 +218,9 @@ func (h *History) Replace(oldID string, s *sig.Signature) bool {
 	if old, ok := h.sigs[oldID]; ok {
 		removed = true
 		delete(h.sigs, oldID)
-		for slot, t := range old.Threads {
-			key := t.Outer.Top().Key()
-			refs := h.byTop[key]
-			out := refs[:0]
-			for _, r := range refs {
-				if r.Sig != old || r.Slot != slot {
-					out = append(out, r)
-				}
-			}
-			if len(out) == 0 {
-				delete(h.byTop, key)
-			} else {
-				h.byTop[key] = out
-			}
-		}
 		h.dropBugLocked(old, oldID)
+		h.version++
+		h.idxDirty.Store(true)
 	}
 	added := h.addLocked(s)
 	return removed || added
@@ -238,33 +252,18 @@ func (h *History) Len() int {
 }
 
 // Version increments on every mutation; the Runtime uses it to notice
-// agent updates and re-register held-lock positions.
+// agent updates and re-register held-lock positions. It goes through
+// Index() so pending mutations are reflected.
 func (h *History) Version() uint64 {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.version
+	return h.Index().version
 }
 
 // MatchOuter returns every signature slot whose outer call stack is a
-// suffix of cs. Slots are pre-indexed by outer top frame, so only
-// signatures locking at cs's top site are inspected.
+// suffix of cs. It reads the immutable avoidance index — pre-grouped by
+// outer top frame — so only signatures locking at cs's top site are
+// inspected, without taking any lock in steady state.
 func (h *History) MatchOuter(cs sig.Stack) []SlotRef {
-	if cs.Depth() == 0 {
-		return nil
-	}
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	refs := h.byTop[cs.Top().Key()]
-	if len(refs) == 0 {
-		return nil
-	}
-	out := make([]SlotRef, 0, len(refs))
-	for _, r := range refs {
-		if cs.HasSuffix(r.Sig.Threads[r.Slot].Outer) {
-			out = append(out, r)
-		}
-	}
-	return out
+	return h.Index().Match(cs)
 }
 
 // HasBug reports whether some history signature fingerprints the same

@@ -1,0 +1,125 @@
+package dimmunix
+
+import (
+	"communix/internal/sig"
+)
+
+// topKey is the comparable site identity of a stack's top frame (the lock
+// statement). The avoidance index keys its outer-stack matchers by it
+// instead of Frame.Key() so that lookups on the acquisition hot path
+// allocate nothing.
+type topKey struct {
+	class  string
+	method string
+	line   int
+}
+
+func topKeyOf(f sig.Frame) topKey {
+	return topKey{class: f.Class, method: f.Method, line: f.Line}
+}
+
+// AvoidIndex is an immutable snapshot of the history's avoidance
+// matchers: every signature slot, grouped by the site of its outer
+// stack's top frame. The History rebuilds it on every mutation and
+// publishes it with one atomic pointer store, so the acquisition fast
+// path can answer "does this call stack match any history signature?"
+// with two atomic loads and one map probe — no lock, no allocation.
+//
+// An AvoidIndex is never mutated after publication; the signatures it
+// references are the history's own normalized clones, which are
+// immutable once inserted.
+type AvoidIndex struct {
+	version uint64
+	byTop   map[topKey][]SlotRef
+	// filter is a 4096-bit presence filter over the indexed top sites,
+	// keyed by a hash that touches no string bytes (length, boundary
+	// characters, line). The common fast-path miss answers from one
+	// array load instead of hashing the frame's strings; false positives
+	// merely fall through to the exact map probe.
+	filter [64]uint64
+}
+
+// frameFilterKey hashes a frame's cheap features: constant-time in the
+// string lengths, no byte iteration. Takes a pointer so hot callers skip
+// the 56-byte Frame copy.
+func frameFilterKey(f *sig.Frame) uint64 {
+	h := uint64(f.Line) ^ uint64(len(f.Class))<<20 ^ uint64(len(f.Method))<<40
+	if n := len(f.Class); n > 0 {
+		h ^= uint64(f.Class[0])<<48 ^ uint64(f.Class[n-1])<<56
+	}
+	if n := len(f.Method); n > 0 {
+		h ^= uint64(f.Method[n-1]) << 8
+	}
+	h *= 0x9E3779B97F4A7C15
+	return h
+}
+
+// emptyIndex is what a fresh history publishes before any mutation.
+var emptyIndex = &AvoidIndex{}
+
+// buildIndex snapshots the history's matcher state. Caller holds h.mu.
+func buildIndex(version uint64, sigs map[string]*sig.Signature) *AvoidIndex {
+	if len(sigs) == 0 {
+		return &AvoidIndex{version: version}
+	}
+	ix := &AvoidIndex{version: version, byTop: make(map[topKey][]SlotRef)}
+	for id, s := range sigs {
+		for slot, t := range s.Threads {
+			top := t.Outer.Top()
+			key := topKeyOf(top)
+			ix.byTop[key] = append(ix.byTop[key], SlotRef{Sig: s, Slot: slot, ID: id})
+			h := frameFilterKey(&top)
+			ix.filter[(h>>6)&63] |= 1 << (h & 63)
+		}
+	}
+	return ix
+}
+
+// Version identifies the history mutation this index reflects.
+func (ix *AvoidIndex) Version() uint64 { return ix.version }
+
+// Len returns the number of distinct outer top sites indexed.
+func (ix *AvoidIndex) Len() int { return len(ix.byTop) }
+
+// Matches reports whether cs is a suffix-match for any signature slot's
+// outer stack. It is the fast path's eligibility test and allocates
+// nothing.
+func (ix *AvoidIndex) Matches(cs sig.Stack) bool {
+	if len(ix.byTop) == 0 || len(cs) == 0 {
+		return false
+	}
+	top := &cs[len(cs)-1]
+	h := frameFilterKey(top)
+	if ix.filter[(h>>6)&63]&(1<<(h&63)) == 0 {
+		return false
+	}
+	refs, ok := ix.byTop[topKey{class: top.Class, method: top.Method, line: top.Line}]
+	if !ok {
+		return false
+	}
+	for _, r := range refs {
+		if cs.HasSuffix(r.Sig.Threads[r.Slot].Outer) {
+			return true
+		}
+	}
+	return false
+}
+
+// Match returns every signature slot whose outer call stack is a suffix
+// of cs, or nil.
+func (ix *AvoidIndex) Match(cs sig.Stack) []SlotRef {
+	if len(cs) == 0 || len(ix.byTop) == 0 {
+		return nil
+	}
+	refs, ok := ix.byTop[topKeyOf(cs.Top())]
+	if !ok {
+		return nil
+	}
+	var out []SlotRef
+	for _, r := range refs {
+		if cs.HasSuffix(r.Sig.Threads[r.Slot].Outer) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package dimmunix
+
+import (
+	"fmt"
+	"testing"
+
+	"communix/internal/sig"
+)
+
+func TestIndexEmptyHistory(t *testing.T) {
+	h := NewHistory()
+	ix := h.Index()
+	if ix == nil {
+		t.Fatal("Index returned nil")
+	}
+	if ix.Version() != 0 || ix.Len() != 0 {
+		t.Fatalf("fresh index: version=%d len=%d, want 0/0", ix.Version(), ix.Len())
+	}
+	if ix.Matches(mkStack("T", "s", 4)) {
+		t.Error("empty index matched a stack")
+	}
+}
+
+func TestIndexSwapsOnMutation(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	before := h.Index()
+	if !h.Add(ps.signature()) {
+		t.Fatal("Add rejected")
+	}
+	after := h.Index()
+	if before == after {
+		t.Fatal("Add did not publish a new index")
+	}
+	if after.Version() != h.Version() {
+		t.Fatalf("index version %d != history version %d", after.Version(), h.Version())
+	}
+	if !after.Matches(ps.outerA) || !after.Matches(ps.outerB) {
+		t.Error("index misses the signature's outer stacks")
+	}
+	if after.Matches(ps.innerAB) {
+		t.Error("index matched an inner stack")
+	}
+
+	id := ps.signature().ID()
+	if !h.Remove(id) {
+		t.Fatal("Remove failed")
+	}
+	final := h.Index()
+	if final == after {
+		t.Fatal("Remove did not publish a new index")
+	}
+	if final.Matches(ps.outerA) {
+		t.Error("removed signature still matches")
+	}
+}
+
+func TestIndexMatchAgreesWithMatchOuter(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	h.Add(ps.signature())
+	for i := 0; i < 5; i++ {
+		pad := ps.signature().Clone()
+		pad.Threads[0].Outer[len(pad.Threads[0].Outer)-1] = sig.Frame{
+			Class: fmt.Sprintf("pad%d", i), Method: "m", Line: 1,
+		}
+		pad.Normalize()
+		h.Add(pad)
+	}
+	for _, cs := range []sig.Stack{ps.outerA, ps.outerB, ps.innerAB, mkStack("X", "nope", 5)} {
+		direct := h.Index().Match(cs)
+		viaHistory := h.MatchOuter(cs)
+		if len(direct) != len(viaHistory) {
+			t.Fatalf("Match/%d refs vs MatchOuter/%d refs for %v", len(direct), len(viaHistory), cs.Top())
+		}
+		if h.Index().Matches(cs) != (len(direct) > 0) {
+			t.Errorf("Matches disagrees with Match for %v", cs.Top())
+		}
+	}
+}
+
+// TestIndexSuffixSemantics pins the suffix-matching contract: a deeper
+// stack ending in the signature's outer stack matches; sharing only the
+// top frame does not.
+func TestIndexSuffixSemantics(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	h.Add(ps.signature())
+	ix := h.Index()
+
+	deeper := append(mkStack("Caller", "c", 3), ps.outerA...)
+	if !ix.Matches(deeper) {
+		t.Error("suffix-extended stack should match")
+	}
+	topOnly := mkStack("Other", "o", 4)
+	topOnly[len(topOnly)-1] = ps.outerA.Top()
+	if ix.Matches(topOnly) {
+		t.Error("same top frame with different callers must not match a deeper signature stack")
+	}
+}
+
+// TestReplaceBumpsVersionOnRemoval guards the Replace fix: replacing a
+// signature with one that already exists must still advance the version
+// (the old signature vanished, and runtimes must refresh positions).
+func TestReplaceBumpsVersionOnRemoval(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	s1 := ps.signature()
+	h.Add(s1)
+
+	other := ps.signature().Clone()
+	other.Threads[0].Outer[0] = sig.Frame{Class: "alt", Method: "m", Line: 9}
+	other.Normalize()
+	h.Add(other)
+
+	v := h.Version()
+	// Replace s1 with other (already present): pure removal.
+	if !h.Replace(s1.ID(), other) {
+		t.Fatal("Replace reported no change despite removing a signature")
+	}
+	if h.Version() == v {
+		t.Error("version unchanged after a removal via Replace")
+	}
+	if h.Get(s1.ID()) != nil {
+		t.Error("old signature still present")
+	}
+	if !h.Index().Matches(other.Threads[0].Outer) {
+		t.Error("surviving signature lost from index")
+	}
+}
+
+// TestIndexRebuildIsLazy guards the bulk-ingestion cost: N mutations
+// without an intervening read must not trigger N rebuilds. The stale
+// index stays published until the next Index() call, which rebuilds
+// exactly once and reflects every pending mutation.
+func TestIndexRebuildIsLazy(t *testing.T) {
+	h := NewHistory()
+	ps := newPairStacks()
+	h.Add(ps.signature())
+	built := h.Index()
+
+	// Bulk-ingest without reading: the published pointer must not churn.
+	for i := 0; i < 50; i++ {
+		pad := ps.signature().Clone()
+		pad.Threads[0].Outer[len(pad.Threads[0].Outer)-1] = sig.Frame{
+			Class: fmt.Sprintf("lazy%d", i), Method: "m", Line: 1,
+		}
+		pad.Normalize()
+		if !h.Add(pad) {
+			t.Fatalf("pad %d rejected", i)
+		}
+		if got := h.idx.Load(); got != built {
+			t.Fatalf("mutation %d rebuilt the index eagerly", i)
+		}
+	}
+
+	fresh := h.Index()
+	if fresh == built {
+		t.Fatal("Index() did not rebuild after mutations")
+	}
+	if fresh.Version() != h.Version() || fresh.Version() != built.Version()+50 {
+		t.Fatalf("rebuilt version = %d, want %d", fresh.Version(), built.Version()+50)
+	}
+	if fresh != h.Index() {
+		t.Fatal("clean Index() call rebuilt again")
+	}
+	if !fresh.Matches(ps.outerA) {
+		t.Error("rebuilt index lost the original signature")
+	}
+}

@@ -26,9 +26,11 @@ func (rt *Runtime) NewMutex(name string) *Mutex {
 // Lock acquires the mutex, capturing the caller's goroutine id and call
 // stack. It returns ErrDeadlock when this acquisition closed a detected
 // deadlock cycle under RecoverBreak, or ErrClosed after runtime shutdown.
+// Stack capture goes through the runtime's memoization cache: repeated
+// acquisitions from the same call path skip frame symbolization.
 func (m *Mutex) Lock() error {
 	tid := ThreadID(stacktrace.GoroutineID())
-	cs := stacktrace.Capture(m.rt.registry(), 1, m.rt.stackDepth())
+	cs := m.rt.capture.Capture(1, m.rt.stackDepth())
 	return m.rt.Acquire(tid, m.lock, cs)
 }
 
@@ -49,15 +51,11 @@ func (m *Mutex) UnlockAt(tid ThreadID) error {
 	return m.rt.Release(tid, m.lock)
 }
 
-// registry returns the runtime's frame-hash registry, creating a default
-// one on first use.
-func (rt *Runtime) registry() *stacktrace.Registry {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.cfg.Registry == nil {
-		rt.cfg.Registry = stacktrace.NewRegistry()
-	}
-	return rt.cfg.Registry
+// Registry returns the runtime's frame-hash registry (the configured one
+// or the default allocated at construction). It takes no lock: the
+// registry is fixed for the runtime's lifetime.
+func (rt *Runtime) Registry() *stacktrace.Registry {
+	return rt.reg
 }
 
 // stackDepth returns the configured native capture depth.

@@ -98,6 +98,10 @@ type Config struct {
 	// Registry supplies code-unit hashes for native frames; nil allocates
 	// a fresh registry on first use.
 	Registry *stacktrace.Registry
+	// FastPathDisabled forces every acquisition through the global-mutex
+	// slow path — the pre-fast-path reference semantics. Differential
+	// tests and the `-experiment runtime` benchmark compare both modes.
+	FastPathDisabled bool
 }
 
 // Runtime is one Dimmunix instance: a lock manager whose scheduling
@@ -106,18 +110,37 @@ type Config struct {
 type Runtime struct {
 	cfg     Config
 	history *History
+	reg     *stacktrace.Registry
+	capture *stacktrace.Cache
 
 	mu         sync.Mutex
 	threads    map[ThreadID]*threadState
 	yielders   map[ThreadID]*yielder
 	positions  map[slotKey]map[ThreadID]*position
 	histVer    uint64
-	closed     bool
 	nextLockID atomic.Uint64
+
+	// closed is written under rt.mu (Close) but read lock-free by the
+	// acquisition fast path.
+	closed atomic.Bool
+
+	// locks lists the runtime's registered locks, so a history change can
+	// sweep live fast-path holds into the slow path
+	// (refreshPositionsLocked). Guarded by locksMu, not rt.mu, keeping
+	// lock registration off the global mutex. The slice is only ever
+	// appended to or wholesale replaced (pruneLocksLocked), so readers
+	// may iterate a snapshot of it outside locksMu. Free fast-mode locks
+	// are pruned once the list doubles — they hold no state the sweep
+	// needs, and they re-register on their next acquisition — bounding
+	// the registry by the number of locks in use rather than the number
+	// ever created.
+	locksMu      sync.Mutex
+	locks        []*Lock
+	locksPruneAt int
 
 	fp *fpDetector
 
-	stats Stats
+	stats counters
 }
 
 // Stats counts runtime events; retrieved via Runtime.Stats.
@@ -127,6 +150,17 @@ type Stats struct {
 	Yields         uint64 // avoidance suspensions
 	Deadlocks      uint64 // detected deadlocks
 	AvoidanceBreak uint64 // forced proceeds to break avoidance cycles
+}
+
+// counters is the runtime-internal, atomically updated form of Stats:
+// the fast path increments without rt.mu, and Stats() reads without
+// blocking the lock manager.
+type counters struct {
+	acquisitions   atomic.Uint64
+	contended      atomic.Uint64
+	yields         atomic.Uint64
+	deadlocks      atomic.Uint64
+	avoidanceBreak atomic.Uint64
 }
 
 // slotKey keys the position index by signature identity and thread slot.
@@ -187,14 +221,39 @@ type yielder struct {
 	wake     chan struct{} // buffered(1)
 	// proceed forces the thread past avoidance (avoidance-cycle breaker).
 	proceed bool
+	// woken records that a wake was delivered (set under rt.mu by every
+	// waker): the yielder is re-evaluating, not durably parked. A thread
+	// that yields again does so under a fresh yielder value.
+	woken bool
+}
+
+// wakeLocked delivers a wake to y exactly once; callers hold rt.mu.
+func wakeLocked(y *yielder) {
+	y.woken = true
+	select {
+	case y.wake <- struct{}{}:
+	default:
+	}
 }
 
 // Lock is a mutex managed by a Runtime. Create with NewLock; acquire and
 // release through the Runtime (or wrap in a Mutex for native use). Locks
 // are reentrant, like Java monitors.
 type Lock struct {
-	id        LockID
-	name      string
+	id   LockID
+	name string
+
+	// fast is the lock-free fast-path word and fastOuter the published
+	// hold's outer stack; see fastpath.go for the protocol. The remaining
+	// fields are slow-path state, guarded by rt.mu and meaningful only
+	// while fast carries the slow bit.
+	fast      atomic.Uint64
+	fastOuter sig.Stack
+	// registered tracks membership in the runtime's lock registry (the
+	// history-refresh sweep's work list); cleared when the registry
+	// prunes a free lock, re-set by the lock's next acquisition.
+	registered atomic.Bool
+
 	owner     ThreadID
 	ownerHold *heldLock
 	recursion int
@@ -212,9 +271,14 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = stacktrace.NewRegistry()
+	}
 	rt := &Runtime{
 		cfg:       cfg,
 		history:   cfg.History,
+		reg:       cfg.Registry,
+		capture:   stacktrace.NewCache(cfg.Registry),
 		threads:   make(map[ThreadID]*threadState),
 		yielders:  make(map[ThreadID]*yielder),
 		positions: make(map[slotKey]map[ThreadID]*position),
@@ -226,37 +290,91 @@ func NewRuntime(cfg Config) *Runtime {
 // History returns the runtime's deadlock history.
 func (rt *Runtime) History() *History { return rt.history }
 
-// Stats returns a snapshot of runtime event counters.
+// Stats returns a snapshot of runtime event counters. It reads atomic
+// counters and never blocks the lock manager, so it is safe to poll from
+// monitoring loops.
 func (rt *Runtime) Stats() Stats {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.stats
+	return Stats{
+		Acquisitions:   rt.stats.acquisitions.Load(),
+		Contended:      rt.stats.contended.Load(),
+		Yields:         rt.stats.yields.Load(),
+		Deadlocks:      rt.stats.deadlocks.Load(),
+		AvoidanceBreak: rt.stats.avoidanceBreak.Load(),
+	}
 }
 
 // NewLock creates a lock. The name is used in diagnostics only.
 func (rt *Runtime) NewLock(name string) *Lock {
-	return &Lock{id: LockID(rt.nextLockID.Add(1)), name: name}
+	l := &Lock{id: LockID(rt.nextLockID.Add(1)), name: name}
+	rt.registerLock(l)
+	return l
+}
+
+// lockRegistryFloor is the registry size below which pruning is not
+// attempted.
+const lockRegistryFloor = 1024
+
+// registerLock puts l into the lock registry (idempotent), pruning
+// discarded locks when the registry has doubled since the last prune.
+func (rt *Runtime) registerLock(l *Lock) {
+	rt.locksMu.Lock()
+	if !l.registered.Load() {
+		rt.locks = append(rt.locks, l)
+		l.registered.Store(true)
+		if rt.locksPruneAt == 0 {
+			rt.locksPruneAt = lockRegistryFloor
+		}
+		if len(rt.locks) >= rt.locksPruneAt {
+			rt.pruneLocksLocked()
+		}
+	}
+	rt.locksMu.Unlock()
+}
+
+// pruneLocksLocked drops registry entries for locks that are free in
+// fast mode: they hold nothing the history-refresh sweep could need. A
+// pruned lock is no longer fast-eligible (fastAcquire refuses on the
+// cleared flag); its next acquisition goes through the slow path once,
+// and maybeRestoreFastLocked re-registers it. Locks with any other
+// word state (fast-held, publishing, slow-managed) are kept — their
+// state cannot be inspected safely here. Caller holds locksMu.
+//
+// The deregister-then-inspect order pairs with fastAcquire's
+// claim-then-recheck: both sides use sequentially consistent atomics,
+// so either the prune observes the claimed word (and keeps the lock)
+// or the acquirer observes the cleared flag (and aborts its claim).
+func (rt *Runtime) pruneLocksLocked() {
+	kept := make([]*Lock, 0, len(rt.locks)/2)
+	for _, l := range rt.locks {
+		l.registered.Store(false)
+		if l.fast.Load() != 0 {
+			l.registered.Store(true)
+			kept = append(kept, l)
+		}
+	}
+	rt.locks = kept
+	rt.locksPruneAt = 2 * len(kept)
+	if rt.locksPruneAt < lockRegistryFloor {
+		rt.locksPruneAt = lockRegistryFloor
+	}
 }
 
 // Close shuts the runtime down: every blocked or yielding thread is
 // released with ErrClosed, and future acquisitions fail with ErrClosed.
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
-	if rt.closed {
+	if rt.closed.Load() {
 		rt.mu.Unlock()
 		return
 	}
-	rt.closed = true
+	rt.closed.Store(true)
 	for _, ts := range rt.threads {
 		if ts.wait != nil {
 			notifyLocked(ts.wait, ErrClosed)
 		}
 	}
 	for _, y := range rt.yielders {
-		select {
-		case y.wake <- struct{}{}:
-		default:
-		}
+		wakeLocked(y)
 	}
 	rt.mu.Unlock()
 }
@@ -277,16 +395,38 @@ func (rt *Runtime) thread(tid ThreadID) *threadState {
 // while the lock is owned. It returns nil on acquisition, ErrDeadlock if
 // this acquisition closed a detected cycle under RecoverBreak, or
 // ErrClosed after Close.
+//
+// An acquisition whose stack matches no history signature, on a lock
+// that is free (or already fast-held by tid), completes on the lock-free
+// fast path; everything else — contention, an avoidance-index match,
+// shutdown — takes the global-mutex slow path below.
 func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
 	if l == nil {
 		return fmt.Errorf("dimmunix: acquire nil lock")
 	}
+	// tid 0 means "no owner" to the slow path's bookkeeping; keep such
+	// (malformed) callers off the fast path so they fail the same way
+	// they always did.
+	if tid != 0 && !rt.cfg.FastPathDisabled && rt.fastAcquire(tid, l, cs) {
+		return nil
+	}
+	return rt.acquireSlow(tid, l, cs)
+}
+
+// acquireSlow is the original global-mutex acquisition path: avoidance,
+// queueing, and detection under rt.mu. It also serves as the semantic
+// reference the fast path is differentially tested against
+// (Config.FastPathDisabled).
+func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack) error {
 	rt.mu.Lock()
-	if rt.closed {
+	if rt.closed.Load() {
 		rt.mu.Unlock()
 		return ErrClosed
 	}
 	rt.refreshPositionsLocked()
+	// The slow path owns the lock's queue and owner fields: pull the lock
+	// out of fast mode, importing any fast hold, before reading them.
+	rt.revokeLocked(l)
 
 	// Reentrant fast path.
 	if l.owner == tid {
@@ -302,10 +442,13 @@ func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
 			rt.mu.Unlock()
 			return err
 		}
-		if rt.closed {
+		if rt.closed.Load() {
 			rt.mu.Unlock()
 			return ErrClosed
 		}
+		// avoidLocked may have released rt.mu while yielding; the lock can
+		// have been restored to fast mode by a release in that window.
+		rt.revokeLocked(l)
 	}
 
 	ts := rt.thread(tid)
@@ -313,7 +456,7 @@ func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
 	// Fast path: free lock.
 	if l.owner == 0 && len(l.queue) == 0 {
 		rt.grantLocked(ts, l, cs)
-		rt.stats.Acquisitions++
+		rt.stats.acquisitions.Add(1)
 		rt.mu.Unlock()
 		return nil
 	}
@@ -324,7 +467,7 @@ func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
 	w.slots = rt.registerPositionsLocked(tid, l, cs)
 	l.queue = append(l.queue, w)
 	ts.wait = w
-	rt.stats.Contended++
+	rt.stats.contended.Add(1)
 
 	// Detection: does this wait close a cycle?
 	var dl *Deadlock
@@ -332,7 +475,7 @@ func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
 		if cycle := rt.findCycleLocked(tid); cycle != nil {
 			dl = rt.buildDeadlockLocked(cycle)
 			if dl != nil {
-				rt.stats.Deadlocks++
+				rt.stats.deadlocks.Add(1)
 				if !dl.Known {
 					rt.history.Add(dl.Signature)
 				}
@@ -360,6 +503,7 @@ func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
 		rt.removeWaiterLocked(l, w)
 		rt.unregisterPositionsLocked(tid, w.slots)
 		rt.wakeYieldersLocked()
+		rt.maybeRestoreFastLocked(l)
 	}
 	rt.reapThreadLocked(ts)
 	rt.mu.Unlock()
@@ -376,13 +520,21 @@ func (rt *Runtime) reapThreadLocked(ts *threadState) {
 }
 
 // Release releases lock l held by tid. Reentrant holds unwind before the
-// lock is handed to the next waiter.
+// lock is handed to the next waiter. A fast-path hold is released with a
+// single CAS; slow-managed locks go through rt.mu.
 func (rt *Runtime) Release(tid ThreadID, l *Lock) error {
 	if l == nil {
 		return fmt.Errorf("dimmunix: release nil lock")
 	}
+	if tid != 0 && !rt.cfg.FastPathDisabled && rt.fastRelease(tid, l) {
+		return nil
+	}
 	rt.mu.Lock()
+	// Import a fast hold (ours or a wrong-owner caller's) so the check
+	// below sees the true owner.
+	rt.revokeLocked(l)
 	if l.owner != tid {
+		rt.maybeRestoreFastLocked(l)
 		rt.mu.Unlock()
 		return fmt.Errorf("%w: lock %q owned by %d, released by %d", ErrNotOwner, l.name, l.owner, tid)
 	}
@@ -404,8 +556,10 @@ func (rt *Runtime) Release(tid ThreadID, l *Lock) error {
 	l.owner = 0
 	l.ownerHold = nil
 
-	// Hand over to the next waiter, if any.
+	// Hand over to the next waiter, if any; a lock left free with no
+	// waiters returns to the fast path.
 	rt.promoteLocked(l)
+	rt.maybeRestoreFastLocked(l)
 	// State changed: yielding threads re-evaluate.
 	rt.wakeYieldersLocked()
 	rt.reapThreadLocked(ts)
@@ -440,7 +594,7 @@ func (rt *Runtime) promoteLocked(l *Lock) {
 		l.owner = w.thread
 		l.ownerHold = h
 		l.recursion = 0
-		rt.stats.Acquisitions++
+		rt.stats.acquisitions.Add(1)
 		notifyLocked(w, nil)
 		return
 	}
@@ -491,13 +645,17 @@ func (rt *Runtime) unregisterPositionsLocked(tid ThreadID, keys []slotKey) {
 
 // refreshPositionsLocked re-registers all held and waiting stacks after
 // the history changed (the Communix agent adds or merges signatures while
-// the application runs).
+// the application runs), and imports any fast-path hold whose outer
+// stack the new index matches — such a hold now occupies a signature
+// slot and must be visible to avoidance. refreshPositionsLocked runs
+// under rt.mu before every avoidance decision, so no decision is ever
+// made against a stale position table.
 func (rt *Runtime) refreshPositionsLocked() {
-	v := rt.history.Version()
-	if v == rt.histVer {
+	idx := rt.history.Index()
+	if idx.version == rt.histVer {
 		return
 	}
-	rt.histVer = v
+	rt.histVer = idx.version
 	rt.positions = make(map[slotKey]map[ThreadID]*position)
 	for tid, ts := range rt.threads {
 		for _, h := range ts.held {
@@ -505,6 +663,18 @@ func (rt *Runtime) refreshPositionsLocked() {
 		}
 		if ts.wait != nil {
 			ts.wait.slots = rt.registerPositionsLocked(tid, ts.wait.lock, ts.wait.stack)
+		}
+	}
+	rt.locksMu.Lock()
+	locks := rt.locks // append-only: the prefix we iterate is immutable
+	rt.locksMu.Unlock()
+	for _, l := range locks {
+		if w := l.fast.Load(); w != 0 && w&fastSlowBit == 0 {
+			// A live fast hold. Its outer stack can only be read safely
+			// after revocation, so import it unconditionally; revokeLocked
+			// registers exactly the positions the new index matches, and
+			// the lock returns to the fast path at its next quiet release.
+			rt.revokeLocked(l)
 		}
 	}
 }

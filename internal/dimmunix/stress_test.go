@@ -1,0 +1,204 @@
+package dimmunix
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"communix/internal/sig"
+)
+
+// TestStressFastPathUnderHistorySwaps hammers the native Mutex hot path
+// from many goroutines while a concurrent "agent" installs, replaces,
+// and removes signatures — including ones matching the hammered call
+// stacks, so locks continually bounce between fast and slow mode — and
+// while another goroutine polls Runtime.Stats. Run under -race this
+// exercises every fast-path transition: CAS grants, revocation imports,
+// restoration, and the refresh scan.
+func TestStressFastPathUnderHistorySwaps(t *testing.T) {
+	history := NewHistory()
+	rt := NewRuntime(Config{History: history, Policy: RecoverBreak})
+	defer rt.Close()
+
+	const (
+		workers   = 8
+		mutexes   = 4
+		iters     = 400
+		swapIters = 120
+	)
+
+	locks := make([]*Mutex, mutexes)
+	for i := range locks {
+		locks[i] = rt.NewMutex("stress")
+	}
+
+	// All acquisitions go through one helper, so every worker stack's top
+	// frame is the helper's m.Lock() line. A signature whose outer stack
+	// is exactly that one frame then suffix-matches every live
+	// acquisition — installing and removing it flips the index between
+	// hit (slow path, position registration) and miss (lock-free) for
+	// the whole workload. Signature slot 1 uses a synthetic stack no
+	// worker produces, so matched acquisitions register positions but
+	// never yield: the workload stays deadlock-free by construction.
+	lockIt := func(m *Mutex) error { return m.Lock() }
+
+	probe := rt.NewMutex("probe")
+	if err := lockIt(probe); err != nil {
+		t.Fatal(err)
+	}
+	var capturedOuter sig.Stack
+	rt.mu.Lock()
+	if tid, outer, _, slow := probe.lock.fastSnapshot(); !slow && tid != 0 {
+		capturedOuter = outer
+	} else if probe.lock.ownerHold != nil {
+		capturedOuter = probe.lock.ownerHold.outer
+	}
+	rt.mu.Unlock()
+	if err := probe.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if len(capturedOuter) == 0 {
+		t.Fatal("could not capture a native outer stack")
+	}
+	swapSig := func(i int) *sig.Signature {
+		outer := capturedOuter.Suffix(1).Clone() // the helper's Lock line
+		inner := outer.Clone()
+		inner[len(inner)-1].Line += 1000 + i // distinct inner site per sig
+		other := mkStack("SwapOther", "o", 4)
+		otherInner := mkStack("SwapOther", "oi", 4)
+		s := sig.New(
+			sig.ThreadSpec{Outer: outer, Inner: inner},
+			sig.ThreadSpec{Outer: other, Inner: otherInner},
+		)
+		s.Origin = sig.OriginRemote
+		return s
+	}
+
+	// Sanity: the swap signatures must really match the captured stacks,
+	// or the whole test silently degrades to a fast-path-only hammer.
+	sanity := swapSig(-1)
+	history.Add(sanity)
+	if !history.Index().Matches(capturedOuter) {
+		t.Fatal("swap signature does not match the native acquisition stacks")
+	}
+	history.Remove(sanity.ID())
+
+	var stop atomic.Bool
+	var workerWG, bgWG sync.WaitGroup
+	errs := make(chan error, workers+2)
+
+	// Workers: straight-line lock/unlock pairs, occasionally nested
+	// in ascending order (deadlock-free by construction).
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			for i := 0; i < iters; i++ {
+				a := locks[(w+i)%mutexes]
+				if err := lockIt(a); err != nil {
+					errs <- err
+					return
+				}
+				if i%7 == 0 {
+					// Reentrant hold.
+					if err := lockIt(a); err != nil {
+						errs <- err
+						_ = a.Unlock()
+						return
+					}
+					if err := a.Unlock(); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := a.Unlock(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Agent: install / replace / remove signatures that match the live
+	// acquisition stacks.
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		var installed []string
+		for i := 0; i < swapIters && !stop.Load(); i++ {
+			switch i % 3 {
+			case 0:
+				s := swapSig(i)
+				history.Add(s)
+				installed = append(installed, s.ID())
+			case 1:
+				if len(installed) >= 2 {
+					history.Replace(installed[0], swapSig(i+10000))
+					installed = installed[1:]
+				}
+			case 2:
+				if len(installed) > 0 {
+					history.Remove(installed[len(installed)-1])
+					installed = installed[:len(installed)-1]
+				}
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	// Monitor: poll Stats concurrently with everything.
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		var last Stats
+		for !stop.Load() {
+			s := rt.Stats()
+			if s.Acquisitions < last.Acquisitions {
+				errs <- fmt.Errorf("Acquisitions went backwards: %d -> %d", last.Acquisitions, s.Acquisitions)
+				return
+			}
+			last = s
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	waitWG := func(wg *sync.WaitGroup, what string) {
+		done := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("%s did not finish", what)
+		}
+	}
+	waitWG(&workerWG, "stress workload")
+	stop.Store(true)
+	waitWG(&bgWG, "agent/monitor")
+
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: every mutex must be free (fast-eligible or slow with no
+	// owner), and the thread table reaped.
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, m := range locks {
+		tid, _, _, slow := m.lock.fastSnapshot()
+		if !slow && tid != 0 {
+			t.Errorf("mutex %d still fast-held by %d after quiescence", i, tid)
+		}
+		if slow && m.lock.owner != 0 {
+			t.Errorf("mutex %d still slow-owned by %d", i, m.lock.owner)
+		}
+	}
+	if len(rt.threads) != 0 {
+		t.Errorf("thread table holds %d entries after quiescence", len(rt.threads))
+	}
+}

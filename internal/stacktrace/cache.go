@@ -1,0 +1,140 @@
+package stacktrace
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"communix/internal/sig"
+)
+
+// cacheMaxEntries bounds one cache generation. Distinct lock-site PC
+// arrays are roughly as numerous as lock statements × call paths, so real
+// programs sit far below the cap; hitting it drops the whole generation
+// (crude, but keeps the structure allocation-free on the hit path).
+const cacheMaxEntries = 4096
+
+// Cache memoizes Capture by raw program-counter array: repeated
+// acquisitions from the same call path skip runtime.CallersFrames
+// symbolization and frame allocation entirely and share one immutable
+// sig.Stack. That is the dominant per-acquisition cost for native
+// dimmunix.Mutex users — a PC capture is a few hundred nanoseconds while
+// symbolization is microseconds.
+//
+// Entries are invalidated wholesale when the registry's version changes
+// (a Register call may retroactively change frame hashes). Callers must
+// treat returned stacks as immutable — they are shared between all
+// callers with the same call path.
+type Cache struct {
+	reg *Registry
+	gen atomic.Pointer[cacheGen]
+}
+
+// cacheGen is one registry-version generation of memoized stacks.
+type cacheGen struct {
+	regVersion uint64
+	mu         sync.RWMutex
+	entries    map[uint64][]*cacheEntry // PC-array hash -> collision chain
+}
+
+// cacheEntry memoizes one resolved capture.
+type cacheEntry struct {
+	pcs      []uintptr
+	maxDepth int
+	stack    sig.Stack
+}
+
+// NewCache returns a capture cache over reg. A nil registry is allowed
+// and leaves frame hashes empty, like Capture.
+func NewCache(reg *Registry) *Cache {
+	c := &Cache{reg: reg}
+	c.gen.Store(&cacheGen{entries: make(map[uint64][]*cacheEntry)})
+	return c
+}
+
+// Capture is Capture with memoization: same skip/maxDepth semantics,
+// same result, but repeated call paths return the cached stack. The
+// returned stack is shared and must not be mutated.
+func (c *Cache) Capture(skip, maxDepth int) sig.Stack {
+	if maxDepth <= 0 {
+		maxDepth = DefaultDepth
+	}
+	var buf [DefaultDepth + 8]uintptr
+	var pcs []uintptr
+	if need := maxDepth + skip + 2; need <= len(buf) {
+		pcs = buf[:need]
+	} else {
+		pcs = make([]uintptr, need)
+	}
+	// +2 skips runtime.Callers and this method.
+	n := runtime.Callers(skip+2, pcs)
+	if n == 0 {
+		return nil
+	}
+	pcs = pcs[:n]
+
+	key := hashPCs(pcs, maxDepth)
+	gen := c.generation()
+	gen.mu.RLock()
+	for _, e := range gen.entries[key] {
+		if e.maxDepth == maxDepth && slices.Equal(e.pcs, pcs) {
+			gen.mu.RUnlock()
+			return e.stack
+		}
+	}
+	gen.mu.RUnlock()
+
+	// Copy the PCs off the stack buffer before resolution so the buffer
+	// itself never escapes — cache hits then cost zero allocations.
+	owned := append([]uintptr(nil), pcs...)
+	stack := resolve(c.reg, owned, maxDepth)
+	e := &cacheEntry{pcs: owned, maxDepth: maxDepth, stack: stack}
+	gen.mu.Lock()
+	if len(gen.entries) >= cacheMaxEntries {
+		// Overfull: drop the generation rather than evicting piecemeal.
+		c.gen.CompareAndSwap(gen, &cacheGen{
+			regVersion: gen.regVersion,
+			entries:    map[uint64][]*cacheEntry{key: {e}},
+		})
+	} else {
+		gen.entries[key] = append(gen.entries[key], e)
+	}
+	gen.mu.Unlock()
+	return stack
+}
+
+// generation returns the current cache generation, rolling to a fresh
+// one when the registry has been mutated since it was built.
+func (c *Cache) generation() *cacheGen {
+	gen := c.gen.Load()
+	if c.reg == nil {
+		return gen
+	}
+	v := c.reg.Version()
+	for gen.regVersion != v {
+		fresh := &cacheGen{regVersion: v, entries: make(map[uint64][]*cacheEntry)}
+		if c.gen.CompareAndSwap(gen, fresh) {
+			return fresh
+		}
+		gen = c.gen.Load()
+		v = c.reg.Version()
+	}
+	return gen
+}
+
+// hashPCs is FNV-1a over the PC words, seeded with maxDepth.
+func hashPCs(pcs []uintptr, maxDepth int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(maxDepth)
+	h *= prime64
+	for _, pc := range pcs {
+		h ^= uint64(pc)
+		h *= prime64
+	}
+	return h
+}

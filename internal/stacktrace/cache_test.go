@@ -1,0 +1,137 @@
+package stacktrace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"communix/internal/sig"
+)
+
+// captureBoth grabs the same stack through the plain and cached paths
+// from one call site so the results are comparable.
+func captureBoth(reg *Registry, c *Cache, depth int) (plain, cached sig.Stack) {
+	plain = Capture(reg, 0, depth)
+	cached = c.Capture(0, depth)
+	return
+}
+
+func TestCacheMatchesCapture(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCache(reg)
+	plain, cached := captureBoth(reg, c, 16)
+	if len(plain) == 0 || len(cached) == 0 {
+		t.Fatal("empty capture")
+	}
+	// Same call site, one line apart at the leaf is impossible here: both
+	// captures happen inside captureBoth, so only the leaf line of
+	// captureBoth differs. Compare everything below the leaf, and the
+	// leaf's site modulo line.
+	if !plain[:len(plain)-1].Equal(cached[:len(cached)-1]) {
+		t.Fatalf("cached stack diverges from plain capture:\n plain: %v\ncached: %v", plain, cached)
+	}
+	pt, ct := plain.Top(), cached.Top()
+	if pt.Class != ct.Class || pt.Method != ct.Method || pt.Hash != ct.Hash {
+		t.Fatalf("top frames differ: %v vs %v", pt, ct)
+	}
+}
+
+func TestCacheHitReturnsSameStack(t *testing.T) {
+	c := NewCache(NewRegistry())
+	var stacks []sig.Stack
+	for i := 0; i < 3; i++ {
+		stacks = append(stacks, c.Capture(0, 16)) // same call site each iteration
+	}
+	if &stacks[0][0] != &stacks[1][0] || &stacks[1][0] != &stacks[2][0] {
+		t.Error("repeated captures from one call path should share the memoized stack")
+	}
+}
+
+func TestCacheInvalidatedOnRegister(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCache(reg)
+	before := c.Capture(0, 16)
+	if len(before) == 0 {
+		t.Fatal("empty capture")
+	}
+	unit := before.Top().Class
+	reg.Register(unit, "fresh-hash")
+	after := c.Capture(0, 16)
+	if after.Top().Hash != "fresh-hash" {
+		t.Fatalf("hash after Register = %q, want fresh-hash (stale cache?)", after.Top().Hash)
+	}
+	if before.Top().Hash == "fresh-hash" {
+		t.Error("pre-Register capture must not be mutated retroactively")
+	}
+}
+
+func TestCacheDepthIsPartOfTheKey(t *testing.T) {
+	c := NewCache(NewRegistry())
+	deep := c.Capture(0, 16)
+	shallow := c.Capture(0, 1)
+	if len(shallow) != 1 {
+		t.Fatalf("depth-1 capture has %d frames", len(shallow))
+	}
+	if len(deep) <= 1 {
+		t.Skip("call stack too shallow to distinguish depths")
+	}
+}
+
+func TestCacheNilRegistry(t *testing.T) {
+	c := NewCache(nil)
+	s := c.Capture(0, 8)
+	if len(s) == 0 {
+		t.Fatal("empty capture")
+	}
+	for _, f := range s {
+		if f.Hash != "" {
+			t.Fatalf("nil registry should leave hashes empty, got %q", f.Hash)
+		}
+	}
+}
+
+func TestCacheConcurrentCaptureAndRegister(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCache(reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if s := c.Capture(0, 12); len(s) == 0 {
+					t.Error("empty capture")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			reg.Register(fmt.Sprintf("unit-%d", i), "h")
+		}
+	}()
+	wg.Wait()
+}
+
+func BenchmarkCaptureUncached(b *testing.B) {
+	reg := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := Capture(reg, 0, DefaultDepth); len(s) == 0 {
+			b.Fatal("empty capture")
+		}
+	}
+}
+
+func BenchmarkCaptureCached(b *testing.B) {
+	c := NewCache(NewRegistry())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := c.Capture(0, DefaultDepth); len(s) == 0 {
+			b.Fatal("empty capture")
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"communix/internal/sig"
 )
@@ -36,6 +37,10 @@ const DefaultDepth = 32
 type Registry struct {
 	mu     sync.RWMutex
 	hashes map[string]string
+	// version counts Register calls. Capture caches key resolved stacks
+	// off it: a bumped version means previously resolved frames may carry
+	// stale hashes and must be re-resolved.
+	version atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -48,6 +53,14 @@ func (r *Registry) Register(unit, hash string) {
 	r.mu.Lock()
 	r.hashes[unit] = hash
 	r.mu.Unlock()
+	r.version.Add(1)
+}
+
+// Version identifies the registry's mutation state; it changes on every
+// Register. Lazily cached fallback hashes do not change it — they are
+// deterministic, so caches built over either outcome agree.
+func (r *Registry) Version() uint64 {
+	return r.version.Load()
 }
 
 // HashFor returns the registered hash for unit, or a deterministic
@@ -86,7 +99,16 @@ func Capture(reg *Registry, skip, maxDepth int) sig.Stack {
 	if n == 0 {
 		return nil
 	}
-	frames := runtime.CallersFrames(pcs[:n])
+	return resolve(reg, pcs[:n], maxDepth)
+}
+
+// resolve expands raw program counters into a signature stack: frame
+// symbolization, runtime-frame elision, hash attachment, and
+// outermost-first ordering. It is the expensive half of Capture that
+// Cache memoizes.
+func resolve(reg *Registry, pcs []uintptr, maxDepth int) sig.Stack {
+	n := len(pcs)
+	frames := runtime.CallersFrames(pcs)
 	// CallersFrames yields innermost-first; collect then reverse.
 	tmp := make(sig.Stack, 0, n)
 	for {

@@ -37,6 +37,10 @@ type SimConfig struct {
 	NestedOnly bool
 	// Seed drives site selection.
 	Seed int64
+	// ReferenceRuntime runs the workload against the global-mutex
+	// reference acquisition path (dimmunix.Config.FastPathDisabled) —
+	// the baseline for the fast-path differential tests and benchmarks.
+	ReferenceRuntime bool
 }
 
 // LockSim replays an application's lock paths.
@@ -105,8 +109,9 @@ func (s *LockSim) Run(history *dimmunix.History) (Result, error) {
 		history = dimmunix.NewHistory()
 	}
 	rt := dimmunix.NewRuntime(dimmunix.Config{
-		History: history,
-		Policy:  dimmunix.RecoverBreak,
+		History:          history,
+		Policy:           dimmunix.RecoverBreak,
+		FastPathDisabled: s.cfg.ReferenceRuntime,
 	})
 	defer rt.Close()
 

@@ -256,3 +256,90 @@ func TestOverheadMath(t *testing.T) {
 		t.Errorf("Overhead with zero base = %.1f, want 0", got)
 	}
 }
+
+// TestLockSimFastPathDifferential replays the same LockSim scenarios
+// against the lock-free fast-path runtime and the global-mutex reference
+// runtime. The workloads are deadlock-free and deterministic in their
+// grant counts, so the decision-level outcomes must agree exactly: same
+// acquisitions, no deadlocks, no errors — and when malicious signatures
+// cover the executed paths, avoidance engages in both.
+func TestLockSimFastPathDifferential(t *testing.T) {
+	app := testApp(t)
+	// The attack scenario replays the setup of
+	// TestLockSimMaliciousHistoryCausesYields: a small all-hot app and a
+	// long run, so workers genuinely overlap inside attack-covered sites
+	// and avoidance must engage.
+	yieldy, err := bytecode.Generate(bytecode.Profile{
+		Name: "yieldy-diff", LOC: 4000, SyncSites: 16, ExplicitOps: 2,
+		Analyzed: 10, Nested: 4, HotFraction: 1.0, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scenario struct {
+		name      string
+		app       *bytecode.App
+		cfg       SimConfig
+		history   func() *dimmunix.History
+		wantYield bool
+	}
+	attacked := func() *dimmunix.History {
+		h := dimmunix.NewHistory()
+		for _, s := range MaliciousSignatures(yieldy, 20, AttackCriticalPath, 3) {
+			h.Add(s)
+		}
+		return h
+	}
+	offPath := func() *dimmunix.History {
+		h := dimmunix.NewHistory()
+		for _, s := range MaliciousSignatures(app, 20, AttackOffPath, 5) {
+			h.Add(s)
+		}
+		return h
+	}
+	scenarios := []scenario{
+		{name: "empty-history", app: app, cfg: SimConfig{Workers: 4, Iterations: 60, CSWork: 10, OutWork: 10, HotOnly: true, Seed: 1}},
+		{name: "off-path-history", app: app, cfg: SimConfig{Workers: 4, Iterations: 60, CSWork: 10, OutWork: 5, HotOnly: true, Seed: 4}, history: offPath},
+		{name: "attacked", app: yieldy, cfg: SimConfig{Workers: 8, Iterations: 2500, CSWork: 4000, HotOnly: true, NestedOnly: true, Seed: 2}, history: attacked, wantYield: true},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			runOne := func(reference bool) Result {
+				cfg := sc.cfg
+				cfg.ReferenceRuntime = reference
+				sim, err := NewLockSim(sc.app, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var h *dimmunix.History
+				if sc.history != nil {
+					h = sc.history()
+				}
+				res, err := sim.Run(h)
+				if err != nil {
+					t.Fatalf("reference=%v: %v", reference, err)
+				}
+				return res
+			}
+			fast := runOne(false)
+			ref := runOne(true)
+
+			if fast.Stats.Acquisitions != ref.Stats.Acquisitions {
+				t.Errorf("acquisitions diverge: fast=%d ref=%d", fast.Stats.Acquisitions, ref.Stats.Acquisitions)
+			}
+			if fast.Stats.Deadlocks != 0 || ref.Stats.Deadlocks != 0 {
+				t.Errorf("deadlocks: fast=%d ref=%d, want 0/0", fast.Stats.Deadlocks, ref.Stats.Deadlocks)
+			}
+			if sc.wantYield {
+				if fast.Stats.Yields == 0 || ref.Stats.Yields == 0 {
+					t.Errorf("avoidance should engage in both modes: fast=%d ref=%d yields", fast.Stats.Yields, ref.Stats.Yields)
+				}
+			} else if fast.Stats.Yields != ref.Stats.Yields {
+				// Yield-free scenarios must stay yield-free in both modes.
+				t.Errorf("yields diverge: fast=%d ref=%d", fast.Stats.Yields, ref.Stats.Yields)
+			}
+		})
+	}
+}
