@@ -335,7 +335,7 @@ func TestBenchRuntimeExperiment(t *testing.T) {
 		t.Fatalf("bench runtime: %v\n%s", err, msg)
 	}
 	out := string(msg)
-	for _, want := range []string{"fast path", "goroutines", "speedup"} {
+	for _, want := range []string{"sharded matched path", "goroutines", "vs-global"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("bench runtime output missing %q:\n%s", want, out)
 		}
@@ -344,8 +344,33 @@ func TestBenchRuntimeExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatalf("runtime JSON not written: %v", err)
 	}
-	if !strings.Contains(string(data), "runtime-fastpath-sweep") {
+	if !strings.Contains(string(data), "runtime-sharded-sweep") {
 		t.Errorf("runtime JSON:\n%s", data)
+	}
+}
+
+func TestBenchE2EExperiment(t *testing.T) {
+	bin := buildAll(t)
+	jsonPath := filepath.Join(t.TempDir(), "e2e.json")
+	cmd := exec.Command(filepath.Join(bin, "communix-bench"),
+		"-experiment", "e2e", "-e2e-workers", "1", "-e2e-sigs", "2",
+		"-e2e-timeout", "60", "-e2e-json", jsonPath)
+	msg, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench e2e: %v\n%s", err, msg)
+	}
+	out := string(msg)
+	for _, want := range []string{"time-to-protection", "detected=2 uploaded=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench e2e output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("e2e JSON not written: %v", err)
+	}
+	if !strings.Contains(string(data), "e2e-cross-process") {
+		t.Errorf("e2e JSON:\n%s", data)
 	}
 }
 

@@ -8,8 +8,8 @@
 //	communix-bench -experiment table2         # Table II
 //
 // Experiments: fig2, fig3, fig4, table1, table2, protection, store,
-// persist, runtime, all. -full runs paper-scale parameters (Figure 2
-// spawns up to 100,000 goroutines and Table I generates 600-kLOC-scale
+// persist, runtime, e2e, all. -full runs paper-scale parameters (Figure
+// 2 spawns up to 100,000 goroutines and Table I generates 600-kLOC-scale
 // applications; expect minutes). The default quick scale preserves every
 // qualitative shape.
 //
@@ -20,8 +20,13 @@
 // across the WAL fsync policies (plus the in-memory baseline);
 // -persist-json writes the committed BENCH_persist.json. The runtime
 // experiment sweeps the client-side acquisition hot path (goroutines ×
-// history size × match rate, lock-free fast path vs the global-mutex
-// reference); -runtime-json writes the committed BENCH_runtime.json.
+// history size × match rate) across three modes — all-slow reference,
+// global-mutex matched path, and the sharded matched path;
+// -runtime-json writes the committed BENCH_runtime.json. The e2e
+// experiment spawns -e2e-workers protected worker processes (this
+// binary re-executed with -experiment e2e-worker) plus a local server
+// and measures ingest throughput and time-to-protection end to end;
+// -e2e-json writes the committed BENCH_e2e.json.
 package main
 
 import (
@@ -38,13 +43,39 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|runtime|all")
+	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|runtime|e2e|all")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	shards := flag.Int("shards", 0, "store experiment: sharded-store partitions (0 = default 16)")
 	storeJSON := flag.String("store-json", "", "store experiment: also write results to this JSON file")
 	persistJSON := flag.String("persist-json", "", "persist experiment: also write results to this JSON file")
 	runtimeJSON := flag.String("runtime-json", "", "runtime experiment: also write results to this JSON file")
+	e2eJSON := flag.String("e2e-json", "", "e2e experiment: also write results to this JSON file")
+	e2eWorkers := flag.Int("e2e-workers", 0, "e2e experiment: protected worker processes (0 = default 4)")
+	e2eSigs := flag.Int("e2e-sigs", 0, "e2e: deadlocks detected+uploaded per worker (0 = default 8)")
+	e2eAddr := flag.String("e2e-addr", "", "e2e-worker (internal): server address")
+	e2eToken := flag.String("e2e-token", "", "e2e-worker (internal): encrypted user token")
+	e2eWorkerID := flag.Int("e2e-worker-id", 0, "e2e-worker (internal): worker index")
+	e2eTotal := flag.Int("e2e-total", 0, "e2e-worker (internal): community signature count to wait for")
+	e2eTimeout := flag.Int("e2e-timeout", 0, "e2e: run deadline in seconds (0 = default)")
 	flag.Parse()
+
+	// Worker mode: this process IS one protected application of the e2e
+	// experiment; it prints one JSON result line and exits.
+	if *experiment == "e2e-worker" {
+		err := bench.E2EWorker(bench.E2EWorkerConfig{
+			Addr:       *e2eAddr,
+			Token:      *e2eToken,
+			WorkerID:   *e2eWorkerID,
+			Sigs:       *e2eSigs,
+			TotalSigs:  *e2eTotal,
+			TimeoutSec: *e2eTimeout,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "communix-bench: e2e-worker: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	// Quick-scale divisors chosen so each experiment finishes in seconds
 	// while keeping every curve's shape.
@@ -177,6 +208,33 @@ func run() int {
 			return bench.WriteRuntimeBenchJSON(w, points)
 		}); err != nil {
 			return fail("runtime", err)
+		}
+	}
+	if *experiment == "e2e" || *experiment == "all" {
+		ran = true
+		cfg := bench.E2EBenchConfig{
+			Workers:       *e2eWorkers,
+			SigsPerWorker: *e2eSigs,
+			TimeoutSec:    *e2eTimeout,
+		}
+		if *full {
+			if cfg.Workers == 0 {
+				cfg.Workers = 8
+			}
+			if cfg.SigsPerWorker == 0 {
+				cfg.SigsPerWorker = 16
+			}
+		}
+		res, err := bench.E2EBench(cfg)
+		if err != nil {
+			return fail("e2e", err)
+		}
+		bench.WriteE2EBench(out, res)
+		fmt.Fprintln(out)
+		if err := writeJSON(*e2eJSON, func(w io.Writer) error {
+			return bench.WriteE2EBenchJSON(w, res)
+		}); err != nil {
+			return fail("e2e", err)
 		}
 	}
 	if !ran {

@@ -182,13 +182,12 @@ func TestCollaborativeImmunityEndToEnd(t *testing.T) {
 	}
 	defer nodeB.Close()
 
-	// The background client would sync within a day; force it now.
-	added, err := nodeB.SyncNow()
-	if err != nil {
+	// The background client would sync within a day; force it now. The
+	// client's immediate first background sync can race this call and
+	// win — overlapping syncs are idempotent — so assert on the repo,
+	// not on which sync carried the signature.
+	if _, err := nodeB.SyncNow(); err != nil {
 		t.Fatalf("SyncNow: %v", err)
-	}
-	if added != 1 {
-		t.Fatalf("downloaded %d signatures, want 1", added)
 	}
 	rep, err := nodeB.ValidateRepository()
 	if err != nil {

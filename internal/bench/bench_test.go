@@ -213,11 +213,11 @@ func TestRuntimeBenchSmallSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// (g × hist × match) minus the skipped hist=0/match>0 combos, ×2 modes.
-	if want := 2 * 3 * 2; len(points) != want {
+	// (g × hist × match) minus the skipped hist=0/match>0 combos, ×3 modes.
+	if want := 2 * 3 * 3; len(points) != want {
 		t.Fatalf("points = %d, want %d", len(points), want)
 	}
-	for _, p := range points {
+	for i, p := range points {
 		if p.OpsPerSec <= 0 || p.Ops != p.Goroutines*200 {
 			t.Errorf("bad point %+v", p)
 		}
@@ -227,17 +227,23 @@ func TestRuntimeBenchSmallSweep(t *testing.T) {
 		if p.Contended != 0 {
 			t.Errorf("point %+v contended; locks are private per goroutine", p)
 		}
+		if want := runtimeModes[i%3]; p.Mode != want {
+			t.Errorf("point %d mode = %q, want %q", i, p.Mode, want)
+		}
+		if p.FastPath != (p.Mode != RuntimeModeReference) {
+			t.Errorf("point %+v: FastPath inconsistent with Mode", p)
+		}
 	}
 	var buf bytes.Buffer
 	WriteRuntimeBench(&buf, points)
-	if !strings.Contains(buf.String(), "fast path") {
+	if !strings.Contains(buf.String(), "sharded matched path") {
 		t.Error("renderer output missing header")
 	}
 	buf.Reset()
 	if err := WriteRuntimeBenchJSON(&buf, points); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"runtime-fastpath-sweep"`) {
+	if !strings.Contains(buf.String(), `"runtime-sharded-sweep"`) {
 		t.Error("JSON output missing experiment tag")
 	}
 }
@@ -261,15 +267,47 @@ func TestRuntimeBenchFastBeatsReferenceUncontended(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 2 {
-		t.Fatalf("points = %d, want 2", len(points))
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
 	}
-	ref, fast := points[0], points[1]
-	if ref.FastPath || !fast.FastPath {
+	ref, fast := points[0], points[2]
+	if ref.Mode != RuntimeModeReference || fast.Mode != RuntimeModeSharded {
 		t.Fatalf("unexpected point order: %+v, %+v", ref, fast)
 	}
 	if fast.OpsPerSec <= ref.OpsPerSec {
 		t.Errorf("fast path (%.0f ops/s) did not beat the reference (%.0f ops/s)",
 			fast.OpsPerSec, ref.OpsPerSec)
+	}
+}
+
+func TestRuntimeBenchShardedBeatsGlobalMatched(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timing comparison")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	// The matched-heavy qualitative shape: with every acquisition
+	// matching a signature, the sharded matched path should never lose
+	// to funneling matched acquisitions through rt.mu.
+	points, err := RuntimeBench(RuntimeBenchConfig{
+		Goroutines:      []int{8},
+		HistorySizes:    []int{64},
+		MatchPercents:   []int{100},
+		OpsPerGoroutine: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	glob, shard := points[1], points[2]
+	if glob.Mode != RuntimeModeGlobal || shard.Mode != RuntimeModeSharded {
+		t.Fatalf("unexpected point order: %+v, %+v", glob, shard)
+	}
+	if shard.OpsPerSec <= glob.OpsPerSec {
+		t.Errorf("sharded matched path (%.0f ops/s) did not beat the global-mutex matched path (%.0f ops/s)",
+			shard.OpsPerSec, glob.OpsPerSec)
 	}
 }

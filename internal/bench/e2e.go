@@ -1,0 +1,481 @@
+// Cross-process end-to-end benchmark: N protected worker processes, each
+// running a real dimmunix runtime with the Communix plugin and client
+// wired in, against one local server — the full product pipeline
+// (detect → fingerprint → upload → ingest → download) on one box. It
+// measures ingest throughput and time-to-protection: how long until
+// every worker's local repository holds the whole community's
+// signatures.
+//
+// The parent process (E2EBench) starts the server and spawns workers by
+// re-executing the bench binary with `-experiment e2e-worker`; each
+// worker (E2EWorker) detects SigsPerWorker real deadlocks (RecoverBreak
+// pairs with per-worker, per-iteration unique stacks, so the server's
+// adjacency rejection does not trigger), uploads them through the
+// plugin, then polls SyncOnce until its repository has every worker's
+// signatures, and prints one JSON result line on stdout.
+//
+// Client-side agent validation (hash/depth/nesting) is deliberately out
+// of scope here — it is local CPU work measured by the fig4 experiment;
+// this benchmark isolates the distribution path.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"time"
+
+	"communix/internal/client"
+	"communix/internal/dimmunix"
+	"communix/internal/ids"
+	"communix/internal/plugin"
+	"communix/internal/repo"
+	"communix/internal/server"
+	"communix/internal/sig"
+)
+
+// e2eKey is the predefined AES-128 key the benchmark authority and
+// server share (arbitrary but fixed).
+var e2eKey = []byte{
+	0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+	0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff,
+}
+
+// E2EBenchConfig parameterizes the end-to-end experiment.
+type E2EBenchConfig struct {
+	// Workers is the number of protected worker processes (default 4).
+	Workers int
+	// SigsPerWorker is how many distinct deadlocks each worker detects
+	// and uploads (default 8).
+	SigsPerWorker int
+	// WorkerBin is the binary re-executed for workers; it must dispatch
+	// `-experiment e2e-worker` to E2EWorker. Default: os.Executable().
+	WorkerBin string
+	// TimeoutSec bounds the whole run (default 120).
+	TimeoutSec int
+	// IngestWorkers configures the server's ingestion pipeline
+	// (default 2).
+	IngestWorkers int
+}
+
+// E2EBenchResult is the experiment's aggregate outcome.
+type E2EBenchResult struct {
+	Workers       int `json:"workers"`
+	SigsPerWorker int `json:"sigs_per_worker"`
+	// TotalSigs is the community database size at the end (should equal
+	// Workers × SigsPerWorker).
+	TotalSigs int `json:"total_sigs"`
+	// IngestNS is the window from the first worker spawn until the
+	// server's database held every signature.
+	IngestNS int64 `json:"ingest_ns"`
+	// IngestPerSec is TotalSigs over that window — uploads traverse
+	// detection, fingerprinting, the plugin queue, TCP, token
+	// verification, and store commit.
+	IngestPerSec float64 `json:"ingest_per_sec"`
+	// ProtectionNS are per-worker times from worker start until the
+	// worker's repository held the whole community's signatures,
+	// ascending.
+	ProtectionNS []int64 `json:"protection_ns"`
+	// MaxProtectionNS is the fleet's time to full protection.
+	MaxProtectionNS int64 `json:"max_protection_ns"`
+	// ElapsedNS is the whole run's wall time.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// WorkerResults are the raw per-worker reports.
+	WorkerResults []E2EWorkerResult `json:"worker_results"`
+}
+
+// E2EWorkerConfig parameterizes one worker process (parsed from the
+// -e2e-* flags by cmd/communix-bench).
+type E2EWorkerConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Token is this worker's encrypted user id.
+	Token string
+	// WorkerID numbers the worker (stack uniqueness).
+	WorkerID int
+	// Sigs is how many deadlocks to detect and upload.
+	Sigs int
+	// TotalSigs is the community size to wait for.
+	TotalSigs int
+	// TimeoutSec bounds the worker's run (default 60).
+	TimeoutSec int
+}
+
+// E2EWorkerResult is the JSON line one worker prints on stdout.
+type E2EWorkerResult struct {
+	Worker   int `json:"worker"`
+	Detected int `json:"detected"`
+	Uploaded int `json:"uploaded"`
+	// DetectUploadNS spans the first deadlock to the last acknowledged
+	// upload.
+	DetectUploadNS int64 `json:"detect_upload_ns"`
+	// ProtectedNS spans worker start to the sync that completed the
+	// community set in its repository.
+	ProtectedNS int64 `json:"protected_ns"`
+	Synced      int   `json:"synced"`
+}
+
+// e2eStack builds a unique depth-6 stack for (worker, iteration, role):
+// distinct top frames per signature keep the server's per-user adjacency
+// rejection out of the measurement.
+func e2eStack(worker, i int, role string) sig.Stack {
+	s := make(sig.Stack, 0, 6)
+	for d := 0; d < 5; d++ {
+		s = append(s, sig.Frame{Class: fmt.Sprintf("e2e/w%d", worker), Method: fmt.Sprintf("f%d", d), Line: 10 + d})
+	}
+	s = append(s, sig.Frame{Class: fmt.Sprintf("e2e/w%d/%s", worker, role), Method: "lock", Line: 1000 + i})
+	return s
+}
+
+// e2eDeadlock drives the canonical two-thread deadlock through rt with
+// stacks unique to (worker, i); under RecoverBreak one acquisition is
+// denied, detection fingerprints the cycle, and OnDeadlock fires.
+func e2eDeadlock(rt *dimmunix.Runtime, worker, i int) error {
+	a := rt.NewLock(fmt.Sprintf("w%d-a%d", worker, i))
+	b := rt.NewLock(fmt.Sprintf("w%d-b%d", worker, i))
+	outerA := e2eStack(worker, i, "siteA")
+	outerB := e2eStack(worker, i, "siteB")
+	innerAB := e2eStack(worker, i, "siteAB")
+	innerBA := e2eStack(worker, i, "siteBA")
+
+	t1 := dimmunix.ThreadID(uint64(worker)*1000 + uint64(i)*2 + 1)
+	t2 := t1 + 1
+	held := make(chan error, 2)
+	start := make(chan struct{})
+	done := make(chan error, 2)
+
+	run := func(tid dimmunix.ThreadID, outerLock, innerLock *dimmunix.Lock, outer, inner sig.Stack) {
+		if err := rt.Acquire(tid, outerLock, outer); err != nil {
+			held <- err
+			done <- err
+			return
+		}
+		held <- nil
+		<-start
+		err := rt.Acquire(tid, innerLock, inner)
+		if err == nil {
+			_ = rt.Release(tid, innerLock)
+		}
+		_ = rt.Release(tid, outerLock)
+		done <- err
+	}
+	go run(t1, a, b, outerA, innerAB)
+	go run(t2, b, a, outerB, innerBA)
+	for j := 0; j < 2; j++ {
+		if err := <-held; err != nil {
+			return fmt.Errorf("outer acquisition: %w", err)
+		}
+	}
+	close(start)
+	var denied int
+	for j := 0; j < 2; j++ {
+		if err := <-done; err != nil {
+			if !errors.Is(err, dimmunix.ErrDeadlock) {
+				return err
+			}
+			denied++
+		}
+	}
+	if denied == 0 {
+		return fmt.Errorf("deadlock %d/%d was not detected", worker, i)
+	}
+	return nil
+}
+
+// E2EWorker runs one protected worker process and writes its result as
+// one JSON line to out.
+func E2EWorker(cfg E2EWorkerConfig, out io.Writer) error {
+	if cfg.Sigs <= 0 {
+		cfg.Sigs = 1
+	}
+	if cfg.TimeoutSec <= 0 {
+		cfg.TimeoutSec = 60
+	}
+	deadline := time.Now().Add(time.Duration(cfg.TimeoutSec) * time.Second)
+	startT := time.Now()
+
+	rp, err := repo.Open("")
+	if err != nil {
+		return fmt.Errorf("e2e worker: %w", err)
+	}
+	cl, err := client.New(client.Config{
+		Addr:  cfg.Addr,
+		Repo:  rp,
+		Token: ids.Token(cfg.Token),
+	})
+	if err != nil {
+		return fmt.Errorf("e2e worker: %w", err)
+	}
+
+	var uploadMu sync.Mutex
+	uploaded := 0
+	var uploadErr error
+	pl, err := plugin.New(plugin.Config{
+		Uploader: cl,
+		OnResult: func(_ *sig.Signature, err error) {
+			uploadMu.Lock()
+			if err != nil && uploadErr == nil {
+				uploadErr = err
+			} else if err == nil {
+				uploaded++
+			}
+			uploadMu.Unlock()
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("e2e worker: %w", err)
+	}
+
+	rt := dimmunix.NewRuntime(dimmunix.Config{
+		Policy:     dimmunix.RecoverBreak,
+		OnDeadlock: pl.HandleDeadlock,
+	})
+	defer rt.Close()
+
+	detected := 0
+	for i := 0; i < cfg.Sigs; i++ {
+		if err := e2eDeadlock(rt, cfg.WorkerID, i); err != nil {
+			return fmt.Errorf("e2e worker: %w", err)
+		}
+		detected++
+	}
+	pl.Close() // drain the upload queue
+	uploadMu.Lock()
+	upErr, upCount := uploadErr, uploaded
+	uploadMu.Unlock()
+	if upErr != nil {
+		return fmt.Errorf("e2e worker: upload: %w", upErr)
+	}
+	uploadedAt := time.Now()
+
+	// Sync until the whole community's signatures are local.
+	synced := 0
+	for rp.Len() < cfg.TotalSigs {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("e2e worker %d: timed out with %d/%d signatures", cfg.WorkerID, rp.Len(), cfg.TotalSigs)
+		}
+		n, err := cl.SyncOnce()
+		if err != nil {
+			// Transient (server busy starting up): brief backoff.
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		synced += n
+		if rp.Len() < cfg.TotalSigs {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	protectedAt := time.Now()
+
+	res := E2EWorkerResult{
+		Worker:         cfg.WorkerID,
+		Detected:       detected,
+		Uploaded:       upCount,
+		DetectUploadNS: uploadedAt.Sub(startT).Nanoseconds(),
+		ProtectedNS:    protectedAt.Sub(startT).Nanoseconds(),
+		Synced:         synced,
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(res)
+}
+
+// E2EBench runs the cross-process experiment.
+func E2EBench(cfg E2EBenchConfig) (E2EBenchResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.SigsPerWorker <= 0 {
+		cfg.SigsPerWorker = 8
+	}
+	if cfg.TimeoutSec <= 0 {
+		cfg.TimeoutSec = 120
+	}
+	if cfg.IngestWorkers < 0 {
+		cfg.IngestWorkers = 0
+	} else if cfg.IngestWorkers == 0 {
+		cfg.IngestWorkers = 2
+	}
+	bin := cfg.WorkerBin
+	if bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return E2EBenchResult{}, fmt.Errorf("bench e2e: resolving worker binary: %w", err)
+		}
+		bin = exe
+	}
+	total := cfg.Workers * cfg.SigsPerWorker
+	deadline := time.Now().Add(time.Duration(cfg.TimeoutSec) * time.Second)
+
+	authority, err := ids.NewAuthority(e2eKey)
+	if err != nil {
+		return E2EBenchResult{}, fmt.Errorf("bench e2e: %w", err)
+	}
+	srv, err := server.New(server.Config{
+		Key:           e2eKey,
+		MaxPerDay:     total + 1, // the rate limit is not under test
+		IngestWorkers: cfg.IngestWorkers,
+	})
+	if err != nil {
+		return E2EBenchResult{}, fmt.Errorf("bench e2e: %w", err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return E2EBenchResult{}, fmt.Errorf("bench e2e: %w", err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	t0 := time.Now()
+	type workerOut struct {
+		res E2EWorkerResult
+		err error
+	}
+	outs := make(chan workerOut, cfg.Workers)
+	var procs []*exec.Cmd
+	for w := 0; w < cfg.Workers; w++ {
+		_, token := authority.Issue()
+		cmd := exec.Command(bin,
+			"-experiment", "e2e-worker",
+			"-e2e-addr", addr,
+			"-e2e-token", string(token),
+			"-e2e-worker-id", fmt.Sprint(w),
+			"-e2e-sigs", fmt.Sprint(cfg.SigsPerWorker),
+			"-e2e-total", fmt.Sprint(total),
+			"-e2e-timeout", fmt.Sprint(cfg.TimeoutSec),
+		)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return E2EBenchResult{}, fmt.Errorf("bench e2e: %w", err)
+		}
+		if err := cmd.Start(); err != nil {
+			return E2EBenchResult{}, fmt.Errorf("bench e2e: spawning worker: %w", err)
+		}
+		procs = append(procs, cmd)
+		go func(w int, r io.Reader, cmd *exec.Cmd) {
+			var res E2EWorkerResult
+			sc := bufio.NewScanner(r)
+			var decodeErr error = fmt.Errorf("worker %d produced no result line", w)
+			for sc.Scan() {
+				line := sc.Bytes()
+				if len(line) == 0 {
+					continue
+				}
+				decodeErr = json.Unmarshal(line, &res)
+			}
+			if err := cmd.Wait(); err != nil {
+				outs <- workerOut{err: fmt.Errorf("worker %d: %w", w, err)}
+				return
+			}
+			outs <- workerOut{res: res, err: decodeErr}
+		}(w, stdout, cmd)
+	}
+	// Kill stragglers if the parent bails. Unconditional: reading
+	// ProcessState here would race the reader goroutines' cmd.Wait, and
+	// killing an already-exited process is a harmless error.
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Kill()
+			}
+		}
+	}()
+
+	// Ingest window: poll the server's database until every signature
+	// landed, draining worker results as they arrive so an early worker
+	// failure aborts the run with its real error instead of stalling out
+	// the whole deadline behind a count that can never be reached.
+	var ingestNS int64 = -1
+	var results []E2EWorkerResult
+	collect := func(out workerOut) error {
+		if out.err != nil {
+			return fmt.Errorf("bench e2e: %w", out.err)
+		}
+		results = append(results, out.res)
+		return nil
+	}
+	for time.Now().Before(deadline) {
+		if srv.Store().Len() >= total {
+			ingestNS = time.Since(t0).Nanoseconds()
+			break
+		}
+		select {
+		case out := <-outs:
+			if err := collect(out); err != nil {
+				return E2EBenchResult{}, err
+			}
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if ingestNS < 0 {
+		return E2EBenchResult{}, fmt.Errorf("bench e2e: server ingested %d/%d signatures before timeout", srv.Store().Len(), total)
+	}
+
+	res := E2EBenchResult{
+		Workers:       cfg.Workers,
+		SigsPerWorker: cfg.SigsPerWorker,
+		TotalSigs:     srv.Store().Len(),
+		IngestNS:      ingestNS,
+		IngestPerSec:  float64(total) / (float64(ingestNS) / 1e9),
+	}
+	for len(results) < cfg.Workers {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return E2EBenchResult{}, fmt.Errorf("bench e2e: only %d/%d workers reported before timeout", len(results), cfg.Workers)
+		}
+		select {
+		case out := <-outs:
+			if err := collect(out); err != nil {
+				return E2EBenchResult{}, err
+			}
+		case <-time.After(remain):
+			// A worker uploaded its signatures but wedged before
+			// reporting; the deferred kill reaps it on return.
+			return E2EBenchResult{}, fmt.Errorf("bench e2e: only %d/%d workers reported before timeout", len(results), cfg.Workers)
+		}
+	}
+	for _, wr := range results {
+		res.WorkerResults = append(res.WorkerResults, wr)
+		res.ProtectionNS = append(res.ProtectionNS, wr.ProtectedNS)
+	}
+	sort.Slice(res.WorkerResults, func(i, j int) bool { return res.WorkerResults[i].Worker < res.WorkerResults[j].Worker })
+	sort.Slice(res.ProtectionNS, func(i, j int) bool { return res.ProtectionNS[i] < res.ProtectionNS[j] })
+	res.MaxProtectionNS = res.ProtectionNS[len(res.ProtectionNS)-1]
+	res.ElapsedNS = time.Since(t0).Nanoseconds()
+	return res, nil
+}
+
+// WriteE2EBench renders the result as text.
+func WriteE2EBench(w io.Writer, res E2EBenchResult) {
+	fmt.Fprintln(w, "End-to-end: worker processes + plugin upload + server ingest + client sync (one box)")
+	fmt.Fprintf(w, "  workers=%d  sigs/worker=%d  total=%d\n", res.Workers, res.SigsPerWorker, res.TotalSigs)
+	fmt.Fprintf(w, "  ingest: all signatures on the server in %.1f ms (%.0f sigs/s end to end)\n",
+		float64(res.IngestNS)/1e6, res.IngestPerSec)
+	med := res.ProtectionNS[len(res.ProtectionNS)/2]
+	fmt.Fprintf(w, "  time-to-protection: median %.1f ms, max %.1f ms\n",
+		float64(med)/1e6, float64(res.MaxProtectionNS)/1e6)
+	for _, wr := range res.WorkerResults {
+		fmt.Fprintf(w, "    worker %d: detected=%d uploaded=%d synced=%d detect+upload=%.1fms protected=%.1fms\n",
+			wr.Worker, wr.Detected, wr.Uploaded, wr.Synced,
+			float64(wr.DetectUploadNS)/1e6, float64(wr.ProtectedNS)/1e6)
+	}
+}
+
+// WriteE2EBenchJSON writes the result as indented JSON (the committed
+// BENCH_e2e.json format).
+func WriteE2EBenchJSON(w io.Writer, res E2EBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string         `json:"experiment"`
+		Result     E2EBenchResult `json:"result"`
+	}{Experiment: "e2e-cross-process", Result: res})
+}

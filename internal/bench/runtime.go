@@ -15,27 +15,50 @@ import (
 // G goroutines each hammer a private lock (uncontended — the §II-A
 // common case) under a history of S signatures, with a configurable
 // fraction of acquisitions using a call stack that matches a history
-// signature (and therefore must take the bookkeeping slow path). Every
-// point runs twice: once on the lock-free fast path and once against
-// the global-mutex reference (dimmunix.Config.FastPathDisabled).
+// signature. Every point runs three times:
+//
+//   - "reference": every acquisition through the global-mutex slow path
+//     (dimmunix.Config.FastPathDisabled) — the original semantics.
+//   - "global": the lock-free fast path for unmatched acquisitions, but
+//     matched ones funneled through rt.mu
+//     (dimmunix.Config.ShardedAvoidanceDisabled) — the pre-shard
+//     runtime.
+//   - "sharded": the full runtime — matched acquisitions take only
+//     their signatures' position shards.
 type RuntimeBenchConfig struct {
-	// Goroutines sweeps the concurrency axis (default 1, 2, 4, 8, 16).
+	// Goroutines sweeps the concurrency axis (default 1, 2, 4, 8, 16,
+	// 32, 64).
 	Goroutines []int
 	// HistorySizes sweeps the installed-signature count (default 0, 64,
 	// 512). Matching is top-frame indexed, so size should barely matter —
 	// the sweep verifies that.
 	HistorySizes []int
 	// MatchPercents sweeps the fraction of acquisitions whose stack
-	// matches a history signature, in percent (default 0, 10).
+	// matches a history signature, in percent (default 0, 50, 100 — the
+	// matched-heavy end is where the shards matter).
 	MatchPercents []int
 	// OpsPerGoroutine is each goroutine's acquire/release count
 	// (default 10000).
 	OpsPerGoroutine int
 }
 
+// Runtime bench modes, in per-configuration run order.
+const (
+	RuntimeModeReference = "reference"
+	RuntimeModeGlobal    = "global"
+	RuntimeModeSharded   = "sharded"
+)
+
+var runtimeModes = []string{RuntimeModeReference, RuntimeModeGlobal, RuntimeModeSharded}
+
 // RuntimeBenchPoint is one measurement.
 type RuntimeBenchPoint struct {
-	// FastPath reports whether the lock-free fast path was enabled.
+	// Mode is the runtime configuration measured: "reference", "global",
+	// or "sharded" (see RuntimeBenchConfig).
+	Mode string `json:"mode"`
+	// FastPath reports whether the lock-free fast path was enabled
+	// (every mode but "reference"); kept for continuity with the PR 3
+	// sweep format.
 	FastPath bool `json:"fast_path"`
 	// Goroutines is the worker count.
 	Goroutines int `json:"goroutines"`
@@ -67,14 +90,21 @@ func runtimeBenchStack(tag string, n int) sig.Stack {
 	return s
 }
 
-// runtimeBenchHistory installs size signatures. The first is the "hot"
-// signature: its slot-0 outer stack is what matched acquisitions use.
-// Its slot-1 stack is never executed, so matches register positions but
+// runtimeBenchHistory installs size signatures and returns each
+// goroutine's matched stack. The first min(goroutines, size) signatures
+// are "hot": goroutine w's matched acquisitions use hot signature
+// w % nHot's slot-0 outer stack — distinct signatures (and so distinct
+// position shards) per goroutine, the shape real applications have
+// (distinct lock sites → distinct signatures). Slot-1 stacks are never
+// executed, so matches register positions and evaluate threats but
 // never yield. The rest are padding with distinct top frames.
-func runtimeBenchHistory(size int) (*dimmunix.History, sig.Stack) {
+func runtimeBenchHistory(size, goroutines int) (*dimmunix.History, []sig.Stack) {
 	h := dimmunix.NewHistory()
-	matched := runtimeBenchStack("hot", 0)
+	matched := make([]sig.Stack, goroutines)
 	if size == 0 {
+		for w := range matched {
+			matched[w] = runtimeBenchStack("hot", 0)
+		}
 		return h, matched
 	}
 	mk := func(tag string, n int) *sig.Signature {
@@ -89,20 +119,29 @@ func runtimeBenchHistory(size int) (*dimmunix.History, sig.Stack) {
 		s.Origin = sig.OriginRemote
 		return s
 	}
-	h.Add(mk("hot", 0))
-	for i := 1; i < size; i++ {
+	nHot := goroutines
+	if nHot > size {
+		nHot = size
+	}
+	for i := 0; i < nHot; i++ {
+		h.Add(mk("hot", i))
+	}
+	for i := nHot; i < size; i++ {
 		h.Add(mk("pad", i))
+	}
+	for w := range matched {
+		matched[w] = runtimeBenchStack("hot", w%nHot)
 	}
 	return h, matched
 }
 
 // RuntimeBench sweeps the acquisition hot path. Points come out ordered
-// by (goroutines, history, match, fastpath-off-first) so the fast/slow
-// pairs sit adjacent.
+// by (goroutines, history, match) with the three modes adjacent,
+// reference first.
 func RuntimeBench(cfg RuntimeBenchConfig) ([]RuntimeBenchPoint, error) {
 	goroutines := cfg.Goroutines
 	if len(goroutines) == 0 {
-		goroutines = []int{1, 2, 4, 8, 16}
+		goroutines = []int{1, 2, 4, 8, 16, 32, 64}
 	}
 	histories := cfg.HistorySizes
 	if len(histories) == 0 {
@@ -110,7 +149,7 @@ func RuntimeBench(cfg RuntimeBenchConfig) ([]RuntimeBenchPoint, error) {
 	}
 	matches := cfg.MatchPercents
 	if len(matches) == 0 {
-		matches = []int{0, 10}
+		matches = []int{0, 50, 100}
 	}
 	ops := cfg.OpsPerGoroutine
 	if ops <= 0 {
@@ -124,8 +163,8 @@ func RuntimeBench(cfg RuntimeBenchConfig) ([]RuntimeBenchPoint, error) {
 				if match > 0 && hist == 0 {
 					continue // nothing to match
 				}
-				for _, fastPath := range []bool{false, true} {
-					p, err := runtimeBenchPoint(g, hist, match, ops, fastPath)
+				for _, mode := range runtimeModes {
+					p, err := runtimeBenchPoint(g, hist, match, ops, mode)
 					if err != nil {
 						return nil, err
 					}
@@ -138,13 +177,22 @@ func RuntimeBench(cfg RuntimeBenchConfig) ([]RuntimeBenchPoint, error) {
 }
 
 // runtimeBenchPoint runs one configuration.
-func runtimeBenchPoint(goroutines, histSize, matchPercent, ops int, fastPath bool) (RuntimeBenchPoint, error) {
-	history, matched := runtimeBenchHistory(histSize)
-	rt := dimmunix.NewRuntime(dimmunix.Config{
-		History:          history,
-		Policy:           dimmunix.RecoverBreak,
-		FastPathDisabled: !fastPath,
-	})
+func runtimeBenchPoint(goroutines, histSize, matchPercent, ops int, mode string) (RuntimeBenchPoint, error) {
+	history, matched := runtimeBenchHistory(histSize, goroutines)
+	rtCfg := dimmunix.Config{
+		History: history,
+		Policy:  dimmunix.RecoverBreak,
+	}
+	switch mode {
+	case RuntimeModeReference:
+		rtCfg.FastPathDisabled = true
+	case RuntimeModeGlobal:
+		rtCfg.ShardedAvoidanceDisabled = true
+	case RuntimeModeSharded:
+	default:
+		return RuntimeBenchPoint{}, fmt.Errorf("bench: unknown runtime mode %q", mode)
+	}
+	rt := dimmunix.NewRuntime(rtCfg)
 	defer rt.Close()
 
 	locks := make([]*dimmunix.Lock, goroutines)
@@ -152,6 +200,16 @@ func runtimeBenchPoint(goroutines, histSize, matchPercent, ops int, fastPath boo
 	for i := range locks {
 		locks[i] = rt.NewLock(fmt.Sprintf("g%d", i))
 		plain[i] = runtimeBenchStack("plain", i+1000)
+	}
+	// Warm up the position table: the first acquisition after a history
+	// install refreshes it on the slow path; keep that out of the
+	// measured window.
+	warm := rt.NewLock("warm")
+	if err := rt.Acquire(1, warm, matched[0]); err != nil {
+		return RuntimeBenchPoint{}, fmt.Errorf("bench: warmup: %w", err)
+	}
+	if err := rt.Release(1, warm); err != nil {
+		return RuntimeBenchPoint{}, fmt.Errorf("bench: warmup: %w", err)
 	}
 
 	errs := make(chan error, goroutines)
@@ -169,7 +227,7 @@ func runtimeBenchPoint(goroutines, histSize, matchPercent, ops int, fastPath boo
 				state = state*6364136223846793005 + 1442695040888963407
 				cs := plain[w]
 				if matchPercent > 0 && int((state>>33)%100) < matchPercent {
-					cs = matched
+					cs = matched[w]
 				}
 				if err := rt.Acquire(tid, l, cs); err != nil {
 					errs <- fmt.Errorf("bench: acquire: %w", err)
@@ -194,7 +252,8 @@ func runtimeBenchPoint(goroutines, histSize, matchPercent, ops int, fastPath boo
 	stats := rt.Stats()
 	total := goroutines * ops
 	return RuntimeBenchPoint{
-		FastPath:     fastPath,
+		Mode:         mode,
+		FastPath:     mode != RuntimeModeReference,
 		Goroutines:   goroutines,
 		HistorySize:  histSize,
 		MatchPercent: matchPercent,
@@ -206,20 +265,21 @@ func runtimeBenchPoint(goroutines, histSize, matchPercent, ops int, fastPath boo
 	}, nil
 }
 
-// WriteRuntimeBench renders the sweep as text, pairing each reference
-// point with its fast-path counterpart and the speedup.
+// WriteRuntimeBench renders the sweep as text, grouping each
+// configuration's three modes on one line with the sharded path's
+// speedups over both references.
 func WriteRuntimeBench(w io.Writer, points []RuntimeBenchPoint) {
-	fmt.Fprintln(w, "Acquisition hot path: lock-free fast path vs global-mutex reference")
-	fmt.Fprintln(w, "  goroutines  history  match%   reference ops/s   fast-path ops/s   speedup")
-	// Pair up: points arrive reference-first, fast second.
-	for i := 0; i+1 < len(points); i += 2 {
-		ref, fast := points[i], points[i+1]
-		if ref.FastPath || !fast.FastPath {
+	fmt.Fprintln(w, "Acquisition hot path: sharded matched path vs global-mutex references")
+	fmt.Fprintln(w, "  goroutines  history  match%   reference ops/s      global ops/s     sharded ops/s   vs-ref   vs-global")
+	for i := 0; i+2 < len(points); i += 3 {
+		ref, glob, shard := points[i], points[i+1], points[i+2]
+		if ref.Mode != RuntimeModeReference || glob.Mode != RuntimeModeGlobal || shard.Mode != RuntimeModeSharded {
 			continue
 		}
-		fmt.Fprintf(w, "  %10d %8d %6d%% %17.0f %17.0f %8.1fx\n",
+		fmt.Fprintf(w, "  %10d %8d %6d%% %17.0f %17.0f %17.0f %7.1fx %8.1fx\n",
 			ref.Goroutines, ref.HistorySize, ref.MatchPercent,
-			ref.OpsPerSec, fast.OpsPerSec, fast.OpsPerSec/ref.OpsPerSec)
+			ref.OpsPerSec, glob.OpsPerSec, shard.OpsPerSec,
+			shard.OpsPerSec/ref.OpsPerSec, shard.OpsPerSec/glob.OpsPerSec)
 	}
 }
 
@@ -231,5 +291,5 @@ func WriteRuntimeBenchJSON(w io.Writer, points []RuntimeBenchPoint) error {
 	return enc.Encode(struct {
 		Experiment string              `json:"experiment"`
 		Points     []RuntimeBenchPoint `json:"points"`
-	}{Experiment: "runtime-fastpath-sweep", Points: points})
+	}{Experiment: "runtime-sharded-sweep", Points: points})
 }

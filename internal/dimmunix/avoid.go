@@ -25,8 +25,15 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 		// while this thread yielded with rt.mu dropped; re-import so the
 		// owner read below is accurate.
 		rt.revokeLocked(l)
-		sigID, blockers := rt.instantiationThreatLocked(tid, l, cs)
+		refs := rt.history.MatchOuter(cs)
+		if len(refs) == 0 {
+			return nil
+		}
+		shards := rt.shardsForRefs(refs)
+		lockShards(shards)
+		sigID, blockers := rt.instantiationThreat(refs, shards, tid, l)
 		if sigID == "" {
+			unlockShards(shards)
 			return nil
 		}
 
@@ -43,10 +50,20 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 			wake:     make(chan struct{}, 1),
 		}
 		rt.yielders[tid] = y
+		// Register the yielder in every matched shard *before* releasing
+		// the shard locks: any position release that could resolve the
+		// threat must touch one of these shards, and doing so after this
+		// critical section guarantees it sees the yielder and wakes it —
+		// no missed wake, even from matched fast releases that never take
+		// rt.mu.
+		for _, sh := range shards {
+			sh.yielders[tid] = y
+		}
+		unlockShards(shards)
 		rt.resolveAvoidanceCyclesLocked()
 
 		if y.proceed || rt.closed.Load() {
-			delete(rt.yielders, tid)
+			rt.removeYielderLocked(tid, y, shards)
 			if rt.closed.Load() {
 				rt.fireWarning(warning)
 				return ErrClosed
@@ -61,7 +78,7 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 		<-y.wake
 		rt.mu.Lock()
 
-		delete(rt.yielders, tid)
+		rt.removeYielderLocked(tid, y, shards)
 		if rt.closed.Load() {
 			return ErrClosed
 		}
@@ -72,6 +89,21 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 		// Re-evaluate from scratch: the history may have changed while we
 		// slept.
 		rt.refreshPositionsLocked()
+	}
+}
+
+// removeYielderLocked drops y from the global yielder table and from the
+// shard wake lists it was parked under. Caller holds rt.mu; shards may
+// meanwhile have been unlinked from the shard table (signature removed),
+// in which case deleting from the dead object is harmless.
+func (rt *Runtime) removeYielderLocked(tid ThreadID, y *yielder, shards []*sigShard) {
+	delete(rt.yielders, tid)
+	for _, sh := range shards {
+		sh.mu.Lock()
+		if sh.yielders[tid] == y {
+			delete(sh.yielders, tid)
+		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -94,77 +126,13 @@ func (rt *Runtime) fireWarningUnlocked(w *FalsePositiveWarning) {
 	rt.cfg.OnFalsePositive(*w)
 }
 
-// instantiationThreatLocked reports whether granting (tid, l, cs) would
-// complete an instantiation of some history signature: it returns the
-// signature's ID and the set of threads occupying the other slots. An
-// empty ID means no threat.
-func (rt *Runtime) instantiationThreatLocked(tid ThreadID, l *Lock, cs sig.Stack) (string, map[ThreadID]struct{}) {
-	refs := rt.history.MatchOuter(cs)
-	for _, r := range refs {
-		sigID := r.ID
-		assignment := rt.matchSlotsLocked(sigID, r, tid, l)
-		if assignment == nil {
-			continue
-		}
-		blockers := make(map[ThreadID]struct{}, len(assignment))
-		for t := range assignment {
-			blockers[t] = struct{}{}
-		}
-		return sigID, blockers
-	}
-	return "", nil
-}
-
-// matchSlotsLocked tries to occupy every slot of r.Sig other than r.Slot
-// with distinct current positions: distinct threads (none equal to tid)
-// holding or waiting for distinct locks (none equal to l). It returns the
-// thread→lock assignment, or nil if impossible.
-func (rt *Runtime) matchSlotsLocked(sigID string, r SlotRef, tid ThreadID, l *Lock) map[ThreadID]*Lock {
-	n := len(r.Sig.Threads)
-	slots := make([]int, 0, n-1)
-	for i := 0; i < n; i++ {
-		if i != r.Slot {
-			slots = append(slots, i)
-		}
-	}
-	usedThreads := map[ThreadID]*Lock{tid: nil}
-	usedLocks := map[*Lock]struct{}{l: {}}
-
-	var assign func(k int) bool
-	assign = func(k int) bool {
-		if k == len(slots) {
-			return true
-		}
-		key := slotKey{sigID: sigID, slot: slots[k]}
-		for t, pos := range rt.positions[key] {
-			if _, taken := usedThreads[t]; taken {
-				continue
-			}
-			if _, taken := usedLocks[pos.lock]; taken {
-				continue
-			}
-			usedThreads[t] = pos.lock
-			usedLocks[pos.lock] = struct{}{}
-			if assign(k + 1) {
-				return true
-			}
-			delete(usedThreads, t)
-			delete(usedLocks, pos.lock)
-		}
-		return false
-	}
-	if !assign(0) {
-		return nil
-	}
-	delete(usedThreads, tid)
-	return usedThreads
-}
-
 // wakeYieldersLocked prompts every suspended yielder to re-evaluate its
-// threat; called whenever positions shrink (release, denied waiter).
+// threat; called whenever positions shrink under rt.mu (release, denied
+// waiter) and after a history refresh. Matched fast releases wake the
+// affected shards' yielders directly instead (shard.go).
 func (rt *Runtime) wakeYieldersLocked() {
 	for _, y := range rt.yielders {
-		wakeLocked(y)
+		wakeYielder(y)
 	}
 }
 
@@ -179,7 +147,7 @@ func (rt *Runtime) resolveAvoidanceCyclesLocked() {
 			return
 		}
 		y.proceed = true
-		wakeLocked(y)
+		wakeYielder(y)
 	}
 }
 

@@ -8,14 +8,17 @@ import (
 	"communix/internal/sig"
 )
 
-// benchModes pairs the lock-free fast path with the global-mutex
-// reference for side-by-side sub-benchmarks.
+// benchModes runs the sub-benchmarks across the three runtime modes:
+// the full sharded fast path, the "global" reference (fast path on,
+// matched acquisitions funneled through rt.mu — the pre-shard
+// behavior), and the all-slow global-mutex reference.
 var benchModes = []struct {
-	name     string
-	disabled bool
+	name   string
+	mutate func(*Config)
 }{
-	{"fastpath", false},
-	{"reference", true},
+	{"fastpath", func(*Config) {}},
+	{"global", func(c *Config) { c.ShardedAvoidanceDisabled = true }},
+	{"reference", func(c *Config) { c.FastPathDisabled = true }},
 }
 
 // BenchmarkAcquireReleaseUncontended measures the lock manager's base
@@ -36,7 +39,9 @@ func BenchmarkAcquireReleaseUncontended(b *testing.B) {
 					pad.Normalize()
 					history.Add(pad)
 				}
-				rt := NewRuntime(Config{History: history, FastPathDisabled: mode.disabled})
+				cfg := Config{History: history}
+				mode.mutate(&cfg)
+				rt := NewRuntime(cfg)
 				defer rt.Close()
 				l := rt.NewLock("l")
 				cs := mkStack("T", "s", 10)
@@ -65,7 +70,9 @@ func BenchmarkAcquireReleaseParallel(b *testing.B) {
 			ps := newPairStacks()
 			history := NewHistory()
 			history.Add(ps.signature())
-			rt := NewRuntime(Config{History: history, FastPathDisabled: mode.disabled})
+			cfg := Config{History: history}
+			mode.mutate(&cfg)
+			rt := NewRuntime(cfg)
 			defer rt.Close()
 			var nextTID atomic.Uint64
 			b.ReportAllocs()
@@ -74,6 +81,67 @@ func BenchmarkAcquireReleaseParallel(b *testing.B) {
 				tid := ThreadID(nextTID.Add(1))
 				l := rt.NewLock("l")
 				cs := mkStack(fmt.Sprintf("W%d", tid), "s", 10)
+				for pb.Next() {
+					if err := rt.Acquire(tid, l, cs); err != nil {
+						b.Fatal(err)
+					}
+					if err := rt.Release(tid, l); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAcquireReleaseMatchedParallel is the matched-path headline:
+// every acquisition matches a history signature (registering a position
+// and evaluating the instantiation threat) but never yields, from
+// GOMAXPROCS goroutines each with a private lock and a private hot
+// signature — the workload the per-signature shards exist for.
+func BenchmarkAcquireReleaseMatchedParallel(b *testing.B) {
+	// Distinct lock sites per signature (top frames differ), like real
+	// applications: the avoidance index then yields exactly one candidate
+	// per matched acquisition.
+	mkHot := func(i int) (*sig.Signature, sig.Stack) {
+		outer := mkStack(fmt.Sprintf("Hot%d", i), fmt.Sprintf("lock%d", i), 6)
+		s := sig.New(
+			sig.ThreadSpec{Outer: outer, Inner: mkStack(fmt.Sprintf("Hot%d", i), fmt.Sprintf("inner%d", i), 6)},
+			sig.ThreadSpec{Outer: mkStack(fmt.Sprintf("Other%d", i), fmt.Sprintf("olock%d", i), 6), Inner: mkStack(fmt.Sprintf("Other%d", i), fmt.Sprintf("oinner%d", i), 6)},
+		)
+		s.Origin = sig.OriginRemote
+		return s, outer
+	}
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			history := NewHistory()
+			const hotSigs = 64
+			outers := make([]sig.Stack, hotSigs)
+			for i := 0; i < hotSigs; i++ {
+				s, outer := mkHot(i)
+				history.Add(s)
+				outers[i] = outer
+			}
+			cfg := Config{History: history}
+			mode.mutate(&cfg)
+			rt := NewRuntime(cfg)
+			defer rt.Close()
+			// Warm up: the first matched acquisition after a history
+			// change refreshes the position table on the slow path.
+			warm := rt.NewLock("warm")
+			if err := rt.Acquire(1, warm, outers[0]); err != nil {
+				b.Fatal(err)
+			}
+			if err := rt.Release(1, warm); err != nil {
+				b.Fatal(err)
+			}
+			var nextTID atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				tid := ThreadID(nextTID.Add(1))
+				l := rt.NewLock("l")
+				cs := outers[int(tid)%hotSigs]
 				for pb.Next() {
 					if err := rt.Acquire(tid, l, cs); err != nil {
 						b.Fatal(err)

@@ -42,7 +42,22 @@ type diffRig struct {
 	held      map[ThreadID][]int // test-side model of granted holds
 }
 
+// newDiffRig builds the default rig: the full sharded fast path against
+// the all-slow global-mutex reference (FastPathDisabled).
 func newDiffRig(t *testing.T, nLocks int, mutate func(*Config)) *diffRig {
+	return newDiffRigRef(t, nLocks, mutate, func(c *Config) { c.FastPathDisabled = true })
+}
+
+// newDiffRigGlobal builds the sharded-vs-global rig: the full sharded
+// fast path against the pre-shard runtime (fast path on, matched
+// acquisitions through rt.mu — ShardedAvoidanceDisabled), so every
+// grant/yield/denial of the sharded matched path is checked against the
+// global-mutex matched path specifically.
+func newDiffRigGlobal(t *testing.T, nLocks int, mutate func(*Config)) *diffRig {
+	return newDiffRigRef(t, nLocks, mutate, func(c *Config) { c.ShardedAvoidanceDisabled = true })
+}
+
+func newDiffRigRef(t *testing.T, nLocks int, mutate func(*Config), refMutate func(*Config)) *diffRig {
 	t.Helper()
 	r := &diffRig{
 		t:        t,
@@ -52,14 +67,12 @@ func newDiffRig(t *testing.T, nLocks int, mutate func(*Config)) *diffRig {
 		held:     make(map[ThreadID][]int),
 	}
 	fastCfg := Config{History: r.fastHist, Policy: RecoverBreak}
-	refCfg := Config{History: r.refHist, Policy: RecoverBreak, FastPathDisabled: true}
 	if mutate != nil {
 		mutate(&fastCfg)
-		refCfg2 := fastCfg
-		refCfg2.History = r.refHist
-		refCfg2.FastPathDisabled = true
-		refCfg = refCfg2
 	}
+	refCfg := fastCfg
+	refCfg.History = r.refHist
+	refMutate(&refCfg)
 	r.fast = NewRuntime(fastCfg)
 	r.ref = NewRuntime(refCfg)
 	for i := 0; i < nLocks; i++ {
@@ -106,7 +119,7 @@ func parked(rt *Runtime, tid ThreadID) bool {
 		return !ts.wait.notified
 	}
 	if y, ok := rt.yielders[tid]; ok {
-		return !y.proceed && !y.woken
+		return !y.proceed && !y.woken.Load()
 	}
 	return false
 }
@@ -434,24 +447,38 @@ func (c *byteChooser) intn(n int) int {
 }
 
 // runDifferentialScript generates a legal operation sequence from the
-// chooser and replays it through the lockstep rig. "Legal" keeps the
-// script resolvable: at most one thread parked at a time, and while one
-// is parked the next operations work toward unparking it (releasing a
-// blocker's hold), possibly via a cycle-closing acquisition that
-// detection denies.
-func runDifferentialScript(t *testing.T, ch chooser, ops int, detectionDisabled bool) {
+// chooser and replays it through the lockstep rig built by rigFn.
+// "Legal" keeps the script resolvable: at most one thread parked at a
+// time, and while one is parked the next operations work toward
+// unparking it (releasing a blocker's hold), possibly via a
+// cycle-closing acquisition that detection denies.
+func runDifferentialScript(t *testing.T, ch chooser, ops int, detectionDisabled bool,
+	rigFn func(*testing.T, int, func(*Config)) *diffRig) {
 	const (
 		nLocks   = 4
 		nThreads = 4
 	)
-	r := newDiffRig(t, nLocks, func(c *Config) {
+	r := rigFn(t, nLocks, func(c *Config) {
 		c.DetectionDisabled = detectionDisabled
 	})
 	ps := newPairStacks()
 	r.install(ps.signature())
+	// A second signature whose slot-0 outer is a suffix of outerA: the
+	// outerA and Deep stacks then match *two* signatures, exercising the
+	// sorted multi-shard lock order on every such acquisition.
+	suffixSig := func() *sig.Signature {
+		s := sig.New(
+			sig.ThreadSpec{Outer: ps.outerA.Suffix(3).Clone(), Inner: mkStack("Sfx", "si", 5)},
+			sig.ThreadSpec{Outer: mkStack("Sfx", "so", 5), Inner: mkStack("Sfx", "soi", 5)},
+		)
+		s.Origin = sig.OriginLocal
+		return s
+	}()
+	r.install(suffixSig)
 
 	// Stack pool: plain stacks (never match), the installed signature's
-	// outer stacks, and suffix-extended variants of those (also match).
+	// outer stacks, and suffix-extended variants of those (also match —
+	// outerA-derived ones against both signatures).
 	stacks := []sig.Stack{
 		mkStack("P0", "p0", 5),
 		mkStack("P1", "p1", 6),
@@ -622,24 +649,47 @@ func TestDifferentialFuzzedInterleavings(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runDifferentialScript(t, randChooser{rand.New(rand.NewSource(seed))}, 120, false)
+			runDifferentialScript(t, randChooser{rand.New(rand.NewSource(seed))}, 120, false, newDiffRig)
 		})
 	}
 	t.Run("detection-disabled", func(t *testing.T) {
-		runDifferentialScript(t, randChooser{rand.New(rand.NewSource(42))}, 120, true)
+		runDifferentialScript(t, randChooser{rand.New(rand.NewSource(42))}, 120, true, newDiffRig)
+	})
+}
+
+// TestDifferentialShardedVsGlobal replays the fuzzed scripts with the
+// pre-shard runtime (matched acquisitions through rt.mu) as the
+// reference, so the sharded matched path's every grant/yield/denial is
+// compared against the global-mutex matched path specifically.
+func TestDifferentialShardedVsGlobal(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDifferentialScript(t, randChooser{rand.New(rand.NewSource(seed))}, 120, false, newDiffRigGlobal)
+		})
+	}
+	t.Run("detection-disabled", func(t *testing.T) {
+		runDifferentialScript(t, randChooser{rand.New(rand.NewSource(43))}, 120, true, newDiffRigGlobal)
 	})
 }
 
 // FuzzDifferentialInterleavings lets the fuzzer drive the op selection
 // directly; any decision divergence between the fast-path and reference
-// runtimes fails the run.
+// runtimes fails the run. Even input lengths compare sharded vs the
+// all-slow reference, odd lengths sharded vs the global-mutex matched
+// path.
 func FuzzDifferentialInterleavings(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add([]byte{0, 0, 0, 9, 9, 9, 8, 8, 6, 6, 1, 3, 5, 7})
+	f.Add([]byte{4, 4, 4, 4, 8, 9, 2, 2, 6, 1, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			t.Skip()
 		}
-		runDifferentialScript(t, &byteChooser{data: data}, 60, false)
+		rigFn := newDiffRig
+		if len(data)%2 == 1 {
+			rigFn = newDiffRigGlobal
+		}
+		runDifferentialScript(t, &byteChooser{data: data}, 60, false, rigFn)
 	})
 }

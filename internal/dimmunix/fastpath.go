@@ -16,6 +16,11 @@ import (
 // lock, touching neither rt.mu nor the history lock, and allocate
 // nothing.
 //
+// An acquisition whose stack DOES match signatures takes the matched
+// fast path (shard.go): the same claim, then threat evaluation and
+// position registration under only the matched signatures' shard
+// locks — rt.mu stays untouched unless a live threat forces a yield.
+//
 // Each Lock carries one atomic word, l.fast:
 //
 //	0                       — free and fast-eligible
@@ -24,23 +29,32 @@ import (
 //	tid | recursion<<48     — fast-held
 //	slow bit                — managed by the slow path under rt.mu
 //
-// The hold's outer stack lives in the plain field l.fastOuter, ordered
-// by the word protocol: the owner writes it between the claiming CAS
+// The hold's outer stack lives in the plain field l.fastOuter (and, for
+// a matched hold, its shard slot keys in l.fastSlots), ordered by the
+// word protocol: the owner writes them between the claiming CAS
 // (0 → tid|pending) and the publishing store (→ tid); any reader first
 // observes a published word through a successful CAS on l.fast, which
-// happens-after the publish and therefore after the write. The field is
+// happens-after the publish and therefore after the write. fastOuter is
 // left stale on release — it is only ever read after revoking a
-// published hold.
+// published hold — while fastSlots is cleared (length zero) by the
+// release itself, before the word goes free.
 //
 // Transitions:
 //
 //   - fast acquire:  CAS 0 → tid|pending, write outer, store tid — after
-//     checking that the lock is registered for the refresh sweep and
-//     that the avoidance index misses the stack; both facts are
-//     re-validated while the word is still pending, and the claim is
-//     aborted (store 0, slow path) if either changed underneath
-//     (see fastAcquire).
-//   - fast release:  CAS tid → 0 (or recursion decrement), owner only.
+//     checking that the lock is registered for the refresh sweep; that
+//     fact is re-validated while the word is still pending, and the
+//     claim is aborted (store 0, slow path) if it changed underneath
+//     (see fastAcquire). An unmatched claim also re-validates that the
+//     index still misses the stack; a matched claim additionally takes
+//     its signatures' shard locks, re-validates the index pointer and
+//     the runtime's refreshed version, evaluates the instantiation
+//     threat, and registers its positions before publishing
+//     (matchedFastAcquire).
+//   - fast release:  CAS tid → 0 (or recursion decrement), owner only;
+//     a matched hold first unregisters its shard positions and wakes
+//     the affected shards' yielders (unregisterFastHold), still while
+//     owning the word.
 //   - revocation:    CAS published word → slow bit, only under rt.mu
 //     (revokeLocked); an interrupted fast release retries, observes the
 //     slow bit, and falls through to the slow path.
@@ -52,14 +66,17 @@ import (
 // invariants are exactly the pre-fast-path ones: while a lock is
 // slow-managed, all of its state is guarded by rt.mu.
 //
-// Soundness invariant: a fast-held lock's outer stack matched no
-// signature in the index current at its claim, the lock was registered
-// for the sweep at publication, and refreshPositionsLocked (which runs
-// under rt.mu before any avoidance decision once the history version
-// changes) imports every live fast hold. An acquisition racing a
-// signature install retreats to the slow path rather than keep a grant
-// the new index might have suspended. Hence every avoidance evaluation
-// sees a complete position table.
+// Soundness invariant: a fast-held lock's outer stack either matched no
+// signature in the index current at its claim, or its positions were
+// registered (under the matched signatures' shard locks) against that
+// same index with the position table verifiably up to date
+// (rt.histVer); the lock was registered for the sweep at publication,
+// and refreshPositionsLocked (which runs under rt.mu before any
+// avoidance decision once the history version changes) imports every
+// live fast hold. An acquisition racing a signature install retreats to
+// the slow path rather than keep a grant the new index might have
+// suspended. Hence every avoidance evaluation sees a complete position
+// table.
 
 const (
 	// fastSlowBit marks a slow-path-managed lock.
@@ -129,8 +146,36 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 			return false
 		}
 		idx := rt.history.Index()
-		if idx.Matches(cs) {
-			// The stack occupies a signature slot: avoidance must see it.
+		// Match the stack against the index without allocating in the
+		// common cases: Candidates shares the index's own ref slice, and
+		// a stack matching every candidate (almost always exactly one)
+		// borrows it outright.
+		var refs []SlotRef
+		if cand := idx.Candidates(cs); len(cand) != 0 {
+			n := 0
+			for i := range cand {
+				if cs.HasSuffix(cand[i].Sig.Threads[cand[i].Slot].Outer) {
+					n++
+				}
+			}
+			switch {
+			case n == 0:
+				// Top site collision only: unmatched.
+			case n == len(cand):
+				refs = cand
+			default:
+				refs = make([]SlotRef, 0, n)
+				for i := range cand {
+					if cs.HasSuffix(cand[i].Sig.Threads[cand[i].Slot].Outer) {
+						refs = append(refs, cand[i])
+					}
+				}
+			}
+		}
+		if len(refs) != 0 && (rt.cfg.AvoidanceDisabled || rt.cfg.ShardedAvoidanceDisabled) {
+			// Matched, with the sharded matched path switched off: the
+			// stack occupies a signature slot and the global-mutex path
+			// must see it.
 			return false
 		}
 		if !l.fast.CompareAndSwap(0, uint64(tid)|fastPendingBit) {
@@ -148,6 +193,18 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 		if !l.registered.Load() {
 			l.fast.Store(0)
 			return false
+		}
+		if len(refs) != 0 {
+			// Matched: evaluate the threat and register positions under
+			// only the matched signatures' shard locks (shard.go). Failure
+			// — a live threat, or the index moved — aborts the claim and
+			// retreats to the slow path, which re-evaluates under rt.mu
+			// and yields if the threat persists.
+			if !rt.matchedFastAcquire(tid, l, cs, idx, refs) {
+				l.fast.Store(0)
+				return false
+			}
+			return true
 		}
 		// Index: a signature matching cs may have been installed since
 		// the check above, and the refresh sweep may already have run
@@ -170,6 +227,7 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 			return false
 		}
 		l.fastOuter = cs
+		l.fastSlots = l.fastSlots[:0] // unmatched holds occupy no slots
 		l.fast.Store(uint64(tid))
 		rt.stats.acquisitions.Add(1)
 		return true
@@ -194,9 +252,19 @@ func (rt *Runtime) fastRelease(tid ThreadID, l *Lock) bool {
 			}
 			continue
 		}
+		if len(l.fastSlots) != 0 {
+			// A matched hold: drop its signature positions and wake the
+			// affected shards' yielders *before* freeing the word, so no
+			// later acquisition can observe the lock free while the
+			// positions still (or again) name this thread. Idempotent: it
+			// clears l.fastSlots, so a retry after a mid-release
+			// revocation skips it, and the revocation's import + the slow
+			// path's release keep the books consistent either way.
+			rt.unregisterFastHold(tid, l)
+		}
 		if l.fast.CompareAndSwap(w, 0) {
-			// No waiters to promote and no yielders to wake: both require
-			// the lock to be slow-managed first.
+			// No waiters to promote and no rt.mu-side yielders to wake:
+			// both require the lock to be slow-managed first.
 			return true
 		}
 		// Revoked between load and CAS; next iteration sees the slow bit.
@@ -207,8 +275,12 @@ func (rt *Runtime) fastRelease(tid ThreadID, l *Lock) bool {
 // runtime's bookkeeping (thread table, held list, signature positions).
 // Caller holds rt.mu. Idempotent and cheap when already slow.
 //
-// The CAS loop terminates: a pending publication clears within a few
-// owner instructions (the owner never blocks in between), and any other
+// The CAS loop terminates: an unmatched pending publication clears
+// within a few owner instructions, and a matched one within a bounded
+// shard critical section (threat evaluation and registration under
+// mutexes whose holders never block — see shard.go's hierarchy), so the
+// spin is bounded even though a matched claim can hold the pending bit
+// for longer than the original two-instruction window; any other
 // interference means the fast owner made progress.
 func (rt *Runtime) revokeLocked(l *Lock) {
 	for {
@@ -234,7 +306,13 @@ func (rt *Runtime) revokeLocked(l *Lock) {
 		tid := fastWordTid(w)
 		ts := rt.thread(tid)
 		h := &heldLock{lock: l, outer: l.fastOuter}
-		h.slots = rt.registerPositionsLocked(tid, l, h.outer)
+		// Re-derive the hold's slots from the current index rather than
+		// trusting l.fastSlots: a matched hold's claim-time registrations
+		// are either still in place (same index — these puts overwrite
+		// them in place) or were cleared by a refresh (this re-registers
+		// under the new index). Either way the shard state ends exactly
+		// as if the hold had been slow-granted now.
+		h.slots = rt.registerPositions(tid, l, h.outer)
 		ts.held = append(ts.held, h)
 		l.owner = tid
 		l.ownerHold = h

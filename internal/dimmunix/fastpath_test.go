@@ -114,34 +114,65 @@ func TestFastPathRevokeImportsHold(t *testing.T) {
 	}
 }
 
-// TestFastPathMatchedStackTakesSlowPath: a stack matching a history
-// signature must register its position, so it cannot stay lock-free.
-func TestFastPathMatchedStackTakesSlowPath(t *testing.T) {
+// TestFastPathMatchedStackRegistersPositions: a stack matching a history
+// signature must register its position — on the sharded matched fast
+// path it does so while keeping the lock in fast mode, and the position
+// is dropped again on release.
+func TestFastPathMatchedStackRegistersPositions(t *testing.T) {
 	ps := newPairStacks()
 	h := NewHistory()
 	h.Add(ps.signature())
 	rt := NewRuntime(Config{History: h})
 	defer rt.Close()
 	l := rt.NewLock("l")
+	// Warm up: the first matched acquisition after a history change runs
+	// the slow path once to refresh the position table.
 	if err := rt.Acquire(1, l, ps.outerA); err != nil {
 		t.Fatal(err)
-	}
-	rt.mu.Lock()
-	registered := len(rt.positions) > 0
-	rt.mu.Unlock()
-	if !registered {
-		t.Error("matched acquisition registered no signature positions")
-	}
-	if _, _, _, slow := l.fastSnapshot(); !slow {
-		t.Error("matched acquisition left lock in fast mode")
 	}
 	if err := rt.Release(1, l); err != nil {
 		t.Fatal(err)
 	}
-	rt.mu.Lock()
-	registered = len(rt.positions) > 0
-	rt.mu.Unlock()
-	if registered {
+	if err := rt.Acquire(1, l, ps.outerA); err != nil {
+		t.Fatal(err)
+	}
+	if rt.positionCount() == 0 {
+		t.Error("matched acquisition registered no signature positions")
+	}
+	if tid, _, _, slow := l.fastSnapshot(); slow || tid != 1 {
+		t.Error("matched threat-free acquisition should stay on the fast path")
+	}
+	if err := rt.Release(1, l); err != nil {
+		t.Fatal(err)
+	}
+	if rt.positionCount() != 0 {
+		t.Error("positions leaked after release")
+	}
+}
+
+// TestMatchedStackTakesSlowPathWhenShardingDisabled pins the "global"
+// reference mode: with ShardedAvoidanceDisabled a matched acquisition
+// funnels through rt.mu, exactly the pre-shard behavior.
+func TestMatchedStackTakesSlowPathWhenShardingDisabled(t *testing.T) {
+	ps := newPairStacks()
+	h := NewHistory()
+	h.Add(ps.signature())
+	rt := NewRuntime(Config{History: h, ShardedAvoidanceDisabled: true})
+	defer rt.Close()
+	l := rt.NewLock("l")
+	if err := rt.Acquire(1, l, ps.outerA); err != nil {
+		t.Fatal(err)
+	}
+	if rt.positionCount() == 0 {
+		t.Error("matched acquisition registered no signature positions")
+	}
+	if _, _, _, slow := l.fastSnapshot(); !slow {
+		t.Error("matched acquisition left lock in fast mode despite sharding disabled")
+	}
+	if err := rt.Release(1, l); err != nil {
+		t.Fatal(err)
+	}
+	if rt.positionCount() != 0 {
 		t.Error("positions leaked after release")
 	}
 }

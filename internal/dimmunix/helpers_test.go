@@ -20,6 +20,37 @@ func mkStack(chain, site string, depth int) sig.Stack {
 	return s
 }
 
+// positionCount sums the registered positions across every signature
+// shard — the whitebox view tests use to assert registration and leak
+// freedom.
+func (rt *Runtime) positionCount() int {
+	n := 0
+	rt.shards.Range(func(_, value any) bool {
+		sh := value.(*sigShard)
+		sh.mu.Lock()
+		for _, m := range sh.slots {
+			n += len(m)
+		}
+		sh.mu.Unlock()
+		return true
+	})
+	return n
+}
+
+// shardCount reports the shard table's size.
+func (rt *Runtime) shardCount() int {
+	n := 0
+	rt.shards.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// registrySize reports the lock registry's current length.
+func (rt *Runtime) registrySize() int {
+	rt.locksMu.Lock()
+	defer rt.locksMu.Unlock()
+	return len(rt.locks)
+}
+
 // waitErr receives from ch with a timeout, failing the test otherwise.
 func waitErr(t *testing.T, ch <-chan error, what string) error {
 	t.Helper()

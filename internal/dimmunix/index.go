@@ -31,6 +31,17 @@ func topKeyOf(f sig.Frame) topKey {
 type AvoidIndex struct {
 	version uint64
 	byTop   map[topKey][]SlotRef
+	// maxOuterDepth is the deepest outer stack across all slots. The
+	// adaptive capture uses it as its shallow-depth floor: a capture at
+	// least this deep can never lose a suffix match against this index
+	// to truncation.
+	maxOuterDepth int
+	// live is the set of signature instances the index reflects (the
+	// history keeps one stable normalized instance per signature, so
+	// instance identity is signature identity); the runtime's
+	// position-shard table — keyed by instance — prunes shards of
+	// removed signatures against it.
+	live map[*sig.Signature]struct{}
 	// filter is a 4096-bit presence filter over the indexed top sites,
 	// keyed by a hash that touches no string bytes (length, boundary
 	// characters, line). The common fast-path miss answers from one
@@ -62,24 +73,80 @@ func buildIndex(version uint64, sigs map[string]*sig.Signature) *AvoidIndex {
 	if len(sigs) == 0 {
 		return &AvoidIndex{version: version}
 	}
-	ix := &AvoidIndex{version: version, byTop: make(map[topKey][]SlotRef)}
+	ix := &AvoidIndex{
+		version: version,
+		byTop:   make(map[topKey][]SlotRef),
+		live:    make(map[*sig.Signature]struct{}, len(sigs)),
+	}
 	for id, s := range sigs {
+		ix.live[s] = struct{}{}
 		for slot, t := range s.Threads {
 			top := t.Outer.Top()
 			key := topKeyOf(top)
 			ix.byTop[key] = append(ix.byTop[key], SlotRef{Sig: s, Slot: slot, ID: id})
 			h := frameFilterKey(&top)
 			ix.filter[(h>>6)&63] |= 1 << (h & 63)
+			if d := t.Outer.Depth(); d > ix.maxOuterDepth {
+				ix.maxOuterDepth = d
+			}
 		}
 	}
 	return ix
 }
+
+// MinSafeCaptureDepth returns the shallow-capture floor for this index
+// (stacktrace.TopSiteFilter): a capture at least this deep loses no
+// suffix match against any indexed outer stack to truncation.
+func (ix *AvoidIndex) MinSafeCaptureDepth() int { return ix.maxOuterDepth }
 
 // Version identifies the history mutation this index reflects.
 func (ix *AvoidIndex) Version() uint64 { return ix.version }
 
 // Len returns the number of distinct outer top sites indexed.
 func (ix *AvoidIndex) Len() int { return len(ix.byTop) }
+
+// HasSigInstance reports whether the index reflects this exact
+// signature instance (the history's normalized clone).
+func (ix *AvoidIndex) HasSigInstance(s *sig.Signature) bool {
+	_, ok := ix.live[s]
+	return ok
+}
+
+// MatchesTopSite reports whether some signature slot's outer stack ends
+// at the given site — i.e. whether a stack topped by f could possibly
+// match a signature. It is the adaptive capture's "deepen?" probe
+// (stacktrace.TopSiteFilter): cheaper than Matches (no suffix walk) and
+// exact on the top site, so a miss guarantees a shallow capture is as
+// good as a full one for avoidance purposes. Allocates nothing.
+func (ix *AvoidIndex) MatchesTopSite(f *sig.Frame) bool {
+	if len(ix.byTop) == 0 {
+		return false
+	}
+	h := frameFilterKey(f)
+	if ix.filter[(h>>6)&63]&(1<<(h&63)) == 0 {
+		return false
+	}
+	_, ok := ix.byTop[topKey{class: f.Class, method: f.Method, line: f.Line}]
+	return ok
+}
+
+// Candidates returns the index's slot refs whose outer stacks end at
+// cs's top site — a superset of Match(cs) that shares the index's own
+// backing slice, so the matched acquisition path can iterate candidates
+// without allocating. Callers must still confirm each candidate with
+// cs.HasSuffix(r.Sig.Threads[r.Slot].Outer) and must not mutate the
+// returned slice.
+func (ix *AvoidIndex) Candidates(cs sig.Stack) []SlotRef {
+	if len(cs) == 0 || len(ix.byTop) == 0 {
+		return nil
+	}
+	top := &cs[len(cs)-1]
+	h := frameFilterKey(top)
+	if ix.filter[(h>>6)&63]&(1<<(h&63)) == 0 {
+		return nil
+	}
+	return ix.byTop[topKey{class: top.Class, method: top.Method, line: top.Line}]
+}
 
 // Matches reports whether cs is a suffix-match for any signature slot's
 // outer stack. It is the fast path's eligibility test and allocates

@@ -26,11 +26,30 @@ func (rt *Runtime) NewMutex(name string) *Mutex {
 // Lock acquires the mutex, capturing the caller's goroutine id and call
 // stack. It returns ErrDeadlock when this acquisition closed a detected
 // deadlock cycle under RecoverBreak, or ErrClosed after runtime shutdown.
-// Stack capture goes through the runtime's memoization cache: repeated
-// acquisitions from the same call path skip frame symbolization.
+// Stack capture goes through the runtime's memoization cache and is
+// adaptive: a shallow prefix (Config.ShallowCaptureDepth frames) is
+// captured first, and only when the avoidance index knows the top site —
+// a potential signature match — is the stack deepened to the full
+// Config.StackDepth. Repeated call paths skip frame symbolization either
+// way.
 func (m *Mutex) Lock() error {
 	tid := ThreadID(stacktrace.GoroutineID())
-	cs := m.rt.capture.Capture(1, m.rt.stackDepth())
+	var cs sig.Stack
+	if m.rt.cfg.ShallowCaptureDepth < 0 {
+		cs = m.rt.capture.Capture(1, m.rt.stackDepth())
+	} else {
+		idx := m.rt.history.Index()
+		cs = m.rt.capture.CaptureAdaptive(1, idx, m.rt.cfg.ShallowCaptureDepth, m.rt.stackDepth())
+		// The shallow-depth decision is only trustworthy against the
+		// capture-time index (CaptureAdaptive floors the depth at its
+		// deepest matcher). If a newer index was published meanwhile — a
+		// concurrent install could carry a deeper matcher a truncated
+		// stack cannot suffix-match — recapture at full depth; the
+		// acquisition path re-validates against the same pointer.
+		if m.rt.history.idx.Load() != idx {
+			cs = m.rt.capture.Capture(1, m.rt.stackDepth())
+		}
+	}
 	return m.rt.Acquire(tid, m.lock, cs)
 }
 

@@ -102,6 +102,20 @@ type Config struct {
 	// slow path — the pre-fast-path reference semantics. Differential
 	// tests and the `-experiment runtime` benchmark compare both modes.
 	FastPathDisabled bool
+	// ShardedAvoidanceDisabled forces every acquisition whose stack
+	// matches the avoidance index through the global-mutex slow path, as
+	// before the per-signature position shards — the matched-path
+	// reference ("global" mode) the differential tests and `-experiment
+	// runtime` compare the sharded matched path against. Unmatched
+	// acquisitions keep the lock-free fast path.
+	ShardedAvoidanceDisabled bool
+	// ShallowCaptureDepth sets the first-phase frame count of the
+	// adaptive native stack capture (Mutex.Lock): the stack is captured
+	// this deep first, and deepened to StackDepth only when the
+	// avoidance index knows the shallow stack's top site (a potential
+	// match). 0 means stacktrace.DefaultShallowDepth; negative disables
+	// adaptive capture (every Lock captures StackDepth frames).
+	ShallowCaptureDepth int
 }
 
 // Runtime is one Dimmunix instance: a lock manager whose scheduling
@@ -116,9 +130,25 @@ type Runtime struct {
 	mu         sync.Mutex
 	threads    map[ThreadID]*threadState
 	yielders   map[ThreadID]*yielder
-	positions  map[slotKey]map[ThreadID]*position
-	histVer    uint64
 	nextLockID atomic.Uint64
+
+	// histVer is the history version the position table fully reflects.
+	// Written only at the *end* of refreshPositionsLocked (under rt.mu);
+	// read lock-free by the matched fast path, which may only trust the
+	// shards when histVer equals its claim-time index version — anything
+	// else means a refresh is pending or mid-flight and the slow path
+	// must run it first.
+	histVer atomic.Uint64
+
+	// shards is the per-signature position table (see shard.go): one
+	// sigShard per live signature instance (the history's stable
+	// normalized clone — instance identity is signature identity),
+	// created on demand, pruned of removed signatures by
+	// refreshPositionsLocked. A sync.Map keyed by *sig.Signature: the
+	// matched fast path resolves its shard with one lock-free
+	// pointer-keyed load. Each shard's state is guarded by its own
+	// mutex, taken after rt.mu on the slow path.
+	shards sync.Map // *sig.Signature → *sigShard
 
 	// closed is written under rt.mu (Close) but read lock-free by the
 	// acquisition fast path.
@@ -163,16 +193,13 @@ type counters struct {
 	avoidanceBreak atomic.Uint64
 }
 
-// slotKey keys the position index by signature identity and thread slot.
+// slotKey names one signature slot a hold or wait occupies, carrying
+// the owning shard directly so unregistration needs no table probe. A
+// key can outlive its shard's table membership (signature removed); the
+// dead shard object stays valid and empty, so late drops are no-ops.
 type slotKey struct {
-	sigID string
+	shard *sigShard
 	slot  int
-}
-
-// position records that a thread currently holds, or waits for, a lock
-// with a call stack matching one signature slot's outer stack.
-type position struct {
-	lock *Lock
 }
 
 // threadState tracks one thread's held locks and blocking state.
@@ -212,7 +239,10 @@ func notifyLocked(w *waiter, err error) bool {
 	return true
 }
 
-// yielder is a thread suspended by the avoidance module.
+// yielder is a thread suspended by the avoidance module. It is
+// registered both in rt.yielders (cycle resolution, global wakes,
+// Close) and in the shard of every signature its stack matches (so a
+// matched fast release can wake it without rt.mu).
 type yielder struct {
 	thread ThreadID
 	// blockers are the threads occupying the other slots of the
@@ -220,16 +250,20 @@ type yielder struct {
 	blockers map[ThreadID]struct{}
 	wake     chan struct{} // buffered(1)
 	// proceed forces the thread past avoidance (avoidance-cycle breaker).
+	// Written and read under rt.mu only.
 	proceed bool
-	// woken records that a wake was delivered (set under rt.mu by every
-	// waker): the yielder is re-evaluating, not durably parked. A thread
-	// that yields again does so under a fresh yielder value.
-	woken bool
+	// woken records that a wake was delivered: the yielder is
+	// re-evaluating, not durably parked. Atomic because wakers run under
+	// rt.mu or under a shard lock while readers (test instrumentation)
+	// hold rt.mu only. A thread that yields again does so under a fresh
+	// yielder value.
+	woken atomic.Bool
 }
 
-// wakeLocked delivers a wake to y exactly once; callers hold rt.mu.
-func wakeLocked(y *yielder) {
-	y.woken = true
+// wakeYielder delivers a wake to y exactly once per park. Callers hold
+// rt.mu or the shard lock y is registered under.
+func wakeYielder(y *yielder) {
+	y.woken.Store(true)
 	select {
 	case y.wake <- struct{}{}:
 	default:
@@ -243,12 +277,18 @@ type Lock struct {
 	id   LockID
 	name string
 
-	// fast is the lock-free fast-path word and fastOuter the published
-	// hold's outer stack; see fastpath.go for the protocol. The remaining
-	// fields are slow-path state, guarded by rt.mu and meaningful only
-	// while fast carries the slow bit.
+	// fast is the lock-free fast-path word, fastOuter the published
+	// hold's outer stack, and fastSlots the signature slots a published
+	// *matched* hold occupies (empty for unmatched holds); see
+	// fastpath.go for the protocol. Both plain fields are written by the
+	// word owner between the claiming CAS and the publishing store (or,
+	// for fastSlots, cleared before the releasing CAS), so the word
+	// protocol orders every access. The remaining fields are slow-path
+	// state, guarded by rt.mu and meaningful only while fast carries the
+	// slow bit.
 	fast      atomic.Uint64
 	fastOuter sig.Stack
+	fastSlots []slotKey
 	// registered tracks membership in the runtime's lock registry (the
 	// history-refresh sweep's work list); cleared when the registry
 	// prunes a free lock, re-set by the lock's next acquisition.
@@ -275,13 +315,12 @@ func NewRuntime(cfg Config) *Runtime {
 		cfg.Registry = stacktrace.NewRegistry()
 	}
 	rt := &Runtime{
-		cfg:       cfg,
-		history:   cfg.History,
-		reg:       cfg.Registry,
-		capture:   stacktrace.NewCache(cfg.Registry),
-		threads:   make(map[ThreadID]*threadState),
-		yielders:  make(map[ThreadID]*yielder),
-		positions: make(map[slotKey]map[ThreadID]*position),
+		cfg:      cfg,
+		history:  cfg.History,
+		reg:      cfg.Registry,
+		capture:  stacktrace.NewCache(cfg.Registry),
+		threads:  make(map[ThreadID]*threadState),
+		yielders: make(map[ThreadID]*yielder),
 	}
 	rt.fp = newFPDetector(cfg.Clock, cfg.OnFalsePositive)
 	return rt
@@ -374,7 +413,7 @@ func (rt *Runtime) Close() {
 		}
 	}
 	for _, y := range rt.yielders {
-		wakeLocked(y)
+		wakeYielder(y)
 	}
 	rt.mu.Unlock()
 }
@@ -464,7 +503,7 @@ func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack) error {
 	// Queue as a waiter; matching slots register immediately ("hold or
 	// are block waiting", §II-A).
 	w := &waiter{thread: tid, lock: l, stack: cs, grant: make(chan error, 1)}
-	w.slots = rt.registerPositionsLocked(tid, l, cs)
+	w.slots = rt.registerPositions(tid, l, cs)
 	l.queue = append(l.queue, w)
 	ts.wait = w
 	rt.stats.contended.Add(1)
@@ -501,7 +540,7 @@ func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack) error {
 		// Denied (deadlock break or close): withdraw from the queue and
 		// drop the waiter's slot registrations.
 		rt.removeWaiterLocked(l, w)
-		rt.unregisterPositionsLocked(tid, w.slots)
+		rt.unregisterPositions(tid, w.slots)
 		rt.wakeYieldersLocked()
 		rt.maybeRestoreFastLocked(l)
 	}
@@ -548,7 +587,7 @@ func (rt *Runtime) Release(tid ThreadID, l *Lock) error {
 	// Drop the hold record and its slot registrations.
 	for i, h := range ts.held {
 		if h.lock == l {
-			rt.unregisterPositionsLocked(tid, h.slots)
+			rt.unregisterPositions(tid, h.slots)
 			ts.held = append(ts.held[:i], ts.held[i+1:]...)
 			break
 		}
@@ -571,7 +610,7 @@ func (rt *Runtime) Release(tid ThreadID, l *Lock) error {
 // signature positions.
 func (rt *Runtime) grantLocked(ts *threadState, l *Lock, cs sig.Stack) {
 	h := &heldLock{lock: l, outer: cs}
-	h.slots = rt.registerPositionsLocked(ts.id, l, cs)
+	h.slots = rt.registerPositions(ts.id, l, cs)
 	ts.held = append(ts.held, h)
 	l.owner = ts.id
 	l.ownerHold = h
@@ -610,39 +649,6 @@ func (rt *Runtime) removeWaiterLocked(l *Lock, w *waiter) {
 	}
 }
 
-// registerPositionsLocked records which signature slots (tid, l, cs)
-// matches and returns the slot keys for later unregistration.
-func (rt *Runtime) registerPositionsLocked(tid ThreadID, l *Lock, cs sig.Stack) []slotKey {
-	refs := rt.history.MatchOuter(cs)
-	if len(refs) == 0 {
-		return nil
-	}
-	keys := make([]slotKey, 0, len(refs))
-	for _, r := range refs {
-		key := slotKey{sigID: r.ID, slot: r.Slot}
-		m, ok := rt.positions[key]
-		if !ok {
-			m = make(map[ThreadID]*position)
-			rt.positions[key] = m
-		}
-		m[tid] = &position{lock: l}
-		keys = append(keys, key)
-	}
-	return keys
-}
-
-// unregisterPositionsLocked removes tid from the given slots.
-func (rt *Runtime) unregisterPositionsLocked(tid ThreadID, keys []slotKey) {
-	for _, key := range keys {
-		if m, ok := rt.positions[key]; ok {
-			delete(m, tid)
-			if len(m) == 0 {
-				delete(rt.positions, key)
-			}
-		}
-	}
-}
-
 // refreshPositionsLocked re-registers all held and waiting stacks after
 // the history changed (the Communix agent adds or merges signatures while
 // the application runs), and imports any fast-path hold whose outer
@@ -650,31 +656,87 @@ func (rt *Runtime) unregisterPositionsLocked(tid ThreadID, keys []slotKey) {
 // slot and must be visible to avoidance. refreshPositionsLocked runs
 // under rt.mu before every avoidance decision, so no decision is ever
 // made against a stale position table.
+//
+// Ordering matters for the matched fast path racing this refresh: the
+// Index() call below publishes the rebuilt index pointer *before* any
+// shard is cleared, and matchedFastAcquire re-reads that pointer inside
+// its shard critical section — so a matched claim either registered
+// before the clear (its claiming CAS then precedes the lock sweep,
+// which imports the hold under the new index) or observes the new
+// pointer and retreats to the slow path.
 func (rt *Runtime) refreshPositionsLocked() {
 	idx := rt.history.Index()
-	if idx.version == rt.histVer {
+	if idx.version == rt.histVer.Load() {
 		return
 	}
-	rt.histVer = idx.version
-	rt.positions = make(map[slotKey]map[ThreadID]*position)
+
+	// 1. Clear every shard's positions, dropping shards of removed
+	// signatures entirely. Yield registrations stay: parked threads are
+	// woken below and re-home themselves against the new index.
+	rt.shards.Range(func(key, value any) bool {
+		sh := value.(*sigShard)
+		sh.mu.Lock()
+		sh.slots = make(map[int]map[ThreadID]*Lock)
+		sh.mu.Unlock()
+		if !idx.HasSigInstance(key.(*sig.Signature)) {
+			rt.shards.Delete(key)
+		}
+		return true
+	})
+
+	// 2. Re-register every slow-managed hold and wait against the new
+	// index.
 	for tid, ts := range rt.threads {
 		for _, h := range ts.held {
-			h.slots = rt.registerPositionsLocked(tid, h.lock, h.outer)
+			h.slots = rt.registerPositions(tid, h.lock, h.outer)
 		}
 		if ts.wait != nil {
-			ts.wait.slots = rt.registerPositionsLocked(tid, ts.wait.lock, ts.wait.stack)
+			ts.wait.slots = rt.registerPositions(tid, ts.wait.lock, ts.wait.stack)
 		}
 	}
+
+	// 3. Sweep the lock registry: import live fast holds (their outer
+	// stacks may match the new index), and restore locks left free in
+	// slow mode — e.g. a lock revoked for an acquisition that then
+	// errored out — so the registry prune below can drop discarded ones
+	// instead of keeping every slow-parked lock forever.
 	rt.locksMu.Lock()
 	locks := rt.locks // append-only: the prefix we iterate is immutable
 	rt.locksMu.Unlock()
+	restored := 0
 	for _, l := range locks {
-		if w := l.fast.Load(); w != 0 && w&fastSlowBit == 0 {
-			// A live fast hold. Its outer stack can only be read safely
-			// after revocation, so import it unconditionally; revokeLocked
-			// registers exactly the positions the new index matches, and
-			// the lock returns to the fast path at its next quiet release.
+		w := l.fast.Load()
+		switch {
+		case w != 0 && w&fastSlowBit == 0:
+			// A live fast hold (or a claim about to publish). Its outer
+			// stack can only be read safely after revocation, so import it
+			// unconditionally; revokeLocked registers exactly the positions
+			// the new index matches, and the lock returns to the fast path
+			// at its next quiet release.
 			rt.revokeLocked(l)
+		case w == fastSlowBit:
+			// Slow-managed: if free with an empty queue, un-park it.
+			rt.maybeRestoreFastLocked(l)
+			if l.fast.Load() == 0 {
+				restored++
+			}
 		}
 	}
+	if restored > 0 {
+		rt.locksMu.Lock()
+		if len(rt.locks) >= lockRegistryFloor {
+			rt.pruneLocksLocked()
+		}
+		rt.locksMu.Unlock()
+	}
+
+	// 4. Wake every parked yielder: its threat was evaluated against the
+	// old index, and its per-shard wake registrations may name shards
+	// the new index no longer routes releases to. Re-evaluation re-yields
+	// with fresh registrations when the threat persists.
+	rt.wakeYieldersLocked()
+
+	// Publish the version last: the matched fast path trusts the shards
+	// only once every step above is visible.
+	rt.histVer.Store(idx.version)
 }

@@ -1,0 +1,299 @@
+package dimmunix
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"communix/internal/sig"
+)
+
+// warmedRuntime builds a runtime over h and runs one matched
+// acquire/release so the position table reflects the history (the first
+// matched acquisition after an install always takes the slow path once).
+func warmedRuntime(t *testing.T, h *History, warm sig.Stack, mutate func(*Config)) *Runtime {
+	t.Helper()
+	cfg := Config{History: h, Policy: RecoverBreak}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt := NewRuntime(cfg)
+	t.Cleanup(rt.Close)
+	l := rt.NewLock("warm")
+	if err := rt.Acquire(999, l, warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Release(999, l); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestMatchedFastReleaseWakesShardYielder is the rt.mu-free wake path:
+// t1 holds a matched lock on the fast path, t2 yields against it, and
+// t1's *fast* release (which never touches rt.mu) must wake t2 through
+// the signature's shard.
+func TestMatchedFastReleaseWakesShardYielder(t *testing.T) {
+	ps := newPairStacks()
+	h := NewHistory()
+	h.Add(ps.signature())
+	rt := warmedRuntime(t, h, ps.outerA, nil)
+	a := rt.NewLock("A")
+	b := rt.NewLock("B")
+
+	if err := rt.Acquire(1, a, ps.outerA); err != nil {
+		t.Fatal(err)
+	}
+	if tid, _, _, slow := a.fastSnapshot(); slow || tid != 1 {
+		t.Fatalf("t1's matched hold should be fast (tid=%d slow=%v)", tid, slow)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- rt.Acquire(2, b, ps.outerB) }()
+	eventually(t, func() bool { return parked(rt, 2) }, "t2 yields against t1's fast hold")
+
+	// Fast release: the word is still published, so Release completes via
+	// fastRelease — rt.mu is never taken — and the shard wake must fire.
+	if err := rt.Release(1, a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("t2's acquisition after the wake: %v", err)
+		}
+	case <-waitTimeout():
+		t.Fatal("t2 never woke from the shard-side release")
+	}
+	if err := rt.Release(2, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Stats().Yields; got == 0 {
+		t.Error("expected at least one yield")
+	}
+	if rt.positionCount() != 0 {
+		t.Error("positions leaked")
+	}
+}
+
+// TestMultiSignatureStackRegistersAllShards: a stack matching two
+// signatures (one outer a suffix of the other, same top site) takes both
+// shards in sorted order on the matched fast path and registers a
+// position in each.
+func TestMultiSignatureStackRegistersAllShards(t *testing.T) {
+	outer := mkStack("Multi", "site", 6)
+	mkSig := func(depth int, tag string) *sig.Signature {
+		s := sig.New(
+			sig.ThreadSpec{Outer: outer.Suffix(depth).Clone(), Inner: mkStack(tag, "inner", 5)},
+			sig.ThreadSpec{Outer: mkStack(tag, "other", 5), Inner: mkStack(tag, "otherInner", 5)},
+		)
+		s.Origin = sig.OriginRemote
+		return s
+	}
+	h := NewHistory()
+	h.Add(mkSig(6, "deep"))
+	h.Add(mkSig(4, "shallow"))
+	rt := warmedRuntime(t, h, outer, nil)
+	l := rt.NewLock("l")
+
+	if err := rt.Acquire(1, l, outer); err != nil {
+		t.Fatal(err)
+	}
+	if tid, _, _, slow := l.fastSnapshot(); slow || tid != 1 {
+		t.Fatalf("multi-matched threat-free hold should be fast (tid=%d slow=%v)", tid, slow)
+	}
+	if got := rt.positionCount(); got != 2 {
+		t.Errorf("positions = %d, want 2 (one per matched signature)", got)
+	}
+	if err := rt.Release(1, l); err != nil {
+		t.Fatal(err)
+	}
+	if rt.positionCount() != 0 {
+		t.Error("positions leaked after multi-signature release")
+	}
+}
+
+// TestRefreshDropsRemovedSignatureShards: removing a signature and
+// refreshing must unlink its shard so the table stays bounded by the
+// live history.
+func TestRefreshDropsRemovedSignatureShards(t *testing.T) {
+	ps := newPairStacks()
+	s := ps.signature()
+	h := NewHistory()
+	h.Add(s)
+	rt := warmedRuntime(t, h, ps.outerA, nil)
+
+	if rt.shardCount() == 0 {
+		t.Fatal("warmup did not create the signature's shard")
+	}
+
+	h.Remove(s.ID())
+	rt.mu.Lock()
+	rt.refreshPositionsLocked()
+	rt.mu.Unlock()
+
+	if n := rt.shardCount(); n != 0 {
+		t.Errorf("removed signature's shard survived refresh (%d shards)", n)
+	}
+}
+
+// TestRefreshRestoresAndPrunesFreeSlowLocks: locks parked free in slow
+// mode (e.g. revoked for an acquisition that then errored out) used to
+// stay in the lock registry forever; the refresh sweep must restore them
+// to fast mode and the prune must then drop the discarded ones.
+func TestRefreshRestoresAndPrunesFreeSlowLocks(t *testing.T) {
+	ps := newPairStacks()
+	h := NewHistory()
+	rt := NewRuntime(Config{History: h})
+	defer rt.Close()
+
+	const n = lockRegistryFloor + 500
+	locks := make([]*Lock, n)
+	rt.mu.Lock()
+	for i := range locks {
+		locks[i] = rt.NewLock(fmt.Sprintf("l%d", i))
+		rt.revokeLocked(locks[i]) // park free in slow mode
+	}
+	rt.mu.Unlock()
+	// The registration-triggered prune at the floor can drop the one
+	// lock that was registered but not yet revoked; every slow-parked
+	// lock must survive it.
+	if got := rt.registrySize(); got < n-1 {
+		t.Fatalf("registry holds %d locks, want ≥ %d (slow-parked locks must not be pruned blindly)", got, n-1)
+	}
+
+	// A history change triggers the refresh sweep.
+	h.Add(ps.signature())
+	rt.mu.Lock()
+	rt.refreshPositionsLocked()
+	rt.mu.Unlock()
+
+	// Every registered slow-parked lock must have been restored; at most
+	// the single lock pruned before its revoke can remain slow (it
+	// un-parks on its next acquisition).
+	stuck := 0
+	for _, l := range locks {
+		if l.fast.Load() == fastSlowBit {
+			stuck++
+		}
+	}
+	if stuck > 1 {
+		t.Errorf("%d locks still parked in slow mode after refresh", stuck)
+	}
+	if got := rt.registrySize(); got >= n {
+		t.Errorf("registry still holds %d locks after refresh prune, want far fewer", got)
+	}
+
+	// Pruned locks re-register transparently on their next acquisition.
+	cs := mkStack("T", "s", 5)
+	if err := rt.Acquire(1, locks[0], cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Release(1, locks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !locks[0].registered.Load() {
+		t.Error("re-acquired lock did not re-register")
+	}
+}
+
+// TestStressMatchedReplaceConcurrent hammers *matched* acquisitions from
+// many goroutines — each with its own hot signature, so the sharded
+// matched fast path is exercised — while an agent goroutine continually
+// Replaces those very signatures (generalization hot-swaps) and a
+// monitor polls Stats. Run under -race this exercises the shard
+// register/unregister paths, the histVer gate, refresh's shard
+// clear + prune, and the claim-abort protocol all at once.
+func TestStressMatchedReplaceConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 300
+		swaps   = 150
+	)
+	history := NewHistory()
+	outers := make([]sig.Stack, workers)
+	ids := make([]string, workers)
+	mkSig := func(w, gen int) *sig.Signature {
+		outer := mkStack(fmt.Sprintf("W%d", w), fmt.Sprintf("site%d", w), 6)
+		s := sig.New(
+			sig.ThreadSpec{Outer: outer, Inner: mkStack(fmt.Sprintf("W%d", w), fmt.Sprintf("inner%d", gen), 6)},
+			sig.ThreadSpec{Outer: mkStack(fmt.Sprintf("O%d", w), fmt.Sprintf("osite%d", w), 6), Inner: mkStack(fmt.Sprintf("O%d", w), "oinner", 6)},
+		)
+		s.Origin = sig.OriginRemote
+		return s
+	}
+	for w := 0; w < workers; w++ {
+		s := mkSig(w, 0)
+		history.Add(s)
+		outers[w] = s.Threads[0].Outer
+		ids[w] = s.ID()
+	}
+	rt := NewRuntime(Config{History: history, Policy: RecoverBreak})
+	defer rt.Close()
+
+	var stop atomic.Bool
+	var wg, bgWG sync.WaitGroup
+	errs := make(chan error, workers+1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := ThreadID(1 + w)
+			l := rt.NewLock(fmt.Sprintf("lk%d", w))
+			for i := 0; i < iters; i++ {
+				if err := rt.Acquire(tid, l, outers[w]); err != nil {
+					errs <- err
+					return
+				}
+				if err := rt.Release(tid, l); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// The "agent": replace each worker's signature with a new generation
+	// (same outer slot → same matches, fresh ID → shard churn).
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		var idsMu sync.Mutex
+		for g := 1; g <= swaps && !stop.Load(); g++ {
+			w := g % workers
+			next := mkSig(w, g)
+			idsMu.Lock()
+			history.Replace(ids[w], next)
+			ids[w] = next.ID()
+			idsMu.Unlock()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("matched-replace stress wedged")
+	}
+	stop.Store(true)
+	bgWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: no positions may survive (all locks released), and a
+	// final refresh leaves exactly the live signatures' shards.
+	rt.mu.Lock()
+	rt.refreshPositionsLocked()
+	rt.mu.Unlock()
+	if got := rt.positionCount(); got != 0 {
+		t.Errorf("positions leaked after quiescence: %d", got)
+	}
+	if n := rt.shardCount(); n > history.Len() {
+		t.Errorf("shard table holds %d shards for %d signatures", n, history.Len())
+	}
+}

@@ -96,10 +96,19 @@ func Open(path string) (*Repo, error) {
 // Append stores newly downloaded signatures and advances the server
 // cursor. Undecodable signatures are skipped (the server is not trusted
 // blindly); duplicates by content are kept — positions must stay aligned
-// with server indexes.
+// with server indexes. The batch covers server indexes
+// [next-len(raw), next); entries already below the cursor were appended
+// by an earlier or concurrent sync (the background client's immediate
+// first sync can race an explicit SyncNow, both fetching the same
+// range) and are skipped, making overlapping Appends idempotent.
 func (r *Repo) Append(raw []json.RawMessage, next int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if next <= r.state.Next {
+		raw = nil // entirely covered by a previous sync
+	} else if skip := r.state.Next - (next - len(raw)); skip > 0 {
+		raw = raw[skip:]
+	}
 	for _, data := range raw {
 		s, err := sig.Decode(data)
 		if err != nil {

@@ -62,6 +62,36 @@ func TestAppendAndCursor(t *testing.T) {
 	}
 }
 
+// TestAppendOverlapIsIdempotent: two syncs can fetch overlapping server
+// ranges (the background client's immediate first sync racing an
+// explicit SyncNow); re-appending an already-covered range must not
+// duplicate entries.
+func TestAppendOverlapIsIdempotent(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := someSigs(t, 3, 1)
+	if err := r.Append(batch, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The identical batch again: fully covered, nothing appended.
+	if err := r.Append(batch, 4); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || r.Next() != 4 {
+		t.Errorf("after duplicate append: len=%d next=%d, want 3/4", r.Len(), r.Next())
+	}
+	// A batch overlapping the covered prefix: only the new suffix lands.
+	wider := append(append([]json.RawMessage{}, batch[1:]...), someSigs(t, 2, 10)...)
+	if err := r.Append(wider, 6); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 || r.Next() != 6 {
+		t.Errorf("after overlapping append: len=%d next=%d, want 5/6", r.Len(), r.Next())
+	}
+}
+
 func TestAppendSkipsUndecodable(t *testing.T) {
 	r, err := Open("")
 	if err != nil {

@@ -1,0 +1,172 @@
+package stacktrace
+
+import (
+	"testing"
+
+	"communix/internal/sig"
+)
+
+// fakeFilter is a programmable TopSiteFilter recording its probes.
+type fakeFilter struct {
+	hit    bool
+	floor  int
+	probes []sig.Frame
+}
+
+func (f *fakeFilter) MatchesTopSite(fr *sig.Frame) bool {
+	f.probes = append(f.probes, *fr)
+	return f.hit
+}
+
+func (f *fakeFilter) MinSafeCaptureDepth() int { return f.floor }
+
+// deepChain guarantees at least n non-runtime frames above the capture.
+func deepChain(n int, fn func() sig.Stack) sig.Stack {
+	if n == 0 {
+		return fn()
+	}
+	return deepChain(n-1, fn)
+}
+
+func TestCaptureAdaptiveShallowOnFilterMiss(t *testing.T) {
+	c := NewCache(NewRegistry())
+	filter := &fakeFilter{hit: false}
+	s := deepChain(16, func() sig.Stack {
+		return c.CaptureAdaptive(0, filter, 4, DefaultDepth)
+	})
+	if len(s) == 0 {
+		t.Fatal("empty capture")
+	}
+	if len(s) > 4 {
+		t.Errorf("filter miss should return the shallow capture: got %d frames, want ≤ 4", len(s))
+	}
+	if len(filter.probes) != 1 {
+		t.Fatalf("filter probed %d times, want 1", len(filter.probes))
+	}
+	// The probe must be the stack's top (innermost) frame.
+	top := s.Top()
+	if filter.probes[0].Method != top.Method || filter.probes[0].Line != top.Line {
+		t.Errorf("filter probed %v, want the top frame %v", filter.probes[0], top)
+	}
+}
+
+func TestCaptureAdaptiveDeepensOnFilterHit(t *testing.T) {
+	c := NewCache(NewRegistry())
+	filter := &fakeFilter{hit: true}
+	s := deepChain(16, func() sig.Stack {
+		return c.CaptureAdaptive(0, filter, 4, DefaultDepth)
+	})
+	if len(s) <= 4 {
+		t.Errorf("filter hit should deepen the capture: got %d frames, want > 4", len(s))
+	}
+}
+
+// TestCaptureAdaptiveSharesTopWithFullCapture: shallow and deep captures
+// of the same call path agree on every shared frame, so a stack captured
+// shallow matches exactly the signatures its deep counterpart would
+// (suffix matching is top-anchored).
+func TestCaptureAdaptiveSharesTopWithFullCapture(t *testing.T) {
+	c := NewCache(NewRegistry())
+	miss := &fakeFilter{hit: false}
+	var shallow, deep sig.Stack
+	deepChain(16, func() sig.Stack {
+		shallow = c.CaptureAdaptive(0, miss, 4, DefaultDepth)
+		deep = c.CaptureAdaptive(0, &fakeFilter{hit: true}, 4, DefaultDepth)
+		return nil
+	})
+	if len(shallow) == 0 || len(deep) <= len(shallow) {
+		t.Fatalf("capture depths: shallow=%d deep=%d", len(shallow), len(deep))
+	}
+	// Same call site one line apart at the leaf: compare below the leaf.
+	sfx := deep.Suffix(len(shallow))
+	if !sfx[:len(sfx)-1].Equal(shallow[:len(shallow)-1]) {
+		t.Errorf("deep capture's suffix diverges from the shallow capture:\n deep suffix: %v\n     shallow: %v", sfx, shallow)
+	}
+}
+
+func TestCaptureAdaptiveNilFilterIsFullCapture(t *testing.T) {
+	c := NewCache(NewRegistry())
+	s := deepChain(16, func() sig.Stack {
+		return c.CaptureAdaptive(0, nil, 4, DefaultDepth)
+	})
+	if len(s) <= 4 {
+		t.Errorf("nil filter should capture at full depth: got %d frames", len(s))
+	}
+}
+
+func TestCaptureAdaptiveMemoizes(t *testing.T) {
+	c := NewCache(NewRegistry())
+	filter := &fakeFilter{hit: false}
+	var stacks []sig.Stack
+	for i := 0; i < 3; i++ {
+		stacks = append(stacks, c.CaptureAdaptive(0, filter, 4, DefaultDepth))
+	}
+	if &stacks[0][0] != &stacks[1][0] || &stacks[1][0] != &stacks[2][0] {
+		t.Error("repeated shallow captures from one call path should share the memoized stack")
+	}
+}
+
+// constFilter is a TopSiteFilter with no bookkeeping (benchmarks).
+type constFilter bool
+
+func (f constFilter) MatchesTopSite(*sig.Frame) bool { return bool(f) }
+func (f constFilter) MinSafeCaptureDepth() int       { return 0 }
+
+// TestCaptureAdaptiveFloorsAtDeepestMatcher: the shallow depth is
+// floored at the filter's deepest matcher, so truncation can never hide
+// a match from the capture-time index.
+func TestCaptureAdaptiveFloorsAtDeepestMatcher(t *testing.T) {
+	c := NewCache(NewRegistry())
+	filter := &fakeFilter{hit: false, floor: 12}
+	s := deepChain(20, func() sig.Stack {
+		return c.CaptureAdaptive(0, filter, 4, DefaultDepth)
+	})
+	if len(s) < 12 {
+		t.Errorf("capture has %d frames; the floor of 12 must override the shallow depth of 4", len(s))
+	}
+}
+
+// The adaptive captures are benchmarked under a deep call chain — the
+// case they exist for: runtime.Callers cost scales with the frames
+// walked, so a depth-8 shallow capture beats a depth-32 one only when
+// the stack is actually deep.
+func BenchmarkCaptureAdaptiveMiss(b *testing.B) {
+	c := NewCache(NewRegistry())
+	b.ReportAllocs()
+	deepChain(24, func() sig.Stack {
+		for i := 0; i < b.N; i++ {
+			if s := c.CaptureAdaptive(0, constFilter(false), DefaultShallowDepth, DefaultDepth); len(s) == 0 {
+				b.Fatal("empty capture")
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkCaptureAdaptiveHit(b *testing.B) {
+	c := NewCache(NewRegistry())
+	b.ReportAllocs()
+	deepChain(24, func() sig.Stack {
+		for i := 0; i < b.N; i++ {
+			if s := c.CaptureAdaptive(0, constFilter(true), DefaultShallowDepth, DefaultDepth); len(s) == 0 {
+				b.Fatal("empty capture")
+			}
+		}
+		return nil
+	})
+}
+
+// BenchmarkCaptureCachedDeep is the non-adaptive baseline on the same
+// deep chain.
+func BenchmarkCaptureCachedDeep(b *testing.B) {
+	c := NewCache(NewRegistry())
+	b.ReportAllocs()
+	deepChain(24, func() sig.Stack {
+		for i := 0; i < b.N; i++ {
+			if s := c.Capture(0, DefaultDepth); len(s) == 0 {
+				b.Fatal("empty capture")
+			}
+		}
+		return nil
+	})
+}

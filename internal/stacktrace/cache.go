@@ -53,22 +53,98 @@ func NewCache(reg *Registry) *Cache {
 	return c
 }
 
+// DefaultShallowDepth is the first-phase frame count of CaptureAdaptive:
+// deep enough to resolve the top (lock-site) frame and a useful suffix,
+// shallow enough that runtime.Callers — the dominant cost of a memoized
+// capture — walks a fraction of the stack.
+const DefaultShallowDepth = 8
+
+// TopSiteFilter answers whether a stack ending at the given top frame
+// could match any known outer-stack matcher, and how deep a capture
+// must be so that no known matcher can be missed to truncation.
+// dimmunix.AvoidIndex implements it; CaptureAdaptive uses it to decide
+// whether a shallow capture suffices.
+type TopSiteFilter interface {
+	MatchesTopSite(f *sig.Frame) bool
+	// MinSafeCaptureDepth is the filter's deepest matcher: a capture at
+	// least this deep compares identically to a full-depth capture
+	// against every matcher the filter knows.
+	MinSafeCaptureDepth() int
+}
+
 // Capture is Capture with memoization: same skip/maxDepth semantics,
 // same result, but repeated call paths return the cached stack. The
 // returned stack is shared and must not be mutated.
 func (c *Cache) Capture(skip, maxDepth int) sig.Stack {
+	return c.capture(skip+3, maxDepth)
+}
+
+// CaptureAdaptive is the two-phase capture of the matched-path
+// optimization: it captures shallowDepth frames first and consults the
+// filter on the resolved top frame — a miss proves no matcher can match
+// any stack ending at that site (suffix matching always includes the
+// top frame), so the shallow stack is returned as-is; a hit re-captures
+// at maxDepth so avoidance sees the full suffix. The effective shallow
+// depth is floored at the filter's MinSafeCaptureDepth, so a shallow
+// capture compares identically to a full one against every matcher the
+// filter currently knows — truncation can never hide a match from the
+// capture-time filter. Both phases are memoized, so repeated shallow
+// hits stay allocation-free. A nil filter or a floored shallow depth ≥
+// maxDepth degenerates to a plain full capture.
+//
+// Shallow stacks become deadlock-signature stacks if the capture's hold
+// ever deadlocks; that trades fingerprint depth (bounded at the
+// effective shallow depth) for capture cost, and only for call paths no
+// current matcher matches — the generalization the paper's agent
+// performs anyway (merging to common suffixes) works in the same
+// direction. A matcher installed concurrently with (or after) the
+// capture and deeper than every capture-time matcher can exceed a
+// shallow stack's depth; callers that need capture-time freshness
+// re-validate the filter's identity after capturing and recapture at
+// full depth when it moved (dimmunix.Mutex.Lock does).
+func (c *Cache) CaptureAdaptive(skip int, filter TopSiteFilter, shallowDepth, maxDepth int) sig.Stack {
+	if maxDepth <= 0 {
+		maxDepth = DefaultDepth
+	}
+	if shallowDepth <= 0 {
+		shallowDepth = DefaultShallowDepth
+	}
+	if filter == nil {
+		return c.capture(skip+3, maxDepth)
+	}
+	if floor := filter.MinSafeCaptureDepth(); shallowDepth < floor {
+		shallowDepth = floor
+	}
+	if shallowDepth >= maxDepth {
+		return c.capture(skip+3, maxDepth)
+	}
+	shallow := c.capture(skip+3, shallowDepth)
+	if len(shallow) == 0 {
+		return shallow
+	}
+	if !filter.MatchesTopSite(&shallow[len(shallow)-1]) {
+		return shallow
+	}
+	return c.capture(skip+3, maxDepth)
+}
+
+// capture implements the memoized capture. absSkip is passed verbatim to
+// runtime.Callers, so it must count runtime.Callers itself, this
+// function, and every exported wrapper above it (the wrappers pass
+// skip+3 for exactly that reason; runtime.Callers counts inlined frames
+// like physical ones, so the arithmetic survives inlining).
+func (c *Cache) capture(absSkip, maxDepth int) sig.Stack {
 	if maxDepth <= 0 {
 		maxDepth = DefaultDepth
 	}
 	var buf [DefaultDepth + 8]uintptr
 	var pcs []uintptr
-	if need := maxDepth + skip + 2; need <= len(buf) {
+	if need := maxDepth + absSkip; need <= len(buf) {
 		pcs = buf[:need]
 	} else {
 		pcs = make([]uintptr, need)
 	}
-	// +2 skips runtime.Callers and this method.
-	n := runtime.Callers(skip+2, pcs)
+	n := runtime.Callers(absSkip, pcs)
 	if n == 0 {
 		return nil
 	}

@@ -59,8 +59,12 @@ func TestLockSimMaliciousHistoryCausesYields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Heavy enough that attack-covered holds overlap even on the sharded
+	// matched fast path, whose only overlap windows are genuine
+	// preemptions inside critical sections (matched acquisitions no
+	// longer serialize on rt.mu).
 	sim, err := NewLockSim(app, SimConfig{
-		Workers: 8, Iterations: 2500, CSWork: 4000, OutWork: 0,
+		Workers: 16, Iterations: 4000, CSWork: 8000, OutWork: 0,
 		HotOnly: true, NestedOnly: true, Seed: 2,
 	})
 	if err != nil {
@@ -301,7 +305,13 @@ func TestLockSimFastPathDifferential(t *testing.T) {
 	scenarios := []scenario{
 		{name: "empty-history", app: app, cfg: SimConfig{Workers: 4, Iterations: 60, CSWork: 10, OutWork: 10, HotOnly: true, Seed: 1}},
 		{name: "off-path-history", app: app, cfg: SimConfig{Workers: 4, Iterations: 60, CSWork: 10, OutWork: 5, HotOnly: true, Seed: 4}, history: offPath},
-		{name: "attacked", app: yieldy, cfg: SimConfig{Workers: 8, Iterations: 2500, CSWork: 4000, HotOnly: true, NestedOnly: true, Seed: 2}, history: attacked, wantYield: true},
+		// The attacked run needs enough workers × iterations × hold time
+		// that attack-covered holds overlap in every mode: the sharded
+		// matched path no longer serializes matched acquisitions on
+		// rt.mu, so its overlap windows are only the genuine ones
+		// (preemption inside a critical section), which a short run can
+		// miss entirely.
+		{name: "attacked", app: yieldy, cfg: SimConfig{Workers: 16, Iterations: 4000, CSWork: 8000, HotOnly: true, NestedOnly: true, Seed: 2}, history: attacked, wantYield: true},
 	}
 
 	for _, sc := range scenarios {
