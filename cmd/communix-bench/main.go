@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"communix/internal/bench"
 )
@@ -52,6 +53,8 @@ func run() int {
 	e2eJSON := flag.String("e2e-json", "", "e2e experiment: also write results to this JSON file")
 	e2eWorkers := flag.Int("e2e-workers", 0, "e2e experiment: protected worker processes (0 = default 4)")
 	e2eSigs := flag.Int("e2e-sigs", 0, "e2e: deadlocks detected+uploaded per worker (0 = default 8)")
+	e2eMode := flag.String("e2e-mode", "both", "e2e: distribution transport: push|poll|both")
+	e2ePollMS := flag.Int("e2e-poll-ms", 0, "e2e: poll cadence in ms for the poll transport (0 = default 5000)")
 	e2eAddr := flag.String("e2e-addr", "", "e2e-worker (internal): server address")
 	e2eToken := flag.String("e2e-token", "", "e2e-worker (internal): encrypted user token")
 	e2eWorkerID := flag.Int("e2e-worker-id", 0, "e2e-worker (internal): worker index")
@@ -69,6 +72,8 @@ func run() int {
 			Sigs:       *e2eSigs,
 			TotalSigs:  *e2eTotal,
 			TimeoutSec: *e2eTimeout,
+			Mode:       *e2eMode,
+			PollMS:     *e2ePollMS,
 		}, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "communix-bench: e2e-worker: %v\n", err)
@@ -216,6 +221,7 @@ func run() int {
 			Workers:       *e2eWorkers,
 			SigsPerWorker: *e2eSigs,
 			TimeoutSec:    *e2eTimeout,
+			PollInterval:  time.Duration(*e2ePollMS) * time.Millisecond,
 		}
 		if *full {
 			if cfg.Workers == 0 {
@@ -225,16 +231,32 @@ func run() int {
 				cfg.SigsPerWorker = 16
 			}
 		}
-		res, err := bench.E2EBench(cfg)
-		if err != nil {
-			return fail("e2e", err)
-		}
-		bench.WriteE2EBench(out, res)
-		fmt.Fprintln(out)
-		if err := writeJSON(*e2eJSON, func(w io.Writer) error {
-			return bench.WriteE2EBenchJSON(w, res)
-		}); err != nil {
-			return fail("e2e", err)
+		switch *e2eMode {
+		case "both":
+			cmp, err := bench.E2ECompare(cfg)
+			if err != nil {
+				return fail("e2e", err)
+			}
+			bench.WriteE2ECompare(out, cmp)
+			fmt.Fprintln(out)
+			if err := writeJSON(*e2eJSON, func(w io.Writer) error {
+				return bench.WriteE2ECompareJSON(w, cmp)
+			}); err != nil {
+				return fail("e2e", err)
+			}
+		default:
+			cfg.Mode = *e2eMode
+			res, err := bench.E2EBench(cfg)
+			if err != nil {
+				return fail("e2e", err)
+			}
+			bench.WriteE2EBench(out, res)
+			fmt.Fprintln(out)
+			if err := writeJSON(*e2eJSON, func(w io.Writer) error {
+				return bench.WriteE2EBenchJSON(w, res)
+			}); err != nil {
+				return fail("e2e", err)
+			}
 		}
 	}
 	if !ran {

@@ -7,6 +7,14 @@
 // Usage:
 //
 //	communix-client -addr 127.0.0.1:9123 -repo /var/lib/communix/repo.json -interval 24h
+//	communix-client -addr 127.0.0.1:9123 -repo /var/lib/communix/repo.json -subscribe
+//
+// With -subscribe the client holds one protocol-v2 session open and the
+// server pushes new signatures the moment other users contribute them —
+// time-to-protection drops from poll-interval scale to sub-second. The
+// session is kept alive with PINGs and re-established with jittered
+// backoff; against a server that only speaks protocol v1 the client
+// falls back to polling at -interval.
 package main
 
 import (
@@ -28,8 +36,9 @@ func main() {
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:9123", "Communix server address")
 	repoPath := flag.String("repo", "communix-repo.json", "local signature repository file")
-	interval := flag.Duration("interval", 24*time.Hour, "sync period (the paper syncs once a day)")
+	interval := flag.Duration("interval", 24*time.Hour, "sync period (the paper syncs once a day; v1 fallback cadence with -subscribe)")
 	once := flag.Bool("once", false, "sync once and exit")
+	subscribe := flag.Bool("subscribe", false, "hold a v2 session open and receive pushed deltas instead of polling")
 	flag.Parse()
 
 	rp, err := repo.Open(*repoPath)
@@ -41,6 +50,7 @@ func run() int {
 		Addr:         *addr,
 		Repo:         rp,
 		SyncInterval: *interval,
+		Subscribe:    *subscribe,
 		OnSync: func(added int, err error) {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "communix-client: sync: %v\n", err)
@@ -48,20 +58,29 @@ func run() int {
 			}
 			fmt.Printf("communix-client: downloaded %d new signatures (%d total)\n", added, rp.Len())
 		},
+		OnSignatures: func(added int) {
+			if *subscribe {
+				fmt.Printf("communix-client: received %d pushed signatures (%d total)\n", added, rp.Len())
+			}
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "communix-client: %v\n", err)
 		return 1
 	}
 
-	added, err := c.SyncOnce()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "communix-client: initial sync: %v\n", err)
-		if *once {
-			return 1
+	if !*subscribe || *once {
+		// Subscribe mode needs no priming sync: the subscription itself
+		// streams the backlog first.
+		added, err := c.SyncOnce()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "communix-client: initial sync: %v\n", err)
+			if *once {
+				return 1
+			}
+		} else {
+			fmt.Printf("communix-client: downloaded %d new signatures (%d total)\n", added, rp.Len())
 		}
-	} else {
-		fmt.Printf("communix-client: downloaded %d new signatures (%d total)\n", added, rp.Len())
 	}
 	if *once {
 		return 0
@@ -69,7 +88,11 @@ func run() int {
 
 	c.Start()
 	defer c.Close()
-	fmt.Printf("communix-client: syncing %s every %v into %s\n", *addr, *interval, *repoPath)
+	if *subscribe {
+		fmt.Printf("communix-client: subscribed to %s for pushed deltas into %s\n", *addr, *repoPath)
+	} else {
+		fmt.Printf("communix-client: syncing %s every %v into %s\n", *addr, *interval, *repoPath)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

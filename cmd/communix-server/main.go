@@ -12,8 +12,14 @@
 // service is out of the paper's scope; real deployments gate issuance).
 // With -data-dir the signature database is durable: accepted signatures
 // are written ahead to a segment log and recovered on restart; -fsync
-// picks the durability/throughput trade-off (always, batch, off). See
-// the Operations section of the README and docs/ARCHITECTURE.md.
+// picks the durability/throughput trade-off (always, batch, off).
+//
+// The server speaks wire protocol v2: clients opening with HELLO get a
+// persistent session and may SUBSCRIBE for pushed signature deltas
+// (session page size and the slow-subscriber downgrade threshold are
+// tuned with -get-batch and -push-lag); v1 one-shot clients are served
+// unchanged. See the Operations section of the README,
+// docs/PROTOCOL.md, and docs/ARCHITECTURE.md.
 package main
 
 import (
@@ -42,6 +48,8 @@ func run() int {
 	ingestQueue := flag.Int("ingest-queue", 0, "pending-ADD queue bound (0 = default 4096)")
 	dataDir := flag.String("data-dir", "", "durable database directory (empty = in-memory only)")
 	fsync := flag.String("fsync", "batch", "WAL fsync policy: always|batch|off (with -data-dir)")
+	getBatch := flag.Int("get-batch", 0, "signatures per GET/PUSH page (0 = protocol max 256)")
+	pushLag := flag.Int("push-lag", 0, "subscriber lag before downgrade to catch-up GETs (0 = 4×get-batch)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -58,6 +66,8 @@ func run() int {
 		IngestQueue:   *ingestQueue,
 		DataDir:       *dataDir,
 		Fsync:         *fsync,
+		GetBatch:      *getBatch,
+		PushMaxLag:    *pushLag,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)

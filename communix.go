@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"communix/internal/agent"
@@ -145,6 +146,14 @@ type ServerConfig struct {
 	// a process crash but not a power failure). Meaningful only with
 	// DataDir.
 	Fsync string
+	// GetBatch caps one GET reply (and one PUSH frame) at this many
+	// signatures; larger downloads are paginated. 0 = the protocol
+	// maximum (256).
+	GetBatch int
+	// PushMaxLag is how far (in signatures) a subscribed session may lag
+	// before the server downgrades it from push delivery to catch-up
+	// GETs (default 4 × GetBatch).
+	PushMaxLag int
 }
 
 // NewServer builds a Communix server. Use Process for direct in-process
@@ -164,6 +173,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		IngestQueue:   cfg.IngestQueue,
 		DataDir:       cfg.DataDir,
 		Fsync:         fsync,
+		GetBatch:      cfg.GetBatch,
+		PushMaxLag:    cfg.PushMaxLag,
 	})
 }
 
@@ -192,8 +203,21 @@ type NodeConfig struct {
 	// to "default".
 	AppKey string
 	// SyncInterval is the background download period (default 24h, the
-	// paper's once-a-day).
+	// paper's once-a-day). In Subscribe mode it is the polling cadence
+	// used only while the server speaks protocol v1.
 	SyncInterval time.Duration
+	// Subscribe switches the node from periodic polling to push
+	// delivery: the client holds one session open to the server and new
+	// community signatures arrive seconds after another user hits the
+	// deadlock, not at the next poll. When the node has an application
+	// view (App), each pushed batch is validated and generalized into
+	// the history automatically, so protection is live without any call
+	// from the application. Falls back to polling against a v1 server.
+	Subscribe bool
+	// OnSignatures observes every batch of remote signatures the
+	// background loop lands in the repository (after automatic agent
+	// validation, when enabled). added is the batch size.
+	OnSignatures func(added int)
 	// Policy selects deadlock recovery (default RecoverNone).
 	Policy dimmunix.RecoveryPolicy
 	// OnDeadlock observes detected deadlocks (after the plugin).
@@ -213,6 +237,11 @@ type Node struct {
 	client  *client.Client
 	plugin  *plugin.Plugin
 	agent   *agent.Agent
+
+	// valMu serializes agent validation passes: the background push
+	// hook and the application's explicit ValidateRepository can
+	// otherwise race over the same repository cursor.
+	valMu sync.Mutex
 }
 
 // NewNode assembles a node. Callers must Close it.
@@ -236,6 +265,25 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			Repo:         rp,
 			Token:        cfg.Token,
 			SyncInterval: cfg.SyncInterval,
+			Subscribe:    cfg.Subscribe,
+			// Runs on the client's background goroutine for every batch
+			// that lands. In Subscribe mode validation is automatic:
+			// the history is updated first (protection goes live without
+			// any application involvement), then the application is
+			// told. Poll mode keeps the paper's contract — the
+			// application validates at startup / after SyncNow.
+			OnSignatures: func(added int) {
+				if cfg.Subscribe && n.agent != nil {
+					n.valMu.Lock()
+					if _, err := n.agent.RunStartup(); err == nil {
+						_ = n.history.Save()
+					}
+					n.valMu.Unlock()
+				}
+				if cfg.OnSignatures != nil {
+					cfg.OnSignatures(added)
+				}
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("communix: %w", err)
@@ -329,11 +377,14 @@ func (n *Node) SyncNow() (int, error) {
 // ValidateRepository runs the agent's startup pass: validate new
 // repository signatures against the application and generalize them into
 // the history (§III-C3, §III-D). Call at application startup and after
-// SyncNow.
+// SyncNow. A Subscribe-mode node runs this automatically for every
+// pushed batch.
 func (n *Node) ValidateRepository() (AgentReport, error) {
 	if n.agent == nil {
 		return AgentReport{}, errors.New("communix: node has no application view")
 	}
+	n.valMu.Lock()
+	defer n.valMu.Unlock()
 	rep, err := n.agent.RunStartup()
 	if err != nil {
 		return rep, err
@@ -347,6 +398,8 @@ func (n *Node) RecheckNesting() (AgentReport, error) {
 	if n.agent == nil {
 		return AgentReport{}, errors.New("communix: node has no application view")
 	}
+	n.valMu.Lock()
+	defer n.valMu.Unlock()
 	rep, err := n.agent.OnClassesLoaded()
 	if err != nil {
 		return rep, err
@@ -354,15 +407,15 @@ func (n *Node) RecheckNesting() (AgentReport, error) {
 	return rep, n.history.Save()
 }
 
-// Close shuts the node down: background sync stops, pending uploads
-// drain, blocked threads are released with ErrClosed, and the history is
-// persisted.
+// Close shuts the node down: pending uploads drain (while the client
+// can still carry them), the background distribution loop stops, blocked
+// threads are released with ErrClosed, and the history is persisted.
 func (n *Node) Close() {
-	if n.client != nil {
-		n.client.Close()
-	}
 	if n.plugin != nil {
 		n.plugin.Close()
+	}
+	if n.client != nil {
+		n.client.Close()
 	}
 	n.runtime.Close()
 	_ = n.history.Save()

@@ -223,6 +223,83 @@ func TestCollaborativeImmunityEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCollaborativePushImmunity is the same headline scenario over the
+// v2 distribution plane: machine B subscribes, machine A deadlocks, and
+// B's protection goes live from the pushed delta — automatic agent
+// validation included — without B ever calling SyncNow or
+// ValidateRepository.
+func TestCollaborativePushImmunity(t *testing.T) {
+	addr, auth := startServer(t)
+	app, view, p1, p2 := appView(t)
+
+	_, tokenA := auth.Issue()
+	_, tokenB := auth.Issue()
+
+	// --- Machine B first: subscribed, idle, fully up to date (nothing
+	// exists yet). ---
+	validated := make(chan int, 16)
+	nodeB, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: addr,
+		Token:      tokenB,
+		App:        view,
+		AppKey:     app.Name,
+		Policy:     communix.RecoverBreak,
+		Subscribe:  true,
+		OnSignatures: func(added int) {
+			select {
+			case validated <- added:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	// --- Machine A: hits the deadlock; the plugin uploads it. ---
+	nodeA, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: addr,
+		Token:      tokenA,
+		App:        view,
+		AppKey:     app.Name,
+		Policy:     communix.RecoverBreak,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errA1, errA2 := driveDeadlock(t, app, nodeA, p1, p2, true)
+	if !errors.Is(errA1, communix.ErrDeadlock) && !errors.Is(errA2, communix.ErrDeadlock) {
+		t.Fatal("machine A should deadlock on first encounter")
+	}
+	nodeA.Close() // drains the plugin's upload queue
+
+	// The push lands on B, and the facade validates it into the history
+	// automatically — protection live seconds (here: milliseconds) after
+	// another user's deadlock.
+	select {
+	case <-validated:
+	case <-time.After(15 * time.Second):
+		t.Fatal("no pushed signatures arrived at the subscribed node")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && nodeB.History().Len() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if nodeB.History().Len() != 1 {
+		t.Fatalf("machine B history = %d, want 1 (auto-validated push)", nodeB.History().Len())
+	}
+
+	// Machine B replays the dangerous flow — serialized, not deadlocked.
+	errB1, errB2 := driveDeadlock(t, app, nodeB, p1, p2, false)
+	if errB1 != nil || errB2 != nil {
+		t.Fatalf("machine B should complete cleanly: %v / %v", errB1, errB2)
+	}
+	if got := nodeB.Runtime().Stats().Deadlocks; got != 0 {
+		t.Fatalf("machine B deadlocks = %d, want 0 (push-delivered immunity)", got)
+	}
+}
+
 // TestOfflineNodeStillImmunizesLocally: without a server, Dimmunix-only
 // behaviour (detect, fingerprint, avoid on restart) still works.
 func TestOfflineNodeStillImmunizesLocally(t *testing.T) {

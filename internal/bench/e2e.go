@@ -1,18 +1,27 @@
 // Cross-process end-to-end benchmark: N protected worker processes, each
 // running a real dimmunix runtime with the Communix plugin and client
 // wired in, against one local server — the full product pipeline
-// (detect → fingerprint → upload → ingest → download) on one box. It
+// (detect → fingerprint → upload → ingest → distribute) on one box. It
 // measures ingest throughput and time-to-protection: how long until
 // every worker's local repository holds the whole community's
 // signatures.
+//
+// The benchmark runs the distribution plane in either transport: "poll"
+// (the paper's §III-B loop — each worker's background client polls at a
+// fixed interval) or "push" (protocol v2 — each worker SUBSCRIBEs and
+// the server pushes deltas as they commit). E2ECompare runs both and
+// reports the time-to-protection ratio; the headline metric is
+// distribution latency — how long after the server holds the full
+// community set each worker becomes fully protected — which isolates
+// the transport from the (shared) detection and upload costs.
 //
 // The parent process (E2EBench) starts the server and spawns workers by
 // re-executing the bench binary with `-experiment e2e-worker`; each
 // worker (E2EWorker) detects SigsPerWorker real deadlocks (RecoverBreak
 // pairs with per-worker, per-iteration unique stacks, so the server's
 // adjacency rejection does not trigger), uploads them through the
-// plugin, then polls SyncOnce until its repository has every worker's
-// signatures, and prints one JSON result line on stdout.
+// plugin, waits until its repository has every worker's signatures, and
+// prints one JSON result line on stdout.
 //
 // Client-side agent validation (hash/depth/nesting) is deliberately out
 // of scope here — it is local CPU work measured by the fig4 experiment;
@@ -48,13 +57,35 @@ var e2eKey = []byte{
 	0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff,
 }
 
+// Transport modes for the e2e experiment.
+const (
+	// E2EModePoll distributes by periodic client polls (protocol v1
+	// semantics, the paper's once-a-day loop scaled down to
+	// PollInterval).
+	E2EModePoll = "poll"
+	// E2EModePush distributes by SUBSCRIBE/PUSH deltas over persistent
+	// v2 sessions.
+	E2EModePush = "push"
+)
+
+// DefaultE2EPollInterval is the poll cadence of the poll transport. It
+// stands in for the paper's 24h: distribution latency under polling is
+// interval-scale whatever the interval, so a small one keeps the
+// benchmark quick while preserving the comparison's meaning.
+const DefaultE2EPollInterval = 5 * time.Second
+
 // E2EBenchConfig parameterizes the end-to-end experiment.
 type E2EBenchConfig struct {
+	// Mode selects the distribution transport: E2EModePush (default) or
+	// E2EModePoll.
+	Mode string
 	// Workers is the number of protected worker processes (default 4).
 	Workers int
 	// SigsPerWorker is how many distinct deadlocks each worker detects
 	// and uploads (default 8).
 	SigsPerWorker int
+	// PollInterval overrides DefaultE2EPollInterval (poll mode).
+	PollInterval time.Duration
 	// WorkerBin is the binary re-executed for workers; it must dispatch
 	// `-experiment e2e-worker` to E2EWorker. Default: os.Executable().
 	WorkerBin string
@@ -65,10 +96,13 @@ type E2EBenchConfig struct {
 	IngestWorkers int
 }
 
-// E2EBenchResult is the experiment's aggregate outcome.
+// E2EBenchResult is the experiment's aggregate outcome for one mode.
 type E2EBenchResult struct {
-	Workers       int `json:"workers"`
-	SigsPerWorker int `json:"sigs_per_worker"`
+	Mode          string `json:"mode"`
+	Workers       int    `json:"workers"`
+	SigsPerWorker int    `json:"sigs_per_worker"`
+	// PollIntervalMS is the poll cadence (poll mode only).
+	PollIntervalMS int64 `json:"poll_interval_ms,omitempty"`
 	// TotalSigs is the community database size at the end (should equal
 	// Workers × SigsPerWorker).
 	TotalSigs int `json:"total_sigs"`
@@ -83,8 +117,17 @@ type E2EBenchResult struct {
 	// worker's repository held the whole community's signatures,
 	// ascending.
 	ProtectionNS []int64 `json:"protection_ns"`
-	// MaxProtectionNS is the fleet's time to full protection.
+	// MaxProtectionNS is the fleet's time to full protection from run
+	// start.
 	MaxProtectionNS int64 `json:"max_protection_ns"`
+	// DistributionNS are per-worker distribution latencies — from the
+	// moment the server held the full community set until the worker's
+	// repository did — ascending. This is the transport-only
+	// time-to-protection: detection and upload costs (identical in both
+	// modes) are excluded.
+	DistributionNS []int64 `json:"distribution_ns"`
+	// MaxDistributionNS is the fleet's worst distribution latency.
+	MaxDistributionNS int64 `json:"max_distribution_ns"`
 	// ElapsedNS is the whole run's wall time.
 	ElapsedNS int64 `json:"elapsed_ns"`
 	// WorkerResults are the raw per-worker reports.
@@ -106,6 +149,10 @@ type E2EWorkerConfig struct {
 	TotalSigs int
 	// TimeoutSec bounds the worker's run (default 60).
 	TimeoutSec int
+	// Mode is the distribution transport (default E2EModePush).
+	Mode string
+	// PollMS is the poll cadence in milliseconds (poll mode).
+	PollMS int
 }
 
 // E2EWorkerResult is the JSON line one worker prints on stdout.
@@ -116,10 +163,15 @@ type E2EWorkerResult struct {
 	// DetectUploadNS spans the first deadlock to the last acknowledged
 	// upload.
 	DetectUploadNS int64 `json:"detect_upload_ns"`
-	// ProtectedNS spans worker start to the sync that completed the
+	// ProtectedNS spans worker start to the delivery that completed the
 	// community set in its repository.
 	ProtectedNS int64 `json:"protected_ns"`
-	Synced      int   `json:"synced"`
+	// ProtectedAtUnixNS is the wall-clock completion instant; the
+	// parent subtracts the server-full instant from it to get the
+	// worker's distribution latency (same box, same clock).
+	ProtectedAtUnixNS int64 `json:"protected_at_unix_ns"`
+	// Synced counts signatures that arrived in the repository.
+	Synced int `json:"synced"`
 }
 
 // e2eStack builds a unique depth-6 stack for (worker, iteration, role):
@@ -198,6 +250,13 @@ func E2EWorker(cfg E2EWorkerConfig, out io.Writer) error {
 	if cfg.TimeoutSec <= 0 {
 		cfg.TimeoutSec = 60
 	}
+	if cfg.Mode == "" {
+		cfg.Mode = E2EModePush
+	}
+	pollInterval := time.Duration(cfg.PollMS) * time.Millisecond
+	if pollInterval <= 0 {
+		pollInterval = DefaultE2EPollInterval
+	}
 	deadline := time.Now().Add(time.Duration(cfg.TimeoutSec) * time.Second)
 	startT := time.Now()
 
@@ -206,13 +265,22 @@ func E2EWorker(cfg E2EWorkerConfig, out io.Writer) error {
 		return fmt.Errorf("e2e worker: %w", err)
 	}
 	cl, err := client.New(client.Config{
-		Addr:  cfg.Addr,
-		Repo:  rp,
-		Token: ids.Token(cfg.Token),
+		Addr:         cfg.Addr,
+		Repo:         rp,
+		Token:        ids.Token(cfg.Token),
+		Subscribe:    cfg.Mode == E2EModePush,
+		SyncInterval: pollInterval,
+		// Reconnect/retry fast: the run is seconds long and transient
+		// startup hiccups must not eat the measurement window.
+		RetryMin: 50 * time.Millisecond,
 	})
 	if err != nil {
 		return fmt.Errorf("e2e worker: %w", err)
 	}
+	// The distribution loop runs from the start — a push subscription
+	// is live before the first deadlock, exactly like a real node.
+	cl.Start()
+	defer cl.Close()
 
 	var uploadMu sync.Mutex
 	uploaded := 0
@@ -255,44 +323,47 @@ func E2EWorker(cfg E2EWorkerConfig, out io.Writer) error {
 	}
 	uploadedAt := time.Now()
 
-	// Sync until the whole community's signatures are local.
-	synced := 0
+	// Wait until the whole community's signatures are local — the
+	// background loop (pushed deltas or periodic polls) fills the
+	// repository; this loop only watches it.
 	for rp.Len() < cfg.TotalSigs {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("e2e worker %d: timed out with %d/%d signatures", cfg.WorkerID, rp.Len(), cfg.TotalSigs)
 		}
-		n, err := cl.SyncOnce()
-		if err != nil {
-			// Transient (server busy starting up): brief backoff.
-			time.Sleep(20 * time.Millisecond)
-			continue
-		}
-		synced += n
-		if rp.Len() < cfg.TotalSigs {
-			time.Sleep(5 * time.Millisecond)
-		}
+		time.Sleep(time.Millisecond)
 	}
 	protectedAt := time.Now()
 
 	res := E2EWorkerResult{
-		Worker:         cfg.WorkerID,
-		Detected:       detected,
-		Uploaded:       upCount,
-		DetectUploadNS: uploadedAt.Sub(startT).Nanoseconds(),
-		ProtectedNS:    protectedAt.Sub(startT).Nanoseconds(),
-		Synced:         synced,
+		Worker:            cfg.WorkerID,
+		Detected:          detected,
+		Uploaded:          upCount,
+		DetectUploadNS:    uploadedAt.Sub(startT).Nanoseconds(),
+		ProtectedNS:       protectedAt.Sub(startT).Nanoseconds(),
+		ProtectedAtUnixNS: protectedAt.UnixNano(),
+		Synced:            rp.Len(),
 	}
 	enc := json.NewEncoder(out)
 	return enc.Encode(res)
 }
 
-// E2EBench runs the cross-process experiment.
+// E2EBench runs the cross-process experiment in one transport mode.
 func E2EBench(cfg E2EBenchConfig) (E2EBenchResult, error) {
+	switch cfg.Mode {
+	case "":
+		cfg.Mode = E2EModePush
+	case E2EModePush, E2EModePoll:
+	default:
+		return E2EBenchResult{}, fmt.Errorf("bench e2e: unknown mode %q (want %s or %s)", cfg.Mode, E2EModePush, E2EModePoll)
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
 	if cfg.SigsPerWorker <= 0 {
 		cfg.SigsPerWorker = 8
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = DefaultE2EPollInterval
 	}
 	if cfg.TimeoutSec <= 0 {
 		cfg.TimeoutSec = 120
@@ -350,6 +421,8 @@ func E2EBench(cfg E2EBenchConfig) (E2EBenchResult, error) {
 			"-e2e-sigs", fmt.Sprint(cfg.SigsPerWorker),
 			"-e2e-total", fmt.Sprint(total),
 			"-e2e-timeout", fmt.Sprint(cfg.TimeoutSec),
+			"-e2e-mode", cfg.Mode,
+			"-e2e-poll-ms", fmt.Sprint(cfg.PollInterval.Milliseconds()),
 		)
 		cmd.Stderr = os.Stderr
 		stdout, err := cmd.StdoutPipe()
@@ -394,6 +467,7 @@ func E2EBench(cfg E2EBenchConfig) (E2EBenchResult, error) {
 	// failure aborts the run with its real error instead of stalling out
 	// the whole deadline behind a count that can never be reached.
 	var ingestNS int64 = -1
+	var serverFullAt time.Time
 	var results []E2EWorkerResult
 	collect := func(out workerOut) error {
 		if out.err != nil {
@@ -404,7 +478,8 @@ func E2EBench(cfg E2EBenchConfig) (E2EBenchResult, error) {
 	}
 	for time.Now().Before(deadline) {
 		if srv.Store().Len() >= total {
-			ingestNS = time.Since(t0).Nanoseconds()
+			serverFullAt = time.Now()
+			ingestNS = serverFullAt.Sub(t0).Nanoseconds()
 			break
 		}
 		select {
@@ -420,11 +495,15 @@ func E2EBench(cfg E2EBenchConfig) (E2EBenchResult, error) {
 	}
 
 	res := E2EBenchResult{
+		Mode:          cfg.Mode,
 		Workers:       cfg.Workers,
 		SigsPerWorker: cfg.SigsPerWorker,
 		TotalSigs:     srv.Store().Len(),
 		IngestNS:      ingestNS,
 		IngestPerSec:  float64(total) / (float64(ingestNS) / 1e9),
+	}
+	if cfg.Mode == E2EModePoll {
+		res.PollIntervalMS = cfg.PollInterval.Milliseconds()
 	}
 	for len(results) < cfg.Workers {
 		remain := time.Until(deadline)
@@ -445,23 +524,81 @@ func E2EBench(cfg E2EBenchConfig) (E2EBenchResult, error) {
 	for _, wr := range results {
 		res.WorkerResults = append(res.WorkerResults, wr)
 		res.ProtectionNS = append(res.ProtectionNS, wr.ProtectedNS)
+		dist := wr.ProtectedAtUnixNS - serverFullAt.UnixNano()
+		if dist < 0 {
+			// Sub-millisecond measurement skew (the parent polls the
+			// store every 2 ms); a worker cannot truly complete before
+			// the server does.
+			dist = 0
+		}
+		res.DistributionNS = append(res.DistributionNS, dist)
 	}
 	sort.Slice(res.WorkerResults, func(i, j int) bool { return res.WorkerResults[i].Worker < res.WorkerResults[j].Worker })
 	sort.Slice(res.ProtectionNS, func(i, j int) bool { return res.ProtectionNS[i] < res.ProtectionNS[j] })
+	sort.Slice(res.DistributionNS, func(i, j int) bool { return res.DistributionNS[i] < res.DistributionNS[j] })
 	res.MaxProtectionNS = res.ProtectionNS[len(res.ProtectionNS)-1]
+	res.MaxDistributionNS = res.DistributionNS[len(res.DistributionNS)-1]
 	res.ElapsedNS = time.Since(t0).Nanoseconds()
 	return res, nil
 }
 
-// WriteE2EBench renders the result as text.
+// E2ECompareResult pairs a poll run with a push run over the same
+// parameters.
+type E2ECompareResult struct {
+	Poll E2EBenchResult `json:"poll"`
+	Push E2EBenchResult `json:"push"`
+	// TTPRatio is poll/push on the fleet's worst distribution latency —
+	// how many times faster push delivery protects the fleet once the
+	// community set exists.
+	TTPRatio float64 `json:"ttp_ratio"`
+}
+
+// E2ECompare runs the experiment in both transports and reports the
+// time-to-protection ratio.
+func E2ECompare(cfg E2EBenchConfig) (E2ECompareResult, error) {
+	var cmp E2ECompareResult
+	var err error
+	pollCfg := cfg
+	pollCfg.Mode = E2EModePoll
+	if cmp.Poll, err = E2EBench(pollCfg); err != nil {
+		return cmp, err
+	}
+	pushCfg := cfg
+	pushCfg.Mode = E2EModePush
+	if cmp.Push, err = E2EBench(pushCfg); err != nil {
+		return cmp, err
+	}
+	// Push delivery routinely completes inside the harness's sampling
+	// granularity (the parent polls the store every 2 ms, workers watch
+	// their repos every 1 ms), measuring as ~0. Floor the denominator at
+	// that granularity so the reported ratio is a defensible lower
+	// bound, not a division-by-epsilon artifact.
+	const measurementFloorNS = int64(2 * time.Millisecond)
+	pushDist := cmp.Push.MaxDistributionNS
+	if pushDist < measurementFloorNS {
+		pushDist = measurementFloorNS
+	}
+	cmp.TTPRatio = float64(cmp.Poll.MaxDistributionNS) / float64(pushDist)
+	return cmp, nil
+}
+
+// WriteE2EBench renders one mode's result as text.
 func WriteE2EBench(w io.Writer, res E2EBenchResult) {
-	fmt.Fprintln(w, "End-to-end: worker processes + plugin upload + server ingest + client sync (one box)")
-	fmt.Fprintf(w, "  workers=%d  sigs/worker=%d  total=%d\n", res.Workers, res.SigsPerWorker, res.TotalSigs)
+	fmt.Fprintf(w, "End-to-end (%s): worker processes + plugin upload + server ingest + %s distribution (one box)\n",
+		res.Mode, res.Mode)
+	fmt.Fprintf(w, "  workers=%d  sigs/worker=%d  total=%d", res.Workers, res.SigsPerWorker, res.TotalSigs)
+	if res.Mode == E2EModePoll {
+		fmt.Fprintf(w, "  poll-interval=%dms", res.PollIntervalMS)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  ingest: all signatures on the server in %.1f ms (%.0f sigs/s end to end)\n",
 		float64(res.IngestNS)/1e6, res.IngestPerSec)
 	med := res.ProtectionNS[len(res.ProtectionNS)/2]
-	fmt.Fprintf(w, "  time-to-protection: median %.1f ms, max %.1f ms\n",
+	fmt.Fprintf(w, "  time-to-protection from worker start: median %.1f ms, max %.1f ms\n",
 		float64(med)/1e6, float64(res.MaxProtectionNS)/1e6)
+	medD := res.DistributionNS[len(res.DistributionNS)/2]
+	fmt.Fprintf(w, "  distribution latency (server full -> worker protected): median %.1f ms, max %.1f ms\n",
+		float64(medD)/1e6, float64(res.MaxDistributionNS)/1e6)
 	for _, wr := range res.WorkerResults {
 		fmt.Fprintf(w, "    worker %d: detected=%d uploaded=%d synced=%d detect+upload=%.1fms protected=%.1fms\n",
 			wr.Worker, wr.Detected, wr.Uploaded, wr.Synced,
@@ -469,8 +606,17 @@ func WriteE2EBench(w io.Writer, res E2EBenchResult) {
 	}
 }
 
-// WriteE2EBenchJSON writes the result as indented JSON (the committed
-// BENCH_e2e.json format).
+// WriteE2ECompare renders the push-vs-poll comparison as text.
+func WriteE2ECompare(w io.Writer, cmp E2ECompareResult) {
+	WriteE2EBench(w, cmp.Poll)
+	fmt.Fprintln(w)
+	WriteE2EBench(w, cmp.Push)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  push-vs-poll: push protects the fleet %.0fx faster (max distribution latency %.1f ms vs %.1f ms)\n",
+		cmp.TTPRatio, float64(cmp.Push.MaxDistributionNS)/1e6, float64(cmp.Poll.MaxDistributionNS)/1e6)
+}
+
+// WriteE2EBenchJSON writes one mode's result as indented JSON.
 func WriteE2EBenchJSON(w io.Writer, res E2EBenchResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -478,4 +624,15 @@ func WriteE2EBenchJSON(w io.Writer, res E2EBenchResult) error {
 		Experiment string         `json:"experiment"`
 		Result     E2EBenchResult `json:"result"`
 	}{Experiment: "e2e-cross-process", Result: res})
+}
+
+// WriteE2ECompareJSON writes the push-vs-poll comparison as indented
+// JSON (the committed BENCH_e2e.json format).
+func WriteE2ECompareJSON(w io.Writer, cmp E2ECompareResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string           `json:"experiment"`
+		Result     E2ECompareResult `json:"result"`
+	}{Experiment: "e2e-push-vs-poll", Result: cmp})
 }

@@ -1,9 +1,18 @@
-// Package client implements the Communix client (§III-B): a background
-// process that periodically performs incremental downloads of new
-// deadlock signatures from the Communix server into the local repository,
-// decoupled from applications so that application startup never waits on
-// the network. It also provides the upload path the Communix plugin uses
-// to publish freshly detected signatures.
+// Package client implements the Communix client (§III-B): the component
+// that keeps the local signature repository in sync with the Communix
+// server, decoupled from applications so that application startup never
+// waits on the network. It also provides the upload path the Communix
+// plugin uses to publish freshly detected signatures.
+//
+// All traffic rides one managed persistent connection (re-dialed
+// transparently when it dies). Against a protocol-v2 server the
+// connection is a negotiated session with multiplexed request IDs; in
+// Subscribe mode the client SUBSCRIBEs and the server pushes signature
+// deltas the moment other users contribute them, cutting
+// time-to-protection from poll-interval scale to sub-second, with
+// keepalive PINGs and jittered-backoff reconnects keeping the session
+// standing. Against a v1 server (detected by the HELLO handshake being
+// refused) everything degrades to the classic periodic polling loop.
 package client
 
 import (
@@ -31,15 +40,22 @@ const DefaultSyncInterval = 24 * time.Hour
 // steady-state polling rate.
 const DefaultRetryMin = 30 * time.Second
 
+// DefaultKeepalive is how often a subscribed session PINGs the server;
+// a PING that gets no answer within pingTimeout kills the session and
+// triggers a reconnect, so a silently dead TCP path is detected within
+// roughly one keepalive period.
+const DefaultKeepalive = 30 * time.Second
+
 // Timeouts bounding one round trip, so that neither Close — which waits
-// for an in-flight sync — nor the plugin's synchronous Upload can hang
-// on an unreachable or wedged server. dialTimeout applies to the
-// default dialer only (a custom Config.Dial manages its own);
-// syncIOTimeout is the whole-connection deadline SyncOnce and Upload
-// set on the conns they get.
+// for in-flight work — nor the plugin's synchronous Upload can hang on
+// an unreachable or wedged server. dialTimeout applies to the default
+// dialer only (a custom Config.Dial manages its own); syncIOTimeout
+// bounds each request/response exchange on the managed session;
+// pingTimeout bounds a keepalive round trip.
 const (
 	dialTimeout   = 30 * time.Second
 	syncIOTimeout = 2 * time.Minute
+	pingTimeout   = 30 * time.Second
 )
 
 // Config parameterizes a Client.
@@ -57,11 +73,29 @@ type Config struct {
 	// SyncInterval overrides DefaultSyncInterval.
 	SyncInterval time.Duration
 	// RetryMin overrides DefaultRetryMin, the starting delay of the
-	// exponential backoff applied after consecutive sync failures. It is
-	// capped at SyncInterval.
+	// exponential backoff applied after consecutive sync failures (and,
+	// in Subscribe mode, after session drops). It is capped at
+	// SyncInterval.
 	RetryMin time.Duration
-	// OnSync, if set, is called after every periodic sync attempt.
+	// OnSync, if set, is called after every periodic sync attempt (and,
+	// in Subscribe mode, after failed connection/subscription attempts).
 	OnSync func(added int, err error)
+	// Subscribe switches Start from periodic polling to push delivery:
+	// the client holds one session open, SUBSCRIBEs, and appends pushed
+	// signature deltas to the repository as they arrive. Keepalive PINGs
+	// detect dead sessions; reconnects use the jittered RetryMin
+	// backoff. When the server only speaks protocol v1 the client falls
+	// back to polling at SyncInterval, re-probing for v2 on every
+	// reconnect.
+	Subscribe bool
+	// OnSignatures, if set, observes every batch of signatures the
+	// background loop lands in the repository — pushed deltas in
+	// Subscribe mode, poll results otherwise. It runs on the client's
+	// background goroutine and may do real work (e.g. agent validation)
+	// without stalling push reception.
+	OnSignatures func(added int)
+	// Keepalive overrides DefaultKeepalive (Subscribe mode).
+	Keepalive time.Duration
 }
 
 // Client syncs a local repository against a Communix server.
@@ -72,6 +106,24 @@ type Client struct {
 	stopped bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// sess is the managed connection, dialed lazily and re-dialed when
+	// it dies; nil when no live session is cached. sessClosed (set by
+	// Close under sessMu, checked by getSession under the same lock)
+	// guarantees no session can be dialed-and-cached after Close tore
+	// the cached one down — a later dial would leak its connection and
+	// reader goroutine with nobody left to close them.
+	sessMu     sync.Mutex
+	sess       *session
+	sessClosed bool
+
+	// Push delivery state: the session reader accumulates under pushMu
+	// and nudges pushNotify (cap 1); the subscribe loop drains and runs
+	// the user-visible work, keeping the reader fast.
+	pushMu      sync.Mutex
+	pushAdded   int
+	pushCatchup bool
+	pushNotify  chan struct{}
 }
 
 // New builds a client.
@@ -95,37 +147,122 @@ func New(cfg Config) (*Client, error) {
 	if cfg.RetryMin > cfg.SyncInterval {
 		cfg.RetryMin = cfg.SyncInterval
 	}
-	return &Client{cfg: cfg, done: make(chan struct{})}, nil
+	if cfg.Keepalive <= 0 {
+		cfg.Keepalive = DefaultKeepalive
+	}
+	return &Client{cfg: cfg, done: make(chan struct{}), pushNotify: make(chan struct{}, 1)}, nil
 }
 
-// SyncOnce performs one incremental download: GET(next) where next is the
-// repository's server cursor. It returns how many signatures arrived.
-func (c *Client) SyncOnce() (int, error) {
-	conn, err := c.cfg.Dial()
+// getSession returns the cached managed session, dialing (and running
+// the HELLO version handshake) when there is none or the cached one
+// died.
+func (c *Client) getSession() (*session, error) {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	if c.sessClosed {
+		// Refuse to dial after Close: a fresh session would outlive the
+		// client with nobody left to tear it down. Dialing holds sessMu,
+		// so a dial already in flight completes and caches before Close
+		// can mark the client closed — and is then torn down by it.
+		return nil, errors.New("client: closed")
+	}
+	if c.sess != nil && c.sess.alive() {
+		return c.sess, nil
+	}
+	if c.sess != nil {
+		c.sess.close()
+		c.sess = nil
+	}
+	s, err := dialSession(c.cfg.Dial, c.handlePush)
 	if err != nil {
-		return 0, fmt.Errorf("client: dial: %w", err)
+		return nil, err
 	}
-	defer conn.Close()
-	// Bound the whole round trip: a server that accepts and then stalls
-	// must not pin the sync loop (and Close behind it) forever.
-	_ = conn.SetDeadline(time.Now().Add(syncIOTimeout))
-	wc := wire.NewConn(conn)
+	c.sess = s
+	return s, nil
+}
 
-	if err := wc.Send(wire.NewGet(c.cfg.Repo.Next())); err != nil {
-		return 0, fmt.Errorf("client: sync: %w", err)
+// invalidate discards a dead session (if it is still the cached one).
+func (c *Client) invalidate(s *session) {
+	c.sessMu.Lock()
+	if c.sess == s {
+		c.sess = nil
 	}
-	var resp wire.Response
-	if err := wc.Recv(&resp); err != nil {
-		return 0, fmt.Errorf("client: sync: %w", err)
+	c.sessMu.Unlock()
+	s.close()
+}
+
+// failCachedSession kills whatever session is currently cached with
+// err, forcing the next operation (and the subscribe loop) to
+// reconnect. Safe to call from a session's own reader goroutine.
+func (c *Client) failCachedSession(err error) {
+	c.sessMu.Lock()
+	s := c.sess
+	c.sess = nil
+	c.sessMu.Unlock()
+	if s != nil {
+		s.fail(err)
 	}
-	if resp.Status != wire.StatusOK {
-		return 0, fmt.Errorf("client: sync: server said %s: %s", resp.Status, resp.Detail)
+}
+
+// closeSession (Close only) drops whatever session is cached,
+// unblocking any round trips in flight on it, and bars future dials.
+func (c *Client) closeSession() {
+	c.sessMu.Lock()
+	c.sessClosed = true
+	s := c.sess
+	c.sess = nil
+	c.sessMu.Unlock()
+	if s != nil {
+		s.close()
 	}
-	before := c.cfg.Repo.Len()
-	if err := c.cfg.Repo.Append(resp.Sigs, resp.Next); err != nil {
-		return 0, fmt.Errorf("client: sync: %w", err)
+}
+
+// do performs one round trip on the managed session. A transport error
+// on the first attempt is retried once on a freshly dialed session: the
+// common cause is a connection that idled long enough (hours between
+// polls) for the far side or a middlebox to drop it silently. Requests
+// are idempotent (ADD answers "duplicate", GET is a read), so the retry
+// is always safe.
+func (c *Client) do(req wire.Request) (wire.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		s, err := c.getSession()
+		if err != nil {
+			return wire.Response{}, err
+		}
+		resp, err := s.roundTrip(req, syncIOTimeout)
+		if err == nil {
+			return resp, nil
+		}
+		c.invalidate(s)
+		lastErr = err
 	}
-	return c.cfg.Repo.Len() - before, nil
+	return wire.Response{}, lastErr
+}
+
+// SyncOnce performs one incremental download: GET(next) where next is
+// the repository's server cursor, paging through truncated replies until
+// the server reports the database drained. It returns how many
+// signatures arrived.
+func (c *Client) SyncOnce() (int, error) {
+	added := 0
+	for {
+		resp, err := c.do(wire.NewGet(c.cfg.Repo.Next()))
+		if err != nil {
+			return added, fmt.Errorf("client: sync: %w", err)
+		}
+		if resp.Status != wire.StatusOK {
+			return added, fmt.Errorf("client: sync: server said %s: %s", resp.Status, resp.Detail)
+		}
+		before := c.cfg.Repo.Len()
+		if err := c.cfg.Repo.Append(resp.Sigs, resp.Next); err != nil {
+			return added, fmt.Errorf("client: sync: %w", err)
+		}
+		added += c.cfg.Repo.Len() - before
+		if !resp.More {
+			return added, nil
+		}
+	}
 }
 
 // uploadBusyRetries is how many times Upload retries a StatusBusy
@@ -137,9 +274,12 @@ const uploadBusyRetries = 3
 // Dimmunix produces a signature (§III-B). The server's verdict is
 // returned: nil for accepted (or duplicate), an error describing the
 // rejection otherwise. A busy server (full ingestion queue) is retried a
-// few times with short backoff; signatures are rare and small, so losing
-// one to sustained overload only delays, and never prevents, collective
-// immunity — some other user's upload will carry the same deadlock.
+// few times with short backoff on the same managed connection — an
+// overloaded server is the one peer that must not be greeted with extra
+// dial/teardown cycles per attempt. Signatures are rare and small, so
+// losing one to sustained overload only delays, and never prevents,
+// collective immunity — some other user's upload will carry the same
+// deadlock.
 func (c *Client) Upload(s *sig.Signature) error {
 	req, err := wire.NewAdd(c.cfg.Token, s)
 	if err != nil {
@@ -147,9 +287,9 @@ func (c *Client) Upload(s *sig.Signature) error {
 	}
 	backoff := 10 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		resp, err := c.uploadOnce(req)
+		resp, err := c.do(req)
 		if err != nil {
-			return err
+			return fmt.Errorf("client: upload: %w", err)
 		}
 		switch {
 		case resp.Status == wire.StatusOK:
@@ -168,31 +308,12 @@ func (c *Client) Upload(s *sig.Signature) error {
 	}
 }
 
-// uploadOnce performs one ADD round trip.
-func (c *Client) uploadOnce(req wire.Request) (wire.Response, error) {
-	conn, err := c.cfg.Dial()
-	if err != nil {
-		return wire.Response{}, fmt.Errorf("client: dial: %w", err)
-	}
-	defer conn.Close()
-	// Upload is called synchronously from the plugin right after a
-	// deadlock is detected; a wedged server must not pin the application.
-	_ = conn.SetDeadline(time.Now().Add(syncIOTimeout))
-	wc := wire.NewConn(conn)
-	if err := wc.Send(req); err != nil {
-		return wire.Response{}, fmt.Errorf("client: upload: %w", err)
-	}
-	var resp wire.Response
-	if err := wc.Recv(&resp); err != nil {
-		return wire.Response{}, fmt.Errorf("client: upload: %w", err)
-	}
-	return resp, nil
-}
-
-// Start launches the periodic background sync. The first sync happens
-// immediately — a fresh node should not wait a full (default 24h!)
-// interval before it ever hears about the community's signatures. Stop
-// with Close.
+// Start launches the background distribution loop: push delivery when
+// Config.Subscribe is set (SUBSCRIBE + server pushes + keepalives, with
+// automatic reconnect), periodic polling otherwise. Either way the
+// repository starts filling immediately — a fresh node should not wait a
+// full (default 24h!) interval before it ever hears about the
+// community's signatures. Stop with Close.
 func (c *Client) Start() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -205,6 +326,10 @@ func (c *Client) Start() {
 
 func (c *Client) loop() {
 	defer c.wg.Done()
+	if c.cfg.Subscribe {
+		c.subscribeLoop()
+		return
+	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	failures := 0
 	for {
@@ -215,22 +340,177 @@ func (c *Client) loop() {
 			return
 		default:
 		}
-		added, err := c.SyncOnce()
-		if c.cfg.OnSync != nil {
-			c.cfg.OnSync(added, err)
-		}
-		if err != nil {
-			failures++
-		} else {
-			failures = 0
-		}
-		timer := time.NewTimer(c.nextDelay(failures, rng.Float64()))
-		select {
-		case <-timer.C:
-		case <-c.done:
-			timer.Stop()
+		if !c.pollCycle(rng, &failures) {
 			return
 		}
+	}
+}
+
+// pollCycle performs one poll — SyncOnce, callbacks, failure
+// accounting — then sleeps the jittered cadence. It returns false when
+// Close fired during the sleep. Shared by the plain polling loop and
+// the subscribe loop's v1 fallback so the two modes cannot drift.
+func (c *Client) pollCycle(rng *rand.Rand, failures *int) bool {
+	added, err := c.SyncOnce()
+	c.notifySync(added, err)
+	if added > 0 && c.cfg.OnSignatures != nil {
+		c.cfg.OnSignatures(added)
+	}
+	if err != nil {
+		*failures++
+	} else {
+		*failures = 0
+	}
+	return c.sleep(c.nextDelay(*failures, rng.Float64()))
+}
+
+// sleep waits d, returning false when Close fired first.
+func (c *Client) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// subscribeLoop keeps a subscription standing: establish a session,
+// SUBSCRIBE, service pushes and keepalives until the session dies, then
+// reconnect with the jittered failure backoff. A server that only speaks
+// v1 is polled at the sync interval instead, with the handshake re-probed
+// on every cycle so a server upgrade is picked up without a restart.
+func (c *Client) subscribeLoop() {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	failures := 0
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		s, err := c.getSession()
+		if err != nil {
+			c.notifySync(0, err)
+			failures++
+			if !c.sleep(c.nextDelay(failures, rng.Float64())) {
+				return
+			}
+			continue
+		}
+		if s.version >= wire.V2 {
+			err := c.runSubscription(s)
+			if err == nil {
+				return // Close fired
+			}
+			c.invalidate(s)
+			c.notifySync(0, err)
+			failures++
+			if !c.sleep(c.nextDelay(failures, rng.Float64())) {
+				return
+			}
+			continue
+		}
+		// v1 fallback: one poll now, then sleep the poll cadence.
+		if !c.pollCycle(rng, &failures) {
+			return
+		}
+	}
+}
+
+// runSubscription drives one live subscription: SUBSCRIBE from the
+// repository's cursor, then service pushed deltas, catch-up downgrades,
+// and keepalives until Close (returns nil) or the session dies (returns
+// why).
+func (c *Client) runSubscription(s *session) error {
+	resp, err := s.roundTrip(wire.NewSubscribe(0, c.cfg.Repo.Next()), syncIOTimeout)
+	if err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("client: subscribe: server said %s: %s", resp.Status, resp.Detail)
+	}
+	keepalive := time.NewTicker(c.cfg.Keepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-c.done:
+			return nil
+		case <-s.done:
+			return s.failErr()
+		case <-c.pushNotify:
+			added, catchup := c.takePush()
+			if added > 0 && c.cfg.OnSignatures != nil {
+				c.cfg.OnSignatures(added)
+			}
+			if catchup {
+				// The server downgraded us (we lagged past its push
+				// threshold): drain via paginated GETs. A complete GET
+				// reply re-arms pushing server-side.
+				added, err := c.SyncOnce()
+				if added > 0 && c.cfg.OnSignatures != nil {
+					c.cfg.OnSignatures(added)
+				}
+				if err != nil {
+					return err
+				}
+			}
+		case <-keepalive.C:
+			if _, err := s.roundTrip(wire.NewPing(0), pingTimeout); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// handlePush runs on the session reader goroutine for every
+// server-initiated frame: append the delta to the repository (cheap,
+// idempotent) and hand the user-visible work to the subscribe loop.
+func (c *Client) handlePush(resp wire.Response) {
+	if resp.Type != wire.MsgPush || resp.Status != wire.StatusOK {
+		return
+	}
+	added := 0
+	if len(resp.Sigs) > 0 {
+		before := c.cfg.Repo.Len()
+		if err := c.cfg.Repo.Append(resp.Sigs, resp.Next); err != nil {
+			// A dropped page must not be silent: the server's push
+			// cursor has already moved past it, so the only safe
+			// recovery is killing the session — the reconnect
+			// re-SUBSCRIBEs from the repository's true cursor and the
+			// page is re-delivered.
+			c.failCachedSession(fmt.Errorf("client: push append: %w", err))
+			return
+		}
+		added = c.cfg.Repo.Len() - before
+	}
+	c.pushMu.Lock()
+	c.pushAdded += added
+	if resp.More {
+		c.pushCatchup = true
+	}
+	c.pushMu.Unlock()
+	if added > 0 || resp.More {
+		select {
+		case c.pushNotify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// takePush drains the accumulated push state.
+func (c *Client) takePush() (added int, catchup bool) {
+	c.pushMu.Lock()
+	added, catchup = c.pushAdded, c.pushCatchup
+	c.pushAdded, c.pushCatchup = 0, false
+	c.pushMu.Unlock()
+	return added, catchup
+}
+
+func (c *Client) notifySync(added int, err error) {
+	if c.cfg.OnSync != nil {
+		c.cfg.OnSync(added, err)
 	}
 }
 
@@ -259,9 +539,9 @@ func (c *Client) nextDelay(failures int, jit float64) time.Duration {
 	return d
 }
 
-// Close stops the background sync and waits for it to exit. An
-// in-flight sync is waited out, but never for long: the default dialer
-// and the per-connection deadline bound each attempt.
+// Close stops the background loop, tears the managed session down
+// (failing any round trips in flight on it immediately), and waits for
+// everything to exit.
 func (c *Client) Close() {
 	c.mu.Lock()
 	if !c.stopped {
@@ -269,5 +549,6 @@ func (c *Client) Close() {
 		close(c.done)
 	}
 	c.mu.Unlock()
+	c.closeSession()
 	c.wg.Wait()
 }

@@ -1,0 +1,379 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/repo"
+	"communix/internal/server"
+	"communix/internal/sig/sigtest"
+	"communix/internal/wire"
+)
+
+// v1Server is a minimal reimplementation of the pre-v2 Communix server:
+// strictly sequential request/response, ADD and GET only, everything
+// else — HELLO included — answered with StatusError while the
+// connection stays open. It is the fixed point the v2 client's fallback
+// is tested against.
+type v1Server struct {
+	l     net.Listener
+	codec *ids.Codec
+	sigs  atomic.Pointer[[]sigRecord]
+	dials atomic.Int32
+	// busyFirst answers this many ADDs with StatusBusy before accepting
+	// (backpressure simulation).
+	busyFirst atomic.Int32
+}
+
+type sigRecord struct{ raw []byte }
+
+func newV1Server(t *testing.T) (*v1Server, string) {
+	t.Helper()
+	codec, err := ids.NewCodec(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &v1Server{l: l, codec: codec}
+	empty := []sigRecord{}
+	v.sigs.Store(&empty)
+	go v.serve()
+	t.Cleanup(func() { l.Close() })
+	return v, l.Addr().String()
+}
+
+func (v *v1Server) serve() {
+	for {
+		conn, err := v.l.Accept()
+		if err != nil {
+			return
+		}
+		v.dials.Add(1)
+		go v.handle(conn)
+	}
+}
+
+func (v *v1Server) handle(conn net.Conn) {
+	defer conn.Close()
+	c := wire.NewConn(conn)
+	for {
+		var req wire.Request
+		if err := c.Recv(&req); err != nil {
+			return
+		}
+		var resp wire.Response
+		switch req.Type {
+		case wire.MsgAdd:
+			if v.busyFirst.Load() > 0 {
+				v.busyFirst.Add(-1)
+				resp = wire.Response{Status: wire.StatusBusy, Detail: "queue full"}
+				break
+			}
+			if _, err := v.codec.Verify(req.Token); err != nil {
+				resp = wire.Response{Status: wire.StatusRejected, Detail: "invalid user token"}
+				break
+			}
+			cur := *v.sigs.Load()
+			grown := append(append([]sigRecord{}, cur...), sigRecord{raw: req.Sig})
+			v.sigs.Store(&grown)
+			resp = wire.Response{Status: wire.StatusOK}
+		case wire.MsgGet:
+			cur := *v.sigs.Load()
+			from := req.From
+			if from < 1 {
+				from = 1
+			}
+			out := make([]json.RawMessage, 0)
+			for i := from - 1; i < len(cur); i++ {
+				out = append(out, cur[i].raw)
+			}
+			resp = wire.Response{Status: wire.StatusOK, Sigs: out, Next: len(cur) + 1}
+		default:
+			// The v1 compatibility contract: unknown types get an
+			// error, the connection survives. No ID echo, no More.
+			resp = wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("unknown message type %d", req.Type)}
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// v2-client ↔ v1-server: one-shot operations fall back transparently.
+func TestV2ClientFallsBackToV1Server(t *testing.T) {
+	v1, addr := newV1Server(t)
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token := auth.Issue()
+	rp, _ := repo.Open("")
+	c := newClient(t, addr, token, rp)
+	defer c.Close()
+
+	r := rand.New(rand.NewSource(1))
+	if err := c.Upload(sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 0, 6, 9)); err != nil {
+		t.Fatalf("Upload against v1 server: %v", err)
+	}
+	added, err := c.SyncOnce()
+	if err != nil {
+		t.Fatalf("SyncOnce against v1 server: %v", err)
+	}
+	if added != 1 || rp.Len() != 1 {
+		t.Errorf("added=%d repoLen=%d, want 1/1", added, rp.Len())
+	}
+	// One HELLO probe, one connection: upload + sync share it.
+	if d := v1.dials.Load(); d != 1 {
+		t.Errorf("dials = %d, want 1 (one persistent fallback connection)", d)
+	}
+}
+
+// v2-client in Subscribe mode ↔ v1-server: degrades to polling at the
+// sync interval and still fills the repository.
+func TestSubscribeFallsBackToPollingAgainstV1Server(t *testing.T) {
+	v1, addr := newV1Server(t)
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token := auth.Issue()
+
+	// Seed the v1 server.
+	seederRepo, _ := repo.Open("")
+	seeder := newClient(t, addr, token, seederRepo)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 3; i++ {
+		if err := seeder.Upload(sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeder.Close()
+
+	rp, _ := repo.Open("")
+	var pushed atomic.Int32
+	c := newClient(t, addr, token, rp, func(cfg *Config) {
+		cfg.Subscribe = true
+		cfg.SyncInterval = 20 * time.Millisecond
+		cfg.OnSignatures = func(added int) { pushed.Add(int32(added)) }
+	})
+	c.Start()
+	defer c.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && rp.Len() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if rp.Len() != 3 {
+		t.Fatalf("repo len = %d, want 3 (poll fallback must fill it)", rp.Len())
+	}
+	if pushed.Load() != 3 {
+		t.Errorf("OnSignatures saw %d, want 3", pushed.Load())
+	}
+	_ = v1
+}
+
+// Busy retries ride one connection instead of dialing per attempt.
+func TestUploadBusyRetriesReuseConnection(t *testing.T) {
+	v1, addr := newV1Server(t)
+	v1.busyFirst.Store(2)
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token := auth.Issue()
+	rp, _ := repo.Open("")
+	c := newClient(t, addr, token, rp)
+	defer c.Close()
+
+	r := rand.New(rand.NewSource(3))
+	if err := c.Upload(sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 0, 6, 9)); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if d := v1.dials.Load(); d != 1 {
+		t.Errorf("dials = %d, want 1 (busy retries must not re-dial)", d)
+	}
+}
+
+// v2-client ↔ v2-server: Subscribe mode receives deltas pushed by the
+// server without polling.
+func TestSubscribeReceivesPushedDeltas(t *testing.T) {
+	_, addr, auth := testServer(t)
+	_, token := auth.Issue()
+
+	rp, _ := repo.Open("")
+	var pushed atomic.Int32
+	c := newClient(t, addr, token, rp, func(cfg *Config) {
+		cfg.Subscribe = true
+		// A poll cadence that cannot explain delivery: only pushes can
+		// fill the repo within the deadline.
+		cfg.SyncInterval = time.Hour
+		cfg.RetryMin = 10 * time.Millisecond
+		cfg.OnSignatures = func(added int) { pushed.Add(int32(added)) }
+	})
+	c.Start()
+	defer c.Close()
+
+	// Another user contributes after our subscription is (or is being)
+	// established.
+	uploaderRepo, _ := repo.Open("")
+	uploader := newClient(t, addr, token, uploaderRepo)
+	defer uploader.Close()
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 3; i++ {
+		if err := uploader.Upload(sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && rp.Len() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if rp.Len() != 3 {
+		t.Fatalf("repo len = %d, want 3 (pushed)", rp.Len())
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && pushed.Load() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := pushed.Load(); got != 3 {
+		t.Errorf("OnSignatures saw %d, want 3", got)
+	}
+}
+
+// A subscribed client outlives its server: when the server comes back,
+// the client reconnects, re-subscribes from its cursor, and receives
+// what it missed.
+func TestSubscribeReconnectsAfterServerRestart(t *testing.T) {
+	srv1, err := server.New(server.Config{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv1.Serve(l1) }()
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token := auth.Issue()
+
+	// The dial target is switchable: "restart" = new server, new port.
+	var target atomic.Value
+	target.Store(l1.Addr().String())
+
+	rp, _ := repo.Open("")
+	c, err := New(Config{
+		Dial: func() (net.Conn, error) {
+			return net.DialTimeout("tcp", target.Load().(string), 5*time.Second)
+		},
+		Repo:      rp,
+		Token:     token,
+		Subscribe: true,
+		RetryMin:  5 * time.Millisecond,
+		Keepalive: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Close()
+
+	// Let the first subscription establish, then kill the server.
+	time.Sleep(50 * time.Millisecond)
+	srv1.Close()
+
+	// Second server with one signature the client must still learn.
+	srv2, err := server.New(server.Config{Key: testKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.Serve(l2) }()
+	t.Cleanup(func() {
+		srv2.Close()
+		<-done2
+	})
+	target.Store(l2.Addr().String())
+
+	r := rand.New(rand.NewSource(5))
+	s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 0, 6, 9)
+	up, _ := repo.Open("")
+	uploader := newClient(t, l2.Addr().String(), token, up)
+	if err := uploader.Upload(s); err != nil {
+		t.Fatal(err)
+	}
+	uploader.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && rp.Len() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if rp.Len() != 1 {
+		t.Fatalf("repo len = %d after restart, want 1 (reconnect + re-subscribe)", rp.Len())
+	}
+}
+
+// SyncOnce pages through a capped server until drained — one call, the
+// whole database, no 64 MiB frames.
+func TestSyncOncePaginates(t *testing.T) {
+	srv, err := server.New(server.Config{Key: testKey, GetBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token := auth.Issue()
+
+	// Seed 7 signatures: 4 pages at GetBatch=2.
+	up, _ := repo.Open("")
+	uploader := newClient(t, l.Addr().String(), token, up)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 7; i++ {
+		if err := uploader.Upload(sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	uploader.Close()
+
+	rp, _ := repo.Open("")
+	c := newClient(t, l.Addr().String(), token, rp)
+	defer c.Close()
+	added, err := c.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 7 || rp.Len() != 7 {
+		t.Errorf("added=%d repoLen=%d, want 7/7 in one SyncOnce", added, rp.Len())
+	}
+	if rp.Next() != 8 {
+		t.Errorf("cursor = %d, want 8", rp.Next())
+	}
+}

@@ -1,0 +1,220 @@
+// Managed connection: the client side of a protocol-v2 session
+// (docs/PROTOCOL.md). dialSession opens a connection and probes the
+// server with HELLO: a v2 server negotiates a session (request IDs, a
+// reader goroutine demultiplexing responses and server-initiated PUSH
+// frames), a v1 server answers HELLO with an error and the same
+// connection degrades gracefully to sequential one-shot round trips —
+// still persistent, so busy retries and paginated syncs reuse it instead
+// of re-dialing.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"communix/internal/wire"
+)
+
+// errSessionClosed reports use of a session after close or failure.
+var errSessionClosed = errors.New("client: session closed")
+
+// session is one managed connection to the server.
+type session struct {
+	conn net.Conn
+	wc   *wire.Conn
+	// version is the negotiated protocol version: wire.V2 for a
+	// session-capable server, wire.V1 for the one-shot fallback.
+	version int
+
+	// writeMu serializes frame writes; in v1 mode it serializes whole
+	// round trips (the v1 server answers strictly in order).
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan wire.Response
+	err     error
+
+	// onPush receives server-initiated frames (ID 0) on the reader
+	// goroutine; it must be fast and must not call back into the
+	// session.
+	onPush func(wire.Response)
+
+	done     chan struct{}
+	failOnce sync.Once
+}
+
+// handshakeTimeout bounds the HELLO round trip on a fresh connection.
+const handshakeTimeout = 30 * time.Second
+
+// dialSession establishes a connection and negotiates the protocol
+// version. onPush may be nil when the caller never subscribes.
+func dialSession(dial func() (net.Conn, error), onPush func(wire.Response)) (*session, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	s := &session{
+		conn:    conn,
+		wc:      wire.NewConn(conn),
+		nextID:  2, // HELLO used 1
+		pending: make(map[uint64]chan wire.Response),
+		onPush:  onPush,
+		done:    make(chan struct{}),
+	}
+	if err := s.wc.Send(wire.NewHello(1)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	var resp wire.Response
+	if err := s.wc.Recv(&resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	switch {
+	case resp.Status == wire.StatusOK && resp.Version >= wire.V2:
+		s.version = wire.V2
+		go s.readLoop()
+	default:
+		// A v1 server answers HELLO with StatusError ("unknown message
+		// type") and keeps the connection usable; an explicit OK with
+		// Version 1 is a v2 server honoring a downgrade. Either way:
+		// one-shot mode on this same connection.
+		s.version = wire.V1
+	}
+	return s, nil
+}
+
+// alive reports whether the session can still carry requests.
+func (s *session) alive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err == nil
+}
+
+// close tears the session down; safe to call more than once.
+func (s *session) close() { s.fail(errSessionClosed) }
+
+// fail marks the session dead with err, closes the connection (which
+// unblocks the reader), and wakes every in-flight round trip through the
+// done channel.
+func (s *session) fail(err error) {
+	s.failOnce.Do(func() {
+		s.mu.Lock()
+		s.err = err
+		s.pending = nil
+		s.mu.Unlock()
+		s.conn.Close()
+		close(s.done)
+	})
+}
+
+// failErr returns the error the session died with.
+func (s *session) failErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		return errSessionClosed
+	}
+	return s.err
+}
+
+// readLoop (v2 only) demultiplexes inbound frames: responses are matched
+// to their round trip by ID, ID-0 frames are server pushes.
+func (s *session) readLoop() {
+	for {
+		var resp wire.Response
+		if err := s.wc.Recv(&resp); err != nil {
+			s.fail(fmt.Errorf("client: session read: %w", err))
+			return
+		}
+		if resp.ID == 0 {
+			if s.onPush != nil {
+				s.onPush(resp)
+			}
+			continue
+		}
+		s.mu.Lock()
+		ch := s.pending[resp.ID]
+		delete(s.pending, resp.ID)
+		s.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// roundTrip performs one request/response exchange, bounded by timeout.
+// Any transport failure (including the timeout) kills the session — the
+// caller discards it and dials a fresh one.
+func (s *session) roundTrip(req wire.Request, timeout time.Duration) (wire.Response, error) {
+	if s.version >= wire.V2 {
+		return s.roundTripV2(req, timeout)
+	}
+	return s.roundTripV1(req, timeout)
+}
+
+func (s *session) roundTripV1(req wire.Request, timeout time.Duration) (wire.Response, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if !s.alive() {
+		return wire.Response{}, s.failErr()
+	}
+	req.ID = 0 // v1 servers neither use nor echo IDs
+	_ = s.conn.SetDeadline(time.Now().Add(timeout))
+	if err := s.wc.Send(req); err != nil {
+		err = fmt.Errorf("client: send: %w", err)
+		s.fail(err)
+		return wire.Response{}, err
+	}
+	var resp wire.Response
+	if err := s.wc.Recv(&resp); err != nil {
+		err = fmt.Errorf("client: recv: %w", err)
+		s.fail(err)
+		return wire.Response{}, err
+	}
+	return resp, nil
+}
+
+func (s *session) roundTripV2(req wire.Request, timeout time.Duration) (wire.Response, error) {
+	ch := make(chan wire.Response, 1)
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return wire.Response{}, err
+	}
+	id := s.nextID
+	s.nextID++
+	s.pending[id] = ch
+	s.mu.Unlock()
+	req.ID = id
+
+	s.writeMu.Lock()
+	_ = s.conn.SetWriteDeadline(time.Now().Add(timeout))
+	err := s.wc.Send(req)
+	s.writeMu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("client: send: %w", err)
+		s.fail(err)
+		return wire.Response{}, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-s.done:
+		return wire.Response{}, s.failErr()
+	case <-timer.C:
+		err := fmt.Errorf("client: %s timed out after %v", req.Type, timeout)
+		s.fail(err)
+		return wire.Response{}, err
+	}
+}

@@ -68,12 +68,29 @@ type Config struct {
 	// Fsync selects the write-ahead log's fsync policy (store.FsyncBatch
 	// by default); meaningful only with DataDir.
 	Fsync store.FsyncPolicy
+	// GetBatch caps one GET reply (and one PUSH frame) at this many
+	// signatures; truncated replies set More and the client pages
+	// through Next. 0 means the protocol maximum, wire.MaxGetBatch;
+	// larger values are clamped to it.
+	GetBatch int
+	// PushMaxLag is how many signatures behind a subscribed v2 session
+	// may fall before the server downgrades it from PUSH delivery to
+	// catch-up GETs (default 4 × GetBatch). Pushing resumes when a GET
+	// reply comes back complete.
+	PushMaxLag int
 }
 
 // Server is a Communix signature server.
 type Server struct {
 	codec *ids.Codec
 	db    *store.Store
+
+	// Session layer (protocol v2): hub fans commit wakeups out to
+	// subscribed sessions; getBatch/pushMaxLag are the resolved Config
+	// knobs.
+	hub        hub
+	getBatch   int
+	pushMaxLag int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -123,6 +140,19 @@ func New(cfg Config) (*Server, error) {
 		db:    db,
 		conns: make(map[net.Conn]struct{}),
 	}
+	s.getBatch = cfg.GetBatch
+	if s.getBatch <= 0 || s.getBatch > wire.MaxGetBatch {
+		s.getBatch = wire.MaxGetBatch
+	}
+	s.pushMaxLag = cfg.PushMaxLag
+	if s.pushMaxLag <= 0 {
+		s.pushMaxLag = 4 * s.getBatch
+	}
+	if s.pushMaxLag < s.getBatch {
+		// A threshold below one page would downgrade every subscriber on
+		// every push; the floor keeps the knob safe to misconfigure.
+		s.pushMaxLag = s.getBatch
+	}
 	if cfg.IngestWorkers > 0 {
 		queue := cfg.IngestQueue
 		if queue <= 0 {
@@ -146,10 +176,14 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Store() *store.Store { return s.db }
 
 // Process handles one request — the direct-invocation path. GETs are
-// answered inline from the store's lock-free snapshot; ADDs either commit
-// synchronously (no ingestion workers) or ride the batched ingestion
-// queue, in which case Process blocks until a worker delivers the
-// verdict, or answers StatusBusy immediately when the queue is full.
+// answered inline from the store's lock-free snapshot, paginated at the
+// GetBatch/wire.MaxGetBytes caps (truncated replies set More); ADDs
+// either commit synchronously (no ingestion workers) or ride the batched
+// ingestion queue, in which case Process blocks until a worker delivers
+// the verdict, or answers StatusBusy immediately when the queue is full.
+// HELLO and SUBSCRIBE are session-layer exchanges and answered with
+// StatusError here — exactly what a v1 server says to them, which is how
+// v2 clients detect the fallback.
 func (s *Server) Process(req wire.Request) wire.Response {
 	switch req.Type {
 	case wire.MsgAdd:
@@ -158,8 +192,12 @@ func (s *Server) Process(req wire.Request) wire.Response {
 		}
 		return s.processAdd(req)
 	case wire.MsgGet:
-		sigs, next := s.db.Get(req.From)
-		return wire.Response{Status: wire.StatusOK, Sigs: sigs, Next: next}
+		sigs, next, more := s.db.GetPage(req.From, s.getBatch, wire.MaxGetBytes)
+		return wire.Response{Status: wire.StatusOK, Sigs: sigs, Next: next, More: more}
+	case wire.MsgPing:
+		return wire.Response{Status: wire.StatusOK}
+	case wire.MsgSubscribe:
+		return wire.Response{Status: wire.StatusError, Detail: "SUBSCRIBE requires a v2 session (open with HELLO)"}
 	default:
 		return wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("unknown message type %d", req.Type)}
 	}
@@ -224,8 +262,17 @@ func (s *Server) processAddBatch(jobs []*addJob) {
 		uploads = append(uploads, store.Upload{User: user, Sig: uploaded})
 		pending = append(pending, job)
 	}
+	committed := 0
 	for i, res := range s.db.AddBatch(uploads) {
+		if res.Added {
+			committed++
+		}
 		pending[i].resp <- addVerdict(res.Added, res.Err)
+	}
+	if committed > 0 {
+		// The batch is published; fan it out to subscribed sessions.
+		// One wake covers the whole batch — the pushers read the log.
+		s.hub.wake()
 	}
 }
 
@@ -235,6 +282,9 @@ func (s *Server) processAdd(req wire.Request) wire.Response {
 		return *reject
 	}
 	added, err := s.db.Add(user, uploaded)
+	if added {
+		s.hub.wake()
+	}
 	return addVerdict(added, err)
 }
 
@@ -329,6 +379,10 @@ func (s *Server) ListenAndServe(addr string, bound chan<- net.Addr) error {
 	return s.Serve(l)
 }
 
+// handle serves one connection. The first frame selects the protocol:
+// HELLO opens a negotiated v2 session (request IDs, SUBSCRIBE/PUSH),
+// anything else is a v1 one-shot peer served by the original sequential
+// loop — existing clients keep working against this server unchanged.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -338,10 +392,27 @@ func (s *Server) handle(conn net.Conn) {
 		s.wg.Done()
 	}()
 	c := wire.NewConn(conn)
+	var req wire.Request
+	if err := c.Recv(&req); err != nil {
+		return // EOF or protocol error: drop the connection
+	}
+	if req.Type == wire.MsgHello {
+		s.serveSession(conn, c, req)
+		return
+	}
+	if err := c.Send(s.Process(req)); err != nil {
+		return
+	}
+	s.serveV1(c)
+}
+
+// serveV1 is the original sequential request/response loop: one frame
+// in, one frame out, in order, until the peer hangs up.
+func (s *Server) serveV1(c *wire.Conn) {
 	for {
 		var req wire.Request
 		if err := c.Recv(&req); err != nil {
-			return // EOF or protocol error: drop the connection
+			return
 		}
 		if err := c.Send(s.Process(req)); err != nil {
 			return

@@ -1,0 +1,322 @@
+// Session layer: protocol-v2 persistent connections (docs/PROTOCOL.md).
+//
+// A connection whose first frame is HELLO becomes a session: a reader
+// (the connection's handler goroutine) dispatches ID-tagged requests, a
+// writer goroutine serializes all outbound frames, and — once the peer
+// SUBSCRIBEs — a pusher goroutine streams signature deltas as
+// server-initiated PUSH frames. The pusher is cursor-based: it owns a
+// position into the store's append-only log and pushes batched pages
+// from there, so a burst of commits coalesces into one batched PUSH and
+// a slow subscriber never costs the server buffering beyond one
+// in-flight page (the log, which exists anyway, is the buffer). A
+// subscriber lagging more than the configured threshold is downgraded:
+// it receives one catch-up marker (PUSH with More set, no signatures)
+// and must drain via paginated GETs; the first GET reply that comes back
+// complete re-arms the push stream from the position the GET reached.
+package server
+
+import (
+	"net"
+	"sync"
+
+	"communix/internal/wire"
+)
+
+const (
+	// sessionOutQueue bounds one session's outbound frame queue. Frames
+	// past it apply backpressure to their producer (reader dispatch or
+	// pusher), never unbounded server memory.
+	sessionOutQueue = 16
+	// sessionMaxInflightAdds bounds concurrently processed ADDs per
+	// session; further ADD frames wait in the kernel socket buffer.
+	sessionMaxInflightAdds = 32
+)
+
+// hub fans "the database grew" wakeups out to subscribed sessions. It
+// carries no payload: each pusher reads its own deltas from the store's
+// lock-free log snapshot, so a commit burst costs one coalesced wakeup
+// per subscriber regardless of burst size.
+type hub struct {
+	mu   sync.Mutex
+	subs map[*session]struct{}
+}
+
+func (h *hub) add(sess *session) {
+	h.mu.Lock()
+	if h.subs == nil {
+		h.subs = make(map[*session]struct{})
+	}
+	h.subs[sess] = struct{}{}
+	h.mu.Unlock()
+}
+
+func (h *hub) remove(sess *session) {
+	h.mu.Lock()
+	delete(h.subs, sess)
+	h.mu.Unlock()
+}
+
+// wake nudges every subscriber's pusher. Non-blocking: the cap-1 notify
+// channel coalesces bursts, and a pusher mid-drain re-checks the log
+// before sleeping, so no commit is ever missed.
+func (h *hub) wake() {
+	h.mu.Lock()
+	for sess := range h.subs {
+		sess.nudge()
+	}
+	h.mu.Unlock()
+}
+
+// session is one v2 connection's server-side state.
+type session struct {
+	conn net.Conn
+	wc   *wire.Conn
+
+	out      chan wire.Response
+	notify   chan struct{} // cap 1: pusher wakeups, coalescing
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// mu guards the subscription state below, shared between the reader
+	// (SUBSCRIBE/GET handling) and the pusher.
+	mu         sync.Mutex
+	subscribed bool
+	// cursor is the 1-based log index the next PUSH starts from.
+	cursor int
+	// catchup marks a downgraded subscriber: pushing is paused until a
+	// complete (un-truncated) GET reply proves the peer caught up.
+	catchup bool
+
+	wg sync.WaitGroup // writer + pusher + in-flight ADD handlers
+}
+
+func newSession(conn net.Conn, wc *wire.Conn) *session {
+	return &session{
+		conn:   conn,
+		wc:     wc,
+		out:    make(chan wire.Response, sessionOutQueue),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+}
+
+// send queues one outbound frame, giving up when the session is tearing
+// down (so producers never block on a dead peer's full queue).
+func (sess *session) send(r wire.Response) bool {
+	select {
+	case sess.out <- r:
+		return true
+	case <-sess.stop:
+		return false
+	}
+}
+
+// nudge wakes the pusher if it is asleep; a set flag already covers it.
+func (sess *session) nudge() {
+	select {
+	case sess.notify <- struct{}{}:
+	default:
+	}
+}
+
+// shutdown tears the session down exactly once: the stop channel
+// releases every goroutine blocked on send/notify, and closing the
+// connection unblocks the reader.
+func (sess *session) shutdown() {
+	sess.stopOnce.Do(func() {
+		close(sess.stop)
+		sess.conn.Close()
+	})
+}
+
+// writeLoop is the session's single writer: every frame — responses and
+// pushes alike — leaves through here, so interleaving is frame-atomic.
+func (sess *session) writeLoop() {
+	defer sess.wg.Done()
+	for {
+		select {
+		case r := <-sess.out:
+			if err := sess.wc.Send(r); err != nil {
+				sess.shutdown()
+				return
+			}
+		case <-sess.stop:
+			return
+		}
+	}
+}
+
+// serveSession negotiates and runs one v2 session; it returns when the
+// connection dies (peer hangup, write error, server Close). hello is the
+// already-read opening frame.
+func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
+	version := hello.Version
+	if version > wire.MaxVersion {
+		version = wire.MaxVersion
+	}
+	if version < wire.V2 {
+		// The peer asked for v1 (or nonsense): acknowledge the downgrade
+		// and serve the plain sequential loop.
+		if c.Send(wire.Response{Status: wire.StatusOK, ID: hello.ID, Version: wire.V1}) != nil {
+			return
+		}
+		s.serveV1(c)
+		return
+	}
+
+	sess := newSession(conn, c)
+	sess.wg.Add(2)
+	go sess.writeLoop()
+	go s.pushLoop(sess)
+	defer func() {
+		sess.shutdown()
+		s.hub.remove(sess)
+		sess.wg.Wait()
+	}()
+
+	if !sess.send(wire.Response{Status: wire.StatusOK, ID: hello.ID, Version: version}) {
+		return
+	}
+
+	sem := make(chan struct{}, sessionMaxInflightAdds)
+	for {
+		var req wire.Request
+		if err := c.Recv(&req); err != nil {
+			return
+		}
+		switch req.Type {
+		case wire.MsgAdd:
+			// ADD verdicts can wait on the ingestion pipeline; dispatch
+			// so GETs, PINGs, and pushes keep flowing meanwhile. IDs
+			// match responses back to requests, order is unspecified.
+			sem <- struct{}{}
+			sess.wg.Add(1)
+			go func(req wire.Request) {
+				defer func() { <-sem; sess.wg.Done() }()
+				resp := s.Process(req)
+				resp.ID = req.ID
+				sess.send(resp)
+			}(req)
+		case wire.MsgGet:
+			resp := s.Process(req)
+			resp.ID = req.ID
+			if !sess.send(resp) {
+				return
+			}
+			if !resp.More {
+				// A complete reply proves the peer is caught up: resume
+				// pushing from where the GET ended (no gap: anything
+				// committed after the snapshot is ≥ resp.Next). This
+				// must happen strictly AFTER the reply is queued — the
+				// out channel is FIFO, so the first resumed PUSH can
+				// never overtake the GET reply on the wire; overtaking
+				// would misalign the client's repository positions and
+				// drop the GET page for good.
+				s.resumePush(sess, resp.Next)
+			}
+		case wire.MsgSubscribe:
+			s.subscribe(sess, req.From)
+			if !sess.send(wire.Response{Status: wire.StatusOK, ID: req.ID}) {
+				return
+			}
+		case wire.MsgPing:
+			if !sess.send(wire.Response{Status: wire.StatusOK, ID: req.ID}) {
+				return
+			}
+		default:
+			resp := s.Process(req)
+			resp.ID = req.ID
+			if !sess.send(resp) {
+				return
+			}
+		}
+	}
+}
+
+// subscribe registers the session for pushes from 1-based index from,
+// and nudges the pusher so the backlog streams out immediately —
+// catch-up and live delivery are the same cursor-driven path.
+func (s *Server) subscribe(sess *session, from int) {
+	if from < 1 {
+		from = 1
+	}
+	sess.mu.Lock()
+	sess.subscribed = true
+	sess.cursor = from
+	sess.catchup = false
+	sess.mu.Unlock()
+	s.hub.add(sess)
+	sess.nudge()
+}
+
+// resumePush re-arms a downgraded subscriber's push stream from next
+// (where a complete GET reply left the peer).
+func (s *Server) resumePush(sess *session, next int) {
+	sess.mu.Lock()
+	resumed := sess.subscribed && sess.catchup
+	if resumed {
+		sess.catchup = false
+		sess.cursor = next
+	}
+	sess.mu.Unlock()
+	if resumed {
+		sess.nudge()
+	}
+}
+
+// pushLoop sleeps until the hub (or SUBSCRIBE/resume) nudges it, then
+// drains the log to the subscriber.
+func (s *Server) pushLoop(sess *session) {
+	defer sess.wg.Done()
+	for {
+		select {
+		case <-sess.stop:
+			return
+		case <-sess.notify:
+		}
+		s.drainPush(sess)
+	}
+}
+
+// drainPush pushes batched pages from the session's cursor until the
+// subscriber is current, not subscribed, downgraded, or gone.
+func (s *Server) drainPush(sess *session) {
+	for {
+		sess.mu.Lock()
+		if !sess.subscribed || sess.catchup {
+			sess.mu.Unlock()
+			return
+		}
+		cur := sess.cursor
+		sess.mu.Unlock()
+
+		lag := s.db.Len() - (cur - 1)
+		if lag <= 0 {
+			return
+		}
+		if lag > s.pushMaxLag {
+			// Downgrade a subscriber too far behind to push at: one
+			// catch-up marker, then the client drains via paginated GET
+			// at its own pace (the backpressure-to-catch-up contract).
+			sess.mu.Lock()
+			sess.catchup = true
+			sess.mu.Unlock()
+			sess.send(wire.Response{Status: wire.StatusOK, Type: wire.MsgPush, Next: cur, More: true})
+			return
+		}
+		sigs, next, _ := s.db.GetPage(cur, s.getBatch, wire.MaxGetBytes)
+		if len(sigs) == 0 {
+			return
+		}
+		if !sess.send(wire.Response{Status: wire.StatusOK, Type: wire.MsgPush, Sigs: sigs, Next: next}) {
+			return
+		}
+		sess.mu.Lock()
+		// A concurrent re-SUBSCRIBE may have moved the cursor; never
+		// clobber it with a stale advance.
+		if sess.cursor == cur {
+			sess.cursor = next
+		}
+		sess.mu.Unlock()
+	}
+}

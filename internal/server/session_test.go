@@ -1,0 +1,437 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/sig/sigtest"
+	"communix/internal/wire"
+)
+
+// v2TestServer spins up a TCP server with session knobs; cleanup stops
+// it.
+func v2TestServer(t *testing.T, cfg Config) (*Server, string, *ids.Authority) {
+	t.Helper()
+	cfg.Key = testKey
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	auth, err := ids.NewAuthority(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, l.Addr().String(), auth
+}
+
+// dialV2 opens a raw v2 session: HELLO exchanged, ready for requests.
+func dialV2(t *testing.T, addr string) (net.Conn, *wire.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	c := wire.NewConn(conn)
+	if err := c.Send(wire.NewHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || resp.ID != 1 || resp.Version != wire.V2 {
+		t.Fatalf("HELLO reply = %+v, want ok/id=1/version=2", resp)
+	}
+	return conn, c
+}
+
+// seedServer commits n distinct signatures through the direct path.
+func seedServer(t *testing.T, srv *Server, auth *ids.Authority, seed int64, n int) {
+	t.Helper()
+	_, token := auth.Issue()
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)
+		if resp := srv.Process(addReq(t, token, s)); resp.Status != wire.StatusOK {
+			t.Fatalf("seed ADD %d: %+v", i, resp)
+		}
+	}
+}
+
+func TestHelloNegotiatesV2(t *testing.T) {
+	_, addr, _ := v2TestServer(t, Config{})
+	_, c := dialV2(t, addr)
+	// IDs are echoed: two in-flight GETs answered by ID, whatever the
+	// order.
+	if err := c.Send(wire.Request{Type: wire.MsgGet, ID: 5, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(wire.Request{Type: wire.MsgPing, ID: 6}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 2; i++ {
+		var resp wire.Response
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("response %d: %+v", i, resp)
+		}
+		seen[resp.ID] = true
+	}
+	if !seen[5] || !seen[6] {
+		t.Errorf("responses did not echo request IDs: %v", seen)
+	}
+}
+
+func TestHelloDowngradeToV1(t *testing.T) {
+	_, addr, _ := v2TestServer(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	c := wire.NewConn(conn)
+	// A hypothetical peer that only speaks v1 but sends HELLO anyway.
+	if err := c.Send(wire.Request{Type: wire.MsgHello, ID: 1, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || resp.Version != wire.V1 {
+		t.Fatalf("downgrade reply = %+v, want ok/version=1", resp)
+	}
+	// The connection then serves plain sequential v1 requests.
+	if err := c.Send(wire.NewGet(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || resp.Next != 1 {
+		t.Fatalf("v1 GET after downgrade: %+v", resp)
+	}
+}
+
+func TestSubscribeStreamsBacklogAndLiveDeltas(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{})
+	seedServer(t, srv, auth, 1, 3)
+
+	_, c := dialV2(t, addr)
+	if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || resp.ID != 2 {
+		t.Fatalf("SUBSCRIBE ack = %+v", resp)
+	}
+
+	// Backlog arrives as PUSH frames.
+	got := 0
+	for got < 3 {
+		var push wire.Response
+		if err := c.Recv(&push); err != nil {
+			t.Fatal(err)
+		}
+		if push.ID != 0 || push.Type != wire.MsgPush || push.Status != wire.StatusOK {
+			t.Fatalf("expected PUSH, got %+v", push)
+		}
+		got += len(push.Sigs)
+	}
+	if got != 3 {
+		t.Fatalf("backlog delivered %d signatures, want 3", got)
+	}
+
+	// A live commit is pushed without any client action.
+	seedServer(t, srv, auth, 2, 1)
+	var push wire.Response
+	if err := c.Recv(&push); err != nil {
+		t.Fatal(err)
+	}
+	if push.Type != wire.MsgPush || len(push.Sigs) != 1 || push.Next != 5 {
+		t.Fatalf("live delta = %+v", push)
+	}
+}
+
+func TestSubscriberFanOut(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{})
+	const subs = 3
+	conns := make([]*wire.Conn, subs)
+	for i := range conns {
+		_, c := dialV2(t, addr)
+		if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	seedServer(t, srv, auth, 3, 2)
+	for i, c := range conns {
+		got := 0
+		for got < 2 {
+			var push wire.Response
+			if err := c.Recv(&push); err != nil {
+				t.Fatalf("subscriber %d: %v", i, err)
+			}
+			if push.Type != wire.MsgPush {
+				t.Fatalf("subscriber %d: %+v", i, push)
+			}
+			got += len(push.Sigs)
+		}
+	}
+}
+
+func TestGetPaginates(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{GetBatch: 2})
+	seedServer(t, srv, auth, 4, 5)
+
+	_, c := dialV2(t, addr)
+	from, pages, total := 1, 0, 0
+	for {
+		if err := c.Send(wire.Request{Type: wire.MsgGet, ID: 10, From: from}); err != nil {
+			t.Fatal(err)
+		}
+		var page wire.Response
+		if err := c.Recv(&page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Status != wire.StatusOK {
+			t.Fatalf("GET page: %+v", page)
+		}
+		if len(page.Sigs) > 2 {
+			t.Fatalf("page of %d exceeds GetBatch=2", len(page.Sigs))
+		}
+		pages++
+		total += len(page.Sigs)
+		from = page.Next
+		if !page.More {
+			break
+		}
+	}
+	if total != 5 || pages != 3 {
+		t.Errorf("drained %d signatures over %d pages, want 5 over 3", total, pages)
+	}
+	if from != 6 {
+		t.Errorf("final Next = %d, want 6 (database size + 1)", from)
+	}
+}
+
+// The size-probe idiom (communix-inspect): a GET far past the end still
+// reveals the database size via Next, with no signatures and no More.
+func TestGetSizeProbeSurvivesPagination(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{GetBatch: 2})
+	seedServer(t, srv, auth, 5, 5)
+	_, c := dialV2(t, addr)
+	if err := c.Send(wire.Request{Type: wire.MsgGet, ID: 1, From: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Next != 6 || len(resp.Sigs) != 0 || resp.More {
+		t.Errorf("size probe = %+v, want next=6, no sigs, no more", resp)
+	}
+}
+
+func TestLaggingSubscriberDowngradedToCatchup(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{GetBatch: 1, PushMaxLag: 2})
+	// 6 committed signatures: any subscriber starting from 1 lags by 6 >
+	// PushMaxLag and must be downgraded instead of pushed at.
+	seedServer(t, srv, auth, 6, 6)
+
+	_, c := dialV2(t, addr)
+	if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || resp.ID != 2 {
+		t.Fatalf("SUBSCRIBE ack = %+v", resp)
+	}
+	var marker wire.Response
+	if err := c.Recv(&marker); err != nil {
+		t.Fatal(err)
+	}
+	if marker.Type != wire.MsgPush || !marker.More || len(marker.Sigs) != 0 || marker.Next != 1 {
+		t.Fatalf("expected catch-up marker from 1, got %+v", marker)
+	}
+
+	// Drain via paginated GETs, as the contract demands. (Fresh
+	// Response per read: json leaves omitted fields untouched, so
+	// reusing one across pages would keep a stale More.)
+	from := marker.Next
+	for {
+		if err := c.Send(wire.Request{Type: wire.MsgGet, ID: 3, From: from}); err != nil {
+			t.Fatal(err)
+		}
+		var page wire.Response
+		if err := c.Recv(&page); err != nil {
+			t.Fatal(err)
+		}
+		from = page.Next
+		if !page.More {
+			break
+		}
+	}
+	if from != 7 {
+		t.Fatalf("catch-up drained to %d, want 7", from)
+	}
+
+	// The complete GET reply re-armed pushing: the next commit arrives
+	// as a live PUSH.
+	seedServer(t, srv, auth, 7, 1)
+	var push wire.Response
+	if err := c.Recv(&push); err != nil {
+		t.Fatal(err)
+	}
+	if push.Type != wire.MsgPush || len(push.Sigs) != 1 || push.Next != 8 {
+		t.Fatalf("push after catch-up = %+v", push)
+	}
+}
+
+// v1-client ↔ v2-server compatibility: a peer that never says HELLO gets
+// the original sequential protocol, including ADD and incremental GET.
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{GetBatch: 2})
+	seedServer(t, srv, auth, 8, 5)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	c := wire.NewConn(conn)
+
+	// First frame is ADD — the v1 opening. No HELLO anywhere.
+	_, token := auth.Issue()
+	r := rand.New(rand.NewSource(99))
+	s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 1000, 6, 9)
+	if err := c.Send(addReq(t, token, s)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("v1 ADD: %+v", resp)
+	}
+
+	// A v1 client ignores More and trusts Next as "request this next
+	// time": repeated incremental GETs still drain the database, one
+	// page per sync, with positions aligned.
+	total, from := 0, 1
+	for total < 6 {
+		if err := c.Send(wire.NewGet(from)); err != nil {
+			t.Fatal(err)
+		}
+		var page wire.Response
+		if err := c.Recv(&page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Status != wire.StatusOK {
+			t.Fatalf("v1 GET: %+v", page)
+		}
+		if len(page.Sigs) == 0 {
+			t.Fatalf("v1 GET(%d) returned nothing with %d/%d fetched", from, total, 6)
+		}
+		total += len(page.Sigs)
+		from = page.Next
+	}
+	if total != 6 || srv.Store().Len() != 6 {
+		t.Errorf("v1 client drained %d signatures, server has %d; want 6/6", total, srv.Store().Len())
+	}
+
+	// A v2 verb on the v1 path is answered with error and the
+	// connection survives — the capability-probe contract.
+	if err := c.Send(wire.NewSubscribe(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusError {
+		t.Fatalf("SUBSCRIBE on v1 connection = %+v, want error", resp)
+	}
+	if err := c.Send(wire.NewGet(from)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recv(&resp); err != nil {
+		t.Fatalf("connection did not survive the rejected SUBSCRIBE: %v", err)
+	}
+}
+
+func TestUploaderReceivesOwnSignatureViaPush(t *testing.T) {
+	_, addr, auth := v2TestServer(t, Config{})
+	_, c := dialV2(t, addr)
+	if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+
+	_, token := auth.Issue()
+	r := rand.New(rand.NewSource(12))
+	s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, 0, 6, 9)
+	add := addReq(t, token, s)
+	add.ID = 3
+	if err := c.Send(add); err != nil {
+		t.Fatal(err)
+	}
+	// Two frames arrive in unspecified order: the ADD verdict (ID 3)
+	// and the PUSH carrying our own signature back (ID 0).
+	var gotVerdict, gotPush bool
+	for !gotVerdict || !gotPush {
+		var f wire.Response
+		if err := c.Recv(&f); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case f.ID == 3:
+			if f.Status != wire.StatusOK {
+				t.Fatalf("ADD verdict: %+v", f)
+			}
+			gotVerdict = true
+		case f.ID == 0 && f.Type == wire.MsgPush:
+			if len(f.Sigs) != 1 {
+				t.Fatalf("push: %+v", f)
+			}
+			gotPush = true
+		default:
+			t.Fatalf("unexpected frame %+v", f)
+		}
+	}
+}

@@ -77,17 +77,42 @@ func (l *appendLog) Len() int {
 // the next index to request (published length + 1). It never blocks
 // appenders.
 func (l *appendLog) ReadFrom(from int) ([]json.RawMessage, int) {
+	out, next, _ := l.ReadPage(from, 0, 0)
+	return out, next
+}
+
+// ReadPage returns up to maxCount entries (summing at most maxBytes,
+// though a single entry larger than maxBytes still ships alone so pages
+// always make progress) from 1-based index from. It reports the next
+// index to read and whether entries remain beyond it. A zero maxCount or
+// maxBytes means unbounded in that dimension. Like ReadFrom it reads an
+// atomic snapshot and never blocks appenders.
+func (l *appendLog) ReadPage(from, maxCount, maxBytes int) ([]json.RawMessage, int, bool) {
 	if from < 1 {
 		from = 1
 	}
 	hdr := l.hdr.Load()
-	next := hdr.n + 1
 	if from > hdr.n {
-		return nil, next
+		return nil, hdr.n + 1, false
 	}
-	out := make([]json.RawMessage, 0, hdr.n-(from-1))
-	for j := from - 1; j < hdr.n; j++ {
-		out = append(out, hdr.chunks[j/logChunkSize][j%logChunkSize])
+	avail := hdr.n - (from - 1)
+	capHint := avail
+	if maxCount > 0 && maxCount < capHint {
+		capHint = maxCount
 	}
-	return out, next
+	out := make([]json.RawMessage, 0, capHint)
+	bytes := 0
+	j := from - 1
+	for ; j < hdr.n; j++ {
+		if maxCount > 0 && len(out) >= maxCount {
+			break
+		}
+		e := hdr.chunks[j/logChunkSize][j%logChunkSize]
+		if maxBytes > 0 && len(out) > 0 && bytes+len(e) > maxBytes {
+			break
+		}
+		out = append(out, e)
+		bytes += len(e)
+	}
+	return out, j + 1, j < hdr.n
 }

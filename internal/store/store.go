@@ -476,6 +476,15 @@ func (st *Store) Get(from int) ([]json.RawMessage, int) {
 	return st.log.ReadFrom(from)
 }
 
+// GetPage is Get bounded to one reply page: at most maxCount signatures
+// summing at most maxBytes encoded bytes (a single oversized signature
+// still ships alone, so pages always make progress). It returns the
+// page, the next index to request, and whether signatures remain past
+// it. Zero caps mean unbounded. Like Get it is lock-free.
+func (st *Store) GetPage(from, maxCount, maxBytes int) ([]json.RawMessage, int, bool) {
+	return st.log.ReadPage(from, maxCount, maxBytes)
+}
+
 // Len returns the number of stored signatures.
 func (st *Store) Len() int { return st.log.Len() }
 

@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	req := NewHello(1)
+	if req.Type != MsgHello || req.ID != 1 || req.Version != MaxVersion {
+		t.Fatalf("NewHello = %+v", req)
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadMessage(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != req.Type || got.ID != req.ID || got.Version != req.Version {
+		t.Errorf("round trip changed HELLO: %+v != %+v", got, req)
+	}
+}
+
+func TestSubscribeClampsIndex(t *testing.T) {
+	if got := NewSubscribe(7, 0); got.From != 1 || got.ID != 7 || got.Type != MsgSubscribe {
+		t.Errorf("NewSubscribe(7,0) = %+v", got)
+	}
+	if got := NewSubscribe(1, 42); got.From != 42 {
+		t.Errorf("NewSubscribe(1,42).From = %d", got.From)
+	}
+}
+
+func TestResponseV2FieldsRoundTrip(t *testing.T) {
+	resp := Response{
+		Status: StatusOK,
+		ID:     99,
+		Type:   MsgPush,
+		Next:   17,
+		More:   true,
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	if err := ReadMessage(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 99 || got.Type != MsgPush || got.Next != 17 || !got.More {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+// A v1 peer (this codebase before v2, or any strict JSON decoder using
+// encoding/json defaults) must be able to read v2 frames: the new
+// fields are additive and ignorable.
+func TestV2FramesDecodeAsV1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, NewHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The v1 Request shape: only type/token/sig/from understood. Decode
+	// into a struct without the v2 fields.
+	var v1req struct {
+		Type  MsgType `json:"type"`
+		Token string  `json:"token,omitempty"`
+		From  int     `json:"from,omitempty"`
+	}
+	if err := ReadMessage(&buf, &v1req); err != nil {
+		t.Fatalf("v1 decode of HELLO: %v", err)
+	}
+	if v1req.Type != MsgHello {
+		t.Errorf("v1 peer saw type %v", v1req.Type)
+	}
+}
+
+func TestV2TypeStrings(t *testing.T) {
+	for want, m := range map[string]MsgType{
+		"HELLO":     MsgHello,
+		"SUBSCRIBE": MsgSubscribe,
+		"PING":      MsgPing,
+		"PUSH":      MsgPush,
+	} {
+		if m.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestPingHasNoPayload(t *testing.T) {
+	req := NewPing(3)
+	if req.Type != MsgPing || req.ID != 3 || req.From != 0 || req.Sig != nil {
+		t.Errorf("NewPing = %+v", req)
+	}
+}

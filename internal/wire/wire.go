@@ -1,10 +1,22 @@
 // Package wire defines the Communix client↔server protocol (§III-B).
 //
-// The protocol has two requests: ADD(sig) uploads a newly discovered
+// Protocol v1 has two requests: ADD(sig) uploads a newly discovered
 // deadlock signature together with the sender's encrypted user id, and
-// GET(k) asks for all database signatures starting from index k (1-based;
-// a client holding n signatures sends GET(n+1), making downloads
-// incremental). Messages are length-prefixed JSON over any byte stream.
+// GET(k) asks for database signatures starting from index k (1-based; a
+// client holding n signatures sends GET(n+1), making downloads
+// incremental). Messages are length-prefixed JSON over any byte stream,
+// answered strictly in order, one response per request.
+//
+// Protocol v2 turns the same framing into a session: a client that opens
+// with HELLO negotiates a version, after which every request carries a
+// client-assigned ID echoed by the matching response (so several
+// requests can be in flight on one connection and answered out of
+// order), and two new exchanges exist — SUBSCRIBE(from) registers the
+// session for server-initiated PUSH frames carrying signature deltas,
+// and PING keeps an idle session verifiably alive. PUSH frames are
+// Responses with ID 0 (an ID no request ever uses) and Type MsgPush. A
+// peer whose first frame is ADD or GET (no HELLO) is a v1 peer and is
+// served exactly as before.
 package wire
 
 import (
@@ -21,12 +33,29 @@ import (
 // MsgType enumerates protocol messages.
 type MsgType int
 
-// Message types.
+// Message types. Values are append-only and frozen once released: v1
+// peers answer 3+ with StatusError, which is exactly how a v2 client
+// detects a v1 server (see Hello).
 const (
 	// MsgAdd is ADD(sig): store a signature.
 	MsgAdd MsgType = iota + 1
 	// MsgGet is GET(k): fetch signatures from index k (1-based).
 	MsgGet
+	// MsgHello opens a v2 session: it carries the highest protocol
+	// version the client speaks, and the server answers with the version
+	// the session will use (the minimum of both sides' maxima).
+	MsgHello
+	// MsgSubscribe is SUBSCRIBE(from), v2 only: register this session to
+	// receive every database signature with index ≥ from as
+	// server-initiated PUSH frames — the backlog first, then live deltas
+	// seconds after other users contribute them.
+	MsgSubscribe
+	// MsgPing is a v2 keepalive: the server answers StatusOK, proving
+	// the session (and the server behind it) is still alive.
+	MsgPing
+	// MsgPush never appears in a request: it tags server-initiated
+	// Response frames (ID 0) carrying signature deltas to a subscriber.
+	MsgPush
 )
 
 // String names the message type.
@@ -36,9 +65,29 @@ func (m MsgType) String() string {
 		return "ADD"
 	case MsgGet:
 		return "GET"
+	case MsgHello:
+		return "HELLO"
+	case MsgSubscribe:
+		return "SUBSCRIBE"
+	case MsgPing:
+		return "PING"
+	case MsgPush:
+		return "PUSH"
 	}
 	return fmt.Sprintf("msg(%d)", int(m))
 }
+
+// Protocol versions.
+const (
+	// V1 is the original one-shot protocol: no HELLO, no request IDs,
+	// requests answered strictly in order.
+	V1 = 1
+	// V2 adds the negotiated session: request IDs, SUBSCRIBE/PUSH delta
+	// distribution, PING keepalives, and paginated GET replies.
+	V2 = 2
+	// MaxVersion is the highest version this implementation speaks.
+	MaxVersion = V2
+)
 
 // Status enumerates reply outcomes.
 type Status int
@@ -77,23 +126,46 @@ func (s Status) String() string {
 // Request is one client request.
 type Request struct {
 	Type MsgType `json:"type"`
+	// ID matches this request to its response on a v2 session. Client
+	// IDs start at 1; 0 is reserved for server-initiated PUSH frames.
+	// Absent (zero) on v1 connections, where responses arrive in order.
+	ID uint64 `json:"id,omitempty"`
 	// Token is the sender's encrypted user id; required for ADD.
 	Token ids.Token `json:"token,omitempty"`
 	// Sig is the uploaded signature (ADD).
 	Sig json.RawMessage `json:"sig,omitempty"`
-	// From is the 1-based start index (GET).
+	// From is the 1-based start index (GET, SUBSCRIBE).
 	From int `json:"from,omitempty"`
+	// Version is the highest protocol version the sender speaks (HELLO).
+	Version int `json:"version,omitempty"`
 }
 
-// Response is one server reply.
+// Response is one server reply, or (ID 0, Type MsgPush) one
+// server-initiated PUSH frame on a subscribed v2 session.
 type Response struct {
 	Status Status `json:"status"`
+	// ID echoes the request's ID on a v2 session; 0 marks a
+	// server-initiated PUSH frame.
+	ID uint64 `json:"id,omitempty"`
+	// Type is MsgPush on server-initiated frames, zero otherwise.
+	Type MsgType `json:"type,omitempty"`
 	// Detail explains rejections and errors.
 	Detail string `json:"detail,omitempty"`
-	// Sigs carries the requested signatures (GET).
+	// Sigs carries the requested signatures (GET, PUSH).
 	Sigs []json.RawMessage `json:"sigs,omitempty"`
-	// Next is the index to request next time (GET): database size + 1.
+	// Next is the index to request next time (GET, PUSH). With More
+	// unset this is database size + 1; with More set the reply was
+	// truncated at the page cap and Next is where the following page
+	// starts.
 	Next int `json:"next,omitempty"`
+	// More marks a truncated GET reply (the client should GET(Next) for
+	// the rest). On a PUSH frame it is the catch-up downgrade marker:
+	// the subscriber lags too far behind for pushing, and must drain via
+	// paginated GETs — pushing resumes automatically once a GET reply
+	// comes back complete (see docs/PROTOCOL.md, "Backpressure").
+	More bool `json:"more,omitempty"`
+	// Version is the negotiated session version (HELLO reply).
+	Version int `json:"version,omitempty"`
 }
 
 // NewAdd builds an ADD request for a signature.
@@ -113,11 +185,55 @@ func NewGet(from int) Request {
 	return Request{Type: MsgGet, From: from}
 }
 
-// MaxFrameSize bounds one length-prefixed frame. GET replies carry many
-// signatures; 64 MiB accommodates the paper's worst-case experiment (a
-// full-database GET(0) under hundreds of clients) while still bounding
-// allocation from hostile peers.
-const MaxFrameSize = 64 << 20
+// NewHello builds the v2 session-opening handshake request.
+func NewHello(id uint64) Request {
+	return Request{Type: MsgHello, ID: id, Version: MaxVersion}
+}
+
+// NewSubscribe builds a SUBSCRIBE request for deltas from index from
+// (1-based) on.
+func NewSubscribe(id uint64, from int) Request {
+	if from < 1 {
+		from = 1
+	}
+	return Request{Type: MsgSubscribe, ID: id, From: from}
+}
+
+// NewPing builds a keepalive request.
+func NewPing(id uint64) Request {
+	return Request{Type: MsgPing, ID: id}
+}
+
+// MaxFrameSize bounds one *written* length-prefixed frame. Since GET
+// replies are paginated (MaxGetBatch/MaxGetBytes), no legitimate frame
+// comes close to this: the worst case is one page of MaxGetBytes plus a
+// single oversized signature (the signature codec caps one encoded
+// signature at 1 MiB) plus envelope overhead. 8 MiB leaves generous
+// slack — an order of magnitude tighter than the historical 64 MiB
+// single-frame-full-database bound.
+const MaxFrameSize = 8 << 20
+
+// MaxReadFrameSize bounds one *read* frame. It stays at the historical
+// 64 MiB for one compatibility cycle: a v2 client falling back against
+// a pre-pagination v1 server receives the whole database as a single
+// frame, which must not be refused just because this side would never
+// send one. Hostile-peer allocation is still bounded; tighten this to
+// MaxFrameSize once pre-pagination servers are extinct.
+const MaxReadFrameSize = 64 << 20
+
+// Pagination caps for GET replies and PUSH frames. A server reply stops
+// adding signatures at whichever cap is hit first and sets More; the
+// client keeps requesting Next until a reply comes back without More.
+// These are protocol constants — both sides may rely on no compliant
+// page exceeding them — but a server may page smaller.
+const (
+	// MaxGetBatch caps the signature count of one page.
+	MaxGetBatch = 256
+	// MaxGetBytes caps the summed encoded size of one page's signatures.
+	// A single signature larger than the cap still ships alone (pages
+	// always make progress).
+	MaxGetBytes = 4 << 20
+)
 
 // WriteMessage writes v as one length-prefixed JSON frame.
 func WriteMessage(w io.Writer, v any) error {
@@ -149,7 +265,7 @@ func ReadMessage(r io.Reader, v any) error {
 		return fmt.Errorf("wire: read header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
+	if n > MaxReadFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
