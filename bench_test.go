@@ -7,6 +7,7 @@ package communix_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"communix/internal/bench"
 	"communix/internal/bytecode"
@@ -199,5 +200,38 @@ func BenchmarkAgentValidationRate(b *testing.B) {
 		if res.Report.Inspected != 1000 {
 			b.Fatalf("inspected %d", res.Report.Inspected)
 		}
+	}
+}
+
+// BenchmarkFleet runs a smoke-sized cell of the fleet experiment in each
+// pusher mode: a short steady trace against one server with a small
+// subscriber fleet, reporting aggregate distribution throughput and p99
+// commit-to-delivery latency. The full sessions × throughput × latency
+// surface is the communix-bench fleet experiment (BENCH_fleet.json).
+func BenchmarkFleet(b *testing.B) {
+	trace, err := bench.Synthesize(bench.TraceConfig{
+		Profile: bench.TraceProfileSteady, Slots: 4,
+		SlotDur: 100 * time.Millisecond, TargetRPS: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{bench.FleetModePooled, bench.FleetModeBaseline} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			var res bench.FleetCellResult
+			for i := 0; i < b.N; i++ {
+				res, err = bench.Fleet(bench.FleetConfig{
+					Mode: mode, Subscribers: 16, Trace: trace, TimeoutSec: 60,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Quiesced || res.GapErrors != 0 {
+					b.Fatalf("fleet degraded: %+v", res)
+				}
+			}
+			b.ReportMetric(res.DeliveriesPerSec, "deliveries/s")
+			b.ReportMetric(res.LatencyP99MS, "p99-ms")
+		})
 	}
 }

@@ -26,7 +26,13 @@
 // experiment spawns -e2e-workers protected worker processes (this
 // binary re-executed with -experiment e2e-worker) plus a local server
 // and measures ingest throughput and time-to-protection end to end;
-// -e2e-json writes the committed BENCH_e2e.json.
+// -e2e-json writes the committed BENCH_e2e.json. The fleet experiment
+// drives a trace-shaped upload load (steady/ramp/step RPS curves plus
+// churn storms) against one server while a fleet of in-process
+// subscriber clients measures the sessions × throughput ×
+// distribution-latency surface across the pooled and per-session
+// pusher architectures; -fleet-json writes the committed
+// BENCH_fleet.json.
 package main
 
 import (
@@ -34,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"communix/internal/bench"
@@ -44,7 +52,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|runtime|e2e|all")
+	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|runtime|e2e|fleet|all")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	shards := flag.Int("shards", 0, "store experiment: sharded-store partitions (0 = default 16)")
 	storeJSON := flag.String("store-json", "", "store experiment: also write results to this JSON file")
@@ -60,6 +68,23 @@ func run() int {
 	e2eWorkerID := flag.Int("e2e-worker-id", 0, "e2e-worker (internal): worker index")
 	e2eTotal := flag.Int("e2e-total", 0, "e2e-worker (internal): community signature count to wait for")
 	e2eTimeout := flag.Int("e2e-timeout", 0, "e2e: run deadline in seconds (0 = default)")
+	fleetJSON := flag.String("fleet-json", "", "fleet experiment: also write results to this JSON file")
+	fleetMode := flag.String("fleet-mode", "both", "fleet: pusher architecture under test: pooled|baseline|both")
+	fleetSubs := flag.String("fleet-subs", "", "fleet: pooled-mode subscriber counts, comma-separated (default quick \"50,200\")")
+	fleetBaseSubs := flag.String("fleet-baseline-subs", "", "fleet: baseline-mode subscriber counts (default quick \"50\")")
+	fleetRPS := flag.Float64("fleet-rps", 0, "fleet: target upload RPS (0 = default 300)")
+	fleetProfile := flag.String("fleet-profile", "steady", "fleet: load profile: steady|ramp|step")
+	fleetSlots := flag.Int("fleet-slots", 0, "fleet: trace slots (0 = default 8)")
+	fleetSlotMS := flag.Int("fleet-slot-ms", 0, "fleet: slot duration in ms (0 = default 500)")
+	fleetChurnEvery := flag.Int("fleet-churn-every", 0, "fleet: churn storm every k-th slot (0 = no churn)")
+	fleetChurnConns := flag.Int("fleet-churn-conns", 0, "fleet: subscribers connecting per storm")
+	fleetChurnDrops := flag.Int("fleet-churn-drops", 0, "fleet: subscribers disconnecting per storm")
+	fleetSLOMS := flag.Int("fleet-slo-ms", 0, "fleet: p99 distribution-latency budget in ms (0 = default 250)")
+	fleetTimeout := flag.Int("fleet-timeout", 0, "fleet: per-cell deadline in seconds (0 = default 120)")
+	fleetTransport := flag.String("fleet-transport", "tcp", "fleet: client transport: tcp|pipe (pipe = in-process, no fd limit)")
+	fleetPacing := flag.String("fleet-pacing", "smooth", "fleet: upload pacing within a slot: smooth|burst")
+	fleetBatch := flag.Int("fleet-batch", 0, "fleet: server page size (0 = server default)")
+	fleetRepeat := flag.Int("fleet-repeat", 1, "fleet: best-of-N retries for cells that miss the SLO (correctness failures never retried)")
 	flag.Parse()
 
 	// Worker mode: this process IS one protected application of the e2e
@@ -259,9 +284,95 @@ func run() int {
 			}
 		}
 	}
+	if *experiment == "fleet" || *experiment == "all" {
+		ran = true
+		traceCfg := bench.TraceConfig{
+			Profile:          *fleetProfile,
+			Slots:            *fleetSlots,
+			SlotDur:          time.Duration(*fleetSlotMS) * time.Millisecond,
+			TargetRPS:        *fleetRPS,
+			ChurnEvery:       *fleetChurnEvery,
+			ChurnConnects:    *fleetChurnConns,
+			ChurnDisconnects: *fleetChurnDrops,
+		}
+		if traceCfg.TargetRPS <= 0 {
+			traceCfg.TargetRPS = 300
+		}
+		if traceCfg.Profile == bench.TraceProfileRamp || traceCfg.Profile == bench.TraceProfileStep {
+			if traceCfg.BeginRPS == 0 {
+				traceCfg.BeginRPS = traceCfg.TargetRPS / 4
+			}
+		}
+		pooledCounts, err := parseCounts(*fleetSubs, []int{50, 200})
+		if err != nil {
+			return fail("fleet", err)
+		}
+		baseCounts, err := parseCounts(*fleetBaseSubs, []int{50})
+		if err != nil {
+			return fail("fleet", err)
+		}
+		var modes []string
+		counts := map[string][]int{}
+		switch *fleetMode {
+		case "pooled":
+			modes = []string{bench.FleetModePooled}
+			counts[bench.FleetModePooled] = pooledCounts
+		case "baseline":
+			modes = []string{bench.FleetModeBaseline}
+			counts[bench.FleetModeBaseline] = baseCounts
+		case "both":
+			modes = []string{bench.FleetModePooled, bench.FleetModeBaseline}
+			counts[bench.FleetModePooled] = pooledCounts
+			counts[bench.FleetModeBaseline] = baseCounts
+		default:
+			return fail("fleet", fmt.Errorf("unknown -fleet-mode %q", *fleetMode))
+		}
+		surface, err := bench.FleetSurface(traceCfg, bench.FleetConfig{
+			Transport:  *fleetTransport,
+			Pacing:     *fleetPacing,
+			GetBatch:   *fleetBatch,
+			SLO:        time.Duration(*fleetSLOMS) * time.Millisecond,
+			TimeoutSec: *fleetTimeout,
+			Repeat:     *fleetRepeat,
+		}, modes, counts)
+		if err != nil {
+			return fail("fleet", err)
+		}
+		bench.WriteFleetSurface(out, surface)
+		fmt.Fprintln(out)
+		if err := writeJSON(*fleetJSON, func(w io.Writer) error {
+			return bench.WriteFleetSurfaceJSON(w, surface)
+		}); err != nil {
+			return fail("fleet", err)
+		}
+		// A degraded cell (SLO miss) is a data point; lost signatures or
+		// a fleet that never converged is a failed experiment.
+		for _, c := range surface.Cells {
+			if c.GapErrors > 0 || !c.Quiesced {
+				return fail("fleet", fmt.Errorf("%s/%d: gaps=%d quiesced=%v", c.Mode, c.Subscribers, c.GapErrors, c.Quiesced))
+			}
+		}
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "communix-bench: unknown experiment %q\n", *experiment)
 		return 2
 	}
 	return 0
+}
+
+// parseCounts parses a comma-separated list of positive subscriber
+// counts, falling back to def when the flag is unset.
+func parseCounts(s string, def []int) ([]int, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad subscriber count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

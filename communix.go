@@ -154,6 +154,18 @@ type ServerConfig struct {
 	// before the server downgrades it from push delivery to catch-up
 	// GETs (default 4 × GetBatch).
 	PushMaxLag int
+	// Pushers sizes the pooled pusher subsystem: that many shared worker
+	// goroutines drive every subscriber's push cursor. 0 = GOMAXPROCS;
+	// negative selects the baseline one-pusher-goroutine-per-session
+	// architecture (for comparison runs).
+	Pushers int
+	// MaxSessions caps concurrent v2 sessions; surplus HELLOs are
+	// downgraded to v1 poll mode. 0 = unlimited.
+	MaxSessions int
+	// MaxSubs caps push-admitted subscribers; surplus SUBSCRIBEs are
+	// shed to catch-up markers + paginated GETs until a slot frees.
+	// 0 = unlimited.
+	MaxSubs int
 }
 
 // NewServer builds a Communix server. Use Process for direct in-process
@@ -175,6 +187,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Fsync:         fsync,
 		GetBatch:      cfg.GetBatch,
 		PushMaxLag:    cfg.PushMaxLag,
+		Pushers:       cfg.Pushers,
+		MaxSessions:   cfg.MaxSessions,
+		MaxSubs:       cfg.MaxSubs,
 	})
 }
 

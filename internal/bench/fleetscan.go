@@ -1,0 +1,391 @@
+// Minimal frame scanner for the fleet harness. A fleet client only
+// needs a handful of scalar fields from each server frame — status, id,
+// type, next, more, version — plus the NUMBER of signatures in a page,
+// never their contents. Decoding whole frames with encoding/json makes
+// the in-process measurement clients the bottleneck of the box (the
+// harness saturates the CPU the server under test needs), so the client
+// read path uses this single-pass scanner instead: one walk over the
+// payload bytes, no allocation per signature, no reflection. It handles
+// arbitrary well-formed JSON values (strings with escapes, nested
+// arrays/objects) but only extracts the fields above.
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"communix/internal/wire"
+)
+
+// fleetFrame is the harness-visible subset of a wire.Response.
+type fleetFrame struct {
+	status  int // numeric wire.Status
+	id      uint64
+	push    bool
+	next    int
+	more    bool
+	version int
+	nsigs   int
+}
+
+// ok reports a StatusOK frame.
+func (f fleetFrame) ok() bool { return f.status == int(wire.StatusOK) }
+
+type frameScanner struct {
+	p []byte
+	i int
+}
+
+func (s *frameScanner) fail(what string) error {
+	return fmt.Errorf("bench: frame scan: expected %s at offset %d", what, s.i)
+}
+
+func (s *frameScanner) space() {
+	for s.i < len(s.p) {
+		switch s.p[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *frameScanner) consume(c byte) bool {
+	if s.i < len(s.p) && s.p[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// str consumes a JSON string and returns its raw (unescaped-as-written)
+// contents. The fields the harness compares — status, type — never
+// contain escapes, so raw bytes are sufficient. String bytes dominate
+// signature payloads, so the closing quote is found with IndexByte
+// (vectorized) instead of a byte loop, with backslash-parity rejection
+// of escaped quotes.
+func (s *frameScanner) str() ([]byte, error) {
+	if !s.consume('"') {
+		return nil, s.fail("string")
+	}
+	start := s.i
+	for {
+		j := bytes.IndexByte(s.p[s.i:], '"')
+		if j < 0 {
+			return nil, s.fail("closing quote")
+		}
+		k := s.i + j
+		esc := 0
+		for k-1-esc >= start && s.p[k-1-esc] == '\\' {
+			esc++
+		}
+		s.i = k + 1
+		if esc%2 == 0 {
+			return s.p[start:k], nil
+		}
+		// Odd backslash run: the quote was escaped, keep searching.
+	}
+}
+
+// num consumes an integer (the only number shape in server frames).
+func (s *frameScanner) num() (int, error) {
+	neg := s.consume('-')
+	start := s.i
+	n := 0
+	for s.i < len(s.p) && s.p[s.i] >= '0' && s.p[s.i] <= '9' {
+		n = n*10 + int(s.p[s.i]-'0')
+		s.i++
+	}
+	if s.i == start {
+		return 0, s.fail("number")
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// boolean consumes true/false.
+func (s *frameScanner) boolean() (bool, error) {
+	switch {
+	case s.i+4 <= len(s.p) && string(s.p[s.i:s.i+4]) == "true":
+		s.i += 4
+		return true, nil
+	case s.i+5 <= len(s.p) && string(s.p[s.i:s.i+5]) == "false":
+		s.i += 5
+		return false, nil
+	}
+	return false, s.fail("boolean")
+}
+
+// skipValue consumes any well-formed JSON value without interpreting it.
+func (s *frameScanner) skipValue() error {
+	s.space()
+	if s.i >= len(s.p) {
+		return s.fail("value")
+	}
+	switch c := s.p[s.i]; {
+	case c == '"':
+		_, err := s.str()
+		return err
+	case c == '{' || c == '[':
+		depth := 0
+		for s.i < len(s.p) {
+			switch s.p[s.i] {
+			case '"':
+				if _, err := s.str(); err != nil {
+					return err
+				}
+			case '{', '[':
+				depth++
+				s.i++
+			case '}', ']':
+				depth--
+				s.i++
+				if depth == 0 {
+					return nil
+				}
+			default:
+				s.i++
+			}
+		}
+		return s.fail("container end")
+	case c == 't' || c == 'f':
+		_, err := s.boolean()
+		return err
+	case c == 'n':
+		if s.i+4 <= len(s.p) && string(s.p[s.i:s.i+4]) == "null" {
+			s.i += 4
+			return nil
+		}
+		return s.fail("null")
+	default:
+		// Number (possibly a float — fields the harness extracts are
+		// integers, but skipped values can be anything).
+		start := s.i
+		for s.i < len(s.p) {
+			switch c := s.p[s.i]; {
+			case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+				s.i++
+			default:
+				if s.i == start {
+					return s.fail("value")
+				}
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// countArray consumes a JSON array, returning its element count.
+func (s *frameScanner) countArray() (int, error) {
+	s.space()
+	if !s.consume('[') {
+		return 0, s.fail("array")
+	}
+	s.space()
+	if s.consume(']') {
+		return 0, nil
+	}
+	n := 0
+	for {
+		if err := s.skipValue(); err != nil {
+			return 0, err
+		}
+		n++
+		s.space()
+		if s.consume(',') {
+			s.space()
+			continue
+		}
+		if s.consume(']') {
+			return n, nil
+		}
+		return 0, s.fail("',' or ']'")
+	}
+}
+
+// fastScanFrame extracts the harness fields from a data-page payload
+// without walking the signature bytes: the server's Response marshals
+// its scalar routing fields (status, id, type) BEFORE the sigs array
+// and its cursor fields (next, more, version) AFTER it, so the head is
+// scanned only up to the "sigs" key and the cursor is lifted from a
+// small tail window with LastIndex. Signature count is unknowable this
+// way — nsigs is -1 and the caller must treat the page as starting at
+// its own cursor. Returns ok=false on any shape it does not recognize
+// (caller falls back to the full scan).
+//
+// This exists because a fleet of thousands of in-process clients that
+// byte-walk every page payload costs the same order of CPU as the
+// server encoding those pages — the harness would cap the measured
+// architecture ratio at the scan/marshal ratio. Per-frame contiguity
+// verification is instead sampled (every fastScanSample-th frame per
+// client runs the full scan); exhaustive lost-signature verification
+// lives in the churn soak test and the session tests.
+func fastScanFrame(p []byte) (fleetFrame, bool) {
+	s := frameScanner{p: p}
+	f := fleetFrame{nsigs: -1}
+	s.space()
+	if !s.consume('{') {
+		return f, false
+	}
+	for {
+		s.space()
+		key, err := s.str()
+		if err != nil {
+			return f, false
+		}
+		s.space()
+		if !s.consume(':') {
+			return f, false
+		}
+		s.space()
+		switch string(key) {
+		case "status":
+			if f.status, err = s.num(); err != nil {
+				return f, false
+			}
+		case "id":
+			n, err := s.num()
+			if err != nil {
+				return f, false
+			}
+			f.id = uint64(n)
+		case "type":
+			n, err := s.num()
+			if err != nil {
+				return f, false
+			}
+			f.push = n == int(wire.MsgPush)
+		case "next":
+			if f.next, err = s.num(); err != nil {
+				return f, false
+			}
+		case "more":
+			if f.more, err = s.boolean(); err != nil {
+				return f, false
+			}
+		case "version":
+			if f.version, err = s.num(); err != nil {
+				return f, false
+			}
+		case "sigs":
+			// Cursor fields follow the array; lift them from the tail.
+			return f, fastScanTail(p, &f)
+		default:
+			if err := s.skipValue(); err != nil {
+				return f, false
+			}
+		}
+		s.space()
+		if s.consume(',') {
+			continue
+		}
+		// Frame ended before any sigs array: it carried no page, so the
+		// head scan already saw every field worth having.
+		ok := s.consume('}')
+		f.nsigs = 0
+		return f, ok
+	}
+}
+
+// fastScanTail parses `"next":N[,"more":true][,"version":V]}` out of the
+// final bytes of a page payload.
+func fastScanTail(p []byte, f *fleetFrame) bool {
+	w := p
+	if len(w) > 64 {
+		w = w[len(w)-64:]
+	}
+	j := bytes.LastIndex(w, []byte(`"next":`))
+	if j < 0 {
+		return false
+	}
+	s := frameScanner{p: w, i: j + len(`"next":`)}
+	n, err := s.num()
+	if err != nil {
+		return false
+	}
+	f.next = n
+	f.more = bytes.Contains(w[j:], []byte(`"more":true`))
+	if k := bytes.LastIndex(w[j:], []byte(`"version":`)); k >= 0 {
+		s = frameScanner{p: w, i: j + k + len(`"version":`)}
+		if f.version, err = s.num(); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// scanFrame extracts the harness fields from one frame payload.
+func scanFrame(p []byte) (fleetFrame, error) {
+	s := frameScanner{p: p}
+	var f fleetFrame
+	s.space()
+	if !s.consume('{') {
+		return f, s.fail("object")
+	}
+	s.space()
+	if s.consume('}') {
+		return f, nil
+	}
+	for {
+		key, err := s.str()
+		if err != nil {
+			return f, err
+		}
+		s.space()
+		if !s.consume(':') {
+			return f, s.fail("colon")
+		}
+		s.space()
+		switch string(key) {
+		case "status":
+			if f.status, err = s.num(); err != nil {
+				return f, err
+			}
+		case "id":
+			n, err := s.num()
+			if err != nil {
+				return f, err
+			}
+			f.id = uint64(n)
+		case "type":
+			n, err := s.num()
+			if err != nil {
+				return f, err
+			}
+			f.push = n == int(wire.MsgPush)
+		case "next":
+			if f.next, err = s.num(); err != nil {
+				return f, err
+			}
+		case "version":
+			if f.version, err = s.num(); err != nil {
+				return f, err
+			}
+		case "more":
+			if f.more, err = s.boolean(); err != nil {
+				return f, err
+			}
+		case "sigs":
+			if f.nsigs, err = s.countArray(); err != nil {
+				return f, err
+			}
+		default:
+			if err := s.skipValue(); err != nil {
+				return f, err
+			}
+		}
+		s.space()
+		if s.consume(',') {
+			s.space()
+			continue
+		}
+		if s.consume('}') {
+			return f, nil
+		}
+		return f, s.fail("',' or '}'")
+	}
+}

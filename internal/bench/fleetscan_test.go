@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+
+	"communix/internal/wire"
+)
+
+// scanServerFrame encodes a Response exactly as the server does and
+// scans the payload, so the scanner is tested against the real wire
+// bytes.
+func scanServerFrame(t *testing.T, resp wire.Response) fleetFrame {
+	t.Helper()
+	frame, err := wire.EncodeFrame(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := binary.BigEndian.Uint32(frame[:4])
+	f, err := scanFrame(frame[4 : 4+n])
+	if err != nil {
+		t.Fatalf("scan %s: %v", frame[4:], err)
+	}
+	return f
+}
+
+func TestScanFrameExtractsHarnessFields(t *testing.T) {
+	// A PUSH data page with awkward signature bytes: escaped quotes,
+	// brackets inside strings, nested containers.
+	sigs := []json.RawMessage{
+		json.RawMessage(`{"frames":["a\"]}","b[{"],"n":[1,[2,{"x":"]"}]]}`),
+		json.RawMessage(`{"empty":{},"t":true,"nil":null,"f":-3}`),
+		json.RawMessage(`"bare string with \\ and \" inside"`),
+	}
+	f := scanServerFrame(t, wire.Response{
+		Status: wire.StatusOK, Type: wire.MsgPush, Sigs: sigs, Next: 42,
+	})
+	if f.status != int(wire.StatusOK) || !f.push || f.nsigs != 3 || f.next != 42 || f.more {
+		t.Errorf("scanned %+v", f)
+	}
+
+	// A catch-up marker: More set, no sigs.
+	f = scanServerFrame(t, wire.Response{
+		Status: wire.StatusOK, Type: wire.MsgPush, Next: 7, More: true,
+	})
+	if !f.push || !f.more || f.nsigs != 0 || f.next != 7 {
+		t.Errorf("marker scanned %+v", f)
+	}
+
+	// A HELLO ack.
+	f = scanServerFrame(t, wire.Response{Status: wire.StatusOK, ID: 9, Version: wire.V2})
+	if f.id != 9 || f.version != wire.V2 || f.push {
+		t.Errorf("hello ack scanned %+v", f)
+	}
+
+	// An error reply: Detail must be skipped without confusing the scan.
+	f = scanServerFrame(t, wire.Response{
+		Status: wire.StatusRejected, ID: 3, Detail: `tricky "detail" with , and }`,
+	})
+	if f.status != int(wire.StatusRejected) || f.id != 3 {
+		t.Errorf("error reply scanned %+v", f)
+	}
+}
+
+// The scanner must agree with encoding/json on every frame shape the
+// server produces, signature contents included.
+func TestScanFrameMatchesEncodingJSON(t *testing.T) {
+	cases := []wire.Response{
+		{Status: wire.StatusOK, Type: wire.MsgPush, Next: 1, Sigs: []json.RawMessage{json.RawMessage(`{}`)}},
+		{Status: wire.StatusOK, ID: 2, Next: 100, More: true, Sigs: []json.RawMessage{
+			json.RawMessage(`{"a":1}`), json.RawMessage(`[1,2,3]`), json.RawMessage(`null`),
+			json.RawMessage(`12.5e-3`), json.RawMessage(`"s"`),
+		}},
+		{Status: wire.StatusOK, ID: 1, Version: 2},
+		{Status: wire.StatusError, Detail: "boom"},
+		{Status: wire.StatusOK},
+	}
+	for _, resp := range cases {
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := scanFrame(payload)
+		if err != nil {
+			t.Fatalf("scan %s: %v", payload, err)
+		}
+		var want wire.Response
+		if err := json.Unmarshal(payload, &want); err != nil {
+			t.Fatal(err)
+		}
+		if got.status != int(want.Status) || got.id != want.ID ||
+			got.push != (want.Type == wire.MsgPush) || got.next != want.Next ||
+			got.more != want.More || got.version != want.Version || got.nsigs != len(want.Sigs) {
+			t.Errorf("scan %s = %+v, want %+v", payload, got, want)
+		}
+	}
+}
+
+// The fast head+tail scan must agree with the full scan on every frame
+// shape the server produces, except that it never counts signatures.
+func TestFastScanFrameMatchesFullScan(t *testing.T) {
+	sig := json.RawMessage(`{"frames":["lock_a","lock_b","a\"]}tricky"],"n":1}`)
+	var bigSigs []json.RawMessage
+	for i := 0; i < 64; i++ {
+		bigSigs = append(bigSigs, sig)
+	}
+	cases := []wire.Response{
+		{Status: wire.StatusOK, Type: wire.MsgPush, Next: 65, Sigs: bigSigs},
+		{Status: wire.StatusOK, Type: wire.MsgPush, Next: 123456, More: true, Sigs: bigSigs},
+		{Status: wire.StatusOK, ID: 2, Next: 9, More: true, Sigs: []json.RawMessage{sig}},
+		{Status: wire.StatusOK, ID: 2, Next: 9, Version: 2, Sigs: []json.RawMessage{sig}},
+		{Status: wire.StatusOK, Type: wire.MsgPush, Next: 7, More: true}, // marker
+		{Status: wire.StatusOK, ID: 1, Version: wire.V2},                 // HELLO ack
+		{Status: wire.StatusRejected, ID: 3, Detail: `no "next" here`},
+	}
+	for _, resp := range cases {
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scanFrame(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := fastScanFrame(payload)
+		if !ok {
+			t.Errorf("fastScanFrame(%s) not ok", payload)
+			continue
+		}
+		if len(resp.Sigs) > 0 {
+			if got.nsigs != -1 {
+				t.Errorf("fast scan counted sigs (%d) in %s", got.nsigs, payload)
+			}
+			got.nsigs = want.nsigs
+		}
+		if got != want {
+			t.Errorf("fastScanFrame(%s) = %+v, want %+v", payload, got, want)
+		}
+	}
+}
+
+// A signature whose bytes end with something that looks like a cursor
+// field must not confuse the tail extraction: the true "next" is always
+// the last one in the payload.
+func TestFastScanTailIgnoresSigBytes(t *testing.T) {
+	payload := []byte(`{"status":1,"type":6,"sigs":[{"s":"x\",\"next\":999"},{"decoy":"\"next\":123"}],"next":42}`)
+	f, ok := fastScanFrame(payload)
+	if !ok || f.next != 42 || !f.push {
+		t.Errorf("fastScanFrame = %+v ok=%v, want next=42 push", f, ok)
+	}
+}
+
+func TestScanFrameRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		``, `[]`, `{`, `{"sigs":}`, `{"sigs":[{]}`, `{"next":"x"}`, `{"status":"ok"`,
+		`{"more":maybe}`, `{"sigs":[{"a":1}`,
+	} {
+		if _, err := scanFrame([]byte(bad)); err == nil {
+			t.Errorf("scanFrame(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Trace synthesis for the fleet experiment: slot-quantized load
+// profiles in the shape of serverless trace generators (an RPS curve
+// sampled into per-slot invocation counts), extended with subscriber
+// churn events. The synthesizer is pure — a TraceConfig in, a slot list
+// out — so profiles are unit-testable and reproducible, and the fleet
+// driver (fleet.go) is just an interpreter for the slot list.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Trace profiles.
+const (
+	// TraceProfileSteady holds TargetRPS for every slot.
+	TraceProfileSteady = "steady"
+	// TraceProfileRamp ramps linearly from BeginRPS to TargetRPS across
+	// the slots — the invitro-style load ramp.
+	TraceProfileRamp = "ramp"
+	// TraceProfileStep holds BeginRPS for the first half of the slots
+	// and jumps to TargetRPS for the second half.
+	TraceProfileStep = "step"
+)
+
+// TraceSlot is one slot of synthetic fleet load: how many signature
+// uploads commit during the slot, and how many subscribers connect or
+// disconnect at its start.
+type TraceSlot struct {
+	// Dur is the slot's wall-clock duration.
+	Dur time.Duration `json:"dur_ns"`
+	// Adds is the number of signatures committed during the slot, spread
+	// evenly across it.
+	Adds int `json:"adds"`
+	// Connects is how many churn subscribers join at slot start.
+	Connects int `json:"connects,omitempty"`
+	// Disconnects is how many of the oldest churn subscribers drop at
+	// slot start.
+	Disconnects int `json:"disconnects,omitempty"`
+}
+
+// TraceConfig parameterizes Synthesize.
+type TraceConfig struct {
+	// Profile selects the RPS curve: TraceProfileSteady (default),
+	// TraceProfileRamp, or TraceProfileStep.
+	Profile string `json:"profile"`
+	// Slots is the number of slots (default 8).
+	Slots int `json:"slots"`
+	// SlotDur is each slot's duration (default 500ms).
+	SlotDur time.Duration `json:"slot_dur_ns"`
+	// BeginRPS is the starting upload rate (ramp and step profiles).
+	BeginRPS float64 `json:"begin_rps,omitempty"`
+	// TargetRPS is the (final) upload rate. Required > 0.
+	TargetRPS float64 `json:"target_rps"`
+	// ChurnEvery inserts a churn storm every k-th slot (0 = no churn).
+	ChurnEvery int `json:"churn_every,omitempty"`
+	// ChurnConnects is how many subscribers each storm connects.
+	ChurnConnects int `json:"churn_connects,omitempty"`
+	// ChurnDisconnects is how many subscribers each storm disconnects.
+	ChurnDisconnects int `json:"churn_disconnects,omitempty"`
+}
+
+// Normalize returns the config with defaults filled in — the exact
+// parameters Synthesize will run, suitable for recording alongside
+// results.
+func (cfg TraceConfig) Normalize() TraceConfig {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 8
+	}
+	if cfg.SlotDur <= 0 {
+		cfg.SlotDur = 500 * time.Millisecond
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = TraceProfileSteady
+	}
+	return cfg
+}
+
+// Synthesize quantizes the configured RPS curve into per-slot upload
+// counts, carrying fractional uploads across slots so the total equals
+// the curve's integral (a 0.5-RPS trace over ten 1s slots yields 5
+// uploads, not 0). Churn storms are stamped onto every ChurnEvery-th
+// slot, skipping slot 0 so a storm never races fleet warm-up.
+func Synthesize(cfg TraceConfig) ([]TraceSlot, error) {
+	if cfg.TargetRPS <= 0 {
+		return nil, fmt.Errorf("bench: trace: TargetRPS must be > 0, got %g", cfg.TargetRPS)
+	}
+	if cfg.BeginRPS < 0 {
+		return nil, fmt.Errorf("bench: trace: BeginRPS must be >= 0, got %g", cfg.BeginRPS)
+	}
+	cfg = cfg.Normalize()
+	slots := cfg.Slots
+	slotDur := cfg.SlotDur
+	profile := cfg.Profile
+
+	rpsAt := func(i int) float64 {
+		switch profile {
+		case TraceProfileSteady:
+			return cfg.TargetRPS
+		case TraceProfileRamp:
+			if slots == 1 {
+				return cfg.TargetRPS
+			}
+			frac := float64(i) / float64(slots-1)
+			return cfg.BeginRPS + frac*(cfg.TargetRPS-cfg.BeginRPS)
+		case TraceProfileStep:
+			if i < slots/2 {
+				return cfg.BeginRPS
+			}
+			return cfg.TargetRPS
+		}
+		return -1
+	}
+	if rpsAt(0) < 0 {
+		return nil, fmt.Errorf("bench: trace: unknown profile %q", cfg.Profile)
+	}
+
+	out := make([]TraceSlot, slots)
+	carry := 0.0
+	for i := range out {
+		exact := rpsAt(i)*slotDur.Seconds() + carry
+		adds := int(math.Floor(exact + 1e-9))
+		carry = exact - float64(adds)
+		out[i] = TraceSlot{Dur: slotDur, Adds: adds}
+		if cfg.ChurnEvery > 0 && i > 0 && i%cfg.ChurnEvery == 0 {
+			out[i].Connects = cfg.ChurnConnects
+			out[i].Disconnects = cfg.ChurnDisconnects
+		}
+	}
+	return out, nil
+}
+
+// TraceAdds totals the uploads across a trace.
+func TraceAdds(trace []TraceSlot) int {
+	total := 0
+	for _, s := range trace {
+		total += s.Adds
+	}
+	return total
+}
+
+// TraceDur totals the wall-clock duration of a trace.
+func TraceDur(trace []TraceSlot) time.Duration {
+	var total time.Duration
+	for _, s := range trace {
+		total += s.Dur
+	}
+	return total
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSynthesizeSteadyConservesTotal(t *testing.T) {
+	trace, err := Synthesize(TraceConfig{
+		Profile:   TraceProfileSteady,
+		Slots:     10,
+		SlotDur:   time.Second,
+		TargetRPS: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 10 {
+		t.Fatalf("len = %d, want 10", len(trace))
+	}
+	if got := TraceAdds(trace); got != 70 {
+		t.Errorf("total adds = %d, want 70", got)
+	}
+	for i, s := range trace {
+		if s.Adds != 7 {
+			t.Errorf("slot %d adds = %d, want 7", i, s.Adds)
+		}
+	}
+}
+
+// Fractional rates must not truncate to nothing: the carry accumulates
+// sub-slot uploads across slots.
+func TestSynthesizeCarriesFractionalAdds(t *testing.T) {
+	trace, err := Synthesize(TraceConfig{
+		Profile:   TraceProfileSteady,
+		Slots:     10,
+		SlotDur:   time.Second,
+		TargetRPS: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TraceAdds(trace); got != 5 {
+		t.Errorf("total adds = %d, want 5 (0.5 RPS × 10 s)", got)
+	}
+	for i, s := range trace {
+		if s.Adds < 0 || s.Adds > 1 {
+			t.Errorf("slot %d adds = %d, want 0 or 1", i, s.Adds)
+		}
+	}
+}
+
+func TestSynthesizeRampIsMonotonicAndHitsTarget(t *testing.T) {
+	trace, err := Synthesize(TraceConfig{
+		Profile:   TraceProfileRamp,
+		Slots:     6,
+		SlotDur:   time.Second,
+		BeginRPS:  10,
+		TargetRPS: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for i, s := range trace {
+		if s.Adds < prev {
+			t.Errorf("slot %d adds = %d, decreased from %d", i, s.Adds, prev)
+		}
+		prev = s.Adds
+	}
+	if first, last := trace[0].Adds, trace[len(trace)-1].Adds; first != 10 || last != 60 {
+		t.Errorf("ramp endpoints = %d..%d, want 10..60", first, last)
+	}
+	// Integral of a linear ramp = mean rate × duration.
+	if got := TraceAdds(trace); got != (10+60)*6/2 {
+		t.Errorf("ramp total = %d, want %d", got, (10+60)*6/2)
+	}
+}
+
+func TestSynthesizeStepJumpsAtMidpoint(t *testing.T) {
+	trace, err := Synthesize(TraceConfig{
+		Profile:   TraceProfileStep,
+		Slots:     8,
+		SlotDur:   time.Second,
+		BeginRPS:  5,
+		TargetRPS: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range trace {
+		want := 5
+		if i >= 4 {
+			want = 50
+		}
+		if s.Adds != want {
+			t.Errorf("slot %d adds = %d, want %d", i, s.Adds, want)
+		}
+	}
+}
+
+func TestSynthesizeChurnStorms(t *testing.T) {
+	trace, err := Synthesize(TraceConfig{
+		Profile:          TraceProfileSteady,
+		Slots:            9,
+		SlotDur:          time.Second,
+		TargetRPS:        1,
+		ChurnEvery:       3,
+		ChurnConnects:    20,
+		ChurnDisconnects: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range trace {
+		storm := i > 0 && i%3 == 0
+		if storm && (s.Connects != 20 || s.Disconnects != 10) {
+			t.Errorf("slot %d churn = %d/%d, want 20/10", i, s.Connects, s.Disconnects)
+		}
+		if !storm && (s.Connects != 0 || s.Disconnects != 0) {
+			t.Errorf("slot %d churn = %d/%d, want none", i, s.Connects, s.Disconnects)
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadConfig(t *testing.T) {
+	if _, err := Synthesize(TraceConfig{TargetRPS: 0}); err == nil {
+		t.Error("TargetRPS 0 accepted")
+	}
+	if _, err := Synthesize(TraceConfig{TargetRPS: 1, BeginRPS: -1}); err == nil {
+		t.Error("negative BeginRPS accepted")
+	}
+	if _, err := Synthesize(TraceConfig{TargetRPS: 1, Profile: "sawtooth"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestSynthesizeDefaults(t *testing.T) {
+	trace, err := Synthesize(TraceConfig{TargetRPS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 8 {
+		t.Errorf("default slots = %d, want 8", len(trace))
+	}
+	if trace[0].Dur != 500*time.Millisecond {
+		t.Errorf("default slot dur = %v, want 500ms", trace[0].Dur)
+	}
+	if TraceDur(trace) != 4*time.Second {
+		t.Errorf("trace dur = %v, want 4s", TraceDur(trace))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -78,6 +79,22 @@ type Config struct {
 	// catch-up GETs (default 4 × GetBatch). Pushing resumes when a GET
 	// reply comes back complete.
 	PushMaxLag int
+	// Pushers sizes the pooled pusher subsystem (pool.go): that many
+	// shared worker goroutines drive every subscribed session's log
+	// cursor. 0 means GOMAXPROCS. Negative selects the baseline
+	// per-session architecture — one dedicated pusher goroutine per
+	// session — kept runnable so the pool's scaling claims stay
+	// measurable against it.
+	Pushers int
+	// MaxSessions caps concurrent v2 sessions. A HELLO past the cap is
+	// answered with a v1 downgrade, shedding the peer into poll mode
+	// (well-behaved clients fall back automatically). 0 = unlimited.
+	MaxSessions int
+	// MaxSubs caps push-admitted subscribers. A SUBSCRIBE past the quota
+	// is accepted but shed: the session receives only catch-up markers
+	// and drains via paginated GETs, promoting to full push delivery
+	// when a slot frees up. 0 = unlimited.
+	MaxSubs int
 }
 
 // Server is a Communix signature server.
@@ -85,16 +102,22 @@ type Server struct {
 	codec *ids.Codec
 	db    *store.Store
 
-	// Session layer (protocol v2): hub fans commit wakeups out to
-	// subscribed sessions; getBatch/pushMaxLag are the resolved Config
+	// Session layer (protocol v2): hub tracks subscribed sessions and
+	// their push admission, pool is the shared pusher worker pool (nil
+	// in the baseline per-session-pusher architecture);
+	// getBatch/pushMaxLag/maxSessions/maxSubs are the resolved Config
 	// knobs.
-	hub        hub
-	getBatch   int
-	pushMaxLag int
+	hub         hub
+	pool        *pusherPool
+	getBatch    int
+	pushMaxLag  int
+	maxSessions int
+	maxSubs     int
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
+	sessions int // live v2 sessions, capped by maxSessions
 	wg       sync.WaitGroup
 	closed   bool
 
@@ -152,6 +175,15 @@ func New(cfg Config) (*Server, error) {
 		// A threshold below one page would downgrade every subscriber on
 		// every push; the floor keeps the knob safe to misconfigure.
 		s.pushMaxLag = s.getBatch
+	}
+	s.maxSessions = cfg.MaxSessions
+	s.maxSubs = cfg.MaxSubs
+	if cfg.Pushers >= 0 {
+		workers := cfg.Pushers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s.pool = newPusherPool(s, workers)
 	}
 	if cfg.IngestWorkers > 0 {
 		queue := cfg.IngestQueue
@@ -272,7 +304,7 @@ func (s *Server) processAddBatch(jobs []*addJob) {
 	if committed > 0 {
 		// The batch is published; fan it out to subscribed sessions.
 		// One wake covers the whole batch — the pushers read the log.
-		s.hub.wake()
+		s.wakeSubscribers()
 	}
 }
 
@@ -283,7 +315,7 @@ func (s *Server) processAdd(req wire.Request) wire.Response {
 	}
 	added, err := s.db.Add(user, uploaded)
 	if added {
-		s.hub.wake()
+		s.wakeSubscribers()
 	}
 	return addVerdict(added, err)
 }
@@ -406,6 +438,25 @@ func (s *Server) handle(conn net.Conn) {
 	s.serveV1(c)
 }
 
+// reserveSession claims a v2 session slot against Config.MaxSessions.
+// A false return means the cap is reached and the peer must be shed.
+func (s *Server) reserveSession() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxSessions > 0 && s.sessions >= s.maxSessions {
+		return false
+	}
+	s.sessions++
+	return true
+}
+
+// releaseSession returns a v2 session slot.
+func (s *Server) releaseSession() {
+	s.mu.Lock()
+	s.sessions--
+	s.mu.Unlock()
+}
+
 // serveV1 is the original sequential request/response loop: one frame
 // in, one frame out, in order, until the peer hangs up.
 func (s *Server) serveV1(c *wire.Conn) {
@@ -437,6 +488,11 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.pool != nil {
+		// After wg.Wait every session is fully torn down, so no enqueue
+		// can race the pool shutdown.
+		s.pool.close()
+	}
 	s.closeIngest()
 	_ = s.db.Close()
 }

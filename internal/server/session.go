@@ -1,18 +1,33 @@
 // Session layer: protocol-v2 persistent connections (docs/PROTOCOL.md).
 //
 // A connection whose first frame is HELLO becomes a session: a reader
-// (the connection's handler goroutine) dispatches ID-tagged requests, a
-// writer goroutine serializes all outbound frames, and — once the peer
-// SUBSCRIBEs — a pusher goroutine streams signature deltas as
-// server-initiated PUSH frames. The pusher is cursor-based: it owns a
-// position into the store's append-only log and pushes batched pages
-// from there, so a burst of commits coalesces into one batched PUSH and
-// a slow subscriber never costs the server buffering beyond one
-// in-flight page (the log, which exists anyway, is the buffer). A
-// subscriber lagging more than the configured threshold is downgraded:
-// it receives one catch-up marker (PUSH with More set, no signatures)
-// and must drain via paginated GETs; the first GET reply that comes back
-// complete re-arms the push stream from the position the GET reached.
+// (the connection's handler goroutine) dispatches ID-tagged requests
+// and a writer goroutine serializes all outbound frames. Push delivery
+// — streaming signature deltas to a SUBSCRIBEd peer — is driven by the
+// shared pusher pool (pool.go), which owns a position into the store's
+// append-only log per session and schedules page production across all
+// subscribers with a fixed number of workers. A subscriber lagging more
+// than the configured threshold is downgraded: it receives one catch-up
+// marker (PUSH with More set, no signatures) and must drain via
+// paginated GETs; the first GET reply that comes back complete re-arms
+// the push stream from the position the GET reached.
+//
+// Ordering is enforced at production time, not queue time: push
+// production is gated on the armed/catchup flags, and those flags only
+// flip in post-write hooks running after the corresponding response
+// frame (the SUBSCRIBE ack, the re-arming complete GET reply) has
+// physically reached the socket. A PUSH that could overtake the reply
+// that permits it therefore cannot exist, regardless of how the writer
+// interleaves its two sources.
+//
+// Admission limits: Config.MaxSessions caps concurrent v2 sessions —
+// a HELLO over the cap is answered with a v1 downgrade, which existing
+// clients already handle by falling back to polling. Config.MaxSubs
+// caps push-admitted subscribers — a SUBSCRIBE over the quota is
+// accepted but shed: the session receives only catch-up markers (so it
+// still learns when the database grows) and drains via paginated GETs;
+// each completed drain re-attempts admission, so shed sessions promote
+// to full push delivery as slots free up.
 package server
 
 import (
@@ -23,48 +38,99 @@ import (
 )
 
 const (
-	// sessionOutQueue bounds one session's outbound frame queue. Frames
-	// past it apply backpressure to their producer (reader dispatch or
-	// pusher), never unbounded server memory.
+	// sessionOutQueue bounds one session's outbound response queue.
+	// Frames past it apply backpressure to their producer (reader
+	// dispatch), never unbounded server memory.
 	sessionOutQueue = 16
 	// sessionMaxInflightAdds bounds concurrently processed ADDs per
 	// session; further ADD frames wait in the kernel socket buffer.
 	sessionMaxInflightAdds = 32
 )
 
-// hub fans "the database grew" wakeups out to subscribed sessions. It
-// carries no payload: each pusher reads its own deltas from the store's
-// lock-free log snapshot, so a commit burst costs one coalesced wakeup
-// per subscriber regardless of burst size.
+// hub tracks subscribed sessions and their push-admission state. It
+// carries no payload on wakeups: each dispatch reads its own deltas
+// from the store's lock-free log snapshot, so a commit burst costs one
+// coalesced wakeup per subscriber regardless of burst size.
 type hub struct {
-	mu   sync.Mutex
-	subs map[*session]struct{}
+	mu sync.Mutex
+	// subs maps each subscribed session to its admission: true = full
+	// push delivery, false = shed to marker-only (over MaxSubs quota).
+	subs map[*session]bool
+	// admitted counts the true entries, so admission checks are O(1).
+	admitted int
 }
 
-func (h *hub) add(sess *session) {
+// register adds a subscribing session and decides its admission against
+// the quota (0 = unlimited). A re-SUBSCRIBE keeps the session's
+// existing admission — re-subscribing is not a way to jump the queue.
+func (h *hub) register(sess *session, maxSubs int) bool {
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.subs == nil {
-		h.subs = make(map[*session]struct{})
+		h.subs = make(map[*session]bool)
 	}
-	h.subs[sess] = struct{}{}
-	h.mu.Unlock()
+	if adm, ok := h.subs[sess]; ok {
+		return adm
+	}
+	adm := maxSubs <= 0 || h.admitted < maxSubs
+	h.subs[sess] = adm
+	if adm {
+		h.admitted++
+	}
+	return adm
 }
 
+// remove drops a departing session, freeing its admission slot.
 func (h *hub) remove(sess *session) {
 	h.mu.Lock()
-	delete(h.subs, sess)
+	if adm, ok := h.subs[sess]; ok {
+		delete(h.subs, sess)
+		if adm {
+			h.admitted--
+		}
+	}
 	h.mu.Unlock()
 }
 
-// wake nudges every subscriber's pusher. Non-blocking: the cap-1 notify
-// channel coalesces bursts, and a pusher mid-drain re-checks the log
-// before sleeping, so no commit is ever missed.
-func (h *hub) wake() {
+// tryPromote upgrades a shed session to full push delivery if a quota
+// slot is free. Reports whether the session is now admitted.
+func (h *hub) tryPromote(sess *session, maxSubs int) bool {
 	h.mu.Lock()
-	for sess := range h.subs {
-		sess.nudge()
+	defer h.mu.Unlock()
+	adm, ok := h.subs[sess]
+	if !ok {
+		return false
 	}
-	h.mu.Unlock()
+	if adm {
+		return true
+	}
+	if maxSubs > 0 && h.admitted >= maxSubs {
+		return false
+	}
+	h.subs[sess] = true
+	h.admitted++
+	sess.mu.Lock()
+	sess.shed = false
+	sess.mu.Unlock()
+	return true
+}
+
+// wakeSubscribers schedules push work for every subscribed session —
+// the store calls this once per committed batch.
+func (s *Server) wakeSubscribers() {
+	s.hub.mu.Lock()
+	for sess := range s.hub.subs {
+		s.wakePusher(sess)
+	}
+	s.hub.mu.Unlock()
+}
+
+// outFrame is one queued outbound response. onWrite, if set, runs on
+// the writer goroutine immediately after the frame reaches the socket —
+// the mechanism that gates push production on bytes-on-wire.
+type outFrame struct {
+	resp    wire.Response
+	onWrite func()
 }
 
 // session is one v2 connection's server-side state.
@@ -72,13 +138,22 @@ type session struct {
 	conn net.Conn
 	wc   *wire.Conn
 
-	out      chan wire.Response
-	notify   chan struct{} // cap 1: pusher wakeups, coalescing
+	out chan outFrame
+	// pushSlot carries at most one pre-encoded PUSH frame from the
+	// pusher (pool worker or per-session loop) to the writer. The
+	// inflight flag guarantees it is empty whenever a send is attempted,
+	// so pushers never block on a slow subscriber.
+	pushSlot chan []byte
+	// notify is the baseline architecture's pusher wakeup (cap 1,
+	// coalescing); nil in pooled mode, where wakeups go through the
+	// readiness queue instead.
+	notify   chan struct{}
 	stop     chan struct{}
 	stopOnce sync.Once
 
-	// mu guards the subscription state below, shared between the reader
-	// (SUBSCRIBE/GET handling) and the pusher.
+	// mu guards the subscription and scheduling state below, shared
+	// between the reader (SUBSCRIBE/GET handling), the writer (post-write
+	// hooks), and the pusher.
 	mu         sync.Mutex
 	subscribed bool
 	// cursor is the 1-based log index the next PUSH starts from.
@@ -86,36 +161,57 @@ type session struct {
 	// catchup marks a downgraded subscriber: pushing is paused until a
 	// complete (un-truncated) GET reply proves the peer caught up.
 	catchup bool
+	// shed marks a subscriber over the MaxSubs quota: it receives
+	// catch-up markers instead of data pages until tryPromote succeeds.
+	shed bool
+	// armed is set once the SUBSCRIBE ack has physically been written;
+	// no PUSH is produced before that, so the first PUSH can never
+	// overtake the ack.
+	armed bool
+	// inflight is set while one PUSH frame is between production and the
+	// socket; the writer clears it and re-wakes the pusher, making
+	// per-session delivery self-clocking at one page in flight.
+	inflight bool
+	// pstate is the pooled scheduler's per-session state (pool.go).
+	pstate int8
 
-	wg sync.WaitGroup // writer + pusher + in-flight ADD handlers
+	wg sync.WaitGroup // writer (+ baseline pusher) + in-flight ADD handlers
 }
 
 func newSession(conn net.Conn, wc *wire.Conn) *session {
 	return &session{
-		conn:   conn,
-		wc:     wc,
-		out:    make(chan wire.Response, sessionOutQueue),
-		notify: make(chan struct{}, 1),
-		stop:   make(chan struct{}),
+		conn:     conn,
+		wc:       wc,
+		out:      make(chan outFrame, sessionOutQueue),
+		pushSlot: make(chan []byte, 1),
+		stop:     make(chan struct{}),
 	}
 }
 
 // send queues one outbound frame, giving up when the session is tearing
 // down (so producers never block on a dead peer's full queue).
 func (sess *session) send(r wire.Response) bool {
+	return sess.sendHook(r, nil)
+}
+
+// sendHook queues one outbound frame with a post-write hook.
+func (sess *session) sendHook(r wire.Response, onWrite func()) bool {
 	select {
-	case sess.out <- r:
+	case sess.out <- outFrame{resp: r, onWrite: onWrite}:
 		return true
 	case <-sess.stop:
 		return false
 	}
 }
 
-// nudge wakes the pusher if it is asleep; a set flag already covers it.
-func (sess *session) nudge() {
+// closing reports whether shutdown has begun. Callers must tolerate the
+// answer going stale immediately; it only gates best-effort work.
+func (sess *session) closing() bool {
 	select {
-	case sess.notify <- struct{}{}:
+	case <-sess.stop:
+		return true
 	default:
+		return false
 	}
 }
 
@@ -131,15 +227,29 @@ func (sess *session) shutdown() {
 
 // writeLoop is the session's single writer: every frame — responses and
 // pushes alike — leaves through here, so interleaving is frame-atomic.
-func (sess *session) writeLoop() {
+// After each written PUSH it clears inflight and re-wakes the pusher,
+// which is what clocks page production to the subscriber's socket.
+func (s *Server) writeLoop(sess *session) {
 	defer sess.wg.Done()
 	for {
 		select {
-		case r := <-sess.out:
-			if err := sess.wc.Send(r); err != nil {
+		case f := <-sess.out:
+			if err := sess.wc.Send(f.resp); err != nil {
 				sess.shutdown()
 				return
 			}
+			if f.onWrite != nil {
+				f.onWrite()
+			}
+		case enc := <-sess.pushSlot:
+			if err := sess.wc.SendEncoded(enc); err != nil {
+				sess.shutdown()
+				return
+			}
+			sess.mu.Lock()
+			sess.inflight = false
+			sess.mu.Unlock()
+			s.wakePusher(sess)
 		case <-sess.stop:
 			return
 		}
@@ -154,20 +264,35 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 	if version > wire.MaxVersion {
 		version = wire.MaxVersion
 	}
+	if version >= wire.V2 && !s.reserveSession() {
+		// Session cap reached: shed the peer into the stateless protocol.
+		// Answering the HELLO with v1 makes a well-behaved client fall
+		// back to polling — service degrades to pull, it doesn't stop.
+		version = wire.V1
+	}
 	if version < wire.V2 {
-		// The peer asked for v1 (or nonsense): acknowledge the downgrade
-		// and serve the plain sequential loop.
+		// The peer asked for v1 (or nonsense), or the cap downgraded it:
+		// acknowledge the downgrade and serve the plain sequential loop.
 		if c.Send(wire.Response{Status: wire.StatusOK, ID: hello.ID, Version: wire.V1}) != nil {
 			return
 		}
 		s.serveV1(c)
 		return
 	}
+	defer s.releaseSession()
 
 	sess := newSession(conn, c)
-	sess.wg.Add(2)
-	go sess.writeLoop()
-	go s.pushLoop(sess)
+	if s.pool == nil {
+		// Baseline architecture (Config.Pushers < 0): a dedicated pusher
+		// goroutine per session, woken through a cap-1 notify channel.
+		sess.notify = make(chan struct{}, 1)
+		sess.wg.Add(2)
+		go s.writeLoop(sess)
+		go s.sessionPushLoop(sess)
+	} else {
+		sess.wg.Add(1)
+		go s.writeLoop(sess)
+	}
 	defer func() {
 		sess.shutdown()
 		s.hub.remove(sess)
@@ -200,23 +325,28 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 		case wire.MsgGet:
 			resp := s.Process(req)
 			resp.ID = req.ID
-			if !sess.send(resp) {
-				return
-			}
+			var onWrite func()
 			if !resp.More {
 				// A complete reply proves the peer is caught up: resume
 				// pushing from where the GET ended (no gap: anything
-				// committed after the snapshot is ≥ resp.Next). This
-				// must happen strictly AFTER the reply is queued — the
-				// out channel is FIFO, so the first resumed PUSH can
-				// never overtake the GET reply on the wire; overtaking
-				// would misalign the client's repository positions and
-				// drop the GET page for good.
-				s.resumePush(sess, resp.Next)
+				// committed after the snapshot is ≥ resp.Next). The hook
+				// runs strictly AFTER the reply bytes reach the socket,
+				// and push production is gated on it — so the first
+				// resumed PUSH can never overtake the GET reply on the
+				// wire; overtaking would misalign the client's repository
+				// positions and drop the GET page for good.
+				next := resp.Next
+				onWrite = func() { s.getCompleted(sess, next) }
+			}
+			if !sess.sendHook(resp, onWrite) {
+				return
 			}
 		case wire.MsgSubscribe:
 			s.subscribe(sess, req.From)
-			if !sess.send(wire.Response{Status: wire.StatusOK, ID: req.ID}) {
+			// Arming happens in the ack's post-write hook: the backlog
+			// stream starts only once the ack is on the wire, so PUSH
+			// frames never precede it.
+			if !sess.sendHook(wire.Response{Status: wire.StatusOK, ID: req.ID}, func() { s.subscriptionArmed(sess) }) {
 				return
 			}
 		case wire.MsgPing:
@@ -233,90 +363,51 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 	}
 }
 
-// subscribe registers the session for pushes from 1-based index from,
-// and nudges the pusher so the backlog streams out immediately —
-// catch-up and live delivery are the same cursor-driven path.
+// subscribe registers the session for pushes from 1-based index from.
+// Production stays disarmed until the SUBSCRIBE ack's post-write hook
+// fires; admission against the MaxSubs quota is decided here.
 func (s *Server) subscribe(sess *session, from int) {
 	if from < 1 {
 		from = 1
 	}
+	admitted := s.hub.register(sess, s.maxSubs)
 	sess.mu.Lock()
 	sess.subscribed = true
 	sess.cursor = from
 	sess.catchup = false
+	sess.armed = false
+	sess.shed = !admitted
 	sess.mu.Unlock()
-	s.hub.add(sess)
-	sess.nudge()
 }
 
-// resumePush re-arms a downgraded subscriber's push stream from next
-// (where a complete GET reply left the peer).
-func (s *Server) resumePush(sess *session, next int) {
+// subscriptionArmed runs after the SUBSCRIBE ack reaches the socket:
+// from here on the pusher may produce frames for this session.
+func (s *Server) subscriptionArmed(sess *session) {
+	sess.mu.Lock()
+	sess.armed = true
+	sess.mu.Unlock()
+	s.wakePusher(sess)
+}
+
+// getCompleted runs after a complete (un-truncated) GET reply reaches
+// the socket. For a downgraded subscriber that is the proof it caught
+// up: re-arm the push stream from where the GET ended; a shed session
+// additionally re-attempts quota admission — completing a drain is the
+// promotion point, so promotion never lands mid-drain.
+func (s *Server) getCompleted(sess *session, next int) {
 	sess.mu.Lock()
 	resumed := sess.subscribed && sess.catchup
+	shed := sess.shed
 	if resumed {
 		sess.catchup = false
 		sess.cursor = next
 	}
 	sess.mu.Unlock()
-	if resumed {
-		sess.nudge()
+	if !resumed {
+		return
 	}
-}
-
-// pushLoop sleeps until the hub (or SUBSCRIBE/resume) nudges it, then
-// drains the log to the subscriber.
-func (s *Server) pushLoop(sess *session) {
-	defer sess.wg.Done()
-	for {
-		select {
-		case <-sess.stop:
-			return
-		case <-sess.notify:
-		}
-		s.drainPush(sess)
+	if shed {
+		s.hub.tryPromote(sess, s.maxSubs)
 	}
-}
-
-// drainPush pushes batched pages from the session's cursor until the
-// subscriber is current, not subscribed, downgraded, or gone.
-func (s *Server) drainPush(sess *session) {
-	for {
-		sess.mu.Lock()
-		if !sess.subscribed || sess.catchup {
-			sess.mu.Unlock()
-			return
-		}
-		cur := sess.cursor
-		sess.mu.Unlock()
-
-		lag := s.db.Len() - (cur - 1)
-		if lag <= 0 {
-			return
-		}
-		if lag > s.pushMaxLag {
-			// Downgrade a subscriber too far behind to push at: one
-			// catch-up marker, then the client drains via paginated GET
-			// at its own pace (the backpressure-to-catch-up contract).
-			sess.mu.Lock()
-			sess.catchup = true
-			sess.mu.Unlock()
-			sess.send(wire.Response{Status: wire.StatusOK, Type: wire.MsgPush, Next: cur, More: true})
-			return
-		}
-		sigs, next, _ := s.db.GetPage(cur, s.getBatch, wire.MaxGetBytes)
-		if len(sigs) == 0 {
-			return
-		}
-		if !sess.send(wire.Response{Status: wire.StatusOK, Type: wire.MsgPush, Sigs: sigs, Next: next}) {
-			return
-		}
-		sess.mu.Lock()
-		// A concurrent re-SUBSCRIBE may have moved the cursor; never
-		// clobber it with a stale advance.
-		if sess.cursor == cur {
-			sess.cursor = next
-		}
-		sess.mu.Unlock()
-	}
+	s.wakePusher(sess)
 }

@@ -11,6 +11,15 @@ import (
 	"communix/internal/wire"
 )
 
+// forEachPushMode runs a push-path test under both pusher
+// architectures: the pooled subsystem (the default) and the baseline
+// per-session pusher goroutines (Pushers < 0), which PR-1-style stays
+// runnable exactly so correctness and scaling claims remain comparable.
+func forEachPushMode(t *testing.T, fn func(t *testing.T, pushers int)) {
+	t.Run("pooled", func(t *testing.T) { fn(t, 2) })
+	t.Run("baseline", func(t *testing.T) { fn(t, -1) })
+}
+
 // v2TestServer spins up a TCP server with session knobs; cleanup stops
 // it.
 func v2TestServer(t *testing.T, cfg Config) (*Server, string, *ids.Authority) {
@@ -135,7 +144,11 @@ func TestHelloDowngradeToV1(t *testing.T) {
 }
 
 func TestSubscribeStreamsBacklogAndLiveDeltas(t *testing.T) {
-	srv, addr, auth := v2TestServer(t, Config{})
+	forEachPushMode(t, testSubscribeStreamsBacklogAndLiveDeltas)
+}
+
+func testSubscribeStreamsBacklogAndLiveDeltas(t *testing.T, pushers int) {
+	srv, addr, auth := v2TestServer(t, Config{Pushers: pushers})
 	seedServer(t, srv, auth, 1, 3)
 
 	_, c := dialV2(t, addr)
@@ -178,7 +191,11 @@ func TestSubscribeStreamsBacklogAndLiveDeltas(t *testing.T) {
 }
 
 func TestSubscriberFanOut(t *testing.T) {
-	srv, addr, auth := v2TestServer(t, Config{})
+	forEachPushMode(t, testSubscriberFanOut)
+}
+
+func testSubscriberFanOut(t *testing.T, pushers int) {
+	srv, addr, auth := v2TestServer(t, Config{Pushers: pushers})
 	const subs = 3
 	conns := make([]*wire.Conn, subs)
 	for i := range conns {
@@ -262,7 +279,11 @@ func TestGetSizeProbeSurvivesPagination(t *testing.T) {
 }
 
 func TestLaggingSubscriberDowngradedToCatchup(t *testing.T) {
-	srv, addr, auth := v2TestServer(t, Config{GetBatch: 1, PushMaxLag: 2})
+	forEachPushMode(t, testLaggingSubscriberDowngradedToCatchup)
+}
+
+func testLaggingSubscriberDowngradedToCatchup(t *testing.T, pushers int) {
+	srv, addr, auth := v2TestServer(t, Config{GetBatch: 1, PushMaxLag: 2, Pushers: pushers})
 	// 6 committed signatures: any subscriber starting from 1 lags by 6 >
 	// PushMaxLag and must be downgraded instead of pushed at.
 	seedServer(t, srv, auth, 6, 6)
@@ -393,7 +414,11 @@ func TestV1ClientAgainstV2Server(t *testing.T) {
 }
 
 func TestUploaderReceivesOwnSignatureViaPush(t *testing.T) {
-	_, addr, auth := v2TestServer(t, Config{})
+	forEachPushMode(t, testUploaderReceivesOwnSignatureViaPush)
+}
+
+func testUploaderReceivesOwnSignatureViaPush(t *testing.T, pushers int) {
+	_, addr, auth := v2TestServer(t, Config{Pushers: pushers})
 	_, c := dialV2(t, addr)
 	if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
 		t.Fatal(err)
@@ -433,5 +458,399 @@ func TestUploaderReceivesOwnSignatureViaPush(t *testing.T) {
 		default:
 			t.Fatalf("unexpected frame %+v", f)
 		}
+	}
+}
+
+// The downgrade/resume ordering contract under stress: with a tiny page
+// size and lag threshold, a subscriber racing a concurrent committer is
+// downgraded and re-armed over and over. Whatever the interleaving of
+// GET replies and PUSH frames, the subscriber's view must stay
+// contiguous: a resumed PUSH overtaking its re-arming GET reply would
+// appear here as a frame starting past what the client holds.
+func TestCatchupResumeOrderingUnderStress(t *testing.T) {
+	forEachPushMode(t, testCatchupResumeOrderingUnderStress)
+}
+
+func testCatchupResumeOrderingUnderStress(t *testing.T, pushers int) {
+	const total = 120
+	srv, addr, auth := v2TestServer(t, Config{GetBatch: 1, PushMaxLag: 1, MaxPerDay: 1000, Pushers: pushers})
+
+	// Commit in the background while the subscriber tries to keep up.
+	// (t.Errorf, not seedServer's Fatalf: Fatal must stay on the test
+	// goroutine.)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, token := auth.Issue()
+		r := rand.New(rand.NewSource(42))
+		for i := 0; i < total; i++ {
+			s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)
+			if resp := srv.Process(addReq(t, token, s)); resp.Status != wire.StatusOK {
+				t.Errorf("stress ADD %d: %+v", i, resp)
+				return
+			}
+		}
+	}()
+	defer func() { <-done }()
+
+	_, c := dialV2(t, addr)
+	if err := c.Send(wire.NewSubscribe(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var ack wire.Response
+	if err := c.Recv(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Status != wire.StatusOK || ack.ID != 1 {
+		t.Fatalf("SUBSCRIBE ack = %+v", ack)
+	}
+
+	// have = count of contiguous signatures held from index 1; every
+	// data frame (PUSH or GET reply) must start at or before have+1.
+	have := 0
+	getInFlight := false
+	for have < total {
+		var f wire.Response
+		if err := c.Recv(&f); err != nil {
+			t.Fatalf("recv with %d/%d: %v", have, total, err)
+		}
+		switch {
+		case f.Type == wire.MsgPush && f.More:
+			// Catch-up marker: drain via paginated GETs. One GET at a
+			// time; replies interleave with frames already in flight.
+			if !getInFlight {
+				getInFlight = true
+				if err := c.Send(wire.Request{Type: wire.MsgGet, ID: 7, From: have + 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case f.Type == wire.MsgPush:
+			start := f.Next - len(f.Sigs)
+			if start > have+1 {
+				t.Fatalf("PUSH starts at %d with only %d held — a push overtook its re-arming reply", start, have)
+			}
+			if f.Next-1 > have {
+				have = f.Next - 1
+			}
+		case f.ID == 7:
+			if f.Status != wire.StatusOK {
+				t.Fatalf("catch-up GET: %+v", f)
+			}
+			start := f.Next - len(f.Sigs)
+			if start > have+1 {
+				t.Fatalf("GET page starts at %d with only %d held", start, have)
+			}
+			if f.Next-1 > have {
+				have = f.Next - 1
+			}
+			getInFlight = false
+			if f.More {
+				getInFlight = true
+				if err := c.Send(wire.Request{Type: wire.MsgGet, ID: 7, From: f.Next}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			t.Fatalf("unexpected frame %+v", f)
+		}
+	}
+}
+
+// Tearing a subscriber down mid-stream must leave the server healthy:
+// the session's cursor is dropped, no pusher touches the dead session,
+// and fresh subscribers still get full service.
+func TestSessionTeardownMidPush(t *testing.T) {
+	forEachPushMode(t, testSessionTeardownMidPush)
+}
+
+func testSessionTeardownMidPush(t *testing.T, pushers int) {
+	// PushMaxLag above the backlog so the whole stream really is pushed
+	// page by page (GetBatch 1) — the teardowns happen mid-push, not in
+	// catch-up mode.
+	srv, addr, auth := v2TestServer(t, Config{GetBatch: 1, PushMaxLag: 1000, MaxPerDay: 1000, Pushers: pushers})
+	seedServer(t, srv, auth, 9, 30)
+
+	for i := 0; i < 5; i++ {
+		conn, c := dialV2(t, addr)
+		if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		// Read one PUSH so the stream is demonstrably live, then hang up
+		// with ~29 pages still to come.
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+
+	// The server survived five mid-push teardowns: a new subscriber
+	// still receives the full backlog.
+	_, c := dialV2(t, addr)
+	if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for got < 30 {
+		var push wire.Response
+		if err := c.Recv(&push); err != nil {
+			t.Fatalf("fresh subscriber with %d/30: %v", got, err)
+		}
+		if push.Type != wire.MsgPush {
+			t.Fatalf("fresh subscriber: %+v", push)
+		}
+		got += len(push.Sigs)
+	}
+}
+
+// MaxSubs shedding: a subscriber over the quota is accepted but
+// receives only catch-up markers; it drains via paginated GETs, and is
+// promoted to full push delivery once an admitted subscriber departs.
+func TestMaxSubsShedsIntoCatchup(t *testing.T) {
+	forEachPushMode(t, testMaxSubsShedsIntoCatchup)
+}
+
+func testMaxSubsShedsIntoCatchup(t *testing.T, pushers int) {
+	srv, addr, auth := v2TestServer(t, Config{MaxSubs: 1, Pushers: pushers})
+
+	subscribe := func(c *wire.Conn) {
+		t.Helper()
+		if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusOK || resp.ID != 2 {
+			t.Fatalf("SUBSCRIBE ack = %+v", resp)
+		}
+	}
+	connA, cA := dialV2(t, addr)
+	subscribe(cA)
+	_, cB := dialV2(t, addr)
+	subscribe(cB) // over quota: shed
+
+	seedServer(t, srv, auth, 10, 2)
+
+	// A (admitted) gets the data pushed (as one page or two, depending
+	// on how the commits interleave with dispatch); B (shed) gets a bare
+	// marker.
+	gotA := 0
+	for gotA < 2 {
+		var push wire.Response
+		if err := cA.Recv(&push); err != nil {
+			t.Fatal(err)
+		}
+		if push.Type != wire.MsgPush || len(push.Sigs) == 0 {
+			t.Fatalf("admitted subscriber frame = %+v, want data push", push)
+		}
+		gotA += len(push.Sigs)
+	}
+	var marker wire.Response
+	if err := cB.Recv(&marker); err != nil {
+		t.Fatal(err)
+	}
+	if marker.Type != wire.MsgPush || !marker.More || len(marker.Sigs) != 0 {
+		t.Fatalf("shed subscriber frame = %+v, want bare catch-up marker", marker)
+	}
+
+	// The shed session still drains everything via paginated GETs.
+	drained, from := 0, marker.Next
+	for {
+		if err := cB.Send(wire.Request{Type: wire.MsgGet, ID: 4, From: from}); err != nil {
+			t.Fatal(err)
+		}
+		var page wire.Response
+		if err := cB.Recv(&page); err != nil {
+			t.Fatal(err)
+		}
+		drained += len(page.Sigs)
+		from = page.Next
+		if !page.More {
+			break
+		}
+	}
+	if drained != 2 {
+		t.Fatalf("shed subscriber drained %d signatures, want 2", drained)
+	}
+
+	// Still over quota (A holds the slot): the next commit is another
+	// marker, not data.
+	seedServer(t, srv, auth, 11, 1)
+	if err := cB.Recv(&marker); err != nil {
+		t.Fatal(err)
+	}
+	if marker.Type != wire.MsgPush || !marker.More || len(marker.Sigs) != 0 {
+		t.Fatalf("shed subscriber second frame = %+v, want marker", marker)
+	}
+
+	// A departs, freeing the slot. B's next completed drain promotes it…
+	connA.Close()
+	if err := cB.Send(wire.Request{Type: wire.MsgGet, ID: 5, From: marker.Next}); err != nil {
+		t.Fatal(err)
+	}
+	var page wire.Response
+	for {
+		if err := cB.Recv(&page); err != nil {
+			t.Fatal(err)
+		}
+		if page.ID != 5 {
+			continue // late marker from before the GET completed
+		}
+		if page.More {
+			if err := cB.Send(wire.Request{Type: wire.MsgGet, ID: 5, From: page.Next}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		break
+	}
+
+	// …so the commit after promotion arrives as a data push. Allow for
+	// the promotion racing A's teardown: B may see more marker rounds
+	// first, but must end up receiving pushed data. Each retry commits
+	// under a fresh seed — reusing one would generate a duplicate
+	// signature, which deduplicates into no commit at all.
+	deadline := time.Now().Add(5 * time.Second)
+	for round := 0; ; round++ {
+		seedServer(t, srv, auth, int64(100+round), 1)
+		var f wire.Response
+		if err := cB.Recv(&f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Type == wire.MsgPush && len(f.Sigs) > 0 {
+			break // promoted: full push delivery
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shed subscriber was never promoted after the slot freed")
+		}
+		// Marker: drain and complete a GET to retry promotion.
+		from := f.Next
+		for {
+			if err := cB.Send(wire.Request{Type: wire.MsgGet, ID: 6, From: from}); err != nil {
+				t.Fatal(err)
+			}
+			var page wire.Response
+			if err := cB.Recv(&page); err != nil {
+				t.Fatal(err)
+			}
+			if page.ID != 6 {
+				continue
+			}
+			from = page.Next
+			if !page.More {
+				break
+			}
+		}
+	}
+}
+
+// A plain v1 client is untouched by subscription quotas: with MaxSubs
+// saturated it still drains the database via paginated GETs.
+func TestMaxSubsV1ClientStillDrains(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{MaxSubs: 1, GetBatch: 2})
+	_, cA := dialV2(t, addr)
+	if err := cA.Send(wire.NewSubscribe(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := cA.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	seedServer(t, srv, auth, 13, 5)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	c := wire.NewConn(conn)
+	total, from := 0, 1
+	for total < 5 {
+		if err := c.Send(wire.NewGet(from)); err != nil {
+			t.Fatal(err)
+		}
+		var page wire.Response
+		if err := c.Recv(&page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Status != wire.StatusOK || len(page.Sigs) == 0 {
+			t.Fatalf("v1 GET(%d) under saturated quota: %+v", from, page)
+		}
+		total += len(page.Sigs)
+		from = page.Next
+	}
+}
+
+// MaxSessions sheds surplus HELLOs into v1 poll mode, and frees slots
+// when sessions end.
+func TestMaxSessionsDowngradesSurplusHellos(t *testing.T) {
+	srv, addr, auth := v2TestServer(t, Config{MaxSessions: 1})
+	seedServer(t, srv, auth, 14, 2)
+
+	connA, _ := dialV2(t, addr) // holds the only session slot
+
+	// The second HELLO is answered with a v1 downgrade…
+	connB, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connB.Close()
+	_ = connB.SetDeadline(time.Now().Add(10 * time.Second))
+	cB := wire.NewConn(connB)
+	if err := cB.Send(wire.NewHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := cB.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || resp.Version != wire.V1 {
+		t.Fatalf("over-cap HELLO reply = %+v, want ok/version=1", resp)
+	}
+	// …and the connection serves v1 polls: service degraded, not denied.
+	if err := cB.Send(wire.NewGet(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cB.Recv(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK || len(resp.Sigs) == 0 {
+		t.Fatalf("v1 GET on shed connection: %+v", resp)
+	}
+
+	// The slot frees once A departs; a fresh HELLO negotiates v2 again.
+	connA.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+		c := wire.NewConn(conn)
+		if err := c.Send(wire.NewHello(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+		if resp.Version == wire.V2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session slot never freed after the holder disconnected")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"communix/internal/sig/sigtest"
+	"communix/internal/wire"
+)
+
+// TestChurnSoak storms the pooled-pusher server with subscriber churn —
+// waves of clients that connect, SUBSCRIBE, and vanish — while the
+// store keeps committing, and asserts the two properties churn most
+// easily destroys: the server's goroutine count returns to its pre-
+// storm level (no per-session goroutine, channel, or pool-queue leak),
+// and long-lived subscribers lose no signatures (every surviving
+// session converges to the full contiguous log).
+//
+// The survivors ingest continuously on their own goroutines, like real
+// subscribers. Parking them unread for the whole storm wedges the TEST,
+// not the server: their receive buffers fill, the kernel starts
+// dropping loopback segments under socket-memory pressure, and the
+// server-side TCP backs its retransmission timer off so far (RTO > 30s
+// observed under -race) that a post-storm drain times out on a socket
+// whose data is all queued kernel-side.
+func TestChurnSoak(t *testing.T) {
+	churners, commits := 200, 300
+	if testing.Short() {
+		churners, commits = 40, 60
+	}
+	const survivors = 10
+	const waves = 4
+
+	srv, addr, auth := v2TestServer(t, Config{MaxPerDay: 100000})
+
+	// Long-lived subscribers, connected before the storm. Each one's
+	// reader ingests pushed frames into a contiguous view until it holds
+	// the full final log (or its deadline kills the connection).
+	type survivor struct {
+		conn net.Conn
+		c    *wire.Conn
+		have atomic.Int64
+		err  error
+		done chan struct{}
+	}
+	ingest := func(sv *survivor) {
+		defer close(sv.done)
+		for sv.have.Load() < int64(commits) {
+			var f wire.Response
+			if err := sv.c.Recv(&f); err != nil {
+				sv.err = fmt.Errorf("with %d/%d: %w", sv.have.Load(), commits, err)
+				return
+			}
+			if f.Type != wire.MsgPush || f.More {
+				sv.err = fmt.Errorf("unexpected frame %+v", f)
+				return
+			}
+			start := f.Next - len(f.Sigs)
+			if have := int(sv.have.Load()); start > have+1 {
+				sv.err = fmt.Errorf("gap — frame starts at %d with %d held", start, have)
+				return
+			}
+			if int64(f.Next-1) > sv.have.Load() {
+				sv.have.Store(int64(f.Next - 1))
+			}
+		}
+	}
+	longLived := make([]*survivor, survivors)
+	for i := range longLived {
+		conn, c := dialV2(t, addr)
+		_ = conn.SetDeadline(time.Now().Add(120 * time.Second))
+		if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("survivor %d SUBSCRIBE: %+v", i, resp)
+		}
+		longLived[i] = &survivor{conn: conn, c: c, done: make(chan struct{})}
+		go ingest(longLived[i])
+	}
+
+	// Settle, then take the pre-storm goroutine baseline.
+	time.Sleep(50 * time.Millisecond)
+	g0 := runtime.NumGoroutine()
+
+	// Committer: the store grows throughout the storm.
+	commitDone := make(chan struct{})
+	go func() {
+		defer close(commitDone)
+		_, token := auth.Issue()
+		r := rand.New(rand.NewSource(77))
+		for i := 0; i < commits; i++ {
+			s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, i, 6, 9)
+			if resp := srv.Process(addReq(t, token, s)); resp.Status != wire.StatusOK {
+				t.Errorf("soak ADD %d: %+v", i, resp)
+				return
+			}
+			if i%16 == 0 {
+				time.Sleep(time.Millisecond) // spread commits across the storm
+			}
+		}
+	}()
+
+	// The storm: waves of churners that subscribe and disappear, some
+	// without ever reading a frame (teardown with pushes in flight).
+	perWave := churners / waves
+	for w := 0; w < waves; w++ {
+		var wg sync.WaitGroup
+		wg.Add(perWave)
+		for i := 0; i < perWave; i++ {
+			go func(id int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Errorf("churner %d: %v", id, err)
+					return
+				}
+				defer conn.Close()
+				_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+				c := wire.NewConn(conn)
+				if err := c.Send(wire.NewHello(1)); err != nil {
+					return
+				}
+				var resp wire.Response
+				if err := c.Recv(&resp); err != nil {
+					return
+				}
+				if err := c.Send(wire.NewSubscribe(2, 1)); err != nil {
+					return
+				}
+				// A third hang up immediately — SUBSCRIBE ack and backlog
+				// pushes still in flight; the rest read a little first
+				// (best-effort with a short deadline: how much is pushed
+				// before they vanish is exactly the chaos under test).
+				if id%3 != 0 {
+					_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+					for n := 0; n < 1+id%3; n++ {
+						if err := c.Recv(&resp); err != nil {
+							return
+						}
+					}
+				}
+			}(w*perWave + i)
+		}
+		wg.Wait()
+	}
+	<-commitDone
+
+	// No lost signatures: every survivor's reader converges to the full
+	// contiguous log. On failure, dump the server-side session state —
+	// it distinguishes "pusher stalled" (a server bug) from "everything
+	// written, bytes wedged elsewhere".
+	target := srv.Store().Len()
+	if target != commits {
+		t.Fatalf("store holds %d signatures, want %d", target, commits)
+	}
+	converge := time.After(60 * time.Second)
+	for i, sv := range longLived {
+		select {
+		case <-sv.done:
+		case <-converge:
+			sv.err = fmt.Errorf("with %d/%d: convergence timeout", sv.have.Load(), target)
+		}
+		if sv.err != nil {
+			srv.hub.mu.Lock()
+			for sess := range srv.hub.subs {
+				sess.mu.Lock()
+				t.Logf("sub state: pstate=%d inflight=%v cursor=%d armed=%v catchup=%v shed=%v closing=%v",
+					sess.pstate, sess.inflight, sess.cursor, sess.armed, sess.catchup, sess.shed, sess.closing())
+				sess.mu.Unlock()
+			}
+			srv.hub.mu.Unlock()
+			t.Logf("pool queue depth=%d store len=%d", srv.pool.queued(), srv.Store().Len())
+			t.Fatalf("survivor %d: %v", i, sv.err)
+		}
+	}
+
+	// No goroutine leaks: once the churners' sessions drain, the count
+	// returns to the pre-storm baseline (generous slack for runtime and
+	// test goroutines still parking).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudge finalizers/parked goroutines along
+		g1 := runtime.NumGoroutine()
+		if g1 <= g0+10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before storm, %d after", g0, g1)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

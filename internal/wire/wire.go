@@ -255,6 +255,26 @@ func WriteMessage(w io.Writer, v any) error {
 	return nil
 }
 
+// EncodeFrame marshals v into one complete length-prefixed frame —
+// header and payload in a single byte slice, ready for SendEncoded. The
+// server's pooled pusher uses this to marshal a PUSH page once and fan
+// the identical bytes out to every subscriber at the same cursor
+// (pages of the append-only log are immutable, so an encoded frame for
+// a given index range never goes stale).
+func EncodeFrame(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	return frame, nil
+}
+
 // ReadMessage reads one length-prefixed JSON frame into v.
 func ReadMessage(r io.Reader, v any) error {
 	var hdr [4]byte
@@ -294,6 +314,18 @@ func NewConn(rw io.ReadWriter) *Conn {
 func (c *Conn) Send(v any) error {
 	if err := WriteMessage(c.w, v); err != nil {
 		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// SendEncoded writes one pre-encoded frame (from EncodeFrame) and
+// flushes.
+func (c *Conn) SendEncoded(frame []byte) error {
+	if _, err := c.w.Write(frame); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	if err := c.w.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
