@@ -52,7 +52,7 @@ func main() {
 }
 
 func run() int {
-	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|runtime|e2e|fleet|all")
+	experiment := flag.String("experiment", "all", "fig2|fig3|fig4|table1|table2|protection|store|persist|runtime|e2e|fleet|repl|all")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	shards := flag.Int("shards", 0, "store experiment: sharded-store partitions (0 = default 16)")
 	storeJSON := flag.String("store-json", "", "store experiment: also write results to this JSON file")
@@ -85,6 +85,12 @@ func run() int {
 	fleetPacing := flag.String("fleet-pacing", "smooth", "fleet: upload pacing within a slot: smooth|burst")
 	fleetBatch := flag.Int("fleet-batch", 0, "fleet: server page size (0 = server default)")
 	fleetRepeat := flag.Int("fleet-repeat", 1, "fleet: best-of-N retries for cells that miss the SLO (correctness failures never retried)")
+	fleetReplicas := flag.Int("fleet-replicas", 0, "fleet: follower replicas serving the subscribers (0 = all on the primary)")
+	replJSON := flag.String("repl-json", "", "repl experiment: also write results to this JSON file")
+	replReplicas := flag.Int("repl-replicas", 3, "repl: follower count in the replicated arm")
+	replSoloSubs := flag.String("repl-solo-subs", "", "repl: solo-arm subscriber counts, comma-separated (default quick \"25,50\")")
+	replSubs := flag.String("repl-subs", "", "repl: replicated-arm subscriber counts (default quick \"50,100\")")
+	replPushers := flag.Int("repl-pushers", 0, "repl: fixed per-server pusher budget for both arms (0 = default 2)")
 	flag.Parse()
 
 	// Worker mode: this process IS one protected application of the e2e
@@ -284,9 +290,10 @@ func run() int {
 			}
 		}
 	}
-	if *experiment == "fleet" || *experiment == "all" {
-		ran = true
-		traceCfg := bench.TraceConfig{
+	// The repl experiment reuses the fleet trace and cell flags: same
+	// loader, same SLO semantics, different topology axis.
+	fleetTraceCfg := func() bench.TraceConfig {
+		tc := bench.TraceConfig{
 			Profile:          *fleetProfile,
 			Slots:            *fleetSlots,
 			SlotDur:          time.Duration(*fleetSlotMS) * time.Millisecond,
@@ -295,14 +302,19 @@ func run() int {
 			ChurnConnects:    *fleetChurnConns,
 			ChurnDisconnects: *fleetChurnDrops,
 		}
-		if traceCfg.TargetRPS <= 0 {
-			traceCfg.TargetRPS = 300
+		if tc.TargetRPS <= 0 {
+			tc.TargetRPS = 300
 		}
-		if traceCfg.Profile == bench.TraceProfileRamp || traceCfg.Profile == bench.TraceProfileStep {
-			if traceCfg.BeginRPS == 0 {
-				traceCfg.BeginRPS = traceCfg.TargetRPS / 4
+		if tc.Profile == bench.TraceProfileRamp || tc.Profile == bench.TraceProfileStep {
+			if tc.BeginRPS == 0 {
+				tc.BeginRPS = tc.TargetRPS / 4
 			}
 		}
+		return tc
+	}
+	if *experiment == "fleet" || *experiment == "all" {
+		ran = true
+		traceCfg := fleetTraceCfg()
 		pooledCounts, err := parseCounts(*fleetSubs, []int{50, 200})
 		if err != nil {
 			return fail("fleet", err)
@@ -334,6 +346,7 @@ func run() int {
 			SLO:        time.Duration(*fleetSLOMS) * time.Millisecond,
 			TimeoutSec: *fleetTimeout,
 			Repeat:     *fleetRepeat,
+			Replicas:   *fleetReplicas,
 		}, modes, counts)
 		if err != nil {
 			return fail("fleet", err)
@@ -350,6 +363,41 @@ func run() int {
 		for _, c := range surface.Cells {
 			if c.GapErrors > 0 || !c.Quiesced {
 				return fail("fleet", fmt.Errorf("%s/%d: gaps=%d quiesced=%v", c.Mode, c.Subscribers, c.GapErrors, c.Quiesced))
+			}
+		}
+	}
+	if *experiment == "repl" || *experiment == "all" {
+		ran = true
+		soloCounts, err := parseCounts(*replSoloSubs, []int{25, 50})
+		if err != nil {
+			return fail("repl", err)
+		}
+		replCounts, err := parseCounts(*replSubs, []int{50, 100})
+		if err != nil {
+			return fail("repl", err)
+		}
+		surface, err := bench.ReplSurface(fleetTraceCfg(), bench.FleetConfig{
+			Transport:  *fleetTransport,
+			Pacing:     *fleetPacing,
+			GetBatch:   *fleetBatch,
+			SLO:        time.Duration(*fleetSLOMS) * time.Millisecond,
+			TimeoutSec: *fleetTimeout,
+			Repeat:     *fleetRepeat,
+			Pushers:    *replPushers,
+		}, *replReplicas, soloCounts, replCounts)
+		if err != nil {
+			return fail("repl", err)
+		}
+		bench.WriteReplSurface(out, surface)
+		fmt.Fprintln(out)
+		if err := writeJSON(*replJSON, func(w io.Writer) error {
+			return bench.WriteReplSurfaceJSON(w, surface)
+		}); err != nil {
+			return fail("repl", err)
+		}
+		for _, c := range surface.Cells {
+			if c.GapErrors > 0 || !c.Quiesced {
+				return fail("repl", fmt.Errorf("replicas=%d/%d: gaps=%d quiesced=%v", c.Replicas, c.Subscribers, c.GapErrors, c.Quiesced))
 			}
 		}
 	}

@@ -8,6 +8,7 @@
 //
 //	communix-client -addr 127.0.0.1:9123 -repo /var/lib/communix/repo.json -interval 24h
 //	communix-client -addr 127.0.0.1:9123 -repo /var/lib/communix/repo.json -subscribe
+//	communix-client -addr primary:9123 -peers replica1:9123,replica2:9123 -subscribe
 //
 // With -subscribe the client holds one protocol-v2 session open and the
 // server pushes new signatures the moment other users contribute them —
@@ -15,6 +16,12 @@
 // session is kept alive with PINGs and re-established with jittered
 // backoff; against a server that only speaks protocol v1 the client
 // falls back to polling at -interval.
+//
+// -peers lists the other servers of a replicated deployment: the client
+// reads from whichever peer answers (rotating away from a dead one) and
+// follows upload redirects to the current primary, so downloads survive
+// any single server failure and a promoted replica is found without
+// reconfiguration.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,7 +47,15 @@ func run() int {
 	interval := flag.Duration("interval", 24*time.Hour, "sync period (the paper syncs once a day; v1 fallback cadence with -subscribe)")
 	once := flag.Bool("once", false, "sync once and exit")
 	subscribe := flag.Bool("subscribe", false, "hold a v2 session open and receive pushed deltas instead of polling")
+	peers := flag.String("peers", "", "comma-separated additional server addresses (replicated deployment)")
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
 
 	rp, err := repo.Open(*repoPath)
 	if err != nil {
@@ -48,6 +64,7 @@ func run() int {
 	}
 	c, err := client.New(client.Config{
 		Addr:         *addr,
+		Peers:        peerList,
 		Repo:         rp,
 		SyncInterval: *interval,
 		Subscribe:    *subscribe,

@@ -10,6 +10,7 @@
 //	communix-inspect -repo repo.json -v
 //	communix-inspect -data-dir /var/lib/communix        # offline dump
 //	communix-inspect -addr 127.0.0.1:9123               # live size probe
+//	communix-inspect -addr 127.0.0.1:9124 -promote      # failover: promote follower
 //
 // The -data-dir mode opens the directory read-only: it replays the
 // snapshot and WAL segments exactly as server startup would (nothing is
@@ -43,11 +44,16 @@ func run() int {
 	repoPath := flag.String("repo", "", "local signature repository to inspect")
 	dataDir := flag.String("data-dir", "", "server data directory to inspect offline (read-only)")
 	addr := flag.String("addr", "", "running server to probe for its database size")
+	promote := flag.Bool("promote", false, "promote the follower at -addr to primary (epoch-fenced failover)")
 	verbose := flag.Bool("v", false, "print full call stacks")
 	flag.Parse()
 
 	if *historyPath == "" && *repoPath == "" && *dataDir == "" && *addr == "" {
 		fmt.Fprintln(os.Stderr, "communix-inspect: pass -history, -repo, -data-dir, and/or -addr")
+		return 2
+	}
+	if *promote && *addr == "" {
+		fmt.Fprintln(os.Stderr, "communix-inspect: -promote requires -addr")
 		return 2
 	}
 	if *historyPath != "" {
@@ -68,13 +74,42 @@ func run() int {
 			return 1
 		}
 	}
-	if *addr != "" {
+	if *addr != "" && *promote {
+		if err := promoteServer(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "communix-inspect: %v\n", err)
+			return 1
+		}
+	} else if *addr != "" {
 		if err := probeServer(*addr); err != nil {
 			fmt.Fprintf(os.Stderr, "communix-inspect: %v\n", err)
 			return 1
 		}
 	}
 	return 0
+}
+
+// promoteServer asks the follower at addr to promote itself to primary
+// (wire.MsgPromote). Like -mint, this is an operator endpoint; front it
+// with transport-level auth in production deployments.
+func promoteServer(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	c := wire.NewConn(conn)
+	if err := c.Send(wire.NewPromote(0)); err != nil {
+		return err
+	}
+	var resp wire.Response
+	if err := c.Recv(&resp); err != nil {
+		return err
+	}
+	if resp.Status != wire.StatusOK {
+		return fmt.Errorf("server %s: %s: %s", addr, resp.Status, resp.Detail)
+	}
+	fmt.Printf("server %s: promoted, now %s at epoch %d\n", addr, resp.Role, resp.Epoch)
+	return nil
 }
 
 // inspectDataDir recovers a server data directory read-only and reports

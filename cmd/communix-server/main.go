@@ -7,12 +7,19 @@
 //
 //	communix-server -addr :9123 -key 00112233445566778899aabbccddeeff -mint 3
 //	communix-server -addr :9123 -key ... -data-dir /var/lib/communix -fsync always
+//	communix-server -addr :9124 -key ... -data-dir /var/lib/communix-r1 -follow primary:9123
 //
 // -mint prints N freshly issued user tokens at startup (the id-issuing
 // service is out of the paper's scope; real deployments gate issuance).
 // With -data-dir the signature database is durable: accepted signatures
 // are written ahead to a segment log and recovered on restart; -fsync
 // picks the durability/throughput trade-off (always, batch, off).
+//
+// -follow runs the server as a follower replica: it replicates the
+// primary's signature log into its own store, serves downloads and
+// subscriptions, and redirects uploads to the primary. SIGUSR1 (or
+// communix-inspect -promote) promotes a follower to primary during a
+// failover; see the README's "Replicated deployment" section.
 //
 // The server speaks wire protocol v2: clients opening with HELLO get a
 // persistent session and may SUBSCRIBE for pushed signature deltas
@@ -53,12 +60,18 @@ func run() int {
 	pushers := flag.Int("pushers", 0, "pooled pusher workers (0 = GOMAXPROCS, negative = per-session pushers)")
 	maxSessions := flag.Int("max-sessions", 0, "concurrent v2 session cap; surplus HELLOs downgrade to v1 polling (0 = unlimited)")
 	maxSubs := flag.Int("max-subs", 0, "push-admitted subscriber cap; surplus subscribers shed to catch-up GETs (0 = unlimited)")
+	follow := flag.String("follow", "", "run as a follower replica of the primary at this address (SIGUSR1 promotes to primary)")
+	advertise := flag.String("advertise", "", "address clients should upload to when this server is primary (defaults to -addr)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
 	if err != nil || len(key) != communix.KeySize {
 		fmt.Fprintln(os.Stderr, "communix-server: -key must be 32 hex characters (128-bit AES key)")
 		return 2
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = *addr
 	}
 
 	srv, err := communix.NewServer(communix.ServerConfig{
@@ -74,6 +87,11 @@ func run() int {
 		Pushers:       *pushers,
 		MaxSessions:   *maxSessions,
 		MaxSubs:       *maxSubs,
+		Follow:        *follow,
+		Advertise:     adv,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "communix-server: "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
@@ -100,10 +118,29 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "communix-server: %v\n", err)
 		return 1
 	}
-	fmt.Printf("communix-server: listening on %s\n", l.Addr())
+	role := "primary"
+	if *follow != "" {
+		role = fmt.Sprintf("follower of %s", *follow)
+	}
+	fmt.Printf("communix-server: listening on %s (%s, epoch %d)\n", l.Addr(), role, srv.Store().Epoch())
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
+
+	// SIGUSR1 promotes a follower to primary (epoch bump + fence); the
+	// wire-level equivalent is communix-inspect -promote.
+	promoteCh := make(chan os.Signal, 1)
+	signal.Notify(promoteCh, syscall.SIGUSR1)
+	go func() {
+		for range promoteCh {
+			epoch, err := srv.Promote()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "communix-server: promote: %v\n", err)
+				continue
+			}
+			fmt.Printf("communix-server: promoted to primary at epoch %d\n", epoch)
+		}
+	}()
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -166,6 +166,19 @@ type ServerConfig struct {
 	// shed to catch-up markers + paginated GETs until a slot frees.
 	// 0 = unlimited.
 	MaxSubs int
+	// Follow starts the server as a follower replica of the primary at
+	// this address: it replicates the primary's signature log into its
+	// own (durable, when DataDir is set) store, serves downloads and
+	// subscriptions, and answers uploads with a redirect to the primary.
+	// Promote it to primary with Server.Promote (or the communix-server
+	// SIGUSR1 handler / communix-inspect -promote). Empty = primary.
+	Follow string
+	// Advertise is the address this server tells clients to upload to
+	// when it is the primary (carried in HELLO replies). Optional.
+	Advertise string
+	// Logf receives operational log lines (replication retries,
+	// promotions); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // NewServer builds a Communix server. Use Process for direct in-process
@@ -190,6 +203,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Pushers:       cfg.Pushers,
 		MaxSessions:   cfg.MaxSessions,
 		MaxSubs:       cfg.MaxSubs,
+		Follow:        cfg.Follow,
+		Advertise:     cfg.Advertise,
+		Logf:          cfg.Logf,
 	})
 }
 
@@ -200,6 +216,12 @@ type NodeConfig struct {
 	// Dial unset) for an offline node: Dimmunix immunity still works,
 	// signatures are neither uploaded nor downloaded.
 	ServerAddr string
+	// Peers lists additional server addresses in a replicated deployment
+	// (followers and primary, in any order). The node reads from
+	// whichever peer answers and follows upload redirects to the
+	// primary, so it keeps receiving signatures through any single
+	// server failure and keeps uploading across a failover.
+	Peers []string
 	// Dial overrides connection establishment (in-process servers,
 	// tests).
 	Dial func() (net.Conn, error)
@@ -276,6 +298,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if online {
 		c, err := client.New(client.Config{
 			Addr:         cfg.ServerAddr,
+			Peers:        cfg.Peers,
 			Dial:         cfg.Dial,
 			Repo:         rp,
 			Token:        cfg.Token,

@@ -136,6 +136,15 @@ type FleetConfig struct {
 	// Pushers sizes the pool in pooled mode (0 = GOMAXPROCS); ignored
 	// in baseline mode, which always runs one pusher per session.
 	Pushers int
+	// Replicas runs this many follower replicas (server.Config.FollowDial
+	// over the cell's transport) and spreads the measured subscribers and
+	// churn round-robin across them instead of the primary — the
+	// replicated-deployment topology, where the primary takes uploads and
+	// ships each page once per follower while the followers carry the
+	// subscriber fan-out. 0 = single-server cell (every subscriber on the
+	// primary). Distribution latency stays commit-to-delivery, so the
+	// replication hop is inside the measured budget, not excused from it.
+	Replicas int
 	// Pacing is FleetPacingSmooth (default: adds spread evenly across
 	// each slot) or FleetPacingBurst (each slot's adds committed
 	// back-to-back at the slot boundary, modelling the bursty arrivals
@@ -164,6 +173,9 @@ type FleetCellResult struct {
 	Transport   string `json:"transport"`
 	Pacing      string `json:"pacing"`
 	Subscribers int    `json:"subscribers"`
+	// Replicas is the follower count serving the subscribers (0 = the
+	// primary serves them directly).
+	Replicas int `json:"replicas"`
 	// PusherWorkers is the pool size driving all subscribers (pooled),
 	// or equal to Subscribers (baseline: one pusher goroutine each) —
 	// the "goroutines spent pushing" axis of the scaling claim.
@@ -599,6 +611,53 @@ func Fleet(cfg FleetConfig) (FleetCellResult, error) {
 		dial = pl.Dial
 	}
 
+	// Replicated topology: followers replicate from the primary over the
+	// same transport and take over the subscriber-facing side. The
+	// measured fleet (and churn) round-robins across the followers; the
+	// primary keeps the upload path.
+	replicas := cfg.Replicas
+	if replicas < 0 {
+		replicas = 0
+	}
+	clientDial := dial
+	if replicas > 0 {
+		followerDials := make([]func() (net.Conn, error), replicas)
+		for i := 0; i < replicas; i++ {
+			fsrv, err := server.New(server.Config{
+				Key:        e2eKey,
+				MaxPerDay:  1 << 30,
+				GetBatch:   cfg.GetBatch,
+				PushMaxLag: cfg.PushMaxLag,
+				MaxSubs:    cfg.MaxSubs,
+				Pushers:    pushers,
+				FollowDial: dial,
+				FollowPing: time.Second,
+			})
+			if err != nil {
+				return FleetCellResult{}, fmt.Errorf("bench: fleet: replica %d: %w", i, err)
+			}
+			defer fsrv.Close()
+			switch transport {
+			case FleetTransportTCP:
+				l, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return FleetCellResult{}, fmt.Errorf("bench: fleet: replica %d: %w", i, err)
+				}
+				go fsrv.Serve(l)
+				addr := l.Addr().String()
+				followerDials[i] = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+			case FleetTransportPipe:
+				pl := newPipeListener()
+				go fsrv.Serve(pl)
+				followerDials[i] = pl.Dial
+			}
+		}
+		var rr atomic.Int64
+		clientDial = func() (net.Conn, error) {
+			return followerDials[int(rr.Add(1))%replicas]()
+		}
+	}
+
 	// Pre-generate the upload stream: distinct-top signatures dodge the
 	// store's adjacency and duplicate rejections, so commit index equals
 	// upload order (synchronous ingestion, single loader goroutine).
@@ -635,6 +694,7 @@ func Fleet(cfg FleetConfig) (FleetCellResult, error) {
 		Transport:   transport,
 		Pacing:      pacing,
 		Subscribers: subscribers,
+		Replicas:    replicas,
 		OfferedRPS:  float64(totalAdds) / TraceDur(cfg.Trace).Seconds(),
 		SLOMS:       float64(slo) / float64(time.Millisecond),
 	}
@@ -661,7 +721,7 @@ func Fleet(cfg FleetConfig) (FleetCellResult, error) {
 		}
 	}()
 	for i := range clients {
-		conn, err := dial()
+		conn, err := clientDial()
 		if err != nil {
 			return res, fmt.Errorf("bench: fleet: client %d dial: %w", i, err)
 		}
@@ -691,7 +751,7 @@ func Fleet(cfg FleetConfig) (FleetCellResult, error) {
 	res.SubscribeGoroutineDelta = res.GoroutinesSubscribed - res.GoroutinesConnected - subscribers
 
 	// Phase 3 — play the trace: paced uploads plus churn storms.
-	churn := &churnPool{dial: dial, deadline: deadline}
+	churn := &churnPool{dial: clientDial, deadline: deadline}
 	loaderStart := time.Now()
 	idx := 0
 	slotStart := loaderStart

@@ -96,6 +96,20 @@ type Config struct {
 	OnSignatures func(added int)
 	// Keepalive overrides DefaultKeepalive (Subscribe mode).
 	Keepalive time.Duration
+	// Peers lists additional server addresses (a replicated deployment's
+	// followers and primary). Reads — syncs and subscriptions — rotate
+	// across Addr/Dial plus every peer: a dead server costs one failed
+	// dial and the client moves on, so read availability survives any
+	// single server. Uploads landing on a follower are forwarded to the
+	// primary its StatusNotPrimary reply advertises.
+	Peers []string
+	// PeerDial overrides the peer dialers (tests and in-process fleets):
+	// one dialer per peer, used instead of TCP dials to Peers.
+	PeerDial []func() (net.Conn, error)
+	// DialAddr dials an advertised address — the upload path uses it to
+	// reach the primary a follower redirected to. Defaults to TCP; tests
+	// override it to map advertised names onto in-process pipes.
+	DialAddr func(addr string) (net.Conn, error)
 }
 
 // Client syncs a local repository against a Communix server.
@@ -116,6 +130,19 @@ type Client struct {
 	sessMu     sync.Mutex
 	sess       *session
 	sessClosed bool
+	// dialers is the read-path rotation (Addr/Dial first, then Peers);
+	// dialIdx is the rotation's sticky start — the last dialer that
+	// produced a working session — advanced only when that peer fails,
+	// so a healthy deployment keeps each client pinned to one server.
+	dialers []func() (net.Conn, error)
+	dialIdx int
+
+	// Upload-redirect state: one managed session to the primary a
+	// follower's StatusNotPrimary advertised, dialed lazily and re-dialed
+	// when the advertised address changes or the session dies.
+	leaderMu   sync.Mutex
+	leaderSess *session
+	leaderAddr string
 
 	// Push delivery state: the session reader accumulates under pushMu
 	// and nudges pushNotify (cap 1); the subscribe loop drains and runs
@@ -150,7 +177,17 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Keepalive <= 0 {
 		cfg.Keepalive = DefaultKeepalive
 	}
-	return &Client{cfg: cfg, done: make(chan struct{}), pushNotify: make(chan struct{}, 1)}, nil
+	if cfg.DialAddr == nil {
+		cfg.DialAddr = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, dialTimeout) }
+	}
+	c := &Client{cfg: cfg, done: make(chan struct{}), pushNotify: make(chan struct{}, 1)}
+	c.dialers = append(c.dialers, cfg.Dial)
+	c.dialers = append(c.dialers, cfg.PeerDial...)
+	for _, addr := range cfg.Peers {
+		addr := addr
+		c.dialers = append(c.dialers, func() (net.Conn, error) { return cfg.DialAddr(addr) })
+	}
+	return c, nil
 }
 
 // getSession returns the cached managed session, dialing (and running
@@ -173,12 +210,53 @@ func (c *Client) getSession() (*session, error) {
 		c.sess.close()
 		c.sess = nil
 	}
-	s, err := dialSession(c.cfg.Dial, c.handlePush)
-	if err != nil {
-		return nil, err
+	// Rotate across the peer set starting from the sticky index: the
+	// peer that last worked is retried first, and a failure (dial error,
+	// or a server fenced out as stale) moves on to the next.
+	var lastErr error
+	n := len(c.dialers)
+	for i := 0; i < n; i++ {
+		idx := (c.dialIdx + i) % n
+		s, err := dialSession(c.dialers[idx], c.handlePush, c.cfg.Repo.Epoch())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.adoptSession(s); err != nil {
+			s.close()
+			lastErr = err
+			continue
+		}
+		c.dialIdx = idx
+		c.sess = s
+		return s, nil
 	}
-	c.sess = s
-	return s, nil
+	return nil, lastErr
+}
+
+// adoptSession runs the client side of epoch fencing on a fresh
+// session (docs/PROTOCOL.md, "Epochs and fencing"). A server whose
+// epoch is behind the repository's is a stale primary that came back
+// after a failover — reading from it could serve a divergent tail, so
+// it is refused and the rotation moves on. A server ahead of us means
+// we missed promotions: the repository survives iff its length is at
+// or below the fence (the minimum log length promoted over the missed
+// epochs); past it, the repository resets and re-downloads from 1.
+func (c *Client) adoptSession(s *session) error {
+	if s.version < wire.V2 || s.epoch == 0 {
+		return nil // pre-epoch server: nothing to fence against
+	}
+	repoEpoch := c.cfg.Repo.Epoch()
+	switch {
+	case s.epoch == repoEpoch:
+		return nil
+	case s.epoch < repoEpoch:
+		return fmt.Errorf("client: server at stale epoch %d, repository already at %d", s.epoch, repoEpoch)
+	}
+	if c.cfg.Repo.Len() > s.fence {
+		return c.cfg.Repo.Reset(s.epoch)
+	}
+	return c.cfg.Repo.SetEpoch(s.epoch)
 }
 
 // invalidate discards a dead session (if it is still the cached one).
@@ -240,6 +318,30 @@ func (c *Client) do(req wire.Request) (wire.Response, error) {
 	return wire.Response{}, lastErr
 }
 
+// doGet performs one GET round trip, reading the repository cursor only
+// AFTER the session is established: establishing it runs epoch adoption,
+// which may reset the repository and rewind the cursor (a fenced
+// failover). Building GET(from) before the dial would capture the stale
+// pre-reset cursor — the sync would skip the re-download entirely and
+// strand the repository empty with its cursor past the new primary's
+// log.
+func (c *Client) doGet() (wire.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		s, err := c.getSession()
+		if err != nil {
+			return wire.Response{}, err
+		}
+		resp, err := s.roundTrip(wire.NewGet(c.cfg.Repo.Next()), syncIOTimeout)
+		if err == nil {
+			return resp, nil
+		}
+		c.invalidate(s)
+		lastErr = err
+	}
+	return wire.Response{}, lastErr
+}
+
 // SyncOnce performs one incremental download: GET(next) where next is
 // the repository's server cursor, paging through truncated replies until
 // the server reports the database drained. It returns how many
@@ -247,7 +349,7 @@ func (c *Client) do(req wire.Request) (wire.Response, error) {
 func (c *Client) SyncOnce() (int, error) {
 	added := 0
 	for {
-		resp, err := c.do(wire.NewGet(c.cfg.Repo.Next()))
+		resp, err := c.doGet()
 		if err != nil {
 			return added, fmt.Errorf("client: sync: %w", err)
 		}
@@ -286,14 +388,33 @@ func (c *Client) Upload(s *sig.Signature) error {
 		return fmt.Errorf("client: upload: %w", err)
 	}
 	backoff := 10 * time.Millisecond
+	leaderAddr := "" // set once a follower redirects us to the primary
+	redirects := 0
 	for attempt := 0; ; attempt++ {
-		resp, err := c.do(req)
+		var resp wire.Response
+		var err error
+		if leaderAddr != "" {
+			resp, err = c.doLeader(req, leaderAddr)
+		} else {
+			resp, err = c.do(req)
+		}
 		if err != nil {
 			return fmt.Errorf("client: upload: %w", err)
 		}
 		switch {
 		case resp.Status == wire.StatusOK:
 			return nil
+		case resp.Status == wire.StatusNotPrimary:
+			// The upload reached a follower: forward to the primary it
+			// advertises. Bounded hops guard against a redirect cycle of
+			// stale advertisements mid-failover.
+			if resp.Primary == "" {
+				return fmt.Errorf("client: upload: follower knows no primary: %s", resp.Detail)
+			}
+			if redirects++; redirects > 3 {
+				return fmt.Errorf("client: upload: primary redirect loop via %s", resp.Primary)
+			}
+			leaderAddr = resp.Primary
 		case resp.Status == wire.StatusBusy && attempt < uploadBusyRetries:
 			time.Sleep(backoff)
 			backoff *= 2
@@ -306,6 +427,70 @@ func (c *Client) Upload(s *sig.Signature) error {
 			return fmt.Errorf("client: upload rejected: %s", resp.Detail)
 		}
 	}
+}
+
+// leaderSession returns the managed session to the advertised primary,
+// dialing when none is cached, the cached one died, or the advertised
+// address changed (a new promotion). Reuses the read path's closed
+// gate: after Close no leader session can be created either.
+func (c *Client) leaderSession(addr string) (*session, error) {
+	c.sessMu.Lock()
+	closed := c.sessClosed
+	c.sessMu.Unlock()
+	if closed {
+		return nil, errors.New("client: closed")
+	}
+	c.leaderMu.Lock()
+	defer c.leaderMu.Unlock()
+	if c.leaderSess != nil && c.leaderAddr == addr && c.leaderSess.alive() {
+		return c.leaderSess, nil
+	}
+	if c.leaderSess != nil {
+		c.leaderSess.close()
+		c.leaderSess = nil
+	}
+	s, err := dialSession(func() (net.Conn, error) { return c.cfg.DialAddr(addr) }, nil, c.cfg.Repo.Epoch())
+	if err != nil {
+		return nil, err
+	}
+	if s.version >= wire.V2 && s.epoch != 0 && s.epoch < c.cfg.Repo.Epoch() {
+		// A stale ex-primary still advertising itself: uploads committed
+		// there would be fenced away. Refuse.
+		s.close()
+		return nil, fmt.Errorf("client: advertised primary %s is at stale epoch %d", addr, s.epoch)
+	}
+	c.leaderSess = s
+	c.leaderAddr = addr
+	return s, nil
+}
+
+// invalidateLeader discards a dead leader session (if still cached).
+func (c *Client) invalidateLeader(s *session) {
+	c.leaderMu.Lock()
+	if c.leaderSess == s {
+		c.leaderSess = nil
+	}
+	c.leaderMu.Unlock()
+	s.close()
+}
+
+// doLeader performs one round trip on the leader session, with the same
+// single redial-and-retry as do.
+func (c *Client) doLeader(req wire.Request, addr string) (wire.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		s, err := c.leaderSession(addr)
+		if err != nil {
+			return wire.Response{}, err
+		}
+		resp, err := s.roundTrip(req, syncIOTimeout)
+		if err == nil {
+			return resp, nil
+		}
+		c.invalidateLeader(s)
+		lastErr = err
+	}
+	return wire.Response{}, lastErr
 }
 
 // Start launches the background distribution loop: push delivery when
@@ -550,5 +735,12 @@ func (c *Client) Close() {
 	}
 	c.mu.Unlock()
 	c.closeSession()
+	c.leaderMu.Lock()
+	ls := c.leaderSess
+	c.leaderSess = nil
+	c.leaderMu.Unlock()
+	if ls != nil {
+		ls.close()
+	}
 	c.wg.Wait()
 }

@@ -28,6 +28,14 @@ type session struct {
 	// version is the negotiated protocol version: wire.V2 for a
 	// session-capable server, wire.V1 for the one-shot fallback.
 	version int
+	// Replication fields from the HELLO reply (zero against pre-epoch
+	// servers): the server's promotion epoch, its role ("primary" or
+	// "follower"), the primary's advertised address, and — when our
+	// epoch was older — the fence our local state must not exceed.
+	epoch   uint64
+	role    string
+	primary string
+	fence   int
 
 	// writeMu serializes frame writes; in v1 mode it serializes whole
 	// round trips (the v1 server answers strictly in order).
@@ -51,8 +59,9 @@ type session struct {
 const handshakeTimeout = 30 * time.Second
 
 // dialSession establishes a connection and negotiates the protocol
-// version. onPush may be nil when the caller never subscribes.
-func dialSession(dial func() (net.Conn, error), onPush func(wire.Response)) (*session, error) {
+// version, announcing the caller's last-adopted promotion epoch in the
+// HELLO. onPush may be nil when the caller never subscribes.
+func dialSession(dial func() (net.Conn, error), onPush func(wire.Response), epoch uint64) (*session, error) {
 	conn, err := dial()
 	if err != nil {
 		return nil, fmt.Errorf("client: dial: %w", err)
@@ -66,7 +75,7 @@ func dialSession(dial func() (net.Conn, error), onPush func(wire.Response)) (*se
 		onPush:  onPush,
 		done:    make(chan struct{}),
 	}
-	if err := s.wc.Send(wire.NewHello(1)); err != nil {
+	if err := s.wc.Send(wire.NewHelloAt(1, epoch)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: hello: %w", err)
 	}
@@ -76,6 +85,7 @@ func dialSession(dial func() (net.Conn, error), onPush func(wire.Response)) (*se
 		return nil, fmt.Errorf("client: hello: %w", err)
 	}
 	_ = conn.SetDeadline(time.Time{})
+	s.epoch, s.role, s.primary, s.fence = resp.Epoch, resp.Role, resp.Primary, resp.Fence
 	switch {
 	case resp.Status == wire.StatusOK && resp.Version >= wire.V2:
 		s.version = wire.V2

@@ -41,6 +41,10 @@ type Repo struct {
 type state struct {
 	// Next is the 1-based index to request from the server next.
 	Next int `json:"next"`
+	// Epoch is the server promotion epoch this repository last adopted
+	// (0 = pre-epoch, fenced conservatively on first contact with an
+	// epoch-aware server; see docs/PROTOCOL.md, "Epochs and fencing").
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Sigs are the downloaded signatures in server order.
 	Sigs []json.RawMessage `json:"sigs"`
 	// Inspected maps application key -> number of leading signatures
@@ -129,6 +133,47 @@ func (r *Repo) Next() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.state.Next
+}
+
+// Epoch returns the server promotion epoch the repository last adopted.
+func (r *Repo) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Epoch
+}
+
+// SetEpoch records a newly adopted promotion epoch (the client calls
+// this when a server's epoch is ahead but the repository's prefix is at
+// or below the fence, so its contents survive). Lower epochs are
+// ignored — epochs only move forward.
+func (r *Repo) SetEpoch(epoch uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch <= r.state.Epoch {
+		return nil
+	}
+	r.state.Epoch = epoch
+	return r.saveLocked()
+}
+
+// Reset discards every downloaded signature and all per-application
+// inspection state, rewinds the server cursor to 1, and adopts epoch.
+// The client calls this when a promotion fenced the repository: its
+// tail may contain entries the failed primary never shipped to the new
+// one, and positions past the fence no longer mean the same thing
+// server-side, so the only safe recovery is a full re-download.
+// Applications re-inspect from scratch — inspection is idempotent.
+func (r *Repo) Reset(epoch uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = state{
+		Next:           1,
+		Epoch:          epoch,
+		Inspected:      make(map[string]int),
+		PendingNesting: make(map[string][]int),
+	}
+	r.decoded = nil
+	return r.saveLocked()
 }
 
 // Len returns the number of stored signatures.

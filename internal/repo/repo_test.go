@@ -272,3 +272,49 @@ func TestConcurrentAppendAndInspect(t *testing.T) {
 		t.Errorf("len = %d, want 20", r.Len())
 	}
 }
+
+func TestEpochAdoptionAndReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.json")
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d, want 0 (pre-epoch)", r.Epoch())
+	}
+	if err := r.Append(someSigs(t, 5, 31), 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	// Epochs only move forward: a stale SetEpoch is a silent no-op.
+	if err := r.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 2 || r.Len() != 5 {
+		t.Fatalf("after SetEpoch: epoch=%d len=%d", r.Epoch(), r.Len())
+	}
+
+	// Reset: the fenced repository discards everything, rewinds the
+	// cursor, adopts the new epoch — and the wipe is durable.
+	if err := r.MarkInspected("app", 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reset(3); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || r.Next() != 1 || r.Epoch() != 3 {
+		t.Fatalf("after Reset: len=%d next=%d epoch=%d", r.Len(), r.Next(), r.Epoch())
+	}
+	if got := r.NewSince("app"); len(got) != 0 {
+		t.Fatalf("inspection state survived Reset: %d entries", len(got))
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 0 || re.Epoch() != 3 {
+		t.Fatalf("reopened: len=%d epoch=%d", re.Len(), re.Epoch())
+	}
+}

@@ -66,6 +66,11 @@ type pusherPool struct {
 	wg       sync.WaitGroup
 
 	cache pageCache
+	// entryCache is the replication-plane analogue of cache: encoded
+	// entry-page PUSH frames keyed by cursor, shared by all follower
+	// replicas at the same position. Separate from cache because the two
+	// planes encode different frames for the same cursor.
+	entryCache pageCache
 }
 
 func newPusherPool(s *Server, workers int) *pusherPool {
@@ -260,7 +265,7 @@ func (s *Server) dispatchPush(sess *session) {
 			sess.mu.Unlock()
 			return
 		}
-		cur, shed := sess.cursor, sess.shed
+		cur, shed, replica := sess.cursor, sess.shed, sess.replica
 		sess.mu.Unlock()
 
 		lag := s.db.Len() - (cur - 1)
@@ -274,8 +279,24 @@ func (s *Server) dispatchPush(sess *session) {
 		// Produce the frame outside sess.mu.
 		var enc []byte
 		next := cur
-		marker := shed || lag > s.pushMaxLag
-		if marker {
+		marker := !replica && (shed || lag > s.pushMaxLag)
+		if replica {
+			// Replication stream: entry pages, never markers — a follower
+			// is infrastructure and drains at socket speed, paging through
+			// the same one-in-flight clocking as client pushes.
+			page, pageNext, err := s.encodedReplPage(cur)
+			if err != nil {
+				sess.shutdown()
+				return
+			}
+			if page == nil {
+				if s.pushParked(sess) {
+					return
+				}
+				continue
+			}
+			enc, next = page, pageNext
+		} else if marker {
 			// Shed subscribers get a notification marker per burst
 			// instead of data pages; lagging subscribers get the classic
 			// downgrade. Either way the client drains via paginated GETs
@@ -366,6 +387,35 @@ func (s *Server) encodedPushPage(cur int) ([]byte, int, error) {
 	}
 	if s.pool != nil {
 		s.pool.cache.put(cur, next, enc)
+	}
+	return enc, next, nil
+}
+
+// encodedReplPage is encodedPushPage for the replication plane: the
+// PUSH frame carries full entries (user + timestamp + signature) read
+// through the store's EntryPage. Bootstrap mode is always set — the
+// admission check at REPLICATE time is the only snapshot-boundary
+// gate, so a compaction landing mid-stream can never wedge a follower
+// that was admitted above the old boundary.
+func (s *Server) encodedReplPage(cur int) ([]byte, int, error) {
+	if s.pool != nil {
+		if enc, next := s.pool.entryCache.get(cur); enc != nil {
+			return enc, next, nil
+		}
+	}
+	entries, next, _, err := s.db.EntryPage(cur, s.getBatch, wire.MaxGetBytes, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(entries) == 0 {
+		return nil, 0, nil
+	}
+	enc, err := wire.EncodeFrame(wire.Response{Status: wire.StatusOK, Type: wire.MsgPush, Entries: entriesToWire(entries), Next: next})
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.pool != nil {
+		s.pool.entryCache.put(cur, next, enc)
 	}
 	return enc, next, nil
 }

@@ -93,8 +93,31 @@ type Config struct {
 	// MaxSubs caps push-admitted subscribers. A SUBSCRIBE past the quota
 	// is accepted but shed: the session receives only catch-up markers
 	// and drains via paginated GETs, promoting to full push delivery
-	// when a slot frees up. 0 = unlimited.
+	// when a slot frees up. 0 = unlimited. Replica sessions (REPLICATE)
+	// are infrastructure and never count against it.
 	MaxSubs int
+	// Follow starts the server as a follower replica of the primary at
+	// this address: it opens a v2 session there, REPLICATEs from its own
+	// WAL-recovered cursor, applies shipped entries through the store's
+	// commit path, and serves GET/SUBSCRIBE to clients while answering
+	// ADDs with StatusNotPrimary (carrying this address). Empty = primary.
+	Follow string
+	// FollowDial overrides how the follower reaches its primary (tests
+	// and in-process benches dial over pipes). When set, the server is a
+	// follower even with Follow empty; Follow is still what
+	// StatusNotPrimary advertises.
+	FollowDial func() (net.Conn, error)
+	// Advertise is the address this server tells clients to upload to
+	// when it is (or becomes) the primary — the Primary field of its
+	// HELLO replies. Optional; without it clients fall back to trying
+	// their peer list.
+	Advertise string
+	// FollowPing is the follower's keepalive interval on the replication
+	// session (default 10s). Tests shorten it.
+	FollowPing time.Duration
+	// Logf, when set, receives operational log lines (follower loop
+	// retries, promotions). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Server is a Communix signature server.
@@ -120,6 +143,20 @@ type Server struct {
 	sessions int // live v2 sessions, capped by maxSessions
 	wg       sync.WaitGroup
 	closed   bool
+
+	// Replication role state (replica.go). roleMu guards the fields; the
+	// epoch itself lives in the store's persisted metadata.
+	roleMu        sync.Mutex
+	follower      bool
+	primaryAddr   string // the primary's address a follower advertises
+	advertise     string // our own address to advertise when primary
+	followDial    func() (net.Conn, error)
+	followPing    time.Duration
+	followStop    chan struct{}
+	followStopped bool
+	followConn    net.Conn
+	followWG      sync.WaitGroup
+	logf          func(format string, args ...any)
 
 	// Ingestion pipeline (nil channel = synchronous ADDs). ingestMu
 	// serializes enqueues against pipeline shutdown: producers hold it
@@ -200,6 +237,26 @@ func New(cfg Config) (*Server, error) {
 			go s.ingestLoop()
 		}
 	}
+	s.advertise = cfg.Advertise
+	s.logf = cfg.Logf
+	s.followPing = cfg.FollowPing
+	if s.followPing <= 0 {
+		s.followPing = 10 * time.Second
+	}
+	if cfg.Follow != "" || cfg.FollowDial != nil {
+		s.follower = true
+		s.primaryAddr = cfg.Follow
+		s.followDial = cfg.FollowDial
+		if s.followDial == nil {
+			addr := cfg.Follow
+			s.followDial = func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 5*time.Second)
+			}
+		}
+		s.followStop = make(chan struct{})
+		s.followWG.Add(1)
+		go s.followLoop(s.followStop)
+	}
 	return s, nil
 }
 
@@ -219,6 +276,9 @@ func (s *Server) Store() *store.Store { return s.db }
 func (s *Server) Process(req wire.Request) wire.Response {
 	switch req.Type {
 	case wire.MsgAdd:
+		if addr, isFollower := s.followerOf(); isFollower {
+			return wire.Response{Status: wire.StatusNotPrimary, Primary: addr, Detail: "follower replica: uploads go to the primary"}
+		}
 		if s.ingestCh != nil {
 			return s.enqueueAdd(req)
 		}
@@ -228,8 +288,16 @@ func (s *Server) Process(req wire.Request) wire.Response {
 		return wire.Response{Status: wire.StatusOK, Sigs: sigs, Next: next, More: more}
 	case wire.MsgPing:
 		return wire.Response{Status: wire.StatusOK}
+	case wire.MsgPromote:
+		epoch, err := s.Promote()
+		if err != nil {
+			return wire.Response{Status: wire.StatusError, Detail: err.Error()}
+		}
+		return wire.Response{Status: wire.StatusOK, Epoch: epoch, Role: rolePrimary}
 	case wire.MsgSubscribe:
 		return wire.Response{Status: wire.StatusError, Detail: "SUBSCRIBE requires a v2 session (open with HELLO)"}
+	case wire.MsgReplicate:
+		return wire.Response{Status: wire.StatusError, Detail: "REPLICATE requires a v2 session (open with HELLO)"}
 	default:
 		return wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("unknown message type %d", req.Type)}
 	}
@@ -476,6 +544,7 @@ func (s *Server) serveV1(c *wire.Conn) {
 // are still committed and answered before the workers exit — and finally
 // flushes and closes the database's write-ahead log.
 func (s *Server) Close() {
+	s.stopFollowing()
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true

@@ -164,6 +164,10 @@ type session struct {
 	// shed marks a subscriber over the MaxSubs quota: it receives
 	// catch-up markers instead of data pages until tryPromote succeeds.
 	shed bool
+	// replica marks a REPLICATE stream (a follower server, not a
+	// client): pushes carry full entries instead of signature pages, and
+	// the session is never shed or lag-downgraded.
+	replica bool
 	// armed is set once the SUBSCRIBE ack has physically been written;
 	// no PUSH is produced before that, so the first PUSH can never
 	// overtake the ack.
@@ -273,7 +277,9 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 	if version < wire.V2 {
 		// The peer asked for v1 (or nonsense), or the cap downgraded it:
 		// acknowledge the downgrade and serve the plain sequential loop.
-		if c.Send(wire.Response{Status: wire.StatusOK, ID: hello.ID, Version: wire.V1}) != nil {
+		ack := wire.Response{Status: wire.StatusOK, ID: hello.ID, Version: wire.V1}
+		s.decorateHello(&ack, hello.Epoch)
+		if c.Send(ack) != nil {
 			return
 		}
 		s.serveV1(c)
@@ -299,7 +305,9 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 		sess.wg.Wait()
 	}()
 
-	if !sess.send(wire.Response{Status: wire.StatusOK, ID: hello.ID, Version: version}) {
+	ack := wire.Response{Status: wire.StatusOK, ID: hello.ID, Version: version}
+	s.decorateHello(&ack, hello.Epoch)
+	if !sess.send(ack) {
 		return
 	}
 
@@ -347,6 +355,21 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 			// stream starts only once the ack is on the wire, so PUSH
 			// frames never precede it.
 			if !sess.sendHook(wire.Response{Status: wire.StatusOK, ID: req.ID}, func() { s.subscriptionArmed(sess) }) {
+				return
+			}
+		case wire.MsgReplicate:
+			if reject := s.admitReplicate(sess, req); reject != nil {
+				if !sess.send(*reject) {
+					return
+				}
+				continue
+			}
+			// Same arming discipline as SUBSCRIBE: entry pages flow only
+			// once the ack (carrying our epoch and fence history) is on
+			// the wire.
+			ack := wire.Response{Status: wire.StatusOK, ID: req.ID,
+				Epoch: s.db.Epoch(), Fences: fencesToWire(s.db.Fences())}
+			if !sess.sendHook(ack, func() { s.subscriptionArmed(sess) }) {
 				return
 			}
 		case wire.MsgPing:

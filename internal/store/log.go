@@ -4,7 +4,24 @@ import (
 	"encoding/json"
 	"sync"
 	"sync/atomic"
+
+	"communix/internal/ids"
 )
+
+// Entry is one committed log record as exposed by the replication
+// interface: the signature's canonical encoding (the exact bytes GET
+// serves) plus the commit metadata the WAL carries for it. Shipping
+// entries — not just signature bytes — is what lets a follower rebuild
+// dup-set, adjacency, and per-user budget state identical to the
+// primary's.
+type Entry struct {
+	// User is the uploader the primary attributed the signature to.
+	User ids.UserID
+	// Unix is the primary's accept time, seconds.
+	Unix int64
+	// Data is the stored signature encoding.
+	Data json.RawMessage
+}
 
 // logChunkSize is the number of entries per log chunk. Chunks let the log
 // grow without ever copying published entries, so readers can walk a
@@ -15,7 +32,7 @@ const logChunkSize = 1024
 // published length. Entries at index < n are frozen; slots at index >= n
 // may be concurrently written by an appender and must not be read.
 type logHeader struct {
-	chunks [][]json.RawMessage
+	chunks [][]Entry
 	n      int
 }
 
@@ -39,7 +56,7 @@ func newAppendLog() *appendLog {
 
 // Append appends the batch and returns the 1-based index of its first
 // entry. The whole batch becomes visible to readers atomically.
-func (l *appendLog) Append(batch []json.RawMessage) int {
+func (l *appendLog) Append(batch []Entry) int {
 	if len(batch) == 0 {
 		hdr := l.hdr.Load()
 		return hdr.n + 1
@@ -56,9 +73,9 @@ func (l *appendLog) Append(batch []json.RawMessage) int {
 			// Copy the chunk directory (readers hold the old one) and add
 			// a fresh chunk. Existing chunks are shared: their frozen
 			// prefixes never change.
-			grown := make([][]json.RawMessage, len(chunks)+1)
+			grown := make([][]Entry, len(chunks)+1)
 			copy(grown, chunks)
-			grown[ci] = make([]json.RawMessage, logChunkSize)
+			grown[ci] = make([]Entry, logChunkSize)
 			chunks = grown
 		}
 		chunks[ci][off] = e
@@ -68,26 +85,50 @@ func (l *appendLog) Append(batch []json.RawMessage) int {
 	return first
 }
 
+// Reset atomically replaces the log with an empty one. Readers holding
+// an older header keep their frozen snapshot; new reads see the empty
+// log. Only a replica bootstrapping from scratch calls this.
+func (l *appendLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hdr.Store(&logHeader{})
+}
+
 // Len returns the published length without locking.
 func (l *appendLog) Len() int {
 	return l.hdr.Load().n
 }
 
-// ReadFrom returns a copy of the entries from 1-based index from, plus
-// the next index to request (published length + 1). It never blocks
-// appenders.
+// ReadFrom returns a copy of the entries' signature encodings from
+// 1-based index from, plus the next index to request (published length
+// + 1). It never blocks appenders.
 func (l *appendLog) ReadFrom(from int) ([]json.RawMessage, int) {
 	out, next, _ := l.ReadPage(from, 0, 0)
 	return out, next
 }
 
-// ReadPage returns up to maxCount entries (summing at most maxBytes,
-// though a single entry larger than maxBytes still ships alone so pages
-// always make progress) from 1-based index from. It reports the next
-// index to read and whether entries remain beyond it. A zero maxCount or
-// maxBytes means unbounded in that dimension. Like ReadFrom it reads an
-// atomic snapshot and never blocks appenders.
+// ReadPage returns up to maxCount signature encodings (summing at most
+// maxBytes, though a single entry larger than maxBytes still ships
+// alone so pages always make progress) from 1-based index from. It
+// reports the next index to read and whether entries remain beyond it.
+// A zero maxCount or maxBytes means unbounded in that dimension. Like
+// ReadFrom it reads an atomic snapshot and never blocks appenders.
 func (l *appendLog) ReadPage(from, maxCount, maxBytes int) ([]json.RawMessage, int, bool) {
+	entries, next, more := l.EntryPage(from, maxCount, maxBytes)
+	if entries == nil {
+		return nil, next, more
+	}
+	out := make([]json.RawMessage, len(entries))
+	for i, e := range entries {
+		out[i] = e.Data
+	}
+	return out, next, more
+}
+
+// EntryPage is ReadPage returning the full entries (signature bytes
+// plus commit metadata) — the replication read path. Same paging
+// contract, same lock-free snapshot semantics.
+func (l *appendLog) EntryPage(from, maxCount, maxBytes int) ([]Entry, int, bool) {
 	if from < 1 {
 		from = 1
 	}
@@ -100,7 +141,7 @@ func (l *appendLog) ReadPage(from, maxCount, maxBytes int) ([]json.RawMessage, i
 	if maxCount > 0 && maxCount < capHint {
 		capHint = maxCount
 	}
-	out := make([]json.RawMessage, 0, capHint)
+	out := make([]Entry, 0, capHint)
 	bytes := 0
 	j := from - 1
 	for ; j < hdr.n; j++ {
@@ -108,11 +149,11 @@ func (l *appendLog) ReadPage(from, maxCount, maxBytes int) ([]json.RawMessage, i
 			break
 		}
 		e := hdr.chunks[j/logChunkSize][j%logChunkSize]
-		if maxBytes > 0 && len(out) > 0 && bytes+len(e) > maxBytes {
+		if maxBytes > 0 && len(out) > 0 && bytes+len(e.Data) > maxBytes {
 			break
 		}
 		out = append(out, e)
-		bytes += len(e)
+		bytes += len(e.Data)
 	}
 	return out, j + 1, j < hdr.n
 }

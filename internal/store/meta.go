@@ -1,0 +1,210 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Replication metadata: the store's promotion epoch and the fence
+// history that makes epoch changes safe for peers.
+//
+// The epoch is a monotonic counter bumped by every promotion. Entry
+// indexes are only comparable between two stores when their epochs
+// chain: a promotion freezes the new primary's log length as a fence,
+// and every index at or below the fence is guaranteed identical across
+// the boundary, while indexes above it may have diverged (commits the
+// failed primary acknowledged but never shipped). A peer reconnecting
+// across one or more promotions therefore checks its own length against
+// the minimum fence of the epochs it skipped: at or below, it continues
+// from its cursor; above, it discards and resynchronizes from scratch.
+//
+// On a durable store the metadata lives in metaFileName inside DataDir,
+// written atomically (temp file + rename + directory sync) so a crash
+// never leaves a torn half-update — the store either has the old epoch
+// or the new one. An ephemeral store keeps it in memory only.
+
+// metaFileName is the replication-metadata file inside a data
+// directory. It is JSON (unlike the binary WAL formats) because it is
+// tiny, rewritten as a whole, and useful to inspect by hand.
+const metaFileName = "replmeta.json"
+
+// epochStart is the epoch of a store that has never seen a promotion.
+const epochStart = 1
+
+// ErrStaleEpoch is returned by AdoptEpoch when the offered epoch is
+// older than the store's own — the peer offering it is a stale primary.
+var ErrStaleEpoch = errors.New("store: stale epoch")
+
+// Fence records one promotion: when epoch E began, the promoted
+// primary's log held N entries.
+type Fence struct {
+	E uint64 `json:"e"`
+	N int    `json:"n"`
+}
+
+// storedMeta is the on-disk encoding of the replication metadata.
+type storedMeta struct {
+	Epoch  uint64  `json:"epoch"`
+	Fences []Fence `json:"fences,omitempty"`
+}
+
+// loadMeta reads the replication metadata from dir; a missing file is a
+// pre-replication (or fresh) directory and yields the defaults.
+func loadMeta(dir string) (storedMeta, error) {
+	b, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return storedMeta{Epoch: epochStart}, nil
+	}
+	if err != nil {
+		return storedMeta{}, fmt.Errorf("store: meta: %w", err)
+	}
+	var m storedMeta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return storedMeta{}, fmt.Errorf("store: meta: %w", err)
+	}
+	if m.Epoch < epochStart {
+		m.Epoch = epochStart
+	}
+	return m, nil
+}
+
+// saveMeta atomically replaces the replication metadata in dir.
+func saveMeta(dir string, m storedMeta) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: meta: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "meta-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: meta: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: meta: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: meta: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: meta: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, metaFileName)); err != nil {
+		return fmt.Errorf("store: meta: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// Epoch returns the store's current promotion epoch.
+func (st *Store) Epoch() uint64 {
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	return st.epoch
+}
+
+// Fences returns a copy of the promotion fence history, sorted by
+// epoch.
+func (st *Store) Fences() []Fence {
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	out := make([]Fence, len(st.fences))
+	copy(out, st.fences)
+	return out
+}
+
+// Promote bumps the epoch and records the promotion fence at the
+// current log length, persisting both before they take effect. The
+// returned epoch is the new one. Promoting is idempotent in the sense
+// that each call is its own promotion; callers guard against double
+// promotion at the role layer.
+func (st *Store) Promote() (uint64, error) {
+	if st.readOnly {
+		return 0, ErrReadOnly
+	}
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	next := storedMeta{
+		Epoch:  st.epoch + 1,
+		Fences: append(append([]Fence(nil), st.fences...), Fence{E: st.epoch + 1, N: st.Len()}),
+	}
+	if st.metaDir != "" {
+		if err := saveMeta(st.metaDir, next); err != nil {
+			return 0, err
+		}
+	}
+	st.epoch, st.fences = next.Epoch, next.Fences
+	return st.epoch, nil
+}
+
+// AdoptEpoch installs a primary's (newer or equal) epoch and fence
+// history on a follower, persisting them so the follower can fence its
+// own peers correctly if it is later promoted. Fences are merged by
+// epoch with the incoming history winning; an epoch older than the
+// store's own returns ErrStaleEpoch (the offering peer is a stale
+// primary and must not be followed).
+func (st *Store) AdoptEpoch(epoch uint64, fences []Fence) error {
+	if st.readOnly {
+		return ErrReadOnly
+	}
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	if epoch < st.epoch {
+		return fmt.Errorf("%w: offered %d, have %d", ErrStaleEpoch, epoch, st.epoch)
+	}
+	merged := make(map[uint64]Fence, len(st.fences)+len(fences))
+	for _, f := range st.fences {
+		merged[f.E] = f
+	}
+	for _, f := range fences {
+		merged[f.E] = f
+	}
+	next := storedMeta{Epoch: epoch, Fences: make([]Fence, 0, len(merged))}
+	for _, f := range merged {
+		if f.E <= epoch {
+			next.Fences = append(next.Fences, f)
+		}
+	}
+	sort.Slice(next.Fences, func(i, j int) bool { return next.Fences[i].E < next.Fences[j].E })
+	if st.metaDir != "" {
+		if err := saveMeta(st.metaDir, next); err != nil {
+			return err
+		}
+	}
+	st.epoch, st.fences = next.Epoch, next.Fences
+	return nil
+}
+
+// SafeLen computes the fence for a peer last synced at peerEpoch: the
+// highest log index guaranteed identical between this store and that
+// peer. A peer at the current epoch (or newer — the caller refuses
+// those separately) gets the full log. A peer behind one or more
+// promotions gets the minimum fence length across the epochs it
+// skipped; if any of those epochs is missing from the fence history
+// (unknowable divergence), the answer is 0 — full resynchronization.
+func (st *Store) SafeLen(peerEpoch uint64) int {
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	if peerEpoch >= st.epoch {
+		return st.Len()
+	}
+	byEpoch := make(map[uint64]Fence, len(st.fences))
+	for _, f := range st.fences {
+		byEpoch[f.E] = f
+	}
+	safe := st.Len()
+	for e := peerEpoch + 1; e <= st.epoch; e++ {
+		f, ok := byEpoch[e]
+		if !ok {
+			return 0
+		}
+		if f.N < safe {
+			safe = f.N
+		}
+	}
+	return safe
+}

@@ -260,10 +260,10 @@ func TestConcurrentAddGetSnapshots(t *testing.T) {
 // offset class.
 func TestAppendLogChunkBoundaries(t *testing.T) {
 	l := newAppendLog()
-	entry := func(i int) json.RawMessage { return json.RawMessage(fmt.Sprintf(`%d`, i)) }
+	entry := func(i int) Entry { return Entry{Data: json.RawMessage(fmt.Sprintf(`%d`, i))} }
 
 	n := logChunkSize*2 + 37 // three chunks, last partial
-	var batch []json.RawMessage
+	var batch []Entry
 	for i := 0; i < n; i++ {
 		batch = append(batch, entry(i))
 	}
@@ -293,7 +293,7 @@ func TestAppendLogChunkBoundaries(t *testing.T) {
 			t.Fatalf("ReadFrom(%d) = %d entries, want %d", from, len(got), want)
 		}
 		for i, e := range got {
-			if !bytes.Equal(e, entry(eff-1+i)) {
+			if !bytes.Equal(e, entry(eff-1+i).Data) {
 				t.Fatalf("ReadFrom(%d) entry %d = %s", from, i, e)
 			}
 		}

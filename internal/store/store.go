@@ -23,10 +23,15 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"communix/internal/ids"
@@ -199,6 +204,25 @@ type Store struct {
 	// nil wal = ephemeral store, commits go straight to the log.
 	walMu sync.Mutex
 	wal   *persister
+
+	// compacted is the snapshot boundary: every entry with index ≤
+	// compacted has been folded into the on-disk snapshot. The
+	// replication contract treats indexes at or below it as served
+	// "from the snapshot" (see EntryPage / docs/ARCHITECTURE.md,
+	// "Replication"); always 0 on an ephemeral store.
+	compacted atomic.Int64
+
+	// replMu serializes replicated applies (a follower's single
+	// replication loop in practice; the lock makes the cursor arithmetic
+	// safe regardless).
+	replMu sync.Mutex
+
+	// epochMu guards the replication epoch and fence history (meta.go).
+	// metaDir is the data directory when durable, "" when ephemeral.
+	epochMu sync.Mutex
+	epoch   uint64
+	fences  []Fence
+	metaDir string
 }
 
 // New builds an ephemeral in-memory store. Persistence fields of cfg
@@ -237,15 +261,22 @@ func Open(cfg Config) (*Store, error) {
 	for i := range st.userShards {
 		st.userShards[i].users = make(map[ids.UserID]*userState)
 	}
+	st.epoch = epochStart
 	if cfg.DataDir == "" {
 		if cfg.ReadOnly {
 			return nil, errors.New("store: ReadOnly requires DataDir")
 		}
 		return st, nil
 	}
+	meta, err := loadMeta(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	st.epoch, st.fences = meta.Epoch, meta.Fences
+	st.metaDir = cfg.DataDir
 
 	today := st.clock().UTC().Unix() / 86400
-	var recovered []json.RawMessage
+	var recovered []Entry
 	wal, err := openPersister(persistConfig{
 		dir:      cfg.DataDir,
 		policy:   cfg.Fsync,
@@ -278,7 +309,7 @@ func Open(cfg Config) (*Store, error) {
 			}
 			u.used++
 		}
-		recovered = append(recovered, e.data)
+		recovered = append(recovered, Entry{User: e.user, Unix: e.unix, Data: e.data})
 		return nil
 	})
 	if err != nil {
@@ -286,6 +317,7 @@ func Open(cfg Config) (*Store, error) {
 	}
 	st.wal = wal
 	st.log.Append(recovered)
+	st.compacted.Store(int64(wal.snapCount))
 	return st, nil
 }
 
@@ -394,18 +426,21 @@ func (st *Store) commit(entries []walEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	raw := make([]json.RawMessage, len(entries))
+	batch := make([]Entry, len(entries))
 	for i, e := range entries {
-		raw[i] = e.data
+		batch[i] = Entry{User: e.user, Unix: e.unix, Data: e.data}
 	}
 	if st.wal == nil {
-		st.log.Append(raw)
+		st.log.Append(batch)
 		return nil
 	}
 	st.walMu.Lock()
 	defer st.walMu.Unlock()
 	err := st.wal.append(entries)
-	st.log.Append(raw)
+	st.log.Append(batch)
+	// append may have rolled segments and compacted; publish the new
+	// snapshot boundary for the replication read path.
+	st.compacted.Store(int64(st.wal.snapCount))
 	return err
 }
 
@@ -520,4 +555,268 @@ func (st *Store) Close() error {
 	st.walMu.Lock()
 	defer st.walMu.Unlock()
 	return st.wal.close()
+}
+
+// ---- Replication interface ----
+//
+// The append-only log doubles as the replication stream: a follower
+// reads full entries (signature bytes + commit metadata) from a cursor
+// and applies them through ApplyReplicated, which rebuilds the exact
+// validation state — dup set, adjacency tops, per-user budget — the
+// primary computed, then commits through the same WAL path an ADD
+// takes. See docs/ARCHITECTURE.md ("Replication").
+
+// ErrCompacted is returned by EntryPage when the requested cursor
+// predates the snapshot boundary: the range is only retained as folded
+// snapshot state, so an incremental tail from there cannot be served —
+// the follower must bootstrap (reset and resynchronize from index 1).
+var ErrCompacted = errors.New("store: cursor predates snapshot boundary")
+
+// CompactedThrough returns the snapshot boundary: the highest log index
+// folded into the on-disk snapshot (0 when none, and always 0 on an
+// ephemeral store).
+func (st *Store) CompactedThrough() int {
+	return int(st.compacted.Load())
+}
+
+// EntryPage returns one page of full log entries from 1-based index
+// from, under the same paging contract as GetPage. A cursor at or below
+// the snapshot boundary returns ErrCompacted unless bootstrap is set:
+// a bootstrapping follower has discarded its local state and reads the
+// authoritative prefix — the snapshot-covered range first, then the
+// live log — from the beginning.
+func (st *Store) EntryPage(from, maxCount, maxBytes int, bootstrap bool) ([]Entry, int, bool, error) {
+	if from < 1 {
+		from = 1
+	}
+	if !bootstrap && from <= st.CompactedThrough() {
+		return nil, 0, false, ErrCompacted
+	}
+	entries, next, more := st.log.EntryPage(from, maxCount, maxBytes)
+	return entries, next, more, nil
+}
+
+// ApplyReplicated applies a contiguous run of replicated entries whose
+// first element has global index from. Entries at or below the current
+// length are skipped (idempotent overlap, mirroring repo.Append); a gap
+// past the current length is an error. Each new entry rebuilds the
+// validation state exactly as recovery does — duplicate set, per-user
+// adjacency tops, and the daily budget using the primary's commit
+// timestamps — and the batch then commits through the WAL like any
+// accepted upload, so a follower's directory is recoverable and
+// re-shippable like a primary's. It returns how many entries were
+// newly applied.
+func (st *Store) ApplyReplicated(from int, entries []Entry) (int, error) {
+	if st.readOnly {
+		return 0, ErrReadOnly
+	}
+	st.replMu.Lock()
+	defer st.replMu.Unlock()
+	cur := st.Len()
+	if from > cur+1 {
+		return 0, fmt.Errorf("store: replication gap: have %d entries, page starts at %d", cur, from)
+	}
+	if skip := cur + 1 - from; skip > 0 {
+		if skip >= len(entries) {
+			return 0, nil
+		}
+		entries = entries[skip:]
+	}
+	today := st.clock().UTC().Unix() / 86400
+	batch := make([]walEntry, 0, len(entries))
+	for _, e := range entries {
+		s, err := sig.Decode(e.Data)
+		if err != nil {
+			return 0, fmt.Errorf("store: replicated entry: %w", err)
+		}
+		id := s.ID()
+		sh := st.sigShardOf(id)
+		sh.mu.Lock()
+		if _, dup := sh.present[id]; dup {
+			sh.mu.Unlock()
+			return 0, fmt.Errorf("store: replicated duplicate %s", id)
+		}
+		sh.present[id] = struct{}{}
+		sh.mu.Unlock()
+
+		us := st.userShardOf(e.User)
+		us.mu.Lock()
+		u, ok := us.users[e.User]
+		if !ok {
+			u = &userState{}
+			us.users[e.User] = u
+		}
+		u.tops = append(u.tops, s.TopFrames())
+		if day := e.Unix / 86400; day == today {
+			if u.day != today {
+				u.day, u.used = today, 0
+			}
+			u.used++
+		}
+		us.mu.Unlock()
+		batch = append(batch, walEntry{user: e.User, unix: e.Unix, data: e.Data})
+	}
+	if err := st.commit(batch); err != nil {
+		return len(batch), err
+	}
+	return len(batch), nil
+}
+
+// ResetReplica discards the store's entire contents — in-memory shards,
+// log, and (when durable) every WAL segment and snapshot — leaving an
+// empty store at the same epoch, ready for a bootstrap
+// resynchronization. Only a follower whose cursor was fenced off or
+// compacted away calls this; the caller is responsible for making sure
+// no concurrent writers are active (a follower rejects ADDs, and the
+// server drops client sessions around a reset).
+func (st *Store) ResetReplica() error {
+	if st.readOnly {
+		return ErrReadOnly
+	}
+	st.replMu.Lock()
+	defer st.replMu.Unlock()
+	for i := range st.sigShards {
+		sh := &st.sigShards[i]
+		sh.mu.Lock()
+		sh.present = make(map[string]struct{})
+		sh.mu.Unlock()
+	}
+	for i := range st.userShards {
+		us := &st.userShards[i]
+		us.mu.Lock()
+		us.users = make(map[ids.UserID]*userState)
+		us.mu.Unlock()
+	}
+	st.walMu.Lock()
+	defer st.walMu.Unlock()
+	st.log.Reset()
+	st.compacted.Store(0)
+	if st.wal == nil {
+		return nil
+	}
+	return st.wal.reset()
+}
+
+// ForceCompact seals the active WAL segment and folds everything sealed
+// into the snapshot immediately, regardless of the CompactSegments
+// threshold — the deterministic trigger the replication tests use to
+// move the snapshot boundary mid-run. A no-op on an ephemeral store.
+func (st *Store) ForceCompact() error {
+	if st.readOnly {
+		return ErrReadOnly
+	}
+	if st.wal == nil {
+		return nil
+	}
+	st.walMu.Lock()
+	defer st.walMu.Unlock()
+	if err := st.wal.forceCompact(); err != nil {
+		return err
+	}
+	st.compacted.Store(int64(st.wal.snapCount))
+	return nil
+}
+
+// StateDigest returns a deterministic digest of the store's observable
+// state: the signature log (bytes, in index order), the duplicate set,
+// and the effective per-user validation state (adjacency top-frame
+// sets plus today's remaining budget). Two stores with equal digests
+// serve byte-identical GETs and make identical future validation
+// decisions — the property the replication differential tests assert.
+// Per-user tops are digested as a sorted multiset, so admission order
+// differences between concurrent same-user uploads (which never affect
+// decisions: adjacency is set-membership, not order) do not change the
+// digest. Budget state is normalized to the current UTC day: stale
+// windows count as a fresh budget, exactly as check() would treat them.
+// Call it on quiescent stores; it takes each shard lock in turn, not a
+// global snapshot.
+func (st *Store) StateDigest() string {
+	h := sha256.New()
+	var num [8]byte
+
+	// Log: length + every entry's metadata and bytes in index order.
+	entries, _, _ := st.log.EntryPage(1, 0, 0)
+	binary.BigEndian.PutUint64(num[:], uint64(len(entries)))
+	h.Write(num[:])
+	for _, e := range entries {
+		binary.BigEndian.PutUint64(num[:], uint64(e.User))
+		h.Write(num[:])
+		binary.BigEndian.PutUint64(num[:], uint64(e.Unix))
+		h.Write(num[:])
+		h.Write(e.Data)
+	}
+
+	// Duplicate set, sorted.
+	var dups []string
+	for i := range st.sigShards {
+		sh := &st.sigShards[i]
+		sh.mu.Lock()
+		for id := range sh.present {
+			dups = append(dups, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(dups)
+	for _, id := range dups {
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+	}
+
+	// Per-user state, sorted by user id: tops as a sorted multiset of
+	// canonicalized sets, plus the effective budget for today.
+	today := st.clock().UTC().Unix() / 86400
+	type userDump struct {
+		id   ids.UserID
+		tops []string
+		used int
+	}
+	var users []userDump
+	for i := range st.userShards {
+		us := &st.userShards[i]
+		us.mu.Lock()
+		for id, u := range us.users {
+			d := userDump{id: id}
+			for _, set := range u.tops {
+				frames := make([]string, 0, len(set))
+				for f := range set {
+					frames = append(frames, f)
+				}
+				sort.Strings(frames)
+				d.tops = append(d.tops, joinFrames(frames))
+			}
+			sort.Strings(d.tops)
+			if u.day == today {
+				d.used = u.used
+			}
+			users = append(users, d)
+		}
+		us.mu.Unlock()
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i].id < users[j].id })
+	for _, d := range users {
+		binary.BigEndian.PutUint64(num[:], uint64(d.id))
+		h.Write(num[:])
+		binary.BigEndian.PutUint64(num[:], uint64(d.used))
+		h.Write(num[:])
+		for _, t := range d.tops {
+			h.Write([]byte(t))
+			h.Write([]byte{0})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// joinFrames flattens a sorted frame list with an unambiguous
+// separator.
+func joinFrames(frames []string) string {
+	total := 0
+	for _, f := range frames {
+		total += len(f) + 1
+	}
+	b := make([]byte, 0, total)
+	for _, f := range frames {
+		b = append(b, f...)
+		b = append(b, '\x1f')
+	}
+	return string(b)
 }

@@ -765,6 +765,87 @@ func syncDir(dir string) error {
 	return nil
 }
 
+// forceCompact seals the active segment and folds every sealed segment
+// into the snapshot now, regardless of the compactN threshold, then
+// opens a fresh active segment. The caller serializes it against
+// append.
+func (p *persister) forceCompact() error {
+	if p.cfg.readOnly {
+		return ErrReadOnly
+	}
+	if p.failed != nil {
+		return p.failed
+	}
+	if p.f != nil {
+		if p.cfg.policy != FsyncOff {
+			if err := p.f.Sync(); err != nil {
+				p.failed = fmt.Errorf("store: wal poisoned (failed seal fsync): %w", err)
+				return fmt.Errorf("store: seal: %w", err)
+			}
+		}
+		if err := p.f.Close(); err != nil {
+			return fmt.Errorf("store: seal: %w", err)
+		}
+		seg := sealedSeg{path: p.f.Name(), first: p.fFirst, count: p.next - p.fFirst}
+		if seg.count > 0 {
+			p.sealed = append(p.sealed, seg)
+		} else {
+			// An empty active segment has nothing to fold; drop the file so
+			// compaction inputs are never empty and the fresh segment below
+			// can reuse the name.
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("store: seal: %w", err)
+			}
+		}
+		p.f = nil
+		p.size = 0
+	}
+	if len(p.sealed) > 0 {
+		if err := p.compact(); err != nil {
+			return err
+		}
+	}
+	return p.newSegment()
+}
+
+// reset deletes every segment and snapshot and starts the log over at
+// record 1 — the durable half of a replica bootstrap. The directory
+// lock is kept; the poison flag is cleared (every poisoned file is
+// gone). The caller serializes it against append.
+func (p *persister) reset() error {
+	if p.cfg.readOnly {
+		return ErrReadOnly
+	}
+	if p.f != nil {
+		p.f.Close() // best effort; the file is deleted next
+		p.f = nil
+	}
+	names, err := os.ReadDir(p.cfg.dir)
+	if err != nil {
+		return fmt.Errorf("store: reset: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if (strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg")) ||
+			(strings.HasPrefix(name, "snap-") && (strings.HasSuffix(name, ".snap") || strings.HasSuffix(name, ".tmp"))) {
+			if err := os.Remove(filepath.Join(p.cfg.dir, name)); err != nil {
+				return fmt.Errorf("store: reset: %w", err)
+			}
+		}
+	}
+	if p.cfg.policy != FsyncOff {
+		if err := syncDir(p.cfg.dir); err != nil {
+			return err
+		}
+	}
+	p.sealed = nil
+	p.snapVersion, p.snapCount = 0, 0
+	p.next = 1
+	p.size, p.unsynced = 0, 0
+	p.failed = nil
+	return p.newSegment()
+}
+
 // stats snapshots the on-disk state. The caller serializes it against
 // append.
 func (p *persister) stats() PersistStats {

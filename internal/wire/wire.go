@@ -56,6 +56,22 @@ const (
 	// MsgPush never appears in a request: it tags server-initiated
 	// Response frames (ID 0) carrying signature deltas to a subscriber.
 	MsgPush
+	// MsgReplicate is REPLICATE(from), v2 only: the replication analogue
+	// of SUBSCRIBE. A follower replica registers its session to receive
+	// every log entry with index ≥ from as PUSH frames carrying full
+	// Entries (signature plus the user/timestamp metadata a replica needs
+	// to rebuild dup-set and budget state identically). The request
+	// carries the follower's epoch; the ack carries the primary's epoch,
+	// fence history, and — when the requested cursor predates the
+	// primary's snapshot boundary — Bootstrap, telling the follower to
+	// reset and re-replicate from index 1.
+	MsgReplicate
+	// MsgPromote asks a follower to promote itself to primary: it stops
+	// following, bumps the epoch (fencing stale peers), and starts
+	// accepting ADDs. Works on v1 and v2 connections. Like -mint, this
+	// is an operator endpoint; production deployments front it with
+	// transport-level auth.
+	MsgPromote
 )
 
 // String names the message type.
@@ -73,6 +89,10 @@ func (m MsgType) String() string {
 		return "PING"
 	case MsgPush:
 		return "PUSH"
+	case MsgReplicate:
+		return "REPLICATE"
+	case MsgPromote:
+		return "PROMOTE"
 	}
 	return fmt.Sprintf("msg(%d)", int(m))
 }
@@ -106,6 +126,12 @@ const (
 	// pipeline's backpressure signal — overload is surfaced to the wire
 	// instead of growing an unbounded in-server queue.
 	StatusBusy
+	// StatusNotPrimary: the request (ADD, or anything else that mutates)
+	// reached a follower replica. The reply's Primary field carries the
+	// primary's advertised address; the client should redial there and
+	// retry. Reads (GET, SUBSCRIBE) are served by every role and never
+	// get this status.
+	StatusNotPrimary
 )
 
 // String names the status.
@@ -119,6 +145,8 @@ func (s Status) String() string {
 		return "error"
 	case StatusBusy:
 		return "busy"
+	case StatusNotPrimary:
+		return "not-primary"
 	}
 	return fmt.Sprintf("status(%d)", int(s))
 }
@@ -134,10 +162,22 @@ type Request struct {
 	Token ids.Token `json:"token,omitempty"`
 	// Sig is the uploaded signature (ADD).
 	Sig json.RawMessage `json:"sig,omitempty"`
-	// From is the 1-based start index (GET, SUBSCRIBE).
+	// From is the 1-based start index (GET, SUBSCRIBE, REPLICATE).
 	From int `json:"from,omitempty"`
 	// Version is the highest protocol version the sender speaks (HELLO).
 	Version int `json:"version,omitempty"`
+	// Epoch is the sender's last-adopted promotion epoch (HELLO,
+	// REPLICATE). 0 means "no epoch yet" (a fresh peer, or a pre-epoch
+	// client) and is always treated as stale. The server's HELLO reply
+	// carries its own epoch plus a Fence the peer uses to decide whether
+	// its local prefix survived the promotion chain (see docs/PROTOCOL.md,
+	// "Epochs and fencing").
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Bootstrap marks a REPLICATE that restarts replication from scratch
+	// after the primary answered Bootstrap: the follower has reset its
+	// local store and asks for the full authoritative prefix — the
+	// snapshot-covered range first, then the live log — from index 1.
+	Bootstrap bool `json:"bootstrap,omitempty"`
 }
 
 // Response is one server reply, or (ID 0, Type MsgPush) one
@@ -166,6 +206,65 @@ type Response struct {
 	More bool `json:"more,omitempty"`
 	// Version is the negotiated session version (HELLO reply).
 	Version int `json:"version,omitempty"`
+	// Epoch is the server's current promotion epoch (HELLO and REPLICATE
+	// replies). A peer whose own epoch is newer must treat this server as
+	// a stale primary and refuse it; a peer whose epoch is older fences
+	// itself against Fence before adopting the new epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Role is the server's replication role, "primary" or "follower"
+	// (HELLO reply). Absent on pre-replication servers, which are
+	// implicitly primaries.
+	Role string `json:"role,omitempty"`
+	// Primary is the primary's advertised address (HELLO replies from
+	// followers, and every StatusNotPrimary reply). Empty when the
+	// follower has not been configured with one.
+	Primary string `json:"primary,omitempty"`
+	// Fence is the highest log index guaranteed identical between this
+	// server and any peer at the request's (older) epoch: the minimum
+	// log length recorded at each promotion between the two epochs. A
+	// peer holding more than Fence entries may have a divergent tail and
+	// must discard and resynchronize from scratch; a peer at or below it
+	// continues from its cursor. Only meaningful on HELLO/REPLICATE
+	// replies whose Epoch differs from the request's.
+	Fence int `json:"fence,omitempty"`
+	// Fences is the server's promotion fence history (REPLICATE and HELLO
+	// replies), shipped so a follower adopting a new epoch can later
+	// fence its own peers correctly after being promoted itself.
+	Fences []EpochFence `json:"fences,omitempty"`
+	// Entries carries full log entries on replication PUSH frames and
+	// REPLICATE catch-up pages — the signature bytes plus the
+	// user/timestamp metadata a replica needs to rebuild dup-set,
+	// adjacency, and per-user budget state identically.
+	Entries []Entry `json:"entries,omitempty"`
+	// Bootstrap on a REPLICATE reply tells the follower its cursor
+	// predates the primary's snapshot boundary (the log below it is only
+	// retained as folded snapshot state): it must reset its local store
+	// and re-REPLICATE from index 1 with Request.Bootstrap set.
+	Bootstrap bool `json:"bootstrap,omitempty"`
+}
+
+// Entry is one replicated log record: the signature exactly as stored
+// plus the commit metadata the primary's WAL carries for it.
+type Entry struct {
+	// User is the decrypted uploader id the primary attributed the
+	// signature to (replicas receive it post-decryption: the replication
+	// plane is server↔server and trusted).
+	User ids.UserID `json:"user"`
+	// Unix is the primary's commit timestamp, seconds. Budget accounting
+	// on the replica uses the primary's clock so per-user day buckets
+	// match byte for byte.
+	Unix int64 `json:"unix"`
+	// Sig is the stored signature encoding.
+	Sig json.RawMessage `json:"sig"`
+}
+
+// EpochFence records one promotion: at the moment epoch E began, the
+// new primary's log held N entries. Every index ≤ N is guaranteed
+// identical across the epoch boundary; indexes > N may diverge (they
+// were commits the failed primary never shipped).
+type EpochFence struct {
+	E uint64 `json:"e"`
+	N int    `json:"n"`
 }
 
 // NewAdd builds an ADD request for a signature.
@@ -188,6 +287,27 @@ func NewGet(from int) Request {
 // NewHello builds the v2 session-opening handshake request.
 func NewHello(id uint64) Request {
 	return Request{Type: MsgHello, ID: id, Version: MaxVersion}
+}
+
+// NewHelloAt builds a HELLO carrying the peer's last-adopted epoch, so
+// the reply's Epoch/Fence let the peer detect promotions it missed.
+func NewHelloAt(id uint64, epoch uint64) Request {
+	return Request{Type: MsgHello, ID: id, Version: MaxVersion, Epoch: epoch}
+}
+
+// NewReplicate builds a REPLICATE request: ship log entries from index
+// from (1-based) on, to a follower at the given epoch. bootstrap marks
+// a from-scratch resynchronization after a Bootstrap reply.
+func NewReplicate(id uint64, from int, epoch uint64, bootstrap bool) Request {
+	if from < 1 {
+		from = 1
+	}
+	return Request{Type: MsgReplicate, ID: id, From: from, Epoch: epoch, Bootstrap: bootstrap}
+}
+
+// NewPromote builds a PROMOTE request.
+func NewPromote(id uint64) Request {
+	return Request{Type: MsgPromote, ID: id}
 }
 
 // NewSubscribe builds a SUBSCRIBE request for deltas from index from
