@@ -21,8 +21,11 @@
 // -persist-json writes the committed BENCH_persist.json. The runtime
 // experiment sweeps the client-side acquisition hot path (goroutines ×
 // history size × match rate) across three modes — all-slow reference,
-// global-mutex matched path, and the sharded matched path;
-// -runtime-json writes the committed BENCH_runtime.json. The e2e
+// global-mutex matched path, and the sharded matched path — and then
+// the history hot-swap surface (swaps/sec × goroutines × match rate,
+// -swap-rates/-swap-held to scope) across the incremental delta
+// refresh and the forced full rebuild; -runtime-json writes the
+// committed BENCH_runtime.json. The e2e
 // experiment spawns -e2e-workers protected worker processes (this
 // binary re-executed with -experiment e2e-worker) plus a local server
 // and measures ingest throughput and time-to-protection end to end;
@@ -58,6 +61,10 @@ func run() int {
 	storeJSON := flag.String("store-json", "", "store experiment: also write results to this JSON file")
 	persistJSON := flag.String("persist-json", "", "persist experiment: also write results to this JSON file")
 	runtimeJSON := flag.String("runtime-json", "", "runtime experiment: also write results to this JSON file")
+	runtimeGoroutines := flag.String("runtime-goroutines", "", "runtime: worker counts, comma-separated (default sweep)")
+	runtimeOps := flag.Int("runtime-ops", 0, "runtime: acquire/release pairs per goroutine (0 = default)")
+	swapRates := flag.String("swap-rates", "", "runtime: hot-swap rates in swaps/sec, comma-separated, 0 allowed (default \"0,200,2000\")")
+	swapHeld := flag.Int("swap-held", 0, "runtime: matched locks pre-held per worker in the hot-swap sweep (0 = default 16)")
 	e2eJSON := flag.String("e2e-json", "", "e2e experiment: also write results to this JSON file")
 	e2eWorkers := flag.Int("e2e-workers", 0, "e2e experiment: protected worker processes (0 = default 4)")
 	e2eSigs := flag.Int("e2e-sigs", 0, "e2e: deadlocks detected+uploaded per worker (0 = default 8)")
@@ -230,8 +237,19 @@ func run() int {
 	}
 	if *experiment == "runtime" || *experiment == "all" {
 		ran = true
-		cfg := bench.RuntimeBenchConfig{}
-		if *full {
+		workers, err := parseCounts(*runtimeGoroutines, nil)
+		if err != nil {
+			return fail("runtime", err)
+		}
+		rates, err := parseRates(*swapRates, nil)
+		if err != nil {
+			return fail("runtime", err)
+		}
+		cfg := bench.RuntimeBenchConfig{
+			Goroutines:      workers,
+			OpsPerGoroutine: *runtimeOps,
+		}
+		if *full && cfg.OpsPerGoroutine == 0 {
 			cfg.OpsPerGoroutine = 50000
 		}
 		points, err := bench.RuntimeBench(cfg)
@@ -240,8 +258,23 @@ func run() int {
 		}
 		bench.WriteRuntimeBench(out, points)
 		fmt.Fprintln(out)
+		hsCfg := bench.HotSwapBenchConfig{
+			Goroutines:      workers,
+			SwapRates:       rates,
+			HeldLocks:       *swapHeld,
+			OpsPerGoroutine: *runtimeOps,
+		}
+		if *full && hsCfg.OpsPerGoroutine == 0 {
+			hsCfg.OpsPerGoroutine = 50000
+		}
+		hotSwap, err := bench.HotSwapBench(hsCfg)
+		if err != nil {
+			return fail("runtime", err)
+		}
+		bench.WriteHotSwapBench(out, hotSwap)
+		fmt.Fprintln(out)
 		if err := writeJSON(*runtimeJSON, func(w io.Writer) error {
-			return bench.WriteRuntimeBenchJSON(w, points)
+			return bench.WriteRuntimeBenchJSON(w, points, hotSwap)
 		}); err != nil {
 			return fail("runtime", err)
 		}
@@ -406,6 +439,23 @@ func run() int {
 		return 2
 	}
 	return 0
+}
+
+// parseRates parses a comma-separated list of non-negative rates (0 is
+// a valid "no churn" point), falling back to def when the flag is unset.
+func parseRates(s string, def []int) ([]int, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad swap rate %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // parseCounts parses a comma-separated list of positive subscriber

@@ -240,11 +240,80 @@ func TestRuntimeBenchSmallSweep(t *testing.T) {
 		t.Error("renderer output missing header")
 	}
 	buf.Reset()
-	if err := WriteRuntimeBenchJSON(&buf, points); err != nil {
+	if err := WriteRuntimeBenchJSON(&buf, points, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"runtime-sharded-sweep"`) {
 		t.Error("JSON output missing experiment tag")
+	}
+}
+
+func TestHotSwapBenchSmallSweep(t *testing.T) {
+	points, err := HotSwapBench(HotSwapBenchConfig{
+		Goroutines:      []int{2},
+		HistorySizes:    []int{8},
+		SwapRates:       []int{0, 500},
+		MatchPercents:   []int{0, 100},
+		HeldLocks:       2,
+		OpsPerGoroutine: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g × hist × match × rate × 2 refresh arms.
+	if want := 1 * 1 * 2 * 2 * 2; len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	for i, p := range points {
+		if p.OpsPerSec <= 0 || p.Ops != p.Goroutines*300 {
+			t.Errorf("bad point %+v", p)
+		}
+		if p.Yields != 0 {
+			t.Errorf("point %+v yielded; the sweep workload must never yield", p)
+		}
+		if want := hotSwapArms[i%2]; p.Refresh != want {
+			t.Errorf("point %d refresh = %q, want %q", i, p.Refresh, want)
+		}
+		// The full-rebuild arm must never take the incremental path, and
+		// the incremental arm must never fall back mid-churn: the ring
+		// covers a single alternating signature with room to spare.
+		if p.Refresh == RefreshFull && p.RefreshDelta != 0 {
+			t.Errorf("full-rebuild arm recorded %d delta refreshes: %+v", p.RefreshDelta, p)
+		}
+		if p.Refresh == RefreshIncremental && p.SwapsPerSec > 0 && p.MatchPercent > 0 && p.RefreshFull > 0 {
+			t.Errorf("incremental arm fell back to %d full rebuilds: %+v", p.RefreshFull, p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteHotSwapBench(&buf, points)
+	if !strings.Contains(buf.String(), "incremental delta refresh vs full rebuild") {
+		t.Error("renderer output missing header")
+	}
+	buf.Reset()
+	if err := WriteRuntimeBenchJSON(&buf, nil, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"hot_swap"`) {
+		t.Error("JSON output missing hot_swap section")
+	}
+}
+
+// BenchmarkHotSwapRefresh is the CI bench-rot smoke hook for the
+// hot-swap arms: one churn-heavy configuration per refresh mode, so a
+// regression that breaks either refresh path fails the smoke run.
+func BenchmarkHotSwapRefresh(b *testing.B) {
+	for _, arm := range hotSwapArms {
+		b.Run(arm, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := hotSwapBenchPoint(4, 32, 100, 1000, 4, 2000, arm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.OpsPerSec <= 0 {
+					b.Fatalf("bad point %+v", p)
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"communix/internal/dimmunix"
@@ -283,13 +284,386 @@ func WriteRuntimeBench(w io.Writer, points []RuntimeBenchPoint) {
 	}
 }
 
-// WriteRuntimeBenchJSON writes the sweep as indented JSON (the committed
-// BENCH_runtime.json format).
-func WriteRuntimeBenchJSON(w io.Writer, points []RuntimeBenchPoint) error {
+// WriteRuntimeBenchJSON writes both sweeps as indented JSON (the
+// committed BENCH_runtime.json format).
+func WriteRuntimeBenchJSON(w io.Writer, points []RuntimeBenchPoint, hotSwap []HotSwapBenchPoint) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
 		Experiment string              `json:"experiment"`
 		Points     []RuntimeBenchPoint `json:"points"`
-	}{Experiment: "runtime-sharded-sweep", Points: points})
+		HotSwap    []HotSwapBenchPoint `json:"hot_swap,omitempty"`
+	}{Experiment: "runtime-sharded-sweep", Points: points, HotSwap: hotSwap})
+}
+
+// HotSwapBenchConfig parameterizes the history hot-swap experiment: G
+// goroutines hammer matched acquisitions on private locks while each
+// pre-holds K other matched locks (positions a full rebuild must
+// re-derive on every refresh), and an agent goroutine swaps one
+// signature in and out of the history at a paced rate — the §III-E
+// steady state where the community pushes deltas into a long-running
+// process. Every point runs twice: once with the incremental
+// per-signature delta refresh (the default runtime) and once with
+// Config.IncrementalRefreshDisabled forcing the pre-PR 8 full rebuild.
+type HotSwapBenchConfig struct {
+	// Goroutines sweeps the worker count (default 4, 16).
+	Goroutines []int
+	// HistorySizes sweeps the installed-signature count excluding the
+	// held and churn signatures (default 64, 512).
+	HistorySizes []int
+	// SwapRates sweeps the history mutation rate in swaps per second
+	// (default 0, 200, 2000; 0 is the no-churn baseline where both
+	// refresh arms must agree).
+	SwapRates []int
+	// MatchPercents sweeps the fraction of worker acquisitions whose
+	// stack matches a history signature (default 0, 100; the 0 points
+	// prove the unmatched fast path never pays for churn).
+	MatchPercents []int
+	// HeldLocks is how many matched locks each worker pre-holds for the
+	// whole run (default 16). Each held lock pins a position a full
+	// rebuild re-registers on every swap; the delta path never touches
+	// them.
+	HeldLocks int
+	// OpsPerGoroutine is each worker's acquire/release count
+	// (default 20000).
+	OpsPerGoroutine int
+}
+
+// Hot-swap refresh arms, in per-configuration run order.
+const (
+	RefreshIncremental = "incremental"
+	RefreshFull        = "full"
+)
+
+var hotSwapArms = []string{RefreshIncremental, RefreshFull}
+
+// HotSwapBenchPoint is one hot-swap measurement.
+type HotSwapBenchPoint struct {
+	// Refresh is the history-refresh arm: "incremental" (per-signature
+	// delta application) or "full" (rebuild every shard per refresh).
+	Refresh string `json:"refresh"`
+	// Goroutines is the worker count.
+	Goroutines int `json:"goroutines"`
+	// HistorySize is the number of installed signatures (excluding the
+	// per-worker held signatures and the churn signature).
+	HistorySize int `json:"history_size"`
+	// MatchPercent is the fraction of acquisitions matching the history.
+	MatchPercent int `json:"match_percent"`
+	// SwapsPerSec is the paced history mutation rate (0 = no churn).
+	SwapsPerSec int `json:"swaps_per_sec"`
+	// HeldLocks is the matched locks each worker held throughout.
+	HeldLocks int `json:"held_locks"`
+	// Ops is the total measured acquire/release pair count.
+	Ops int `json:"ops"`
+	// ElapsedNS is the wall time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// OpsPerSec is the headline throughput (acquire/release pairs).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// SwapsApplied is how many history mutations the agent landed during
+	// the measured window (catch-up paced, so it tracks
+	// SwapsPerSec × elapsed even when the agent is descheduled).
+	SwapsApplied uint64 `json:"swaps_applied"`
+	// RefreshDelta and RefreshFull count how the runtime's lazy
+	// refreshes resolved (incremental delta vs full rebuild). Bursty
+	// swap application coalesces: one refresh can cover a multi-version
+	// gap, so counts are at most — not equal to — SwapsApplied.
+	RefreshDelta uint64 `json:"refresh_delta"`
+	RefreshFull  uint64 `json:"refresh_full"`
+	// RefreshDeltaNS and RefreshFullNS are the cumulative nanoseconds
+	// spent inside each refresh variant — the direct measure of the
+	// per-refresh cost the incremental path is meant to shrink. The
+	// *MinNS pair is the fastest single refresh of each variant (0 =
+	// none ran): on a loaded 1-CPU box a preemption landing inside a
+	// timed window books milliseconds against a microsecond apply, so
+	// the minimum — not the mean — is the uncontended per-refresh cost.
+	RefreshDeltaNS    int64 `json:"refresh_delta_ns"`
+	RefreshFullNS     int64 `json:"refresh_full_ns"`
+	RefreshDeltaMinNS int64 `json:"refresh_delta_min_ns"`
+	RefreshFullMinNS  int64 `json:"refresh_full_min_ns"`
+	// Yields counts avoidance suspensions (should stay 0: no matched
+	// signature's other slot is ever occupied).
+	Yields uint64 `json:"yields"`
+}
+
+// HotSwapBench sweeps history churn against the acquisition hot path.
+// Points come out ordered by (goroutines, history, match, rate) with the
+// two refresh arms adjacent, incremental first.
+func HotSwapBench(cfg HotSwapBenchConfig) ([]HotSwapBenchPoint, error) {
+	goroutines := cfg.Goroutines
+	if len(goroutines) == 0 {
+		goroutines = []int{4, 16}
+	}
+	histories := cfg.HistorySizes
+	if len(histories) == 0 {
+		histories = []int{64, 512}
+	}
+	rates := cfg.SwapRates
+	if len(rates) == 0 {
+		rates = []int{0, 200, 2000}
+	}
+	matches := cfg.MatchPercents
+	if len(matches) == 0 {
+		matches = []int{0, 100}
+	}
+	held := cfg.HeldLocks
+	if held <= 0 {
+		held = 16
+	}
+	ops := cfg.OpsPerGoroutine
+	if ops <= 0 {
+		ops = 20000
+	}
+
+	var out []HotSwapBenchPoint
+	for _, g := range goroutines {
+		for _, hist := range histories {
+			for _, match := range matches {
+				for _, rate := range rates {
+					for _, arm := range hotSwapArms {
+						p, err := hotSwapBenchPoint(g, hist, match, rate, held, ops, arm)
+						if err != nil {
+							return nil, err
+						}
+						out = append(out, p)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// hotSwapSig builds a two-thread signature whose slot-0 outer stack is
+// returned alongside; the slot-1 stacks are never executed, so matched
+// acquisitions register positions without ever yielding.
+func hotSwapSig(tag string, n int) (*sig.Signature, sig.Stack) {
+	outer := runtimeBenchStack(tag, n)
+	s := sig.New(
+		sig.ThreadSpec{Outer: outer, Inner: runtimeBenchStack(tag+"/inner", n)},
+		sig.ThreadSpec{Outer: runtimeBenchStack(tag+"/other", n), Inner: runtimeBenchStack(tag+"/otherInner", n)},
+	)
+	s.Origin = sig.OriginRemote
+	return s, outer
+}
+
+// hotSwapBenchPoint runs one configuration.
+func hotSwapBenchPoint(goroutines, histSize, matchPercent, swapRate, held, ops int, arm string) (HotSwapBenchPoint, error) {
+	history, matched := runtimeBenchHistory(histSize, goroutines)
+	// Per-(worker, slot) held signatures: distinct top frames so each
+	// pre-held lock pins a position in its own shard. A full rebuild
+	// re-derives all goroutines*held of them per refresh; a delta
+	// application touches none.
+	heldStacks := make([][]sig.Stack, goroutines)
+	for w := range heldStacks {
+		heldStacks[w] = make([]sig.Stack, held)
+		for k := 0; k < held; k++ {
+			s, outer := hotSwapSig("held", 100000+w*held+k)
+			history.Add(s)
+			heldStacks[w][k] = outer
+		}
+	}
+	churn, _ := hotSwapSig("churn", 900000)
+
+	rtCfg := dimmunix.Config{
+		History: history,
+		Policy:  dimmunix.RecoverBreak,
+	}
+	switch arm {
+	case RefreshIncremental:
+	case RefreshFull:
+		rtCfg.IncrementalRefreshDisabled = true
+	default:
+		return HotSwapBenchPoint{}, fmt.Errorf("bench: unknown refresh arm %q", arm)
+	}
+	rt := dimmunix.NewRuntime(rtCfg)
+	defer rt.Close()
+
+	locks := make([]*dimmunix.Lock, goroutines)
+	plain := make([]sig.Stack, goroutines)
+	for i := range locks {
+		locks[i] = rt.NewLock(fmt.Sprintf("g%d", i))
+		plain[i] = runtimeBenchStack("plain", i+1000)
+	}
+	// Pre-hold: worker w's thread keeps `held` matched locks for the
+	// whole run.
+	heldLocks := make([][]*dimmunix.Lock, goroutines)
+	for w := range heldLocks {
+		tid := dimmunix.ThreadID(1 + w)
+		heldLocks[w] = make([]*dimmunix.Lock, held)
+		for k := 0; k < held; k++ {
+			l := rt.NewLock(fmt.Sprintf("h%d.%d", w, k))
+			heldLocks[w][k] = l
+			if err := rt.Acquire(tid, l, heldStacks[w][k]); err != nil {
+				return HotSwapBenchPoint{}, fmt.Errorf("bench: pre-hold: %w", err)
+			}
+		}
+	}
+	// Warm up the position table so the first measured acquisition does
+	// not pay the initial full attach, then zero the refresh counters:
+	// the attach is setup — a rebuild of a not-yet-representative
+	// runtime — and must not pollute the per-refresh costs.
+	warm := rt.NewLock("warm")
+	if err := rt.Acquire(dimmunix.ThreadID(goroutines+1), warm, matched[0]); err != nil {
+		return HotSwapBenchPoint{}, fmt.Errorf("bench: warmup: %w", err)
+	}
+	if err := rt.Release(dimmunix.ThreadID(goroutines+1), warm); err != nil {
+		return HotSwapBenchPoint{}, fmt.Errorf("bench: warmup: %w", err)
+	}
+	rt.ResetRefreshStats()
+
+	// The swap agent alternately installs and removes the churn
+	// signature at the paced rate — the common community update shape
+	// ("+1 signature", later pruned). Pacing is catch-up style: when the
+	// workers starve the agent off the CPU, it applies the overdue swaps
+	// in a burst on its next run, so SwapsApplied honestly tracks the
+	// configured rate (lazy refreshes then coalesce the burst into one
+	// multi-version gap — exactly the shape DeltaSince has to fold).
+	stop := make(chan struct{})
+	var agentWG sync.WaitGroup
+	var swaps atomic.Uint64
+	if swapRate > 0 {
+		agentWG.Add(1)
+		go func() {
+			defer agentWG.Done()
+			interval := time.Second / time.Duration(swapRate)
+			next := time.Now().Add(interval)
+			installed := false
+			swap := func() {
+				if installed {
+					history.Remove(churn.ID())
+				} else {
+					history.Add(churn)
+				}
+				installed = !installed
+				swaps.Add(1)
+			}
+			for {
+				for !time.Now().Before(next) {
+					swap()
+					next = next.Add(interval)
+				}
+				select {
+				case <-stop:
+					if installed {
+						history.Remove(churn.ID())
+					}
+					return
+				case <-time.After(time.Until(next)):
+				}
+			}
+		}()
+	}
+
+	errs := make(chan error, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			tid := dimmunix.ThreadID(1 + w)
+			l := locks[w]
+			state := uint64(w)*2654435761 + 12345
+			for i := 0; i < ops; i++ {
+				state = state*6364136223846793005 + 1442695040888963407
+				cs := plain[w]
+				if matchPercent > 0 && int((state>>33)%100) < matchPercent {
+					cs = matched[w]
+				}
+				if err := rt.Acquire(tid, l, cs); err != nil {
+					errs <- fmt.Errorf("bench: acquire: %w", err)
+					return
+				}
+				if err := rt.Release(tid, l); err != nil {
+					errs <- fmt.Errorf("bench: release: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(stop)
+	agentWG.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return HotSwapBenchPoint{}, err
+	}
+
+	for w := range heldLocks {
+		tid := dimmunix.ThreadID(1 + w)
+		for _, l := range heldLocks[w] {
+			if err := rt.Release(tid, l); err != nil {
+				return HotSwapBenchPoint{}, fmt.Errorf("bench: held release: %w", err)
+			}
+		}
+	}
+
+	stats := rt.Stats()
+	delta, full := rt.RefreshCounts()
+	deltaNS, fullNS := rt.RefreshNanos()
+	deltaMinNS, fullMinNS := rt.RefreshMinNanos()
+	total := goroutines * ops
+	return HotSwapBenchPoint{
+		Refresh:           arm,
+		Goroutines:        goroutines,
+		HistorySize:       histSize,
+		MatchPercent:      matchPercent,
+		SwapsPerSec:       swapRate,
+		HeldLocks:         held,
+		Ops:               total,
+		ElapsedNS:         elapsed.Nanoseconds(),
+		OpsPerSec:         float64(total) / elapsed.Seconds(),
+		SwapsApplied:      swaps.Load(),
+		RefreshDelta:      delta,
+		RefreshFull:       full,
+		RefreshDeltaNS:    deltaNS,
+		RefreshFullNS:     fullNS,
+		RefreshDeltaMinNS: deltaMinNS,
+		RefreshFullMinNS:  fullMinNS,
+		Yields:            stats.Yields,
+	}, nil
+}
+
+// AvgRefreshNS is the point's mean per-refresh cost across both refresh
+// variants (0 when no refresh ran).
+func (p HotSwapBenchPoint) AvgRefreshNS() float64 {
+	n := p.RefreshDelta + p.RefreshFull
+	if n == 0 {
+		return 0
+	}
+	return float64(p.RefreshDeltaNS+p.RefreshFullNS) / float64(n)
+}
+
+// WriteHotSwapBench renders the hot-swap sweep as text, pairing each
+// configuration's two refresh arms on one line. Two ratios matter: the
+// end-to-end throughput ratio (bounded by the refresh duty cycle — near
+// 1.0 at low churn) and the per-refresh cost ratio, which is the direct
+// "delta vs whole history" comparison and the sweep's headline. The
+// per-refresh columns are each arm's fastest single refresh — the
+// uncontended cost; cumulative means are in the JSON but are noisy on a
+// loaded box, where a preemption inside a µs-scale timed window books
+// milliseconds.
+func WriteHotSwapBench(w io.Writer, points []HotSwapBenchPoint) {
+	fmt.Fprintln(w, "History hot-swap: incremental delta refresh vs full rebuild")
+	fmt.Fprintln(w, "  goroutines  history  match%  swaps/s  held       inc ops/s      full ops/s  delta-refresh µs  full-refresh µs  refresh-speedup")
+	for i := 0; i+1 < len(points); i += 2 {
+		inc, full := points[i], points[i+1]
+		if inc.Refresh != RefreshIncremental || full.Refresh != RefreshFull {
+			continue
+		}
+		incNS, fullNS := float64(inc.RefreshDeltaMinNS), float64(full.RefreshFullMinNS)
+		ratio := "      -"
+		if inc.RefreshDelta > 0 && full.RefreshFull > 0 && incNS > 0 && fullNS > 0 {
+			ratio = fmt.Sprintf("%6.1fx", fullNS/incNS)
+		} else {
+			incNS, fullNS = 0, 0
+		}
+		fmt.Fprintf(w, "  %10d %8d %6d%% %8d %5d %15.0f %15.0f %17.1f %16.1f  %s\n",
+			inc.Goroutines, inc.HistorySize, inc.MatchPercent, inc.SwapsPerSec, inc.HeldLocks,
+			inc.OpsPerSec, full.OpsPerSec, incNS/1e3, fullNS/1e3, ratio)
+	}
 }

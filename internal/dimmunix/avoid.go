@@ -1,8 +1,56 @@
 package dimmunix
 
 import (
+	"sync/atomic"
+	"time"
+
 	"communix/internal/sig"
 )
+
+// yieldRehomeNanos is how long a parked yielder sleeps before
+// re-evaluating on its own, in nanoseconds (atomic so tests can shorten
+// it without racing live runtimes). A wake normally arrives from a
+// release touching one of its shards or from rt.mu-side broadcasts; the
+// timeout only matters for a yielder whose every registered shard was
+// unlinked by a refresh with no replacement — no future release can
+// route a wake there, so the park re-homes itself against the current
+// index. One spurious re-evaluation per interval is the cost ceiling.
+var yieldRehomeNanos atomic.Int64
+
+func init() { yieldRehomeNanos.Store(int64(time.Second)) }
+
+// threatCarry hands a matched fast acquisition's threat evaluation to
+// the slow path. The yielder y was registered in shards (the matched
+// signatures' shards) under the same shard critical section that
+// evaluated the threat, so any position release resolving it — before
+// or after the slow path adopts the carry — wakes y; the park consumes
+// the buffered wake and re-evaluates. The carry is only adoptable while
+// the index it was evaluated under is still current (idx pointer and
+// refreshed version both unmoved); otherwise it must be dropped via
+// dropCarriedYielder.
+type threatCarry struct {
+	idx    *AvoidIndex
+	shards []*sigShard
+	sigID  string
+	y      *yielder
+}
+
+// dropCarriedYielder unregisters a carried-but-unadopted yielder from
+// its shards. Safe for nil carry. Caller holds rt.mu (the carry's
+// yielder was never in rt.yielders, so only shard state needs undoing,
+// but the rt.mu → shard order must hold).
+func (rt *Runtime) dropCarriedYielder(tid ThreadID, c *threatCarry) {
+	if c == nil {
+		return
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		if sh.yielders[tid] == c.y {
+			delete(sh.yielders, tid)
+		}
+		sh.mu.Unlock()
+	}
+}
 
 // avoidLocked implements the avoidance module (§II-A): it returns when
 // granting l to tid with stack cs can no longer instantiate any history
@@ -19,47 +67,83 @@ import (
 // waits on); such cycles are detected over the combined wait+yield graph
 // and broken by forcing one yielder to proceed, which is recorded as an
 // avoidance break (Dimmunix treats these as false-positive evidence).
-func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
+//
+// carry, when non-nil, is the matched fast path's already-computed
+// threat (threatCarry): if the index has not moved since that
+// evaluation, the first loop iteration adopts its yielder and blocker
+// set instead of re-matching and re-evaluating under rt.mu.
+func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack, carry *threatCarry) error {
+	lastSigID := ""
+	timedOut := false
 	for {
 		// The lock may have been restored to fast mode (and fast-acquired)
 		// while this thread yielded with rt.mu dropped; re-import so the
 		// owner read below is accurate.
 		rt.revokeLocked(l)
-		refs := rt.history.MatchOuter(cs)
-		if len(refs) == 0 {
-			return nil
+
+		var (
+			shards []*sigShard
+			sigID  string
+			y      *yielder
+		)
+		if c := carry; c != nil {
+			carry = nil
+			// Adoptable only if the position table still reflects exactly
+			// the index the fast attempt evaluated under. Position changes
+			// since then are fine: they went through the carry's shards and
+			// left a wake buffered in c.y, so the park below re-evaluates
+			// immediately.
+			if rt.histVer.Load() == c.idx.version && rt.history.idx.Load() == c.idx {
+				shards, sigID, y = c.shards, c.sigID, c.y
+			} else {
+				rt.dropCarriedYielder(tid, c)
+			}
 		}
-		shards := rt.shardsForRefs(refs)
-		lockShards(shards)
-		sigID, blockers := rt.instantiationThreat(refs, shards, tid, l)
-		if sigID == "" {
+		if y == nil {
+			refs := rt.history.MatchOuter(cs)
+			if len(refs) == 0 {
+				return nil
+			}
+			shards = rt.shardsForRefs(refs)
+			lockShards(shards)
+			var blockers map[ThreadID]struct{}
+			sigID, blockers = rt.instantiationThreat(refs, shards, tid, l)
+			if sigID == "" {
+				unlockShards(shards)
+				return nil
+			}
+			y = &yielder{
+				thread:   tid,
+				blockers: blockers,
+				wake:     make(chan struct{}, 1),
+			}
+			// Register the yielder in every matched shard *before* releasing
+			// the shard locks: any position release that could resolve the
+			// threat must touch one of these shards, and doing so after this
+			// critical section guarantees it sees the yielder and wakes it —
+			// no missed wake, even from matched fast releases that never take
+			// rt.mu.
+			for _, sh := range shards {
+				sh.yielders[tid] = y
+			}
 			unlockShards(shards)
-			return nil
 		}
 
 		// The suspension is a true positive if the acquisition would have
 		// closed a real wait-for cycle right now; otherwise it is
-		// evidence toward the §III-C1 false-positive warning.
-		tp := l.owner != 0 && l.owner != tid && rt.reachesThreadLocked(l.owner, tid)
-		warning := rt.fp.recordInstantiation(sigID, tp)
-		rt.stats.yields.Add(1)
+		// evidence toward the §III-C1 false-positive warning. A re-park
+		// caused only by the re-home timeout re-confirming the same
+		// threat is not a new instantiation — the schedule did not move —
+		// so it adds no false-positive evidence and no yield count.
+		var warning *FalsePositiveWarning
+		if !timedOut || sigID != lastSigID {
+			tp := l.owner != 0 && l.owner != tid && rt.reachesThreadLocked(l.owner, tid)
+			warning = rt.fp.recordInstantiation(sigID, tp)
+			rt.stats.yields.Add(1)
+		}
+		lastSigID = sigID
 
-		y := &yielder{
-			thread:   tid,
-			blockers: blockers,
-			wake:     make(chan struct{}, 1),
-		}
 		rt.yielders[tid] = y
-		// Register the yielder in every matched shard *before* releasing
-		// the shard locks: any position release that could resolve the
-		// threat must touch one of these shards, and doing so after this
-		// critical section guarantees it sees the yielder and wakes it —
-		// no missed wake, even from matched fast releases that never take
-		// rt.mu.
-		for _, sh := range shards {
-			sh.yielders[tid] = y
-		}
-		unlockShards(shards)
 		rt.resolveAvoidanceCyclesLocked()
 
 		if y.proceed || rt.closed.Load() {
@@ -75,9 +159,16 @@ func (rt *Runtime) avoidLocked(tid ThreadID, l *Lock, cs sig.Stack) error {
 
 		rt.mu.Unlock()
 		rt.fireWarningUnlocked(warning)
-		<-y.wake
+		rehome := time.NewTimer(time.Duration(yieldRehomeNanos.Load()))
+		select {
+		case <-y.wake:
+		case <-rehome.C:
+		}
+		rehome.Stop()
 		rt.mu.Lock()
 
+		// A wake that raced the timeout still counts as a wake.
+		timedOut = !y.woken.Load() && !y.proceed
 		rt.removeYielderLocked(tid, y, shards)
 		if rt.closed.Load() {
 			return ErrClosed

@@ -57,6 +57,15 @@ func newDiffRigGlobal(t *testing.T, nLocks int, mutate func(*Config)) *diffRig {
 	return newDiffRigRef(t, nLocks, mutate, func(c *Config) { c.ShardedAvoidanceDisabled = true })
 }
 
+// newDiffRigFullRebuild builds the refresh rig: the incremental
+// delta-refresh runtime against one whose every history refresh is a
+// full rebuild (IncrementalRefreshDisabled) — both on the full sharded
+// fast path, so every decision taken after a hot-swap checks the delta
+// application against the rebuild-from-scratch reference.
+func newDiffRigFullRebuild(t *testing.T, nLocks int, mutate func(*Config)) *diffRig {
+	return newDiffRigRef(t, nLocks, mutate, func(c *Config) { c.IncrementalRefreshDisabled = true })
+}
+
 func newDiffRigRef(t *testing.T, nLocks int, mutate func(*Config), refMutate func(*Config)) *diffRig {
 	t.Helper()
 	r := &diffRig{
@@ -107,6 +116,16 @@ func (r *diffRig) remove(id string) {
 	rr := r.refHist.Remove(id)
 	if fr != rr {
 		r.t.Fatalf("remove divergence: fast removed=%v ref removed=%v", fr, rr)
+	}
+}
+
+// replace swaps signatures on both histories in one mutation — the
+// generalization path's atomic install of a merged signature.
+func (r *diffRig) replace(oldID string, s *sig.Signature) {
+	fr := r.fastHist.Replace(oldID, s)
+	rr := r.refHist.Replace(oldID, s)
+	if fr != rr {
+		r.t.Fatalf("replace divergence: fast=%v ref=%v", fr, rr)
 	}
 }
 
@@ -496,7 +515,19 @@ func runDifferentialScript(t *testing.T, ch chooser, ops int, detectionDisabled 
 		s.Origin = sig.OriginLocal
 		return s
 	}()
-	extraInstalled := false
+	// A same-outer variant (different inner stacks, so a different ID):
+	// Replace swaps one for the other in a single mutation, exercising
+	// the changelog's combined remove+add entries.
+	extraSigAlt := func() *sig.Signature {
+		s := sig.New(
+			sig.ThreadSpec{Outer: stacks[0], Inner: mkStack("P0", "i0alt", 5)},
+			sig.ThreadSpec{Outer: stacks[1], Inner: mkStack("P1", "i1alt", 5)},
+		)
+		s.Origin = sig.OriginLocal
+		return s
+	}()
+	extraSigs := [2]*sig.Signature{extraSig, extraSigAlt}
+	extraCur := -1 // index into extraSigs currently installed; -1 none
 	wedgeRetries := 0
 
 	// blockerHolds asks the reference runtime who is blocking the single
@@ -590,13 +621,18 @@ func runDifferentialScript(t *testing.T, ch chooser, ops int, detectionDisabled 
 					break
 				}
 			}
-		case 8: // hot-swap: install or remove the extra signature
-			if extraInstalled {
-				r.remove(extraSig.ID())
-			} else {
-				r.install(extraSig)
+		case 8: // hot-swap: install, remove, or swap the extra signature
+			switch {
+			case extraCur < 0:
+				r.install(extraSigs[0])
+				extraCur = 0
+			case ch.intn(2) == 0:
+				r.remove(extraSigs[extraCur].ID())
+				extraCur = -1
+			default: // one Replace mutation: one version bump, one delta entry
+				r.replace(extraSigs[extraCur].ID(), extraSigs[1-extraCur])
+				extraCur = 1 - extraCur
 			}
-			extraInstalled = !extraInstalled
 		case 9: // stats comparison mid-script (also polls pending)
 			r.drainResolved()
 			if len(r.pending) == 0 {
@@ -673,11 +709,27 @@ func TestDifferentialShardedVsGlobal(t *testing.T) {
 	})
 }
 
+// TestDifferentialIncrementalVsFullRebuild replays the fuzzed scripts
+// with the full-rebuild runtime as the reference: every grant, yield,
+// and denial taken after an incremental delta refresh is compared
+// against the same decision under rebuild-from-scratch refreshes.
+func TestDifferentialIncrementalVsFullRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runDifferentialScript(t, randChooser{rand.New(rand.NewSource(seed))}, 120, false, newDiffRigFullRebuild)
+		})
+	}
+	t.Run("detection-disabled", func(t *testing.T) {
+		runDifferentialScript(t, randChooser{rand.New(rand.NewSource(44))}, 120, true, newDiffRigFullRebuild)
+	})
+}
+
 // FuzzDifferentialInterleavings lets the fuzzer drive the op selection
 // directly; any decision divergence between the fast-path and reference
-// runtimes fails the run. Even input lengths compare sharded vs the
-// all-slow reference, odd lengths sharded vs the global-mutex matched
-// path.
+// runtimes fails the run. Input length mod 3 picks the reference:
+// 0 compares sharded vs the all-slow reference, 1 vs the global-mutex
+// matched path, 2 incremental refresh vs the full-rebuild refresh.
 func FuzzDifferentialInterleavings(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add([]byte{0, 0, 0, 9, 9, 9, 8, 8, 6, 6, 1, 3, 5, 7})
@@ -687,8 +739,11 @@ func FuzzDifferentialInterleavings(f *testing.F) {
 			t.Skip()
 		}
 		rigFn := newDiffRig
-		if len(data)%2 == 1 {
+		switch len(data) % 3 {
+		case 1:
 			rigFn = newDiffRigGlobal
+		case 2:
+			rigFn = newDiffRigFullRebuild
 		}
 		runDifferentialScript(t, &byteChooser{data: data}, 60, false, rigFn)
 	})

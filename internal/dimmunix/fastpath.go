@@ -100,15 +100,18 @@ func fastWordRec(w uint64) uint64   { return (w >> fastRecShift) & fastRecMax }
 // fastAcquire tries to complete the acquisition without rt.mu. It
 // reports whether the lock was granted; false means the caller must take
 // the slow path (contention, index match, slow-managed lock, shutdown,
-// or an unrepresentable thread id).
-func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
+// or an unrepresentable thread id). A false return may carry the matched
+// path's already-evaluated threat (threatCarry, with its yielder
+// registered in the matched shards) for the slow path to adopt instead
+// of re-evaluating; the caller must pass it to acquireSlow.
+func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) (bool, *threatCarry) {
 	if uint64(tid) > fastTidMax {
-		return false
+		return false, nil
 	}
 	for {
 		w := l.fast.Load()
 		if w&fastSlowBit != 0 {
-			return false
+			return false, nil
 		}
 		if w&fastPendingBit != 0 {
 			// Another acquirer is two instructions from publishing — unless
@@ -118,22 +121,22 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 			continue
 		}
 		if rt.closed.Load() {
-			return false
+			return false, nil
 		}
 		if w != 0 {
 			if fastWordTid(w) != tid {
 				// Fast-held by another thread: contention. The slow path
 				// revokes and queues.
-				return false
+				return false, nil
 			}
 			// Reentrant hold. Like the slow path's reentrant branch this
 			// bypasses avoidance and registers nothing: the hold's outer
 			// stack was vetted when it was first granted.
 			if fastWordRec(w) == fastRecMax {
-				return false // counter exhausted: continue in slow mode
+				return false, nil // counter exhausted: continue in slow mode
 			}
 			if l.fast.CompareAndSwap(w, w+fastRecUnit) {
-				return true
+				return true, nil
 			}
 			continue // raced with revocation; retry
 		}
@@ -143,7 +146,7 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 			// sweep must be able to find it — so take the slow path once;
 			// maybeRestoreFastLocked re-registers the lock before making
 			// it fast-eligible again.
-			return false
+			return false, nil
 		}
 		idx := rt.history.Index()
 		// Match the stack against the index without allocating in the
@@ -176,7 +179,7 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 			// Matched, with the sharded matched path switched off: the
 			// stack occupies a signature slot and the global-mutex path
 			// must see it.
-			return false
+			return false, nil
 		}
 		if !l.fast.CompareAndSwap(0, uint64(tid)|fastPendingBit) {
 			continue // lost to another acquirer or a revocation; re-evaluate
@@ -192,19 +195,21 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 		// and keep the lock; flag clear — assume pruned and retreat.
 		if !l.registered.Load() {
 			l.fast.Store(0)
-			return false
+			return false, nil
 		}
 		if len(refs) != 0 {
 			// Matched: evaluate the threat and register positions under
 			// only the matched signatures' shard locks (shard.go). Failure
 			// — a live threat, or the index moved — aborts the claim and
-			// retreats to the slow path, which re-evaluates under rt.mu
-			// and yields if the threat persists.
-			if !rt.matchedFastAcquire(tid, l, cs, idx, refs) {
+			// retreats to the slow path, which adopts the carried threat
+			// (or re-evaluates, if the index moved) under rt.mu and yields
+			// if it persists.
+			ok, carry := rt.matchedFastAcquire(tid, l, cs, idx, refs)
+			if !ok {
 				l.fast.Store(0)
-				return false
+				return false, carry
 			}
-			return true
+			return true, nil
 		}
 		// Index: a signature matching cs may have been installed since
 		// the check above, and the refresh sweep may already have run
@@ -224,14 +229,25 @@ func (rt *Runtime) fastAcquire(tid ThreadID, l *Lock, cs sig.Stack) bool {
 		// will import the published hold.
 		if idx2 := rt.history.idx.Load(); idx2 != idx && idx2.Matches(cs) {
 			l.fast.Store(0)
-			return false
+			return false, nil
 		}
 		l.fastOuter = cs
 		l.fastSlots = l.fastSlots[:0] // unmatched holds occupy no slots
+		l.fastTop.Store(stackTopHash(cs))
 		l.fast.Store(uint64(tid))
 		rt.stats.acquisitions.Add(1)
-		return true
+		return true, nil
 	}
+}
+
+// stackTopHash is frameFilterKey of a stack's top frame (0 for an empty
+// stack) — what a published hold stores in l.fastTop for the incremental
+// refresh sweep to filter on.
+func stackTopHash(cs sig.Stack) uint64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	return frameFilterKey(&cs[len(cs)-1])
 }
 
 // fastRelease tries to complete the release without rt.mu. It reports

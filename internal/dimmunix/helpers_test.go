@@ -29,7 +29,9 @@ func (rt *Runtime) positionCount() int {
 		sh := value.(*sigShard)
 		sh.mu.Lock()
 		for _, m := range sh.slots {
-			n += len(m)
+			for _, locks := range m {
+				n += len(locks)
+			}
 		}
 		sh.mu.Unlock()
 		return true

@@ -58,6 +58,103 @@ type History struct {
 	// signature) stays O(S) instead of O(S²).
 	idx      atomic.Pointer[AvoidIndex]
 	idxDirty atomic.Bool
+
+	// deltaRing is the per-version changelog: one entry per mutation
+	// (version bump), recording exactly which signature instances the
+	// mutation added and removed. Consumers (the Runtime's position
+	// refresh) use DeltaSince to apply a version gap as a per-signature
+	// delta instead of a full rebuild. The ring is bounded at
+	// DeltaRingCap entries — a consumer further behind than the ring
+	// covers (bulk ingestion, a long-idle runtime) falls back to a full
+	// rebuild. Guarded by mu; every version++ records exactly one entry,
+	// so ring versions are consecutive.
+	deltaRing  []historyDelta
+	deltaHead  int // index of the oldest entry
+	deltaCount int
+}
+
+// historyDelta is one mutation's signature churn. The recorded instances
+// are the history's own stable normalized clones (instance identity is
+// signature identity — the position-shard table is keyed by them).
+type historyDelta struct {
+	version uint64
+	added   []*sig.Signature
+	removed []*sig.Signature
+}
+
+// DeltaRingCap bounds the changelog ring. 256 mutations of slack covers
+// any consumer that refreshes at all regularly (the runtime refreshes on
+// every slow-path acquisition); a consumer that has been asleep longer
+// rebuilds from scratch, which is what it would have done anyway.
+const DeltaRingCap = 256
+
+// recordDeltaLocked appends one changelog entry for the mutation that
+// just bumped h.version. Caller holds h.mu for writing.
+func (h *History) recordDeltaLocked(added, removed []*sig.Signature) {
+	if h.deltaRing == nil {
+		h.deltaRing = make([]historyDelta, DeltaRingCap)
+	}
+	d := historyDelta{version: h.version, added: added, removed: removed}
+	if h.deltaCount == DeltaRingCap {
+		h.deltaRing[h.deltaHead] = d
+		h.deltaHead = (h.deltaHead + 1) % DeltaRingCap
+		return
+	}
+	h.deltaRing[(h.deltaHead+h.deltaCount)%DeltaRingCap] = d
+	h.deltaCount++
+}
+
+// DeltaSince folds the changelog entries covering versions (from, to]
+// into net added/removed signature-instance sets. ok=false means the
+// ring no longer covers the gap (the consumer is too far behind, or the
+// gap includes bulk ingestion that overran the ring) and the consumer
+// must fall back to a full rebuild. A signature added and then removed
+// within the gap cancels out — the consumer never saw it, so nothing
+// needs touching; the reverse order cannot occur because a re-added
+// signature is always a fresh clone instance.
+func (h *History) DeltaSince(from, to uint64) (added, removed []*sig.Signature, ok bool) {
+	if from > to {
+		return nil, nil, false
+	}
+	if from == to {
+		return nil, nil, true
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.deltaCount == 0 {
+		return nil, nil, false
+	}
+	oldest := h.deltaRing[h.deltaHead].version
+	newest := oldest + uint64(h.deltaCount) - 1
+	if from+1 < oldest || to > newest {
+		return nil, nil, false
+	}
+	addSet := make(map[*sig.Signature]struct{}, 2)
+	var rem []*sig.Signature
+	for v := from + 1; v <= to; v++ {
+		d := &h.deltaRing[(h.deltaHead+int(v-oldest))%DeltaRingCap]
+		for _, s := range d.added {
+			addSet[s] = struct{}{}
+		}
+		for _, s := range d.removed {
+			if _, pending := addSet[s]; pending {
+				delete(addSet, s) // added and removed inside the gap: net no-op
+			} else {
+				rem = append(rem, s)
+			}
+		}
+	}
+	add := make([]*sig.Signature, 0, len(addSet))
+	for v := from + 1; v <= to; v++ { // deterministic order: ring order
+		d := &h.deltaRing[(h.deltaHead+int(v-oldest))%DeltaRingCap]
+		for _, s := range d.added {
+			if _, live := addSet[s]; live {
+				add = append(add, s)
+				delete(addSet, s)
+			}
+		}
+	}
+	return add, rem, true
 }
 
 // NewHistory returns an empty, in-memory history.
@@ -119,18 +216,31 @@ func (h *History) Add(s *sig.Signature) bool {
 }
 
 func (h *History) addLocked(s *sig.Signature) bool {
+	stored := h.insertLocked(s)
+	if stored == nil {
+		return false
+	}
+	h.version++
+	h.idxDirty.Store(true)
+	h.recordDeltaLocked([]*sig.Signature{stored}, nil)
+	return true
+}
+
+// insertLocked stores a normalized clone of s unless its ID is already
+// present, returning the stored instance (nil if it was a duplicate).
+// It does not bump the version — callers decide how the insertion folds
+// into a changelog entry.
+func (h *History) insertLocked(s *sig.Signature) *sig.Signature {
 	id := s.ID()
 	if _, ok := h.sigs[id]; ok {
-		return false
+		return nil
 	}
 	s = s.Clone()
 	s.Normalize()
 	h.sigs[id] = s
 	bug := s.BugKey()
 	h.byBug[bug] = append(h.byBug[bug], id)
-	h.version++
-	h.idxDirty.Store(true)
-	return true
+	return s
 }
 
 // rebuildIndexLocked publishes a fresh immutable avoidance index
@@ -198,13 +308,17 @@ func (h *History) Remove(id string) bool {
 	h.dropBugLocked(s, id)
 	h.version++
 	h.idxDirty.Store(true)
+	h.recordDeltaLocked(nil, []*sig.Signature{s})
 	return true
 }
 
 // Replace swaps an existing signature (by ID) for another in one step —
 // how generalization installs a merged signature in place of the old one.
 // If oldID is absent the new signature is still added. It reports whether
-// the history changed.
+// the history changed. The swap is one mutation: one version bump, one
+// changelog entry carrying both the removal and the addition, so delta
+// consumers apply it atomically (pure removal and pure addition — the
+// degenerate cases — also record exactly one entry).
 func (h *History) Replace(oldID string, s *sig.Signature) bool {
 	if err := s.Valid(); err != nil {
 		return false
@@ -214,16 +328,23 @@ func (h *History) Replace(oldID string, s *sig.Signature) bool {
 	if s.ID() == oldID {
 		return false
 	}
-	removed := false
+	var removed []*sig.Signature
 	if old, ok := h.sigs[oldID]; ok {
-		removed = true
 		delete(h.sigs, oldID)
 		h.dropBugLocked(old, oldID)
-		h.version++
-		h.idxDirty.Store(true)
+		removed = []*sig.Signature{old}
 	}
-	added := h.addLocked(s)
-	return removed || added
+	var added []*sig.Signature
+	if stored := h.insertLocked(s); stored != nil {
+		added = []*sig.Signature{stored}
+	}
+	if removed == nil && added == nil {
+		return false
+	}
+	h.version++
+	h.idxDirty.Store(true)
+	h.recordDeltaLocked(added, removed)
+	return true
 }
 
 // Get returns the signature with the given ID, or nil.

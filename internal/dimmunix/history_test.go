@@ -1,6 +1,7 @@
 package dimmunix
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -208,6 +209,154 @@ func TestHistoryHasBug(t *testing.T) {
 	)
 	if h.HasBug(other) {
 		t.Error("unrelated bug should not be recognized")
+	}
+}
+
+// deltaTestSig builds a distinct valid two-thread signature per tag.
+func deltaTestSig(tag string) *sig.Signature {
+	return sig.New(
+		sig.ThreadSpec{Outer: mkStack("D"+tag, tag+"a", 4), Inner: mkStack("D"+tag, tag+"b", 4)},
+		sig.ThreadSpec{Outer: mkStack("D"+tag, tag+"c", 4), Inner: mkStack("D"+tag, tag+"d", 4)},
+	)
+}
+
+func TestHistoryDeltaAddRemove(t *testing.T) {
+	h := NewHistory()
+	v0 := h.Version()
+	s := deltaTestSig("x")
+	h.Add(s)
+	v1 := h.Version()
+
+	added, removed, ok := h.DeltaSince(v0, v1)
+	if !ok {
+		t.Fatal("DeltaSince should cover a one-add gap")
+	}
+	if len(added) != 1 || len(removed) != 0 {
+		t.Fatalf("delta = +%d/-%d, want +1/-0", len(added), len(removed))
+	}
+	if added[0] != h.Get(s.ID()) {
+		t.Error("delta must carry the history's stable stored instance")
+	}
+
+	stored := h.Get(s.ID())
+	h.Remove(s.ID())
+	v2 := h.Version()
+	added, removed, ok = h.DeltaSince(v1, v2)
+	if !ok || len(added) != 0 || len(removed) != 1 || removed[0] != stored {
+		t.Fatalf("remove delta = +%d/-%d ok=%v, want the removed instance", len(added), len(removed), ok)
+	}
+
+	// Add-then-remove inside one gap cancels: the consumer never saw it.
+	added, removed, ok = h.DeltaSince(v0, v2)
+	if !ok || len(added) != 0 || len(removed) != 0 {
+		t.Errorf("add+remove gap = +%d/-%d ok=%v, want empty ok delta", len(added), len(removed), ok)
+	}
+
+	// Zero-length gap is trivially covered; a reversed gap is not.
+	if _, _, ok := h.DeltaSince(v2, v2); !ok {
+		t.Error("empty gap should be covered")
+	}
+	if _, _, ok := h.DeltaSince(v2, v1); ok {
+		t.Error("reversed gap should not be covered")
+	}
+}
+
+func TestHistoryReplaceDeltaSemantics(t *testing.T) {
+	// Same-ID swap: one version bump, one changelog entry carrying both
+	// the removal and the addition.
+	h := NewHistory()
+	old := deltaTestSig("old")
+	h.Add(old)
+	oldStored := h.Get(old.ID())
+	v1 := h.Version()
+	merged := deltaTestSig("merged")
+	if !h.Replace(old.ID(), merged) {
+		t.Fatal("swap should succeed")
+	}
+	v2 := h.Version()
+	if v2 != v1+1 {
+		t.Fatalf("swap bumped version by %d, want exactly 1", v2-v1)
+	}
+	added, removed, ok := h.DeltaSince(v1, v2)
+	if !ok {
+		t.Fatal("one-swap gap must be covered")
+	}
+	if len(added) != 1 || added[0] != h.Get(merged.ID()) {
+		t.Errorf("swap delta added = %d, want the stored merged instance", len(added))
+	}
+	if len(removed) != 1 || removed[0] != oldStored {
+		t.Errorf("swap delta removed = %d, want the old instance", len(removed))
+	}
+
+	// Pure addition: oldID absent — one entry, added only.
+	v2 = h.Version()
+	fresh := deltaTestSig("fresh")
+	if !h.Replace("no-such-id", fresh) {
+		t.Fatal("replace with absent oldID should still add")
+	}
+	v3 := h.Version()
+	if v3 != v2+1 {
+		t.Fatalf("pure addition bumped version by %d, want exactly 1", v3-v2)
+	}
+	added, removed, ok = h.DeltaSince(v2, v3)
+	if !ok || len(added) != 1 || len(removed) != 0 {
+		t.Errorf("pure-addition delta = +%d/-%d ok=%v, want +1/-0", len(added), len(removed), ok)
+	}
+
+	// Pure removal: the incoming signature is already present (a merge
+	// that collapses onto an existing one) — one entry, removed only.
+	// PR 3 pinned the version bump for this case; this pins the delta.
+	mergedStored := h.Get(merged.ID())
+	v3 = h.Version()
+	if !h.Replace(merged.ID(), fresh.Clone()) {
+		t.Fatal("replace collapsing onto an existing signature should still remove")
+	}
+	v4 := h.Version()
+	if v4 != v3+1 {
+		t.Fatalf("pure removal bumped version by %d, want exactly 1", v4-v3)
+	}
+	added, removed, ok = h.DeltaSince(v3, v4)
+	if !ok || len(added) != 0 || len(removed) != 1 || removed[0] != mergedStored {
+		t.Errorf("pure-removal delta = +%d/-%d ok=%v, want -1 (the collapsed instance)", len(added), len(removed), ok)
+	}
+
+	// True no-op: absent oldID and duplicate signature — no bump, no entry.
+	v4 = h.Version()
+	if h.Replace("still-no-such-id", fresh.Clone()) {
+		t.Error("no-op replace should report no change")
+	}
+	if h.Version() != v4 {
+		t.Error("no-op replace must not bump the version")
+	}
+}
+
+func TestHistoryDeltaRingBounded(t *testing.T) {
+	h := NewHistory()
+	n := DeltaRingCap*2 + 5
+	for i := 0; i < n; i++ {
+		if !h.Add(deltaTestSig(fmt.Sprintf("r%d", i))) {
+			t.Fatalf("add %d failed", i)
+		}
+	}
+	// The ring must stay bounded no matter how many mutations happened.
+	h.mu.RLock()
+	ringLen, count := len(h.deltaRing), h.deltaCount
+	h.mu.RUnlock()
+	if ringLen != DeltaRingCap || count != DeltaRingCap {
+		t.Fatalf("ring len=%d count=%d, want both %d", ringLen, count, DeltaRingCap)
+	}
+
+	v := h.Version()
+	// A consumer exactly DeltaRingCap behind is still covered…
+	if _, _, ok := h.DeltaSince(v-uint64(DeltaRingCap), v); !ok {
+		t.Error("gap of exactly DeltaRingCap should be covered")
+	}
+	// …one further back is not, forcing the full-rebuild fallback.
+	if _, _, ok := h.DeltaSince(v-uint64(DeltaRingCap)-1, v); ok {
+		t.Error("gap beyond the ring must report not covered")
+	}
+	if _, _, ok := h.DeltaSince(0, v); ok {
+		t.Error("from-scratch gap beyond the ring must report not covered")
 	}
 }
 

@@ -3,6 +3,7 @@ package dimmunix
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -116,6 +117,12 @@ type Config struct {
 	// match). 0 means stacktrace.DefaultShallowDepth; negative disables
 	// adaptive capture (every Lock captures StackDepth frames).
 	ShallowCaptureDepth int
+	// IncrementalRefreshDisabled forces every history refresh through the
+	// full rebuild (clear all shards, re-register all positions, sweep
+	// the whole registry) even when the changelog covers the version gap
+	// — the pre-delta reference semantics. Differential tests and the
+	// `-experiment runtime` hot-swap arms compare both modes.
+	IncrementalRefreshDisabled bool
 }
 
 // Runtime is one Dimmunix instance: a lock manager whose scheduling
@@ -171,6 +178,36 @@ type Runtime struct {
 	fp *fpDetector
 
 	stats counters
+
+	// refreshDelta / refreshFull count history refreshes served by the
+	// incremental delta path vs the full rebuild, and the *Nanos pair
+	// accumulates the time spent in each. Kept out of Stats — they
+	// describe the refresh implementation, not lock-manager events — and
+	// read via RefreshCounts/RefreshNanos by tests and the hot-swap
+	// benchmark.
+	refreshDelta      atomic.Uint64
+	refreshFull       atomic.Uint64
+	refreshDeltaNanos atomic.Int64
+	refreshFullNanos  atomic.Int64
+	// The *MinNanos pair tracks the fastest single refresh of each
+	// variant (0 = none yet): wall time under preemption makes cumulative
+	// means noisy on loaded machines, while the minimum is the
+	// uncontended cost of one refresh.
+	refreshDeltaMinNanos atomic.Int64
+	refreshFullMinNanos  atomic.Int64
+}
+
+// storeMin lowers m to v unless a smaller nonzero value is already there.
+func storeMin(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if cur != 0 && cur <= v {
+			return
+		}
+		if m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Stats counts runtime events; retrieved via Runtime.Stats.
@@ -289,10 +326,25 @@ type Lock struct {
 	fast      atomic.Uint64
 	fastOuter sig.Stack
 	fastSlots []slotKey
+	// fastTop is frameFilterKey of the published hold's outer top frame
+	// (0 for an empty stack), stored between the claiming CAS and the
+	// publishing store. The incremental refresh sweep reads it atomically
+	// to skip fast holds whose top site cannot match any added signature
+	// — a torn read of fastOuter itself would be unsafe without
+	// revocation. Staleness is harmless: a hold published after the new
+	// index pointer re-validates and retreats on its own, and a hash
+	// collision only costs a spurious (correct) revocation.
+	fastTop atomic.Uint64
 	// registered tracks membership in the runtime's lock registry (the
 	// history-refresh sweep's work list); cleared when the registry
 	// prunes a free lock, re-set by the lock's next acquisition.
 	registered atomic.Bool
+	// slowKeeps counts consecutive registry prunes that kept this lock
+	// only because it sat in slow mode (word == fastSlowBit) — the
+	// age/generation heuristic that lets the prune eventually drop
+	// discarded slow-parked locks instead of rescanning them on every
+	// trigger. Guarded by rt.locksMu.
+	slowKeeps int
 
 	owner     ThreadID
 	ownerHold *heldLock
@@ -360,6 +412,7 @@ func (rt *Runtime) registerLock(l *Lock) {
 	if !l.registered.Load() {
 		rt.locks = append(rt.locks, l)
 		l.registered.Store(true)
+		l.slowKeeps = 0
 		if rt.locksPruneAt == 0 {
 			rt.locksPruneAt = lockRegistryFloor
 		}
@@ -370,13 +423,29 @@ func (rt *Runtime) registerLock(l *Lock) {
 	rt.locksMu.Unlock()
 }
 
+// lockSlowKeepGenerations is how many consecutive prunes may keep a
+// lock that shows nothing but slow mode before the prune drops it as
+// cold (see pruneLocksLocked).
+const lockSlowKeepGenerations = 2
+
 // pruneLocksLocked drops registry entries for locks that are free in
 // fast mode: they hold nothing the history-refresh sweep could need. A
 // pruned lock is no longer fast-eligible (fastAcquire refuses on the
 // cleared flag); its next acquisition goes through the slow path once,
-// and maybeRestoreFastLocked re-registers it. Locks with any other
-// word state (fast-held, publishing, slow-managed) are kept — their
-// state cannot be inspected safely here. Caller holds locksMu.
+// and maybeRestoreFastLocked re-registers it. Locks with fast-word
+// activity (fast-held, publishing) are kept — their state cannot be
+// inspected safely here.
+//
+// Slow-managed locks (word == fastSlowBit) age out instead of being
+// kept forever: under a high lock discard rate, an application that
+// churns locks through one contended burst and drops them would
+// otherwise leave the prune re-walking and keeping every such lock on
+// every trigger. A lock kept only for its slow word through
+// lockSlowKeepGenerations consecutive prunes is dropped: everything the
+// refresh needs about a slow lock lives in the thread table, its
+// release path re-registers it via maybeRestoreFastLocked, and the only
+// thing lost is the refresh sweep's courtesy restore — which a lock
+// nobody touches again never needed. Caller holds locksMu.
 //
 // The deregister-then-inspect order pairs with fastAcquire's
 // claim-then-recheck: both sides use sequentially consistent atomics,
@@ -386,10 +455,21 @@ func (rt *Runtime) pruneLocksLocked() {
 	kept := make([]*Lock, 0, len(rt.locks)/2)
 	for _, l := range rt.locks {
 		l.registered.Store(false)
-		if l.fast.Load() != 0 {
-			l.registered.Store(true)
-			kept = append(kept, l)
+		w := l.fast.Load()
+		if w == 0 {
+			continue // free in fast mode: drop
 		}
+		if w == fastSlowBit {
+			if l.slowKeeps >= lockSlowKeepGenerations {
+				l.slowKeeps = 0
+				continue // cold slow-parked lock: drop instead of rescanning
+			}
+			l.slowKeeps++
+		} else {
+			l.slowKeeps = 0
+		}
+		l.registered.Store(true)
+		kept = append(kept, l)
 	}
 	rt.locks = kept
 	rt.locksPruneAt = 2 * len(kept)
@@ -446,19 +526,27 @@ func (rt *Runtime) Acquire(tid ThreadID, l *Lock, cs sig.Stack) error {
 	// tid 0 means "no owner" to the slow path's bookkeeping; keep such
 	// (malformed) callers off the fast path so they fail the same way
 	// they always did.
-	if tid != 0 && !rt.cfg.FastPathDisabled && rt.fastAcquire(tid, l, cs) {
-		return nil
+	if tid != 0 && !rt.cfg.FastPathDisabled {
+		granted, carry := rt.fastAcquire(tid, l, cs)
+		if granted {
+			return nil
+		}
+		return rt.acquireSlow(tid, l, cs, carry)
 	}
-	return rt.acquireSlow(tid, l, cs)
+	return rt.acquireSlow(tid, l, cs, nil)
 }
 
 // acquireSlow is the original global-mutex acquisition path: avoidance,
 // queueing, and detection under rt.mu. It also serves as the semantic
 // reference the fast path is differentially tested against
-// (Config.FastPathDisabled).
-func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack) error {
+// (Config.FastPathDisabled). carry, when non-nil, is a threat evaluation
+// the matched fast path already performed (with its yielder registered
+// in the matched shards); avoidLocked adopts it if still valid, and any
+// exit that cannot reach avoidLocked must drop it.
+func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack, carry *threatCarry) error {
 	rt.mu.Lock()
 	if rt.closed.Load() {
+		rt.dropCarriedYielder(tid, carry)
 		rt.mu.Unlock()
 		return ErrClosed
 	}
@@ -469,6 +557,7 @@ func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack) error {
 
 	// Reentrant fast path.
 	if l.owner == tid {
+		rt.dropCarriedYielder(tid, carry)
 		l.recursion++
 		rt.mu.Unlock()
 		return nil
@@ -476,8 +565,10 @@ func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack) error {
 
 	// Avoidance: suspend while granting would let a history signature
 	// instantiate.
-	if !rt.cfg.AvoidanceDisabled {
-		if err := rt.avoidLocked(tid, l, cs); err != nil {
+	if rt.cfg.AvoidanceDisabled {
+		rt.dropCarriedYielder(tid, carry)
+	} else {
+		if err := rt.avoidLocked(tid, l, cs, carry); err != nil {
 			rt.mu.Unlock()
 			return err
 		}
@@ -540,7 +631,7 @@ func (rt *Runtime) acquireSlow(tid ThreadID, l *Lock, cs sig.Stack) error {
 		// Denied (deadlock break or close): withdraw from the queue and
 		// drop the waiter's slot registrations.
 		rt.removeWaiterLocked(l, w)
-		rt.unregisterPositions(tid, w.slots)
+		rt.unregisterPositions(tid, l, w.slots)
 		rt.wakeYieldersLocked()
 		rt.maybeRestoreFastLocked(l)
 	}
@@ -587,7 +678,7 @@ func (rt *Runtime) Release(tid ThreadID, l *Lock) error {
 	// Drop the hold record and its slot registrations.
 	for i, h := range ts.held {
 		if h.lock == l {
-			rt.unregisterPositions(tid, h.slots)
+			rt.unregisterPositions(tid, l, h.slots)
 			ts.held = append(ts.held[:i], ts.held[i+1:]...)
 			break
 		}
@@ -649,34 +740,112 @@ func (rt *Runtime) removeWaiterLocked(l *Lock, w *waiter) {
 	}
 }
 
-// refreshPositionsLocked re-registers all held and waiting stacks after
-// the history changed (the Communix agent adds or merges signatures while
-// the application runs), and imports any fast-path hold whose outer
-// stack the new index matches — such a hold now occupies a signature
-// slot and must be visible to avoidance. refreshPositionsLocked runs
-// under rt.mu before every avoidance decision, so no decision is ever
-// made against a stale position table.
+// refreshPositionsLocked brings the position table up to date with the
+// current history (the Communix agent adds or merges signatures while
+// the application runs). It runs under rt.mu before every avoidance
+// decision, so no decision is ever made against a stale position table.
 //
-// Ordering matters for the matched fast path racing this refresh: the
+// When the history's changelog covers the version gap — the common case
+// post-PR 5 is a single pushed signature — the refresh applies a
+// per-signature delta (applyDeltaLocked): only the changed signatures'
+// shards are touched, everything else stays live with its yielders
+// parked. A gap the ring no longer covers (bulk ingestion, a long-idle
+// runtime) or Config.IncrementalRefreshDisabled falls back to the full
+// rebuild.
+//
+// Ordering matters for the matched fast path racing either variant: the
 // Index() call below publishes the rebuilt index pointer *before* any
-// shard is cleared, and matchedFastAcquire re-reads that pointer inside
+// shard is touched, and matchedFastAcquire re-reads that pointer inside
 // its shard critical section — so a matched claim either registered
-// before the clear (its claiming CAS then precedes the lock sweep,
+// before the refresh (its claiming CAS then precedes the lock sweep,
 // which imports the hold under the new index) or observes the new
-// pointer and retreats to the slow path.
+// pointer and retreats to the slow path. Both variants publish histVer
+// last, so the matched fast path trusts the shards only once every
+// refresh step is visible.
 func (rt *Runtime) refreshPositionsLocked() {
 	idx := rt.history.Index()
-	if idx.version == rt.histVer.Load() {
+	from := rt.histVer.Load()
+	if idx.version == from {
 		return
 	}
+	if !rt.cfg.IncrementalRefreshDisabled {
+		if added, removed, ok := rt.history.DeltaSince(from, idx.version); ok {
+			// Timed from here, not from DeltaSince: the fold can block on
+			// h.mu behind an in-flight index rebuild, and that wait is
+			// history contention, not refresh work.
+			t0 := time.Now()
+			rt.applyDeltaLocked(idx, added, removed)
+			d := time.Since(t0).Nanoseconds()
+			rt.refreshDelta.Add(1)
+			rt.refreshDeltaNanos.Add(d)
+			if len(added)+len(removed) > 0 {
+				// A gap whose mutations cancel out folds to empty sets and
+				// applies in ~no time; keep the min representative of a
+				// delta that actually changed the position table.
+				storeMin(&rt.refreshDeltaMinNanos, d)
+			}
+			rt.histVer.Store(idx.version)
+			return
+		}
+	}
+	t0 := time.Now()
+	rt.rebuildPositionsLocked(idx)
+	d := time.Since(t0).Nanoseconds()
+	rt.refreshFull.Add(1)
+	rt.refreshFullNanos.Add(d)
+	storeMin(&rt.refreshFullMinNanos, d)
+	rt.histVer.Store(idx.version)
+}
 
+// RefreshCounts reports how many history refreshes ran as incremental
+// delta applications vs full rebuilds.
+func (rt *Runtime) RefreshCounts() (delta, full uint64) {
+	return rt.refreshDelta.Load(), rt.refreshFull.Load()
+}
+
+// RefreshNanos reports the cumulative time spent inside each refresh
+// variant — the direct measure of "refresh cost proportional to the
+// delta, not the history".
+func (rt *Runtime) RefreshNanos() (delta, full int64) {
+	return rt.refreshDeltaNanos.Load(), rt.refreshFullNanos.Load()
+}
+
+// RefreshMinNanos reports the fastest single refresh of each variant
+// (0 = none ran): the uncontended per-refresh cost, robust against
+// preemption landing inside a timed window on a loaded machine. Delta
+// refreshes whose folded change sets are empty (a gap's mutations
+// canceled out) are excluded — they apply in ~no time and would make
+// the minimum unrepresentative.
+func (rt *Runtime) RefreshMinNanos() (delta, full int64) {
+	return rt.refreshDeltaMinNanos.Load(), rt.refreshFullMinNanos.Load()
+}
+
+// ResetRefreshStats zeroes the refresh counters and timings. Benchmarks
+// call it after setup so the initial history attach — a full rebuild of
+// a not-yet-representative runtime — does not pollute the measured
+// refresh costs.
+func (rt *Runtime) ResetRefreshStats() {
+	rt.refreshDelta.Store(0)
+	rt.refreshFull.Store(0)
+	rt.refreshDeltaNanos.Store(0)
+	rt.refreshFullNanos.Store(0)
+	rt.refreshDeltaMinNanos.Store(0)
+	rt.refreshFullMinNanos.Store(0)
+}
+
+// rebuildPositionsLocked is the full-rebuild refresh: every shard is
+// cleared, every slow-managed stack re-registered, the whole lock
+// registry swept. Caller holds rt.mu and publishes histVer afterwards.
+func (rt *Runtime) rebuildPositionsLocked(idx *AvoidIndex) {
 	// 1. Clear every shard's positions, dropping shards of removed
-	// signatures entirely. Yield registrations stay: parked threads are
-	// woken below and re-home themselves against the new index.
+	// signatures entirely. Yield registrations stay: parked threads in
+	// live shards are woken below and re-home themselves against the new
+	// index; a yielder left only in dropped shards re-homes on its own
+	// park timeout.
 	rt.shards.Range(func(key, value any) bool {
 		sh := value.(*sigShard)
 		sh.mu.Lock()
-		sh.slots = make(map[int]map[ThreadID]*Lock)
+		sh.slots = make(map[int]map[ThreadID]map[*Lock]struct{})
 		sh.mu.Unlock()
 		if !idx.HasSigInstance(key.(*sig.Signature)) {
 			rt.shards.Delete(key)
@@ -704,15 +873,13 @@ func (rt *Runtime) refreshPositionsLocked() {
 	locks := rt.locks // append-only: the prefix we iterate is immutable
 	rt.locksMu.Unlock()
 	restored := 0
-	for _, l := range locks {
-		w := l.fast.Load()
+	sweep := func(l *Lock, w uint64) {
 		switch {
 		case w != 0 && w&fastSlowBit == 0:
-			// A live fast hold (or a claim about to publish). Its outer
-			// stack can only be read safely after revocation, so import it
-			// unconditionally; revokeLocked registers exactly the positions
-			// the new index matches, and the lock returns to the fast path
-			// at its next quiet release.
+			// A live fast hold. Its outer stack can only be read safely
+			// after revocation, so import it unconditionally; revokeLocked
+			// registers exactly the positions the new index matches, and
+			// the lock returns to the fast path at its next quiet release.
 			rt.revokeLocked(l)
 		case w == fastSlowBit:
 			// Slow-managed: if free with an empty queue, un-park it.
@@ -722,6 +889,22 @@ func (rt *Runtime) refreshPositionsLocked() {
 			}
 		}
 	}
+	// Claims mid-publish are deferred to a second pass (revokeLocked
+	// would spin them out inline, parking this rebuild behind every
+	// runnable goroutine); by the time the rest of the registry has been
+	// swept their publish windows have closed.
+	var pendingLocks []*Lock
+	for _, l := range locks {
+		w := l.fast.Load()
+		if w&fastPendingBit != 0 && w&fastSlowBit == 0 {
+			pendingLocks = append(pendingLocks, l)
+			continue
+		}
+		sweep(l, w)
+	}
+	for _, l := range pendingLocks {
+		sweep(l, l.fast.Load())
+	}
 	if restored > 0 {
 		rt.locksMu.Lock()
 		if len(rt.locks) >= lockRegistryFloor {
@@ -730,13 +913,196 @@ func (rt *Runtime) refreshPositionsLocked() {
 		rt.locksMu.Unlock()
 	}
 
-	// 4. Wake every parked yielder: its threat was evaluated against the
-	// old index, and its per-shard wake registrations may name shards
-	// the new index no longer routes releases to. Re-evaluation re-yields
-	// with fresh registrations when the threat persists.
-	rt.wakeYieldersLocked()
+	// 4. Wake the yielders parked in live shards: their threats were
+	// evaluated against the old index, and the positions they were
+	// judged against were just rebuilt. A yielder registered under no
+	// live shard — every signature it matched was removed with no
+	// replacement at its top site — gets no wake here: no future release
+	// would ever have reached those dead shards either, so it re-homes on
+	// its own park timeout instead of taking a global broadcast.
+	rt.wakeLiveShardYieldersLocked()
+}
 
-	// Publish the version last: the matched fast path trusts the shards
-	// only once every step above is visible.
-	rt.histVer.Store(idx.version)
+// wakeLiveShardYieldersLocked wakes every yielder registered under a
+// shard still in the shard table. Caller holds rt.mu.
+func (rt *Runtime) wakeLiveShardYieldersLocked() {
+	rt.shards.Range(func(_, value any) bool {
+		sh := value.(*sigShard)
+		sh.mu.Lock()
+		sh.wakeYielders()
+		sh.mu.Unlock()
+		return true
+	})
+}
+
+// applyDeltaLocked is the incremental refresh: the version gap between
+// the position table and idx is exactly (added, removed) signature
+// instances, so only their state moves. Removed signatures' shards are
+// cleared, their yielders woken, and the shards unlinked; existing holds
+// and waits are registered against the added signatures only (an exact
+// top-site probe makes non-matching threads O(1)); and the registry
+// sweep imports only fast holds whose published top-site hash can match
+// an added signature. Every other shard stays live, its positions intact
+// and its yielders parked. Caller holds rt.mu and publishes histVer
+// afterwards.
+//
+// Soundness relative to the full rebuild: signature updates commute —
+// positions of distinct signatures share no state, and a thread's match
+// set against unchanged signatures is unchanged — so registering the
+// same stacks against only the added signatures, and dropping only the
+// removed signatures' shards, reaches exactly the state a full rebuild
+// would, minus shards and wake broadcasts that would be rebuilt
+// identically.
+func (rt *Runtime) applyDeltaLocked(idx *AvoidIndex, added, removed []*sig.Signature) {
+	// 1. Removed signatures: clear and unlink their shards, waking the
+	// yielders parked against them — their threat may be gone, and no
+	// future release will route a wake to an unlinked shard. Stale slot
+	// keys held by threads keep pointing at the dead shard objects;
+	// dropping from a dead shard is a harmless no-op, and the add-scan
+	// below filters them out when it walks the threads anyway.
+	var dead map[*sigShard]struct{}
+	for _, s := range removed {
+		if v, ok := rt.shards.Load(s); ok {
+			sh := v.(*sigShard)
+			sh.mu.Lock()
+			sh.slots = make(map[int]map[ThreadID]map[*Lock]struct{})
+			sh.wakeYielders()
+			sh.mu.Unlock()
+			rt.shards.Delete(s)
+			if dead == nil {
+				dead = make(map[*sigShard]struct{}, len(removed))
+			}
+			dead[sh] = struct{}{}
+		}
+	}
+	if len(added) == 0 {
+		return
+	}
+
+	// 2. Added signatures: register existing slow-managed holds and
+	// waits against them. addedSet identifies the new refs inside the
+	// index's candidate groups; addedTops (exact top sites) rejects
+	// non-matching stacks with one map probe, and addedTopHashes is the
+	// atomic-read form the registry sweep below filters fast holds with.
+	addedSet := make(map[*sig.Signature]struct{}, len(added))
+	addedTops := make(map[topKey]struct{}, len(added)*2)
+	addedTopHashes := make(map[uint64]struct{}, len(added)*2)
+	for _, s := range added {
+		addedSet[s] = struct{}{}
+		for _, t := range s.Threads {
+			top := t.Outer.Top()
+			addedTops[topKeyOf(top)] = struct{}{}
+			addedTopHashes[frameFilterKey(&top)] = struct{}{}
+		}
+	}
+	appendAdded := func(tid ThreadID, l *Lock, cs sig.Stack, slots []slotKey) []slotKey {
+		if len(dead) != 0 {
+			kept := slots[:0]
+			for _, k := range slots {
+				if _, gone := dead[k.shard]; !gone {
+					kept = append(kept, k)
+				}
+			}
+			slots = kept
+		}
+		if len(cs) == 0 {
+			return slots
+		}
+		top := cs.Top()
+		if _, hit := addedTops[topKeyOf(top)]; !hit {
+			return slots
+		}
+		for _, r := range idx.Candidates(cs) {
+			if _, isNew := addedSet[r.Sig]; !isNew {
+				continue
+			}
+			if !cs.HasSuffix(r.Sig.Threads[r.Slot].Outer) {
+				continue
+			}
+			sh := rt.shardFor(r.Sig)
+			sh.mu.Lock()
+			sh.put(r.Slot, tid, l)
+			sh.mu.Unlock()
+			slots = append(slots, slotKey{shard: sh, slot: r.Slot})
+		}
+		return slots
+	}
+	for tid, ts := range rt.threads {
+		for _, h := range ts.held {
+			h.slots = appendAdded(tid, h.lock, h.outer, h.slots)
+		}
+		if ts.wait != nil {
+			ts.wait.slots = appendAdded(tid, ts.wait.lock, ts.wait.stack, ts.wait.slots)
+		}
+	}
+
+	// 3. Sweep the lock registry, filtered: only a fast hold whose
+	// published top-site hash appears among the added signatures' top
+	// sites can newly occupy a slot, so everything else is one atomic
+	// load. Free slow-mode locks are still restored unconditionally —
+	// restoration is what lets the prune drop discarded locks, and an
+	// added signature is exactly when the full path would have done it.
+	rt.locksMu.Lock()
+	locks := rt.locks // append-only: the prefix we iterate is immutable
+	rt.locksMu.Unlock()
+	restored := 0
+	sweep := func(l *Lock, w uint64) {
+		switch {
+		case w != 0 && w&fastSlowBit == 0:
+			if _, hit := addedTopHashes[l.fastTop.Load()]; hit {
+				rt.revokeLocked(l)
+			}
+		case w == fastSlowBit:
+			rt.maybeRestoreFastLocked(l)
+			if l.fast.Load() == 0 {
+				restored++
+			}
+		}
+	}
+	// Two passes: a claim mid-publish must be waited out before its
+	// fastTop is readable (the claim may have validated against the old
+	// index), but yielding to it inline parks this sweep behind every
+	// runnable goroutine. Defer pending words and settle them after the
+	// rest of the registry — their nanosecond-scale publish windows have
+	// closed by then, so the second pass almost never spins.
+	var pendingLocks []*Lock
+	for _, l := range locks {
+		w := l.fast.Load()
+		if w&fastPendingBit != 0 && w&fastSlowBit == 0 {
+			pendingLocks = append(pendingLocks, l)
+			continue
+		}
+		sweep(l, w)
+	}
+	for _, l := range pendingLocks {
+		w := l.fast.Load()
+		for w&fastPendingBit != 0 && w&fastSlowBit == 0 {
+			runtime.Gosched()
+			w = l.fast.Load()
+		}
+		sweep(l, w)
+	}
+	if restored > 0 {
+		rt.locksMu.Lock()
+		if len(rt.locks) >= lockRegistryFloor {
+			rt.pruneLocksLocked()
+		}
+		rt.locksMu.Unlock()
+	}
+
+	// 4. Wake only the yielders parked in the changed shards: removed
+	// ones were woken in step 1; added signatures' shards are fresh (a
+	// yielder cannot be parked under a shard that did not exist when it
+	// parked, so there is nothing to wake there). Yielders elsewhere
+	// keep sleeping — their signatures' positions did not change, so
+	// their threat verdicts still hold.
+
+	// Re-unlink any removed shard a concurrent matched claim resurrected
+	// via shardFor's LoadOrStore between our pre-validation window and
+	// now: the claim itself aborts (it re-reads the index pointer inside
+	// its shard critical section), but the empty shard object would
+	// linger in the table.
+	for _, s := range removed {
+		rt.shards.Delete(s)
+	}
 }

@@ -44,9 +44,13 @@ import (
 // probe at all.
 type sigShard struct {
 	mu sync.Mutex
-	// slots maps slot index → thread → the lock that thread holds (or
-	// waits for) with a stack matching that slot's outer stack.
-	slots map[int]map[ThreadID]*Lock
+	// slots maps slot index → thread → the set of locks that thread holds
+	// (or waits for) with a stack matching that slot's outer stack. A set,
+	// not a single lock: one thread can hold several locks whose stacks
+	// match the same slot, and dropping one of them must not erase the
+	// others' positions (the full-rebuild-per-change era masked exactly
+	// that loss by re-registering everything on every history mutation).
+	slots map[int]map[ThreadID]map[*Lock]struct{}
 	// yielders are the threads suspended by avoidance whose stacks match
 	// this signature; a matched fast release wakes them without touching
 	// rt.mu. Every yielder is also in rt.yielders (for cycle resolution,
@@ -56,32 +60,43 @@ type sigShard struct {
 
 func newSigShard() *sigShard {
 	return &sigShard{
-		slots:    make(map[int]map[ThreadID]*Lock),
+		slots:    make(map[int]map[ThreadID]map[*Lock]struct{}),
 		yielders: make(map[ThreadID]*yielder),
 	}
 }
 
-// put records (tid, l) in the slot's position map. Caller holds sh.mu.
+// put records (tid, l) in the slot's position map; idempotent, so a
+// revocation re-registering a fast hold's slots changes nothing. Caller
+// holds sh.mu.
 func (sh *sigShard) put(slot int, tid ThreadID, l *Lock) {
 	m := sh.slots[slot]
 	if m == nil {
-		m = make(map[ThreadID]*Lock)
+		m = make(map[ThreadID]map[*Lock]struct{})
 		sh.slots[slot] = m
 	}
-	m[tid] = l
+	ls := m[tid]
+	if ls == nil {
+		ls = make(map[*Lock]struct{}, 1)
+		m[tid] = ls
+	}
+	ls[l] = struct{}{}
 }
 
-// drop removes tid from the slot's position map, reporting whether an
-// entry was removed. Caller holds sh.mu.
-func (sh *sigShard) drop(slot int, tid ThreadID) bool {
+// drop removes (tid, l) from the slot's position map, reporting whether
+// an entry was removed. Caller holds sh.mu.
+func (sh *sigShard) drop(slot int, tid ThreadID, l *Lock) bool {
 	m := sh.slots[slot]
 	if m == nil {
 		return false
 	}
-	if _, ok := m[tid]; !ok {
+	ls := m[tid]
+	if _, ok := ls[l]; !ok {
 		return false
 	}
-	delete(m, tid)
+	delete(ls, l)
+	if len(ls) == 0 {
+		delete(m, tid)
+	}
 	return true
 }
 
@@ -161,16 +176,17 @@ func (rt *Runtime) registerPositions(tid ThreadID, l *Lock, cs sig.Stack) []slot
 	return keys
 }
 
-// unregisterPositions removes tid from the given slots. The keys carry
+// unregisterPositions removes (tid, l) from the given slots — l is the
+// lock the hold or wait the keys belong to was for. The keys carry
 // their shard pointers, so no table probe is needed; a key whose shard
 // was meanwhile pruned (signature removed) drops from the dead object —
 // a harmless no-op, since the refresh cleared it. Slow-path callers
 // (rt.mu held) follow up with wakeYieldersLocked, which covers every
 // shard's yielders, so no per-shard wake is needed here.
-func (rt *Runtime) unregisterPositions(tid ThreadID, keys []slotKey) {
+func (rt *Runtime) unregisterPositions(tid ThreadID, l *Lock, keys []slotKey) {
 	for _, key := range keys {
 		key.shard.mu.Lock()
-		key.shard.drop(key.slot, tid)
+		key.shard.drop(key.slot, tid, l)
 		key.shard.mu.Unlock()
 	}
 }
@@ -210,9 +226,14 @@ func (rt *Runtime) instantiationThreat(refs []SlotRef, shards []*sigShard, tid T
 func (sh *sigShard) matchSlots(r SlotRef, tid ThreadID, l *Lock) map[ThreadID]*Lock {
 	n := len(r.Sig.Threads)
 	if n == 2 {
-		for t, held := range sh.slots[1-r.Slot] {
-			if t != tid && held != l {
-				return map[ThreadID]*Lock{t: held}
+		for t, locks := range sh.slots[1-r.Slot] {
+			if t == tid {
+				continue
+			}
+			for held := range locks {
+				if held != l {
+					return map[ThreadID]*Lock{t: held}
+				}
 			}
 		}
 		return nil
@@ -231,20 +252,22 @@ func (sh *sigShard) matchSlots(r SlotRef, tid ThreadID, l *Lock) map[ThreadID]*L
 		if k == len(slots) {
 			return true
 		}
-		for t, held := range sh.slots[slots[k]] {
+		for t, locks := range sh.slots[slots[k]] {
 			if _, taken := usedThreads[t]; taken {
 				continue
 			}
-			if _, taken := usedLocks[held]; taken {
-				continue
+			for held := range locks {
+				if _, taken := usedLocks[held]; taken {
+					continue
+				}
+				usedThreads[t] = held
+				usedLocks[held] = struct{}{}
+				if assign(k + 1) {
+					return true
+				}
+				delete(usedThreads, t)
+				delete(usedLocks, held)
 			}
-			usedThreads[t] = held
-			usedLocks[held] = struct{}{}
-			if assign(k + 1) {
-				return true
-			}
-			delete(usedThreads, t)
-			delete(usedLocks, held)
 		}
 		return false
 	}
@@ -262,15 +285,24 @@ func (sh *sigShard) matchSlots(r SlotRef, tid ThreadID, l *Lock) map[ThreadID]*L
 // publishes the word. It reports whether the grant was published; false
 // means the caller must abort the claim and take the slow path (a threat
 // exists, or the index moved under the claim).
-func (rt *Runtime) matchedFastAcquire(tid ThreadID, l *Lock, cs sig.Stack, idx *AvoidIndex, refs []SlotRef) bool {
+//
+// When the threat is live, the evaluation is not thrown away: a
+// threatCarry is returned holding the computed blocker set inside a
+// yielder already registered in the matched shards — registered under
+// the same shard critical section that evaluated the threat, so a
+// position release resolving it before the slow path parks cannot be
+// missed (the wake buffers in the yielder's channel). avoidLocked adopts
+// the carry if the index is still current, skipping the rt.mu-side
+// re-match and re-evaluation.
+func (rt *Runtime) matchedFastAcquire(tid ThreadID, l *Lock, cs sig.Stack, idx *AvoidIndex, refs []SlotRef) (bool, *threatCarry) {
 	// Pre-validate before resolving shards: appendShards creates missing
 	// shard objects, and a claim working off a superseded index would
 	// resurrect just-pruned shards for removed signatures. This check
 	// makes that a narrow race instead of the common case; an orphan
 	// created in the remaining window is empty (the claim aborts below)
-	// and is pruned by the next refresh.
-	if rt.histVer.Load() != idx.version {
-		return false
+	// and is unlinked by the next refresh that touches the signature.
+	if rt.histVer.Load() != idx.version || rt.history.idx.Load() != idx {
+		return false, nil
 	}
 	var sbuf [4]*sigShard // stacks match 1 signature almost always
 	shards := rt.appendShards(sbuf[:0], refs)
@@ -296,11 +328,27 @@ func (rt *Runtime) matchedFastAcquire(tid ThreadID, l *Lock, cs sig.Stack, idx *
 	// published hold under the new index.
 	if rt.histVer.Load() != idx.version || rt.history.idx.Load() != idx {
 		unlockShards(shards)
-		return false
+		return false, nil
 	}
-	if sigID, _ := rt.instantiationThreat(refs, shards, tid, l); sigID != "" {
+	if sigID, blockers := rt.instantiationThreat(refs, shards, tid, l); sigID != "" {
+		y := &yielder{
+			thread:   tid,
+			blockers: blockers,
+			wake:     make(chan struct{}, 1),
+		}
+		for _, sh := range shards {
+			sh.yielders[tid] = y
+		}
+		// Copy the shard list off the stack buffer only on this rare
+		// path, so the no-threat fast path stays allocation-free.
+		carry := &threatCarry{
+			idx:    idx,
+			shards: append([]*sigShard(nil), shards...),
+			sigID:  sigID,
+			y:      y,
+		}
 		unlockShards(shards)
-		return false
+		return false, carry
 	}
 	keys := l.fastSlots[:0] // reuse the backing array across holds
 	si := 0
@@ -314,9 +362,10 @@ func (rt *Runtime) matchedFastAcquire(tid ThreadID, l *Lock, cs sig.Stack, idx *
 	unlockShards(shards)
 	l.fastOuter = cs
 	l.fastSlots = keys
+	l.fastTop.Store(stackTopHash(cs))
 	l.fast.Store(uint64(tid))
 	rt.stats.acquisitions.Add(1)
-	return true
+	return true, nil
 }
 
 // unregisterFastHold drops a published matched hold's positions and
@@ -337,7 +386,7 @@ func (rt *Runtime) unregisterFastHold(tid ThreadID, l *Lock) {
 		sh.mu.Lock()
 		removed := false
 		for _, k := range keys[i:j] {
-			if sh.drop(k.slot, tid) {
+			if sh.drop(k.slot, tid, l) {
 				removed = true
 			}
 		}
