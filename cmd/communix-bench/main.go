@@ -98,7 +98,36 @@ func run() int {
 	replSoloSubs := flag.String("repl-solo-subs", "", "repl: solo-arm subscriber counts, comma-separated (default quick \"25,50\")")
 	replSubs := flag.String("repl-subs", "", "repl: replicated-arm subscriber counts (default quick \"50,100\")")
 	replPushers := flag.Int("repl-pushers", 0, "repl: fixed per-server pusher budget for both arms (0 = default 2)")
+	uploadAddrs := flag.String("upload-addrs", "", "upload (CI chaos smoke): comma-separated cell member addresses")
+	uploadToken := flag.String("upload-token", "", "upload: encrypted user token (server -mint output)")
+	uploadN := flag.Int("upload-n", 0, "upload: distinct signatures to upload (0 = default 20)")
+	uploadSeed := flag.Int("upload-seed", 0, "upload: deterministic signature stream seed (0 = default 1)")
+	uploadTimeout := flag.Int("upload-timeout", 0, "upload: deadline in seconds, retries included (0 = default 60)")
 	flag.Parse()
+
+	// Upload mode: this process is the chaos smoke's write load; it
+	// retries every upload until a cell member acknowledges it and exits
+	// nonzero if any upload never lands.
+	if *experiment == "upload" {
+		var addrs []string
+		for _, a := range strings.Split(*uploadAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		_, err := bench.UploadBurst(bench.UploadBurstConfig{
+			Addrs:      addrs,
+			Token:      *uploadToken,
+			N:          *uploadN,
+			Seed:       *uploadSeed,
+			TimeoutSec: *uploadTimeout,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "communix-bench: upload: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	// Worker mode: this process IS one protected application of the e2e
 	// experiment; it prints one JSON result line and exits.

@@ -147,8 +147,10 @@ func inspectDataDir(dir string, verbose bool) error {
 // signatures) stays within int on 32-bit builds.
 const sizeProbeFrom = 1 << 30
 
-// probeServer reports a live server's database size without downloading
-// the database: GET(sizeProbeFrom) returns no signatures, only Next.
+// probeServer reports a live server's replication role, epoch, and
+// database size. The probe opens a v2 session so the HELLO reply carries
+// role/epoch/primary, then measures size without downloading the
+// database: GET(sizeProbeFrom) returns no signatures, only Next.
 func probeServer(addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -156,7 +158,19 @@ func probeServer(addr string) error {
 	}
 	defer conn.Close()
 	c := wire.NewConn(conn)
-	if err := c.Send(wire.NewGet(sizeProbeFrom)); err != nil {
+	if err := c.Send(wire.NewHello(1)); err != nil {
+		return err
+	}
+	var hello wire.Response
+	if err := c.Recv(&hello); err != nil {
+		return err
+	}
+	if hello.Status != wire.StatusOK {
+		return fmt.Errorf("server %s: %s: %s", addr, hello.Status, hello.Detail)
+	}
+	get := wire.NewGet(sizeProbeFrom)
+	get.ID = 2
+	if err := c.Send(get); err != nil {
 		return err
 	}
 	var resp wire.Response
@@ -166,7 +180,14 @@ func probeServer(addr string) error {
 	if resp.Status != wire.StatusOK {
 		return fmt.Errorf("server %s: %s: %s", addr, resp.Status, resp.Detail)
 	}
-	fmt.Printf("server %s: %d signature(s)\n", addr, resp.Next-1)
+	role := hello.Role
+	if role == "" {
+		role = "primary"
+	}
+	fmt.Printf("server %s: %s at epoch %d, %d signature(s)\n", addr, role, hello.Epoch, resp.Next-1)
+	if hello.Primary != "" && role != "primary" {
+		fmt.Printf("  primary: %s\n", hello.Primary)
+	}
 	return nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"communix"
@@ -62,6 +63,13 @@ func run() int {
 	maxSubs := flag.Int("max-subs", 0, "push-admitted subscriber cap; surplus subscribers shed to catch-up GETs (0 = unlimited)")
 	follow := flag.String("follow", "", "run as a follower replica of the primary at this address (SIGUSR1 promotes to primary)")
 	advertise := flag.String("advertise", "", "address clients should upload to when this server is primary (defaults to -addr)")
+	ack := flag.String("ack", "async", "upload acknowledgement contract: async|quorum (quorum withholds OK until a majority of the cell holds the entry)")
+	peersFlag := flag.String("peers", "", "comma-separated addresses of the other cell members; non-empty arms automatic failover (election on primary silence)")
+	electionTimeout := flag.Duration("election-timeout", 0, "base primary-silence window before a follower starts an election, jittered to [T,2T) (0 = default 10s)")
+	pingInterval := flag.Duration("ping-interval", 0, "follower keepalive/cursor-report cadence on the replication session (0 = default 10s)")
+	ackTimeout := flag.Duration("ack-timeout", 0, "quorum-mode wait for majority durability before an ADD degrades to busy (0 = default 5s)")
+	ackWindow := flag.Int("ack-window", 0, "quorum-mode cap on ADDs awaiting acknowledgement; beyond it ADDs answer busy immediately (0 = default 4096)")
+	maxSubsPerUser := flag.Int("max-subs-per-user", 0, "push subscriptions per user; SUBSCRIBE then requires a valid token (0 = unlimited)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -73,22 +81,35 @@ func run() int {
 	if adv == "" {
 		adv = *addr
 	}
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
 
 	srv, err := communix.NewServer(communix.ServerConfig{
-		Key:           key,
-		MaxPerDay:     *maxPerDay,
-		Shards:        *shards,
-		IngestWorkers: *ingestWorkers,
-		IngestQueue:   *ingestQueue,
-		DataDir:       *dataDir,
-		Fsync:         *fsync,
-		GetBatch:      *getBatch,
-		PushMaxLag:    *pushLag,
-		Pushers:       *pushers,
-		MaxSessions:   *maxSessions,
-		MaxSubs:       *maxSubs,
-		Follow:        *follow,
-		Advertise:     adv,
+		Key:             key,
+		MaxPerDay:       *maxPerDay,
+		Shards:          *shards,
+		IngestWorkers:   *ingestWorkers,
+		IngestQueue:     *ingestQueue,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		GetBatch:        *getBatch,
+		PushMaxLag:      *pushLag,
+		Pushers:         *pushers,
+		MaxSessions:     *maxSessions,
+		MaxSubs:         *maxSubs,
+		MaxSubsPerUser:  *maxSubsPerUser,
+		Follow:          *follow,
+		Advertise:       adv,
+		AckMode:         *ack,
+		Peers:           peers,
+		ElectionTimeout: *electionTimeout,
+		PingInterval:    *pingInterval,
+		AckTimeout:      *ackTimeout,
+		AckWindow:       *ackWindow,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "communix-server: "+format+"\n", args...)
 		},

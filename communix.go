@@ -176,8 +176,37 @@ type ServerConfig struct {
 	// Advertise is the address this server tells clients to upload to
 	// when it is the primary (carried in HELLO replies). Optional.
 	Advertise string
+	// AckMode selects the upload acknowledgement contract: "async" (the
+	// default — StatusOK once the entry is durable locally) or "quorum"
+	// (StatusOK only once a majority of the cell holds the entry, so no
+	// acknowledged upload can be lost to a failover).
+	AckMode string
+	// NodeID names this server inside a replicated cell (cursor reports,
+	// election votes, tiebreaks). Defaults to Advertise.
+	NodeID string
+	// Peers lists the other members of the replicated cell. Non-empty
+	// arms automatic failover: followers elect a replacement primary
+	// (majority vote, epoch-fenced) when the primary goes silent, and a
+	// superseded primary demotes itself back to follower.
+	Peers []string
+	// ElectionTimeout is the base failure-detection window before a
+	// follower suspects its primary (jittered to [T, 2T); default 10s).
+	// Keep it comfortably above PingInterval.
+	ElectionTimeout time.Duration
+	// PingInterval is the follower's keepalive/cursor-report cadence on
+	// the replication session (default 10s).
+	PingInterval time.Duration
+	// AckTimeout bounds a quorum-mode upload's wait for majority
+	// durability before degrading to a busy answer (default 5s).
+	AckTimeout time.Duration
+	// AckWindow caps quorum-mode uploads awaiting acknowledgement;
+	// beyond it ADDs answer busy immediately (default 4096).
+	AckWindow int
+	// MaxSubsPerUser caps push subscriptions per authenticated user;
+	// SUBSCRIBE then requires a valid token. 0 = no per-user cap.
+	MaxSubsPerUser int
 	// Logf receives operational log lines (replication retries,
-	// promotions); nil discards them.
+	// promotions, elections); nil discards them.
 	Logf func(format string, args ...any)
 }
 
@@ -190,22 +219,34 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("communix: %w", err)
 	}
+	ack, err := server.ParseAckMode(cfg.AckMode)
+	if err != nil {
+		return nil, fmt.Errorf("communix: %w", err)
+	}
 	return server.New(server.Config{
-		Key:           cfg.Key,
-		MaxPerDay:     cfg.MaxPerDay,
-		Shards:        cfg.Shards,
-		IngestWorkers: cfg.IngestWorkers,
-		IngestQueue:   cfg.IngestQueue,
-		DataDir:       cfg.DataDir,
-		Fsync:         fsync,
-		GetBatch:      cfg.GetBatch,
-		PushMaxLag:    cfg.PushMaxLag,
-		Pushers:       cfg.Pushers,
-		MaxSessions:   cfg.MaxSessions,
-		MaxSubs:       cfg.MaxSubs,
-		Follow:        cfg.Follow,
-		Advertise:     cfg.Advertise,
-		Logf:          cfg.Logf,
+		Key:             cfg.Key,
+		MaxPerDay:       cfg.MaxPerDay,
+		Shards:          cfg.Shards,
+		IngestWorkers:   cfg.IngestWorkers,
+		IngestQueue:     cfg.IngestQueue,
+		DataDir:         cfg.DataDir,
+		Fsync:           fsync,
+		GetBatch:        cfg.GetBatch,
+		PushMaxLag:      cfg.PushMaxLag,
+		Pushers:         cfg.Pushers,
+		MaxSessions:     cfg.MaxSessions,
+		MaxSubs:         cfg.MaxSubs,
+		MaxSubsPerUser:  cfg.MaxSubsPerUser,
+		Follow:          cfg.Follow,
+		Advertise:       cfg.Advertise,
+		AckMode:         ack,
+		NodeID:          cfg.NodeID,
+		Peers:           cfg.Peers,
+		ElectionTimeout: cfg.ElectionTimeout,
+		FollowPing:      cfg.PingInterval,
+		AckTimeout:      cfg.AckTimeout,
+		AckWindow:       cfg.AckWindow,
+		Logf:            cfg.Logf,
 	})
 }
 

@@ -1,0 +1,482 @@
+// Failover experiment: what the quorum acknowledgement contract costs
+// on the upload path, and what automatic failover delivers when the
+// primary dies (BENCH_repl.json, alongside the capacity surface).
+//
+// The ACK arm runs the same 3-node cell (one primary, two followers
+// replicating over in-process pipes) under both acknowledgement modes
+// and measures per-ADD latency: async ACKs at local durability, quorum
+// withholds the ACK until a majority of the cell holds the entry — the
+// difference is the price of "an acknowledged upload survives any
+// single-node failure".
+//
+// The failover arm kills the primary mid-burst in a quorum cell with
+// the elector armed and measures time-to-recovery from the moment of
+// the kill: detection (jittered silence threshold) + election (vote
+// round) + promotion shows up as PromotionMS, and the first
+// successfully re-routed upload as RecoveryMS. The arm then reads the
+// whole database back from the new primary and proves the contract:
+// every acknowledged upload present exactly once — zero loss, zero
+// duplicates.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"time"
+
+	"communix/internal/ids"
+	"communix/internal/server"
+	"communix/internal/sig"
+	"communix/internal/sig/sigtest"
+	"communix/internal/wire"
+
+	"math/rand"
+)
+
+// AckLatencyCell is one acknowledgement-mode arm: per-ADD latency
+// percentiles through a 3-node cell.
+type AckLatencyCell struct {
+	Mode  string  `json:"mode"`
+	Adds  int     `json:"adds"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// FailoverResult is the automatic-failover arm: recovery timings and
+// the acknowledged-durability audit.
+type FailoverResult struct {
+	Nodes             int     `json:"nodes"`
+	AckMode           string  `json:"ack_mode"`
+	ElectionTimeoutMS float64 `json:"election_timeout_ms"`
+	// Acked counts uploads the cell acknowledged (all of them, by
+	// construction — the loader retries each upload until ACKed);
+	// AckedBeforeKill is how many landed before the primary died.
+	Acked           int `json:"acked"`
+	AckedBeforeKill int `json:"acked_before_kill"`
+	// PromotedNode won the election at NewEpoch; PromotionMS is
+	// kill → the winner serving as primary (detection + election),
+	// RecoveryMS is kill → the first re-routed upload ACKed.
+	PromotedNode string  `json:"promoted_node"`
+	NewEpoch     uint64  `json:"new_epoch"`
+	PromotionMS  float64 `json:"promotion_ms"`
+	RecoveryMS   float64 `json:"recovery_ms"`
+	// Lost/Duplicated audit the contract against the new primary's
+	// database: acknowledged uploads missing, and signatures present
+	// more than once. Both must be 0.
+	Lost       int `json:"lost"`
+	Duplicated int `json:"duplicated"`
+	FinalSize  int `json:"final_size"`
+}
+
+// failoverDefaultElection is the failover arm's base detection window.
+// Short enough that the arm finishes in seconds, long enough that pipe
+// round-trips (~µs) never false-trigger it.
+const failoverDefaultElection = 250 * time.Millisecond
+
+// failNode is one member of an in-process cell: a server behind a
+// dialable pipe listener, addressed by name.
+type failNode struct {
+	name string
+	srv  *server.Server
+	l    *pipeListener
+}
+
+// failCell resolves cell names to pipe dials. The map is fully
+// populated before any server starts (dials from follow/elector
+// goroutines race with construction otherwise) and immutable after;
+// killing a node closes its listener (dials start failing) without
+// mutating the map.
+type failCell map[string]*failNode
+
+func (fc failCell) dial(addr string) (net.Conn, error) {
+	n, ok := fc[addr]
+	if !ok {
+		return nil, fmt.Errorf("bench: no cell node %q", addr)
+	}
+	return n.l.Dial()
+}
+
+func (fc failCell) close() {
+	for _, n := range fc {
+		n.l.Close()
+		if n.srv != nil {
+			n.srv.Close()
+		}
+	}
+}
+
+// newFailCell builds a named cell: names[0] is the primary, the rest
+// follow it. elect arms every node's elector with the rest of the cell;
+// without it only replication runs (the ACK arm wants latency
+// unpolluted by probe traffic).
+func newFailCell(names []string, mode server.AckMode, electionTimeout time.Duration, elect bool) (failCell, error) {
+	cell := failCell{}
+	for _, name := range names {
+		cell[name] = &failNode{name: name, l: newPipeListener()}
+	}
+	dial := cell.dial
+	for i, name := range names {
+		var peers []string
+		if elect {
+			for _, p := range names {
+				if p != name {
+					peers = append(peers, p)
+				}
+			}
+		}
+		cfg := server.Config{
+			Key:             e2eKey,
+			MaxPerDay:       1 << 30,
+			Advertise:       name,
+			NodeID:          name,
+			Peers:           peers,
+			PeerDial:        dial,
+			AckMode:         mode,
+			AckTimeout:      30 * time.Second,
+			ElectionTimeout: electionTimeout,
+			FollowPing:      25 * time.Millisecond,
+		}
+		if i > 0 {
+			cfg.Follow = names[0]
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			cell.close()
+			return nil, fmt.Errorf("bench: failover node %s: %w", name, err)
+		}
+		n := cell[name]
+		n.srv = srv
+		go srv.Serve(n.l)
+	}
+	return cell, nil
+}
+
+// failoverSigs pre-generates n distinct-top signatures plus their ADD
+// requests (index-aligned), tagged so commit never rejects them.
+func failoverSigs(n, seed int) ([]wire.Request, []string, error) {
+	authority, err := ids.NewAuthority(e2eKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	const reporters = 16
+	tokens := make([]ids.Token, reporters)
+	for i := range tokens {
+		_, tokens[i] = authority.Issue()
+	}
+	reqs := make([]wire.Request, n)
+	idsOut := make([]string, n)
+	r := rand.New(rand.NewSource(int64(seed)))
+	for i := range reqs {
+		s := sigtest.DistinctTops(r, sigtest.DefaultVocabulary, seed*1000000+i, 6, 9)
+		req, err := wire.NewAdd(tokens[i%reporters], s)
+		if err != nil {
+			return nil, nil, err
+		}
+		reqs[i] = req
+		idsOut[i] = s.ID()
+	}
+	return reqs, idsOut, nil
+}
+
+// latencyPercentileMS is the exact percentile of a sorted latency slice.
+func latencyPercentileMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// ackLatency measures per-ADD latency through a 3-node cell in one
+// acknowledgement mode. ADDs go through the primary's direct Process
+// path (as the fleet loader does), so the quorum gate — which lives in
+// Process — is inside the measurement while harness connection cost is
+// not.
+func ackLatency(mode server.AckMode, adds int) (AckLatencyCell, error) {
+	modeName := "async"
+	if mode == server.AckQuorum {
+		modeName = "quorum"
+	}
+	out := AckLatencyCell{Mode: modeName, Adds: adds}
+	cell, err := newFailCell([]string{"a1", "a2", "a3"}, mode, time.Minute, false)
+	if err != nil {
+		return out, err
+	}
+	defer cell.close()
+	const warmup = 8
+	reqs, _, err := failoverSigs(adds+warmup, 1)
+	if err != nil {
+		return out, err
+	}
+	primary := cell["a1"].srv
+	// Warm up until both followers hold the prefix, so the measured
+	// window never includes follower connect/bootstrap cost.
+	for i := 0; i < warmup; i++ {
+		if resp := primary.Process(reqs[i]); resp.Status != wire.StatusOK {
+			return out, fmt.Errorf("bench: ack %s warmup ADD %d: %s %s", modeName, i, resp.Status, resp.Detail)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, f := range []string{"a2", "a3"} {
+		for cell[f].srv.Store().Len() < warmup {
+			if time.Now().After(deadline) {
+				return out, fmt.Errorf("bench: ack %s: follower %s never caught up", modeName, f)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	lats := make([]time.Duration, adds)
+	for i := 0; i < adds; i++ {
+		t := time.Now()
+		if resp := primary.Process(reqs[warmup+i]); resp.Status != wire.StatusOK {
+			return out, fmt.Errorf("bench: ack %s ADD %d: %s %s", modeName, i, resp.Status, resp.Detail)
+		}
+		lats[i] = time.Since(t)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	out.P50MS = latencyPercentileMS(lats, 0.50)
+	out.P95MS = latencyPercentileMS(lats, 0.95)
+	out.P99MS = latencyPercentileMS(lats, 0.99)
+	out.MaxMS = float64(lats[len(lats)-1]) / float64(time.Millisecond)
+	return out, nil
+}
+
+// AckCompare runs the ACK arm in both modes on identical cells.
+func AckCompare(adds int) ([]AckLatencyCell, error) {
+	if adds <= 0 {
+		adds = 300
+	}
+	var out []AckLatencyCell
+	for _, mode := range []server.AckMode{server.AckAsync, server.AckQuorum} {
+		cellRes, err := ackLatency(mode, adds)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, cellRes)
+	}
+	return out, nil
+}
+
+// FailoverConfig parameterizes the failover arm.
+type FailoverConfig struct {
+	// ElectionTimeout is the base detection window (default 250ms).
+	ElectionTimeout time.Duration
+	// Adds is the total acknowledged-upload target (default 80);
+	// KillAfter is how many land before the primary dies (default 30).
+	Adds      int
+	KillAfter int
+	// TimeoutSec bounds the whole arm (default 60).
+	TimeoutSec int
+}
+
+// FailoverBench kills the primary of a quorum cell mid-burst and
+// measures recovery, then audits acknowledged durability against the
+// new primary's database.
+func FailoverBench(cfg FailoverConfig) (FailoverResult, error) {
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = failoverDefaultElection
+	}
+	if cfg.Adds <= 0 {
+		cfg.Adds = 80
+	}
+	if cfg.KillAfter <= 0 || cfg.KillAfter >= cfg.Adds {
+		cfg.KillAfter = cfg.Adds / 3
+	}
+	if cfg.TimeoutSec <= 0 {
+		cfg.TimeoutSec = 60
+	}
+	deadline := time.Now().Add(time.Duration(cfg.TimeoutSec) * time.Second)
+	names := []string{"f1", "f2", "f3"}
+	out := FailoverResult{
+		Nodes:             len(names),
+		AckMode:           "quorum",
+		ElectionTimeoutMS: float64(cfg.ElectionTimeout) / float64(time.Millisecond),
+	}
+	cell, err := newFailCell(names, server.AckQuorum, cfg.ElectionTimeout, true)
+	if err != nil {
+		return out, err
+	}
+	defer cell.close()
+	reqs, sigIDs, err := failoverSigs(cfg.Adds, 2)
+	if err != nil {
+		return out, err
+	}
+
+	// upload pushes one ADD until some node ACKs it, chasing NotPrimary
+	// redirects and riding out Busy/our-connection-died windows — the
+	// retry discipline the real client uses, reduced to one-shot wire
+	// exchanges so the harness controls every attempt.
+	preferred := names[0]
+	upload := func(req wire.Request) error {
+		for {
+			order := []string{preferred}
+			for _, n := range names {
+				if n != preferred {
+					order = append(order, n)
+				}
+			}
+			for _, name := range order {
+				conn, err := cell.dial(name)
+				if err != nil {
+					continue
+				}
+				_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+				c := wire.NewConn(conn)
+				if c.Send(req) != nil {
+					conn.Close()
+					continue
+				}
+				var resp wire.Response
+				err = c.Recv(&resp)
+				conn.Close()
+				if err != nil {
+					continue
+				}
+				switch resp.Status {
+				case wire.StatusOK:
+					preferred = name
+					return nil
+				case wire.StatusNotPrimary:
+					if resp.Primary != "" {
+						preferred = resp.Primary
+					}
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: failover: upload not acknowledged before deadline")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	for i := 0; i < cfg.KillAfter; i++ {
+		if err := upload(reqs[i]); err != nil {
+			return out, err
+		}
+	}
+	out.AckedBeforeKill = cfg.KillAfter
+
+	// Watch the survivors for the promotion from the instant of the kill.
+	type promotion struct {
+		node *failNode
+		at   time.Time
+	}
+	promoted := make(chan promotion, 1)
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		for {
+			for _, name := range names[1:] {
+				if cell[name].srv.Role() == "primary" {
+					promoted <- promotion{cell[name], time.Now()}
+					return
+				}
+			}
+			select {
+			case <-stopWatch:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	killedAt := time.Now()
+	cell["f1"].l.Close()
+	cell["f1"].srv.Close()
+
+	if err := upload(reqs[cfg.KillAfter]); err != nil {
+		return out, err
+	}
+	out.RecoveryMS = float64(time.Since(killedAt)) / float64(time.Millisecond)
+	for i := cfg.KillAfter + 1; i < cfg.Adds; i++ {
+		if err := upload(reqs[i]); err != nil {
+			return out, err
+		}
+	}
+	out.Acked = cfg.Adds
+
+	var win promotion
+	select {
+	case win = <-promoted:
+	case <-time.After(time.Until(deadline)):
+		return out, fmt.Errorf("bench: failover: uploads recovered but no survivor reports primary role")
+	}
+	winner := win.node
+	out.PromotedNode = winner.name
+	out.NewEpoch = winner.srv.Store().Epoch()
+	// The watcher polls at 2ms, so this overestimates the role flip by
+	// at most that; the recovery upload bounds it from above anyway.
+	out.PromotionMS = float64(win.at.Sub(killedAt)) / float64(time.Millisecond)
+
+	// Audit: page the whole database out of the new primary over the
+	// wire and count every signature — each acknowledged upload must
+	// appear exactly once.
+	counts := map[string]int{}
+	from := 1
+	for {
+		conn, err := cell.dial(winner.name)
+		if err != nil {
+			return out, err
+		}
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+		c := wire.NewConn(conn)
+		if err := c.Send(wire.NewGet(from)); err != nil {
+			conn.Close()
+			return out, err
+		}
+		var resp wire.Response
+		err = c.Recv(&resp)
+		conn.Close()
+		if err != nil {
+			return out, err
+		}
+		if resp.Status != wire.StatusOK {
+			return out, fmt.Errorf("bench: failover: audit GET: %s %s", resp.Status, resp.Detail)
+		}
+		for _, raw := range resp.Sigs {
+			s, err := sig.Decode(raw)
+			if err != nil {
+				return out, fmt.Errorf("bench: failover: audit decode: %w", err)
+			}
+			counts[s.ID()]++
+		}
+		from = resp.Next
+		if !resp.More {
+			break
+		}
+	}
+	for _, c := range counts {
+		out.FinalSize += c
+		if c > 1 {
+			out.Duplicated += c - 1
+		}
+	}
+	for _, id := range sigIDs {
+		if counts[id] == 0 {
+			out.Lost++
+		}
+	}
+	return out, nil
+}
+
+// WriteAckLatency prints the ACK arm.
+func WriteAckLatency(w io.Writer, cells []AckLatencyCell) {
+	for _, c := range cells {
+		fmt.Fprintf(w, "ack %-6s adds=%-5d p50=%7.3fms p95=%7.3fms p99=%7.3fms max=%8.3fms\n",
+			c.Mode, c.Adds, c.P50MS, c.P95MS, c.P99MS, c.MaxMS)
+	}
+}
+
+// WriteFailover prints the failover arm.
+func WriteFailover(w io.Writer, r FailoverResult) {
+	fmt.Fprintf(w, "failover %d-node %s cell (election %.0fms): promoted %s at epoch %d in %.1fms, first re-routed ACK at %.1fms; acked=%d lost=%d dup=%d size=%d\n",
+		r.Nodes, r.AckMode, r.ElectionTimeoutMS, r.PromotedNode, r.NewEpoch,
+		r.PromotionMS, r.RecoveryMS, r.Acked, r.Lost, r.Duplicated, r.FinalSize)
+}

@@ -50,6 +50,15 @@ type ReplSurfaceResult struct {
 	ReplicatedMaxSustained int `json:"replicated_max_sustained"`
 	// CapacityRatio is replicated over solo — the scaling headline.
 	CapacityRatio float64 `json:"capacity_ratio"`
+	// AckLatency compares the upload acknowledgement contracts (async
+	// vs quorum) on identical 3-node cells; QuorumOverheadP50MS is the
+	// headline difference (what majority durability costs per ADD).
+	AckLatency          []AckLatencyCell `json:"ack_latency,omitempty"`
+	QuorumOverheadP50MS float64          `json:"quorum_overhead_p50_ms"`
+	// Failover is the automatic-failover arm: kill the quorum cell's
+	// primary mid-burst, measure detection+election+recovery, and audit
+	// that every acknowledged upload survived exactly once.
+	Failover *FailoverResult `json:"failover,omitempty"`
 }
 
 // ReplSurface runs the two arms cell by cell (sequentially — they share
@@ -104,6 +113,19 @@ func ReplSurface(traceCfg TraceConfig, base FleetConfig, replicas int, soloCount
 	if out.SoloMaxSustained > 0 {
 		out.CapacityRatio = float64(out.ReplicatedMaxSustained) / float64(out.SoloMaxSustained)
 	}
+	ack, err := AckCompare(0)
+	if err != nil {
+		return out, fmt.Errorf("bench: repl ack arm: %w", err)
+	}
+	out.AckLatency = ack
+	if len(ack) == 2 {
+		out.QuorumOverheadP50MS = ack[1].P50MS - ack[0].P50MS
+	}
+	fo, err := FailoverBench(FailoverConfig{})
+	if err != nil {
+		return out, fmt.Errorf("bench: repl failover arm: %w", err)
+	}
+	out.Failover = &fo
 	return out, nil
 }
 
@@ -132,4 +154,11 @@ func WriteReplSurface(w io.Writer, res ReplSurfaceResult) {
 	}
 	fmt.Fprintf(w, "max sustained within SLO: replicated=%d solo=%d capacity ratio=%.1f×\n",
 		res.ReplicatedMaxSustained, res.SoloMaxSustained, res.CapacityRatio)
+	if len(res.AckLatency) > 0 {
+		WriteAckLatency(w, res.AckLatency)
+		fmt.Fprintf(w, "quorum ACK overhead: p50 +%.3fms\n", res.QuorumOverheadP50MS)
+	}
+	if res.Failover != nil {
+		WriteFailover(w, *res.Failover)
+	}
 }

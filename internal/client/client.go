@@ -151,6 +151,15 @@ type Client struct {
 	pushAdded   int
 	pushCatchup bool
 	pushNotify  chan struct{}
+
+	// Read-your-writes pin: after a forwarded upload the primary's OK
+	// carries the committed log index (Next); until the repository's
+	// cursor passes it, reads route to that primary instead of the
+	// (possibly lagging) rotated follower, so a client never fails to
+	// see its own accepted signature.
+	pinMu   sync.Mutex
+	pinIdx  int
+	pinAddr string
 }
 
 // New builds a client.
@@ -324,11 +333,23 @@ func (c *Client) do(req wire.Request) (wire.Response, error) {
 // failover). Building GET(from) before the dial would capture the stale
 // pre-reset cursor — the sync would skip the re-download entirely and
 // strand the repository empty with its cursor past the new primary's
-// log.
+// log. A live read-your-writes pin routes the GET to the pinned primary
+// (falling back to the rotation if it is unreachable — availability
+// beats the pin mid-failover).
 func (c *Client) doGet() (wire.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		s, err := c.getSession()
+		var s *session
+		var err error
+		pinned := c.readPin()
+		if pinned != "" {
+			if s, err = c.leaderSession(pinned); err != nil {
+				pinned = ""
+			}
+		}
+		if pinned == "" {
+			s, err = c.getSession()
+		}
 		if err != nil {
 			return wire.Response{}, err
 		}
@@ -336,10 +357,40 @@ func (c *Client) doGet() (wire.Response, error) {
 		if err == nil {
 			return resp, nil
 		}
-		c.invalidate(s)
+		if pinned != "" {
+			c.invalidateLeader(s)
+		} else {
+			c.invalidate(s)
+		}
 		lastErr = err
 	}
 	return wire.Response{}, lastErr
+}
+
+// setReadPin records a committed upload index: reads stick to the
+// primary at addr until the repository's cursor passes it.
+func (c *Client) setReadPin(idx int, addr string) {
+	c.pinMu.Lock()
+	if idx > c.pinIdx {
+		c.pinIdx, c.pinAddr = idx, addr
+	}
+	c.pinMu.Unlock()
+}
+
+// readPin returns the primary address reads are currently pinned to, or
+// "" once the repository has caught up past the pinned index (the pin
+// clears itself).
+func (c *Client) readPin() string {
+	c.pinMu.Lock()
+	defer c.pinMu.Unlock()
+	if c.pinIdx == 0 {
+		return ""
+	}
+	if c.cfg.Repo.Next() > c.pinIdx {
+		c.pinIdx, c.pinAddr = 0, ""
+		return ""
+	}
+	return c.pinAddr
 }
 
 // SyncOnce performs one incremental download: GET(next) where next is
@@ -399,10 +450,26 @@ func (c *Client) Upload(s *sig.Signature) error {
 			resp, err = c.do(req)
 		}
 		if err != nil {
-			return fmt.Errorf("client: upload: %w", err)
+			if leaderAddr == "" {
+				return fmt.Errorf("client: upload: %w", err)
+			}
+			// The advertised primary is unreachable — likely mid-failover.
+			// Fall back to the rotation, whose followers will redirect to
+			// whoever was elected; the redirect budget bounds the loop.
+			if redirects++; redirects > 3 {
+				return fmt.Errorf("client: upload: advertised primary unreachable: %w", err)
+			}
+			leaderAddr = ""
+			continue
 		}
 		switch {
 		case resp.Status == wire.StatusOK:
+			if leaderAddr != "" && resp.Next > 0 {
+				// Read-your-writes: our upload is committed at index Next
+				// on this primary; pin reads there until the rotated
+				// follower catches up past it.
+				c.setReadPin(resp.Next, leaderAddr)
+			}
 			return nil
 		case resp.Status == wire.StatusNotPrimary:
 			// The upload reached a follower: forward to the primary it
@@ -609,7 +676,9 @@ func (c *Client) subscribeLoop() {
 // and keepalives until Close (returns nil) or the session dies (returns
 // why).
 func (c *Client) runSubscription(s *session) error {
-	resp, err := s.roundTrip(wire.NewSubscribe(0, c.cfg.Repo.Next()), syncIOTimeout)
+	// The token rides along for servers enforcing per-user subscription
+	// quotas; servers without the quota ignore it.
+	resp, err := s.roundTrip(wire.NewSubscribeUser(0, c.cfg.Repo.Next(), c.cfg.Token), syncIOTimeout)
 	if err != nil {
 		return err
 	}

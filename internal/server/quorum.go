@@ -1,0 +1,173 @@
+// Quorum acknowledgement (Config.AckMode == AckQuorum): the primary
+// withholds an ADD's StatusOK until the committed entry is durable on a
+// majority of the cell.
+//
+// Followers report their durable log length (cursor) on the replication
+// session — immediately after each applied page, and at the keepalive
+// cadence otherwise. The tracker keeps the latest cursor per follower
+// and derives the quorum index: the highest log index held by at least
+// majority-1 followers (the primary itself is the remaining member).
+// ADD verdicts carrying a committed index above it park on a waiter
+// channel; each cursor report re-derives the index and releases every
+// waiter at or below it.
+//
+// Degradation is explicit, never silent: a waiter that outlives
+// Config.AckTimeout — or an ADD arriving while Config.AckWindow waiters
+// are already parked — is answered StatusBusy. The entry is committed
+// locally either way; the client's retry is absorbed as a duplicate
+// (answered OK), so the contract "StatusOK implies majority-durable"
+// holds without ever double-applying an upload. A primary partitioned
+// away from every follower therefore refuses writes within one
+// AckTimeout — the quorum-mode half of split-brain safety.
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"communix/internal/wire"
+)
+
+// quorumWaiter is one parked ADD verdict: released (true) when the
+// quorum index reaches idx, aborted (false) on server shutdown. The
+// channel is buffered so the releasing side never blocks.
+type quorumWaiter struct {
+	idx int
+	ch  chan bool
+}
+
+// quorumTracker holds the per-follower durable cursors and the parked
+// quorum-mode ADDs.
+type quorumTracker struct {
+	mu      sync.Mutex
+	cursors map[string]int // follower node → latest reported durable cursor
+	waiters []quorumWaiter
+	idx     int // highest majority-durable index (monotonic)
+	closed  bool
+}
+
+// majority is the vote/ack threshold for this cell: more than half of
+// len(Peers)+1 members.
+func (s *Server) majority() int {
+	return (len(s.peers)+1)/2 + 1
+}
+
+// recordCursor ingests one follower cursor report, re-derives the
+// quorum index, and releases every waiter it now covers. Reports are
+// taken at face value (latest wins, even backwards — a reset follower
+// really did lose its tail); the quorum index itself never regresses,
+// so an already-released ACK is never retracted.
+func (s *Server) recordCursor(node string, cursor int) {
+	if node == "" {
+		return
+	}
+	q := &s.quorum
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if q.cursors == nil {
+		q.cursors = make(map[string]int)
+	}
+	q.cursors[node] = cursor
+	need := s.majority() - 1 // followers needed besides the primary itself
+	if need <= 0 {
+		return // single-node cell: nothing ever parks
+	}
+	if len(q.cursors) < need {
+		return
+	}
+	sorted := make([]int, 0, len(q.cursors))
+	for _, c := range q.cursors {
+		sorted = append(sorted, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if idx := sorted[need-1]; idx > q.idx {
+		q.idx = idx
+	}
+	q.releaseLocked()
+}
+
+// releaseLocked answers every waiter at or below the quorum index.
+// Callers hold q.mu.
+func (q *quorumTracker) releaseLocked() {
+	keep := q.waiters[:0]
+	for _, w := range q.waiters {
+		if w.idx <= q.idx {
+			w.ch <- true
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	q.waiters = keep
+}
+
+// awaitQuorum gates one StatusOK ADD verdict (committed index in Next)
+// on majority durability. It returns the verdict unchanged once the
+// index is covered, or a StatusBusy degradation on timeout, window
+// overflow, or shutdown.
+func (s *Server) awaitQuorum(verdict wire.Response) wire.Response {
+	idx := verdict.Next
+	if idx <= 0 || s.majority() <= 1 {
+		return verdict
+	}
+	q := &s.quorum
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return wire.Response{Status: wire.StatusBusy, Detail: "server closing"}
+	}
+	if idx <= q.idx {
+		q.mu.Unlock()
+		return verdict
+	}
+	if len(q.waiters) >= s.ackWindow {
+		q.mu.Unlock()
+		return wire.Response{Status: wire.StatusBusy, Detail: "quorum window full; committed locally, retry"}
+	}
+	w := quorumWaiter{idx: idx, ch: make(chan bool, 1)}
+	q.waiters = append(q.waiters, w)
+	q.mu.Unlock()
+
+	t := time.NewTimer(s.ackTimeout)
+	defer t.Stop()
+	select {
+	case ok := <-w.ch:
+		if ok {
+			return verdict
+		}
+		return wire.Response{Status: wire.StatusBusy, Detail: "server closing"}
+	case <-t.C:
+	}
+	// Timed out — but a release may have raced the timer. Resolve under
+	// the lock: if the waiter is still parked, withdraw it and degrade;
+	// if it is gone, its channel holds the verdict.
+	q.mu.Lock()
+	for i := range q.waiters {
+		if q.waiters[i].ch == w.ch {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			q.mu.Unlock()
+			return wire.Response{Status: wire.StatusBusy,
+				Detail: "quorum ack timeout; committed locally, retry"}
+		}
+	}
+	q.mu.Unlock()
+	if ok := <-w.ch; ok {
+		return verdict
+	}
+	return wire.Response{Status: wire.StatusBusy, Detail: "server closing"}
+}
+
+// closeAll aborts every parked waiter; they answer StatusBusy. Called
+// once from Close.
+func (q *quorumTracker) closeAll() {
+	q.mu.Lock()
+	q.closed = true
+	for _, w := range q.waiters {
+		w.ch <- false
+	}
+	q.waiters = nil
+	q.mu.Unlock()
+}

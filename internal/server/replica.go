@@ -129,6 +129,30 @@ func (s *Server) stopFollowing() {
 	s.followWG.Wait()
 }
 
+// startFollowing (re)arms the follower loop toward addr: any previous
+// loop is stopped first, then the role flips to follower and a fresh
+// loop dials the new primary. This is how an elected-over follower
+// repoints itself and how a superseded primary demotes; it refuses to
+// arm once Close has begun.
+func (s *Server) startFollowing(addr string) {
+	s.stopFollowing()
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	if s.roleShutdown {
+		return
+	}
+	if s.followStop != nil && !s.followStopped {
+		return // a concurrent caller armed a loop already
+	}
+	s.follower = true
+	s.primaryAddr = addr
+	s.followDial = s.dialTo(addr)
+	s.followStop = make(chan struct{})
+	s.followStopped = false
+	s.followWG.Add(1)
+	go s.followLoop(s.followStop)
+}
+
 // Promote turns a follower into the primary: the follower loop is
 // stopped first (so the log length the fence freezes is final), then
 // the store bumps its persisted epoch with a fence at the current
@@ -136,6 +160,13 @@ func (s *Server) stopFollowing() {
 // idempotent, so operators can retry. The returned epoch is the one the
 // server now serves at.
 func (s *Server) Promote() (uint64, error) {
+	return s.promoteTo(0)
+}
+
+// promoteTo is Promote with an explicit target epoch (0 = next): the
+// elector promotes to the epoch its votes were granted for, which can
+// sit more than one ahead after contested rounds (store.PromoteTo).
+func (s *Server) promoteTo(target uint64) (uint64, error) {
 	s.roleMu.Lock()
 	wasFollower := s.follower
 	s.roleMu.Unlock()
@@ -147,7 +178,7 @@ func (s *Server) Promote() (uint64, error) {
 	s.follower = false
 	s.primaryAddr = ""
 	s.roleMu.Unlock()
-	epoch, err := s.db.Promote()
+	epoch, err := s.db.PromoteTo(target)
 	if err != nil {
 		return 0, fmt.Errorf("server: promote: %w", err)
 	}
@@ -249,8 +280,8 @@ func (s *Server) followOnce(stop chan struct{}) error {
 	if hello.Status != wire.StatusOK || hello.Version < wire.V2 {
 		return fmt.Errorf("primary refused session (status %v, version %d): %s", hello.Status, hello.Version, hello.Detail)
 	}
+	s.noteContact()
 
-	bootstrap := false
 	switch {
 	case hello.Epoch < s.db.Epoch():
 		return errStalePrimary
@@ -263,22 +294,23 @@ func (s *Server) followOnce(stop chan struct{}) error {
 			if err := s.resetReplica(); err != nil {
 				return err
 			}
-			bootstrap = true
 		}
 		if err := s.db.AdoptEpoch(hello.Epoch, fencesFromWire(hello.Fences)); err != nil {
 			return fmt.Errorf("adopt epoch %d: %w", hello.Epoch, err)
 		}
 	}
 
-	// REPLICATE from our cursor; one Bootstrap round-trip is allowed when
-	// the cursor predates the primary's snapshot boundary.
+	// REPLICATE from our cursor. A Bootstrap demand means our cursor
+	// predates the primary's snapshot boundary (or a fence reset emptied
+	// us): pull the folded snapshot plus tail through paged SNAPSHOT
+	// fetches — catch-up work bounded by the delta, not by replaying the
+	// upload history — then re-REPLICATE from the new cursor.
 	for attempt := 0; ; attempt++ {
 		reqID++
 		from := s.db.Len() + 1
-		if bootstrap {
-			from = 1
-		}
-		if err := c.Send(wire.NewReplicate(reqID, from, s.db.Epoch(), bootstrap)); err != nil {
+		rep := wire.NewReplicate(reqID, from, s.db.Epoch(), attempt > 0)
+		rep.Node = s.nodeID // lets the primary seed its cursor table
+		if err := c.Send(rep); err != nil {
 			return fmt.Errorf("replicate: %w", err)
 		}
 		var ack wire.Response
@@ -294,19 +326,21 @@ func (s *Server) followOnce(stop chan struct{}) error {
 		if attempt > 0 {
 			return fmt.Errorf("primary demanded bootstrap twice in one session")
 		}
-		// Our cursor predates the primary's snapshot boundary: the entries
-		// below it are only retained as folded snapshot state. Discard and
-		// resynchronize from index 1.
-		s.logfSafe("cursor %d predates primary snapshot boundary, bootstrapping from scratch", from)
+		s.logfSafe("cursor %d predates primary snapshot boundary, bootstrapping via snapshot fetch", from)
 		if err := s.resetReplica(); err != nil {
 			return err
 		}
-		bootstrap = true
+		if err := s.fetchSnapshot(c, &reqID); err != nil {
+			return err
+		}
 	}
 
 	// Keepalive: a dedicated goroutine is the session's sole writer from
-	// here on (the reader below never writes), pinging so half-dead TCP
-	// peers are detected within a few intervals.
+	// here on (the reader below never writes). Instead of plain PINGs it
+	// reports our durable cursor — the primary's quorum-ACK signal — on
+	// the ticker cadence and immediately after each applied page (the
+	// reader taps reportCh).
+	reportCh := make(chan struct{}, 1)
 	pingDone := make(chan struct{})
 	defer close(pingDone)
 	go func() {
@@ -320,16 +354,18 @@ func (s *Server) followOnce(stop chan struct{}) error {
 			case <-stop:
 				return
 			case <-t.C:
-				id++
-				if c.Send(wire.NewPing(id)) != nil {
-					return // the reader sees the broken conn and returns
-				}
+			case <-reportCh:
+			}
+			id++
+			if c.Send(wire.NewCursorReport(id, s.db.Len(), s.nodeID)) != nil {
+				return // the reader sees the broken conn and returns
 			}
 		}
 	}()
 
-	// Apply the entry stream. PUSH frames (ID 0) carry entries; PING acks
-	// and the occasional marker-free frame are skipped.
+	// Apply the entry stream. PUSH frames (ID 0) carry entries; CURSOR
+	// acks and the occasional marker-free frame are skipped. Every frame
+	// is proof of primary liveness for the failure detector.
 	for {
 		var f wire.Response
 		if err := c.Recv(&f); err != nil {
@@ -338,8 +374,9 @@ func (s *Server) followOnce(stop chan struct{}) error {
 			}
 			return fmt.Errorf("stream: %w", err)
 		}
+		s.noteContact()
 		if f.ID != 0 || f.Type != wire.MsgPush {
-			continue // PING ack
+			continue // CURSOR/PING ack
 		}
 		if len(f.Entries) == 0 {
 			continue
@@ -350,8 +387,47 @@ func (s *Server) followOnce(stop chan struct{}) error {
 		}
 		// Fan the new entries out to our own subscribers: a follower is a
 		// read replica, its SUBSCRIBE clients get deltas at replication
-		// speed.
+		// speed. Then nudge the keepalive goroutine to report the advanced
+		// cursor at once — quorum ACK latency is this signal's latency.
 		s.wakeSubscribers()
+		select {
+		case reportCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// fetchSnapshot drains the primary's snapshot pages (full entries from
+// index 1, including the snapshot-folded prefix) into the local store.
+// Runs in followOnce's synchronous phase: this goroutine is still the
+// session's only writer.
+func (s *Server) fetchSnapshot(c *wire.Conn, reqID *uint64) error {
+	for {
+		*reqID++
+		from := s.db.Len() + 1
+		if err := c.Send(wire.NewSnapshotFetch(*reqID, from)); err != nil {
+			return fmt.Errorf("snapshot fetch: %w", err)
+		}
+		var page wire.Response
+		if err := c.Recv(&page); err != nil {
+			return fmt.Errorf("snapshot page: %w", err)
+		}
+		if page.Status != wire.StatusOK {
+			return fmt.Errorf("primary refused SNAPSHOT (status %v): %s", page.Status, page.Detail)
+		}
+		s.noteContact()
+		if len(page.Entries) > 0 {
+			if _, err := s.db.ApplyReplicated(from, entriesFromWire(page.Entries)); err != nil {
+				return fmt.Errorf("apply snapshot [%d,%d): %w", from, page.Next, err)
+			}
+			s.wakeSubscribers()
+		}
+		if !page.More {
+			return nil
+		}
+		if len(page.Entries) == 0 {
+			return fmt.Errorf("empty snapshot page with more set")
+		}
 	}
 }
 
@@ -408,6 +484,11 @@ func (s *Server) admitReplicate(sess *session, req wire.Request) *wire.Response 
 			Epoch: epoch, Fences: fencesToWire(s.db.Fences()),
 			Detail: "cursor predates snapshot boundary; reset and re-replicate from 1",
 		}
+	}
+	if req.Node != "" {
+		// Seed the quorum tracker: everything below the replica's cursor
+		// is already durable there.
+		s.recordCursor(req.Node, from-1)
 	}
 	s.subscribeReplica(sess, from)
 	return nil

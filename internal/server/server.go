@@ -17,6 +17,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"communix/internal/ids"
@@ -113,11 +114,82 @@ type Config struct {
 	// their peer list.
 	Advertise string
 	// FollowPing is the follower's keepalive interval on the replication
-	// session (default 10s). Tests shorten it.
+	// session (default 10s). Followers report their durable cursor at
+	// this cadence (plus immediately after each applied page), which is
+	// also the primary's liveness signal for quorum acknowledgement.
+	// Tests shorten it.
 	FollowPing time.Duration
+	// AckMode selects the upload acknowledgement contract: AckAsync (the
+	// default) answers StatusOK once the entry is durable locally;
+	// AckQuorum withholds StatusOK until a majority of the cell (this
+	// node plus the Peers) holds the entry durably, degrading to
+	// StatusBusy — never silent loss — when the quorum cannot be reached
+	// within AckTimeout or the in-flight window is full.
+	AckMode AckMode
+	// NodeID identifies this server in a replicated cell: the name
+	// followers stamp on cursor reports and candidates stamp on vote
+	// requests (ties in the election rule break toward the
+	// lexicographically larger NodeID). Defaults to Advertise.
+	NodeID string
+	// Peers lists the other members of the replicated cell (their
+	// advertised addresses). A non-empty list arms the failure detector
+	// and elector: followers that lose contact with the primary past the
+	// (jittered) ElectionTimeout solicit epoch-stamped votes and
+	// self-promote on a majority; a primary that discovers a peer at a
+	// newer epoch steps down and rejoins as a follower. Majority is
+	// computed over len(Peers)+1.
+	Peers []string
+	// PeerDial overrides how this server reaches a cell peer (tests and
+	// in-process benches dial over pipes). nil uses TCP.
+	PeerDial func(addr string) (net.Conn, error)
+	// ElectionTimeout is the base failure-detection window: a follower
+	// suspects the primary after hearing nothing for a uniformly jittered
+	// duration in [ElectionTimeout, 2×ElectionTimeout) — jitter
+	// decorrelates candidates so split votes resolve. Default 10s.
+	ElectionTimeout time.Duration
+	// AckTimeout bounds how long a quorum-mode ADD waits for majority
+	// durability before degrading to StatusBusy (default 5s). The entry
+	// is committed locally either way; the client's retry is absorbed as
+	// a duplicate, so degradation never double-applies.
+	AckTimeout time.Duration
+	// AckWindow bounds concurrently waiting quorum-mode ADDs; further
+	// uploads are answered StatusBusy immediately (default 4096).
+	AckWindow int
+	// MaxSubsPerUser caps push subscriptions per authenticated user,
+	// extending the per-user ADD budgets to the read side. When set,
+	// SUBSCRIBE must carry a valid user token and is answered
+	// StatusRejected over the quota. 0 = no per-user cap.
+	MaxSubsPerUser int
 	// Logf, when set, receives operational log lines (follower loop
-	// retries, promotions). nil discards them.
+	// retries, promotions, elections). nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// AckMode selects the upload acknowledgement contract.
+type AckMode int
+
+const (
+	// AckAsync acknowledges an ADD once it is durable on the primary;
+	// replication to followers is asynchronous (an unfenced tail can be
+	// lost on failover — the fence makes that explicit).
+	AckAsync AckMode = iota
+	// AckQuorum acknowledges an ADD only once a majority of the cell
+	// holds it durably, so any elected successor (which needs a majority
+	// of votes, granted only to max-cursor candidates) provably holds
+	// every acknowledged entry.
+	AckQuorum
+)
+
+// ParseAckMode maps the -ack flag values to an AckMode.
+func ParseAckMode(s string) (AckMode, error) {
+	switch s {
+	case "", "async":
+		return AckAsync, nil
+	case "quorum":
+		return AckQuorum, nil
+	default:
+		return 0, fmt.Errorf("unknown ack mode %q (want async or quorum)", s)
+	}
 }
 
 // Server is a Communix signature server.
@@ -155,8 +227,26 @@ type Server struct {
 	followStop    chan struct{}
 	followStopped bool
 	followConn    net.Conn
+	roleShutdown  bool // Close ran: no follower loop may be (re)armed
 	followWG      sync.WaitGroup
 	logf          func(format string, args ...any)
+
+	// Failover plane (elector.go, quorum.go): cell membership, the
+	// failure detector's last-contact clock, and the quorum-ACK tracker.
+	nodeID          string
+	peers           []string
+	peerDial        func(addr string) (net.Conn, error)
+	electionTimeout time.Duration
+	ackMode         AckMode
+	ackTimeout      time.Duration
+	ackWindow       int
+	lastContact     atomic.Int64 // unix nanos of the last frame from the primary
+	electStop       chan struct{}
+	electWG         sync.WaitGroup
+	failoverOff     sync.Once
+	quorum          quorumTracker
+
+	maxSubsPerUser int
 
 	// Ingestion pipeline (nil channel = synchronous ADDs). ingestMu
 	// serializes enqueues against pipeline shutdown: producers hold it
@@ -243,22 +333,62 @@ func New(cfg Config) (*Server, error) {
 	if s.followPing <= 0 {
 		s.followPing = 10 * time.Second
 	}
+	s.nodeID = cfg.NodeID
+	if s.nodeID == "" {
+		s.nodeID = cfg.Advertise
+	}
+	s.peers = append([]string(nil), cfg.Peers...)
+	s.peerDial = cfg.PeerDial
+	s.electionTimeout = cfg.ElectionTimeout
+	if s.electionTimeout <= 0 {
+		s.electionTimeout = 10 * time.Second
+	}
+	s.ackMode = cfg.AckMode
+	s.ackTimeout = cfg.AckTimeout
+	if s.ackTimeout <= 0 {
+		s.ackTimeout = 5 * time.Second
+	}
+	s.ackWindow = cfg.AckWindow
+	if s.ackWindow <= 0 {
+		s.ackWindow = 4096
+	}
+	s.maxSubsPerUser = cfg.MaxSubsPerUser
+	s.lastContact.Store(time.Now().UnixNano())
 	if cfg.Follow != "" || cfg.FollowDial != nil {
+		s.roleMu.Lock()
 		s.follower = true
 		s.primaryAddr = cfg.Follow
 		s.followDial = cfg.FollowDial
 		if s.followDial == nil {
-			addr := cfg.Follow
-			s.followDial = func() (net.Conn, error) {
-				return net.DialTimeout("tcp", addr, 5*time.Second)
-			}
+			s.followDial = s.dialTo(cfg.Follow)
 		}
 		s.followStop = make(chan struct{})
 		s.followWG.Add(1)
 		go s.followLoop(s.followStop)
+		s.roleMu.Unlock()
+	}
+	if len(s.peers) > 0 {
+		s.electStop = make(chan struct{})
+		s.electWG.Add(1)
+		go s.electorLoop(s.electStop)
 	}
 	return s, nil
 }
+
+// dialTo builds a dialer for one cell address, honoring Config.PeerDial.
+func (s *Server) dialTo(addr string) func() (net.Conn, error) {
+	if s.peerDial != nil {
+		dial := s.peerDial
+		return func() (net.Conn, error) { return dial(addr) }
+	}
+	return func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	}
+}
+
+// Role reports the server's current role name ("primary" or
+// "follower") — for operators, benches, and tests polling a failover.
+func (s *Server) Role() string { return s.roleName() }
 
 // Store exposes the underlying database (read-mostly, for tests and
 // benchmarks).
@@ -279,15 +409,34 @@ func (s *Server) Process(req wire.Request) wire.Response {
 		if addr, isFollower := s.followerOf(); isFollower {
 			return wire.Response{Status: wire.StatusNotPrimary, Primary: addr, Detail: "follower replica: uploads go to the primary"}
 		}
+		var resp wire.Response
 		if s.ingestCh != nil {
-			return s.enqueueAdd(req)
+			resp = s.enqueueAdd(req)
+		} else {
+			resp = s.processAdd(req)
 		}
-		return s.processAdd(req)
+		if s.ackMode == AckQuorum && resp.Status == wire.StatusOK {
+			// Quorum gate: hold the OK until the committed index (carried
+			// in Next) is durable on a majority. This blocks only the
+			// request's own goroutine — the ingest workers already moved
+			// on — and degrades to StatusBusy on timeout, never lying
+			// about durability.
+			resp = s.awaitQuorum(resp)
+		}
+		return resp
 	case wire.MsgGet:
 		sigs, next, more := s.db.GetPage(req.From, s.getBatch, wire.MaxGetBytes)
 		return wire.Response{Status: wire.StatusOK, Sigs: sigs, Next: next, More: more}
 	case wire.MsgPing:
 		return wire.Response{Status: wire.StatusOK}
+	case wire.MsgCursor:
+		// A follower's durable-cursor report (replication keepalive).
+		s.recordCursor(req.Node, req.Cursor)
+		return wire.Response{Status: wire.StatusOK}
+	case wire.MsgVote:
+		return s.handleVote(req)
+	case wire.MsgSnapshot:
+		return s.snapshotPage(req)
 	case wire.MsgPromote:
 		epoch, err := s.Promote()
 		if err != nil {
@@ -301,6 +450,18 @@ func (s *Server) Process(req wire.Request) wire.Response {
 	default:
 		return wire.Response{Status: wire.StatusError, Detail: fmt.Sprintf("unknown message type %d", req.Type)}
 	}
+}
+
+// snapshotPage serves one page of a bootstrapping replica's snapshot
+// pull: full entries from 1-based req.From, including the
+// snapshot-folded prefix, so a fenced or boundary-lagged follower
+// rebuilds the authoritative log without replaying client uploads.
+func (s *Server) snapshotPage(req wire.Request) wire.Response {
+	entries, next, more, err := s.db.EntryPage(req.From, s.getBatch, wire.MaxGetBytes, true)
+	if err != nil {
+		return wire.Response{Status: wire.StatusError, Detail: err.Error()}
+	}
+	return wire.Response{Status: wire.StatusOK, Entries: entriesToWire(entries), Next: next, More: more}
 }
 
 // enqueueAdd hands an ADD to the ingestion pipeline and waits for its
@@ -367,7 +528,7 @@ func (s *Server) processAddBatch(jobs []*addJob) {
 		if res.Added {
 			committed++
 		}
-		pending[i].resp <- addVerdict(res.Added, res.Err)
+		pending[i].resp <- s.addVerdict(res.Added, res.Err, res.Index)
 	}
 	if committed > 0 {
 		// The batch is published; fan it out to subscribed sessions.
@@ -381,11 +542,11 @@ func (s *Server) processAdd(req wire.Request) wire.Response {
 	if reject != nil {
 		return *reject
 	}
-	added, err := s.db.Add(user, uploaded)
-	if added {
+	res := s.db.AddBatch([]store.Upload{{User: user, Sig: uploaded}})[0]
+	if res.Added {
 		s.wakeSubscribers()
 	}
-	return addVerdict(added, err)
+	return s.addVerdict(res.Added, res.Err, res.Index)
 }
 
 // decodeAdd runs the pre-store gates shared by the synchronous and
@@ -410,10 +571,16 @@ func (s *Server) decodeAdd(req wire.Request) (ids.UserID, *sig.Signature, *wire.
 // database and served by GET; StatusError is reserved for malformed
 // requests per docs/PROTOCOL.md — with a detail flagging the lost
 // durability for operators watching client logs.
-func addVerdict(added bool, err error) wire.Response {
+//
+// StatusOK replies carry the committed log index in Next — the
+// watermark the quorum gate holds the ACK on and the client pins
+// read-your-writes against. A duplicate's original index is unknown, so
+// it reports the current log length: conservative (never below the real
+// index), which keeps both uses sound.
+func (s *Server) addVerdict(added bool, err error, index int) wire.Response {
 	switch {
 	case added && err != nil:
-		return wire.Response{Status: wire.StatusOK, Detail: "accepted; server durability degraded"}
+		return wire.Response{Status: wire.StatusOK, Next: index, Detail: "accepted; server durability degraded"}
 	case errors.Is(err, store.ErrRateLimited):
 		return wire.Response{Status: wire.StatusRejected, Detail: "daily signature limit reached"}
 	case errors.Is(err, store.ErrAdjacent):
@@ -421,9 +588,9 @@ func addVerdict(added bool, err error) wire.Response {
 	case err != nil:
 		return wire.Response{Status: wire.StatusError, Detail: err.Error()}
 	case !added:
-		return wire.Response{Status: wire.StatusOK, Detail: "duplicate"}
+		return wire.Response{Status: wire.StatusOK, Next: s.db.Len(), Detail: "duplicate"}
 	default:
-		return wire.Response{Status: wire.StatusOK}
+		return wire.Response{Status: wire.StatusOK, Next: index}
 	}
 }
 
@@ -544,6 +711,16 @@ func (s *Server) serveV1(c *wire.Conn) {
 // are still committed and answered before the workers exit — and finally
 // flushes and closes the database's write-ahead log.
 func (s *Server) Close() {
+	s.failoverOff.Do(func() {
+		s.roleMu.Lock()
+		s.roleShutdown = true
+		s.roleMu.Unlock()
+		if s.electStop != nil {
+			close(s.electStop)
+			s.electWG.Wait()
+		}
+		s.quorum.closeAll()
+	})
 	s.stopFollowing()
 	s.mu.Lock()
 	if !s.closed {

@@ -34,6 +34,7 @@ import (
 	"net"
 	"sync"
 
+	"communix/internal/ids"
 	"communix/internal/wire"
 )
 
@@ -58,6 +59,36 @@ type hub struct {
 	subs map[*session]bool
 	// admitted counts the true entries, so admission checks are O(1).
 	admitted int
+	// users counts active subscriptions per authenticated user — the
+	// per-user quota plane (Config.MaxSubsPerUser), extending the
+	// per-user ADD budgets to the read side.
+	users map[ids.UserID]int
+}
+
+// reserveUser counts one subscription against user's quota, rejecting
+// at max. A session holds at most one reservation (re-SUBSCRIBE on the
+// same session is not double-counted); remove releases it.
+func (h *hub) reserveUser(sess *session, user ids.UserID, max int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sess.mu.Lock()
+	counted := sess.userCounted
+	sess.mu.Unlock()
+	if counted {
+		return true
+	}
+	if h.users == nil {
+		h.users = make(map[ids.UserID]int)
+	}
+	if h.users[user] >= max {
+		return false
+	}
+	h.users[user]++
+	sess.mu.Lock()
+	sess.user = user
+	sess.userCounted = true
+	sess.mu.Unlock()
+	return true
 }
 
 // register adds a subscribing session and decides its admission against
@@ -80,13 +111,25 @@ func (h *hub) register(sess *session, maxSubs int) bool {
 	return adm
 }
 
-// remove drops a departing session, freeing its admission slot.
+// remove drops a departing session, freeing its admission slot and its
+// per-user quota reservation.
 func (h *hub) remove(sess *session) {
 	h.mu.Lock()
 	if adm, ok := h.subs[sess]; ok {
 		delete(h.subs, sess)
 		if adm {
 			h.admitted--
+		}
+	}
+	sess.mu.Lock()
+	user, counted := sess.user, sess.userCounted
+	sess.userCounted = false
+	sess.mu.Unlock()
+	if counted {
+		if h.users[user] > 1 {
+			h.users[user]--
+		} else {
+			delete(h.users, user)
 		}
 	}
 	h.mu.Unlock()
@@ -168,6 +211,11 @@ type session struct {
 	// client): pushes carry full entries instead of signature pages, and
 	// the session is never shed or lag-downgraded.
 	replica bool
+	// user/userCounted track this session's per-user subscription quota
+	// reservation (hub.reserveUser); only meaningful when
+	// Config.MaxSubsPerUser is enforced.
+	user        ids.UserID
+	userCounted bool
 	// armed is set once the SUBSCRIBE ack has physically been written;
 	// no PUSH is produced before that, so the first PUSH can never
 	// overtake the ack.
@@ -350,6 +398,12 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 				return
 			}
 		case wire.MsgSubscribe:
+			if reject := s.admitSubscribe(sess, req); reject != nil {
+				if !sess.send(*reject) {
+					return
+				}
+				continue
+			}
 			s.subscribe(sess, req.From)
 			// Arming happens in the ack's post-write hook: the backlog
 			// stream starts only once the ack is on the wire, so PUSH
@@ -384,6 +438,27 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 			}
 		}
 	}
+}
+
+// admitSubscribe enforces the per-user subscription quota
+// (Config.MaxSubsPerUser). When enforced, the SUBSCRIBE must carry a
+// valid user token, and each user gets at most that many concurrent
+// subscriptions across all their sessions. A non-nil response is the
+// rejection to send.
+func (s *Server) admitSubscribe(sess *session, req wire.Request) *wire.Response {
+	if s.maxSubsPerUser <= 0 {
+		return nil
+	}
+	user, err := s.codec.Verify(req.Token)
+	if err != nil {
+		return &wire.Response{Status: wire.StatusRejected, ID: req.ID,
+			Detail: "subscription requires a valid user token on this server"}
+	}
+	if !s.hub.reserveUser(sess, user, s.maxSubsPerUser) {
+		return &wire.Response{Status: wire.StatusRejected, ID: req.ID,
+			Detail: "per-user subscription limit reached"}
+	}
+	return nil
 }
 
 // subscribe registers the session for pushes from 1-based index from.

@@ -50,6 +50,12 @@ type Fence struct {
 type storedMeta struct {
 	Epoch  uint64  `json:"epoch"`
 	Fences []Fence `json:"fences,omitempty"`
+	// VotedEpoch/VotedFor record the election vote this store has cast:
+	// at most one per epoch, persisted before the grant leaves the node,
+	// so a crash-restarted voter can never hand two candidates the same
+	// epoch and elect two primaries.
+	VotedEpoch uint64 `json:"voted_epoch,omitempty"`
+	VotedFor   string `json:"voted_for,omitempty"`
 }
 
 // loadMeta reads the replication metadata from dir; a missing file is a
@@ -123,14 +129,35 @@ func (st *Store) Fences() []Fence {
 // that each call is its own promotion; callers guard against double
 // promotion at the role layer.
 func (st *Store) Promote() (uint64, error) {
+	return st.PromoteTo(0)
+}
+
+// PromoteTo is Promote with an explicit target epoch: an elected
+// follower promotes to the epoch its votes were granted for, which may
+// be more than one ahead after contested election rounds (each round
+// consumes an epoch's votes without anyone winning it). Skipped epochs
+// get no fence entry — no primary ever served them, so there is nothing
+// to guarantee across them — which makes SafeLen answer 0 to peers
+// behind the gap: full resynchronization, the conservative and correct
+// fallback. Target 0 means "next" (st.epoch+1, plain Promote); a target
+// at or below the current epoch is an error.
+func (st *Store) PromoteTo(target uint64) (uint64, error) {
 	if st.readOnly {
 		return 0, ErrReadOnly
 	}
 	st.epochMu.Lock()
 	defer st.epochMu.Unlock()
+	if target == 0 {
+		target = st.epoch + 1
+	}
+	if target <= st.epoch {
+		return 0, fmt.Errorf("store: promote to epoch %d: already at %d", target, st.epoch)
+	}
 	next := storedMeta{
-		Epoch:  st.epoch + 1,
-		Fences: append(append([]Fence(nil), st.fences...), Fence{E: st.epoch + 1, N: st.Len()}),
+		Epoch:      target,
+		Fences:     append(append([]Fence(nil), st.fences...), Fence{E: target, N: st.Len()}),
+		VotedEpoch: st.votedEpoch,
+		VotedFor:   st.votedFor,
 	}
 	if st.metaDir != "" {
 		if err := saveMeta(st.metaDir, next); err != nil {
@@ -163,7 +190,10 @@ func (st *Store) AdoptEpoch(epoch uint64, fences []Fence) error {
 	for _, f := range fences {
 		merged[f.E] = f
 	}
-	next := storedMeta{Epoch: epoch, Fences: make([]Fence, 0, len(merged))}
+	next := storedMeta{
+		Epoch: epoch, Fences: make([]Fence, 0, len(merged)),
+		VotedEpoch: st.votedEpoch, VotedFor: st.votedFor,
+	}
 	for _, f := range merged {
 		if f.E <= epoch {
 			next.Fences = append(next.Fences, f)
@@ -177,6 +207,52 @@ func (st *Store) AdoptEpoch(epoch uint64, fences []Fence) error {
 	}
 	st.epoch, st.fences = next.Epoch, next.Fences
 	return nil
+}
+
+// RecordVote casts (or re-confirms) this store's election vote for node
+// at the proposed epoch. It returns true only when the vote is granted:
+// the epoch must be newer than both the store's current epoch and any
+// epoch it has already voted in (re-granting to the same node at the
+// same epoch is idempotent — vote-request retries are safe). The vote is
+// persisted before the grant is returned, so a crash between granting
+// and replying can never free this node to vote for a second candidate
+// at the same epoch.
+func (st *Store) RecordVote(epoch uint64, node string) (bool, error) {
+	if st.readOnly {
+		return false, ErrReadOnly
+	}
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	if epoch <= st.epoch {
+		return false, nil // the proposed epoch already happened
+	}
+	if st.votedEpoch > epoch {
+		return false, nil // already committed to a newer election
+	}
+	if st.votedEpoch == epoch {
+		return st.votedFor == node, nil
+	}
+	next := storedMeta{
+		Epoch:      st.epoch,
+		Fences:     st.fences,
+		VotedEpoch: epoch,
+		VotedFor:   node,
+	}
+	if st.metaDir != "" {
+		if err := saveMeta(st.metaDir, next); err != nil {
+			return false, err
+		}
+	}
+	st.votedEpoch, st.votedFor = epoch, node
+	return true, nil
+}
+
+// Vote returns the persisted vote state (the epoch last voted in and
+// the node voted for; zero values if this store has never voted).
+func (st *Store) Vote() (uint64, string) {
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	return st.votedEpoch, st.votedFor
 }
 
 // SafeLen computes the fence for a peer last synced at peerEpoch: the

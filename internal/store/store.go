@@ -217,12 +217,15 @@ type Store struct {
 	// safe regardless).
 	replMu sync.Mutex
 
-	// epochMu guards the replication epoch and fence history (meta.go).
-	// metaDir is the data directory when durable, "" when ephemeral.
-	epochMu sync.Mutex
-	epoch   uint64
-	fences  []Fence
-	metaDir string
+	// epochMu guards the replication epoch, fence history, and persisted
+	// election vote (meta.go). metaDir is the data directory when
+	// durable, "" when ephemeral.
+	epochMu    sync.Mutex
+	epoch      uint64
+	fences     []Fence
+	votedEpoch uint64
+	votedFor   string
+	metaDir    string
 }
 
 // New builds an ephemeral in-memory store. Persistence fields of cfg
@@ -273,6 +276,7 @@ func Open(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	st.epoch, st.fences = meta.Epoch, meta.Fences
+	st.votedEpoch, st.votedFor = meta.VotedEpoch, meta.VotedFor
 	st.metaDir = cfg.DataDir
 
 	today := st.clock().UTC().Unix() / 86400
@@ -362,7 +366,8 @@ func (st *Store) Add(user ids.UserID, s *sig.Signature) (bool, error) {
 	if !added {
 		return added, err
 	}
-	return true, st.commit([]walEntry{entry})
+	_, err = st.commit([]walEntry{entry})
+	return true, err
 }
 
 // Upload is one (user, signature) pair for AddBatch.
@@ -377,6 +382,10 @@ type Upload struct {
 type AddResult struct {
 	// Added reports whether the signature entered the database.
 	Added bool
+	// Index is the 1-based log index the accepted signature was committed
+	// at (0 for duplicates and rejections) — the watermark quorum
+	// acknowledgement and client read-your-writes pin against.
+	Index int
 	// Err is the rejection (or, on a durable store, the WAL failure) for
 	// this upload; nil for accepts and idempotent duplicates.
 	Err error
@@ -405,7 +414,17 @@ func (st *Store) AddBatch(batch []Upload) []AddResult {
 			entries = append(entries, entry)
 		}
 	}
-	if err := st.commit(entries); err != nil {
+	first, err := st.commit(entries)
+	if first > 0 {
+		idx := first
+		for i := range results {
+			if results[i].Added {
+				results[i].Index = idx
+				idx++
+			}
+		}
+	}
+	if err != nil {
 		for i := range results {
 			if results[i].Added {
 				results[i].Err = err
@@ -421,27 +440,27 @@ func (st *Store) AddBatch(batch []Upload) []AddResult {
 // so the on-disk record order always matches the in-memory index order.
 // The in-memory publish is unconditional — even when the WAL write
 // fails, readers of this process see the batch and the error only
-// reports lost durability.
-func (st *Store) commit(entries []walEntry) error {
+// reports lost durability. It returns the 1-based log index assigned to
+// the batch's first entry (0 for an empty batch).
+func (st *Store) commit(entries []walEntry) (int, error) {
 	if len(entries) == 0 {
-		return nil
+		return 0, nil
 	}
 	batch := make([]Entry, len(entries))
 	for i, e := range entries {
 		batch[i] = Entry{User: e.user, Unix: e.unix, Data: e.data}
 	}
 	if st.wal == nil {
-		st.log.Append(batch)
-		return nil
+		return st.log.Append(batch), nil
 	}
 	st.walMu.Lock()
 	defer st.walMu.Unlock()
 	err := st.wal.append(entries)
-	st.log.Append(batch)
+	first := st.log.Append(batch)
 	// append may have rolled segments and compacted; publish the new
 	// snapshot boundary for the replication read path.
 	st.compacted.Store(int64(st.wal.snapCount))
-	return err
+	return first, err
 }
 
 // admit runs every ADD step except the commit: signature validation,
@@ -656,7 +675,7 @@ func (st *Store) ApplyReplicated(from int, entries []Entry) (int, error) {
 		us.mu.Unlock()
 		batch = append(batch, walEntry{user: e.User, unix: e.Unix, data: e.Data})
 	}
-	if err := st.commit(batch); err != nil {
+	if _, err := st.commit(batch); err != nil {
 		return len(batch), err
 	}
 	return len(batch), nil

@@ -1,0 +1,141 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRecordVoteRules pins the election-safety half the store owns: one
+// vote per epoch, no votes for epochs already passed, idempotent
+// re-grants to the same candidate (network retries must not look like
+// double votes).
+func TestRecordVoteRules(t *testing.T) {
+	st := New(Config{MaxPerDay: 100})
+	defer st.Close()
+
+	// Fresh store is at epoch 1 with no vote cast.
+	if e, n := st.Vote(); e != 0 || n != "" {
+		t.Fatalf("fresh Vote() = (%d, %q), want (0, \"\")", e, n)
+	}
+
+	// Votes for the current or a past epoch are refused: electing a
+	// primary for an epoch the store already lived through could crown
+	// two primaries for the same epoch.
+	if ok, err := st.RecordVote(1, "a"); ok || err != nil {
+		t.Fatalf("RecordVote(current epoch) = (%v, %v), want refusal", ok, err)
+	}
+
+	// First vote in a future epoch is granted and remembered.
+	if ok, err := st.RecordVote(2, "a"); !ok || err != nil {
+		t.Fatalf("RecordVote(2, a) = (%v, %v)", ok, err)
+	}
+	if e, n := st.Vote(); e != 2 || n != "a" {
+		t.Fatalf("Vote() = (%d, %q), want (2, \"a\")", e, n)
+	}
+
+	// Same epoch, different candidate: refused — this is the one-vote
+	// rule that makes two majorities in one epoch impossible.
+	if ok, err := st.RecordVote(2, "b"); ok || err != nil {
+		t.Fatalf("RecordVote(2, b) after voting for a = (%v, %v), want refusal", ok, err)
+	}
+	// Same epoch, same candidate: idempotent re-grant.
+	if ok, err := st.RecordVote(2, "a"); !ok || err != nil {
+		t.Fatalf("retried RecordVote(2, a) = (%v, %v), want grant", ok, err)
+	}
+	// A newer election supersedes the old vote.
+	if ok, err := st.RecordVote(3, "b"); !ok || err != nil {
+		t.Fatalf("RecordVote(3, b) = (%v, %v)", ok, err)
+	}
+	if e, n := st.Vote(); e != 3 || n != "b" {
+		t.Fatalf("Vote() = (%d, %q), want (3, \"b\")", e, n)
+	}
+	// ...but never a stale one, even after the newer grant.
+	if ok, err := st.RecordVote(2, "c"); ok || err != nil {
+		t.Fatalf("RecordVote(stale epoch) = (%v, %v), want refusal", ok, err)
+	}
+}
+
+// TestVoteSurvivesRestart: the vote must be durable before it is
+// granted — a voter that forgets across a crash can vote twice in the
+// same epoch and hand out two majorities.
+func TestVoteSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	clock := newTestClock()
+	st, err := Open(persistCfg(dir, clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(51))
+	mustAdd(t, st, 1, distinctSig(r, 0))
+	if ok, err := st.RecordVote(4, "n2"); !ok || err != nil {
+		t.Fatalf("RecordVote = (%v, %v)", ok, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(persistCfg(dir, clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if e, n := re.Vote(); e != 4 || n != "n2" {
+		t.Fatalf("Vote() after reopen = (%d, %q), want (4, \"n2\")", e, n)
+	}
+	// The restarted voter still refuses a second candidate in epoch 4.
+	if ok, err := re.RecordVote(4, "n3"); ok || err != nil {
+		t.Fatalf("post-restart RecordVote(4, n3) = (%v, %v), want refusal", ok, err)
+	}
+	// And the vote outlives a promotion (epoch bookkeeping must not
+	// clobber it).
+	if _, err := re.PromoteTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if e, n := re.Vote(); e != 4 || n != "n2" {
+		t.Fatalf("Vote() after promote = (%d, %q), want (4, \"n2\")", e, n)
+	}
+}
+
+// TestPromoteToSkipsEpochs pins the fence semantics of winning an
+// election several epochs ahead: only the target epoch gets a fence, so
+// SafeLen across the skipped range answers 0 — a peer from any missed
+// epoch must full-resync rather than trust a prefix nobody fenced.
+func TestPromoteToSkipsEpochs(t *testing.T) {
+	st := New(Config{MaxPerDay: 100})
+	defer st.Close()
+	r := rand.New(rand.NewSource(52))
+	for i := 0; i < 5; i++ {
+		mustAdd(t, st, 1, distinctSig(r, i))
+	}
+
+	if _, err := st.PromoteTo(1); err == nil {
+		t.Fatal("PromoteTo(current epoch) succeeded, want refusal")
+	}
+	epoch, err := st.PromoteTo(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 4 || st.Epoch() != 4 {
+		t.Fatalf("PromoteTo(4) = %d, Epoch() = %d", epoch, st.Epoch())
+	}
+	fences := st.Fences()
+	if len(fences) != 1 || fences[0].E != 4 || fences[0].N != 5 {
+		t.Fatalf("fences after skip-promotion = %+v, want [{4 5}]", fences)
+	}
+
+	// A peer still at a skipped epoch (2 or 3 never got a fence) gets no
+	// safe prefix...
+	for _, peer := range []uint64{1, 2} {
+		if n := st.SafeLen(peer); n != 0 {
+			t.Fatalf("SafeLen(%d) = %d, want 0 (skipped epoch, full resync)", peer, n)
+		}
+	}
+	// ...a peer whose only missed epoch is the fenced target keeps the
+	// fence, and a peer already at the target keeps the full log.
+	if n := st.SafeLen(3); n != 5 {
+		t.Fatalf("SafeLen(3) = %d, want 5", n)
+	}
+	if n := st.SafeLen(4); n != st.Len() {
+		t.Fatalf("SafeLen(4) = %d, want %d", n, st.Len())
+	}
+}

@@ -72,6 +72,31 @@ const (
 	// is an operator endpoint; production deployments front it with
 	// transport-level auth.
 	MsgPromote
+	// MsgVote is a vote request in an automatic-failover election: a
+	// follower that suspects the primary is dead asks its peers for their
+	// vote at a proposed epoch (Epoch), carrying its durable log cursor
+	// (Cursor) and node id (Node). A peer grants (StatusOK) at most one
+	// vote per epoch — persisted before the reply is sent — and only to a
+	// candidate whose cursor is at least its own (ties broken by node
+	// id), so the winner of a majority holds every quorum-acknowledged
+	// entry. Rejections carry the voter's epoch and cursor so the
+	// candidate learns why it lost.
+	MsgVote
+	// MsgCursor is a durable-cursor report: a follower replica tells the
+	// primary, over its REPLICATE session, how much of the log it holds
+	// durably (Cursor = applied log length, Node = the follower's id).
+	// The primary answers StatusOK like a PING — the report doubles as
+	// the replication keepalive — and uses the tracked cursors to release
+	// quorum-acknowledged ADDs.
+	MsgCursor
+	// MsgSnapshot is SNAPSHOT(from): a bulk pull of full log entries for
+	// replica bootstrap. Unlike the push-plane REPLICATE stream it is
+	// request/reply paged (the follower pulls as fast as it can apply),
+	// and unlike GET it carries full Entries including the snapshot-folded
+	// prefix below the primary's compaction boundary. A bootstrapping
+	// follower drains SNAPSHOT pages to the log head, then REPLICATEs the
+	// live tail from its new cursor.
+	MsgSnapshot
 )
 
 // String names the message type.
@@ -93,6 +118,12 @@ func (m MsgType) String() string {
 		return "REPLICATE"
 	case MsgPromote:
 		return "PROMOTE"
+	case MsgVote:
+		return "VOTE"
+	case MsgCursor:
+		return "CURSOR"
+	case MsgSnapshot:
+		return "SNAPSHOT"
 	}
 	return fmt.Sprintf("msg(%d)", int(m))
 }
@@ -158,7 +189,8 @@ type Request struct {
 	// IDs start at 1; 0 is reserved for server-initiated PUSH frames.
 	// Absent (zero) on v1 connections, where responses arrive in order.
 	ID uint64 `json:"id,omitempty"`
-	// Token is the sender's encrypted user id; required for ADD.
+	// Token is the sender's encrypted user id; required for ADD, and for
+	// SUBSCRIBE when the server enforces per-user subscription quotas.
 	Token ids.Token `json:"token,omitempty"`
 	// Sig is the uploaded signature (ADD).
 	Sig json.RawMessage `json:"sig,omitempty"`
@@ -178,6 +210,14 @@ type Request struct {
 	// local store and asks for the full authoritative prefix — the
 	// snapshot-covered range first, then the live log — from index 1.
 	Bootstrap bool `json:"bootstrap,omitempty"`
+	// Node identifies the sending replica (REPLICATE, CURSOR) or the
+	// candidate (VOTE) in a replicated cell: its advertised address,
+	// which doubles as the election tiebreak.
+	Node string `json:"node,omitempty"`
+	// Cursor is the sender's durable log length: on CURSOR it is the
+	// follower's applied cursor, on VOTE the candidate's — the quantity
+	// the max-cursor election rule compares.
+	Cursor int `json:"cursor,omitempty"`
 }
 
 // Response is one server reply, or (ID 0, Type MsgPush) one
@@ -193,10 +233,13 @@ type Response struct {
 	Detail string `json:"detail,omitempty"`
 	// Sigs carries the requested signatures (GET, PUSH).
 	Sigs []json.RawMessage `json:"sigs,omitempty"`
-	// Next is the index to request next time (GET, PUSH). With More
-	// unset this is database size + 1; with More set the reply was
+	// Next is the index to request next time (GET, PUSH, SNAPSHOT). With
+	// More unset this is database size + 1; with More set the reply was
 	// truncated at the page cap and Next is where the following page
-	// starts.
+	// starts. On a StatusOK ADD reply Next is instead the committed log
+	// index the upload reached (its assigned index, or the database size
+	// for an absorbed duplicate) — the read-your-writes watermark a
+	// client pins reads against until its read replica catches up.
 	Next int `json:"next,omitempty"`
 	// More marks a truncated GET reply (the client should GET(Next) for
 	// the rest). On a PUSH frame it is the catch-up downgrade marker:
@@ -241,6 +284,10 @@ type Response struct {
 	// retained as folded snapshot state): it must reset its local store
 	// and re-REPLICATE from index 1 with Request.Bootstrap set.
 	Bootstrap bool `json:"bootstrap,omitempty"`
+	// Cursor is the replying server's own durable log length (VOTE
+	// replies): on a rejection it tells the candidate which cursor beat
+	// it; on a grant it is informational.
+	Cursor int `json:"cursor,omitempty"`
 }
 
 // Entry is one replicated log record: the signature exactly as stored
@@ -310,6 +357,28 @@ func NewPromote(id uint64) Request {
 	return Request{Type: MsgPromote, ID: id}
 }
 
+// NewVote builds a VOTE request: the candidate at node asks for a vote
+// at the proposed epoch, holding cursor durable log entries.
+func NewVote(id uint64, epoch uint64, cursor int, node string) Request {
+	return Request{Type: MsgVote, ID: id, Epoch: epoch, Cursor: cursor, Node: node}
+}
+
+// NewCursorReport builds a CURSOR report: the replica at node holds
+// cursor durable log entries. Sent on the REPLICATE session in place of
+// the plain keepalive PING.
+func NewCursorReport(id uint64, cursor int, node string) Request {
+	return Request{Type: MsgCursor, ID: id, Cursor: cursor, Node: node}
+}
+
+// NewSnapshotFetch builds a SNAPSHOT request pulling full log entries
+// from index from (1-based) on.
+func NewSnapshotFetch(id uint64, from int) Request {
+	if from < 1 {
+		from = 1
+	}
+	return Request{Type: MsgSnapshot, ID: id, From: from}
+}
+
 // NewSubscribe builds a SUBSCRIBE request for deltas from index from
 // (1-based) on.
 func NewSubscribe(id uint64, from int) Request {
@@ -317,6 +386,14 @@ func NewSubscribe(id uint64, from int) Request {
 		from = 1
 	}
 	return Request{Type: MsgSubscribe, ID: id, From: from}
+}
+
+// NewSubscribeUser builds a SUBSCRIBE carrying the subscriber's user
+// token, required by servers enforcing per-user subscription quotas.
+func NewSubscribeUser(id uint64, from int, token ids.Token) Request {
+	req := NewSubscribe(id, from)
+	req.Token = token
+	return req
 }
 
 // NewPing builds a keepalive request.
