@@ -181,8 +181,10 @@ type ServerConfig struct {
 	// (StatusOK only once a majority of the cell holds the entry, so no
 	// acknowledged upload can be lost to a failover).
 	AckMode string
-	// NodeID names this server inside a replicated cell (cursor reports,
-	// election votes, tiebreaks). Defaults to Advertise.
+	// NodeID names this server inside a replicated cell (cursor-report
+	// attribution, election votes). It must match this node's entry in
+	// its peers' Peers lists to carry quorum or election weight.
+	// Defaults to Advertise.
 	NodeID string
 	// Peers lists the other members of the replicated cell. Non-empty
 	// arms automatic failover: followers elect a replacement primary

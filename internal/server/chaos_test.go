@@ -490,8 +490,10 @@ func TestSplitBrainQuorumRefusalAndFencedRejoin(t *testing.T) {
 	f2cfg := Config{
 		MaxPerDay: 10_000,
 		Advertise: addrs[1],
-		NodeID:    "f2",
-		Follow:    proxy.addr(),
+		// The NodeID must match p1's Peers entry: cursor reports under an
+		// unconfigured name never count toward quorum.
+		NodeID: addrs[1],
+		Follow: proxy.addr(),
 	}
 	p1 := startCellNode(t, p1cfg, ls[0])
 	f2 := startCellNode(t, f2cfg, ls[1])
@@ -598,5 +600,72 @@ func TestSubscribePerUserQuota(t *testing.T) {
 			t.Fatalf("slot never freed after session close: %+v", resp)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSubscribeQuotaTokenRotation: re-subscribing on one session under a
+// different user token must run the NEW user's quota check and move the
+// reservation — rotating tokens is neither a way to bypass a full
+// user's limit nor a way to hold slots under two users at once.
+func TestSubscribeQuotaTokenRotation(t *testing.T) {
+	_, addr, auth := v2TestServer(t, Config{MaxSubsPerUser: 1, Pushers: 2})
+	_, tokenA := auth.Issue()
+	_, tokenB := auth.Issue()
+
+	subscribe := func(c *wire.Conn, tok ids.Token) wire.Response {
+		t.Helper()
+		if err := c.Send(wire.NewSubscribeUser(2, 1, tok)); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.Response
+		if err := c.Recv(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	_, c1 := dialV2(t, addr)
+	if resp := subscribe(c1, tokenA); resp.Status != wire.StatusOK {
+		t.Fatalf("A's SUBSCRIBE = %+v", resp)
+	}
+	conn2, c2 := dialV2(t, addr)
+	if resp := subscribe(c2, tokenB); resp.Status != wire.StatusOK {
+		t.Fatalf("B's SUBSCRIBE = %+v", resp)
+	}
+
+	// B is at their limit: session 1 rotating its token to B must be
+	// rejected — the old rule short-circuited on "already counted" and
+	// let the rotation through without ever checking B's quota.
+	if resp := subscribe(c1, tokenB); resp.Status != wire.StatusRejected ||
+		!strings.Contains(resp.Detail, "limit") {
+		t.Fatalf("rotation into full user = %+v, want StatusRejected mentioning the limit", resp)
+	}
+	// The failed rotation left A's reservation standing: A is still full.
+	_, c3 := dialV2(t, addr)
+	if resp := subscribe(c3, tokenA); resp.Status != wire.StatusRejected {
+		t.Fatalf("A's second SUBSCRIBE after failed rotation = %+v, want StatusRejected", resp)
+	}
+
+	// Free B (close their session); now the rotation succeeds and MOVES
+	// the reservation: session 1 counts under B, A's slot is released.
+	conn2.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := subscribe(c1, tokenB)
+		if resp.Status == wire.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rotation never succeeded after B freed: %+v", resp)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_, c4 := dialV2(t, addr)
+	if resp := subscribe(c4, tokenA); resp.Status != wire.StatusOK {
+		t.Fatalf("A's SUBSCRIBE after rotation away = %+v, want StatusOK (slot released)", resp)
+	}
+	_, c5 := dialV2(t, addr)
+	if resp := subscribe(c5, tokenB); resp.Status != wire.StatusRejected {
+		t.Fatalf("B's second SUBSCRIBE = %+v, want StatusRejected (session 1 holds B's slot)", resp)
 	}
 }

@@ -6,23 +6,39 @@
 //
 // Detection rides the replication keepalive plane: every frame a
 // follower hears from its primary (entry pages, cursor-report acks)
-// stamps lastContact, and the elector suspects the primary once the
-// silence exceeds a uniformly jittered timeout in [T, 2T) — jitter
-// decorrelates the followers so split votes resolve across rounds.
+// stamps lastContact — but only while the primary's epoch is at least
+// every epoch this node has voted in. Once a vote is granted, frames
+// from an outvoted primary stop counting as contact, so if the
+// candidate neither wins nor is superseded the voter's own window
+// expires and the cell re-elects at a higher epoch instead of wedging.
+// The elector suspects the primary once the silence exceeds a uniformly
+// jittered timeout in [T, 2T) — jitter decorrelates the followers so
+// split votes resolve across rounds.
 //
-// Election is epoch-stamped majority voting with the max-cursor rule:
-// a suspicious follower first probes the cell (a reachable primary at
-// its epoch or newer means the fault was the link, not the primary —
-// refollow, don't elect), then, with a reachable majority, votes for
-// itself at epoch+1 and solicits the rest. A voter grants at most one
-// vote per epoch (persisted before the grant leaves the node, so
-// crash-restart cannot double-vote) and only to candidates whose
-// durable cursor is at least its own (ties break toward the larger
-// node ID). Majority grants promote through Promote; anything less
-// stands down and retries after the next jittered timeout. A minority
-// partition can therefore never advance the epoch, and in quorum-ACK
-// mode the max-cursor rule makes the winner provably hold every
-// acknowledged entry: the ack majority and the vote majority intersect.
+// Election is epoch-stamped majority voting on the (last-entry epoch,
+// log length) pair — Raft's (lastLogTerm, lastLogIndex), with the
+// last-entry epoch derived from the fence history: a suspicious
+// follower first probes the cell (a reachable primary at or above both
+// its epoch and its voted epoch means the fault was the link, not the
+// primary — refollow, don't elect), then, with a reachable majority,
+// votes for itself at epoch+1 and solicits the rest. A voter grants at
+// most one vote per epoch (persisted before the grant leaves the node,
+// so crash-restart cannot double-vote) and only to candidates whose
+// (last-entry epoch, cursor) is lexicographically at least its own —
+// equal pairs grant; one vote per epoch plus jittered candidacies
+// serialize rivals, and a strict tiebreak would deadlock two equal
+// candidates forever. Comparing the epoch before the length is what
+// keeps a rejoining stale primary out: its divergent tail can be longer
+// than the majority's log, but its last entry was committed under the
+// old epoch, so it can never outrank voters holding entries
+// acknowledged under a newer one. Majority grants promote through
+// Promote; anything less stands down and retries after the next
+// jittered timeout. A minority partition can therefore never advance
+// the epoch, and in quorum-ACK mode this rule (together with the
+// cursor-report vote bar, quorum.go) makes the winner provably hold
+// every acknowledged entry: the ack majority and the vote majority
+// intersect, and a voter's acks stop counting toward the old primary
+// the moment it grants.
 //
 // A primary runs the inverse check on the same loop: it probes peers
 // once per timeout and steps down — rejoining as a follower, where the
@@ -45,6 +61,31 @@ import (
 // (the candidate deserves one full window to win and take over).
 func (s *Server) noteContact() {
 	s.lastContact.Store(time.Now().UnixNano())
+}
+
+// voteBar is this node's vote bar: the newer of its adopted epoch and
+// any epoch it has voted in. Cursor reports are stamped with it (the
+// primary only counts reports whose bar equals its own epoch), and a
+// primary below it no longer counts as leadership contact.
+func (s *Server) voteBar() uint64 {
+	bar := s.db.Epoch()
+	if voted, _ := s.db.Vote(); voted > bar {
+		bar = voted
+	}
+	return bar
+}
+
+// contactFrom stamps the failure detector iff a frame from a primary at
+// the given epoch still counts as leadership contact — i.e. this node
+// has not voted in a newer election. Without the gate, a healthy stream
+// from an outvoted primary would pin the detector forever: the voter
+// could neither ack that primary (its reports carry the newer bar) nor
+// ever time out and force the cell to re-elect.
+func (s *Server) contactFrom(epoch uint64) {
+	if voted, _ := s.db.Vote(); epoch < voted {
+		return
+	}
+	s.noteContact()
 }
 
 // electorLoop is the single goroutine driving detection, election, and
@@ -147,24 +188,33 @@ func (s *Server) probePeer(addr string) peerProbe {
 func (s *Server) runElection() {
 	myEpoch := s.db.Epoch()
 	myLen := s.db.Len()
+	myLast := s.db.LastEntryEpoch()
 	probes := s.probePeers()
 
 	// Discovery first: if any reachable peer IS a primary at our epoch or
 	// newer, the cell has a leader and our problem is the link to it.
 	// Likewise a peer that merely knows of a newer epoch points us at the
-	// leader it follows. Either way: refollow, don't elect.
+	// leader it follows. Either way: refollow, don't elect. The floor
+	// additionally covers any epoch we have voted in: a primary below it
+	// is outvoted — refollowing it would reset our detector and wedge the
+	// cell between an old primary we may no longer ack and an election
+	// that never finishes.
+	floor := myEpoch
+	if voted, _ := s.db.Vote(); voted > floor {
+		floor = voted
+	}
 	reachable := 1 // ourselves
 	for _, p := range probes {
 		if !p.ok {
 			continue
 		}
 		reachable++
-		if p.role == rolePrimary && p.epoch >= myEpoch {
+		if p.role == rolePrimary && p.epoch >= floor {
 			s.logfSafe("election: discovered live primary %s at epoch %d, refollowing", p.addr, p.epoch)
 			s.refollow(p.addr)
 			return
 		}
-		if p.epoch > myEpoch && p.primary != "" && p.primary != s.nodeID && p.primary != s.advertise {
+		if p.epoch > myEpoch && p.epoch >= floor && p.primary != "" && p.primary != s.nodeID && p.primary != s.advertise {
 			s.logfSafe("election: peer %s is at newer epoch %d following %s, refollowing", p.addr, p.epoch, p.primary)
 			s.refollow(p.primary)
 			return
@@ -197,7 +247,7 @@ func (s *Server) runElection() {
 	}
 	votes := 1
 	var barSeen uint64
-	for _, r := range s.requestVotes(target, myLen) {
+	for _, r := range s.requestVotes(target, myLen, myLast) {
 		if r.granted {
 			votes++
 		} else if r.ok {
@@ -243,14 +293,15 @@ type voteResult struct {
 	detail  string
 }
 
-// requestVotes solicits every peer concurrently for target epoch.
-func (s *Server) requestVotes(target uint64, cursor int) []voteResult {
+// requestVotes solicits every peer concurrently for target epoch,
+// advertising the candidacy's (last-entry epoch, cursor) pair.
+func (s *Server) requestVotes(target uint64, cursor int, lastEpoch uint64) []voteResult {
 	out := make([]voteResult, len(s.peers))
 	done := make(chan struct{})
 	for i, addr := range s.peers {
 		go func(i int, addr string) {
 			defer func() { done <- struct{}{} }()
-			out[i] = s.requestVote(addr, target, cursor)
+			out[i] = s.requestVote(addr, target, cursor, lastEpoch)
 		}(i, addr)
 	}
 	for range s.peers {
@@ -260,7 +311,7 @@ func (s *Server) requestVotes(target uint64, cursor int) []voteResult {
 }
 
 // requestVote runs one VOTE round-trip (a v1 one-shot exchange).
-func (s *Server) requestVote(addr string, target uint64, cursor int) voteResult {
+func (s *Server) requestVote(addr string, target uint64, cursor int, lastEpoch uint64) voteResult {
 	var r voteResult
 	conn, err := s.dialTo(addr)()
 	if err != nil {
@@ -269,7 +320,7 @@ func (s *Server) requestVote(addr string, target uint64, cursor int) voteResult 
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(s.electionTimeout))
 	c := wire.NewConn(conn)
-	if c.Send(wire.NewVote(1, target, cursor, s.nodeID)) != nil {
+	if c.Send(wire.NewVote(1, target, cursor, lastEpoch, s.nodeID)) != nil {
 		return r
 	}
 	var resp wire.Response
@@ -284,13 +335,19 @@ func (s *Server) requestVote(addr string, target uint64, cursor int) voteResult 
 
 // handleVote decides one incoming VOTE request — any role answers (a
 // live primary rejecting with its epoch tells the candidate to stand
-// down). Grants are persisted before the reply leaves (store.RecordVote).
-// A rejection's epoch field is the highest epoch this node has committed
-// or voted in — the bar the candidate's next candidacy must clear — so
-// rival candidates converge instead of chasing each other's epochs.
+// down). Grants are persisted before the reply leaves (store.RecordVote)
+// and re-checked against the log afterwards: replication can apply
+// entries between the comparison and the persisted grant, and a grant
+// for a candidate our log has meanwhile outgrown would let it win an
+// election while missing entries our cursor reports may have helped
+// acknowledge. A rejection's epoch field is the highest epoch this node
+// has committed or voted in — the bar the candidate's next candidacy
+// must clear — so rival candidates converge instead of chasing each
+// other's epochs.
 func (s *Server) handleVote(req wire.Request) wire.Response {
 	myEpoch := s.db.Epoch()
 	myLen := s.db.Len()
+	myLast := s.db.LastEntryEpoch()
 	bar := myEpoch
 	if voted, _ := s.db.Vote(); voted > bar {
 		bar = voted
@@ -301,16 +358,28 @@ func (s *Server) handleVote(req wire.Request) wire.Response {
 	if req.Node == "" {
 		return wire.Response{Status: wire.StatusError, Detail: "vote request without candidate node id"}
 	}
+	if len(s.peers) > 0 && !s.isPeer(req.Node) {
+		return reject(fmt.Sprintf("candidate %s is not a configured cell peer", req.Node))
+	}
 	if req.Epoch <= myEpoch {
 		return reject(fmt.Sprintf("stale election epoch %d (cell is at %d)", req.Epoch, myEpoch))
 	}
-	if req.Cursor < myLen {
-		// The max-cursor rule: never elect a candidate that would lose
-		// entries we hold (in quorum mode, entries that may be ACKed).
-		// An equal log grants: one vote per epoch already serializes
-		// rival candidates, and demanding a strict winner (say, a
-		// node-id tiebreak) deadlocks two equal candidates forever.
-		return reject(fmt.Sprintf("candidate log behind: cursor %d, local %d (node %s)", req.Cursor, myLen, s.nodeID))
+	candLast := req.LastEpoch
+	if candLast == 0 {
+		candLast = 1 // a pre-field candidate reads as the initial epoch
+	}
+	if candLast < myLast || (candLast == myLast && req.Cursor < myLen) {
+		// The log-completeness rule, on the (last-entry epoch, length)
+		// pair: never elect a candidate that would lose entries we hold
+		// (in quorum mode, entries that may be ACKed). The epoch compares
+		// first — a stale primary's divergent tail can be longer than our
+		// log, but its last entry's epoch is older, so length alone must
+		// never outrank entries acknowledged under a newer epoch. An
+		// equal pair grants: one vote per epoch already serializes rival
+		// candidates, and demanding a strict winner (say, a node-id
+		// tiebreak) deadlocks two equal candidates forever.
+		return reject(fmt.Sprintf("candidate log behind: last-entry epoch %d, cursor %d; local %d, %d (node %s)",
+			candLast, req.Cursor, myLast, myLen, s.nodeID))
 	}
 	granted, err := s.db.RecordVote(req.Epoch, req.Node)
 	if err != nil {
@@ -318,6 +387,16 @@ func (s *Server) handleVote(req wire.Request) wire.Response {
 	}
 	if !granted {
 		return reject(fmt.Sprintf("already voted in epoch %d", req.Epoch))
+	}
+	// The replication stream kept applying while the grant persisted; if
+	// the log is now ahead of the candidate, withdraw the reply (the vote
+	// stays spent — conservative, and a retried solicitation re-runs this
+	// same check). From the moment the grant was persisted our cursor
+	// reports carry the voted epoch as their bar, so the old primary has
+	// stopped counting us; together the two guarantees mean no entry can
+	// be quorum-acknowledged past this candidate's cursor with our help.
+	if last2, len2 := s.db.LastEntryEpoch(), s.db.Len(); last2 > candLast || (last2 == candLast && len2 > req.Cursor) {
+		return reject(fmt.Sprintf("log advanced past candidate during grant: last-entry epoch %d, len %d", last2, len2))
 	}
 	s.logfSafe("granted vote to %s for epoch %d", req.Node, req.Epoch)
 	// Give the winner one full detection window to take over before we

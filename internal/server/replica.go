@@ -151,6 +151,12 @@ func (s *Server) startFollowing(addr string) {
 	s.followStopped = false
 	s.followWG.Add(1)
 	go s.followLoop(s.followStop)
+	// The role flipped (this may be a demotion): cursors recorded while
+	// we were primary describe a log we no longer serve, and any parked
+	// quorum ADD can never be covered here — reset after the flip so a
+	// racing ADD either parks first (and is aborted) or sees the
+	// follower role and refuses to park at all.
+	s.quorum.reset()
 }
 
 // Promote turns a follower into the primary: the follower loop is
@@ -182,6 +188,11 @@ func (s *Server) promoteTo(target uint64) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("server: promote: %w", err)
 	}
+	// Cursors recorded during a previous primacy (before we were demoted)
+	// describe a log that has since been fenced — clear them after the
+	// epoch bump, so every report counted from here on had to be stamped
+	// with the new epoch.
+	s.quorum.reset()
 	s.logfSafe("promoted to primary at epoch %d (fence %d)", epoch, s.db.Len())
 	// Live client sessions stay: the fence froze at our own length, so
 	// every position they hold is ≤ the fence and guaranteed to survive.
@@ -280,7 +291,7 @@ func (s *Server) followOnce(stop chan struct{}) error {
 	if hello.Status != wire.StatusOK || hello.Version < wire.V2 {
 		return fmt.Errorf("primary refused session (status %v, version %d): %s", hello.Status, hello.Version, hello.Detail)
 	}
-	s.noteContact()
+	s.contactFrom(hello.Epoch)
 
 	switch {
 	case hello.Epoch < s.db.Epoch():
@@ -300,6 +311,11 @@ func (s *Server) followOnce(stop chan struct{}) error {
 		}
 	}
 
+	// The epoch this session was negotiated at: frames received on it are
+	// proof of liveness for a primary at exactly this epoch, and the
+	// failure detector must not count them once we vote past it.
+	sessEpoch := s.db.Epoch()
+
 	// REPLICATE from our cursor. A Bootstrap demand means our cursor
 	// predates the primary's snapshot boundary (or a fence reset emptied
 	// us): pull the folded snapshot plus tail through paged SNAPSHOT
@@ -309,7 +325,7 @@ func (s *Server) followOnce(stop chan struct{}) error {
 		reqID++
 		from := s.db.Len() + 1
 		rep := wire.NewReplicate(reqID, from, s.db.Epoch(), attempt > 0)
-		rep.Node = s.nodeID // lets the primary seed its cursor table
+		rep.Node = s.nodeID // binds this session to our node id for CURSOR reports
 		if err := c.Send(rep); err != nil {
 			return fmt.Errorf("replicate: %w", err)
 		}
@@ -339,8 +355,19 @@ func (s *Server) followOnce(stop chan struct{}) error {
 	// here on (the reader below never writes). Instead of plain PINGs it
 	// reports our durable cursor — the primary's quorum-ACK signal — on
 	// the ticker cadence and immediately after each applied page (the
-	// reader taps reportCh).
+	// reader taps reportCh). The channel is pre-filled so the first
+	// report goes out as soon as the stream opens: the primary's tracker
+	// starts empty and learns our cursor from this report, not from the
+	// REPLICATE request itself.
+	//
+	// Each report is stamped with our vote bar, and ordering matters for
+	// election safety: the cursor is read strictly BEFORE the bar. If a
+	// vote grant lands between the two reads, the report carries the new
+	// bar and the primary discards it; read the other way around, a
+	// pre-vote bar could be paired with a post-vote cursor and count for
+	// a quorum the election's winner never intersects.
 	reportCh := make(chan struct{}, 1)
+	reportCh <- struct{}{}
 	pingDone := make(chan struct{})
 	defer close(pingDone)
 	go func() {
@@ -357,7 +384,9 @@ func (s *Server) followOnce(stop chan struct{}) error {
 			case <-reportCh:
 			}
 			id++
-			if c.Send(wire.NewCursorReport(id, s.db.Len(), s.nodeID)) != nil {
+			cur := s.db.Len()
+			bar := s.voteBar()
+			if c.Send(wire.NewCursorReport(id, cur, bar)) != nil {
 				return // the reader sees the broken conn and returns
 			}
 		}
@@ -365,7 +394,8 @@ func (s *Server) followOnce(stop chan struct{}) error {
 
 	// Apply the entry stream. PUSH frames (ID 0) carry entries; CURSOR
 	// acks and the occasional marker-free frame are skipped. Every frame
-	// is proof of primary liveness for the failure detector.
+	// is proof of liveness for a primary at the session's epoch — counted
+	// by the failure detector only while we have not voted past it.
 	for {
 		var f wire.Response
 		if err := c.Recv(&f); err != nil {
@@ -374,7 +404,7 @@ func (s *Server) followOnce(stop chan struct{}) error {
 			}
 			return fmt.Errorf("stream: %w", err)
 		}
-		s.noteContact()
+		s.contactFrom(sessEpoch)
 		if f.ID != 0 || f.Type != wire.MsgPush {
 			continue // CURSOR/PING ack
 		}
@@ -415,7 +445,7 @@ func (s *Server) fetchSnapshot(c *wire.Conn, reqID *uint64) error {
 		if page.Status != wire.StatusOK {
 			return fmt.Errorf("primary refused SNAPSHOT (status %v): %s", page.Status, page.Detail)
 		}
-		s.noteContact()
+		s.contactFrom(s.db.Epoch())
 		if len(page.Entries) > 0 {
 			if _, err := s.db.ApplyReplicated(from, entriesFromWire(page.Entries)); err != nil {
 				return fmt.Errorf("apply snapshot [%d,%d): %w", from, page.Next, err)
@@ -485,24 +515,32 @@ func (s *Server) admitReplicate(sess *session, req wire.Request) *wire.Response 
 			Detail: "cursor predates snapshot boundary; reset and re-replicate from 1",
 		}
 	}
-	if req.Node != "" {
-		// Seed the quorum tracker: everything below the replica's cursor
-		// is already durable there.
-		s.recordCursor(req.Node, from-1)
+	// Bind the replica's node identity to the session — CURSOR reports on
+	// this session are attributed to it. Only configured peers get an
+	// identity; an unknown node still replicates (read replicas outside
+	// the voting cell are fine) but its reports never count toward
+	// quorum. The tracker is NOT seeded here: the cursor in the request
+	// carries no vote bar, so the follower's first stamped report — sent
+	// the moment the stream opens — is the earliest trustworthy signal.
+	node := ""
+	if req.Node != "" && s.isPeer(req.Node) {
+		node = req.Node
 	}
-	s.subscribeReplica(sess, from)
+	s.subscribeReplica(sess, from, node)
 	return nil
 }
 
 // subscribeReplica registers the session as a replica stream from
-// 1-based index from. Replicas are infrastructure: always admitted
+// 1-based index from, attributed to the given peer node identity (empty
+// for non-members). Replicas are infrastructure: always admitted
 // (maxSubs 0), never shed, never lag-downgraded — the primary ships
 // pages as fast as the replica's socket drains them.
-func (s *Server) subscribeReplica(sess *session, from int) {
+func (s *Server) subscribeReplica(sess *session, from int, node string) {
 	s.hub.register(sess, 0)
 	sess.mu.Lock()
 	sess.subscribed = true
 	sess.replica = true
+	sess.replNode = node
 	sess.cursor = from
 	sess.catchup = false
 	sess.armed = false

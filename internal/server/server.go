@@ -126,10 +126,12 @@ type Config struct {
 	// StatusBusy — never silent loss — when the quorum cannot be reached
 	// within AckTimeout or the in-flight window is full.
 	AckMode AckMode
-	// NodeID identifies this server in a replicated cell: the name
-	// followers stamp on cursor reports and candidates stamp on vote
-	// requests (ties in the election rule break toward the
-	// lexicographically larger NodeID). Defaults to Advertise.
+	// NodeID identifies this server in a replicated cell: the identity a
+	// follower's REPLICATE binds to its session (attributing its cursor
+	// reports) and candidates stamp on vote requests. It must match the
+	// entry for this node in its peers' Peers lists — reports and vote
+	// requests under unconfigured names are ignored. Defaults to
+	// Advertise.
 	NodeID string
 	// Peers lists the other members of the replicated cell (their
 	// advertised addresses). A non-empty list arms the failure detector
@@ -430,9 +432,12 @@ func (s *Server) Process(req wire.Request) wire.Response {
 	case wire.MsgPing:
 		return wire.Response{Status: wire.StatusOK}
 	case wire.MsgCursor:
-		// A follower's durable-cursor report (replication keepalive).
-		s.recordCursor(req.Node, req.Cursor)
-		return wire.Response{Status: wire.StatusOK}
+		// Cursor reports feed the quorum tracker and must be attributed to
+		// a session-bound replica identity (session.go); over v1 or any
+		// other sessionless path there is no identity to bind, so the
+		// report cannot count — reject instead of silently dropping it.
+		return wire.Response{Status: wire.StatusRejected,
+			Detail: "CURSOR requires an established REPLICATE session"}
 	case wire.MsgVote:
 		return s.handleVote(req)
 	case wire.MsgSnapshot:

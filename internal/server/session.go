@@ -67,14 +67,19 @@ type hub struct {
 
 // reserveUser counts one subscription against user's quota, rejecting
 // at max. A session holds at most one reservation (re-SUBSCRIBE on the
-// same session is not double-counted); remove releases it.
+// same session is not double-counted); remove releases it. A counted
+// session re-subscribing under a DIFFERENT user token runs the quota
+// check for the new user before the old reservation moves: rotating
+// tokens on one session is not a way to hold slots under several users,
+// nor to bypass the new user's limit. On rejection the old reservation
+// stands — the session's active subscription is still the old user's.
 func (h *hub) reserveUser(sess *session, user ids.UserID, max int) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sess.mu.Lock()
-	counted := sess.userCounted
+	prev, counted := sess.user, sess.userCounted
 	sess.mu.Unlock()
-	if counted {
+	if counted && prev == user {
 		return true
 	}
 	if h.users == nil {
@@ -84,6 +89,13 @@ func (h *hub) reserveUser(sess *session, user ids.UserID, max int) bool {
 		return false
 	}
 	h.users[user]++
+	if counted {
+		if h.users[prev] > 1 {
+			h.users[prev]--
+		} else {
+			delete(h.users, prev)
+		}
+	}
 	sess.mu.Lock()
 	sess.user = user
 	sess.userCounted = true
@@ -211,6 +223,12 @@ type session struct {
 	// client): pushes carry full entries instead of signature pages, and
 	// the session is never shed or lag-downgraded.
 	replica bool
+	// replNode is the replica's peer node identity, bound when the
+	// REPLICATE was admitted (empty unless the claimed node is a
+	// configured cell peer). CURSOR reports on this session count toward
+	// quorum under this identity and no other — an arbitrary connection
+	// cannot speak for a member.
+	replNode string
 	// user/userCounted track this session's per-user subscription quota
 	// reservation (hub.reserveUser); only meaningful when
 	// Config.MaxSubsPerUser is enforced.
@@ -424,6 +442,27 @@ func (s *Server) serveSession(conn net.Conn, c *wire.Conn, hello wire.Request) {
 			ack := wire.Response{Status: wire.StatusOK, ID: req.ID,
 				Epoch: s.db.Epoch(), Fences: fencesToWire(s.db.Fences())}
 			if !sess.sendHook(ack, func() { s.subscriptionArmed(sess) }) {
+				return
+			}
+		case wire.MsgCursor:
+			// Durable-cursor reports count toward quorum ACKs only on an
+			// established REPLICATE session, attributed to the node identity
+			// bound at admission — never to a name the frame claims. The
+			// report's Epoch field is the follower's vote bar (quorum.go).
+			sess.mu.Lock()
+			replica, node := sess.replica, sess.replNode
+			sess.mu.Unlock()
+			if !replica {
+				if !sess.send(wire.Response{Status: wire.StatusRejected, ID: req.ID,
+					Detail: "CURSOR requires an established REPLICATE session"}) {
+					return
+				}
+				continue
+			}
+			if node != "" {
+				s.recordCursor(node, req.Cursor, req.Epoch)
+			}
+			if !sess.send(wire.Response{Status: wire.StatusOK, ID: req.ID}) {
 				return
 			}
 		case wire.MsgPing:

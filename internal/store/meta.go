@@ -255,6 +255,30 @@ func (st *Store) Vote() (uint64, string) {
 	return st.votedEpoch, st.votedFor
 }
 
+// LastEntryEpoch reports the epoch under which the store's newest log
+// entry was committed, derived from the fence history: each fence
+// records the log length at one promotion, so entries beyond fence E's
+// length were committed while epoch E (or a later one) served. The
+// answer is the largest fenced epoch whose recorded length the log has
+// grown past — epochStart when the log never outgrew any fence (or is
+// empty). This is the election comparison's first component: a stale
+// primary's divergent tail keeps the old epoch here no matter how long
+// it grows, so it can never outrank a shorter log holding entries
+// acknowledged under a newer epoch (the same reason Raft compares
+// lastLogTerm before lastLogIndex).
+func (st *Store) LastEntryEpoch() uint64 {
+	st.epochMu.Lock()
+	defer st.epochMu.Unlock()
+	n := st.Len()
+	last := uint64(epochStart)
+	for _, f := range st.fences {
+		if f.N < n && f.E > last {
+			last = f.E
+		}
+	}
+	return last
+}
+
 // SafeLen computes the fence for a peer last synced at peerEpoch: the
 // highest log index guaranteed identical between this store and that
 // peer. A peer at the current epoch (or newer — the caller refuses

@@ -96,6 +96,54 @@ func TestVoteSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestLastEntryEpoch pins the election comparison's first component:
+// the epoch of the newest log entry, derived from the fence history. A
+// fence at length N means entries past N were committed under that
+// fence's epoch (or a later one); entries AT a fence length still
+// belong to the epoch before it — a fresh primary that has not written
+// yet must not claim its new epoch's authority for the old log.
+func TestLastEntryEpoch(t *testing.T) {
+	st := New(Config{MaxPerDay: 100})
+	defer st.Close()
+	r := rand.New(rand.NewSource(53))
+
+	if e := st.LastEntryEpoch(); e != 1 {
+		t.Fatalf("empty store LastEntryEpoch = %d, want 1", e)
+	}
+	for i := 0; i < 3; i++ {
+		mustAdd(t, st, 1, distinctSig(r, i))
+	}
+	if e := st.LastEntryEpoch(); e != 1 {
+		t.Fatalf("pre-promotion LastEntryEpoch = %d, want 1", e)
+	}
+
+	// Promotion fences at length 3 — until an entry lands past the fence,
+	// the newest entry is still epoch 1's.
+	if _, err := st.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if e := st.LastEntryEpoch(); e != 1 {
+		t.Fatalf("promoted-but-unwritten LastEntryEpoch = %d, want 1", e)
+	}
+	mustAdd(t, st, 1, distinctSig(r, 3))
+	if e := st.LastEntryEpoch(); e != 2 {
+		t.Fatalf("post-fence entry LastEntryEpoch = %d, want 2", e)
+	}
+
+	// A skip-promotion (contested election rounds) fences at epoch 5; the
+	// first entry past it is epoch 5's, regardless of the gap.
+	if _, err := st.PromoteTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if e := st.LastEntryEpoch(); e != 2 {
+		t.Fatalf("after skip-promotion LastEntryEpoch = %d, want 2", e)
+	}
+	mustAdd(t, st, 1, distinctSig(r, 4))
+	if e := st.LastEntryEpoch(); e != 5 {
+		t.Fatalf("entry past skip-fence LastEntryEpoch = %d, want 5", e)
+	}
+}
+
 // TestPromoteToSkipsEpochs pins the fence semantics of winning an
 // election several epochs ahead: only the target epoch gets a fence, so
 // SafeLen across the skipped range answers 0 — a peer from any missed

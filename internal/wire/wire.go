@@ -75,19 +75,29 @@ const (
 	// MsgVote is a vote request in an automatic-failover election: a
 	// follower that suspects the primary is dead asks its peers for their
 	// vote at a proposed epoch (Epoch), carrying its durable log cursor
-	// (Cursor) and node id (Node). A peer grants (StatusOK) at most one
-	// vote per epoch — persisted before the reply is sent — and only to a
-	// candidate whose cursor is at least its own (ties broken by node
-	// id), so the winner of a majority holds every quorum-acknowledged
-	// entry. Rejections carry the voter's epoch and cursor so the
-	// candidate learns why it lost.
+	// (Cursor), the epoch its last log entry was committed under
+	// (LastEpoch), and its node id (Node). A peer grants (StatusOK) at
+	// most one vote per epoch — persisted before the reply is sent — and
+	// only to a candidate whose (LastEpoch, Cursor) pair is at least its
+	// own, compared lexicographically (an equal pair grants; one vote per
+	// epoch plus jittered candidacies serialize rivals). The two-part
+	// comparison is what makes the rule sound: a stale-epoch primary's
+	// divergent tail can be longer than the majority's log, but its last
+	// entry's epoch is older, so it can never outrank the voters holding
+	// newer acknowledged entries. Rejections carry the voter's epoch and
+	// cursor so the candidate learns why it lost.
 	MsgVote
 	// MsgCursor is a durable-cursor report: a follower replica tells the
-	// primary, over its REPLICATE session, how much of the log it holds
-	// durably (Cursor = applied log length, Node = the follower's id).
-	// The primary answers StatusOK like a PING — the report doubles as
-	// the replication keepalive — and uses the tracked cursors to release
-	// quorum-acknowledged ADDs.
+	// primary, over its established REPLICATE session, how much of the
+	// log it holds durably (Cursor = applied log length; Epoch = the
+	// follower's vote bar, the newer of its adopted epoch and any epoch
+	// it has voted in). The primary answers StatusOK like a PING — the
+	// report doubles as the replication keepalive — and counts only
+	// reports whose bar equals its own epoch toward quorum-acknowledged
+	// ADDs: a follower that has voted in a newer election stops feeding
+	// the old primary's quorum at the moment it grants the vote. Reports
+	// outside a REPLICATE session are rejected; the node identity is the
+	// one the session registered, never the frame's.
 	MsgCursor
 	// MsgSnapshot is SNAPSHOT(from): a bulk pull of full log entries for
 	// replica bootstrap. Unlike the push-plane REPLICATE stream it is
@@ -203,21 +213,30 @@ type Request struct {
 	// client) and is always treated as stale. The server's HELLO reply
 	// carries its own epoch plus a Fence the peer uses to decide whether
 	// its local prefix survived the promotion chain (see docs/PROTOCOL.md,
-	// "Epochs and fencing").
+	// "Epochs and fencing"). On VOTE it is the epoch the candidate stands
+	// for; on CURSOR it is the reporter's vote bar — the newer of its
+	// adopted epoch and any epoch it has voted in — which the primary
+	// requires to equal its own epoch before counting the report.
 	Epoch uint64 `json:"epoch,omitempty"`
 	// Bootstrap marks a REPLICATE that restarts replication from scratch
 	// after the primary answered Bootstrap: the follower has reset its
 	// local store and asks for the full authoritative prefix — the
 	// snapshot-covered range first, then the live log — from index 1.
 	Bootstrap bool `json:"bootstrap,omitempty"`
-	// Node identifies the sending replica (REPLICATE, CURSOR) or the
-	// candidate (VOTE) in a replicated cell: its advertised address,
-	// which doubles as the election tiebreak.
+	// Node identifies the sending replica (REPLICATE) or the candidate
+	// (VOTE) in a replicated cell: its advertised address. Quorum
+	// tracking and vote granting only honor nodes named in the
+	// receiving server's configured peer list.
 	Node string `json:"node,omitempty"`
 	// Cursor is the sender's durable log length: on CURSOR it is the
-	// follower's applied cursor, on VOTE the candidate's — the quantity
-	// the max-cursor election rule compares.
+	// follower's applied cursor, on VOTE the candidate's — the length
+	// half of the (LastEpoch, Cursor) election comparison.
 	Cursor int `json:"cursor,omitempty"`
+	// LastEpoch is the epoch under which the candidate's last log entry
+	// was committed (VOTE): the first and decisive half of the election
+	// comparison, derived from the fence history (store.LastEntryEpoch).
+	// 0 (a pre-field peer) is read as the initial epoch.
+	LastEpoch uint64 `json:"last_epoch,omitempty"`
 }
 
 // Response is one server reply, or (ID 0, Type MsgPush) one
@@ -358,16 +377,19 @@ func NewPromote(id uint64) Request {
 }
 
 // NewVote builds a VOTE request: the candidate at node asks for a vote
-// at the proposed epoch, holding cursor durable log entries.
-func NewVote(id uint64, epoch uint64, cursor int, node string) Request {
-	return Request{Type: MsgVote, ID: id, Epoch: epoch, Cursor: cursor, Node: node}
+// at the proposed epoch, holding cursor durable log entries of which
+// the last was committed under lastEpoch.
+func NewVote(id uint64, epoch uint64, cursor int, lastEpoch uint64, node string) Request {
+	return Request{Type: MsgVote, ID: id, Epoch: epoch, Cursor: cursor, LastEpoch: lastEpoch, Node: node}
 }
 
-// NewCursorReport builds a CURSOR report: the replica at node holds
-// cursor durable log entries. Sent on the REPLICATE session in place of
-// the plain keepalive PING.
-func NewCursorReport(id uint64, cursor int, node string) Request {
-	return Request{Type: MsgCursor, ID: id, Cursor: cursor, Node: node}
+// NewCursorReport builds a CURSOR report: the replica holds cursor
+// durable log entries and its vote bar (the newer of its adopted epoch
+// and any epoch it has voted in) is bar. Sent on the REPLICATE session
+// in place of the plain keepalive PING; the node identity is the one
+// the session registered at REPLICATE time.
+func NewCursorReport(id uint64, cursor int, bar uint64) Request {
+	return Request{Type: MsgCursor, ID: id, Cursor: cursor, Epoch: bar}
 }
 
 // NewSnapshotFetch builds a SNAPSHOT request pulling full log entries
