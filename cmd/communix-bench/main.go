@@ -75,6 +75,7 @@ func run() int {
 	e2eWorkerID := flag.Int("e2e-worker-id", 0, "e2e-worker (internal): worker index")
 	e2eTotal := flag.Int("e2e-total", 0, "e2e-worker (internal): community signature count to wait for")
 	e2eTimeout := flag.Int("e2e-timeout", 0, "e2e: run deadline in seconds (0 = default)")
+	chanJSON := flag.String("chan-json", "", "chan experiment: also write the time-to-protection result to this JSON file")
 	fleetJSON := flag.String("fleet-json", "", "fleet experiment: also write results to this JSON file")
 	fleetMode := flag.String("fleet-mode", "both", "fleet: pusher architecture under test: pooled|baseline|both")
 	fleetSubs := flag.String("fleet-subs", "", "fleet: pooled-mode subscriber counts, comma-separated (default quick \"50,200\")")
@@ -144,6 +145,22 @@ func run() int {
 		}, os.Stdout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "communix-bench: e2e-worker: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Chan worker mode: this process is the fresh protected application
+	// of the channel time-to-protection experiment.
+	if *experiment == "chan-worker" {
+		err := bench.ChanE2EWorker(bench.ChanE2EWorkerConfig{
+			Addr:       *e2eAddr,
+			Token:      *e2eToken,
+			TotalSigs:  *e2eTotal,
+			TimeoutSec: *e2eTimeout,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "communix-bench: chan-worker: %v\n", err)
 			return 1
 		}
 		return 0
@@ -302,8 +319,18 @@ func run() int {
 		}
 		bench.WriteHotSwapBench(out, hotSwap)
 		fmt.Fprintln(out)
+		chanCfg := bench.ChanBenchConfig{OpsPerGoroutine: *runtimeOps}
+		if *full && chanCfg.OpsPerGoroutine == 0 {
+			chanCfg.OpsPerGoroutine = 50000
+		}
+		chanPoints, err := bench.ChanBench(chanCfg)
+		if err != nil {
+			return fail("runtime", err)
+		}
+		bench.WriteChanBench(out, chanPoints)
+		fmt.Fprintln(out)
 		if err := writeJSON(*runtimeJSON, func(w io.Writer) error {
-			return bench.WriteRuntimeBenchJSON(w, points, hotSwap)
+			return bench.WriteRuntimeBenchJSON(w, points, hotSwap, chanPoints)
 		}); err != nil {
 			return fail("runtime", err)
 		}
@@ -350,6 +377,20 @@ func run() int {
 			}); err != nil {
 				return fail("e2e", err)
 			}
+		}
+	}
+	if *experiment == "chan" || *experiment == "all" {
+		ran = true
+		res, err := bench.ChanE2E(bench.ChanE2EConfig{TimeoutSec: *e2eTimeout})
+		if err != nil {
+			return fail("chan", err)
+		}
+		bench.WriteChanE2E(out, res)
+		fmt.Fprintln(out)
+		if err := writeJSON(*chanJSON, func(w io.Writer) error {
+			return bench.WriteChanE2EJSON(w, res)
+		}); err != nil {
+			return fail("chan", err)
 		}
 	}
 	// The repl experiment reuses the fleet trace and cell flags: same

@@ -46,6 +46,7 @@ import (
 
 	"communix/internal/agent"
 	"communix/internal/client"
+	"communix/internal/commdlk"
 	"communix/internal/dimmunix"
 	"communix/internal/ids"
 	"communix/internal/plugin"
@@ -76,6 +77,14 @@ type (
 	Mutex = dimmunix.Mutex
 	// Runtime is the Dimmunix lock-management runtime.
 	Runtime = dimmunix.Runtime
+	// ChanRuntime is the channel-deadlock runtime (waits-for graph over
+	// channel ops, detector, avoidance).
+	ChanRuntime = commdlk.Runtime
+	// Chan is a deadlock-immune channel; create with NewChan.
+	Chan[T any] = commdlk.Chan[T]
+	// SelectCase is one case of a deadlock-immune Select; build with
+	// SendCase or RecvCase.
+	SelectCase = commdlk.SelectCase
 	// History is the persistent deadlock history.
 	History = dimmunix.History
 	// Token is an encrypted user id issued by the Communix authority.
@@ -109,6 +118,10 @@ var (
 	ErrDeadlock = dimmunix.ErrDeadlock
 	// ErrClosed reports use after Close.
 	ErrClosed = dimmunix.ErrClosed
+	// ErrChanDeadlock reports a denied cycle-closing channel operation.
+	ErrChanDeadlock = commdlk.ErrDeadlock
+	// ErrChanClosed reports a channel operation released by Close.
+	ErrChanClosed = commdlk.ErrClosed
 )
 
 // KeySize is the AES key size for user-id encryption (128-bit).
@@ -306,12 +319,17 @@ type NodeConfig struct {
 	OnFalsePositive func(FalsePositiveWarning)
 	// DisableAvoidance turns the avoidance module off (detection only).
 	DisableAvoidance bool
+	// DisableChannelGraph turns channel immunity off entirely: NewChan
+	// channels become raw native channels (no capture, no waits-for
+	// graph, no detection, no avoidance). The differential reference arm.
+	DisableChannelGraph bool
 }
 
 // Node is one Communix-protected application instance: a Dimmunix runtime
 // with the Communix plugin, background client, and agent wired in.
 type Node struct {
 	runtime *dimmunix.Runtime
+	chans   *commdlk.Runtime
 	history *dimmunix.History
 	repo    *repo.Repo
 	client  *client.Client
@@ -418,6 +436,17 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		OnDeadlock:        pluginHook,
 		OnFalsePositive:   cfg.OnFalsePositive,
 	})
+	// The channel runtime shares the same history and deadlock hook, so
+	// one signature set — local or community-pushed — immunizes lock
+	// sites and channel sites alike, and channel signatures ride the
+	// same upload path.
+	n.chans = commdlk.NewRuntime(commdlk.Config{
+		History:           history,
+		Policy:            cfg.Policy,
+		AvoidanceDisabled: cfg.DisableAvoidance,
+		GraphDisabled:     cfg.DisableChannelGraph,
+		OnDeadlock:        pluginHook,
+	})
 
 	if n.client != nil {
 		n.client.Start()
@@ -439,8 +468,36 @@ func loadHistory(path string) (*dimmunix.History, error) {
 // NewMutex creates a deadlock-immune mutex on this node.
 func (n *Node) NewMutex(name string) *Mutex { return n.runtime.NewMutex(name) }
 
+// NewChan creates a deadlock-immune channel on node n (a free function
+// because Go methods cannot introduce type parameters). name labels the
+// channel in diagnostics; capacity is the native buffer size.
+func NewChan[T any](n *Node, name string, capacity int) *Chan[T] {
+	return commdlk.NewChan[T](n.chans, name, capacity)
+}
+
+// Select performs a deadlock-immune select over the cases (build them
+// with SendCase / RecvCase): it blocks until one case can proceed and
+// returns its index. A blocked Select holds one disjunctive node in the
+// waits-for graph — it is deadlocked only if every case is. It is a
+// function variable, not a wrapper, so the captured call site is the
+// caller's.
+var Select = commdlk.Select
+
+// SendCase makes a Select case that sends v on c.
+func SendCase[T any](c *Chan[T], v T) SelectCase { return commdlk.SendCase(c, v) }
+
+// RecvCase makes a Select case that receives from c, delivering the
+// value to fn (nil discards it; ok is false when c is closed and
+// drained).
+func RecvCase[T any](c *Chan[T], fn func(v T, ok bool)) SelectCase {
+	return commdlk.RecvCase(c, fn)
+}
+
 // Runtime exposes the Dimmunix runtime for explicit-event use.
 func (n *Node) Runtime() *Runtime { return n.runtime }
+
+// ChanRuntime exposes the channel-deadlock runtime (stats, direct use).
+func (n *Node) ChanRuntime() *ChanRuntime { return n.chans }
 
 // History exposes the node's deadlock history.
 func (n *Node) History() *History { return n.history }
@@ -454,6 +511,45 @@ func (n *Node) SyncNow() (int, error) {
 	}
 	return n.client.SyncOnce()
 }
+
+// InstallRepository installs every repository signature not yet
+// installed directly into the node's history, skipping bytecode
+// validation — the path for communication (channel) signatures, whose
+// engagement sites are channel operations rather than the modelled
+// application's nested lock sites, so the agent's hash/depth/nesting
+// checks do not apply to them. Mutex-site signatures on an App-bearing
+// node should go through ValidateRepository instead. It returns how
+// many signatures were newly installed, and persists the history when
+// the node has a HistoryPath.
+func (n *Node) InstallRepository() (int, error) {
+	n.valMu.Lock()
+	defer n.valMu.Unlock()
+	entries := n.repo.NewSince(installKey)
+	installed := 0
+	through := 0
+	for _, e := range entries {
+		if n.history.Add(e.Sig) {
+			installed++
+		}
+		through = e.Index + 1
+	}
+	if through > 0 {
+		if err := n.repo.MarkInspected(installKey, through, nil); err != nil {
+			return installed, err
+		}
+	}
+	if installed > 0 {
+		if err := n.history.Save(); err != nil {
+			return installed, err
+		}
+	}
+	return installed, nil
+}
+
+// installKey is InstallRepository's repository cursor, distinct from
+// any agent AppKey so direct installs and agent validation track their
+// positions independently.
+const installKey = "communix-direct-install"
 
 // ValidateRepository runs the agent's startup pass: validate new
 // repository signatures against the application and generalize them into
@@ -499,5 +595,6 @@ func (n *Node) Close() {
 		n.client.Close()
 	}
 	n.runtime.Close()
+	n.chans.Close()
 	_ = n.history.Save()
 }

@@ -1,0 +1,263 @@
+// Channel quickstart: communication-deadlock immunity, collaboratively.
+//
+// Two goroutines use a pair of capacity-1 channels as semaphores and
+// fill them in opposite orders — the channel transposition of the
+// classic lock-order inversion, invisible to any lock-order detector.
+// Machine A hits the deadlock: the channel waits-for graph detects it
+// on block, fingerprints the flow into an ordinary Communix signature
+// (channel frames carry a `kind`), and the plugin uploads it to a local
+// server. Machine B downloads the signature, installs it, and runs the
+// identical schedule immune: the threatening fill parks (a yield) until
+// the coast is clear, and every round completes.
+//
+// Run with: go run ./examples/chanquickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"communix"
+)
+
+var key = []byte("examples-key-16b")
+
+// machine is one process's view: two semaphore channels on its node.
+// A buffered deposit holds the semaphore; draining releases it.
+type machine struct {
+	node *communix.Node
+	rt   *communix.ChanRuntime
+	a, b *communix.Chan[int]
+}
+
+func newMachine(node *communix.Node) *machine {
+	return &machine{
+		node: node,
+		rt:   node.ChanRuntime(),
+		a:    communix.NewChan[int](node, "sem-a", 1),
+		b:    communix.NewChan[int](node, "sem-b", 1),
+	}
+}
+
+// gate waits for a runtime condition — the schedule's synchronization
+// is phrased over observable state (channel fill, parked ops) rather
+// than a side channel, so the identical schedule drives both the
+// deadlocking run and the immune run (where one fill parks instead of
+// proceeding).
+func gate(cond func() bool) func() error {
+	deadline := time.Now().Add(10 * time.Second)
+	return func() error {
+		for !cond() {
+			if time.Now().After(deadline) {
+				return errors.New("gate timed out")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return nil
+	}
+}
+
+// forward fills a then b; backward fills b then a — opposite orders,
+// the cycle. mid (and backward's pre) sequence the interleaving; nil
+// laps are uncontended warmups. Distinct call sites per direction keep
+// the two flows' fingerprints honest.
+func (m *machine) forward(mid func() error) error {
+	if err := m.a.Send(1); err != nil {
+		return err
+	}
+	if mid != nil {
+		if err := mid(); err != nil {
+			return err
+		}
+	}
+	if err := m.b.Send(1); err != nil {
+		m.a.TryRecv() // release the held semaphore before reporting
+		return err
+	}
+	m.b.TryRecv()
+	m.a.TryRecv()
+	return nil
+}
+
+func (m *machine) backward(pre, mid func() error) error {
+	if pre != nil {
+		if err := pre(); err != nil {
+			return err
+		}
+	}
+	if err := m.b.Send(2); err != nil {
+		return err
+	}
+	if mid != nil {
+		if err := mid(); err != nil {
+			return err
+		}
+	}
+	if err := m.a.Send(2); err != nil {
+		m.b.TryRecv()
+		return err
+	}
+	m.a.TryRecv()
+	m.b.TryRecv()
+	return nil
+}
+
+// race runs the two flows on two goroutines. Each goroutine first
+// completes one uncontended warmup lap (sequenced, so warmup cannot
+// deadlock): the detector builds its rescuer model from *observed*
+// usage — who sends and who receives on each channel — and stays
+// conservative about channels it has never seen drained, so a cycle
+// among cold channels is not called a deadlock. The gated lap then
+// interleaves the fills into the cycle for real.
+func (m *machine) race() (error, error) {
+	var e1, e2 error
+	g1warm := make(chan struct{})
+	g2warm := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if e1 = m.forward(nil); e1 != nil {
+			close(g1warm)
+			return
+		}
+		close(g1warm)
+		<-g2warm
+		// Cross-fill once the other worker committed to b: deposited
+		// it, or parked at it (the immune run).
+		e1 = m.forward(gate(func() bool { return m.b.Len() == 1 || m.rt.Waiting() >= 1 }))
+	}()
+	go func() {
+		defer wg.Done()
+		<-g1warm
+		if e2 = m.backward(nil, nil); e2 != nil {
+			close(g2warm)
+			return
+		}
+		close(g2warm)
+		e2 = m.backward(
+			// First fill waits for the other worker's fill of a, keeping
+			// the engagement order deterministic.
+			gate(func() bool { return m.a.Len() == 1 }),
+			// Cross-fill once the other worker is blocked on b (the
+			// deadlocking run) or has already finished and drained a
+			// after this worker parked (the immune run).
+			gate(func() bool { return m.rt.Waiting() >= 1 || m.a.Len() == 0 }),
+		)
+	}()
+	wg.Wait()
+	return e1, e2
+}
+
+func run() error {
+	// The Communix server both machines talk to.
+	srv, err := communix.NewServer(communix.ServerConfig{Key: key})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+	defer func() { srv.Close(); <-served }()
+	fmt.Printf("server listening on %s\n", l.Addr())
+
+	auth, err := communix.NewAuthority(key)
+	if err != nil {
+		return err
+	}
+	_, tokenA := auth.Issue()
+	_, tokenB := auth.Issue()
+
+	// --- Machine A: the program deadlocks over its channels. ---
+	fmt.Println("\nmachine A: two workers fill the semaphore channels in opposite orders")
+	nodeA, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: l.Addr().String(), Token: tokenA,
+		Policy: communix.RecoverBreak, // deny the cycle-closing op instead of hanging
+		OnDeadlock: func(d communix.Deadlock) {
+			top := d.Signature.Threads[0].Outer.Top()
+			fmt.Printf("  communication deadlock detected! %d threads, frame kind %q\n",
+				len(d.Signature.Threads), top.Kind)
+			fmt.Println("  signature extracted, uploading to the server")
+		},
+	})
+	if err != nil {
+		return err
+	}
+	mA := newMachine(nodeA)
+	e1, e2 := mA.race()
+	if !errors.Is(e1, communix.ErrChanDeadlock) && !errors.Is(e2, communix.ErrChanDeadlock) {
+		return fmt.Errorf("machine A was expected to deadlock (got %v / %v)", e1, e2)
+	}
+	fmt.Println("  one fill was denied to break the deadlock (the app would restart here)")
+	nodeA.Close() // drains the plugin upload queue
+	fmt.Printf("  server database now holds %d signature(s)\n", srv.Store().Len())
+
+	// --- Machine B: fresh machine, same program, now immune. ---
+	fmt.Println("\nmachine B: fresh machine, same program")
+	nodeB, err := communix.NewNode(communix.NodeConfig{
+		ServerAddr: l.Addr().String(), Token: tokenB,
+		Policy: communix.RecoverBreak,
+		OnDeadlock: func(communix.Deadlock) {
+			fmt.Println("  BUG: machine B deadlocked despite collaborative immunity")
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer nodeB.Close()
+
+	// SyncNow guarantees the repository is current (the background
+	// client may have already pulled the batch the moment the node came
+	// up). Channel signatures then install directly: their engagement
+	// sites are channel operations, not the modelled application's lock
+	// sites, so the bytecode agent's checks don't apply.
+	if _, err := nodeB.SyncNow(); err != nil {
+		return err
+	}
+	installed, err := nodeB.InstallRepository()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  synced with the server: %d community signature(s) installed into the history\n", installed)
+
+	mB := newMachine(nodeB)
+	for round := 0; round < 20; round++ {
+		if e1, e2 := mB.race(); e1 != nil || e2 != nil {
+			return fmt.Errorf("round %d: %v / %v", round, e1, e2)
+		}
+	}
+	stats := mB.rt.Stats()
+	fmt.Printf("  20 opposing rounds completed: %d deadlocks, %d avoidance yields\n",
+		stats.Deadlocks, stats.Yields)
+
+	// Select is immune the same way: a blocked select is one disjunctive
+	// wait in the graph.
+	drained := 0
+	sink := communix.NewChan[int](nodeB, "sink", 1)
+	if err := sink.Send(7); err != nil {
+		return err
+	}
+	if _, err := communix.Select(
+		communix.RecvCase(sink, func(v int, ok bool) { drained = v }),
+	); err != nil {
+		return err
+	}
+	fmt.Printf("  select drained %d from the sink channel through the same graph\n", drained)
+
+	fmt.Println("\nmachine B is immune to a communication deadlock it never experienced")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "chanquickstart: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,3 +1,3 @@
 module communix
 
-go 1.21
+go 1.24

@@ -240,7 +240,7 @@ func TestRuntimeBenchSmallSweep(t *testing.T) {
 		t.Error("renderer output missing header")
 	}
 	buf.Reset()
-	if err := WriteRuntimeBenchJSON(&buf, points, nil); err != nil {
+	if err := WriteRuntimeBenchJSON(&buf, points, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"runtime-sharded-sweep"`) {
@@ -290,7 +290,7 @@ func TestHotSwapBenchSmallSweep(t *testing.T) {
 		t.Error("renderer output missing header")
 	}
 	buf.Reset()
-	if err := WriteRuntimeBenchJSON(&buf, nil, points); err != nil {
+	if err := WriteRuntimeBenchJSON(&buf, nil, points, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"hot_swap"`) {

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChanBenchStructure runs a tiny sweep and checks shape, not speed:
+// per (goroutines, history) configuration the disabled and enabled arms
+// are present, raw appears once per goroutine count, and every point
+// carries positive measurements.
+func TestChanBenchStructure(t *testing.T) {
+	points, err := ChanBench(ChanBenchConfig{
+		Goroutines:      []int{1, 2},
+		HistorySizes:    []int{0, 8},
+		OpsPerGoroutine: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 goroutine counts × (raw@hist0 + 2 arms × 2 histories) = 2 × 5.
+	if len(points) != 10 {
+		t.Fatalf("got %d points, want 10", len(points))
+	}
+	raws := 0
+	for _, p := range points {
+		if p.Ops <= 0 || p.ElapsedNS <= 0 || p.NSPerOp <= 0 || p.OpsPerSec <= 0 {
+			t.Fatalf("point %+v has non-positive measurements", p)
+		}
+		switch p.Arm {
+		case ChanArmRaw:
+			raws++
+			if p.HistorySize != 0 {
+				t.Fatalf("raw arm measured with history %d", p.HistorySize)
+			}
+		case ChanArmDisabled, ChanArmEnabled:
+		default:
+			t.Fatalf("unknown arm %q", p.Arm)
+		}
+	}
+	if raws != 2 {
+		t.Fatalf("raw arm measured %d times, want 2", raws)
+	}
+
+	var text bytes.Buffer
+	WriteChanBench(&text, points)
+	if !strings.Contains(text.String(), "disabled/raw") {
+		t.Fatal("text output missing the differential column")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRuntimeBenchJSON(&buf, nil, nil, points); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Chan []ChanBenchPoint `json:"chan"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Chan) != len(points) {
+		t.Fatalf("JSON round-trip kept %d chan points, want %d", len(doc.Chan), len(points))
+	}
+}
+
+func TestLastJSONLine(t *testing.T) {
+	in := []byte("noise\n{\"a\":1}\n{\"b\":2}\n")
+	if got := string(lastJSONLine(in)); got != `{"b":2}` {
+		t.Fatalf("lastJSONLine = %q", got)
+	}
+	if lastJSONLine(nil) != nil {
+		t.Fatal("lastJSONLine(nil) != nil")
+	}
+}

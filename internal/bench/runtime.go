@@ -284,16 +284,18 @@ func WriteRuntimeBench(w io.Writer, points []RuntimeBenchPoint) {
 	}
 }
 
-// WriteRuntimeBenchJSON writes both sweeps as indented JSON (the
-// committed BENCH_runtime.json format).
-func WriteRuntimeBenchJSON(w io.Writer, points []RuntimeBenchPoint, hotSwap []HotSwapBenchPoint) error {
+// WriteRuntimeBenchJSON writes the runtime sweeps as indented JSON (the
+// committed BENCH_runtime.json format): the sharded mutex sweep, the
+// history hot-swap comparison, and the channel fast-path differential.
+func WriteRuntimeBenchJSON(w io.Writer, points []RuntimeBenchPoint, hotSwap []HotSwapBenchPoint, chanPoints []ChanBenchPoint) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
 		Experiment string              `json:"experiment"`
 		Points     []RuntimeBenchPoint `json:"points"`
 		HotSwap    []HotSwapBenchPoint `json:"hot_swap,omitempty"`
-	}{Experiment: "runtime-sharded-sweep", Points: points, HotSwap: hotSwap})
+		Chan       []ChanBenchPoint    `json:"chan,omitempty"`
+	}{Experiment: "runtime-sharded-sweep", Points: points, HotSwap: hotSwap, Chan: chanPoints})
 }
 
 // HotSwapBenchConfig parameterizes the history hot-swap experiment: G

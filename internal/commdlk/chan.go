@@ -1,0 +1,289 @@
+package commdlk
+
+import (
+	"errors"
+	"reflect"
+
+	"communix/internal/sig"
+	"communix/internal/stacktrace"
+)
+
+// Chan is a native Go channel instrumented for communication-deadlock
+// immunity. Non-blocking completions stay on the fast path (one native
+// select plus bookkeeping); an op that would block first passes the
+// avoidance gate (it may park if completing would instantiate a known
+// signature), then registers in the waits-for graph, runs detection,
+// and performs the real native blocking op — releasable by
+// Runtime.Close.
+//
+// Close semantics mirror native channels: Close closes the underlying
+// channel (double close panics, send on closed panics); Recv on a
+// closed drained channel returns ok=false immediately.
+type Chan[T any] struct {
+	ch   chan T
+	core *chanCore
+}
+
+// NewChan builds an instrumented channel. name labels the channel in
+// diagnostics; capacity is the native buffer size.
+func NewChan[T any](rt *Runtime, name string, capacity int) *Chan[T] {
+	return &Chan[T]{
+		ch:   make(chan T, capacity),
+		core: rt.newCore(name, capacity),
+	}
+}
+
+// Name returns the channel's diagnostic label.
+func (c *Chan[T]) Name() string { return c.core.name }
+
+// Cap returns the channel's buffer capacity.
+func (c *Chan[T]) Cap() int { return c.core.capacity }
+
+// Len returns the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.ch) }
+
+// Send sends v, blocking until capacity (or a receiver) is available.
+// Under RecoverBreak it returns ErrDeadlock if the wait closed a
+// detected cycle; ErrClosed if the runtime shut down while blocked.
+func (c *Chan[T]) Send(v T) error {
+	rt := c.core.rt
+	if rt.cfg.GraphDisabled {
+		c.ch <- v
+		return nil
+	}
+	gid := stacktrace.GoroutineID()
+	cs := rt.captureOp(1, sig.KindChanSend)
+	if err := rt.avoid(gid, cs, sig.KindChanSend); err != nil {
+		return err
+	}
+	select {
+	case c.ch <- v:
+		c.core.completeSend(gid, cs, sig.KindChanSend)
+		return nil
+	default:
+	}
+	op, err := rt.block(gid, cs, sig.KindChanSend, opCase{core: c.core, dir: dirSend})
+	if err != nil {
+		return err
+	}
+	select {
+	case c.ch <- v:
+		rt.unblock(op)
+		c.core.completeSend(gid, cs, sig.KindChanSend)
+		return nil
+	case <-rt.closedCh:
+		rt.unblock(op)
+		return ErrClosed
+	}
+}
+
+// Recv receives a value, blocking until one (or a close) is available.
+// ok is false when the channel is closed and drained. Under
+// RecoverBreak it returns ErrDeadlock if the wait closed a detected
+// cycle; ErrClosed if the runtime shut down while blocked.
+func (c *Chan[T]) Recv() (v T, ok bool, err error) {
+	rt := c.core.rt
+	if rt.cfg.GraphDisabled {
+		v, ok = <-c.ch
+		return v, ok, nil
+	}
+	gid := stacktrace.GoroutineID()
+	cs := rt.captureOp(1, sig.KindChanRecv)
+	if err := rt.avoid(gid, cs, sig.KindChanRecv); err != nil {
+		return v, false, err
+	}
+	select {
+	case v, ok = <-c.ch:
+		c.core.completeRecv(gid, cs, sig.KindChanRecv)
+		return v, ok, nil
+	default:
+	}
+	op, err := rt.block(gid, cs, sig.KindChanRecv, opCase{core: c.core, dir: dirRecv})
+	if err != nil {
+		return v, false, err
+	}
+	select {
+	case v, ok = <-c.ch:
+		rt.unblock(op)
+		c.core.completeRecv(gid, cs, sig.KindChanRecv)
+		return v, ok, nil
+	case <-rt.closedCh:
+		rt.unblock(op)
+		return v, false, ErrClosed
+	}
+}
+
+// TrySend attempts a non-blocking send. Try ops cannot deadlock, so
+// they skip the avoidance gate and the graph; they still record usage
+// so the detector learns the channel's senders.
+func (c *Chan[T]) TrySend(v T) bool {
+	rt := c.core.rt
+	if rt.cfg.GraphDisabled {
+		select {
+		case c.ch <- v:
+			return true
+		default:
+			return false
+		}
+	}
+	select {
+	case c.ch <- v:
+		gid := stacktrace.GoroutineID()
+		cs := rt.captureOp(1, sig.KindChanSend)
+		c.core.completeSend(gid, cs, sig.KindChanSend)
+		return true
+	default:
+		return false
+	}
+}
+
+// TryRecv attempts a non-blocking receive. received reports whether a
+// value (or a closed-channel zero value, with ok=false) was taken.
+func (c *Chan[T]) TryRecv() (v T, ok bool, received bool) {
+	rt := c.core.rt
+	if rt.cfg.GraphDisabled {
+		select {
+		case v, ok = <-c.ch:
+			return v, ok, true
+		default:
+			return v, false, false
+		}
+	}
+	select {
+	case v, ok = <-c.ch:
+		gid := stacktrace.GoroutineID()
+		cs := rt.captureOp(1, sig.KindChanRecv)
+		c.core.completeRecv(gid, cs, sig.KindChanRecv)
+		return v, ok, true
+	default:
+		return v, false, false
+	}
+}
+
+// Close closes the underlying channel, with native semantics: blocked
+// receivers drain and observe ok=false; a double close panics.
+func (c *Chan[T]) Close() {
+	if !c.core.rt.cfg.GraphDisabled {
+		c.core.markClosed()
+	}
+	close(c.ch)
+}
+
+// SelectCase is one case of a Select: build with SendCase or RecvCase.
+type SelectCase struct {
+	core    *chanCore
+	dir     opDir
+	rcase   reflect.SelectCase
+	deliver func(v reflect.Value, ok bool)
+}
+
+// SendCase makes a Select case that sends v on c.
+func SendCase[T any](c *Chan[T], v T) SelectCase {
+	return SelectCase{
+		core: c.core,
+		dir:  dirSend,
+		rcase: reflect.SelectCase{
+			Dir:  reflect.SelectSend,
+			Chan: reflect.ValueOf(c.ch),
+			Send: reflect.ValueOf(v),
+		},
+	}
+}
+
+// RecvCase makes a Select case that receives from c, delivering the
+// value to fn (which may be nil to discard it). ok is false when the
+// channel is closed and drained.
+func RecvCase[T any](c *Chan[T], fn func(v T, ok bool)) SelectCase {
+	return SelectCase{
+		core: c.core,
+		dir:  dirRecv,
+		rcase: reflect.SelectCase{
+			Dir:  reflect.SelectRecv,
+			Chan: reflect.ValueOf(c.ch),
+		},
+		deliver: func(rv reflect.Value, ok bool) {
+			if fn == nil {
+				return
+			}
+			var v T
+			if ok {
+				v = rv.Interface().(T)
+			}
+			fn(v, ok)
+		},
+	}
+}
+
+func (sc *SelectCase) complete(gid uint64, cs sig.Stack) {
+	if sc.dir == dirSend {
+		sc.core.completeSend(gid, cs, sig.KindChanSelect)
+	} else {
+		sc.core.completeRecv(gid, cs, sig.KindChanSelect)
+	}
+}
+
+// errEmptySelect is returned by Select with no cases (a native empty
+// select blocks forever; the instrumented one refuses).
+var errEmptySelect = errors.New("commdlk: select with no cases")
+
+// Select performs an instrumented select over the cases: it blocks
+// until one case can proceed, completes it, and returns its index. A
+// blocked select registers one disjunctive node in the waits-for graph
+// — it is stuck only if every case is stuck. All cases must belong to
+// channels of the same Runtime. Under RecoverBreak it returns
+// ErrDeadlock if the wait closed a detected cycle; ErrClosed if the
+// runtime shut down while blocked.
+func Select(cases ...SelectCase) (int, error) {
+	if len(cases) == 0 {
+		return -1, errEmptySelect
+	}
+	rt := cases[0].core.rt
+	scs := make([]reflect.SelectCase, len(cases)+1)
+	for i := range cases {
+		scs[i] = cases[i].rcase
+	}
+	if rt.cfg.GraphDisabled {
+		chosen, rv, ok := reflect.Select(scs[:len(cases)])
+		if cases[chosen].deliver != nil {
+			cases[chosen].deliver(rv, ok)
+		}
+		return chosen, nil
+	}
+	gid := stacktrace.GoroutineID()
+	cs := rt.captureOp(1, sig.KindChanSelect)
+	if err := rt.avoid(gid, cs, sig.KindChanSelect); err != nil {
+		return -1, err
+	}
+	// Non-blocking attempt.
+	scs[len(cases)] = reflect.SelectCase{Dir: reflect.SelectDefault}
+	if chosen, rv, ok := reflect.Select(scs); chosen < len(cases) {
+		cases[chosen].complete(gid, cs)
+		if cases[chosen].deliver != nil {
+			cases[chosen].deliver(rv, ok)
+		}
+		return chosen, nil
+	}
+	// Blocking path: one disjunctive graph node covering every case.
+	opCases := make([]opCase, len(cases))
+	for i := range cases {
+		opCases[i] = opCase{core: cases[i].core, dir: cases[i].dir}
+	}
+	op, err := rt.block(gid, cs, sig.KindChanSelect, opCases...)
+	if err != nil {
+		return -1, err
+	}
+	scs[len(cases)] = reflect.SelectCase{
+		Dir:  reflect.SelectRecv,
+		Chan: reflect.ValueOf(rt.closedCh),
+	}
+	chosen, rv, ok := reflect.Select(scs)
+	rt.unblock(op)
+	if chosen == len(cases) {
+		return -1, ErrClosed
+	}
+	cases[chosen].complete(gid, cs)
+	if cases[chosen].deliver != nil {
+		cases[chosen].deliver(rv, ok)
+	}
+	return chosen, nil
+}

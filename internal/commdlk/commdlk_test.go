@@ -1,0 +1,593 @@
+package commdlk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"communix/internal/dimmunix"
+	"communix/internal/sig"
+)
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// sem is the channel-as-semaphore scenario: two capacity-1 channels
+// filled in opposite order by two goroutines — the channel transposition
+// of the classic lock-ordering deadlock. A full cycle per goroutine is
+// fill/fill/drain/drain; the opposite fill orders make the second fills
+// mutually blocking when the first fills interleave.
+type sem struct {
+	a, b *Chan[int]
+}
+
+func newSem(rt *Runtime) *sem {
+	return &sem{
+		a: NewChan[int](rt, "sem-a", 1),
+		b: NewChan[int](rt, "sem-b", 1),
+	}
+}
+
+// g1cycle: fill A, fill B, drain B, drain A. gate runs between the
+// fills (nil = no gate). On a denied second fill the goroutine backs
+// out by draining what it holds, so the peer can finish.
+func (s *sem) g1cycle(gate func()) error {
+	if err := s.a.Send(1); err != nil {
+		return err
+	}
+	if gate != nil {
+		gate()
+	}
+	if err := s.b.Send(1); err != nil {
+		s.a.TryRecv()
+		return err
+	}
+	if _, _, err := s.b.Recv(); err != nil {
+		return err
+	}
+	_, _, err := s.a.Recv()
+	return err
+}
+
+// g2cycle: fill B, fill A, drain A, drain B — the opposite order.
+// pre runs before the first fill, mid between the fills.
+func (s *sem) g2cycle(pre, mid func()) error {
+	if pre != nil {
+		pre()
+	}
+	if err := s.b.Send(1); err != nil {
+		return err
+	}
+	if mid != nil {
+		mid()
+	}
+	if err := s.a.Send(1); err != nil {
+		s.b.TryRecv()
+		return err
+	}
+	if _, _, err := s.a.Recv(); err != nil {
+		return err
+	}
+	_, _, err := s.b.Recv()
+	return err
+}
+
+// runSemTrap drives the deterministic trap schedule: warmup lap per
+// goroutine (sequenced, deadlock-free — it seeds the usage sets the
+// detector's rescuer model needs), then the interleaved trap lap:
+// g1 fills A; g2 fills B; g1 attempts B; g2 attempts A. The gates are
+// phrased so the same schedule also drives the avoidance rerun, where
+// g2's first fill parks instead of depositing.
+func runSemTrap(t *testing.T, rt *Runtime, s *sem) (g1err, g2err error) {
+	t.Helper()
+	var (
+		wg     sync.WaitGroup
+		g1warm = make(chan struct{})
+		g2warm = make(chan struct{})
+		e1, e2 error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := s.g1cycle(nil); err != nil {
+			e1 = err
+			close(g1warm)
+			return
+		}
+		close(g1warm)
+		<-g2warm
+		e1 = s.g1cycle(func() {
+			// Proceed to fill B once g2 committed to B: deposited it,
+			// or parked at it (the avoidance rerun).
+			waitUntil(t, "g2 engaging B", func() bool {
+				return s.b.Len() == 1 || rt.Waiting() >= 1
+			})
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-g1warm
+		if err := s.g2cycle(nil, nil); err != nil {
+			e2 = err
+			close(g2warm)
+			return
+		}
+		close(g2warm)
+		e2 = s.g2cycle(func() {
+			// First fill waits for g1's fill of A, keeping the deposit
+			// order deterministic across laps.
+			waitUntil(t, "g1 filling A", func() bool { return s.a.Len() == 1 })
+		}, func() {
+			// Cross-fill once g1 is waiting on B (detection lap) or has
+			// already drained A after we parked (avoidance lap).
+			waitUntil(t, "g1 waiting on B", func() bool {
+				return rt.Waiting() >= 1 || s.a.Len() == 0
+			})
+		})
+	}()
+	wg.Wait()
+	return e1, e2
+}
+
+func TestSemaphoreCycleDetection(t *testing.T) {
+	h := dimmunix.NewHistory()
+	rt := NewRuntime(Config{History: h, Policy: dimmunix.RecoverBreak})
+	defer rt.Close()
+	s := newSem(rt)
+
+	var detected []dimmunix.Deadlock
+	var mu sync.Mutex
+	rt.cfg.OnDeadlock = func(d dimmunix.Deadlock) {
+		mu.Lock()
+		detected = append(detected, d)
+		mu.Unlock()
+	}
+
+	e1, e2 := runSemTrap(t, rt, s)
+	if (e1 == nil) == (e2 == nil) {
+		t.Fatalf("want exactly one denied fill, got g1=%v g2=%v", e1, e2)
+	}
+	denied := e1
+	if denied == nil {
+		denied = e2
+	}
+	if !errors.Is(denied, ErrDeadlock) {
+		t.Fatalf("denied fill error = %v, want ErrDeadlock", denied)
+	}
+	if st := rt.Stats(); st.Deadlocks != 1 {
+		t.Fatalf("deadlocks = %d, want 1", st.Deadlocks)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(detected) != 1 {
+		t.Fatalf("OnDeadlock fired %d times, want 1", len(detected))
+	}
+	d := detected[0]
+	if d.Known {
+		t.Error("first detection reported Known")
+	}
+	if d.Signature == nil || len(d.Signature.Threads) != 2 {
+		t.Fatalf("signature = %v, want 2 threads", d.Signature)
+	}
+	for i, th := range d.Signature.Threads {
+		if got := th.Outer.Top().Kind; got != sig.KindChanSend {
+			t.Errorf("thread %d outer kind = %q, want chan-send", i, got)
+		}
+		if got := th.Inner.Top().Kind; got != sig.KindChanSend {
+			t.Errorf("thread %d inner kind = %q, want chan-send", i, got)
+		}
+	}
+	if h.Get(d.Signature.ID()) == nil {
+		t.Error("detected signature not added to the history")
+	}
+	// The signature survives the wire codec unchanged.
+	data, err := sig.Encode(d.Signature)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := sig.Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.ID() != d.Signature.ID() {
+		t.Error("codec round trip changed the signature ID")
+	}
+}
+
+func TestSemaphoreCycleAvoidance(t *testing.T) {
+	dimmunix.SetYieldRehomeTimeout(50 * time.Millisecond)
+	defer dimmunix.SetYieldRehomeTimeout(time.Second)
+
+	// First process: detect the cycle.
+	h := dimmunix.NewHistory()
+	rt1 := NewRuntime(Config{History: h, Policy: dimmunix.RecoverBreak})
+	s1 := newSem(rt1)
+	runSemTrap(t, rt1, s1)
+	rt1.Close()
+	if rt1.Stats().Deadlocks != 1 {
+		t.Fatal("setup: no deadlock detected")
+	}
+
+	// Fresh runtime sharing the history (as a fresh process with the
+	// pushed signature would): the same schedule must complete without
+	// deadlocking, with at least one fill parked.
+	rt2 := NewRuntime(Config{History: h, Policy: dimmunix.RecoverBreak})
+	defer rt2.Close()
+	s2 := newSem(rt2)
+	e1, e2 := runSemTrap(t, rt2, s2)
+	if e1 != nil || e2 != nil {
+		t.Fatalf("avoidance run errored: g1=%v g2=%v", e1, e2)
+	}
+	st := rt2.Stats()
+	if st.Deadlocks != 0 {
+		t.Fatalf("avoidance run detected %d deadlocks, want 0", st.Deadlocks)
+	}
+	if st.Yields == 0 {
+		t.Fatal("avoidance run never parked a channel op")
+	}
+}
+
+// selSem is the select variant: fills go through single-case Selects,
+// so outer and inner sites carry the chan-select kind.
+type selSem struct {
+	a, b *Chan[int]
+}
+
+func newSelSem(rt *Runtime) *selSem {
+	return &selSem{
+		a: NewChan[int](rt, "selsem-a", 1),
+		b: NewChan[int](rt, "selsem-b", 1),
+	}
+}
+
+func (s *selSem) g1cycle(gate func()) error {
+	if _, err := Select(SendCase(s.a, 1)); err != nil {
+		return err
+	}
+	if gate != nil {
+		gate()
+	}
+	if _, err := Select(SendCase(s.b, 1)); err != nil {
+		s.a.TryRecv()
+		return err
+	}
+	if _, _, err := s.b.Recv(); err != nil {
+		return err
+	}
+	_, _, err := s.a.Recv()
+	return err
+}
+
+func (s *selSem) g2cycle(pre, mid func()) error {
+	if pre != nil {
+		pre()
+	}
+	if _, err := Select(SendCase(s.b, 1)); err != nil {
+		return err
+	}
+	if mid != nil {
+		mid()
+	}
+	if _, err := Select(SendCase(s.a, 1)); err != nil {
+		s.b.TryRecv()
+		return err
+	}
+	if _, _, err := s.a.Recv(); err != nil {
+		return err
+	}
+	_, _, err := s.b.Recv()
+	return err
+}
+
+func runSelSemTrap(t *testing.T, rt *Runtime, s *selSem) (g1err, g2err error) {
+	t.Helper()
+	var (
+		wg     sync.WaitGroup
+		g1warm = make(chan struct{})
+		g2warm = make(chan struct{})
+		e1, e2 error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := s.g1cycle(nil); err != nil {
+			e1 = err
+			close(g1warm)
+			return
+		}
+		close(g1warm)
+		<-g2warm
+		e1 = s.g1cycle(func() {
+			waitUntil(t, "g2 engaging B", func() bool { return s.b.Len() == 1 || rt.Waiting() >= 1 })
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-g1warm
+		if err := s.g2cycle(nil, nil); err != nil {
+			e2 = err
+			close(g2warm)
+			return
+		}
+		close(g2warm)
+		e2 = s.g2cycle(func() {
+			waitUntil(t, "g1 filling A", func() bool { return s.a.Len() == 1 })
+		}, func() {
+			waitUntil(t, "g1 waiting on B", func() bool {
+				return rt.Waiting() >= 1 || s.a.Len() == 0
+			})
+		})
+	}()
+	wg.Wait()
+	return e1, e2
+}
+
+func TestSelectCycleDetectionAndAvoidance(t *testing.T) {
+	dimmunix.SetYieldRehomeTimeout(50 * time.Millisecond)
+	defer dimmunix.SetYieldRehomeTimeout(time.Second)
+
+	h := dimmunix.NewHistory()
+	rt1 := NewRuntime(Config{History: h, Policy: dimmunix.RecoverBreak})
+	s1 := newSelSem(rt1)
+	e1, e2 := runSelSemTrap(t, rt1, s1)
+	rt1.Close()
+	if (e1 == nil) == (e2 == nil) {
+		t.Fatalf("want exactly one denied select, got g1=%v g2=%v", e1, e2)
+	}
+	if rt1.Stats().Deadlocks != 1 {
+		t.Fatalf("deadlocks = %d, want 1", rt1.Stats().Deadlocks)
+	}
+	all := h.All()
+	if len(all) != 1 {
+		t.Fatalf("history holds %d signatures, want 1", len(all))
+	}
+	got := all[0]
+	for i, th := range got.Threads {
+		if th.Outer.Top().Kind != sig.KindChanSelect {
+			t.Errorf("thread %d outer kind = %q, want chan-select", i, th.Outer.Top().Kind)
+		}
+		if th.Inner.Top().Kind != sig.KindChanSelect {
+			t.Errorf("thread %d inner kind = %q, want chan-select", i, th.Inner.Top().Kind)
+		}
+	}
+
+	rt2 := NewRuntime(Config{History: h, Policy: dimmunix.RecoverBreak})
+	defer rt2.Close()
+	s2 := newSelSem(rt2)
+	e1, e2 = runSelSemTrap(t, rt2, s2)
+	if e1 != nil || e2 != nil {
+		t.Fatalf("avoidance run errored: g1=%v g2=%v", e1, e2)
+	}
+	if st := rt2.Stats(); st.Deadlocks != 0 || st.Yields == 0 {
+		t.Fatalf("avoidance run: deadlocks=%d yields=%d, want 0 and >0", st.Deadlocks, st.Yields)
+	}
+}
+
+// TestDifferentialGraphDisabled proves detection soundness against the
+// raw-channel reference: the exact trap schedule the detector flags
+// really does leave both goroutines stuck when run on bare channels.
+func TestDifferentialGraphDisabled(t *testing.T) {
+	rt := NewRuntime(Config{GraphDisabled: true})
+	defer rt.Close()
+	s := newSem(rt)
+
+	var wg sync.WaitGroup
+	stuck := make(chan struct{})
+	var e1, e2 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if e1 = s.a.Send(1); e1 != nil {
+			return
+		}
+		waitUntil(t, "g2 filling B", func() bool { return s.b.Len() == 1 })
+		e1 = s.b.Send(1)
+	}()
+	go func() {
+		defer wg.Done()
+		waitUntil(t, "g1 filling A", func() bool { return s.a.Len() == 1 })
+		if e2 = s.b.Send(1); e2 != nil {
+			return
+		}
+		// Let g1 commit to its blocking fill of B first.
+		time.Sleep(50 * time.Millisecond)
+		e2 = s.a.Send(1)
+	}()
+	go func() { wg.Wait(); close(stuck) }()
+
+	select {
+	case <-stuck:
+		t.Fatal("raw-channel trap schedule completed; the detector's scenario is not a real deadlock")
+	case <-time.After(500 * time.Millisecond):
+		// Genuinely deadlocked. Break it by hand so the test exits
+		// cleanly: drain both semaphores from outside, releasing the
+		// blocked cross-fills.
+	}
+	if _, _, ok := s.b.TryRecv(); !ok {
+		t.Fatal("expected B to hold a deposit while deadlocked")
+	}
+	if _, _, ok := s.a.TryRecv(); !ok {
+		t.Fatal("expected A to hold a deposit while deadlocked")
+	}
+	wg.Wait()
+	if e1 != nil || e2 != nil {
+		t.Fatalf("raw fills errored: %v %v", e1, e2)
+	}
+}
+
+// TestColdChannelsNoFalseDetection: blocked ops on channels with no
+// usage history must never be declared deadlocked — the rescuer model
+// is conservative about unknown parties.
+func TestColdChannelsNoFalseDetection(t *testing.T) {
+	rt := NewRuntime(Config{Policy: dimmunix.RecoverBreak})
+	x := NewChan[int](rt, "cold-x", 0)
+	y := NewChan[int](rt, "cold-y", 0)
+
+	var wg sync.WaitGroup
+	var e1, e2 error
+	wg.Add(2)
+	go func() { defer wg.Done(); e1 = x.Send(1) }()
+	go func() { defer wg.Done(); e2 = y.Send(1) }()
+	waitUntil(t, "both sends blocked", func() bool { return rt.Waiting() == 2 })
+	if st := rt.Stats(); st.Deadlocks != 0 {
+		t.Fatalf("cold channels produced %d detections", st.Deadlocks)
+	}
+	rt.Close()
+	wg.Wait()
+	if !errors.Is(e1, ErrClosed) || !errors.Is(e2, ErrClosed) {
+		t.Fatalf("close did not release blocked sends: %v %v", e1, e2)
+	}
+}
+
+func TestFastPathAndCloseSemantics(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	c := NewChan[string](rt, "fast", 2)
+
+	if err := c.Send("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.TrySend("b") {
+		t.Fatal("TrySend on non-full channel failed")
+	}
+	if c.TrySend("c") {
+		t.Fatal("TrySend on full channel succeeded")
+	}
+	v, ok, err := c.Recv()
+	if err != nil || !ok || v != "a" {
+		t.Fatalf("Recv = %q %v %v", v, ok, err)
+	}
+	v, ok, received := c.TryRecv()
+	if !received || !ok || v != "b" {
+		t.Fatalf("TryRecv = %q %v %v", v, ok, received)
+	}
+	if _, _, received := c.TryRecv(); received {
+		t.Fatal("TryRecv on empty channel succeeded")
+	}
+	c.Close()
+	v, ok, err = c.Recv()
+	if err != nil || ok || v != "" {
+		t.Fatalf("Recv on closed = %q %v %v, want zero,false,nil", v, ok, err)
+	}
+	if st := rt.Stats(); st.Blocked != 0 || st.Deadlocks != 0 {
+		t.Fatalf("fast-path ops touched the slow path: %+v", st)
+	}
+}
+
+func TestSelectBasics(t *testing.T) {
+	rt := NewRuntime(Config{})
+	defer rt.Close()
+	a := NewChan[int](rt, "sel-a", 1)
+	b := NewChan[int](rt, "sel-b", 1)
+
+	if _, err := Select(); err == nil {
+		t.Fatal("empty select did not error")
+	}
+	// Send-ready case completes.
+	chosen, err := Select(SendCase(a, 7))
+	if err != nil || chosen != 0 {
+		t.Fatalf("Select(send) = %d %v", chosen, err)
+	}
+	// Recv case delivers the value.
+	var got int
+	var gotOK bool
+	chosen, err = Select(
+		RecvCase(a, func(v int, ok bool) { got, gotOK = v, ok }),
+		RecvCase(b, nil),
+	)
+	if err != nil || chosen != 0 || got != 7 || !gotOK {
+		t.Fatalf("Select(recv) = %d %v got=%d ok=%v", chosen, err, got, gotOK)
+	}
+	// A blocking select wakes when a peer sends.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Select(RecvCase(b, nil))
+		done <- err
+	}()
+	waitUntil(t, "select blocked", func() bool { return rt.Waiting() == 1 })
+	if err := b.Send(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked select returned %v", err)
+	}
+	// Runtime close releases a blocked select with ErrClosed.
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := Select(RecvCase(b, nil))
+		done2 <- err
+	}()
+	waitUntil(t, "second select blocked", func() bool { return rt.Waiting() == 1 })
+	rt.Close()
+	if err := <-done2; !errors.Is(err, ErrClosed) {
+		t.Fatalf("close released select with %v, want ErrClosed", err)
+	}
+}
+
+// TestRingWorkloadRace is the -race exercise: producers, consumers, and
+// a select-storm forwarder hammer shared channels through every op.
+func TestRingWorkloadRace(t *testing.T) {
+	rt := NewRuntime(Config{Policy: dimmunix.RecoverBreak})
+	defer rt.Close()
+	in := NewChan[int](rt, "ring-in", 8)
+	out := NewChan[int](rt, "ring-out", 8)
+
+	const producers = 4
+	const perProducer = 200
+	var wg sync.WaitGroup
+	// Producers.
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := in.Send(p*perProducer + i); err != nil {
+					t.Errorf("producer send: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Forwarders: select-storm between recv-in and send-out.
+	forwarded := make(chan struct{})
+	go func() {
+		defer close(forwarded)
+		for n := 0; n < producers*perProducer; n++ {
+			var v int
+			if _, err := Select(RecvCase(in, func(x int, _ bool) { v = x })); err != nil {
+				t.Errorf("forward recv: %v", err)
+				return
+			}
+			if _, err := Select(SendCase(out, v)); err != nil {
+				t.Errorf("forward send: %v", err)
+				return
+			}
+		}
+	}()
+	// Consumer.
+	seen := make(map[int]bool, producers*perProducer)
+	for n := 0; n < producers*perProducer; n++ {
+		v, ok, err := out.Recv()
+		if err != nil || !ok {
+			t.Fatalf("consumer recv: %v %v", ok, err)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate item %d", v)
+		}
+		seen[v] = true
+	}
+	wg.Wait()
+	<-forwarded
+	if st := rt.Stats(); st.Deadlocks != 0 {
+		t.Fatalf("ring workload produced %d false detections", st.Deadlocks)
+	}
+}

@@ -19,6 +19,22 @@ var yieldRehomeNanos atomic.Int64
 
 func init() { yieldRehomeNanos.Store(int64(time.Second)) }
 
+// YieldRehomeTimeout returns the park re-home interval shared by every
+// yielder discipline in the process — mutex yielders here and channel
+// yielders in internal/commdlk, which parks with the same timeout so
+// both classes of avoidance degrade identically when wakes are lost.
+func YieldRehomeTimeout() time.Duration {
+	return time.Duration(yieldRehomeNanos.Load())
+}
+
+// SetYieldRehomeTimeout adjusts the shared park re-home interval.
+// Intervals ≤ 0 are ignored. Intended for tests and benchmarks.
+func SetYieldRehomeTimeout(d time.Duration) {
+	if d > 0 {
+		yieldRehomeNanos.Store(int64(d))
+	}
+}
+
 // threatCarry hands a matched fast acquisition's threat evaluation to
 // the slow path. The yielder y was registered in shards (the matched
 // signatures' shards) under the same shard critical section that

@@ -71,6 +71,16 @@ type History struct {
 	deltaRing  []historyDelta
 	deltaHead  int // index of the oldest entry
 	deltaCount int
+
+	// Adaptive-cap bookkeeping. DeltaSince runs under mu.RLock, so its
+	// observations are atomics; resize decisions are applied by the next
+	// recordDeltaLocked, which holds mu for writing. deltaGrow is armed
+	// when a consumer misses because the ring wrapped past it (a push
+	// storm overran the cap); deltaHits/deltaMaxGap record how much of
+	// the cap successful consumers actually use, driving the shrink.
+	deltaGrow   atomic.Bool
+	deltaHits   atomic.Uint64
+	deltaMaxGap atomic.Uint64
 }
 
 // historyDelta is one mutation's signature churn. The recorded instances
@@ -82,26 +92,83 @@ type historyDelta struct {
 	removed []*sig.Signature
 }
 
-// DeltaRingCap bounds the changelog ring. 256 mutations of slack covers
-// any consumer that refreshes at all regularly (the runtime refreshes on
-// every slow-path acquisition); a consumer that has been asleep longer
-// rebuilds from scratch, which is what it would have done anyway.
-const DeltaRingCap = 256
+// DeltaRingCap is the changelog ring's initial (and minimum) capacity.
+// 256 mutations of slack covers any consumer that refreshes at all
+// regularly (the runtime refreshes on every slow-path acquisition). The
+// cap is adaptive: an overrun miss — a long-idle runtime waking up after
+// a push storm wrapped the ring past it — arms a ×2 growth, applied by
+// the next mutation, up to DeltaRingMaxCap; sustained small gaps shrink
+// it back toward the minimum so an idle process doesn't pin storm-sized
+// churn (each entry pins its added/removed signature instances).
+const (
+	DeltaRingCap    = 256
+	DeltaRingMaxCap = 4096
+	// deltaShrinkStreak is how many consecutive covered DeltaSince
+	// calls — none using more than a quarter of the cap — it takes to
+	// halve a grown ring.
+	deltaShrinkStreak = 512
+)
 
 // recordDeltaLocked appends one changelog entry for the mutation that
-// just bumped h.version. Caller holds h.mu for writing.
+// just bumped h.version, applying any pending cap resize first. Caller
+// holds h.mu for writing.
 func (h *History) recordDeltaLocked(added, removed []*sig.Signature) {
 	if h.deltaRing == nil {
 		h.deltaRing = make([]historyDelta, DeltaRingCap)
 	}
+	h.resizeDeltaRingLocked()
+	ringCap := len(h.deltaRing)
 	d := historyDelta{version: h.version, added: added, removed: removed}
-	if h.deltaCount == DeltaRingCap {
+	if h.deltaCount == ringCap {
 		h.deltaRing[h.deltaHead] = d
-		h.deltaHead = (h.deltaHead + 1) % DeltaRingCap
+		h.deltaHead = (h.deltaHead + 1) % ringCap
 		return
 	}
-	h.deltaRing[(h.deltaHead+h.deltaCount)%DeltaRingCap] = d
+	h.deltaRing[(h.deltaHead+h.deltaCount)%ringCap] = d
 	h.deltaCount++
+}
+
+// resizeDeltaRingLocked applies the adaptive-cap policy: grow ×2 when a
+// consumer overran the ring since the last mutation, shrink ÷2 when a
+// long streak of consumers used at most a quarter of the cap. Entries
+// are re-packed with the oldest at index 0; a shrink keeps the newest.
+// Caller holds h.mu for writing.
+func (h *History) resizeDeltaRingLocked() {
+	oldCap := len(h.deltaRing)
+	newCap := oldCap
+	if h.deltaGrow.Swap(false) {
+		if oldCap < DeltaRingMaxCap {
+			newCap = oldCap * 2
+			if newCap > DeltaRingMaxCap {
+				newCap = DeltaRingMaxCap
+			}
+		}
+	} else if oldCap > DeltaRingCap &&
+		h.deltaHits.Load() >= deltaShrinkStreak &&
+		h.deltaMaxGap.Load() <= uint64(oldCap/4) {
+		newCap = oldCap / 2
+		if newCap < DeltaRingCap {
+			newCap = DeltaRingCap
+		}
+	}
+	if newCap == oldCap {
+		return
+	}
+	ring := make([]historyDelta, newCap)
+	keep := h.deltaCount
+	skip := 0
+	if keep > newCap {
+		skip = keep - newCap // shrink: drop the oldest
+		keep = newCap
+	}
+	for i := 0; i < keep; i++ {
+		ring[i] = h.deltaRing[(h.deltaHead+skip+i)%oldCap]
+	}
+	h.deltaRing = ring
+	h.deltaHead = 0
+	h.deltaCount = keep
+	h.deltaHits.Store(0)
+	h.deltaMaxGap.Store(0)
 }
 
 // DeltaSince folds the changelog entries covering versions (from, to]
@@ -124,15 +191,31 @@ func (h *History) DeltaSince(from, to uint64) (added, removed []*sig.Signature, 
 	if h.deltaCount == 0 {
 		return nil, nil, false
 	}
+	ringCap := len(h.deltaRing)
 	oldest := h.deltaRing[h.deltaHead].version
 	newest := oldest + uint64(h.deltaCount) - 1
 	if from+1 < oldest || to > newest {
+		// A wrapped ring that lost the consumer's gap is a capacity
+		// miss: arm a growth so the next storm of this size is covered.
+		// (to > newest is the consumer asking past the current version —
+		// no cap would help that.)
+		if from+1 < oldest && h.deltaCount == ringCap {
+			h.deltaGrow.Store(true)
+		}
 		return nil, nil, false
+	}
+	h.deltaHits.Add(1)
+	gap := to - from
+	for {
+		cur := h.deltaMaxGap.Load()
+		if gap <= cur || h.deltaMaxGap.CompareAndSwap(cur, gap) {
+			break
+		}
 	}
 	addSet := make(map[*sig.Signature]struct{}, 2)
 	var rem []*sig.Signature
 	for v := from + 1; v <= to; v++ {
-		d := &h.deltaRing[(h.deltaHead+int(v-oldest))%DeltaRingCap]
+		d := &h.deltaRing[(h.deltaHead+int(v-oldest))%ringCap]
 		for _, s := range d.added {
 			addSet[s] = struct{}{}
 		}
@@ -146,7 +229,7 @@ func (h *History) DeltaSince(from, to uint64) (added, removed []*sig.Signature, 
 	}
 	add := make([]*sig.Signature, 0, len(addSet))
 	for v := from + 1; v <= to; v++ { // deterministic order: ring order
-		d := &h.deltaRing[(h.deltaHead+int(v-oldest))%DeltaRingCap]
+		d := &h.deltaRing[(h.deltaHead+int(v-oldest))%ringCap]
 		for _, s := range d.added {
 			if _, live := addSet[s]; live {
 				add = append(add, s)

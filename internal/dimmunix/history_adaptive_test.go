@@ -1,0 +1,93 @@
+package dimmunix
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringLen(h *History) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.deltaRing)
+}
+
+// TestDeltaRingGrowsOnOverrun: a consumer that misses because a push
+// storm wrapped the ring arms a ×2 growth, so the next storm of the same
+// size is covered without a full rebuild.
+func TestDeltaRingGrowsOnOverrun(t *testing.T) {
+	h := NewHistory()
+	add := func(tag string, n int) {
+		for i := 0; i < n; i++ {
+			if !h.Add(deltaTestSig(fmt.Sprintf("%s%d", tag, i))) {
+				t.Fatalf("add %s%d failed", tag, i)
+			}
+		}
+	}
+	add("a", DeltaRingCap+10) // wrap the ring
+	cursor := uint64(0)       // a consumer that never refreshed
+	if _, _, ok := h.DeltaSince(cursor, h.Version()); ok {
+		t.Fatal("overrun gap unexpectedly covered")
+	}
+	add("b", 1) // next mutation applies the armed growth
+	if got := ringLen(h); got != 2*DeltaRingCap {
+		t.Fatalf("ring cap after overrun = %d, want %d", got, 2*DeltaRingCap)
+	}
+
+	// With the grown ring, a storm bigger than the old cap is covered.
+	before := h.Version()
+	add("c", DeltaRingCap+50)
+	if _, _, ok := h.DeltaSince(before, h.Version()); !ok {
+		t.Fatal("grown ring did not cover a storm beyond the old cap")
+	}
+
+	// Growth is bounded: endless overruns stop at DeltaRingMaxCap.
+	for round := 0; round < 10; round++ {
+		add(fmt.Sprintf("d%d-", round), ringLen(h)+10)
+		h.DeltaSince(0, h.Version()) // overrun miss, arms growth
+		add(fmt.Sprintf("e%d-", round), 1)
+	}
+	if got := ringLen(h); got != DeltaRingMaxCap {
+		t.Fatalf("ring cap after repeated overruns = %d, want max %d", got, DeltaRingMaxCap)
+	}
+}
+
+// TestDeltaRingShrinksWhenIdle: a grown ring whose consumers only ever
+// fold small gaps halves back toward the minimum, keeping the newest
+// entries usable.
+func TestDeltaRingShrinksWhenIdle(t *testing.T) {
+	h := NewHistory()
+	for i := 0; i < DeltaRingCap+10; i++ {
+		h.Add(deltaTestSig(fmt.Sprintf("a%d", i)))
+	}
+	h.DeltaSince(0, h.Version()) // arm growth
+	h.Add(deltaTestSig("grow"))
+	if got := ringLen(h); got != 2*DeltaRingCap {
+		t.Fatalf("ring cap = %d, want %d", got, 2*DeltaRingCap)
+	}
+
+	// A long streak of well-behaved consumers (tiny gaps) then a
+	// mutation: the ring halves.
+	v := h.Version()
+	for i := 0; i < deltaShrinkStreak; i++ {
+		if _, _, ok := h.DeltaSince(v-1, v); !ok {
+			t.Fatal("small gap not covered")
+		}
+	}
+	h.Add(deltaTestSig("shrink"))
+	if got := ringLen(h); got != DeltaRingCap {
+		t.Fatalf("ring cap after idle streak = %d, want %d", got, DeltaRingCap)
+	}
+	// The newest entries survived the shrink.
+	if _, _, ok := h.DeltaSince(h.Version()-10, h.Version()); !ok {
+		t.Fatal("recent gap lost by shrink")
+	}
+	// It never shrinks below the minimum.
+	v = h.Version()
+	for i := 0; i < deltaShrinkStreak; i++ {
+		h.DeltaSince(v-1, v)
+	}
+	h.Add(deltaTestSig("floor"))
+	if got := ringLen(h); got != DeltaRingCap {
+		t.Fatalf("ring cap shrank below minimum: %d", got)
+	}
+}

@@ -12,10 +12,11 @@ type topKey struct {
 	class  string
 	method string
 	line   int
+	kind   string
 }
 
 func topKeyOf(f sig.Frame) topKey {
-	return topKey{class: f.Class, method: f.Method, line: f.Line}
+	return topKey{class: f.Class, method: f.Method, line: f.Line, kind: f.Kind}
 }
 
 // AvoidIndex is an immutable snapshot of the history's avoidance
@@ -60,6 +61,9 @@ func frameFilterKey(f *sig.Frame) uint64 {
 	}
 	if n := len(f.Method); n > 0 {
 		h ^= uint64(f.Method[n-1]) << 8
+	}
+	if n := len(f.Kind); n > 0 {
+		h ^= uint64(n)<<16 ^ uint64(f.Kind[0])<<32
 	}
 	h *= 0x9E3779B97F4A7C15
 	return h
@@ -126,8 +130,24 @@ func (ix *AvoidIndex) MatchesTopSite(f *sig.Frame) bool {
 	if ix.filter[(h>>6)&63]&(1<<(h&63)) == 0 {
 		return false
 	}
-	_, ok := ix.byTop[topKey{class: f.Class, method: f.Method, line: f.Line}]
+	_, ok := ix.byTop[topKeyOf(*f)]
 	return ok
+}
+
+// CandidatesAt returns the slot refs whose outer stacks end at the given
+// top frame, probed explicitly rather than from a captured stack. The
+// channel runtime uses it to probe with a kind-stamped copy of its raw
+// captured top frame (captures carry no kind; the op imposes one). The
+// returned slice is the index's own backing array — read-only.
+func (ix *AvoidIndex) CandidatesAt(f *sig.Frame) []SlotRef {
+	if len(ix.byTop) == 0 {
+		return nil
+	}
+	h := frameFilterKey(f)
+	if ix.filter[(h>>6)&63]&(1<<(h&63)) == 0 {
+		return nil
+	}
+	return ix.byTop[topKeyOf(*f)]
 }
 
 // Candidates returns the index's slot refs whose outer stacks end at
@@ -145,7 +165,7 @@ func (ix *AvoidIndex) Candidates(cs sig.Stack) []SlotRef {
 	if ix.filter[(h>>6)&63]&(1<<(h&63)) == 0 {
 		return nil
 	}
-	return ix.byTop[topKey{class: top.Class, method: top.Method, line: top.Line}]
+	return ix.byTop[topKeyOf(*top)]
 }
 
 // Matches reports whether cs is a suffix-match for any signature slot's
@@ -160,7 +180,7 @@ func (ix *AvoidIndex) Matches(cs sig.Stack) bool {
 	if ix.filter[(h>>6)&63]&(1<<(h&63)) == 0 {
 		return false
 	}
-	refs, ok := ix.byTop[topKey{class: top.Class, method: top.Method, line: top.Line}]
+	refs, ok := ix.byTop[topKeyOf(*top)]
 	if !ok {
 		return false
 	}

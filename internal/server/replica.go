@@ -427,11 +427,20 @@ func (s *Server) followOnce(stop chan struct{}) error {
 	}
 }
 
-// fetchSnapshot drains the primary's snapshot pages (full entries from
-// index 1, including the snapshot-folded prefix) into the local store.
-// Runs in followOnce's synchronous phase: this goroutine is still the
-// session's only writer.
+// fetchSnapshot drains the primary's authoritative prefix into the
+// local store: first the folded snapshot as raw byte pages (the fast
+// path — the primary serves file bytes verbatim), then the live tail as
+// entry pages. Against a primary with nothing folded, or one predating
+// raw paging, the whole pull happens entry-paged. Runs in followOnce's
+// synchronous phase: this goroutine is still the session's only writer.
 func (s *Server) fetchSnapshot(c *wire.Conn, reqID *uint64) error {
+	raw, err := s.fetchSnapshotRaw(c, reqID)
+	if err != nil {
+		return err
+	}
+	if raw {
+		s.logfSafe("bootstrapped %d entries from raw snapshot pages, pulling tail", s.db.Len())
+	}
 	for {
 		*reqID++
 		from := s.db.Len() + 1
@@ -457,6 +466,64 @@ func (s *Server) fetchSnapshot(c *wire.Conn, reqID *uint64) error {
 		}
 		if len(page.Entries) == 0 {
 			return fmt.Errorf("empty snapshot page with more set")
+		}
+	}
+}
+
+// fetchSnapshotRaw attempts the raw-page bootstrap: pull the primary's
+// folded snapshot file as verbatim byte chunks, decode the record
+// stream incrementally (CRC-checking every record, exactly as local
+// recovery would), and apply the entries. Returns false — with the
+// local store untouched past any entries the fallback reply carried —
+// when the primary has nothing folded or predates raw paging, in which
+// case the caller continues entry-paged.
+func (s *Server) fetchSnapshotRaw(c *wire.Conn, reqID *uint64) (bool, error) {
+	parser := store.NewSnapshotParser()
+	var version uint64
+	var offset int64
+	for {
+		*reqID++
+		if err := c.Send(wire.NewRawSnapshotFetch(*reqID, version, offset)); err != nil {
+			return false, fmt.Errorf("raw snapshot fetch: %w", err)
+		}
+		var page wire.Response
+		if err := c.Recv(&page); err != nil {
+			return false, fmt.Errorf("raw snapshot page: %w", err)
+		}
+		if page.Status != wire.StatusOK {
+			return false, fmt.Errorf("primary refused raw SNAPSHOT (status %v): %s", page.Status, page.Detail)
+		}
+		s.contactFrom(s.db.Epoch())
+		if page.SnapVersion == 0 {
+			// Nothing folded to ship, or an old server that read the
+			// request as a plain SNAPSHOT: the reply is an entry page
+			// from index 1. Apply it and continue entry-paged.
+			if len(page.Entries) > 0 {
+				if _, err := s.db.ApplyReplicated(1, entriesFromWire(page.Entries)); err != nil {
+					return false, fmt.Errorf("apply snapshot fallback page: %w", err)
+				}
+				s.wakeSubscribers()
+			}
+			return false, nil
+		}
+		version = page.SnapVersion
+		entries, err := parser.Feed(page.Data)
+		if err != nil {
+			return false, err
+		}
+		if len(entries) > 0 {
+			from := s.db.Len() + 1
+			if _, err := s.db.ApplyReplicated(from, entries); err != nil {
+				return false, fmt.Errorf("apply raw snapshot entries from %d: %w", from, err)
+			}
+			s.wakeSubscribers()
+		}
+		offset = int64(page.Next)
+		if !page.More {
+			return true, parser.Close()
+		}
+		if len(page.Data) == 0 {
+			return false, fmt.Errorf("empty raw snapshot page with more set")
 		}
 	}
 }

@@ -626,3 +626,67 @@ func TestPromoteIdempotentOnPrimary(t *testing.T) {
 		t.Fatalf("wire PROMOTE on primary = %+v", resp)
 	}
 }
+
+// TestRawSnapshotPages: the SNAPSHOT wire contract for raw byte pages.
+// A compacted durable primary ships its snapshot file verbatim (Data +
+// SnapVersion, Next as a byte offset); the paged bytes decode through
+// the store's stream parser to exactly the folded entries. A stale
+// version pin is refused, and a server with nothing folded degrades to
+// an entry page with SnapVersion zero — the follower's fallback signal.
+func TestRawSnapshotPages(t *testing.T) {
+	srv, _, auth := v2TestServer(t, Config{DataDir: t.TempDir(), Fsync: store.FsyncOff, MaxPerDay: 10_000})
+	seedServer(t, srv, auth, 19, 12)
+	if err := srv.Store().ForceCompact(); err != nil {
+		t.Fatal(err)
+	}
+	seedServer(t, srv, auth, 20, 3) // live tail past the boundary
+
+	parser := store.NewSnapshotParser()
+	var applied int
+	var version uint64
+	var offset int64
+	for {
+		resp := srv.Process(wire.NewRawSnapshotFetch(1, version, offset))
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("raw SNAPSHOT(%d) = %+v", offset, resp)
+		}
+		if resp.SnapVersion == 0 || len(resp.Data) == 0 {
+			t.Fatalf("raw SNAPSHOT(%d) degraded: version=%d data=%d bytes", offset, resp.SnapVersion, len(resp.Data))
+		}
+		if len(resp.Entries) != 0 {
+			t.Fatalf("raw page also carries %d re-serialized entries", len(resp.Entries))
+		}
+		if got := int64(resp.Next); got != offset+int64(len(resp.Data)) {
+			t.Fatalf("raw page Next = %d, want byte offset %d", got, offset+int64(len(resp.Data)))
+		}
+		version = resp.SnapVersion
+		entries, err := parser.Feed(resp.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied += len(entries)
+		offset = int64(resp.Next)
+		if !resp.More {
+			break
+		}
+	}
+	if err := parser.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if applied != 12 {
+		t.Fatalf("raw pages decoded %d entries, want the 12 folded ones", applied)
+	}
+
+	if resp := srv.Process(wire.Request{Type: wire.MsgSnapshot, ID: 2, From: 1, Raw: true, SnapVersion: version + 7}); resp.Status != wire.StatusRejected {
+		t.Fatalf("stale version pin = %+v, want StatusRejected", resp)
+	}
+
+	// Ephemeral server: nothing folded, raw degrades to entry paging.
+	eph, _, eauth := v2TestServer(t, Config{MaxPerDay: 10_000})
+	seedServer(t, eph, eauth, 21, 5)
+	resp := eph.Process(wire.NewRawSnapshotFetch(3, 0, 0))
+	if resp.Status != wire.StatusOK || resp.SnapVersion != 0 || len(resp.Data) != 0 || len(resp.Entries) != 5 {
+		t.Fatalf("ephemeral raw SNAPSHOT = status=%v version=%d data=%d entries=%d, want 5-entry fallback page",
+			resp.Status, resp.SnapVersion, len(resp.Data), len(resp.Entries))
+	}
+}

@@ -11,6 +11,20 @@ func FuzzDecode(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(good)
+	// Channel-kind corpus: valid signatures for every chan op kind, plus
+	// malformed kinds the decoder must reject (unknown kind, kind in the
+	// wrong case, empty-string kind encoded explicitly).
+	for _, kind := range []string{KindChanSend, KindChanRecv, KindChanSelect} {
+		ch, err := Encode(chanSig(5, kind))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(ch)
+	}
+	f.Add([]byte(`{"threads":[{"outer":[{"class":"C","method":"m","line":1,"kind":"chan-send"}],"inner":[{"class":"C","method":"m","line":1,"kind":"chan-recv"}]},{"outer":[{"class":"D","method":"m","line":1,"kind":"chan-send"}],"inner":[{"class":"D","method":"m","line":1,"kind":"chan-select"}]}]}`))
+	f.Add([]byte(`{"threads":[{"outer":[{"class":"C","method":"m","line":1,"kind":"chan-warp"}],"inner":[{"class":"C","method":"m","line":1}]}]}`))
+	f.Add([]byte(`{"threads":[{"outer":[{"class":"C","method":"m","line":1,"kind":"CHAN-SEND"}],"inner":[{"class":"C","method":"m","line":1}]}]}`))
+	f.Add([]byte(`{"threads":[{"outer":[{"class":"C","method":"m","line":1,"kind":""}],"inner":[{"class":"C","method":"m","line":1}]}]}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"threads":[]}`))
 	f.Add([]byte(`{"threads":[{"outer":[{"class":"C","method":"m","line":1}],"inner":[{"class":"C","method":"m","line":1}]}]}`))

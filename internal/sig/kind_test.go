@@ -1,0 +1,176 @@
+package sig
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chanSig builds a two-thread channel signature: each thread's outer stack
+// tops out at a chan-send site, the inner at the blocking op's site.
+func chanSig(depth int, innerKind string) *Signature {
+	mk := func(tag string) ThreadSpec {
+		outer := make(Stack, depth)
+		inner := make(Stack, depth)
+		// Line numbers count from the top frame so that two chanSigs of
+		// different depths share a call-stack suffix (deeper stacks add
+		// caller frames at the bottom).
+		for i := 0; i < depth; i++ {
+			outer[i] = frame("app/"+tag, "fill", depth-i)
+			inner[i] = frame("app/"+tag, "block", depth-i)
+		}
+		outer[depth-1].Kind = KindChanSend
+		inner[depth-1].Kind = innerKind
+		return ThreadSpec{Outer: outer, Inner: inner}
+	}
+	s := New(mk("G1"), mk("G2"))
+	s.Origin = OriginLocal
+	return s
+}
+
+func TestChanKindCodecRoundTrip(t *testing.T) {
+	for _, kind := range []string{KindChanSend, KindChanRecv, KindChanSelect} {
+		s := chanSig(6, kind)
+		if err := s.Valid(); err != nil {
+			t.Fatalf("kind %q: invalid: %v", kind, err)
+		}
+		data, err := Encode(s)
+		if err != nil {
+			t.Fatalf("kind %q: encode: %v", kind, err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("kind %q: decode: %v", kind, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("kind %q: round trip changed the signature", kind)
+		}
+		if back.ID() != s.ID() {
+			t.Fatalf("kind %q: round trip changed the ID", kind)
+		}
+	}
+}
+
+func TestKindAffectsIdentity(t *testing.T) {
+	lock := twoThreadSig(6)
+	ch := twoThreadSig(6)
+	ch.Threads[0].Outer[len(ch.Threads[0].Outer)-1].Kind = KindChanSend
+	if ch.ID() == lock.ID() {
+		t.Error("chan-kind frame did not change the signature ID")
+	}
+	lf := frame("app/C", "run", 7)
+	cf := lf
+	cf.Kind = KindChanRecv
+	if lf.SameSite(cf) {
+		t.Error("lock frame and chan frame at the same line must not be SameSite")
+	}
+	if lf.Key() == cf.Key() {
+		t.Error("lock frame and chan frame at the same line must have distinct keys")
+	}
+	if !strings.Contains(cf.Key(), "@"+KindChanRecv) {
+		t.Errorf("chan frame key %q missing kind marker", cf.Key())
+	}
+}
+
+// TestKindlessWireUnchanged: pre-channel signatures must keep their exact
+// wire form — no "kind" key appears, so a v1 decoder (which rejects
+// unknown JSON keys) still accepts them.
+func TestKindlessWireUnchanged(t *testing.T) {
+	s := twoThreadSig(6)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"kind"`)) {
+		t.Fatalf("kind-less signature encoded a kind key: %s", data)
+	}
+	if err := decodeAsV1(data); err != nil {
+		t.Fatalf("v1 decoder rejected a kind-less signature: %v", err)
+	}
+}
+
+// v1Frame mirrors the Frame struct as it existed before the Kind field —
+// the shape old binaries decode into, with unknown fields disallowed.
+type v1Frame struct {
+	Class  string `json:"class"`
+	Method string `json:"method"`
+	Line   int    `json:"line"`
+	Hash   string `json:"hash,omitempty"`
+}
+
+type v1ThreadSpec struct {
+	Outer []v1Frame `json:"outer"`
+	Inner []v1Frame `json:"inner"`
+}
+
+type v1Signature struct {
+	Threads []v1ThreadSpec `json:"threads"`
+}
+
+func decodeAsV1(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s v1Signature
+	return dec.Decode(&s)
+}
+
+// TestOldDecoderRejectsKind: a channel signature reaching an old binary
+// must be rejected outright — never silently stripped of its kind, which
+// would let a channel site masquerade as a lock site.
+func TestOldDecoderRejectsKind(t *testing.T) {
+	data, err := Encode(chanSig(6, KindChanSend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeAsV1(data); err == nil {
+		t.Fatal("v1 decoder accepted a channel-kind signature; want reject")
+	}
+}
+
+// TestUnknownKindRejected: this build rejects kinds from the future the
+// same way old builds reject ours.
+func TestUnknownKindRejected(t *testing.T) {
+	s := chanSig(6, KindChanSend)
+	s.Threads[0].Inner[0].Kind = "chan-warp"
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("Decode accepted an unknown frame kind")
+	}
+	if err := s.Valid(); err == nil {
+		t.Fatal("Valid accepted an unknown frame kind")
+	}
+}
+
+// TestKindMergeIsolation: generalization aligns threads by top sites;
+// kinds are part of the site, so a channel signature and a mutex
+// signature at the same lines never merge, while two channel signatures
+// of the same bug do.
+func TestKindMergeIsolation(t *testing.T) {
+	p := MergePolicy{}
+	lock := twoThreadSig(6)
+	ch := twoThreadSig(6)
+	for i := range ch.Threads {
+		ch.Threads[i].Outer[len(ch.Threads[i].Outer)-1].Kind = KindChanSend
+		ch.Threads[i].Inner[len(ch.Threads[i].Inner)-1].Kind = KindChanRecv
+	}
+	ch.Normalize()
+	if _, ok := p.Merge(lock, ch); ok {
+		t.Fatal("merged a mutex signature with a channel signature")
+	}
+
+	a := chanSig(6, KindChanSend)
+	b := chanSig(8, KindChanSend)
+	m, ok := p.Merge(a, b)
+	if !ok {
+		t.Fatal("same-bug channel signatures did not merge")
+	}
+	for _, th := range m.Threads {
+		if th.Outer.Top().Kind != KindChanSend {
+			t.Fatalf("merge lost the outer frame kind: %v", th.Outer.Top())
+		}
+	}
+}

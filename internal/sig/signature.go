@@ -228,7 +228,15 @@ func (s *Signature) ID() string {
 
 func hashStack(h interface{ Write(p []byte) (int, error) }, s Stack) {
 	for _, f := range s {
-		fmt.Fprintf(h, "%s\x00%s\x00%d\x00%s\x01", f.Class, f.Method, f.Line, f.Hash)
+		fmt.Fprintf(h, "%s\x00%s\x00%d\x00%s", f.Class, f.Method, f.Line, f.Hash)
+		// The kind is hashed only when set so that every pre-channel
+		// signature keeps the ID it had before the field existed —
+		// server dedup state and client repositories must not churn
+		// across the upgrade.
+		if f.Kind != "" {
+			fmt.Fprintf(h, "\x02%s", f.Kind)
+		}
+		h.Write([]byte{0x01})
 	}
 }
 

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Raw snapshot paging: the bootstrap fast path ships the folded
+// snapshot file to a resynchronizing follower as verbatim byte pages —
+// the server reads file bytes instead of walking the in-memory log and
+// re-serializing every folded entry, and the records' CRCs ride along
+// so the follower validates exactly what recovery would. The follower
+// side is SnapshotParser: an incremental decoder over the paged byte
+// stream that yields the same Entry values EntryPage would have.
+
+// ErrSnapshotChanged is returned by SnapshotChunk when the pinned
+// snapshot version has been retired by a newer compaction: pages from
+// different versions must never be mixed, so the puller restarts.
+var ErrSnapshotChanged = errors.New("store: snapshot version changed")
+
+// SnapshotChunk reads up to max bytes of the current folded snapshot
+// file starting at byte offset. version pins the file across a paged
+// pull: 0 accepts whatever is current (first page), any other value
+// must still be the live version or the read fails ErrSnapshotChanged.
+// A store with nothing folded (ephemeral, or no compaction yet) returns
+// version 0 and no data — the caller serves log entries instead. more
+// reports whether bytes remain past the returned chunk.
+func (st *Store) SnapshotChunk(version uint64, offset int64, max int) (data []byte, got uint64, more bool, err error) {
+	if st.wal == nil {
+		return nil, 0, false, nil
+	}
+	if max <= 0 {
+		max = 1 << 20
+	}
+	// The read happens under walMu so a concurrent compaction cannot
+	// retire the file mid-read; bootstraps are rare and the pause is one
+	// page's worth of file I/O.
+	st.walMu.Lock()
+	defer st.walMu.Unlock()
+	cur := st.wal.snapVersion
+	if cur == 0 {
+		return nil, 0, false, nil
+	}
+	if version != 0 && version != cur {
+		return nil, 0, false, ErrSnapshotChanged
+	}
+	f, err := os.Open(filepath.Join(st.wal.cfg.dir, snapshotName(cur)))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("store: snapshot chunk: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("store: snapshot chunk: %w", err)
+	}
+	size := fi.Size()
+	if offset < 0 || offset > size {
+		return nil, 0, false, fmt.Errorf("store: snapshot offset %d out of range [0,%d]", offset, size)
+	}
+	n := size - offset
+	if n > int64(max) {
+		n = int64(max)
+	}
+	buf := make([]byte, n)
+	if n > 0 {
+		if _, err := f.ReadAt(buf, offset); err != nil {
+			return nil, 0, false, fmt.Errorf("store: snapshot chunk: %w", err)
+		}
+	}
+	return buf, cur, offset+n < size, nil
+}
+
+// SnapshotParser incrementally decodes a raw snapshot byte stream fed
+// in arbitrary chunk sizes: first the fixed header, then the record
+// sequence, yielding entries as soon as they complete. CRC mismatches
+// and impossible lengths fail immediately; Close validates the stream
+// ended on a record boundary with exactly the header's count.
+type SnapshotParser struct {
+	buf       []byte
+	gotHeader bool
+	version   uint64
+	count     uint64
+	parsed    uint64
+}
+
+// NewSnapshotParser returns an empty parser.
+func NewSnapshotParser() *SnapshotParser { return &SnapshotParser{} }
+
+// Version returns the stream's snapshot version (0 until the header has
+// been parsed).
+func (p *SnapshotParser) Version() uint64 { return p.version }
+
+// Count returns how many entries the stream's header promises.
+func (p *SnapshotParser) Count() uint64 { return p.count }
+
+// Feed appends one chunk and returns every entry that completed.
+func (p *SnapshotParser) Feed(chunk []byte) ([]Entry, error) {
+	p.buf = append(p.buf, chunk...)
+	if !p.gotHeader {
+		if len(p.buf) < snapHeaderSize {
+			return nil, nil
+		}
+		if string(p.buf[:len(snapMagic)]) != snapMagic {
+			return nil, errors.New("store: snapshot stream: bad header magic")
+		}
+		p.version = binary.BigEndian.Uint64(p.buf[len(snapMagic):])
+		p.count = binary.BigEndian.Uint64(p.buf[len(snapMagic)+8:])
+		p.buf = p.buf[snapHeaderSize:]
+		p.gotHeader = true
+	}
+	var out []Entry
+	for len(p.buf) > 0 {
+		e, n, err := decodeRecord(p.buf)
+		if errors.Is(err, errShortRecord) {
+			break // record straddles the next page
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot stream: %w", err)
+		}
+		p.parsed++
+		if p.parsed > p.count {
+			return nil, fmt.Errorf("store: snapshot stream: more than the promised %d records", p.count)
+		}
+		// Copy out of the reusable buffer: the entry outlives p.buf.
+		out = append(out, Entry{
+			User: e.user,
+			Unix: e.unix,
+			Data: append([]byte(nil), e.data...),
+		})
+		p.buf = p.buf[n:]
+	}
+	return out, nil
+}
+
+// Close validates stream completion.
+func (p *SnapshotParser) Close() error {
+	if !p.gotHeader {
+		return errors.New("store: snapshot stream ended before the header")
+	}
+	if len(p.buf) != 0 {
+		return fmt.Errorf("store: snapshot stream ended mid-record (%d trailing bytes)", len(p.buf))
+	}
+	if p.parsed != p.count {
+		return fmt.Errorf("store: snapshot stream held %d records, header promised %d", p.parsed, p.count)
+	}
+	return nil
+}

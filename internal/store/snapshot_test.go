@@ -1,0 +1,141 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"communix/internal/ids"
+)
+
+// TestSnapshotChunkAndParser: paging the folded snapshot file in small
+// raw chunks and decoding the stream reproduces exactly the entries a
+// bootstrap EntryPage would serve, regardless of how records straddle
+// page boundaries.
+func TestSnapshotChunkAndParser(t *testing.T) {
+	dir := t.TempDir()
+	clock := newTestClock()
+	r := rand.New(rand.NewSource(41))
+	st, err := Open(persistCfg(dir, clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const n = 9
+	for i := 0; i < n; i++ {
+		mustAdd(t, st, ids.UserID(i%3+1), distinctSig(r, i))
+	}
+	if err := st.ForceCompact(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, _, err := st.EntryPage(1, 0, 0, true)
+	if err != nil || len(want) != n {
+		t.Fatalf("EntryPage = (%d, %v), want %d entries", len(want), err, n)
+	}
+
+	// Deliberately tiny pages so records straddle chunk boundaries.
+	for _, max := range []int{37, 1 << 10, 1 << 22} {
+		parser := NewSnapshotParser()
+		var got []Entry
+		var version uint64
+		var offset int64
+		for {
+			data, v, more, err := st.SnapshotChunk(version, offset, max)
+			if err != nil {
+				t.Fatalf("max=%d SnapshotChunk(%d): %v", max, offset, err)
+			}
+			if v == 0 {
+				t.Fatalf("max=%d: no snapshot reported after ForceCompact", max)
+			}
+			version = v
+			entries, err := parser.Feed(data)
+			if err != nil {
+				t.Fatalf("max=%d Feed: %v", max, err)
+			}
+			got = append(got, entries...)
+			offset += int64(len(data))
+			if !more {
+				break
+			}
+		}
+		if err := parser.Close(); err != nil {
+			t.Fatalf("max=%d Close: %v", max, err)
+		}
+		if parser.Count() != n {
+			t.Fatalf("max=%d parser count = %d, want %d", max, parser.Count(), n)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("max=%d decoded %d entries, want %d", max, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].User != want[i].User || got[i].Unix != want[i].Unix || !bytes.Equal(got[i].Data, want[i].Data) {
+				t.Fatalf("max=%d entry %d differs from EntryPage", max, i)
+			}
+		}
+	}
+
+	// Pinning a retired version must fail, never mix files.
+	if _, _, _, err := st.SnapshotChunk(999, 0, 0); !errors.Is(err, ErrSnapshotChanged) {
+		t.Fatalf("stale version pin = %v, want ErrSnapshotChanged", err)
+	}
+}
+
+// TestSnapshotChunkUnavailable: stores with nothing folded (ephemeral,
+// or durable but never compacted) report version 0 so the server
+// degrades to entry paging.
+func TestSnapshotChunkUnavailable(t *testing.T) {
+	eph := New(Config{})
+	defer eph.Close()
+	if _, v, _, err := eph.SnapshotChunk(0, 0, 0); err != nil || v != 0 {
+		t.Fatalf("ephemeral SnapshotChunk = (v=%d, %v), want version 0", v, err)
+	}
+
+	dir := t.TempDir()
+	st, err := Open(persistCfg(dir, newTestClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	mustAdd(t, st, 1, distinctSig(rand.New(rand.NewSource(42)), 0))
+	if _, v, _, err := st.SnapshotChunk(0, 0, 0); err != nil || v != 0 {
+		t.Fatalf("uncompacted SnapshotChunk = (v=%d, %v), want version 0", v, err)
+	}
+}
+
+// TestSnapshotParserRejectsCorruption: a flipped byte in the record
+// region fails the CRC mid-stream, and a truncated stream fails Close.
+func TestSnapshotParserRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	r := rand.New(rand.NewSource(43))
+	st, err := Open(persistCfg(dir, newTestClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 4; i++ {
+		mustAdd(t, st, 1, distinctSig(r, i))
+	}
+	if err := st.ForceCompact(); err != nil {
+		t.Fatal(err)
+	}
+	raw, v, more, err := st.SnapshotChunk(0, 0, 1<<22)
+	if err != nil || v == 0 || more {
+		t.Fatalf("SnapshotChunk = (v=%d, more=%v, %v)", v, more, err)
+	}
+
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-3] ^= 0xff
+	if _, err := NewSnapshotParser().Feed(bad); err == nil {
+		t.Fatal("corrupted record accepted")
+	}
+
+	p := NewSnapshotParser()
+	if _, err := p.Feed(raw[:len(raw)-5]); err != nil {
+		t.Fatalf("prefix feed: %v", err)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("truncated stream passed Close")
+	}
+}

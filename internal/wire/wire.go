@@ -237,6 +237,22 @@ type Request struct {
 	// comparison, derived from the fence history (store.LastEntryEpoch).
 	// 0 (a pre-field peer) is read as the initial epoch.
 	LastEpoch uint64 `json:"last_epoch,omitempty"`
+	// Raw asks SNAPSHOT to serve the primary's folded on-disk snapshot
+	// file as verbatim byte pages (Response.Data) instead of
+	// re-serialized log entries — the bootstrap fast path. A server with
+	// no folded snapshot, or one predating the field, answers with an
+	// entry page instead (Entries set, SnapVersion zero); the follower
+	// detects that and continues entry-paged.
+	Raw bool `json:"raw,omitempty"`
+	// Offset is the byte offset of the requested raw snapshot page
+	// (SNAPSHOT with Raw).
+	Offset int64 `json:"offset,omitempty"`
+	// SnapVersion pins the snapshot version across a raw page sequence:
+	// 0 on the first page (serve the current snapshot), then the version
+	// the first reply reported. A compaction that retires the pinned
+	// version mid-pull is answered StatusRejected — pages from different
+	// versions must never be mixed.
+	SnapVersion uint64 `json:"snap_version,omitempty"`
 }
 
 // Response is one server reply, or (ID 0, Type MsgPush) one
@@ -307,6 +323,14 @@ type Response struct {
 	// replies): on a rejection it tells the candidate which cursor beat
 	// it; on a grant it is informational.
 	Cursor int `json:"cursor,omitempty"`
+	// Data carries one verbatim page of the snapshot file on a raw
+	// SNAPSHOT reply. Next is then the following byte offset rather than
+	// a log index, and More marks further pages of the same file.
+	Data []byte `json:"data,omitempty"`
+	// SnapVersion is the snapshot version the raw pages come from; 0
+	// means the server had no folded snapshot to ship (or predates raw
+	// paging) and answered with Entries instead.
+	SnapVersion uint64 `json:"snap_version,omitempty"`
 }
 
 // Entry is one replicated log record: the signature exactly as stored
@@ -399,6 +423,15 @@ func NewSnapshotFetch(id uint64, from int) Request {
 		from = 1
 	}
 	return Request{Type: MsgSnapshot, ID: id, From: from}
+}
+
+// NewRawSnapshotFetch builds a SNAPSHOT request pulling the folded
+// snapshot file as verbatim byte pages from the given offset. version 0
+// means "the current snapshot"; later pages pin the version the first
+// reply reported. From stays 1 so a server that predates raw paging
+// answers with a useful entry page from the log head.
+func NewRawSnapshotFetch(id, version uint64, offset int64) Request {
+	return Request{Type: MsgSnapshot, ID: id, From: 1, Raw: true, SnapVersion: version, Offset: offset}
 }
 
 // NewSubscribe builds a SUBSCRIBE request for deltas from index from

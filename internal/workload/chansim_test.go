@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"communix/internal/dimmunix"
+	"communix/internal/sig"
+)
+
+func TestChanSimCycleScenarios(t *testing.T) {
+	dimmunix.SetYieldRehomeTimeout(50 * time.Millisecond)
+	defer dimmunix.SetYieldRehomeTimeout(time.Second)
+
+	cases := []struct {
+		scenario string
+		kind     string
+	}{
+		{ChanScenarioSemaphore, sig.KindChanSend},
+		{ChanScenarioSelect, sig.KindChanSelect},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scenario, func(t *testing.T) {
+			sim, err := NewChanSim(ChanSimConfig{Scenario: tc.scenario})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := dimmunix.NewHistory()
+
+			// Detection run: the trap deterministically deadlocks once.
+			res, err := sim.Run(h)
+			if err != nil {
+				t.Fatalf("detection run: %v", err)
+			}
+			if res.Stats.Deadlocks != 1 || res.Denied != 1 || len(res.Detected) != 1 {
+				t.Fatalf("detection run: deadlocks=%d denied=%d detected=%d, want 1/1/1",
+					res.Stats.Deadlocks, res.Denied, len(res.Detected))
+			}
+			got := res.Detected[0]
+			if len(got.Threads) != 2 {
+				t.Fatalf("signature has %d threads, want 2", len(got.Threads))
+			}
+			for i, th := range got.Threads {
+				if th.Outer.Top().Kind != tc.kind || th.Inner.Top().Kind != tc.kind {
+					t.Errorf("thread %d kinds = %q/%q, want %q",
+						i, th.Outer.Top().Kind, th.Inner.Top().Kind, tc.kind)
+				}
+			}
+			if h.Get(got.ID()) == nil {
+				t.Fatal("signature not in the shared history")
+			}
+
+			// Avoidance run: same schedule, fresh runtime, shared
+			// history — completes by parking instead of deadlocking.
+			res2, err := sim.Run(h)
+			if err != nil {
+				t.Fatalf("avoidance run: %v", err)
+			}
+			if res2.Stats.Deadlocks != 0 || res2.Denied != 0 {
+				t.Fatalf("avoidance run: deadlocks=%d denied=%d, want 0/0",
+					res2.Stats.Deadlocks, res2.Denied)
+			}
+			if res2.Stats.Yields == 0 {
+				t.Fatal("avoidance run never yielded")
+			}
+		})
+	}
+}
+
+func TestChanSimRing(t *testing.T) {
+	for _, disabled := range []bool{false, true} {
+		sim, err := NewChanSim(ChanSimConfig{
+			Scenario:      ChanScenarioRing,
+			GraphDisabled: disabled,
+			Producers:     2,
+			Items:         100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(nil)
+		if err != nil {
+			t.Fatalf("ring (disabled=%v): %v", disabled, err)
+		}
+		if res.Stats.Deadlocks != 0 {
+			t.Fatalf("ring (disabled=%v): %d false detections", disabled, res.Stats.Deadlocks)
+		}
+	}
+}
+
+func TestChanSimConfigValidation(t *testing.T) {
+	if _, err := NewChanSim(ChanSimConfig{Scenario: "warp"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := NewChanSim(ChanSimConfig{Scenario: ChanScenarioSemaphore, GraphDisabled: true}); err == nil {
+		t.Error("graph-disabled cycle scenario accepted (would hang)")
+	}
+}
